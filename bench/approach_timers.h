@@ -1,0 +1,95 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include "approaches/approaches.h"
+#include "bench_util.h"
+#include "micro_sweep.h"
+
+namespace rowsort {
+namespace bench {
+
+/// Timing closures for the micro-benchmark approaches (paper §IV-§VI).
+/// Each times the *sort only*: format conversion happens before the clock
+/// starts, mirroring the paper's assumption that "all input has been
+/// materialized" (§IV).
+
+inline SortTimeFn TimeColumnarTuple(BaseSortAlgo algo) {
+  return [algo](const MicroColumns& columns) {
+    return MedianSeconds([&] {
+      auto idxs = MakeRowIndices(columns[0].size());
+      SortIndicesTupleAtATime(columns, idxs, algo);
+    });
+  };
+}
+
+inline SortTimeFn TimeColumnarSubsort(BaseSortAlgo algo) {
+  return [algo](const MicroColumns& columns) {
+    return MedianSeconds([&] {
+      auto idxs = MakeRowIndices(columns[0].size());
+      SortIndicesSubsort(columns, idxs, algo);
+    });
+  };
+}
+
+inline SortTimeFn TimeRowTupleStatic(BaseSortAlgo algo) {
+  return [algo](const MicroColumns& columns) {
+    MicroRows prototype = BuildMicroRows(columns);
+    return MedianSeconds([&] {
+      MicroRows rows = prototype;  // fresh unsorted copy (cheap memcpy)
+      SortMicroRowsTupleStatic(rows, algo);
+    });
+  };
+}
+
+inline SortTimeFn TimeRowTupleDynamic(BaseSortAlgo algo) {
+  return [algo](const MicroColumns& columns) {
+    MicroRows prototype = BuildMicroRows(columns);
+    return MedianSeconds([&] {
+      MicroRows rows = prototype;
+      SortMicroRowsTupleDynamic(rows, algo);
+    });
+  };
+}
+
+inline SortTimeFn TimeRowSubsort(BaseSortAlgo algo) {
+  return [algo](const MicroColumns& columns) {
+    MicroRows prototype = BuildMicroRows(columns);
+    return MedianSeconds([&] {
+      MicroRows rows = prototype;
+      SortMicroRowsSubsort(rows, algo);
+    });
+  };
+}
+
+inline SortTimeFn TimeNormalizedMemcmp(BaseSortAlgo algo) {
+  return [algo](const MicroColumns& columns) {
+    NormalizedRows prototype = BuildNormalizedRows(columns);
+    return MedianSeconds([&] {
+      NormalizedRows rows = prototype;
+      SortNormalizedRowsMemcmp(rows, algo);
+    });
+  };
+}
+
+inline SortTimeFn TimeNormalizedPdq() {
+  return [](const MicroColumns& columns) {
+    NormalizedRows prototype = BuildNormalizedRows(columns);
+    return MedianSeconds([&] {
+      NormalizedRows rows = prototype;
+      SortNormalizedRowsPdq(rows);
+    });
+  };
+}
+
+inline SortTimeFn TimeNormalizedRadix() {
+  return [](const MicroColumns& columns) {
+    NormalizedRows prototype = BuildNormalizedRows(columns);
+    return MedianSeconds([&] {
+      NormalizedRows rows = prototype;
+      SortNormalizedRowsRadix(rows);
+    });
+  };
+}
+
+}  // namespace bench
+}  // namespace rowsort

@@ -1,0 +1,62 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Ablation (Future Work §IX ¶1): "A heuristic that takes these variables
+// [key size, number of tuples, ...] into account could improve the
+// algorithm choice." Compares forcing radix sort, forcing pdqsort, the
+// paper's shipping rule (kAuto), and the proposed heuristic across row
+// counts and key widths.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "engine/sort_engine.h"
+#include "workload/tables.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+namespace {
+
+double TimeSort(const Table& input, const SortSpec& spec,
+                RunSortAlgorithm algorithm) {
+  SortEngineConfig config;
+  config.algorithm = algorithm;
+  return rowsort::bench::MedianSeconds(
+      [&] { RelationalSort::SortTable(input, spec, config); });
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: run-sort algorithm choice (Future Work §IX)",
+      "radix vs pdqsort vs auto vs heuristic",
+      "radix wins at large n / short keys; pdqsort wins at small n; the "
+      "heuristic should track the better of the two");
+
+  const uint64_t max_rows = bench::EnvRows("ROWSORT_ABL_ROWS", 2'000'000);
+  std::printf("%12s %6s %10s %10s %10s %10s\n", "rows", "keys", "radix",
+              "pdq", "auto", "heuristic");
+
+  for (uint64_t n : {uint64_t(1024), uint64_t(65536), max_rows}) {
+    for (uint64_t keys : {1ull, 4ull}) {
+      TpcdsScale scale;
+      scale.scale_factor = 10;
+      scale.scale_divisor = std::max<uint64_t>(
+          TpcdsScale{10}.CatalogSalesRows() / std::max<uint64_t>(n, 1), 1);
+      Table table = MakeCatalogSales(scale);
+      std::vector<SortColumn> cols;
+      for (uint64_t k = 0; k < keys; ++k) cols.emplace_back(k, TypeId::kInt32);
+      SortSpec spec(cols);
+
+      std::printf("%12s %6llu", FormatCount(table.row_count()).c_str(),
+                  (unsigned long long)keys);
+      for (auto algo : {RunSortAlgorithm::kRadix, RunSortAlgorithm::kPdq,
+                        RunSortAlgorithm::kAuto, RunSortAlgorithm::kHeuristic}) {
+        std::printf(" %9.4fs", TimeSort(table, spec, algo));
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Ablation: merge strategy. §VII's systems split on this design choice —
+// DuckDB runs a 2-way cascaded merge (log k passes over the data, each pass
+// a cheap 1-vs-1 comparison, parallelizable with Merge Path); ClickHouse
+// and HyPer/Umbra run one k-way heap merge (a single pass, but a log k heap
+// reorganization per output row). This bench measures both on the same runs
+// across run counts, plus the §II comparison counts.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "engine/sort_engine.h"
+#include "workload/tables.h"
+
+using namespace rowsort;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: 2-way cascaded merge vs k-way heap merge",
+      "merge strategies of the §VII systems on identical runs",
+      "cascade performs more row movement (log k passes) but cheaper "
+      "comparisons; k-way touches rows once but pays heap comparisons — "
+      "cascade wins as k grows on cheap keys");
+
+  const uint64_t n = bench::EnvRows("ROWSORT_MERGE_ABL_ROWS", 2'000'000);
+  Table input = MakeShuffledIntegerTable(n, 31);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+
+  std::printf("rows = %s, single int32 key\n\n", FormatCount(n).c_str());
+  std::printf("%6s %14s %14s %18s %18s\n", "runs", "cascade", "k-way",
+              "cascade compares", "k-way compares");
+  for (uint64_t k : {4, 16, 64, 256}) {
+    double times[2];
+    uint64_t compares[2];
+    for (int strategy = 0; strategy < 2; ++strategy) {
+      SortEngineConfig config;
+      config.run_size_rows = (n + k - 1) / k;
+      config.use_kway_merge = strategy == 1;
+      config.count_comparisons = true;  // forces the comparison-sort path
+      SortMetrics metrics;
+      times[strategy] = bench::MedianSeconds(
+          [&] { RelationalSort::SortTable(input, spec, config, &metrics); });
+      compares[strategy] = metrics.merge_compares;
+    }
+    std::printf("%6llu %13.3fs %13.3fs %18s %18s\n", (unsigned long long)k,
+                times[0], times[1], FormatCount(compares[0]).c_str(),
+                FormatCount(compares[1]).c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n(times include run generation, identical for both; the "
+              "difference is the merge phase)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Ablation (Future Work §IX ¶1): "pdqsort could be used within the
+// recursive calls to MSD radix sort, which may improve sorting performance
+// even further." Compares plain MSD (insertion sort for buckets <= 24)
+// against MSD that hands buckets <= threshold to pdqsort-with-memcmp.
+#include <cstdio>
+#include <vector>
+
+#include "approaches/approaches.h"
+#include "bench_util.h"
+#include "sortalgo/radix_sort.h"
+
+using namespace rowsort;
+
+namespace {
+
+double TimeMsd(const NormalizedRows& prototype, bool with_pdq,
+               uint64_t threshold) {
+  return bench::MedianSeconds([&] {
+    NormalizedRows rows = prototype;
+    std::vector<uint8_t> aux(rows.buffer.size());
+    RadixSortConfig config{rows.row_width, 0, rows.key_width};
+    if (with_pdq) {
+      RadixSortMsdWithPdq(rows.buffer.data(), aux.data(), rows.count, config,
+                          threshold);
+    } else {
+      RadixSortMsd(rows.buffer.data(), aux.data(), rows.count, config);
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: pdqsort inside MSD radix recursion (Future Work §IX)",
+      "MSD+insertion(24) vs MSD+pdqsort at several bucket thresholds",
+      "larger pdqsort thresholds cut counting passes on small buckets; "
+      "gains are workload-dependent");
+
+  const uint64_t log2 = bench::MaxRowsLog2(20);
+  std::printf("%-18s %5s %12s %12s %12s %12s\n", "distribution", "cols",
+              "insertion24", "pdq@64", "pdq@512", "pdq@4096");
+  struct Dist {
+    MicroDistribution d;
+    double p;
+  };
+  for (Dist dist : {Dist{MicroDistribution::kRandom, 0.0},
+                    Dist{MicroDistribution::kCorrelated, 0.5},
+                    Dist{MicroDistribution::kCorrelated, 1.0}}) {
+    for (uint64_t cols : {2ull, 4ull}) {
+      MicroWorkload w;
+      w.num_rows = uint64_t(1) << log2;
+      w.num_key_columns = cols;
+      w.distribution = dist.d;
+      w.correlation = dist.p;
+      auto columns = GenerateMicroColumns(w);
+      NormalizedRows prototype = BuildNormalizedRows(columns);
+      std::printf("%-18s %5llu", w.Label().c_str(), (unsigned long long)cols);
+      std::printf(" %11.4fs", TimeMsd(prototype, false, 0));
+      for (uint64_t threshold : {64ull, 512ull, 4096ull}) {
+        std::printf(" %11.4fs", TimeMsd(prototype, true, threshold));
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Fig. 12: execution times (lower is better) of sorting random integers and
+// floats across the five systems. The paper sorts 10-100 million rows in
+// increments of 10 million on 32 cores; defaults here are scaled to a small
+// machine (override with ROWSORT_FIG12_MAX_ROWS, ROWSORT_THREADS).
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "systems/system.h"
+#include "workload/tables.h"
+
+using namespace rowsort;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 12", "end-to-end: random integers & floats, five systems",
+      "MonetDB-like slowest by far (single-threaded, columnar); "
+      "ClickHouse-like competitive at small sizes, degrades faster; "
+      "DuckDB/HyPer/Umbra-like scale best; DuckDB-like sorts floats as fast "
+      "as ints (normalized keys + radix)");
+
+  const uint64_t max_rows =
+      bench::EnvRows("ROWSORT_FIG12_MAX_ROWS", 5'000'000);
+  const uint64_t step = std::max<uint64_t>(max_rows / 5, 1);
+  const uint64_t threads = bench::EnvRows(
+      "ROWSORT_THREADS", std::max(1u, std::thread::hardware_concurrency()));
+  auto systems = MakeAllSystems(threads);
+
+  std::printf("threads = %llu, sizes up to %s rows (paper: 10M..100M, 32 "
+              "vCPU)\n",
+              (unsigned long long)threads, FormatCount(max_rows).c_str());
+
+  for (bool floats : {false, true}) {
+    std::printf("\n--- %s ---\n", floats ? "32-bit floats, uniform [-1e9,1e9]"
+                                         : "32-bit integers 0..n-1, shuffled");
+    std::printf("%12s", "rows");
+    for (auto& s : systems) std::printf(" %16s", s->name().c_str());
+    std::printf("\n");
+    for (uint64_t n = step; n <= max_rows; n += step) {
+      Table input = floats ? MakeUniformFloatTable(n, 1912)
+                           : MakeShuffledIntegerTable(n, 1912);
+      SortSpec spec({SortColumn(0, input.types()[0])});
+      std::printf("%12s", FormatCount(n).c_str());
+      for (auto& s : systems) {
+        double seconds = bench::MedianSeconds([&] { s->Sort(input, spec); });
+        std::printf(" %15.3fs", seconds);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Fig. 13: execution times (lower is better) of sorting 1 to 4 key columns
+// (cs_warehouse_sk, cs_ship_mode_sk, cs_promo_sk, cs_quantity) of the
+// TPC-DS catalog_sales table, selecting cs_item_sk, at scale factors 10 and
+// 100 (row counts scaled down by ROWSORT_FIG13_DIVISOR, default 20).
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "systems/system.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 13", "end-to-end: TPC-DS catalog_sales, 1-4 key columns",
+      "MonetDB-like ~3x slower at 4 keys vs 1; ClickHouse-like drops ~4x "
+      "from 1 to 2 keys (loses its radix fast path); row-based systems "
+      "degrade least, with Umbra-like degrading more than DuckDB/HyPer-like");
+
+  const uint64_t divisor = bench::EnvRows("ROWSORT_FIG13_DIVISOR", 20);
+  const uint64_t threads = bench::EnvRows(
+      "ROWSORT_THREADS", std::max(1u, std::thread::hardware_concurrency()));
+  auto systems = MakeAllSystems(threads);
+
+  for (int sf : {10, 100}) {
+    TpcdsScale scale;
+    scale.scale_factor = sf;
+    scale.scale_divisor = divisor;
+    Table table = MakeCatalogSales(scale);
+    std::printf("\n--- scale factor %d (%s rows, divisor %llu) ---\n", sf,
+                FormatCount(table.row_count()).c_str(),
+                (unsigned long long)divisor);
+    std::printf("%10s", "key cols");
+    for (auto& s : systems) std::printf(" %16s", s->name().c_str());
+    std::printf("\n");
+    for (uint64_t keys = 1; keys <= 4; ++keys) {
+      std::vector<SortColumn> sort_columns;
+      for (uint64_t k = 0; k < keys; ++k) {
+        sort_columns.emplace_back(k, TypeId::kInt32);
+      }
+      SortSpec spec(sort_columns);
+      std::printf("%10llu", (unsigned long long)keys);
+      for (auto& s : systems) {
+        double seconds = bench::MedianSeconds([&] { s->Sort(table, spec); });
+        std::printf(" %15.3fs", seconds);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

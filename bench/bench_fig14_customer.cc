@@ -1,0 +1,60 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Fig. 14: execution times (lower is better) of sorting the TPC-DS customer
+// table by three INTEGER columns (c_birth_year, c_birth_month, c_birth_day)
+// vs two VARCHAR columns (c_last_name, c_first_name), selecting
+// c_customer_sk, at scale factors 100 and 300 (row counts scaled down by
+// ROWSORT_FIG14_DIVISOR, default 4).
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "systems/system.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 14", "end-to-end: TPC-DS customer, integer vs string keys",
+      "strings slower than integers for every system; ~3x for the columnar "
+      "systems (ClickHouse/MonetDB-like), much smaller for the row-based "
+      "ones");
+
+  const uint64_t divisor = bench::EnvRows("ROWSORT_FIG14_DIVISOR", 4);
+  const uint64_t threads = bench::EnvRows(
+      "ROWSORT_THREADS", std::max(1u, std::thread::hardware_concurrency()));
+  auto systems = MakeAllSystems(threads);
+
+  for (int sf : {100, 300}) {
+    TpcdsScale scale;
+    scale.scale_factor = sf;
+    scale.scale_divisor = divisor;
+    Table table = MakeCustomer(scale);
+    std::printf("\n--- scale factor %d (%s rows, divisor %llu) ---\n", sf,
+                FormatCount(table.row_count()).c_str(),
+                (unsigned long long)divisor);
+    std::printf("%10s", "keys");
+    for (auto& s : systems) std::printf(" %16s", s->name().c_str());
+    std::printf("\n");
+
+    SortSpec integer_spec({SortColumn(1, TypeId::kInt32),
+                           SortColumn(2, TypeId::kInt32),
+                           SortColumn(3, TypeId::kInt32)});
+    SortSpec string_spec({SortColumn(4, TypeId::kVarchar),
+                          SortColumn(5, TypeId::kVarchar)});
+    for (const auto& [label, spec] :
+         {std::pair<const char*, const SortSpec*>{"integer", &integer_spec},
+          std::pair<const char*, const SortSpec*>{"string", &string_spec}}) {
+      std::printf("%10s", label);
+      for (auto& s : systems) {
+        double seconds =
+            bench::MedianSeconds([&] { s->Sort(table, *spec); });
+        std::printf(" %15.3fs", seconds);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

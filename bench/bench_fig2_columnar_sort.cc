@@ -1,0 +1,21 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Fig. 2: relative runtime (higher is better) of the subsort approach
+// compared to the tuple-at-a-time approach on a columnar data format, with
+// introsort (the paper's std::sort).
+#include "approach_timers.h"
+
+using namespace rowsort;
+using namespace rowsort::bench;
+
+int main() {
+  PrintHeader("Figure 2",
+              "columnar: subsort vs tuple-at-a-time (introsort)",
+              "~1.0 for Random and 1 key column; subsort increasingly "
+              "faster with more rows/columns on Correlated distributions");
+  SweepAxes axes;
+  PrintRelativeTable(axes, "subsort", "tuple-at-a-time",
+                     TimeColumnarSubsort(BaseSortAlgo::kIntroSort),
+                     TimeColumnarTuple(BaseSortAlgo::kIntroSort));
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// google-benchmark microbenchmarks of the from-scratch sorting primitives:
+// a sanity layer under the figure-level harnesses (are the base algorithms
+// in a healthy performance relationship to each other?).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "row/row_collection.h"
+#include "sortalgo/intro_sort.h"
+#include "sortalgo/merge_sort.h"
+#include "sortalgo/pdq_sort.h"
+#include "sortalgo/radix_sort.h"
+#include "sortalgo/row_sort.h"
+#include "sortkey/key_encoder.h"
+#include "workload/microbench.h"
+
+namespace rowsort {
+namespace {
+
+std::vector<uint32_t> RandomData(uint64_t n, uint64_t seed = 9) {
+  Random rng(seed);
+  std::vector<uint32_t> data(n);
+  for (auto& v : data) v = rng.Next32();
+  return data;
+}
+
+void BM_IntroSortU32(benchmark::State& state) {
+  auto source = RandomData(state.range(0));
+  for (auto _ : state) {
+    auto data = source;
+    IntroSort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntroSortU32)->Range(1 << 12, 1 << 20);
+
+void BM_PdqSortU32(benchmark::State& state) {
+  auto source = RandomData(state.range(0));
+  for (auto _ : state) {
+    auto data = source;
+    PdqSortBranchless(data.begin(), data.end(),
+                      [](uint32_t a, uint32_t b) { return a < b; });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PdqSortU32)->Range(1 << 12, 1 << 20);
+
+void BM_PdqSortU32AllEqual(benchmark::State& state) {
+  std::vector<uint32_t> source(state.range(0), 42);
+  for (auto _ : state) {
+    auto data = source;
+    PdqSortBranchless(data.begin(), data.end(),
+                      [](uint32_t a, uint32_t b) { return a < b; });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PdqSortU32AllEqual)->Range(1 << 12, 1 << 20);
+
+void BM_StableMergeSortU32(benchmark::State& state) {
+  auto source = RandomData(state.range(0));
+  for (auto _ : state) {
+    auto data = source;
+    StableMergeSort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StableMergeSortU32)->Range(1 << 12, 1 << 20);
+
+void BM_RadixSortRows16(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const uint64_t width = 16;
+  Random rng(3);
+  std::vector<uint8_t> source(n * width);
+  for (auto& b : source) b = static_cast<uint8_t>(rng.Next32());
+  std::vector<uint8_t> aux(source.size());
+  RadixSortConfig config{width, 0, 8};
+  for (auto _ : state) {
+    auto rows = source;
+    RadixSort(rows.data(), aux.data(), n, config);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RadixSortRows16)->Range(1 << 12, 1 << 20);
+
+void BM_PdqSortRows16Memcmp(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const uint64_t width = 16;
+  Random rng(3);
+  std::vector<uint8_t> source(n * width);
+  for (auto& b : source) b = static_cast<uint8_t>(rng.Next32());
+  for (auto _ : state) {
+    auto rows = source;
+    PdqSortRows(rows.data(), n, width, 0, 8);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PdqSortRows16Memcmp)->Range(1 << 12, 1 << 20);
+
+// Key normalization throughput (paper §VI-A: the conversion "can be done
+// efficiently ... one vector at a time, amortizing interpretation
+// overhead").
+void BM_NormalizeKeys4xInt32(benchmark::State& state) {
+  DataChunk chunk;
+  std::vector<LogicalType> types(4, LogicalType(TypeId::kInt32));
+  chunk.Initialize(types);
+  Random rng(5);
+  for (uint64_t c = 0; c < 4; ++c) {
+    auto* data = chunk.column(c).TypedData<int32_t>();
+    for (uint64_t r = 0; r < kVectorSize; ++r) {
+      data[r] = static_cast<int32_t>(rng.Next32());
+    }
+  }
+  chunk.SetSize(kVectorSize);
+  SortSpec spec({SortColumn(0, TypeId::kInt32), SortColumn(1, TypeId::kInt32),
+                 SortColumn(2, TypeId::kInt32),
+                 SortColumn(3, TypeId::kInt32)});
+  NormalizedKeyEncoder encoder(spec);
+  const uint64_t stride = 24;
+  std::vector<uint8_t> keys(kVectorSize * stride);
+  for (auto _ : state) {
+    encoder.EncodeChunk(chunk, kVectorSize, keys.data(), stride);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kVectorSize);
+}
+BENCHMARK(BM_NormalizeKeys4xInt32);
+
+// DSM -> NSM scatter throughput (Fig. 1 left half).
+void BM_ScatterChunkToRows(benchmark::State& state) {
+  std::vector<LogicalType> types = {TypeId::kInt32, TypeId::kInt64,
+                                    TypeId::kDouble};
+  DataChunk chunk;
+  chunk.Initialize(types);
+  Random rng(6);
+  for (uint64_t r = 0; r < kVectorSize; ++r) {
+    chunk.column(0).TypedData<int32_t>()[r] = static_cast<int32_t>(rng.Next32());
+    chunk.column(1).TypedData<int64_t>()[r] = static_cast<int64_t>(rng.Next64());
+    chunk.column(2).TypedData<double>()[r] = rng.NextDouble();
+  }
+  chunk.SetSize(kVectorSize);
+  RowLayout layout(types);
+  for (auto _ : state) {
+    RowCollection rows(layout);
+    rows.AppendChunk(chunk);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kVectorSize);
+}
+BENCHMARK(BM_ScatterChunkToRows);
+
+// NSM -> DSM gather throughput (Fig. 1 right half).
+void BM_GatherRowsToChunk(benchmark::State& state) {
+  std::vector<LogicalType> types = {TypeId::kInt32, TypeId::kInt64,
+                                    TypeId::kDouble};
+  DataChunk chunk;
+  chunk.Initialize(types);
+  Random rng(7);
+  for (uint64_t r = 0; r < kVectorSize; ++r) {
+    chunk.column(0).TypedData<int32_t>()[r] = static_cast<int32_t>(rng.Next32());
+    chunk.column(1).TypedData<int64_t>()[r] = static_cast<int64_t>(rng.Next64());
+    chunk.column(2).TypedData<double>()[r] = rng.NextDouble();
+  }
+  chunk.SetSize(kVectorSize);
+  RowLayout layout(types);
+  RowCollection rows(layout);
+  rows.AppendChunk(chunk);
+  DataChunk out;
+  out.Initialize(types);
+  for (auto _ : state) {
+    rows.GatherChunk(0, kVectorSize, &out);
+    benchmark::DoNotOptimize(out.column(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() * kVectorSize);
+}
+BENCHMARK(BM_GatherRowsToChunk);
+
+}  // namespace
+}  // namespace rowsort
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Table I: specification of the hardware used in the experiments. The paper
+// lists the AWS m5d.metal / m5d.8xlarge instances; this binary reports the
+// machine the reproduction actually ran on (recorded in EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/hardware.h"
+
+int main() {
+  rowsort::bench::PrintHeader(
+      "Table I", "hardware specification",
+      "documents the reproduction machine (paper: Xeon Platinum 8259CL, "
+      "48C/96T, 384 GB)");
+  rowsort::HardwareInfo info = rowsort::DetectHardware();
+  std::printf("%s\n", info.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Table IV: cardinality of the TPC-DS tables used in the end-to-end
+// benchmarks, per scale factor, plus the scaled-down row counts the
+// reproduction actually sorts (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+int main() {
+  bench::PrintHeader("Table IV", "TPC-DS table cardinality",
+                     "matches the TPC-DS specification row counts");
+  std::printf("%-16s %6s %18s %14s\n", "table", "SF", "rows (spec)",
+              "rows (scaled)");
+  uint64_t catalog_div = bench::EnvRows("ROWSORT_FIG13_DIVISOR", 20);
+  uint64_t customer_div = bench::EnvRows("ROWSORT_FIG14_DIVISOR", 4);
+  for (int sf : {10, 100}) {
+    TpcdsScale scale;
+    scale.scale_factor = sf;
+    TpcdsScale scaled = scale;
+    scaled.scale_divisor = catalog_div;
+    std::printf("%-16s %6d %18s %14s\n", "catalog_sales", sf,
+                FormatCount(scale.CatalogSalesRows()).c_str(),
+                FormatCount(scaled.CatalogSalesRows()).c_str());
+  }
+  for (int sf : {100, 300}) {
+    TpcdsScale scale;
+    scale.scale_factor = sf;
+    TpcdsScale scaled = scale;
+    scaled.scale_divisor = customer_div;
+    std::printf("%-16s %6d %18s %14s\n", "customer", sf,
+                FormatCount(scale.CustomerRows()).c_str(),
+                FormatCount(scaled.CustomerRows()).c_str());
+  }
+  return 0;
+}

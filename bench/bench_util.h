@@ -1,0 +1,67 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace rowsort {
+namespace bench {
+
+/// Repetitions per measurement; the paper repeats each experiment five times
+/// and reports the median (§III-B). Override with ROWSORT_BENCH_REPS.
+inline int Repetitions() {
+  const char* env = std::getenv("ROWSORT_BENCH_REPS");
+  if (env != nullptr) return std::max(1, std::atoi(env));
+  return 3;
+}
+
+/// Global size scale for the sweeps. The paper ran on a 48-core 384 GB
+/// machine; defaults here target a small machine. Override the log2 of the
+/// largest micro-benchmark row count with ROWSORT_BENCH_MAX_LOG2 (paper: 24).
+inline uint64_t MaxRowsLog2(uint64_t default_log2 = 20) {
+  const char* env = std::getenv("ROWSORT_BENCH_MAX_LOG2");
+  if (env != nullptr) return std::max(12, std::atoi(env));
+  return default_log2;
+}
+
+/// Row count override for the end-to-end benchmarks (Figs. 12-14).
+inline uint64_t EnvRows(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) return std::strtoull(env, nullptr, 10);
+  return fallback;
+}
+
+/// Times \p fn Repetitions() times and returns the median seconds.
+template <typename Fn>
+double MedianSeconds(Fn&& fn) {
+  int reps = Repetitions();
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    times.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Prints the standard bench header naming the paper artifact.
+inline void PrintHeader(const char* artifact, const char* description,
+                        const char* expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("Paper: \"These Rows Are Made for Sorting and That's Just What\n");
+  std::printf("       We'll Do\" (Kuiper & Muehleisen, ICDE 2023)\n");
+  std::printf("Expected shape: %s\n", expectation);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace rowsort

@@ -1,0 +1,78 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/microbench.h"
+
+namespace rowsort {
+namespace bench {
+
+/// The micro-benchmark sweep axes of Figs. 2-9: distributions Random and
+/// Correlated{0.0, 0.5, 1.0}, 1-4 key columns, row counts 2^12 .. 2^max in
+/// factor-16 steps (the paper plots 2^12 .. 2^24).
+struct SweepAxes {
+  std::vector<std::pair<MicroDistribution, double>> distributions = {
+      {MicroDistribution::kRandom, 0.0},
+      {MicroDistribution::kCorrelated, 0.0},
+      {MicroDistribution::kCorrelated, 0.5},
+      {MicroDistribution::kCorrelated, 1.0},
+  };
+  std::vector<uint64_t> key_columns = {1, 2, 3, 4};
+  std::vector<uint64_t> rows_log2;
+
+  SweepAxes() {
+    uint64_t max = MaxRowsLog2(20);
+    for (uint64_t l = 12; l <= max; l += 4) {
+      rows_log2.push_back(l);
+    }
+    if (rows_log2.back() != max) rows_log2.push_back(max);
+  }
+};
+
+/// Returns the median time (seconds) of sorting freshly generated data; the
+/// callback receives materialized columns and must perform any conversion
+/// AND the sort — pass a conversion-free callback to time sorting alone.
+using SortTimeFn = std::function<double(const MicroColumns&)>;
+
+/// Prints one relative-runtime table: cell = baseline_time / variant_time,
+/// so > 1.00 means the variant is faster (the paper's figures use the same
+/// convention: "A relative runtime of 2.00 means that the subsort approach
+/// is twice as fast").
+inline void PrintRelativeTable(const SweepAxes& axes, const char* variant_name,
+                               const char* baseline_name,
+                               const SortTimeFn& variant,
+                               const SortTimeFn& baseline) {
+  std::printf("\nrelative runtime of %s vs %s (higher = %s faster)\n",
+              variant_name, baseline_name, variant_name);
+  std::printf("%-18s %5s", "distribution", "cols");
+  for (uint64_t l : axes.rows_log2) {
+    std::printf("    2^%-4llu", (unsigned long long)l);
+  }
+  std::printf("\n");
+  for (const auto& [dist, corr] : axes.distributions) {
+    for (uint64_t cols : axes.key_columns) {
+      MicroWorkload w;
+      w.distribution = dist;
+      w.correlation = corr;
+      w.num_key_columns = cols;
+      std::printf("%-18s %5llu", w.Label().c_str(),
+                  (unsigned long long)cols);
+      for (uint64_t l : axes.rows_log2) {
+        w.num_rows = uint64_t(1) << l;
+        auto columns = GenerateMicroColumns(w);
+        double tb = baseline(columns);
+        double tv = variant(columns);
+        std::printf("  %7.2f", tb / tv);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace rowsort

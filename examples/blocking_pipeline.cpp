@@ -1,0 +1,61 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Chained blocking operators on the unified row format — the paper's Future
+// Work §IX ¶2: "the aggregate, join, and window operators are also blocking
+// operators ... In DuckDB, these operators use a unified row format."
+//
+// Pipeline:
+//   catalog_sales
+//     -> HashAggregate: GROUP BY cs_warehouse_sk: COUNT(*), SUM(quantity)
+//     -> RelationalSort: ORDER BY total_quantity DESC
+//     -> TopN is implicit (we print the leading rows)
+//     -> ComputeWindow: RANK() OVER (ORDER BY total_quantity DESC)
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "engine/aggregate.h"
+#include "engine/sort_engine.h"
+#include "engine/window.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+int main() {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 10;
+  Table sales = MakeCatalogSales(scale);
+  std::printf("catalog_sales: %s rows\n\n",
+              FormatCount(sales.row_count()).c_str());
+
+  // GROUP BY cs_warehouse_sk: COUNT(cs_item_sk), SUM(cs_quantity).
+  HashAggregate agg({0},
+                    {{AggregateFunction::kCount, 4},
+                     {AggregateFunction::kSum, 3}},
+                    sales.types());
+  for (uint64_t c = 0; c < sales.ChunkCount(); ++c) {
+    agg.Sink(sales.chunk(c));
+  }
+  Table grouped = agg.Finalize();
+  std::printf("after GROUP BY cs_warehouse_sk: %s groups\n",
+              FormatCount(grouped.row_count()).c_str());
+
+  // RANK() OVER (ORDER BY sum_quantity DESC): the window operator re-sorts
+  // the aggregate's rows — rows flow between the blocking operators.
+  WindowSpec window;
+  window.order_by = {SortColumn(2, TypeId::kInt64, OrderType::kDescending,
+                                NullOrder::kNullsLast)};
+  Table ranked = ComputeWindow(grouped, window, {WindowFunction::kRank});
+
+  std::printf("\n%-14s %12s %14s %6s\n", "warehouse_sk", "order_count",
+              "sum_quantity", "rank");
+  const DataChunk& chunk = ranked.chunk(0);
+  for (uint64_t r = 0; r < std::min<uint64_t>(10, chunk.size()); ++r) {
+    std::printf("%-14s %12s %14s %6s\n",
+                chunk.GetValue(0, r).ToString().c_str(),
+                chunk.GetValue(1, r).ToString().c_str(),
+                chunk.GetValue(2, r).ToString().c_str(),
+                chunk.GetValue(3, r).ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Mini version of the paper's §VII evaluation: run all five system
+// stand-ins on one workload and print their execution times — a quick way
+// to see the architectural differences (row vs columnar, compiled vs
+// interpreted, single- vs multi-threaded) without running the full benches.
+#include <cstdio>
+#include <thread>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "systems/system.h"
+#include "workload/tables.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+int main(int argc, char** argv) {
+  uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
+  uint64_t threads = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("sorting %s shuffled integers, then catalog_sales by 4 keys "
+              "(%llu threads)\n\n",
+              FormatCount(rows).c_str(), (unsigned long long)threads);
+
+  Table integers = MakeShuffledIntegerTable(rows, 5);
+  SortSpec int_spec({SortColumn(0, TypeId::kInt32)});
+
+  TpcdsScale scale;
+  scale.scale_factor = 10;
+  scale.scale_divisor =
+      std::max<uint64_t>(TpcdsScale{10}.CatalogSalesRows() / rows, 1);
+  Table catalog = MakeCatalogSales(scale);
+  SortSpec multi_spec({SortColumn(0, TypeId::kInt32),
+                       SortColumn(1, TypeId::kInt32),
+                       SortColumn(2, TypeId::kInt32),
+                       SortColumn(3, TypeId::kInt32)});
+
+  std::printf("%-18s %18s %22s\n", "system", "integers",
+              "catalog_sales 4 keys");
+  for (auto& system : MakeAllSystems(threads)) {
+    Timer t1;
+    system->Sort(integers, int_spec);
+    double ints = t1.ElapsedSeconds();
+    Timer t2;
+    system->Sort(catalog, multi_spec);
+    double multi = t2.ElapsedSeconds();
+    std::printf("%-18s %17.3fs %21.3fs\n", system->name().c_str(), ints,
+                multi);
+  }
+  std::printf("\n(expected: MonetDB-like slowest; ClickHouse-like loses its "
+              "radix path on multi-key; row-based systems degrade least)\n");
+  return 0;
+}

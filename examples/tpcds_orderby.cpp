@@ -1,0 +1,61 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// The paper's §II example, on the synthetic TPC-DS customer table:
+//
+//   SELECT * FROM customer
+//   ORDER BY c_last_name DESC NULLS LAST,
+//            c_birth_year ASC NULLS FIRST;
+//
+// Demonstrates key normalization over VARCHAR prefixes (Fig. 7), DESC bit
+// flipping, NULL-byte placement, and string tie resolution beyond the
+// 12-byte prefix — all through the public API.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "engine/sort_engine.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+int main() {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 10;  // ~10,000 customers for a readable demo
+  Table customer = MakeCustomer(scale);
+  std::printf("customer table: %s rows\n",
+              FormatCount(customer.row_count()).c_str());
+
+  // Columns: 0 c_customer_sk, 1 c_birth_year, 2 c_birth_month,
+  //          3 c_birth_day, 4 c_last_name, 5 c_first_name.
+  SortSpec spec({
+      SortColumn(4, TypeId::kVarchar, OrderType::kDescending,
+                 NullOrder::kNullsLast),
+      SortColumn(1, TypeId::kInt32, OrderType::kAscending,
+                 NullOrder::kNullsFirst),
+  });
+  std::printf("ORDER BY c_last_name DESC NULLS LAST, "
+              "c_birth_year ASC NULLS FIRST\n\n");
+
+  SortEngineConfig config;
+  config.threads = 2;  // morsel-driven parallel sink + Merge Path merge
+  config.run_size_rows = 256;  // force several runs and a real merge
+  SortMetrics metrics;
+  Table sorted = RelationalSort::SortTable(customer, spec, config, &metrics);
+
+  std::printf("%-12s %-10s %-12s\n", "c_last_name", "birth_year",
+              "c_first_name");
+  const DataChunk& first = sorted.chunk(0);
+  for (uint64_t r = 0; r < std::min<uint64_t>(15, first.size()); ++r) {
+    std::printf("%-12s %-10s %-12s\n",
+                first.GetValue(4, r).ToString().c_str(),
+                first.GetValue(1, r).ToString().c_str(),
+                first.GetValue(5, r).ToString().c_str());
+  }
+  std::printf("...\n\n");
+  std::printf("runs generated: %llu, sink %.1fms, run sort %.1fms, merge "
+              "%.1fms\n",
+              (unsigned long long)metrics.runs_generated,
+              metrics.sink_seconds * 1e3, metrics.run_sort_seconds * 1e3,
+              metrics.merge_seconds * 1e3);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sortalgo/radix_sort.h"
+#include "workload/microbench.h"
+
+namespace rowsort {
+
+/// \file approaches.h
+/// The relational-sorting approaches compared by the paper's
+/// micro-benchmarks (§IV DSM vs. NSM, §V engines, §VI techniques), in one
+/// place so benches and tests can pit them against each other:
+///
+///  columnar (DSM), sorts row indices:
+///   * tuple-at-a-time — one comparator walking the key columns (Listing §IV-A)
+///   * subsort         — sort by column 1, recurse into ties on column 2, ...
+///
+///  row (NSM), physically moves rows:
+///   * tuple-at-a-time, static comparator  — inlined, "compiled engine"
+///   * tuple-at-a-time, dynamic comparator — per-value function calls,
+///     "interpreted engine" overhead (Fig. 6)
+///   * subsort
+///
+///  normalized keys (NSM rows whose key bytes memcmp-order correctly, §VI):
+///   * introsort/mergesort with dynamic memcmp (Fig. 8)
+///   * pdqsort with dynamic memcmp (Fig. 9 baseline)
+///   * radix sort, LSD/MSD dispatch (Fig. 9)
+///
+/// Every sorter works on data "already materialized" in its format (§IV),
+/// so builders are separate from sorters and benches can time each phase.
+
+/// Underlying general-purpose algorithm: the paper compares each approach
+/// under std::sort (introsort) and std::stable_sort (merge sort), each
+/// "only against itself" (§III). Ours are the from-scratch equivalents.
+enum class BaseSortAlgo : uint8_t { kIntroSort, kStableMergeSort };
+
+// --------------------------- columnar (DSM) ---------------------------
+
+/// Identity permutation [0, n), the starting point of columnar sorts.
+std::vector<uint32_t> MakeRowIndices(uint64_t count);
+
+/// Sorts \p idxs so that columns[c][idxs[i]] is lexicographically ordered,
+/// with the tuple-at-a-time comparator of §IV-A.
+void SortIndicesTupleAtATime(const MicroColumns& columns,
+                             std::vector<uint32_t>& idxs, BaseSortAlgo algo);
+
+/// Same result via the subsort approach: one column at a time, recursing
+/// into tied ranges.
+void SortIndicesSubsort(const MicroColumns& columns,
+                        std::vector<uint32_t>& idxs, BaseSortAlgo algo);
+
+// ----------------------------- row (NSM) ------------------------------
+
+/// Row-format micro-benchmark data: fixed-width rows laid out like the
+/// paper's OrderKey struct — K uint32 keys then an 8-byte row id, 8-aligned.
+struct MicroRows {
+  std::vector<uint8_t> buffer;
+  uint64_t count = 0;
+  uint64_t num_keys = 0;
+  uint64_t row_width = 0;      ///< 16 for K<=2, 24 for K<=4
+  uint64_t row_id_offset = 0;  ///< byte offset of the row id
+
+  uint32_t Key(uint64_t row, uint64_t k) const;
+  uint64_t RowId(uint64_t row) const;
+};
+
+/// DSM -> NSM conversion (Fig. 1 left half) for the micro-benchmark rows.
+MicroRows BuildMicroRows(const MicroColumns& columns);
+
+/// Tuple-at-a-time with a statically compiled (inlined) comparator — what a
+/// compiling query engine generates (§V-A).
+void SortMicroRowsTupleStatic(MicroRows& rows, BaseSortAlgo algo);
+
+/// Tuple-at-a-time where every value comparison goes through a function
+/// pointer — the interpretation/function-call overhead of a vectorized
+/// interpreted engine (§V-B, Fig. 6).
+void SortMicroRowsTupleDynamic(MicroRows& rows, BaseSortAlgo algo);
+
+/// Subsort on the row format (§IV-B).
+void SortMicroRowsSubsort(MicroRows& rows, BaseSortAlgo algo);
+
+// -------------------------- normalized keys ---------------------------
+
+/// Rows of [normalized key bytes | padding | 8-byte row id]; memcmp of the
+/// first key_width bytes gives the sort order (§VI-A).
+struct NormalizedRows {
+  std::vector<uint8_t> buffer;
+  uint64_t count = 0;
+  uint64_t key_width = 0;  ///< 4 bytes per key column (big-endian uint32)
+  uint64_t row_width = 0;
+  uint64_t row_id_offset = 0;
+
+  uint64_t RowId(uint64_t row) const;
+};
+
+/// Encodes the micro columns into normalized-key rows.
+NormalizedRows BuildNormalizedRows(const MicroColumns& columns);
+
+/// Introsort/mergesort with a dynamic memcmp comparator (Fig. 8's
+/// "normalized key approach with a dynamic comparator").
+void SortNormalizedRowsMemcmp(NormalizedRows& rows, BaseSortAlgo algo);
+
+/// pdqsort with dynamic memcmp (Fig. 9's comparison-sort contender).
+void SortNormalizedRowsPdq(NormalizedRows& rows);
+
+/// Byte-wise radix sort, LSD/MSD dispatched on key width (Fig. 9).
+void SortNormalizedRowsRadix(NormalizedRows& rows,
+                             RadixSortStats* stats = nullptr);
+
+// ----------------------------- verification ---------------------------
+
+/// True when \p order (row ids) lists the rows of \p columns in
+/// lexicographically non-decreasing order and is a permutation of [0, n).
+bool IsSortedOrder(const MicroColumns& columns,
+                   const std::vector<uint64_t>& order);
+
+/// Extracts row ids from sorted row formats / index vectors for verification.
+std::vector<uint64_t> ExtractOrder(const MicroRows& rows);
+std::vector<uint64_t> ExtractOrder(const NormalizedRows& rows);
+std::vector<uint64_t> ExtractOrder(const std::vector<uint32_t>& idxs);
+
+}  // namespace rowsort

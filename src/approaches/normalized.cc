@@ -1,0 +1,115 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Normalized-key sorting approaches (paper §VI). The micro-benchmark keys
+// are uint32 columns with no NULLs, so the normalized key is simply the
+// big-endian concatenation of the key values; memcmp over it yields the
+// lexicographic tuple order, and so does byte-wise radix sort.
+#include "approaches/approaches.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "sortalgo/intro_sort.h"
+#include "sortalgo/merge_sort.h"
+#include "sortalgo/row_sort.h"
+
+namespace rowsort {
+
+namespace {
+
+template <uint64_t W>
+struct KeyRow {
+  uint8_t bytes[W];
+};
+
+/// memcmp with a runtime size parameter: "pdqsort uses memcmp dynamically,
+/// i.e., with a size parameter that is known at runtime, to get a fair
+/// estimation of how well these algorithms would perform in an interpreted
+/// execution engine" (§VI-B).
+template <uint64_t W>
+struct DynamicMemcmpLess {
+  uint64_t key_width;
+  bool operator()(const KeyRow<W>& a, const KeyRow<W>& b) const {
+    return std::memcmp(a.bytes, b.bytes, key_width) < 0;
+  }
+};
+
+template <uint64_t W>
+void SortMemcmpFixed(NormalizedRows& rows, BaseSortAlgo algo) {
+  auto* data = reinterpret_cast<KeyRow<W>*>(rows.buffer.data());
+  DynamicMemcmpLess<W> less{rows.key_width};
+  if (algo == BaseSortAlgo::kIntroSort) {
+    IntroSort(data, data + rows.count, less);
+  } else {
+    StableMergeSort(data, data + rows.count, less);
+  }
+}
+
+}  // namespace
+
+uint64_t NormalizedRows::RowId(uint64_t row) const {
+  return bit_util::LoadUnaligned<uint64_t>(buffer.data() + row * row_width +
+                                           row_id_offset);
+}
+
+NormalizedRows BuildNormalizedRows(const MicroColumns& columns) {
+  ROWSORT_ASSERT(!columns.empty());
+  NormalizedRows rows;
+  rows.count = columns[0].size();
+  rows.key_width = columns.size() * sizeof(uint32_t);
+  rows.row_id_offset = bit_util::AlignValue(rows.key_width);
+  rows.row_width = rows.row_id_offset + sizeof(uint64_t);
+  rows.buffer.assign(rows.count * rows.row_width, 0);
+
+  // Key normalization, one column at a time: uint32 ascending needs only a
+  // byte swap to big-endian (Fig. 7's integer rule, no sign bit for uint32).
+  for (uint64_t c = 0; c < columns.size(); ++c) {
+    uint8_t* dest = rows.buffer.data() + c * sizeof(uint32_t);
+    const uint32_t* src = columns[c].data();
+    for (uint64_t r = 0; r < rows.count; ++r) {
+      bit_util::StoreUnaligned<uint32_t>(dest + r * rows.row_width,
+                                         bit_util::ByteSwap(src[r]));
+    }
+  }
+  uint8_t* id_dest = rows.buffer.data() + rows.row_id_offset;
+  for (uint64_t r = 0; r < rows.count; ++r) {
+    bit_util::StoreUnaligned<uint64_t>(id_dest + r * rows.row_width, r);
+  }
+  return rows;
+}
+
+void SortNormalizedRowsMemcmp(NormalizedRows& rows, BaseSortAlgo algo) {
+  switch (rows.row_width) {
+    case 16:
+      SortMemcmpFixed<16>(rows, algo);
+      break;
+    case 24:
+      SortMemcmpFixed<24>(rows, algo);
+      break;
+    default:
+      ROWSORT_ASSERT(false && "unexpected normalized row width");
+  }
+}
+
+void SortNormalizedRowsPdq(NormalizedRows& rows) {
+  PdqSortRows(rows.buffer.data(), rows.count, rows.row_width, 0,
+              rows.key_width);
+}
+
+void SortNormalizedRowsRadix(NormalizedRows& rows, RadixSortStats* stats) {
+  std::vector<uint8_t> aux(rows.buffer.size());
+  RadixSortConfig config;
+  config.row_width = rows.row_width;
+  config.key_offset = 0;
+  config.key_width = rows.key_width;
+  RadixSort(rows.buffer.data(), aux.data(), rows.count, config, stats);
+}
+
+std::vector<uint64_t> ExtractOrder(const NormalizedRows& rows) {
+  std::vector<uint64_t> order(rows.count);
+  for (uint64_t i = 0; i < rows.count; ++i) order[i] = rows.RowId(i);
+  return order;
+}
+
+}  // namespace rowsort

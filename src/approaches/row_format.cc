@@ -1,0 +1,206 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Row-format (NSM) sorting approaches (paper §IV-B, §V). Rows look like the
+// paper's OrderKey struct: K uint32 keys followed by a row id; sorting
+// physically moves whole rows, which is what gives NSM its cache locality.
+#include "approaches/approaches.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "sortalgo/intro_sort.h"
+#include "sortalgo/merge_sort.h"
+
+namespace rowsort {
+
+namespace {
+
+/// The generated data type a compiling engine would emit (§V-A): "an array
+/// of such structs is essentially relational data in row data format".
+template <int K>
+struct MicroRow {
+  uint32_t keys[K];
+  uint64_t row_id;
+};
+static_assert(sizeof(MicroRow<1>) == 16);
+static_assert(sizeof(MicroRow<2>) == 16);
+static_assert(sizeof(MicroRow<3>) == 24);
+static_assert(sizeof(MicroRow<4>) == 24);
+
+template <typename It, typename Compare>
+void RunBaseSort(BaseSortAlgo algo, It begin, It end, Compare comp) {
+  if (algo == BaseSortAlgo::kIntroSort) {
+    IntroSort(begin, end, comp);
+  } else {
+    StableMergeSort(begin, end, comp);
+  }
+}
+
+/// Statically compiled comparator: fully inlined, branches only on key
+/// equality. This is the "compiled engine" reference point of Fig. 6.
+template <int K>
+struct StaticLess {
+  bool operator()(const MicroRow<K>& a, const MicroRow<K>& b) const {
+    for (int c = 0; c < K; ++c) {
+      if (a.keys[c] != b.keys[c]) return a.keys[c] < b.keys[c];
+    }
+    return false;
+  }
+};
+
+/// One dynamic value comparison. Defined out-of-line and called through a
+/// function pointer so the compiler cannot inline it: every key comparison
+/// pays a real function call, modelling the per-value callback overhead of
+/// an interpreted engine (§V-B).
+__attribute__((noinline)) int CompareValueU32(const uint8_t* a,
+                                              const uint8_t* b) {
+  uint32_t va, vb;
+  std::memcpy(&va, a, sizeof(va));
+  std::memcpy(&vb, b, sizeof(vb));
+  return va < vb ? -1 : (va > vb ? 1 : 0);
+}
+
+using ValueComparator = int (*)(const uint8_t*, const uint8_t*);
+
+/// Comparator state an interpreted engine would build once per query: one
+/// (function pointer, offset) pair per key column.
+struct DynamicComparator {
+  ValueComparator compare_fns[4];
+  uint64_t offsets[4];
+  int num_keys;
+
+  template <int K>
+  bool Less(const MicroRow<K>& a, const MicroRow<K>& b) const {
+    const uint8_t* pa = reinterpret_cast<const uint8_t*>(&a);
+    const uint8_t* pb = reinterpret_cast<const uint8_t*>(&b);
+    for (int c = 0; c < num_keys; ++c) {
+      int cmp = compare_fns[c](pa + offsets[c], pb + offsets[c]);
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  }
+};
+
+template <int K>
+void SortStatic(MicroRows& rows, BaseSortAlgo algo) {
+  auto* data = reinterpret_cast<MicroRow<K>*>(rows.buffer.data());
+  RunBaseSort(algo, data, data + rows.count, StaticLess<K>{});
+}
+
+template <int K>
+void SortDynamic(MicroRows& rows, BaseSortAlgo algo) {
+  DynamicComparator cmp;
+  cmp.num_keys = K;
+  for (int c = 0; c < K; ++c) {
+    cmp.compare_fns[c] = &CompareValueU32;
+    cmp.offsets[c] = c * sizeof(uint32_t);
+  }
+  auto* data = reinterpret_cast<MicroRow<K>*>(rows.buffer.data());
+  RunBaseSort(algo, data, data + rows.count,
+              [&cmp](const MicroRow<K>& a, const MicroRow<K>& b) {
+                return cmp.Less<K>(a, b);
+              });
+}
+
+/// Subsort over rows: sort [begin, end) by key column `col` only (no
+/// branches in the comparator), recurse into tied runs.
+template <int K>
+void SubsortRows(MicroRow<K>* data, uint64_t begin, uint64_t end, int col,
+                 BaseSortAlgo algo) {
+  RunBaseSort(algo, data + begin, data + end,
+              [col](const MicroRow<K>& a, const MicroRow<K>& b) {
+                return a.keys[col] < b.keys[col];
+              });
+  if (col + 1 == K) return;
+  uint64_t run_start = begin;
+  for (uint64_t i = begin + 1; i <= end; ++i) {
+    if (i == end || data[i].keys[col] != data[run_start].keys[col]) {
+      if (i - run_start > 1) {
+        SubsortRows<K>(data, run_start, i, col + 1, algo);
+      }
+      run_start = i;
+    }
+  }
+}
+
+template <int K>
+void SortSubsort(MicroRows& rows, BaseSortAlgo algo) {
+  auto* data = reinterpret_cast<MicroRow<K>*>(rows.buffer.data());
+  if (rows.count == 0) return;
+  SubsortRows<K>(data, 0, rows.count, 0, algo);
+}
+
+#define ROWSORT_DISPATCH_K(fn, rows, ...)            \
+  switch (rows.num_keys) {                           \
+    case 1:                                          \
+      fn<1>(rows, ##__VA_ARGS__);                    \
+      break;                                         \
+    case 2:                                          \
+      fn<2>(rows, ##__VA_ARGS__);                    \
+      break;                                         \
+    case 3:                                          \
+      fn<3>(rows, ##__VA_ARGS__);                    \
+      break;                                         \
+    case 4:                                          \
+      fn<4>(rows, ##__VA_ARGS__);                    \
+      break;                                         \
+    default:                                         \
+      ROWSORT_ASSERT(false && "1..4 key columns");   \
+  }
+
+}  // namespace
+
+uint32_t MicroRows::Key(uint64_t row, uint64_t k) const {
+  return bit_util::LoadUnaligned<uint32_t>(buffer.data() + row * row_width +
+                                           k * sizeof(uint32_t));
+}
+
+uint64_t MicroRows::RowId(uint64_t row) const {
+  return bit_util::LoadUnaligned<uint64_t>(buffer.data() + row * row_width +
+                                           row_id_offset);
+}
+
+MicroRows BuildMicroRows(const MicroColumns& columns) {
+  ROWSORT_ASSERT(columns.size() >= 1 && columns.size() <= 4);
+  MicroRows rows;
+  rows.count = columns[0].size();
+  rows.num_keys = columns.size();
+  rows.row_id_offset = bit_util::AlignValue(rows.num_keys * sizeof(uint32_t));
+  rows.row_width = rows.row_id_offset + sizeof(uint64_t);
+  rows.buffer.assign(rows.count * rows.row_width, 0);
+
+  // DSM -> NSM scatter, one column at a time (Fig. 1).
+  for (uint64_t c = 0; c < columns.size(); ++c) {
+    uint8_t* dest = rows.buffer.data() + c * sizeof(uint32_t);
+    const uint32_t* src = columns[c].data();
+    for (uint64_t r = 0; r < rows.count; ++r) {
+      std::memcpy(dest + r * rows.row_width, &src[r], sizeof(uint32_t));
+    }
+  }
+  uint8_t* id_dest = rows.buffer.data() + rows.row_id_offset;
+  for (uint64_t r = 0; r < rows.count; ++r) {
+    bit_util::StoreUnaligned<uint64_t>(id_dest + r * rows.row_width, r);
+  }
+  return rows;
+}
+
+void SortMicroRowsTupleStatic(MicroRows& rows, BaseSortAlgo algo) {
+  ROWSORT_DISPATCH_K(SortStatic, rows, algo);
+}
+
+void SortMicroRowsTupleDynamic(MicroRows& rows, BaseSortAlgo algo) {
+  ROWSORT_DISPATCH_K(SortDynamic, rows, algo);
+}
+
+void SortMicroRowsSubsort(MicroRows& rows, BaseSortAlgo algo) {
+  ROWSORT_DISPATCH_K(SortSubsort, rows, algo);
+}
+
+std::vector<uint64_t> ExtractOrder(const MicroRows& rows) {
+  std::vector<uint64_t> order(rows.count);
+  for (uint64_t i = 0; i < rows.count; ++i) order[i] = rows.RowId(i);
+  return order;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,51 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace rowsort {
+
+/// \brief Bit/byte manipulation helpers shared by key normalization and the
+/// radix sorts.
+namespace bit_util {
+
+/// Byte-swaps a value so the most significant byte comes first in memory on a
+/// little-endian machine (paper Fig. 7: order-preserving integer encoding).
+inline uint16_t ByteSwap(uint16_t v) { return __builtin_bswap16(v); }
+inline uint32_t ByteSwap(uint32_t v) { return __builtin_bswap32(v); }
+inline uint64_t ByteSwap(uint64_t v) { return __builtin_bswap64(v); }
+
+/// Next power of two >= v (v >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t v) { return std::bit_ceil(v); }
+
+/// floor(log2(v)) for v >= 1.
+inline int Log2Floor(uint64_t v) { return 63 - std::countl_zero(v); }
+
+/// Rounds \p value up to a multiple of \p factor (a power of two).
+inline uint64_t AlignValue(uint64_t value, uint64_t factor = 8) {
+  return (value + factor - 1) & ~(factor - 1);
+}
+
+/// True when \p value is a multiple of \p factor (a power of two).
+inline bool IsAligned(uint64_t value, uint64_t factor) {
+  return (value & (factor - 1)) == 0;
+}
+
+/// Loads a potentially unaligned T from \p ptr.
+template <typename T>
+inline T LoadUnaligned(const void* ptr) {
+  T value;
+  std::memcpy(&value, ptr, sizeof(T));
+  return value;
+}
+
+/// Stores T to a potentially unaligned \p ptr.
+template <typename T>
+inline void StoreUnaligned(void* ptr, T value) {
+  std::memcpy(ptr, &value, sizeof(T));
+}
+
+}  // namespace bit_util
+}  // namespace rowsort

@@ -1,0 +1,101 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/hardware.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace rowsort {
+
+namespace {
+
+std::string ReadFirstLine(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return {};
+}
+
+// Parses sysfs cache size strings like "32K" / "1024K" / "33M".
+uint64_t ParseCacheSize(const std::string& text) {
+  if (text.empty()) return 0;
+  char unit = text.back();
+  uint64_t value = 0;
+  try {
+    value = std::stoull(text);
+  } catch (...) {
+    return 0;
+  }
+  if (unit == 'K' || unit == 'k') return value * 1024;
+  if (unit == 'M' || unit == 'm') return value * 1024 * 1024;
+  return value;
+}
+
+uint64_t ReadCacheLevel(int index) {
+  std::string base =
+      StringFormat("/sys/devices/system/cpu/cpu0/cache/index%d/", index);
+  return ParseCacheSize(ReadFirstLine(base + "size"));
+}
+
+}  // namespace
+
+std::string HardwareInfo::ToString() const {
+  std::ostringstream out;
+  out << "CPU:        " << (cpu_model.empty() ? "unknown" : cpu_model) << "\n";
+  out << "Cores:      " << logical_cores << " logical\n";
+  out << "Memory:     " << FormatCount(total_memory_bytes >> 20) << " MiB\n";
+  out << "L1d cache:  " << (l1d_cache_bytes >> 10) << " KiB\n";
+  out << "L2 cache:   " << (l2_cache_bytes >> 10) << " KiB\n";
+  out << "L3 cache:   " << (l3_cache_bytes >> 10) << " KiB\n";
+  out << "Cache line: " << cache_line_bytes << " B\n";
+  out << "OS:         " << (os_version.empty() ? "unknown" : os_version);
+  return out.str();
+}
+
+HardwareInfo DetectHardware() {
+  HardwareInfo info;
+  info.logical_cores = static_cast<int>(std::thread::hardware_concurrency());
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (cpuinfo && std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        info.cpu_model = line.substr(colon + 2);
+      }
+      break;
+    }
+  }
+
+  std::ifstream meminfo("/proc/meminfo");
+  while (meminfo && std::getline(meminfo, line)) {
+    if (line.rfind("MemTotal:", 0) == 0) {
+      std::istringstream fields(line.substr(9));
+      uint64_t kb = 0;
+      fields >> kb;
+      info.total_memory_bytes = kb * 1024;
+      break;
+    }
+  }
+
+  // sysfs cache indices: 0 = L1d, 1 = L1i, 2 = L2, 3 = L3 on most x86.
+  info.l1d_cache_bytes = ReadCacheLevel(0);
+  info.l2_cache_bytes = ReadCacheLevel(2);
+  info.l3_cache_bytes = ReadCacheLevel(3);
+  std::string coherency = ReadFirstLine(
+      "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size");
+  if (!coherency.empty()) {
+    try {
+      info.cache_line_bytes = std::stoull(coherency);
+    } catch (...) {
+    }
+  }
+
+  info.os_version = ReadFirstLine("/proc/version");
+  return info;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,29 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rowsort {
+
+/// \brief Host hardware description, used to regenerate the paper's Table I
+/// (hardware specification) for the machine the benchmarks actually ran on.
+struct HardwareInfo {
+  std::string cpu_model;       ///< e.g. "Intel Xeon Platinum 8259CL"
+  int logical_cores = 0;       ///< hardware threads visible to the process
+  uint64_t total_memory_bytes = 0;
+  uint64_t l1d_cache_bytes = 0;   ///< 0 when unknown
+  uint64_t l2_cache_bytes = 0;    ///< 0 when unknown
+  uint64_t l3_cache_bytes = 0;    ///< 0 when unknown
+  uint64_t cache_line_bytes = 64;
+  std::string os_version;
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Probes /proc and sysfs for the host description; fields stay at their
+/// defaults when a source is unavailable (e.g. in a container).
+HardwareInfo DetectHardware();
+
+}  // namespace rowsort

@@ -1,0 +1,41 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file macros.h
+/// Assertion and branch-hint macros used across the library.
+///
+/// ROWSORT_ASSERT is always on and guards conditions that indicate API misuse
+/// or a bug regardless of build type. ROWSORT_DASSERT compiles away in release
+/// builds and guards internal invariants on hot paths.
+
+#define ROWSORT_ASSERT(cond)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "rowsort assertion failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define ROWSORT_DASSERT(cond) \
+  do {                        \
+  } while (0)
+#else
+#define ROWSORT_DASSERT(cond) ROWSORT_ASSERT(cond)
+#endif
+
+#define ROWSORT_LIKELY(x) __builtin_expect(!!(x), 1)
+#define ROWSORT_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+#define ROWSORT_DISALLOW_COPY(TypeName)      \
+  TypeName(const TypeName&) = delete;        \
+  TypeName& operator=(const TypeName&) = delete
+
+#define ROWSORT_DISALLOW_COPY_AND_MOVE(TypeName) \
+  ROWSORT_DISALLOW_COPY(TypeName);               \
+  TypeName(TypeName&&) = delete;                 \
+  TypeName& operator=(TypeName&&) = delete

@@ -1,0 +1,121 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// Status codes for fallible library operations, RocksDB-style.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kOutOfMemory,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Result of a fallible operation.
+///
+/// Functions that can fail for reasons other than programmer error return a
+/// Status (or StatusOr<T>); internal invariants use ROWSORT_DASSERT instead.
+/// A Status must be inspected via ok()/code(); it is cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "IOError: short write".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ROWSORT_RETURN_NOT_OK(expr)          \
+  do {                                       \
+    ::rowsort::Status _st = (expr);          \
+    if (ROWSORT_UNLIKELY(!_st.ok())) return _st; \
+  } while (0)
+
+/// Aborts on a non-OK status; for call sites that cannot recover (tests,
+/// examples, benchmark setup).
+#define ROWSORT_CHECK_OK(expr)                                       \
+  do {                                                               \
+    ::rowsort::Status _st = (expr);                                  \
+    if (ROWSORT_UNLIKELY(!_st.ok())) {                               \
+      std::fprintf(stderr, "rowsort fatal status: %s at %s:%d\n",    \
+                   _st.ToString().c_str(), __FILE__, __LINE__);      \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+/// \brief A Status or a value of type T.
+///
+/// Minimal StatusOr: value() asserts ok().
+template <typename T>
+class StatusOr {
+ public:
+  /*implicit*/ StatusOr(Status status) : status_(std::move(status)) {
+    ROWSORT_ASSERT(!status_.ok());
+  }
+  /*implicit*/ StatusOr(T value)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    ROWSORT_ASSERT(ok());
+    return value_;
+  }
+  const T& value() const {
+    ROWSORT_ASSERT(ok());
+    return value_;
+  }
+  T&& MoveValue() {
+    ROWSORT_ASSERT(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace rowsort

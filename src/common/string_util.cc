@@ -1,0 +1,58 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/string_util.h"
+
+#include <cstdio>
+
+namespace rowsort {
+
+std::string StringFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string FormatCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string result;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) result.push_back(',');
+    result.push_back(*it);
+    ++count;
+  }
+  return std::string(result.rbegin(), result.rend());
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds < 1e-6) return StringFormat("%.0fns", seconds * 1e9);
+  if (seconds < 1e-3) return StringFormat("%.2fus", seconds * 1e6);
+  if (seconds < 1.0) return StringFormat("%.2fms", seconds * 1e3);
+  return StringFormat("%.3fs", seconds);
+}
+
+std::vector<std::string> SplitString(const std::string& input, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(input.substr(start));
+      break;
+    }
+    parts.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,23 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace rowsort {
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a count with thousands separators, e.g. 16777216 -> "16,777,216".
+std::string FormatCount(uint64_t n);
+
+/// Formats a duration in seconds with an adaptive unit (ns/us/ms/s).
+std::string FormatDuration(double seconds);
+
+/// Splits \p input on \p sep; empty fields are preserved.
+std::vector<std::string> SplitString(const std::string& input, char sep);
+
+}  // namespace rowsort

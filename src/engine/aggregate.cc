@@ -1,0 +1,311 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/aggregate.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+namespace {
+
+/// Output/state type of an aggregate over an input type.
+LogicalType StateType(AggregateFunction fn, LogicalType input) {
+  switch (fn) {
+    case AggregateFunction::kCount:
+      return LogicalType(TypeId::kInt64);
+    case AggregateFunction::kSum:
+      switch (input.id()) {
+        case TypeId::kFloat:
+        case TypeId::kDouble:
+          return LogicalType(TypeId::kDouble);
+        default:
+          return LogicalType(TypeId::kInt64);
+      }
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      return input;
+  }
+  return LogicalType(TypeId::kInvalid);
+}
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashBytes(const void* data, uint64_t size, uint64_t seed) {
+  // FNV-1a over the value bytes.
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t h = seed ^ 0xCBF29CE484222325ull;
+  for (uint64_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashAggregate::HashAggregate(std::vector<uint64_t> group_by,
+                             std::vector<AggregateExpr> aggregates,
+                             std::vector<LogicalType> input_types)
+    : group_by_(std::move(group_by)), aggregates_(std::move(aggregates)),
+      input_types_(std::move(input_types)) {
+  ROWSORT_ASSERT(!group_by_.empty());
+  for (uint64_t col : group_by_) {
+    ROWSORT_ASSERT(col < input_types_.size());
+    group_types_.push_back(input_types_[col]);
+  }
+  std::vector<LogicalType> row_types = group_types_;
+  for (const auto& agg : aggregates_) {
+    ROWSORT_ASSERT(agg.column < input_types_.size());
+    LogicalType state = StateType(agg.function, input_types_[agg.column]);
+    ROWSORT_ASSERT(state.id() != TypeId::kInvalid);
+    state_types_.push_back(state);
+    row_types.push_back(state);
+  }
+  group_layout_ = RowLayout(row_types);
+  groups_ = RowCollection(group_layout_);
+  table_.assign(1024, 0);
+  table_mask_ = table_.size() - 1;
+}
+
+uint64_t HashAggregate::HashGroup(const DataChunk& chunk, uint64_t row) const {
+  uint64_t h = 0;
+  for (uint64_t col : group_by_) {
+    const Vector& vec = chunk.column(col);
+    if (!vec.validity().RowIsValid(row)) {
+      h = MixHash(h, 0x6E756C6Cull);  // "null"
+      continue;
+    }
+    if (vec.type().id() == TypeId::kVarchar) {
+      const string_t& s = vec.TypedData<string_t>()[row];
+      h = MixHash(h, HashBytes(s.data(), s.size(), 7));
+    } else {
+      h = MixHash(h, HashBytes(vec.data() + row * vec.type().FixedSize(),
+                               vec.type().FixedSize(), 7));
+    }
+  }
+  return h;
+}
+
+bool HashAggregate::GroupEquals(const uint8_t* group_row,
+                                const DataChunk& chunk, uint64_t row) const {
+  for (uint64_t g = 0; g < group_by_.size(); ++g) {
+    uint64_t col = group_by_[g];
+    const Vector& vec = chunk.column(col);
+    bool chunk_valid = vec.validity().RowIsValid(row);
+    bool group_valid = RowLayout::IsValid(group_row, g);
+    // SQL GROUP BY: NULLs group together.
+    if (chunk_valid != group_valid) return false;
+    if (!chunk_valid) continue;
+    const uint8_t* slot = group_row + group_layout_.ColumnOffset(g);
+    if (vec.type().id() == TypeId::kVarchar) {
+      string_t stored = bit_util::LoadUnaligned<string_t>(slot);
+      if (!(stored == vec.TypedData<string_t>()[row])) return false;
+    } else {
+      if (std::memcmp(slot, vec.data() + row * vec.type().FixedSize(),
+                      vec.type().FixedSize()) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void HashAggregate::Grow() {
+  std::vector<uint64_t> old = std::move(table_);
+  table_.assign(old.size() * 2, 0);
+  table_mask_ = table_.size() - 1;
+  for (uint64_t entry : old) {
+    if (entry == 0) continue;
+    // Rehash the stored group row.
+    const uint8_t* row = groups_.GetRow(entry - 1);
+    uint64_t h = 0;
+    for (uint64_t g = 0; g < group_by_.size(); ++g) {
+      if (!RowLayout::IsValid(row, g)) {
+        h = MixHash(h, 0x6E756C6Cull);
+        continue;
+      }
+      const uint8_t* slot = row + group_layout_.ColumnOffset(g);
+      if (group_types_[g].id() == TypeId::kVarchar) {
+        string_t s = bit_util::LoadUnaligned<string_t>(slot);
+        h = MixHash(h, HashBytes(s.data(), s.size(), 7));
+      } else {
+        h = MixHash(h, HashBytes(slot, group_types_[g].FixedSize(), 7));
+      }
+    }
+    uint64_t idx = h & table_mask_;
+    while (table_[idx] != 0) idx = (idx + 1) & table_mask_;
+    table_[idx] = entry;
+  }
+}
+
+uint64_t HashAggregate::FindOrCreateGroup(const DataChunk& chunk, uint64_t row,
+                                          uint64_t hash) {
+  uint64_t idx = hash & table_mask_;
+  while (true) {
+    uint64_t entry = table_[idx];
+    if (entry == 0) break;
+    if (GroupEquals(groups_.GetRow(entry - 1), chunk, row)) {
+      return entry - 1;
+    }
+    idx = (idx + 1) & table_mask_;
+  }
+
+  // New group: scatter the key columns and initialize aggregate states.
+  uint64_t group_index = groups_.AppendUninitialized(1);
+  uint8_t* dest = groups_.GetRow(group_index);
+  std::memset(dest, 0xFF, group_layout_.ValidityBytes());
+  for (uint64_t g = 0; g < group_by_.size(); ++g) {
+    uint64_t col = group_by_[g];
+    const Vector& vec = chunk.column(col);
+    uint8_t* slot = dest + group_layout_.ColumnOffset(g);
+    if (!vec.validity().RowIsValid(row)) {
+      RowLayout::SetValid(dest, g, false);
+      std::memset(slot, 0, vec.type().FixedSize());
+      continue;
+    }
+    if (vec.type().id() == TypeId::kVarchar) {
+      string_t owned =
+          groups_.string_heap().AddString(vec.TypedData<string_t>()[row]);
+      std::memcpy(slot, &owned, sizeof(string_t));
+    } else {
+      std::memcpy(slot, vec.data() + row * vec.type().FixedSize(),
+                  vec.type().FixedSize());
+    }
+  }
+  for (uint64_t a = 0; a < aggregates_.size(); ++a) {
+    uint64_t state_col = group_by_.size() + a;
+    uint8_t* slot = dest + group_layout_.ColumnOffset(state_col);
+    std::memset(slot, 0, state_types_[a].FixedSize());
+    if (aggregates_[a].function == AggregateFunction::kCount) {
+      // COUNT starts at a valid 0; SUM/MIN/MAX stay NULL until a value.
+    } else {
+      RowLayout::SetValid(dest, state_col, false);
+    }
+  }
+
+  ++group_count_;
+  table_[idx] = group_index + 1;
+  if (group_count_ * 2 > table_.size()) Grow();
+  return group_index;
+}
+
+void HashAggregate::UpdateStates(uint64_t group_index, const DataChunk& chunk,
+                                 uint64_t row) {
+  uint8_t* group_row = groups_.GetRow(group_index);
+  for (uint64_t a = 0; a < aggregates_.size(); ++a) {
+    const AggregateExpr& agg = aggregates_[a];
+    const Vector& vec = chunk.column(agg.column);
+    if (!vec.validity().RowIsValid(row)) continue;  // NULLs are ignored
+    uint64_t state_col = group_by_.size() + a;
+    uint8_t* slot = group_row + group_layout_.ColumnOffset(state_col);
+    bool state_valid = RowLayout::IsValid(group_row, state_col);
+
+    switch (agg.function) {
+      case AggregateFunction::kCount: {
+        int64_t count = bit_util::LoadUnaligned<int64_t>(slot);
+        bit_util::StoreUnaligned<int64_t>(slot, count + 1);
+        break;
+      }
+      case AggregateFunction::kSum: {
+        Value v = vec.GetValue(row);
+        if (state_types_[a].id() == TypeId::kDouble) {
+          double addend = v.type().id() == TypeId::kFloat
+                              ? static_cast<double>(v.float_value())
+                              : v.double_value();
+          double sum =
+              state_valid ? bit_util::LoadUnaligned<double>(slot) : 0.0;
+          bit_util::StoreUnaligned<double>(slot, sum + addend);
+        } else {
+          int64_t addend = 0;
+          switch (v.type().id()) {
+            case TypeId::kInt8:
+              addend = v.int8_value();
+              break;
+            case TypeId::kInt16:
+              addend = v.int16_value();
+              break;
+            case TypeId::kInt32:
+            case TypeId::kDate:
+              addend = v.int32_value();
+              break;
+            case TypeId::kInt64:
+              addend = v.int64_value();
+              break;
+            case TypeId::kUint32:
+              addend = v.uint32_value();
+              break;
+            case TypeId::kUint64:
+              addend = static_cast<int64_t>(v.uint64_value());
+              break;
+            default:
+              ROWSORT_ASSERT(false && "SUM over non-numeric type");
+          }
+          int64_t sum =
+              state_valid ? bit_util::LoadUnaligned<int64_t>(slot) : 0;
+          bit_util::StoreUnaligned<int64_t>(slot, sum + addend);
+        }
+        RowLayout::SetValid(group_row, state_col, true);
+        break;
+      }
+      case AggregateFunction::kMin:
+      case AggregateFunction::kMax: {
+        Value v = vec.GetValue(row);
+        bool take = !state_valid;
+        if (state_valid) {
+          // Read the stored value back as a Value for comparison.
+          Vector tmp(state_types_[a], 1);
+          std::memcpy(tmp.data(), slot, state_types_[a].FixedSize());
+          if (state_types_[a].id() == TypeId::kVarchar) {
+            // string_t copied verbatim; it points into our heap.
+          }
+          Value stored = tmp.GetValue(0);
+          int cmp = v.Compare(stored);
+          take = agg.function == AggregateFunction::kMin ? cmp < 0 : cmp > 0;
+        }
+        if (take) {
+          if (state_types_[a].id() == TypeId::kVarchar) {
+            string_t owned = groups_.string_heap().AddString(
+                vec.TypedData<string_t>()[row]);
+            std::memcpy(slot, &owned, sizeof(string_t));
+          } else {
+            std::memcpy(slot, vec.data() + row * vec.type().FixedSize(),
+                        vec.type().FixedSize());
+          }
+          RowLayout::SetValid(group_row, state_col, true);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void HashAggregate::Sink(const DataChunk& chunk) {
+  for (uint64_t row = 0; row < chunk.size(); ++row) {
+    uint64_t hash = HashGroup(chunk, row);
+    uint64_t group = FindOrCreateGroup(chunk, row, hash);
+    UpdateStates(group, chunk, row);
+  }
+}
+
+Table HashAggregate::Finalize() {
+  std::vector<LogicalType> out_types = group_types_;
+  out_types.insert(out_types.end(), state_types_.begin(), state_types_.end());
+  Table out(out_types);
+  uint64_t offset = 0;
+  while (offset < group_count_) {
+    uint64_t n = std::min(kVectorSize, group_count_ - offset);
+    DataChunk chunk;
+    chunk.Initialize(out_types);
+    groups_.GatherChunk(offset, n, &chunk);
+    out.Append(std::move(chunk));
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,82 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/sort_engine.h"
+#include "row/row_collection.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// Aggregate functions supported by HashAggregate.
+enum class AggregateFunction : uint8_t {
+  kCount,  ///< COUNT(col): non-NULL count (INT64)
+  kSum,    ///< SUM(col): numeric sum (INT64 for ints, DOUBLE for floats)
+  kMin,    ///< MIN(col): same type as input
+  kMax,    ///< MAX(col): same type as input
+};
+
+/// One aggregate expression: function applied to an input column.
+struct AggregateExpr {
+  AggregateFunction function = AggregateFunction::kCount;
+  uint64_t column = 0;
+};
+
+/// \brief GROUP BY hash aggregation materialized in the unified row format.
+///
+/// The paper's Future Work (§IX ¶2) observes that "the aggregate, join, and
+/// window operators are also blocking operators. ... In DuckDB, these
+/// operators use a unified row format." This operator follows that design:
+/// group keys and aggregate states live in fixed-size NSM rows (a
+/// RowCollection) addressed by an open-addressing hash table, so an
+/// aggregate chained after a sort can consume and produce the same row
+/// representation the sort uses.
+///
+/// Output schema: the group-by columns (input types) followed by one column
+/// per aggregate.
+class HashAggregate {
+ public:
+  HashAggregate(std::vector<uint64_t> group_by,
+                std::vector<AggregateExpr> aggregates,
+                std::vector<LogicalType> input_types);
+  ROWSORT_DISALLOW_COPY_AND_MOVE(HashAggregate);
+
+  /// Feeds one chunk of input.
+  void Sink(const DataChunk& chunk);
+
+  /// Returns one row per group (group order unspecified; sort the result
+  /// with RelationalSort for deterministic output).
+  Table Finalize();
+
+  uint64_t group_count() const { return group_count_; }
+
+ private:
+  uint64_t HashGroup(const DataChunk& chunk, uint64_t row) const;
+  bool GroupEquals(const uint8_t* group_row, const DataChunk& chunk,
+                   uint64_t row) const;
+  uint64_t FindOrCreateGroup(const DataChunk& chunk, uint64_t row,
+                             uint64_t hash);
+  void UpdateStates(uint64_t group_index, const DataChunk& chunk,
+                    uint64_t row);
+  void Grow();
+
+  std::vector<uint64_t> group_by_;
+  std::vector<AggregateExpr> aggregates_;
+  std::vector<LogicalType> input_types_;
+  std::vector<LogicalType> group_types_;
+  std::vector<LogicalType> state_types_;  ///< output type per aggregate
+
+  /// Group rows: [group key columns | per-aggregate state | count-valid
+  /// slots], in one RowLayout.
+  RowLayout group_layout_;
+  RowCollection groups_;
+  uint64_t group_count_ = 0;
+
+  /// Open-addressing table of (group index + 1); 0 = empty.
+  std::vector<uint64_t> table_;
+  uint64_t table_mask_ = 0;
+};
+
+}  // namespace rowsort

@@ -1,0 +1,51 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/analyze.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+StringColumnStats ScanStringColumn(const Table& input, uint64_t col) {
+  ROWSORT_ASSERT(col < input.types().size());
+  ROWSORT_ASSERT(input.types()[col].id() == TypeId::kVarchar);
+  StringColumnStats stats;
+  for (uint64_t ci = 0; ci < input.ChunkCount(); ++ci) {
+    const Vector& vec = input.chunk(ci).column(col);
+    const string_t* strings = vec.TypedData<string_t>();
+    for (uint64_t r = 0; r < input.chunk(ci).size(); ++r) {
+      if (!vec.validity().RowIsValid(r)) continue;
+      const string_t& s = strings[r];
+      stats.max_length = std::max<uint64_t>(stats.max_length, s.size());
+      if (!stats.has_nul_byte && s.size() > 0 &&
+          std::memchr(s.data(), '\0', s.size()) != nullptr) {
+        stats.has_nul_byte = true;
+      }
+    }
+  }
+  return stats;
+}
+
+uint64_t MaxStringLength(const Table& input, uint64_t col) {
+  return ScanStringColumn(input, col).max_length;
+}
+
+void TuneStringPrefixes(const Table& input, SortSpec* spec) {
+  std::vector<SortColumn> columns = spec->columns();
+  for (auto& col : columns) {
+    if (col.type.id() != TypeId::kVarchar) continue;
+    StringColumnStats stats = ScanStringColumn(input, col.column_index);
+    // Never grow beyond the configured cap; shrink to the actual maximum
+    // (at least 1 so the key always distinguishes empty vs non-empty).
+    bool covers = stats.max_length <= col.string_prefix_length &&
+                  !stats.has_nul_byte;
+    col.string_prefix_length = std::max<uint64_t>(
+        1, std::min(col.string_prefix_length, stats.max_length));
+    col.prefix_covers_full_string = covers;
+  }
+  *spec = SortSpec(std::move(columns));
+}
+
+}  // namespace rowsort

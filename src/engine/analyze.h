@@ -1,0 +1,34 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include "sortkey/sort_spec.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// String statistics gathered for normalized-key tuning.
+struct StringColumnStats {
+  uint64_t max_length = 0;   ///< longest non-NULL value
+  bool has_nul_byte = false; ///< any value contains '\0'
+};
+
+/// \brief Statistics-driven normalized-key tuning (paper §VII: "we encode
+/// the first n bytes, with n chosen at runtime based on the available
+/// statistics on string length, but at most 12").
+///
+/// Scans the VARCHAR sort columns of \p input and, per column:
+///  * shrinks string_prefix_length to min(max observed length, current
+///    value) — shorter keys mean cheaper memcmp and fewer radix passes;
+///  * when the prefix provably covers every string (max length fits and no
+///    value embeds a NUL byte, which would collide with key padding), sets
+///    prefix_covers_full_string, removing tie resolution entirely and
+///    re-enabling the radix-sort fast path for string keys.
+void TuneStringPrefixes(const Table& input, SortSpec* spec);
+
+/// Scans column \p col of \p input (must be VARCHAR).
+StringColumnStats ScanStringColumn(const Table& input, uint64_t col);
+
+/// Maximum VARCHAR length observed in \p input's column \p col.
+uint64_t MaxStringLength(const Table& input, uint64_t col);
+
+}  // namespace rowsort

@@ -1,0 +1,148 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/external_run.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/bit_util.h"
+#include "common/string_util.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+namespace {
+
+constexpr uint64_t kRunFileMagic = 0x524F57534F525431ull;  // "ROWSORT1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, uint64_t size) {
+  if (size == 0) return Status::OK();
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, uint64_t size) {
+  if (size == 0) return Status::OK();
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::IOError("short read");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WriteScalar(std::FILE* f, T value) {
+  return WriteAll(f, &value, sizeof(T));
+}
+
+template <typename T>
+Status ReadScalar(std::FILE* f, T* value) {
+  return ReadAll(f, value, sizeof(T));
+}
+
+/// Columns of the layout that may hold non-inlined strings.
+std::vector<uint64_t> VarcharColumns(const RowLayout& layout) {
+  std::vector<uint64_t> cols;
+  for (uint64_t c = 0; c < layout.ColumnCount(); ++c) {
+    if (layout.types()[c].id() == TypeId::kVarchar) cols.push_back(c);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Status WriteRunToFile(const SortedRun& run, const RowLayout& payload_layout,
+                      const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  std::FILE* f = file.get();
+
+  ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, kRunFileMagic));
+  ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, run.count));
+  ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, run.key_row_width));
+  ROWSORT_RETURN_NOT_OK(
+      WriteScalar<uint64_t>(f, payload_layout.row_width()));
+  ROWSORT_RETURN_NOT_OK(
+      WriteAll(f, run.key_rows.data(), run.count * run.key_row_width));
+  ROWSORT_RETURN_NOT_OK(WriteAll(f, run.payload.data(),
+                                 run.count * payload_layout.row_width()));
+
+  // String section: every valid non-inlined string payload.
+  for (uint64_t col : VarcharColumns(payload_layout)) {
+    uint64_t offset = payload_layout.ColumnOffset(col);
+    for (uint64_t row = 0; row < run.count; ++row) {
+      const uint8_t* row_ptr = run.payload.GetRow(row);
+      if (!RowLayout::IsValid(row_ptr, col)) continue;
+      string_t value = bit_util::LoadUnaligned<string_t>(row_ptr + offset);
+      if (value.IsInlined()) continue;
+      ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, row));
+      ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, col));
+      ROWSORT_RETURN_NOT_OK(WriteScalar<uint32_t>(f, value.size()));
+      ROWSORT_RETURN_NOT_OK(WriteAll(f, value.data(), value.size()));
+    }
+  }
+  if (std::fflush(f) != 0) return Status::IOError("flush failed");
+  return Status::OK();
+}
+
+StatusOr<SortedRun> ReadRunFromFile(const RowLayout& payload_layout,
+                                    const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) return Status::IOError("cannot open " + path + " for reading");
+  std::FILE* f = file.get();
+
+  uint64_t magic = 0, count = 0, key_row_width = 0, payload_width = 0;
+  ROWSORT_RETURN_NOT_OK(ReadScalar(f, &magic));
+  if (magic != kRunFileMagic) {
+    return Status::InvalidArgument(path + " is not a rowsort run file");
+  }
+  ROWSORT_RETURN_NOT_OK(ReadScalar(f, &count));
+  ROWSORT_RETURN_NOT_OK(ReadScalar(f, &key_row_width));
+  ROWSORT_RETURN_NOT_OK(ReadScalar(f, &payload_width));
+  if (payload_width != payload_layout.row_width()) {
+    return Status::InvalidArgument(StringFormat(
+        "payload width mismatch: file has %llu, layout has %llu",
+        static_cast<unsigned long long>(payload_width),
+        static_cast<unsigned long long>(payload_layout.row_width())));
+  }
+
+  SortedRun run;
+  run.count = count;
+  run.key_row_width = key_row_width;
+  run.key_rows.resize(count * key_row_width);
+  ROWSORT_RETURN_NOT_OK(ReadAll(f, run.key_rows.data(), run.key_rows.size()));
+  run.payload = RowCollection(payload_layout);
+  run.payload.AppendUninitialized(count);
+  ROWSORT_RETURN_NOT_OK(
+      ReadAll(f, run.payload.data(), count * payload_width));
+
+  // Rebuild non-inlined strings into the fresh heap.
+  while (true) {
+    uint64_t row = 0, col = 0;
+    uint32_t len = 0;
+    if (std::fread(&row, 1, sizeof(row), f) != sizeof(row)) {
+      if (std::feof(f)) break;
+      return Status::IOError("short read in string section");
+    }
+    ROWSORT_RETURN_NOT_OK(ReadScalar(f, &col));
+    ROWSORT_RETURN_NOT_OK(ReadScalar(f, &len));
+    if (row >= count || col >= payload_layout.ColumnCount()) {
+      return Status::InvalidArgument("corrupt string section");
+    }
+    char* dest = run.payload.string_heap().Allocate(len);
+    ROWSORT_RETURN_NOT_OK(ReadAll(f, dest, len));
+    string_t value(dest, len);
+    bit_util::StoreUnaligned(
+        run.payload.GetRow(row) + payload_layout.ColumnOffset(col), value);
+  }
+  return run;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,36 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/sorted_run.h"
+
+namespace rowsort {
+
+/// \file external_run.h
+/// Spillable sorted runs — the paper's Future Work §IX: blocking operators
+/// "risk running out of memory because they must materialize their input
+/// ... Utilizing DuckDB's row format to be able to offload the data to
+/// secondary storage in a unified way could enable this."
+///
+/// The unified row format makes the spill format trivial: fixed-size key and
+/// payload rows are written verbatim; the only fix-up needed is for
+/// non-inlined VARCHAR payloads, whose bytes are appended in a string
+/// section and re-pointered on load.
+///
+/// File layout:
+///   [magic u64][count u64][key_row_width u64][payload_row_width u64]
+///   [key rows][payload rows][string section: (row u64, col u64, len u32,
+///   bytes)* for every non-inlined string]
+
+/// Writes \p run to \p path; \p payload_layout describes the payload rows.
+Status WriteRunToFile(const SortedRun& run, const RowLayout& payload_layout,
+                      const std::string& path);
+
+/// Reads a run written by WriteRunToFile back into memory. String payloads
+/// are rebuilt into the run's own heap.
+StatusOr<SortedRun> ReadRunFromFile(const RowLayout& payload_layout,
+                                    const std::string& path);
+
+}  // namespace rowsort

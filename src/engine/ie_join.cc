@@ -1,0 +1,407 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/ie_join.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "row/row_collection.h"
+#include "sortalgo/pdq_sort.h"
+#include "sortkey/key_encoder.h"
+
+namespace rowsort {
+
+namespace {
+
+/// Sorts \p table by \p column ascending (NULLS LAST) and returns the sort.
+std::unique_ptr<RelationalSort> SortByColumn(const Table& table,
+                                             uint64_t column,
+                                             const SortEngineConfig& config) {
+  SortSpec spec({SortColumn(column, table.types()[column],
+                            OrderType::kAscending, NullOrder::kNullsLast)});
+  auto sort = std::make_unique<RelationalSort>(spec, table.types(), config);
+  auto local = sort->MakeLocalState();
+  for (uint64_t c = 0; c < table.ChunkCount(); ++c) {
+    sort->Sink(*local, table.chunk(c));
+  }
+  sort->CombineLocal(*local);
+  sort->Finalize();
+  return sort;
+}
+
+/// First index i in [0, run.count) with key(run[i]) > key (strict upper
+/// bound by memcmp over \p width bytes).
+uint64_t UpperBound(const SortedRun& run, const uint8_t* key, uint64_t width) {
+  uint64_t lo = 0, hi = run.count;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (std::memcmp(run.KeyRow(mid), key, width) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index i with key(run[i]) >= key (lower bound).
+uint64_t LowerBound(const SortedRun& run, const uint8_t* key, uint64_t width) {
+  uint64_t lo = 0, hi = run.count;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (std::memcmp(run.KeyRow(mid), key, width) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Table InequalityJoin(const Table& left, const Table& right,
+                     uint64_t left_column, uint64_t right_column,
+                     InequalityOp op, const SortEngineConfig& config) {
+  ROWSORT_ASSERT(left_column < left.types().size());
+  ROWSORT_ASSERT(right_column < right.types().size());
+  ROWSORT_ASSERT(left.types()[left_column] == right.types()[right_column]);
+  ROWSORT_ASSERT(left.types()[left_column].id() != TypeId::kVarchar &&
+                 "inequality join keys must be fixed-width");
+
+  auto left_sort = SortByColumn(left, left_column, config);
+  auto right_sort = SortByColumn(right, right_column, config);
+  const SortedRun& lrun = left_sort->result();
+  const SortedRun& rrun = right_sort->result();
+  const uint64_t key_width = left_sort->comparator().key_width();
+  ROWSORT_ASSERT(key_width == right_sort->comparator().key_width());
+
+  // With ASC + NULLS LAST, valid keys form a prefix of each run: the first
+  // byte of a NULL key is the 0xFF marker. Find the end of the valid prefix.
+  auto valid_count = [key_width](const SortedRun& run) {
+    uint64_t lo = 0, hi = run.count;
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (run.KeyRow(mid)[0] == 0xFF) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+  const uint64_t l_valid = valid_count(lrun);
+  const uint64_t r_valid = valid_count(rrun);
+
+  // For each (non-NULL) left row, the qualifying right rows form a
+  // contiguous suffix (for < / <=) or prefix (for > / >=) of the valid
+  // right rows; the boundary is a binary search over normalized keys.
+  std::vector<uint64_t> left_matches, right_matches;
+  for (uint64_t i = 0; i < l_valid; ++i) {
+    const uint8_t* key = lrun.KeyRow(i);
+    uint64_t begin = 0, end = 0;
+    switch (op) {
+      case InequalityOp::kLess:
+        begin = UpperBound(rrun, key, key_width);
+        end = r_valid;
+        break;
+      case InequalityOp::kLessEqual:
+        begin = LowerBound(rrun, key, key_width);
+        end = r_valid;
+        break;
+      case InequalityOp::kGreater:
+        begin = 0;
+        end = std::min(LowerBound(rrun, key, key_width), r_valid);
+        break;
+      case InequalityOp::kGreaterEqual:
+        begin = 0;
+        end = std::min(UpperBound(rrun, key, key_width), r_valid);
+        break;
+    }
+    for (uint64_t j = begin; j < end; ++j) {
+      left_matches.push_back(i);
+      right_matches.push_back(j);
+    }
+  }
+
+  // Gather output: left columns then right columns.
+  std::vector<LogicalType> out_types = left.types();
+  out_types.insert(out_types.end(), right.types().begin(),
+                   right.types().end());
+  std::vector<std::string> out_names = left.names();
+  out_names.insert(out_names.end(), right.names().begin(),
+                   right.names().end());
+  Table out(out_types, out_names);
+  const uint64_t lcols = left.types().size();
+  uint64_t offset = 0;
+  while (offset < left_matches.size()) {
+    uint64_t n = std::min(kVectorSize, left_matches.size() - offset);
+    DataChunk lchunk;
+    lchunk.Initialize(left.types());
+    lrun.payload.GatherRows(left_matches.data() + offset, n, &lchunk);
+    DataChunk rchunk;
+    rchunk.Initialize(right.types());
+    rrun.payload.GatherRows(right_matches.data() + offset, n, &rchunk);
+    DataChunk out_chunk = out.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      for (uint64_t c = 0; c < lcols; ++c) {
+        out_chunk.SetValue(c, r, lchunk.GetValue(c, r));
+      }
+      for (uint64_t c = 0; c < right.types().size(); ++c) {
+        out_chunk.SetValue(lcols + c, r, rchunk.GetValue(c, r));
+      }
+    }
+    out_chunk.SetSize(n);
+    out.Append(std::move(out_chunk));
+    offset += n;
+  }
+  return out;
+}
+
+namespace {
+
+/// Encodes one column of \p table as ascending NULLS LAST normalized keys
+/// (NULL rows start with 0xFF) into a flat array; returns the key width.
+std::vector<uint8_t> EncodeColumnKeys(const Table& table, uint64_t col,
+                                      uint64_t* width_out) {
+  SortSpec spec({SortColumn(col, table.types()[col], OrderType::kAscending,
+                            NullOrder::kNullsLast)});
+  NormalizedKeyEncoder encoder(spec);
+  const uint64_t width = encoder.key_width();
+  *width_out = width;
+  std::vector<uint8_t> keys(table.row_count() * width);
+  uint64_t offset = 0;
+  for (uint64_t ci = 0; ci < table.ChunkCount(); ++ci) {
+    const DataChunk& chunk = table.chunk(ci);
+    encoder.EncodeChunk(chunk, chunk.size(), keys.data() + offset * width,
+                        width);
+    offset += chunk.size();
+  }
+  return keys;
+}
+
+/// Simple fixed-size bitmap with range iteration.
+class Bitmap {
+ public:
+  explicit Bitmap(uint64_t bits) : words_((bits + 63) / 64, 0) {}
+
+  void Set(uint64_t i) { words_[i / 64] |= uint64_t(1) << (i % 64); }
+
+  /// Calls \p fn(i) for every set bit in [begin, end), skipping zero words.
+  template <typename Fn>
+  void ForEachSet(uint64_t begin, uint64_t end, Fn&& fn) const {
+    if (begin >= end) return;
+    uint64_t word_idx = begin / 64;
+    uint64_t last_word = (end - 1) / 64;
+    for (; word_idx <= last_word; ++word_idx) {
+      uint64_t word = words_[word_idx];
+      if (word == 0) continue;
+      // Mask bits outside [begin, end).
+      if (word_idx == begin / 64) {
+        word &= ~uint64_t(0) << (begin % 64);
+      }
+      if (word_idx == last_word && (end % 64) != 0) {
+        word &= (uint64_t(1) << (end % 64)) - 1;
+      }
+      while (word != 0) {
+        uint64_t bit = static_cast<uint64_t>(__builtin_ctzll(word));
+        fn(word_idx * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+bool OpIsLess(InequalityOp op) {
+  return op == InequalityOp::kLess || op == InequalityOp::kLessEqual;
+}
+bool OpIsStrict(InequalityOp op) {
+  return op == InequalityOp::kLess || op == InequalityOp::kGreater;
+}
+
+/// First index i in the sorted key array with keys[i] >= key (lower bound).
+uint64_t LowerBoundKeys(const std::vector<const uint8_t*>& sorted_keys,
+                        const uint8_t* key, uint64_t width) {
+  uint64_t lo = 0, hi = sorted_keys.size();
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (std::memcmp(sorted_keys[mid], key, width) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index i with keys[i] > key (upper bound).
+uint64_t UpperBoundKeys(const std::vector<const uint8_t*>& sorted_keys,
+                        const uint8_t* key, uint64_t width) {
+  uint64_t lo = 0, hi = sorted_keys.size();
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (std::memcmp(sorted_keys[mid], key, width) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Table IEJoin(const Table& left, const Table& right,
+             const InequalityPredicate& pred1,
+             const InequalityPredicate& pred2,
+             const SortEngineConfig& config) {
+  ROWSORT_ASSERT(left.types()[pred1.left_column] ==
+                 right.types()[pred1.right_column]);
+  ROWSORT_ASSERT(left.types()[pred2.left_column] ==
+                 right.types()[pred2.right_column]);
+  ROWSORT_ASSERT(left.types()[pred1.left_column].id() != TypeId::kVarchar &&
+                 left.types()[pred2.left_column].id() != TypeId::kVarchar &&
+                 "IEJoin keys must be fixed-width");
+
+  // Encode both predicate columns on both sides (ascending, NULLS LAST:
+  // a leading 0xFF byte marks NULL, which never matches).
+  uint64_t xw = 0, yw = 0;
+  std::vector<uint8_t> lx = EncodeColumnKeys(left, pred1.left_column, &xw);
+  std::vector<uint8_t> ly = EncodeColumnKeys(left, pred2.left_column, &yw);
+  std::vector<uint8_t> rx = EncodeColumnKeys(right, pred1.right_column, &xw);
+  std::vector<uint8_t> ry = EncodeColumnKeys(right, pred2.right_column, &yw);
+
+  auto is_null = [](const std::vector<uint8_t>& keys, uint64_t width,
+                    uint64_t row) { return keys[row * width] == 0xFF; };
+
+  std::vector<uint64_t> left_rows, right_rows;  // valid original row indices
+  for (uint64_t i = 0; i < left.row_count(); ++i) {
+    if (!is_null(lx, xw, i) && !is_null(ly, yw, i)) left_rows.push_back(i);
+  }
+  for (uint64_t i = 0; i < right.row_count(); ++i) {
+    if (!is_null(rx, xw, i) && !is_null(ry, yw, i)) right_rows.push_back(i);
+  }
+  const uint64_t m = right_rows.size();
+
+  // Right side, ordered by the second predicate's column: ranks index the
+  // bitmap; the sorted key pointers drive the predicate-2 bound search.
+  std::vector<uint64_t> right_by_y = right_rows;
+  PdqSort(right_by_y.begin(), right_by_y.end(),
+          [&](uint64_t a, uint64_t b) {
+            return std::memcmp(ry.data() + a * yw, ry.data() + b * yw, yw) <
+                   0;
+          });
+  std::vector<const uint8_t*> y_sorted_keys(m);
+  std::vector<uint64_t> rank_of_right(right.row_count());
+  for (uint64_t rank = 0; rank < m; ++rank) {
+    y_sorted_keys[rank] = ry.data() + right_by_y[rank] * yw;
+    rank_of_right[right_by_y[rank]] = rank;
+  }
+
+  // Processing orders for the sweep over predicate 1. For l.x < r.x the
+  // qualifying right set grows as l.x decreases: process both sides in
+  // descending x order. For > the mirror image.
+  const bool descending = OpIsLess(pred1.op);
+  auto x_less = [&](const std::vector<uint8_t>& keys, uint64_t a,
+                    uint64_t b) {
+    return std::memcmp(keys.data() + a * xw, keys.data() + b * xw, xw) < 0;
+  };
+  std::vector<uint64_t> left_order = left_rows;
+  std::vector<uint64_t> right_order = right_rows;
+  PdqSort(left_order.begin(), left_order.end(), [&](uint64_t a, uint64_t b) {
+    return descending ? x_less(lx, b, a) : x_less(lx, a, b);
+  });
+  PdqSort(right_order.begin(), right_order.end(),
+          [&](uint64_t a, uint64_t b) {
+            return descending ? x_less(rx, b, a) : x_less(rx, a, b);
+          });
+
+  // Sweep: insert right rows into the bitmap while predicate 1 holds for
+  // the current left row, then emit the predicate-2 rank range.
+  Bitmap bitmap(m);
+  std::vector<uint64_t> left_matches, right_matches;
+  uint64_t inserted = 0;
+  const bool strict = OpIsStrict(pred1.op);
+  for (uint64_t li : left_order) {
+    const uint8_t* l_x = lx.data() + li * xw;
+    while (inserted < m) {
+      uint64_t ri = right_order[inserted];
+      int cmp = std::memcmp(rx.data() + ri * xw, l_x, xw);
+      // descending (op <): insert while r.x > l.x (or >= for <=);
+      // ascending (op >): insert while r.x < l.x (or <= for >=).
+      bool qualifies = descending ? (strict ? cmp > 0 : cmp >= 0)
+                                  : (strict ? cmp < 0 : cmp <= 0);
+      if (!qualifies) break;
+      bitmap.Set(rank_of_right[ri]);
+      ++inserted;
+    }
+    const uint8_t* l_y = ly.data() + li * yw;
+    uint64_t begin = 0, end = m;
+    switch (pred2.op) {
+      case InequalityOp::kGreater:  // l.y > r.y
+        end = LowerBoundKeys(y_sorted_keys, l_y, yw);
+        break;
+      case InequalityOp::kGreaterEqual:
+        end = UpperBoundKeys(y_sorted_keys, l_y, yw);
+        break;
+      case InequalityOp::kLess:  // l.y < r.y
+        begin = UpperBoundKeys(y_sorted_keys, l_y, yw);
+        break;
+      case InequalityOp::kLessEqual:
+        begin = LowerBoundKeys(y_sorted_keys, l_y, yw);
+        break;
+    }
+    bitmap.ForEachSet(begin, end, [&](uint64_t rank) {
+      left_matches.push_back(li);
+      right_matches.push_back(right_by_y[rank]);
+    });
+  }
+
+  // Gather output rows from the original (unsorted) tables.
+  RowLayout left_layout(left.types());
+  RowCollection left_coll(left_layout);
+  for (uint64_t c = 0; c < left.ChunkCount(); ++c) {
+    left_coll.AppendChunk(left.chunk(c));
+  }
+  RowLayout right_layout(right.types());
+  RowCollection right_coll(right_layout);
+  for (uint64_t c = 0; c < right.ChunkCount(); ++c) {
+    right_coll.AppendChunk(right.chunk(c));
+  }
+
+  std::vector<LogicalType> out_types = left.types();
+  out_types.insert(out_types.end(), right.types().begin(),
+                   right.types().end());
+  std::vector<std::string> out_names = left.names();
+  out_names.insert(out_names.end(), right.names().begin(),
+                   right.names().end());
+  Table out(out_types, out_names);
+  const uint64_t lcols = left.types().size();
+  uint64_t offset = 0;
+  while (offset < left_matches.size()) {
+    uint64_t n = std::min(kVectorSize, left_matches.size() - offset);
+    DataChunk lchunk;
+    lchunk.Initialize(left.types());
+    left_coll.GatherRows(left_matches.data() + offset, n, &lchunk);
+    DataChunk rchunk;
+    rchunk.Initialize(right.types());
+    right_coll.GatherRows(right_matches.data() + offset, n, &rchunk);
+    DataChunk out_chunk = out.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      for (uint64_t c = 0; c < lcols; ++c) {
+        out_chunk.SetValue(c, r, lchunk.GetValue(c, r));
+      }
+      for (uint64_t c = 0; c < right.types().size(); ++c) {
+        out_chunk.SetValue(lcols + c, r, rchunk.GetValue(c, r));
+      }
+    }
+    out_chunk.SetSize(n);
+    out.Append(std::move(out_chunk));
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace rowsort

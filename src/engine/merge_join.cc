@@ -1,0 +1,222 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/merge_join.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+namespace {
+
+/// Compares tuples *across* two sorted tables: identical key encodings on
+/// both sides make the hot path one memcmp; VARCHAR prefix ties are resolved
+/// from the respective payload rows (which live in different layouts).
+class CrossComparator {
+ public:
+  CrossComparator(const SortSpec& left_spec, const RowLayout& left_layout,
+                  const SortSpec& right_spec, const RowLayout& right_layout) {
+    ROWSORT_ASSERT(left_spec.columns().size() == right_spec.columns().size());
+    uint64_t offset = 0;
+    for (uint64_t k = 0; k < left_spec.columns().size(); ++k) {
+      const SortColumn& lc = left_spec.columns()[k];
+      const SortColumn& rc = right_spec.columns()[k];
+      ROWSORT_ASSERT(lc.type == rc.type);
+      ROWSORT_ASSERT(lc.EncodedWidth() == rc.EncodedWidth());
+      Segment seg;
+      seg.key_offset = offset;
+      seg.width = lc.EncodedWidth();
+      seg.is_varchar = lc.type.id() == TypeId::kVarchar;
+      seg.null_marker = lc.null_order == NullOrder::kNullsFirst ? 0x00 : 0xFF;
+      seg.left_offset = left_layout.ColumnOffset(lc.column_index);
+      seg.right_offset = right_layout.ColumnOffset(rc.column_index);
+      segments_.push_back(seg);
+      offset += seg.width;
+    }
+    key_width_ = offset;
+  }
+
+  uint64_t key_width() const { return key_width_; }
+
+  /// Three-way comparison; \p a_right / \p b_right select which table's
+  /// payload layout each argument's string slots are read with.
+  int CompareWith(const uint8_t* key_a, const uint8_t* payload_a, bool a_right,
+                  const uint8_t* key_b, const uint8_t* payload_b,
+                  bool b_right) const {
+    for (const auto& seg : segments_) {
+      int cmp = std::memcmp(key_a + seg.key_offset, key_b + seg.key_offset,
+                            seg.width);
+      if (cmp != 0) return cmp;
+      if (seg.is_varchar && key_a[seg.key_offset] != seg.null_marker) {
+        string_t a = bit_util::LoadUnaligned<string_t>(
+            payload_a + (a_right ? seg.right_offset : seg.left_offset));
+        string_t b = bit_util::LoadUnaligned<string_t>(
+            payload_b + (b_right ? seg.right_offset : seg.left_offset));
+        cmp = a.Compare(b);
+        if (cmp != 0) return cmp;
+      }
+    }
+    return 0;
+  }
+
+  /// Left tuple vs right tuple (the join-loop hot path).
+  int Compare(const uint8_t* key_l, const uint8_t* payload_l,
+              const uint8_t* key_r, const uint8_t* payload_r) const {
+    return CompareWith(key_l, payload_l, false, key_r, payload_r, true);
+  }
+
+  /// True when the row's key contains a NULL in any join column (SQL: such
+  /// rows never join).
+  bool HasNullKey(const uint8_t* key) const {
+    for (const auto& seg : segments_) {
+      if (key[seg.key_offset] == seg.null_marker) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Segment {
+    uint64_t key_offset;
+    uint64_t width;
+    bool is_varchar;
+    uint8_t null_marker;
+    uint64_t left_offset;
+    uint64_t right_offset;
+  };
+  std::vector<Segment> segments_;
+  uint64_t key_width_ = 0;
+};
+
+SortSpec JoinSpec(const Table& table, const std::vector<JoinKey>& keys,
+                  bool left_side) {
+  std::vector<SortColumn> columns;
+  for (const auto& key : keys) {
+    uint64_t col = left_side ? key.left_column : key.right_column;
+    ROWSORT_ASSERT(col < table.types().size());
+    columns.emplace_back(col, table.types()[col], OrderType::kAscending,
+                         NullOrder::kNullsLast);
+  }
+  return SortSpec(std::move(columns));
+}
+
+/// Compares a run tuple against its successor (same side); used to find the
+/// end of a duplicate-key group.
+bool SameKey(const CrossComparator& cmp, const SortedRun& run, uint64_t a,
+             uint64_t b, bool left_side) {
+  bool is_right = !left_side;
+  return cmp.CompareWith(run.KeyRow(a), run.PayloadRow(a), is_right,
+                         run.KeyRow(b), run.PayloadRow(b), is_right) == 0;
+}
+
+}  // namespace
+
+Table SortMergeJoin(const Table& left, const Table& right,
+                    const std::vector<JoinKey>& keys,
+                    const SortEngineConfig& config) {
+  ROWSORT_ASSERT(!keys.empty());
+  SortSpec left_spec = JoinSpec(left, keys, /*left_side=*/true);
+  SortSpec right_spec = JoinSpec(right, keys, /*left_side=*/false);
+
+  // Sort both inputs with the row-based pipeline.
+  RelationalSort left_sort(left_spec, left.types(), config);
+  {
+    auto local = left_sort.MakeLocalState();
+    for (uint64_t c = 0; c < left.ChunkCount(); ++c) {
+      left_sort.Sink(*local, left.chunk(c));
+    }
+    left_sort.CombineLocal(*local);
+    left_sort.Finalize();
+  }
+  RelationalSort right_sort(right_spec, right.types(), config);
+  {
+    auto local = right_sort.MakeLocalState();
+    for (uint64_t c = 0; c < right.ChunkCount(); ++c) {
+      right_sort.Sink(*local, right.chunk(c));
+    }
+    right_sort.CombineLocal(*local);
+    right_sort.Finalize();
+  }
+
+  const SortedRun& lrun = left_sort.result();
+  const SortedRun& rrun = right_sort.result();
+  RowLayout left_layout(left.types());
+  RowLayout right_layout(right.types());
+  CrossComparator cmp(left_spec, left_layout, right_spec, right_layout);
+
+  // Merge: advance the smaller side; on key equality, find both duplicate
+  // groups and emit their cross product.
+  std::vector<uint64_t> left_matches, right_matches;
+  uint64_t i = 0, j = 0;
+  while (i < lrun.count && j < rrun.count) {
+    if (cmp.HasNullKey(lrun.KeyRow(i))) {
+      ++i;
+      continue;
+    }
+    if (cmp.HasNullKey(rrun.KeyRow(j))) {
+      ++j;
+      continue;
+    }
+    int c = cmp.Compare(lrun.KeyRow(i), lrun.PayloadRow(i), rrun.KeyRow(j),
+                        rrun.PayloadRow(j));
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      uint64_t i_end = i + 1;
+      while (i_end < lrun.count && SameKey(cmp, lrun, i, i_end, true)) {
+        ++i_end;
+      }
+      uint64_t j_end = j + 1;
+      while (j_end < rrun.count && SameKey(cmp, rrun, j, j_end, false)) {
+        ++j_end;
+      }
+      for (uint64_t li = i; li < i_end; ++li) {
+        for (uint64_t rj = j; rj < j_end; ++rj) {
+          left_matches.push_back(li);
+          right_matches.push_back(rj);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+
+  // Gather the matched rows: left columns then right columns.
+  std::vector<LogicalType> out_types = left.types();
+  out_types.insert(out_types.end(), right.types().begin(),
+                   right.types().end());
+  std::vector<std::string> out_names = left.names();
+  out_names.insert(out_names.end(), right.names().begin(),
+                   right.names().end());
+  Table out(out_types, out_names);
+  uint64_t offset = 0;
+  const uint64_t lcols = left.types().size();
+  while (offset < left_matches.size()) {
+    uint64_t n = std::min(kVectorSize, left_matches.size() - offset);
+    DataChunk lchunk;
+    lchunk.Initialize(left.types());
+    lrun.payload.GatherRows(left_matches.data() + offset, n, &lchunk);
+    DataChunk rchunk;
+    rchunk.Initialize(right.types());
+    rrun.payload.GatherRows(right_matches.data() + offset, n, &rchunk);
+
+    DataChunk out_chunk = out.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      for (uint64_t c = 0; c < lcols; ++c) {
+        out_chunk.SetValue(c, r, lchunk.GetValue(c, r));
+      }
+      for (uint64_t c = 0; c < right.types().size(); ++c) {
+        out_chunk.SetValue(lcols + c, r, rchunk.GetValue(c, r));
+      }
+    }
+    out_chunk.SetSize(n);
+    out.Append(std::move(out_chunk));
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace rowsort

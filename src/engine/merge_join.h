@@ -1,0 +1,38 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/sort_engine.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// One equi-join predicate: left.columns[left_column] =
+/// right.columns[right_column]; both sides must have the same type.
+struct JoinKey {
+  uint64_t left_column = 0;
+  uint64_t right_column = 0;
+};
+
+/// \brief Sort-merge inner equi-join built on the sorting pipeline.
+///
+/// The paper motivates cheap full-tuple comparisons with exactly this
+/// operator (§V-B: "merge joins ... iterate sequentially over sorted runs
+/// and compare tuples. ... the decision of incrementing either the left or
+/// right iterator relies on a full tuple comparison"). Both inputs are
+/// sorted by their join keys with the row-based pipeline; the merge then
+/// compares *normalized keys* across the two tables with a single memcmp
+/// per step — the interpreted engine pays no per-column interpretation in
+/// the join loop, which is the paper's point.
+///
+/// Semantics: SQL inner join — rows with a NULL in any join key never match.
+/// Output columns are the left table's columns followed by the right
+/// table's; row order follows the sorted key order (groups of duplicate
+/// keys produce their cross product).
+Table SortMergeJoin(const Table& left, const Table& right,
+                    const std::vector<JoinKey>& keys,
+                    const SortEngineConfig& config = {});
+
+}  // namespace rowsort

@@ -1,0 +1,30 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/merge_path.h"
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+uint64_t MergePathSearch(const SortedRun& left, const SortedRun& right,
+                         const TupleComparator& comparator,
+                         uint64_t diagonal) {
+  ROWSORT_ASSERT(diagonal <= left.count + right.count);
+  // Search i in [low, high]: i elements from left, diagonal - i from right.
+  uint64_t low = diagonal > right.count ? diagonal - right.count : 0;
+  uint64_t high = std::min(diagonal, left.count);
+  while (low < high) {
+    uint64_t mid = low + (high - low) / 2;
+    uint64_t j = diagonal - mid - 1;  // right element compared against L[mid]
+    // Stable merge takes R[j] before L[mid] only when strictly smaller.
+    int cmp = comparator.Compare(right.KeyRow(j), right.PayloadRow(j),
+                                 left.KeyRow(mid), left.PayloadRow(mid));
+    if (cmp < 0) {
+      high = mid;  // R[j] precedes L[mid]: take fewer from left
+    } else {
+      low = mid + 1;  // L[mid] precedes (or ties): take more from left
+    }
+  }
+  return low;
+}
+
+}  // namespace rowsort

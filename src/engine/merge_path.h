@@ -1,0 +1,25 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/sorted_run.h"
+#include "engine/tuple_comparator.h"
+
+namespace rowsort {
+
+/// \brief Merge Path (Green, Odeh & Birk 2014): computes, for a given output
+/// diagonal, how many elements each of two sorted runs contributes to the
+/// first \p diagonal merged elements. The resulting partitions can be merged
+/// independently, which is how the pipeline parallelizes the *last* merges
+/// when there are fewer run pairs than threads (paper §VII: "The partition
+/// boundaries are efficiently computed with a binary search").
+///
+/// The split is stable: ties are taken from \p left first.
+///
+/// \return i = elements taken from left; the right contribution is
+/// diagonal - i.
+uint64_t MergePathSearch(const SortedRun& left, const SortedRun& right,
+                         const TupleComparator& comparator, uint64_t diagonal);
+
+}  // namespace rowsort

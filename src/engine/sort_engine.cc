@@ -1,0 +1,471 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/sort_engine.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "engine/external_run.h"
+#include "engine/merge_path.h"
+#include "sortalgo/radix_sort.h"
+#include "sortalgo/row_sort.h"
+
+namespace rowsort {
+
+RelationalSort::RelationalSort(SortSpec spec,
+                               std::vector<LogicalType> input_types,
+                               SortEngineConfig config)
+    : spec_(std::move(spec)), input_types_(std::move(input_types)),
+      config_(config), encoder_(spec_), payload_layout_(input_types_),
+      comparator_(spec_, payload_layout_) {
+  ROWSORT_ASSERT(!spec_.columns().empty());
+  for (const auto& col : spec_.columns()) {
+    ROWSORT_ASSERT(col.column_index < input_types_.size());
+    ROWSORT_ASSERT(col.type == input_types_[col.column_index]);
+  }
+  ROWSORT_ASSERT(!(config_.algorithm == RunSortAlgorithm::kRadix &&
+                   comparator_.needs_tie_resolution()) &&
+                 "radix sort cannot resolve VARCHAR prefix ties");
+  row_id_offset_ = bit_util::AlignValue(encoder_.key_width());
+  key_row_width_ = row_id_offset_ + sizeof(uint64_t);
+}
+
+RelationalSort::LocalState::LocalState(const RelationalSort& sort)
+    : payload_(sort.payload_layout_) {}
+
+void RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
+  if (chunk.size() == 0) return;
+  Timer timer;
+  const uint64_t count = chunk.size();
+  const uint64_t old_count = local.count_;
+
+  // Key rows: [normalized key | padding | row id], one block of vectors at a
+  // time so the conversion stays cache-resident (paper §VII).
+  local.key_rows_.resize((old_count + count) * key_row_width_);
+  uint8_t* key_base = local.key_rows_.data() + old_count * key_row_width_;
+  encoder_.EncodeChunk(chunk, count, key_base, key_row_width_);
+  for (uint64_t i = 0; i < count; ++i) {
+    bit_util::StoreUnaligned<uint64_t>(
+        key_base + i * key_row_width_ + row_id_offset_, old_count + i);
+  }
+
+  // Payload rows: every input column, scattered column by column.
+  local.payload_.AppendChunk(chunk);
+  local.count_ += count;
+  local.sink_seconds_ += timer.ElapsedSeconds();
+
+  if (local.count_ >= config_.run_size_rows) {
+    SortLocalRun(local);
+  }
+}
+
+void RelationalSort::CombineLocal(LocalState& local) {
+  if (local.count_ > 0) {
+    SortLocalRun(local);
+  }
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  metrics_.sink_seconds += local.sink_seconds_;
+  local.sink_seconds_ = 0;
+}
+
+bool RelationalSort::UseRadix(uint64_t count) const {
+  switch (config_.algorithm) {
+    case RunSortAlgorithm::kRadix:
+      return true;
+    case RunSortAlgorithm::kPdq:
+      return false;
+    case RunSortAlgorithm::kAuto:
+      // Paper §VII: radix sort, "or pdqsort if there are strings".
+      return !comparator_.needs_tie_resolution() &&
+             !config_.count_comparisons;
+    case RunSortAlgorithm::kHeuristic:
+      // Future work (§IX): distribution sort only where it wins — enough
+      // rows to amortize the counting passes and a short enough key.
+      return !comparator_.needs_tie_resolution() &&
+             !config_.count_comparisons && count >= 4096 &&
+             encoder_.key_width() <= 32;
+  }
+  return false;
+}
+
+void RelationalSort::SortLocalRun(LocalState& local) {
+  Timer timer;
+  const uint64_t count = local.count_;
+  const uint64_t krw = key_row_width_;
+  uint8_t* keys = local.key_rows_.data();
+
+  if (UseRadix(count)) {
+    std::vector<uint8_t> aux(count * krw);
+    RadixSortConfig config;
+    config.row_width = krw;
+    config.key_offset = 0;
+    config.key_width = encoder_.key_width();
+    if (config_.pdq_inside_msd) {
+      RadixSortMsdWithPdq(keys, aux.data(), count, config);
+    } else {
+      RadixSort(keys, aux.data(), count, config);
+    }
+  } else if (comparator_.needs_tie_resolution()) {
+    // pdqsort with memcmp; tied VARCHAR prefixes resolved from the (still
+    // unsorted) payload rows via the row id carried in each key row.
+    const RowCollection& payload = local.payload_;
+    const uint64_t id_offset = row_id_offset_;
+    const TupleComparator& cmp = comparator_;
+    std::atomic<uint64_t>* counter =
+        config_.count_comparisons ? &run_compares_ : nullptr;
+    PdqSortRowsWith(keys, count, krw,
+                    [&payload, id_offset, &cmp, counter](const uint8_t* a,
+                                                         const uint8_t* b) {
+                      if (counter) counter->fetch_add(1, std::memory_order_relaxed);
+                      uint64_t id_a = bit_util::LoadUnaligned<uint64_t>(a + id_offset);
+                      uint64_t id_b = bit_util::LoadUnaligned<uint64_t>(b + id_offset);
+                      return cmp.Compare(a, payload.GetRow(id_a), b,
+                                         payload.GetRow(id_b)) < 0;
+                    });
+  } else {
+    const uint64_t key_width = encoder_.key_width();
+    std::atomic<uint64_t>* counter =
+        config_.count_comparisons ? &run_compares_ : nullptr;
+    if (counter) {
+      PdqSortRowsWith(keys, count, krw,
+                      [key_width, counter](const uint8_t* a, const uint8_t* b) {
+                        counter->fetch_add(1, std::memory_order_relaxed);
+                        return std::memcmp(a, b, key_width) < 0;
+                      });
+    } else {
+      PdqSortRows(keys, count, krw, 0, key_width);
+    }
+  }
+
+  // Reorder the payload into sorted order ("Then, we reorder the payload,
+  // creating fully sorted runs", §VII). String payloads stay put: the new
+  // collection adopts the old heap, so only fixed-size rows move.
+  SortedRun run;
+  run.count = count;
+  run.key_row_width = krw;
+  run.key_rows = std::move(local.key_rows_);
+  run.payload = RowCollection(payload_layout_);
+  run.payload.AppendUninitialized(count);
+  const uint64_t width = payload_layout_.row_width();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t row_id = bit_util::LoadUnaligned<uint64_t>(
+        run.key_rows.data() + i * krw + row_id_offset_);
+    std::memcpy(run.payload.GetRow(i), local.payload_.GetRow(row_id), width);
+  }
+  run.payload.AdoptHeap(std::move(local.payload_));
+
+  // Reset the local state for the next run.
+  local.key_rows_ = {};
+  local.payload_ = RowCollection(payload_layout_);
+  local.count_ = 0;
+
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    metrics_.run_sort_seconds += timer.ElapsedSeconds();
+    metrics_.runs_generated += 1;
+    metrics_.rows += count;
+    if (!config_.spill_directory.empty()) {
+      // Graceful degradation (§IX): offload the run in the unified row
+      // format and release its memory.
+      std::string path = StringFormat("%s/run_%llu.rsrun",
+                                      config_.spill_directory.c_str(),
+                                      (unsigned long long)spill_counter_++);
+      ROWSORT_CHECK_OK(WriteRunToFile(run, payload_layout_, path));
+      spilled_files_.push_back(std::move(path));
+    } else {
+      runs_.push_back(std::move(run));
+    }
+  }
+}
+
+void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
+                                uint64_t left_begin, uint64_t left_end,
+                                uint64_t right_begin, uint64_t right_end,
+                                SortedRun* out, uint64_t out_begin) {
+  const uint64_t krw = key_row_width_;
+  const uint64_t prw = payload_layout_.row_width();
+  uint64_t l = left_begin, r = right_begin, o = out_begin;
+  uint8_t* out_keys = out->key_rows.data();
+  std::atomic<uint64_t>* counter =
+      config_.count_comparisons ? &merge_compares_ : nullptr;
+
+  while (l < left_end && r < right_end) {
+    // Full tuple comparison with memcmp (+ string ties), §VII.
+    if (counter) counter->fetch_add(1, std::memory_order_relaxed);
+    int cmp = comparator_.Compare(left.KeyRow(l), left.PayloadRow(l),
+                                  right.KeyRow(r), right.PayloadRow(r));
+    if (cmp <= 0) {  // stable: left wins ties
+      std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
+      std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
+      ++l;
+    } else {
+      std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
+      std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
+      ++r;
+    }
+    ++o;
+  }
+  for (; l < left_end; ++l, ++o) {
+    std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
+    std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
+  }
+  for (; r < right_end; ++r, ++o) {
+    std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
+    std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
+  }
+}
+
+SortedRun RelationalSort::MergePair(const SortedRun& left,
+                                    const SortedRun& right, ThreadPool* pool) {
+  SortedRun out;
+  out.count = left.count + right.count;
+  out.key_row_width = key_row_width_;
+  out.key_rows.resize(out.count * key_row_width_);
+  out.payload = RowCollection(payload_layout_);
+  out.payload.AppendUninitialized(out.count);
+
+  const uint64_t partitions =
+      pool != nullptr ? std::max<uint64_t>(pool->thread_count(), 1) : 1;
+  if (partitions <= 1 || out.count < 2 * kVectorSize) {
+    MergeSlice(left, right, 0, left.count, 0, right.count, &out, 0);
+  } else {
+    // Merge Path: cut both runs at evenly spaced output diagonals; each
+    // partition merges independently (§VII).
+    std::vector<uint64_t> left_cuts(partitions + 1), right_cuts(partitions + 1);
+    left_cuts[0] = right_cuts[0] = 0;
+    left_cuts[partitions] = left.count;
+    right_cuts[partitions] = right.count;
+    for (uint64_t p = 1; p < partitions; ++p) {
+      uint64_t diagonal = out.count * p / partitions;
+      uint64_t i = MergePathSearch(left, right, comparator_, diagonal);
+      left_cuts[p] = i;
+      right_cuts[p] = diagonal - i;
+    }
+    std::vector<std::function<void()>> tasks;
+    for (uint64_t p = 0; p < partitions; ++p) {
+      uint64_t out_begin = left_cuts[p] + right_cuts[p];
+      tasks.push_back([this, &left, &right, &left_cuts, &right_cuts, &out,
+                       out_begin, p] {
+        MergeSlice(left, right, left_cuts[p], left_cuts[p + 1], right_cuts[p],
+                   right_cuts[p + 1], &out, out_begin);
+      });
+    }
+    pool->RunBatch(std::move(tasks));
+  }
+  return out;
+}
+
+SortedRun RelationalSort::MergeKWay(std::vector<SortedRun>& runs) {
+  SortedRun out;
+  out.key_row_width = key_row_width_;
+  out.payload = RowCollection(payload_layout_);
+  uint64_t total = 0;
+  for (const auto& run : runs) total += run.count;
+  out.count = total;
+  out.key_rows.resize(total * key_row_width_);
+  out.payload.AppendUninitialized(total);
+
+  // Binary min-heap of run cursors; ties break toward the lower run index.
+  struct Cursor {
+    const SortedRun* run;
+    uint64_t pos;
+    uint64_t index;
+  };
+  std::vector<Cursor> heap;
+  for (uint64_t r = 0; r < runs.size(); ++r) {
+    if (runs[r].count > 0) heap.push_back({&runs[r], 0, r});
+  }
+  std::atomic<uint64_t>* counter =
+      config_.count_comparisons ? &merge_compares_ : nullptr;
+  auto greater = [&](const Cursor& a, const Cursor& b) {
+    if (counter) counter->fetch_add(1, std::memory_order_relaxed);
+    int cmp = comparator_.Compare(a.run->KeyRow(a.pos),
+                                  a.run->PayloadRow(a.pos),
+                                  b.run->KeyRow(b.pos),
+                                  b.run->PayloadRow(b.pos));
+    if (cmp != 0) return cmp > 0;
+    return a.index > b.index;
+  };
+  auto sift_down = [&](uint64_t root) {
+    uint64_t size = heap.size();
+    while (true) {
+      uint64_t child = 2 * root + 1;
+      if (child >= size) break;
+      if (child + 1 < size && greater(heap[child], heap[child + 1])) ++child;
+      if (!greater(heap[root], heap[child])) break;
+      std::swap(heap[root], heap[child]);
+      root = child;
+    }
+  };
+  for (uint64_t i = heap.size(); i-- > 0;) sift_down(i);
+
+  const uint64_t krw = key_row_width_;
+  const uint64_t prw = payload_layout_.row_width();
+  uint64_t o = 0;
+  while (!heap.empty()) {
+    Cursor& top = heap[0];
+    std::memcpy(out.key_rows.data() + o * krw, top.run->KeyRow(top.pos), krw);
+    std::memcpy(out.payload.GetRow(o), top.run->PayloadRow(top.pos), prw);
+    ++o;
+    if (++top.pos == top.run->count) {
+      heap[0] = heap.back();
+      heap.pop_back();
+    }
+    if (!heap.empty()) sift_down(0);
+  }
+
+  for (auto& run : runs) {
+    out.payload.AdoptHeap(std::move(run.payload));
+  }
+  return out;
+}
+
+void RelationalSort::Finalize(ThreadPool* pool) {
+  Timer timer;
+  metrics_.run_generation_compares =
+      run_compares_.load(std::memory_order_relaxed);
+
+  if (!spilled_files_.empty()) {
+    // External cascaded merge: two runs resident at a time; merged results
+    // go back to disk until one remains.
+    while (spilled_files_.size() > 1) {
+      std::string left_path = spilled_files_[0];
+      std::string right_path = spilled_files_[1];
+      spilled_files_.erase(spilled_files_.begin(), spilled_files_.begin() + 2);
+      auto left = ReadRunFromFile(payload_layout_, left_path);
+      auto right = ReadRunFromFile(payload_layout_, right_path);
+      ROWSORT_CHECK_OK(left.status());
+      ROWSORT_CHECK_OK(right.status());
+      SortedRun merged = MergePair(left.value(), right.value(), pool);
+      merged.payload.AdoptHeap(std::move(left.value().payload));
+      merged.payload.AdoptHeap(std::move(right.value().payload));
+      std::remove(left_path.c_str());
+      std::remove(right_path.c_str());
+      std::string out_path = StringFormat("%s/run_%llu.rsrun",
+                                          config_.spill_directory.c_str(),
+                                          (unsigned long long)spill_counter_++);
+      ROWSORT_CHECK_OK(WriteRunToFile(merged, payload_layout_, out_path));
+      spilled_files_.push_back(std::move(out_path));
+    }
+    auto final_run = ReadRunFromFile(payload_layout_, spilled_files_[0]);
+    ROWSORT_CHECK_OK(final_run.status());
+    std::remove(spilled_files_[0].c_str());
+    spilled_files_.clear();
+    result_ = std::move(final_run.value());
+    metrics_.merge_seconds += timer.ElapsedSeconds();
+    metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
+    return;
+  }
+
+  if (runs_.empty()) {
+    result_ = SortedRun();
+    result_.key_row_width = key_row_width_;
+    result_.payload = RowCollection(payload_layout_);
+    return;
+  }
+
+  if (config_.use_kway_merge) {
+    // Merge-strategy ablation: one k-way heap pass (ClickHouse/HyPer style).
+    result_ = MergeKWay(runs_);
+    runs_.clear();
+    metrics_.merge_seconds += timer.ElapsedSeconds();
+    metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
+    return;
+  }
+
+  // 2-way cascaded merge sort: trivially parallel across pairs while many
+  // runs remain; Merge Path parallelizes within pairs as runs get large.
+  std::vector<SortedRun> current = std::move(runs_);
+  runs_.clear();
+  while (current.size() > 1) {
+    std::vector<SortedRun> next((current.size() + 1) / 2);
+    if (pool != nullptr && current.size() >= 4) {
+      std::vector<std::function<void()>> tasks;
+      for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
+        tasks.push_back([this, &current, &next, p] {
+          // Many pairs: no intra-pair partitioning needed yet.
+          next[p / 2] = MergePair(current[p], current[p + 1], nullptr);
+        });
+      }
+      pool->RunBatch(std::move(tasks));
+    } else {
+      for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
+        next[p / 2] = MergePair(current[p], current[p + 1], pool);
+      }
+    }
+    // Adopt string heaps of merged inputs so descriptors stay valid.
+    for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
+      next[p / 2].payload.AdoptHeap(std::move(current[p].payload));
+      next[p / 2].payload.AdoptHeap(std::move(current[p + 1].payload));
+    }
+    if (current.size() % 2 == 1) {
+      next.back() = std::move(current.back());
+    }
+    current = std::move(next);
+  }
+  result_ = std::move(current.front());
+  metrics_.merge_seconds += timer.ElapsedSeconds();
+  metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
+}
+
+uint64_t RelationalSort::ScanChunk(uint64_t start, DataChunk* out) const {
+  if (start >= result_.count) {
+    out->SetSize(0);
+    return 0;
+  }
+  uint64_t count = std::min(out->capacity(), result_.count - start);
+  result_.payload.GatherChunk(start, count, out);
+  return count;
+}
+
+Table RelationalSort::SortTable(const Table& input, const SortSpec& spec,
+                                const SortEngineConfig& config,
+                                SortMetrics* metrics_out) {
+  RelationalSort sort(spec, input.types(), config);
+  uint64_t threads = std::max<uint64_t>(config.threads, 1);
+
+  if (threads <= 1) {
+    auto local = sort.MakeLocalState();
+    for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+      sort.Sink(*local, input.chunk(c));
+    }
+    sort.CombineLocal(*local);
+    sort.Finalize(nullptr);
+  } else {
+    ThreadPool pool(threads);
+    // Morsel-driven: threads grab chunks from a shared counter (§VII /
+    // Leis et al.), each filling its own local state.
+    std::atomic<uint64_t> next_chunk{0};
+    std::vector<std::function<void()>> tasks;
+    for (uint64_t t = 0; t < threads; ++t) {
+      tasks.push_back([&sort, &input, &next_chunk] {
+        auto local = sort.MakeLocalState();
+        while (true) {
+          uint64_t c = next_chunk.fetch_add(1);
+          if (c >= input.ChunkCount()) break;
+          sort.Sink(*local, input.chunk(c));
+        }
+        sort.CombineLocal(*local);
+      });
+    }
+    pool.RunBatch(std::move(tasks));
+    sort.Finalize(&pool);
+  }
+
+  Table output(input.types(), input.names());
+  uint64_t offset = 0;
+  while (offset < sort.row_count()) {
+    DataChunk chunk = output.NewChunk();
+    uint64_t produced = sort.ScanChunk(offset, &chunk);
+    offset += produced;
+    output.Append(std::move(chunk));
+  }
+  if (metrics_out != nullptr) {
+    *metrics_out = sort.metrics();
+  }
+  return output;
+}
+
+}  // namespace rowsort

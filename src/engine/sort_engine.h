@@ -1,0 +1,170 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/sorted_run.h"
+#include "engine/tuple_comparator.h"
+#include "parallel/thread_pool.h"
+#include "row/row_collection.h"
+#include "sortkey/key_encoder.h"
+#include "sortkey/sort_spec.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// Which algorithm sorts the thread-local runs.
+enum class RunSortAlgorithm : uint8_t {
+  /// The paper's rule (§VII): radix sort on the normalized keys, pdqsort
+  /// when VARCHAR prefixes may tie (strings present).
+  kAuto,
+  /// Always byte-wise radix sort (only valid without VARCHAR key columns).
+  kRadix,
+  /// Always pdqsort with the (memcmp + tie resolution) comparator.
+  kPdq,
+  /// Future-work heuristic (§IX): consider key size and row count — radix
+  /// only where distribution sort actually wins (large n, short keys).
+  kHeuristic,
+};
+
+/// Configuration of the sorting pipeline.
+struct SortEngineConfig {
+  uint64_t threads = 1;            ///< worker threads (1 = serial)
+  uint64_t run_size_rows = 1 << 20;  ///< thread-local run generation threshold
+  RunSortAlgorithm algorithm = RunSortAlgorithm::kAuto;
+  /// Future-work ablation (§IX): use pdqsort inside MSD radix recursion for
+  /// small buckets instead of insertion sort.
+  bool pdq_inside_msd = false;
+  /// Count comparator invocations during run generation and merging (for the
+  /// §II comparison-count analysis); small overhead when enabled.
+  bool count_comparisons = false;
+  /// Future-work graceful degradation (§IX): when non-empty, every sorted
+  /// run is spilled to this directory after run generation and the cascaded
+  /// merge streams runs back two at a time, bounding resident memory by a
+  /// few runs instead of the whole input.
+  std::string spill_directory;
+  /// Merge strategy ablation: false = DuckDB's 2-way cascaded merge with
+  /// Merge Path parallelism (the paper's design); true = a single k-way
+  /// heap merge over all runs at once, the strategy §VII attributes to
+  /// ClickHouse and HyPer/Umbra. The k-way merge touches each row once but
+  /// pays a log(k) heap comparison per output row and is one serial pass.
+  bool use_kway_merge = false;
+};
+
+/// Measurements the pipeline records per sort (bench/§II support).
+struct SortMetrics {
+  uint64_t rows = 0;
+  uint64_t runs_generated = 0;
+  uint64_t run_generation_compares = 0;  ///< 0 when radix sort was used
+  uint64_t merge_compares = 0;
+  double sink_seconds = 0;      ///< DSM->NSM conversion + key normalization
+  double run_sort_seconds = 0;  ///< thread-local sorts + payload reorder
+  double merge_seconds = 0;     ///< cascaded merge
+};
+
+/// \brief The paper's primary contribution: a fully parallel row-based
+/// relational sort for a vectorized interpreted engine (Fig. 11).
+///
+/// Pipeline: incoming vectors are converted to two 8-byte-aligned row
+/// formats — normalized key rows and payload rows. When a thread has
+/// collected run_size_rows, it sorts the key rows with radix sort (or
+/// pdqsort with memcmp when strings are present), reorders the payload, and
+/// publishes a fully sorted run. After all input is consumed, runs are
+/// merged by a 2-way cascaded merge sort whose final merges are parallelized
+/// with Merge Path partitioning. The result converts back to vectors.
+///
+/// Usage:
+///   RelationalSort sort(spec, input_types, config);
+///   auto local = sort.MakeLocalState();
+///   for (chunk : input) sort.Sink(*local, chunk);   // per-thread
+///   sort.CombineLocal(*local);                      // per-thread
+///   sort.Finalize(&pool);                           // once
+///   sort.ScanChunk(offset, &out);                   // read sorted output
+class RelationalSort {
+ public:
+  /// \p spec's column indices refer to \p input_types; every input column is
+  /// carried as payload (the sort returns complete rows).
+  RelationalSort(SortSpec spec, std::vector<LogicalType> input_types,
+                 SortEngineConfig config = {});
+  ROWSORT_DISALLOW_COPY_AND_MOVE(RelationalSort);
+
+  /// Thread-local sink state (one per producing thread).
+  class LocalState {
+   public:
+    explicit LocalState(const RelationalSort& sort);
+
+   private:
+    friend class RelationalSort;
+    std::vector<uint8_t> key_rows_;
+    RowCollection payload_;
+    uint64_t count_ = 0;
+    double sink_seconds_ = 0;  ///< folded into SortMetrics at CombineLocal
+  };
+
+  std::unique_ptr<LocalState> MakeLocalState() const {
+    return std::make_unique<LocalState>(*this);
+  }
+
+  /// Materializes \p chunk into \p local (key normalization + payload
+  /// scatter); emits a sorted run when the local threshold is reached.
+  void Sink(LocalState& local, const DataChunk& chunk);
+
+  /// Flushes \p local's remaining rows as a final (smaller) sorted run.
+  void CombineLocal(LocalState& local);
+
+  /// Runs the cascaded merge; \p pool may be null (serial merge).
+  void Finalize(ThreadPool* pool = nullptr);
+
+  /// Total sorted rows (valid after Finalize).
+  uint64_t row_count() const { return result_.count; }
+
+  /// Gathers sorted rows [start, start + out->capacity()) into \p out;
+  /// returns the number of rows produced (0 at the end).
+  uint64_t ScanChunk(uint64_t start, DataChunk* out) const;
+
+  /// The merged run (valid after Finalize).
+  const SortedRun& result() const { return result_; }
+
+  const SortMetrics& metrics() const { return metrics_; }
+  const TupleComparator& comparator() const { return comparator_; }
+  uint64_t key_row_width() const { return key_row_width_; }
+
+  /// Convenience single-call API: sorts \p input with \p config.threads
+  /// workers (morsel-driven: chunks are distributed across local states) and
+  /// returns the sorted table. \p metrics_out is optional.
+  static Table SortTable(const Table& input, const SortSpec& spec,
+                         const SortEngineConfig& config = {},
+                         SortMetrics* metrics_out = nullptr);
+
+ private:
+  void SortLocalRun(LocalState& local);
+  SortedRun MergePair(const SortedRun& left, const SortedRun& right,
+                      ThreadPool* pool);
+  SortedRun MergeKWay(std::vector<SortedRun>& runs);
+  void MergeSlice(const SortedRun& left, const SortedRun& right,
+                  uint64_t left_begin, uint64_t left_end, uint64_t right_begin,
+                  uint64_t right_end, SortedRun* out, uint64_t out_begin);
+  bool UseRadix(uint64_t count) const;
+
+  SortSpec spec_;
+  std::vector<LogicalType> input_types_;
+  SortEngineConfig config_;
+  NormalizedKeyEncoder encoder_;
+  RowLayout payload_layout_;
+  TupleComparator comparator_;
+  uint64_t key_row_width_ = 0;   ///< aligned key + 8-byte row id
+  uint64_t row_id_offset_ = 0;
+
+  std::mutex runs_mutex_;
+  std::vector<SortedRun> runs_;
+  std::vector<std::string> spilled_files_;
+  uint64_t spill_counter_ = 0;
+  SortedRun result_;
+  SortMetrics metrics_;
+  std::atomic<uint64_t> run_compares_{0};
+  std::atomic<uint64_t> merge_compares_{0};
+};
+
+}  // namespace rowsort

@@ -1,0 +1,27 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "row/row_collection.h"
+
+namespace rowsort {
+
+/// \brief One fully sorted run of the pipeline (paper Fig. 11): normalized
+/// key rows and payload rows, position-aligned (key i belongs to payload
+/// row i). Runs are produced by thread-local run generation and consumed by
+/// the cascaded merge.
+struct SortedRun {
+  std::vector<uint8_t> key_rows;  ///< count * key_row_width bytes
+  RowCollection payload;
+  uint64_t count = 0;
+  uint64_t key_row_width = 0;
+
+  const uint8_t* KeyRow(uint64_t i) const {
+    return key_rows.data() + i * key_row_width;
+  }
+  const uint8_t* PayloadRow(uint64_t i) const { return payload.GetRow(i); }
+};
+
+}  // namespace rowsort

@@ -1,0 +1,154 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/top_n.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "sortalgo/pdq_sort.h"
+
+namespace rowsort {
+
+TopN::TopN(SortSpec spec, std::vector<LogicalType> input_types, uint64_t limit)
+    : spec_(std::move(spec)), input_types_(std::move(input_types)),
+      limit_(limit), encoder_(spec_), payload_layout_(input_types_),
+      comparator_(spec_, payload_layout_) {
+  ROWSORT_ASSERT(limit_ > 0);
+  key_width_ = encoder_.key_width();
+  payload_ = RowCollection(payload_layout_);
+  heap_.reserve(limit_);
+}
+
+bool TopN::HeapLess(uint64_t a, uint64_t b) const {
+  // Max-heap by sort order: the root is the *worst* of the current top N.
+  return comparator_.Compare(key_rows_.data() + a * key_width_,
+                             payload_.GetRow(a),
+                             key_rows_.data() + b * key_width_,
+                             payload_.GetRow(b)) < 0;
+}
+
+void TopN::HeapSiftDown(uint64_t root) {
+  uint64_t size = heap_.size();
+  while (true) {
+    uint64_t child = 2 * root + 1;
+    if (child >= size) break;
+    if (child + 1 < size && HeapLess(heap_[child], heap_[child + 1])) {
+      ++child;
+    }
+    if (!HeapLess(heap_[root], heap_[child])) break;
+    std::swap(heap_[root], heap_[child]);
+    root = child;
+  }
+}
+
+void TopN::HeapSiftUp(uint64_t pos) {
+  while (pos > 0) {
+    uint64_t parent = (pos - 1) / 2;
+    if (!HeapLess(heap_[parent], heap_[pos])) break;
+    std::swap(heap_[parent], heap_[pos]);
+    pos = parent;
+  }
+}
+
+void TopN::Compact() {
+  // Rewrite storage to hold only the slots the heap references. Keeps the
+  // operator's memory bounded at O(N) regardless of input size.
+  std::vector<uint8_t> new_keys(heap_.size() * key_width_);
+  RowCollection new_payload(payload_layout_);
+  new_payload.AppendUninitialized(heap_.size());
+  const uint64_t width = payload_layout_.row_width();
+  for (uint64_t i = 0; i < heap_.size(); ++i) {
+    uint64_t slot = heap_[i];
+    std::memcpy(new_keys.data() + i * key_width_,
+                key_rows_.data() + slot * key_width_, key_width_);
+    std::memcpy(new_payload.GetRow(i), payload_.GetRow(slot), width);
+    heap_[i] = i;
+  }
+  // Re-own surviving string payloads in the fresh arena so strings of
+  // rejected rows are actually freed (true O(N) residency).
+  if (payload_layout_.HasVariableSize()) {
+    for (uint64_t col = 0; col < payload_layout_.ColumnCount(); ++col) {
+      if (payload_layout_.types()[col].id() != TypeId::kVarchar) continue;
+      uint64_t offset = payload_layout_.ColumnOffset(col);
+      for (uint64_t i = 0; i < heap_.size(); ++i) {
+        uint8_t* row = new_payload.GetRow(i);
+        if (!RowLayout::IsValid(row, col)) continue;
+        string_t value = bit_util::LoadUnaligned<string_t>(row + offset);
+        if (value.IsInlined()) continue;
+        string_t owned = new_payload.string_heap().AddString(value);
+        bit_util::StoreUnaligned(row + offset, owned);
+      }
+    }
+  }
+  key_rows_ = std::move(new_keys);
+  payload_ = std::move(new_payload);
+}
+
+void TopN::Sink(const DataChunk& chunk) {
+  const uint64_t count = chunk.size();
+  if (count == 0) return;
+  rows_seen_ += count;
+
+  // Encode this chunk's keys into scratch space (vector-at-a-time). Payload
+  // is NOT materialized yet: rows that cannot beat the current worst are
+  // rejected on their key alone and never copied.
+  std::vector<uint8_t> chunk_keys(count * key_width_);
+  encoder_.EncodeChunk(chunk, count, chunk_keys.data(), key_width_);
+
+  for (uint64_t r = 0; r < count; ++r) {
+    const uint8_t* key = chunk_keys.data() + r * key_width_;
+    if (heap_.size() >= limit_) {
+      // One key comparison against the current worst rejects most rows.
+      // (Key ties are admitted conservatively: with VARCHAR prefixes a tie
+      // may still win after full-string resolution.)
+      uint64_t worst = heap_[0];
+      int cmp = std::memcmp(key, key_rows_.data() + worst * key_width_,
+                            key_width_);
+      if (cmp > 0 || (cmp == 0 && !comparator_.needs_tie_resolution())) {
+        ++rows_rejected_early_;
+        continue;
+      }
+    }
+    // Candidate: materialize this row.
+    uint64_t slot = payload_.AppendRow(chunk, r);
+    key_rows_.resize(key_rows_.size() + key_width_);
+    std::memcpy(key_rows_.data() + slot * key_width_, key, key_width_);
+    if (heap_.size() < limit_) {
+      heap_.push_back(slot);
+      HeapSiftUp(heap_.size() - 1);
+      continue;
+    }
+    if (!HeapLess(slot, heap_[0])) {
+      // Lost the full (tie-resolved) comparison after all.
+      ++rows_rejected_early_;
+      continue;
+    }
+    heap_[0] = slot;
+    HeapSiftDown(0);
+  }
+
+  // Garbage-collect candidate storage when it outgrows the heap 4x.
+  if (payload_.row_count() > 4 * limit_ + 2 * kVectorSize) {
+    Compact();
+  }
+}
+
+Table TopN::Finalize() {
+  // Sort the surviving slots ascending and gather.
+  std::vector<uint64_t> slots = heap_;
+  PdqSort(slots.begin(), slots.end(), [this](uint64_t a, uint64_t b) {
+    return HeapLess(a, b);
+  });
+
+  Table out(input_types_);
+  uint64_t offset = 0;
+  while (offset < slots.size()) {
+    uint64_t n = std::min(kVectorSize, slots.size() - offset);
+    DataChunk chunk = out.NewChunk();
+    payload_.GatherRows(slots.data() + offset, n, &chunk);
+    out.Append(std::move(chunk));
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace rowsort

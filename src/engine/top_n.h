@@ -1,0 +1,65 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/tuple_comparator.h"
+#include "row/row_collection.h"
+#include "sortkey/key_encoder.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// \brief Specialized Top-N operator (paper §VII-A: "ORDER BY ... LIMIT 1
+/// will typically trigger a specialized top N operator rather than the
+/// 'normal' sort operator").
+///
+/// Maintains the current N best rows in a bounded max-heap ordered by the
+/// same normalized keys the sort operator uses, so heap comparisons are a
+/// single memcmp (plus string tie resolution). Rows that cannot enter the
+/// top N are rejected with one comparison against the heap root, making the
+/// operator O(n log N) with a working set of O(N) instead of materializing
+/// all input.
+class TopN {
+ public:
+  /// Keeps the first \p limit rows of the \p spec ordering over rows with
+  /// \p input_types columns.
+  TopN(SortSpec spec, std::vector<LogicalType> input_types, uint64_t limit);
+  ROWSORT_DISALLOW_COPY_AND_MOVE(TopN);
+
+  /// Feeds one chunk of input.
+  void Sink(const DataChunk& chunk);
+
+  /// Returns the top N rows in sorted order (call once, after all Sinks).
+  Table Finalize();
+
+  /// Heap statistics for tests/benches.
+  uint64_t rows_seen() const { return rows_seen_; }
+  uint64_t rows_rejected_early() const { return rows_rejected_early_; }
+
+ private:
+  bool HeapLess(uint64_t a, uint64_t b) const;
+  void HeapSiftDown(uint64_t root);
+  void HeapSiftUp(uint64_t pos);
+  void Compact();
+
+  SortSpec spec_;
+  std::vector<LogicalType> input_types_;
+  uint64_t limit_;
+  NormalizedKeyEncoder encoder_;
+  RowLayout payload_layout_;
+  TupleComparator comparator_;
+  uint64_t key_width_ = 0;
+
+  /// Candidate storage: key rows + payload rows, indexed by slot id; slots
+  /// not referenced by the heap are garbage collected by Compact().
+  std::vector<uint8_t> key_rows_;
+  RowCollection payload_;
+  std::vector<uint64_t> heap_;  ///< slot ids, max-heap by the sort order
+
+  uint64_t rows_seen_ = 0;
+  uint64_t rows_rejected_early_ = 0;
+};
+
+}  // namespace rowsort

@@ -1,0 +1,88 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/tuple_comparator.h"
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+TupleComparator::TupleComparator(const SortSpec& spec,
+                                 const RowLayout& payload_layout) {
+  uint64_t offset = 0;
+  for (const auto& col : spec.columns()) {
+    Segment seg;
+    seg.key_offset = offset;
+    seg.width = col.EncodedWidth();
+    // Segments whose prefix provably covers the whole string never need
+    // resolution: encoded equality is value equality.
+    seg.is_varchar = col.type.id() == TypeId::kVarchar &&
+                     !col.prefix_covers_full_string;
+    seg.descending = col.order == OrderType::kDescending;
+    seg.null_marker = col.null_order == NullOrder::kNullsFirst ? 0x00 : 0xFF;
+    seg.collation = col.collation;
+    seg.payload_column = col.column_index;
+    seg.payload_offset = payload_layout.ColumnOffset(col.column_index);
+    segments_.push_back(seg);
+    offset += seg.width;
+    if (seg.is_varchar) needs_ties_ = true;
+  }
+  key_width_ = offset;
+}
+
+namespace {
+
+/// Case-insensitive byte comparison (ASCII NOCASE collation); equal-under-
+/// collation strings are a genuine tie, matching the encoded prefixes.
+int CompareCaseInsensitive(const string_t& a, const string_t& b) {
+  uint32_t min_size = std::min(a.size(), b.size());
+  const char* pa = a.data();
+  const char* pb = b.data();
+  for (uint32_t i = 0; i < min_size; ++i) {
+    uint8_t ca = static_cast<uint8_t>(
+        pa[i] >= 'A' && pa[i] <= 'Z' ? pa[i] + 32 : pa[i]);
+    uint8_t cb = static_cast<uint8_t>(
+        pb[i] >= 'A' && pb[i] <= 'Z' ? pb[i] + 32 : pb[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace
+
+int TupleComparator::CompareVarcharTie(const Segment& seg,
+                                       const uint8_t* payload_a,
+                                       const uint8_t* payload_b) const {
+  string_t a =
+      bit_util::LoadUnaligned<string_t>(payload_a + seg.payload_offset);
+  string_t b =
+      bit_util::LoadUnaligned<string_t>(payload_b + seg.payload_offset);
+  int cmp = seg.collation == Collation::kCaseInsensitive
+                ? CompareCaseInsensitive(a, b)
+                : a.Compare(b);
+  return seg.descending ? -cmp : cmp;
+}
+
+int TupleComparator::Compare(const uint8_t* key_a, const uint8_t* payload_a,
+                             const uint8_t* key_b,
+                             const uint8_t* payload_b) const {
+  if (!needs_ties_) {
+    return CompareKeys(key_a, key_b);
+  }
+  ROWSORT_DASSERT(payload_a != nullptr && payload_b != nullptr);
+  for (const auto& seg : segments_) {
+    int cmp = std::memcmp(key_a + seg.key_offset, key_b + seg.key_offset,
+                          seg.width);
+    if (cmp != 0) return cmp;
+    if (seg.is_varchar && key_a[seg.key_offset] != seg.null_marker) {
+      // Equal prefixes of two non-NULL strings: the prefix may be truncated,
+      // resolve from the full strings in the payload rows.
+      cmp = CompareVarcharTie(seg, payload_a, payload_b);
+      if (cmp != 0) return cmp;
+    }
+  }
+  return 0;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,60 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "row/row_layout.h"
+#include "sortkey/key_encoder.h"
+#include "sortkey/sort_spec.h"
+
+namespace rowsort {
+
+/// \brief Compares tuples of the sorting pipeline: memcmp on normalized keys
+/// plus full-string tie resolution for VARCHAR prefixes (paper §VII: "we
+/// encode only a prefix ... we compare the rest of the string only if the
+/// prefixes are equal").
+///
+/// For specs without VARCHAR columns, Compare() is a single dynamic memcmp —
+/// no interpretation, no function-call overhead per column (§VI-A). With
+/// VARCHAR columns, the key is compared segment by segment so that a tied
+/// string prefix is resolved from the payload row *before* later key columns
+/// are consulted (a tied prefix makes the remaining key bytes meaningless).
+class TupleComparator {
+ public:
+  TupleComparator(const SortSpec& spec, const RowLayout& payload_layout);
+
+  uint64_t key_width() const { return key_width_; }
+  bool needs_tie_resolution() const { return needs_ties_; }
+
+  /// Pure key comparison; exact iff !needs_tie_resolution().
+  int CompareKeys(const uint8_t* key_a, const uint8_t* key_b) const {
+    return std::memcmp(key_a, key_b, key_width_);
+  }
+
+  /// Full tuple comparison. \p payload_a / \p payload_b are the payload rows
+  /// of the two tuples (may be null when !needs_tie_resolution()).
+  int Compare(const uint8_t* key_a, const uint8_t* payload_a,
+              const uint8_t* key_b, const uint8_t* payload_b) const;
+
+ private:
+  struct Segment {
+    uint64_t key_offset;      ///< offset of this column's bytes in the key
+    uint64_t width;           ///< encoded width (incl. NULL byte)
+    bool is_varchar;
+    bool descending;
+    uint8_t null_marker;      ///< key byte value that denotes NULL
+    Collation collation = Collation::kBinary;
+    uint64_t payload_column;  ///< column index in the payload layout
+    uint64_t payload_offset;  ///< byte offset of the string_t in payload rows
+  };
+
+  int CompareVarcharTie(const Segment& seg, const uint8_t* payload_a,
+                        const uint8_t* payload_b) const;
+
+  std::vector<Segment> segments_;
+  uint64_t key_width_ = 0;
+  bool needs_ties_ = false;
+};
+
+}  // namespace rowsort

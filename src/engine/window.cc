@@ -1,0 +1,131 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/window.h"
+
+#include "common/macros.h"
+#include "engine/tuple_comparator.h"
+
+namespace rowsort {
+
+Table ComputeWindow(const Table& input, const WindowSpec& spec,
+                    const std::vector<WindowFunction>& functions,
+                    const SortEngineConfig& config) {
+  ROWSORT_ASSERT(!functions.empty());
+  ROWSORT_ASSERT(!spec.partition_by.empty() || !spec.order_by.empty());
+
+  // Combined sort: partition columns first (ASC NULLS FIRST groups NULL
+  // partitions together), then the ORDER BY columns.
+  std::vector<SortColumn> sort_columns;
+  for (uint64_t col : spec.partition_by) {
+    ROWSORT_ASSERT(col < input.types().size());
+    sort_columns.emplace_back(col, input.types()[col], OrderType::kAscending,
+                              NullOrder::kNullsFirst);
+  }
+  for (const auto& order_col : spec.order_by) {
+    sort_columns.push_back(order_col);
+  }
+  SortSpec full_spec(sort_columns);
+  SortSpec partition_spec(std::vector<SortColumn>(
+      sort_columns.begin(),
+      sort_columns.begin() + spec.partition_by.size()));
+
+  RelationalSort sort(full_spec, input.types(), config);
+  auto local = sort.MakeLocalState();
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    sort.Sink(*local, input.chunk(c));
+  }
+  sort.CombineLocal(*local);
+  sort.Finalize();
+  const SortedRun& run = sort.result();
+
+  // Partition boundaries compare only the leading key segments; peer groups
+  // compare the full key. Both comparators read the same key rows (the
+  // partition segments are a prefix of the full key).
+  RowLayout payload_layout(input.types());
+  TupleComparator partition_cmp(partition_spec, payload_layout);
+  const TupleComparator& full_cmp = sort.comparator();
+
+  std::vector<int64_t> row_number(run.count), rank(run.count),
+      dense_rank(run.count);
+  int64_t current_row = 0, current_rank = 0, current_dense = 0;
+  for (uint64_t i = 0; i < run.count; ++i) {
+    bool new_partition =
+        i == 0 ||
+        (!spec.partition_by.empty() &&
+         partition_cmp.Compare(run.KeyRow(i - 1), run.PayloadRow(i - 1),
+                               run.KeyRow(i), run.PayloadRow(i)) != 0);
+    bool new_peer_group =
+        new_partition ||
+        full_cmp.Compare(run.KeyRow(i - 1), run.PayloadRow(i - 1),
+                         run.KeyRow(i), run.PayloadRow(i)) != 0;
+    if (new_partition) {
+      current_row = 0;
+      current_rank = 0;
+      current_dense = 0;
+    }
+    ++current_row;
+    if (new_peer_group) {
+      current_rank = current_row;
+      ++current_dense;
+    }
+    row_number[i] = current_row;
+    rank[i] = current_rank;
+    dense_rank[i] = current_dense;
+  }
+
+  // Assemble output: payload columns + one INT64 column per function.
+  std::vector<LogicalType> out_types = input.types();
+  std::vector<std::string> out_names = input.names();
+  for (WindowFunction fn : functions) {
+    out_types.push_back(LogicalType(TypeId::kInt64));
+    if (!out_names.empty()) {
+      switch (fn) {
+        case WindowFunction::kRowNumber:
+          out_names.push_back("row_number");
+          break;
+        case WindowFunction::kRank:
+          out_names.push_back("rank");
+          break;
+        case WindowFunction::kDenseRank:
+          out_names.push_back("dense_rank");
+          break;
+      }
+    }
+  }
+  Table out(out_types, out_names);
+  const uint64_t payload_cols = input.types().size();
+  uint64_t offset = 0;
+  while (offset < run.count) {
+    uint64_t n = std::min(kVectorSize, run.count - offset);
+    DataChunk payload_chunk;
+    payload_chunk.Initialize(input.types());
+    run.payload.GatherChunk(offset, n, &payload_chunk);
+
+    DataChunk out_chunk = out.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      for (uint64_t c = 0; c < payload_cols; ++c) {
+        out_chunk.SetValue(c, r, payload_chunk.GetValue(c, r));
+      }
+      for (uint64_t f = 0; f < functions.size(); ++f) {
+        int64_t value = 0;
+        switch (functions[f]) {
+          case WindowFunction::kRowNumber:
+            value = row_number[offset + r];
+            break;
+          case WindowFunction::kRank:
+            value = rank[offset + r];
+            break;
+          case WindowFunction::kDenseRank:
+            value = dense_rank[offset + r];
+            break;
+        }
+        out_chunk.SetValue(payload_cols + f, r, Value::Int64(value));
+      }
+    }
+    out_chunk.SetSize(n);
+    out.Append(std::move(out_chunk));
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,41 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/sort_engine.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// Ranking window functions supported by ComputeWindow.
+enum class WindowFunction : uint8_t {
+  kRowNumber,  ///< 1, 2, 3, ... within the partition
+  kRank,       ///< equal ORDER BY peers share a rank; gaps after ties
+  kDenseRank,  ///< equal peers share a rank; no gaps
+};
+
+/// \brief OVER (PARTITION BY ... ORDER BY ...) specification.
+struct WindowSpec {
+  std::vector<uint64_t> partition_by;  ///< column indices
+  std::vector<SortColumn> order_by;    ///< ordering within each partition
+};
+
+/// \brief Window operator built on the sorting pipeline (paper §II: "The
+/// ORDER BY and WINDOW operators explicitly invoke sorting"; §IX lists
+/// window among the blocking operators sharing the unified row format).
+///
+/// Sorts the input by (partition columns, order columns) using the
+/// row-based pipeline, then computes the requested ranking functions in one
+/// scan over the sorted run: partition boundaries and ORDER BY peer groups
+/// are both detected by memcmp on the corresponding normalized-key segments
+/// (plus VARCHAR tie resolution) — no per-row interpretation.
+///
+/// Returns the input columns followed by one INT64 column per requested
+/// function, rows ordered by (partition, order).
+Table ComputeWindow(const Table& input, const WindowSpec& spec,
+                    const std::vector<WindowFunction>& functions,
+                    const SortEngineConfig& config = {});
+
+}  // namespace rowsort

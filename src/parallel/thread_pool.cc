@@ -1,0 +1,84 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "parallel/thread_pool.h"
+
+namespace rowsort {
+
+ThreadPool::ThreadPool(uint64_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(thread_count);
+  for (uint64_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_workers_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_workers_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--outstanding_ == 0) batch_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outstanding_ += tasks.size();
+    for (auto& task : tasks) queue_.push(std::move(task));
+  }
+  wake_workers_.notify_all();
+  // Help drain the queue, then wait for stragglers.
+  while (RunOneTask()) {
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::ParallelFor(uint64_t count,
+                             const std::function<void(uint64_t)>& fn) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    tasks.push_back([i, &fn] { fn(i); });
+  }
+  RunBatch(std::move(tasks));
+}
+
+}  // namespace rowsort

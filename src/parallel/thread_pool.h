@@ -1,0 +1,52 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \brief Fixed-size worker pool used by the parallel sorting pipeline
+/// (paper §VII: morsel-driven run generation and the parallel merge phase).
+///
+/// Tasks are void() callables; RunBatch submits a group and blocks until all
+/// of its tasks finish, which is exactly the barrier structure of the
+/// pipeline (all runs generated -> merge level by level).
+class ThreadPool {
+ public:
+  /// Starts \p thread_count workers (0 = hardware concurrency).
+  explicit ThreadPool(uint64_t thread_count = 0);
+  ~ThreadPool();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  uint64_t thread_count() const { return workers_.size(); }
+
+  /// Runs all \p tasks on the pool and waits for completion. The calling
+  /// thread participates, so a pool of 1 degrades to serial execution
+  /// without deadlock.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  /// Convenience: RunBatch over indices [0, count) of \p fn(index).
+  void ParallelFor(uint64_t count, const std::function<void(uint64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  bool RunOneTask();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable batch_done_;
+  std::queue<std::function<void()>> queue_;
+  uint64_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rowsort

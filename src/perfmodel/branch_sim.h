@@ -1,0 +1,50 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rowsort {
+
+/// \brief gshare-style branch predictor simulator: a table of 2-bit
+/// saturating counters indexed by branch site xor global history.
+///
+/// Used with CacheSim to regenerate the paper's branch-misprediction
+/// counters (Tables II/III, Fig. 10). Instrumented comparators report each
+/// data-dependent branch (the comparison outcomes that drive sorting);
+/// loop-control branches are nearly perfectly predicted on modern cores and
+/// are not modelled.
+class BranchSim {
+ public:
+  explicit BranchSim(uint64_t table_bits = 14)
+      : mask_((uint64_t(1) << table_bits) - 1), table_(mask_ + 1, 1) {}
+
+  /// Records the outcome of the branch at \p site; returns true when the
+  /// predictor got it wrong.
+  bool Record(uint64_t site, bool taken) {
+    ++branches_;
+    uint64_t index = (site ^ history_) & mask_;
+    uint8_t& counter = table_[index];
+    bool predicted_taken = counter >= 2;
+    bool mispredicted = predicted_taken != taken;
+    if (mispredicted) ++mispredictions_;
+    if (taken && counter < 3) ++counter;
+    if (!taken && counter > 0) --counter;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+    return mispredicted;
+  }
+
+  uint64_t branches() const { return branches_; }
+  uint64_t mispredictions() const { return mispredictions_; }
+
+  void ResetCounters() { branches_ = mispredictions_ = 0; }
+
+ private:
+  uint64_t mask_;
+  std::vector<uint8_t> table_;
+  uint64_t history_ = 0;
+  uint64_t branches_ = 0;
+  uint64_t mispredictions_ = 0;
+};
+
+}  // namespace rowsort

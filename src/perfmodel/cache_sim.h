@@ -1,0 +1,80 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \brief Set-associative LRU cache simulator.
+///
+/// Containers and VMs rarely expose hardware performance counters (the paper
+/// needed a bare-metal m5d.metal instance to read them, §III-B), so the
+/// counter experiments (Tables II/III, Fig. 10) are regenerated against this
+/// software L1-D model instead. Defaults match the paper's Xeon Platinum
+/// 8259CL: 32 KiB, 8-way, 64-byte lines.
+class CacheSim {
+ public:
+  CacheSim(uint64_t size_bytes = 32 * 1024, uint64_t line_bytes = 64,
+           uint64_t ways = 8)
+      : line_bytes_(line_bytes), ways_(ways),
+        sets_(size_bytes / line_bytes / ways),
+        tags_(sets_ * ways, kInvalidTag), stamps_(sets_ * ways, 0) {
+    ROWSORT_ASSERT(sets_ > 0 && (sets_ & (sets_ - 1)) == 0);
+  }
+
+  /// Simulates a load/store of \p size bytes at \p addr; multi-line accesses
+  /// touch every covered line.
+  void Access(const void* addr, uint64_t size) {
+    uint64_t a = reinterpret_cast<uint64_t>(addr);
+    uint64_t first_line = a / line_bytes_;
+    uint64_t last_line = (a + (size ? size : 1) - 1) / line_bytes_;
+    for (uint64_t line = first_line; line <= last_line; ++line) {
+      AccessLine(line);
+    }
+  }
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t misses() const { return misses_; }
+
+  void ResetCounters() { accesses_ = misses_ = 0; }
+
+ private:
+  static constexpr uint64_t kInvalidTag = ~uint64_t(0);
+
+  void AccessLine(uint64_t line) {
+    ++accesses_;
+    ++tick_;
+    uint64_t set = line & (sets_ - 1);
+    uint64_t* tags = &tags_[set * ways_];
+    uint64_t* stamps = &stamps_[set * ways_];
+    uint64_t victim = 0;
+    uint64_t oldest = ~uint64_t(0);
+    for (uint64_t w = 0; w < ways_; ++w) {
+      if (tags[w] == line) {
+        stamps[w] = tick_;
+        return;  // hit
+      }
+      if (stamps[w] < oldest) {
+        oldest = stamps[w];
+        victim = w;
+      }
+    }
+    ++misses_;
+    tags[victim] = line;
+    stamps[victim] = tick_;
+  }
+
+  uint64_t line_bytes_;
+  uint64_t ways_;
+  uint64_t sets_;
+  std::vector<uint64_t> tags_;
+  std::vector<uint64_t> stamps_;
+  uint64_t tick_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace rowsort

@@ -1,0 +1,400 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "perfmodel/counters.h"
+
+#include <cstring>
+#include <vector>
+
+#include "approaches/approaches.h"
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "perfmodel/instrumented_sort.h"
+
+namespace rowsort {
+
+namespace {
+
+// Branch site ids so distinct comparison branches train distinct predictor
+// entries.
+constexpr uint64_t kSiteResult = 0x1000;
+constexpr uint64_t kSiteNextColumn = 0x2000;
+
+// ------------------------------ columnar ------------------------------
+
+struct ColumnarTupleLess {
+  const MicroColumns* columns;
+  MemoryModel* model;
+
+  bool operator()(const uint32_t* a, const uint32_t* b) const {
+    // Reading the indices themselves.
+    model->Access(a, sizeof(uint32_t));
+    model->Access(b, sizeof(uint32_t));
+    const uint64_t num_cols = columns->size();
+    bool result = false;
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      const uint32_t* col = (*columns)[c].data();
+      uint32_t va = col[*a];
+      uint32_t vb = col[*b];
+      // Random access into both columns (§IV-A drawback 1).
+      model->Access(col + *a, sizeof(uint32_t));
+      model->Access(col + *b, sizeof(uint32_t));
+      bool tie = va == vb;
+      // The "compare the next key column?" branch (§IV-A drawback 2).
+      model->Branch(kSiteNextColumn + c, tie);
+      if (!tie) {
+        result = va < vb;
+        break;
+      }
+    }
+    model->Branch(kSiteResult, result);
+    return result;
+  }
+};
+
+struct ColumnarSingleColumnLess {
+  const uint32_t* column;
+  MemoryModel* model;
+
+  bool operator()(const uint32_t* a, const uint32_t* b) const {
+    model->Access(a, sizeof(uint32_t));
+    model->Access(b, sizeof(uint32_t));
+    model->Access(column + *a, sizeof(uint32_t));
+    model->Access(column + *b, sizeof(uint32_t));
+    bool result = column[*a] < column[*b];
+    model->Branch(kSiteResult, result);
+    return result;
+  }
+};
+
+void ColumnarSubsortRange(const MicroColumns& columns, uint32_t* idxs,
+                          uint64_t begin, uint64_t end, uint64_t col,
+                          MemoryModel& model) {
+  const uint32_t* data = columns[col].data();
+  InstrumentedIntroSort(idxs + begin, idxs + end, model,
+                        ColumnarSingleColumnLess{data, &model});
+  if (col + 1 == columns.size()) return;
+  uint64_t run_start = begin;
+  for (uint64_t i = begin + 1; i <= end; ++i) {
+    bool boundary = true;
+    if (i != end) {
+      // Tie scan re-reads the column (the re-scanning cost the paper notes
+      // for subsort in §IV-B).
+      model.Access(idxs + i, sizeof(uint32_t));
+      model.Access(data + idxs[i], sizeof(uint32_t));
+      boundary = data[idxs[i]] != data[idxs[run_start]];
+    }
+    if (boundary) {
+      if (i - run_start > 1) {
+        ColumnarSubsortRange(columns, idxs, run_start, i, col + 1, model);
+      }
+      run_start = i;
+    }
+  }
+}
+
+// -------------------------------- rows --------------------------------
+
+template <uint64_t W>
+struct Blob {
+  uint8_t bytes[W];
+};
+
+template <uint64_t W>
+struct RowTupleLess {
+  uint64_t num_keys;
+  MemoryModel* model;
+
+  bool operator()(const Blob<W>* a, const Blob<W>* b) const {
+    bool result = false;
+    for (uint64_t c = 0; c < num_keys; ++c) {
+      uint32_t va =
+          bit_util::LoadUnaligned<uint32_t>(a->bytes + c * sizeof(uint32_t));
+      uint32_t vb =
+          bit_util::LoadUnaligned<uint32_t>(b->bytes + c * sizeof(uint32_t));
+      // Both values of a key column live in the same row: sequential bytes.
+      model->Access(a->bytes + c * sizeof(uint32_t), sizeof(uint32_t));
+      model->Access(b->bytes + c * sizeof(uint32_t), sizeof(uint32_t));
+      bool tie = va == vb;
+      model->Branch(kSiteNextColumn + c, tie);
+      if (!tie) {
+        result = va < vb;
+        break;
+      }
+    }
+    model->Branch(kSiteResult, result);
+    return result;
+  }
+};
+
+template <uint64_t W>
+struct RowSingleKeyLess {
+  uint64_t key;
+  MemoryModel* model;
+
+  bool operator()(const Blob<W>* a, const Blob<W>* b) const {
+    uint32_t va =
+        bit_util::LoadUnaligned<uint32_t>(a->bytes + key * sizeof(uint32_t));
+    uint32_t vb =
+        bit_util::LoadUnaligned<uint32_t>(b->bytes + key * sizeof(uint32_t));
+    model->Access(a->bytes + key * sizeof(uint32_t), sizeof(uint32_t));
+    model->Access(b->bytes + key * sizeof(uint32_t), sizeof(uint32_t));
+    bool result = va < vb;
+    model->Branch(kSiteResult, result);
+    return result;
+  }
+};
+
+template <uint64_t W>
+struct MemcmpLess {
+  uint64_t key_width;
+  MemoryModel* model;
+
+  bool operator()(const Blob<W>* a, const Blob<W>* b) const {
+    model->Access(a->bytes, key_width);
+    model->Access(b->bytes, key_width);
+    bool result = std::memcmp(a->bytes, b->bytes, key_width) < 0;
+    model->Branch(kSiteResult, result);
+    return result;
+  }
+};
+
+template <uint64_t W>
+void RowSubsortRange(Blob<W>* rows, uint64_t begin, uint64_t end,
+                     uint64_t key, uint64_t num_keys, MemoryModel& model) {
+  InstrumentedIntroSort(rows + begin, rows + end, model,
+                        RowSingleKeyLess<W>{key, &model});
+  if (key + 1 == num_keys) return;
+  uint64_t run_start = begin;
+  for (uint64_t i = begin + 1; i <= end; ++i) {
+    bool boundary = true;
+    if (i != end) {
+      model.Access(rows[i].bytes + key * sizeof(uint32_t), sizeof(uint32_t));
+      boundary =
+          bit_util::LoadUnaligned<uint32_t>(rows[i].bytes +
+                                            key * sizeof(uint32_t)) !=
+          bit_util::LoadUnaligned<uint32_t>(rows[run_start].bytes +
+                                            key * sizeof(uint32_t));
+    }
+    if (boundary) {
+      if (i - run_start > 1) {
+        RowSubsortRange(rows, run_start, i, key + 1, num_keys, model);
+      }
+      run_start = i;
+    }
+  }
+}
+
+// ----------------------- instrumented radix sort -----------------------
+
+template <uint64_t W>
+void InstrumentedRadixLsd(Blob<W>* rows, uint64_t count, uint64_t key_width,
+                          MemoryModel& model) {
+  std::vector<Blob<W>> aux(count);
+  Blob<W>* src = rows;
+  Blob<W>* dst = aux.data();
+  for (uint64_t d = key_width; d-- > 0;) {
+    uint64_t counts[256] = {};
+    for (uint64_t i = 0; i < count; ++i) {
+      uint8_t byte = src[i].bytes[d];
+      model.Access(src[i].bytes + d, 1);
+      model.Access(&counts[byte], sizeof(uint64_t));
+      ++counts[byte];
+    }
+    // Copy-skip optimization: constant byte moves nothing.
+    bool single = false;
+    for (uint64_t b = 0; b < 256; ++b) {
+      if (counts[b] == count) single = true;
+      if (counts[b] != 0) break;
+    }
+    if (single) continue;
+    uint64_t offsets[256];
+    uint64_t sum = 0;
+    for (uint64_t b = 0; b < 256; ++b) {
+      offsets[b] = sum;
+      sum += counts[b];
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      uint8_t byte = src[i].bytes[d];
+      model.Access(src[i].bytes, W);
+      model.Access(&offsets[byte], sizeof(uint64_t));
+      model.Access(dst[offsets[byte]].bytes, W);
+      dst[offsets[byte]] = src[i];
+      ++offsets[byte];
+    }
+    std::swap(src, dst);
+  }
+  if (src != rows) {
+    for (uint64_t i = 0; i < count; ++i) {
+      model.Access(src[i].bytes, W);
+      model.Access(rows[i].bytes, W);
+      rows[i] = src[i];
+    }
+  }
+}
+
+template <uint64_t W>
+void InstrumentedRadixMsd(Blob<W>* rows, Blob<W>* aux, uint64_t count,
+                          uint64_t key_width, uint64_t digit,
+                          MemoryModel& model) {
+  while (digit < key_width) {
+    if (count <= 1) return;
+    if (count <= 24) {
+      // Insertion sort on the remaining key suffix (paper §VI-B).
+      uint64_t remaining = key_width - digit;
+      instrumented_detail::InsertionSort(
+          rows, rows + count, model,
+          [&model, digit, remaining](const Blob<W>* a, const Blob<W>* b) {
+            model.Access(a->bytes + digit, remaining);
+            model.Access(b->bytes + digit, remaining);
+            bool r =
+                std::memcmp(a->bytes + digit, b->bytes + digit, remaining) < 0;
+            model.Branch(kSiteResult, r);
+            return r;
+          });
+      return;
+    }
+    uint64_t counts[256] = {};
+    for (uint64_t i = 0; i < count; ++i) {
+      uint8_t byte = rows[i].bytes[digit];
+      model.Access(rows[i].bytes + digit, 1);
+      model.Access(&counts[byte], sizeof(uint64_t));
+      ++counts[byte];
+    }
+    bool single = false;
+    for (uint64_t b = 0; b < 256; ++b) {
+      if (counts[b] == count) single = true;
+      if (counts[b] != 0) break;
+    }
+    if (single) {
+      ++digit;
+      continue;
+    }
+    uint64_t offsets[257];
+    uint64_t sum = 0;
+    for (uint64_t b = 0; b < 256; ++b) {
+      offsets[b] = sum;
+      sum += counts[b];
+    }
+    offsets[256] = sum;
+    {
+      uint64_t cursor[256];
+      std::memcpy(cursor, offsets, sizeof(cursor));
+      for (uint64_t i = 0; i < count; ++i) {
+        uint8_t byte = rows[i].bytes[digit];
+        model.Access(rows[i].bytes, W);
+        model.Access(aux[cursor[byte]].bytes, W);
+        aux[cursor[byte]] = rows[i];
+        ++cursor[byte];
+      }
+      for (uint64_t i = 0; i < count; ++i) {
+        model.Access(aux[i].bytes, W);
+        model.Access(rows[i].bytes, W);
+        rows[i] = aux[i];
+      }
+    }
+    for (uint64_t b = 0; b < 256; ++b) {
+      uint64_t bucket = offsets[b + 1] - offsets[b];
+      if (bucket > 1) {
+        InstrumentedRadixMsd(rows + offsets[b], aux + offsets[b], bucket,
+                             key_width, digit + 1, model);
+      }
+    }
+    return;
+  }
+}
+
+// ------------------------------ dispatch -------------------------------
+
+template <typename Fn>
+PerfCounters WithRowBlobs(const MicroColumns& columns, bool normalized,
+                          Fn&& fn) {
+  MemoryModel model;
+  if (normalized) {
+    NormalizedRows rows = BuildNormalizedRows(columns);
+    if (rows.row_width == 16) {
+      fn(reinterpret_cast<Blob<16>*>(rows.buffer.data()), rows.count,
+         rows.key_width, model);
+    } else {
+      ROWSORT_ASSERT(rows.row_width == 24);
+      fn(reinterpret_cast<Blob<24>*>(rows.buffer.data()), rows.count,
+         rows.key_width, model);
+    }
+  } else {
+    MicroRows rows = BuildMicroRows(columns);
+    if (rows.row_width == 16) {
+      fn(reinterpret_cast<Blob<16>*>(rows.buffer.data()), rows.count,
+         rows.num_keys, model);
+    } else {
+      ROWSORT_ASSERT(rows.row_width == 24);
+      fn(reinterpret_cast<Blob<24>*>(rows.buffer.data()), rows.count,
+         rows.num_keys, model);
+    }
+  }
+  return model.Counters();
+}
+
+}  // namespace
+
+PerfCounters CountColumnarTupleAtATime(const MicroColumns& columns) {
+  MemoryModel model;
+  auto idxs = MakeRowIndices(columns[0].size());
+  InstrumentedIntroSort(idxs.data(), idxs.data() + idxs.size(), model,
+                        ColumnarTupleLess{&columns, &model});
+  return model.Counters();
+}
+
+PerfCounters CountColumnarSubsort(const MicroColumns& columns) {
+  MemoryModel model;
+  auto idxs = MakeRowIndices(columns[0].size());
+  if (!idxs.empty()) {
+    ColumnarSubsortRange(columns, idxs.data(), 0, idxs.size(), 0, model);
+  }
+  return model.Counters();
+}
+
+PerfCounters CountRowTupleAtATime(const MicroColumns& columns) {
+  return WithRowBlobs(columns, /*normalized=*/false,
+                      [](auto* rows, uint64_t count, uint64_t num_keys,
+                         MemoryModel& model) {
+                        using BlobT = std::remove_pointer_t<decltype(rows)>;
+                        InstrumentedIntroSort(
+                            rows, rows + count, model,
+                            RowTupleLess<sizeof(BlobT)>{num_keys, &model});
+                      });
+}
+
+PerfCounters CountRowSubsort(const MicroColumns& columns) {
+  return WithRowBlobs(columns, /*normalized=*/false,
+                      [](auto* rows, uint64_t count, uint64_t num_keys,
+                         MemoryModel& model) {
+                        if (count == 0) return;
+                        RowSubsortRange(rows, 0, count, 0, num_keys, model);
+                      });
+}
+
+PerfCounters CountNormalizedComparisonSort(const MicroColumns& columns) {
+  return WithRowBlobs(columns, /*normalized=*/true,
+                      [](auto* rows, uint64_t count, uint64_t key_width,
+                         MemoryModel& model) {
+                        using BlobT = std::remove_pointer_t<decltype(rows)>;
+                        InstrumentedIntroSort(
+                            rows, rows + count, model,
+                            MemcmpLess<sizeof(BlobT)>{key_width, &model});
+                      });
+}
+
+PerfCounters CountNormalizedRadixSort(const MicroColumns& columns) {
+  return WithRowBlobs(columns, /*normalized=*/true,
+                      [](auto* rows, uint64_t count, uint64_t key_width,
+                         MemoryModel& model) {
+                        if (key_width <= 4) {
+                          InstrumentedRadixLsd(rows, count, key_width, model);
+                        } else {
+                          using BlobT = std::remove_pointer_t<decltype(rows)>;
+                          std::vector<BlobT> aux(count);
+                          InstrumentedRadixMsd(rows, aux.data(), count,
+                                               key_width, 0, model);
+                        }
+                      });
+}
+
+}  // namespace rowsort

@@ -1,0 +1,30 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include "perfmodel/memory_model.h"
+#include "workload/microbench.h"
+
+namespace rowsort {
+
+/// \file counters.h
+/// Counter experiments: each function runs one of the paper's sorting
+/// approaches on the micro-benchmark data with all data accesses and
+/// comparison branches replayed through a fresh MemoryModel, and returns the
+/// simulated L1 and branch-predictor counters.
+///
+///  * Table II: CountColumnarTupleAtATime vs CountColumnarSubsort
+///  * Table III: CountRowTupleAtATime vs CountRowSubsort
+///  * Fig. 10: CountNormalizedComparisonSort vs CountNormalizedRadixSort
+///
+/// The comparison sort of Fig. 10 is modelled with the instrumented
+/// introsort (same comparison-sort class as pdqsort, identical dynamic
+/// memcmp comparator); see EXPERIMENTS.md for the fidelity discussion.
+
+PerfCounters CountColumnarTupleAtATime(const MicroColumns& columns);
+PerfCounters CountColumnarSubsort(const MicroColumns& columns);
+PerfCounters CountRowTupleAtATime(const MicroColumns& columns);
+PerfCounters CountRowSubsort(const MicroColumns& columns);
+PerfCounters CountNormalizedComparisonSort(const MicroColumns& columns);
+PerfCounters CountNormalizedRadixSort(const MicroColumns& columns);
+
+}  // namespace rowsort

@@ -1,0 +1,149 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bit_util.h"
+#include "perfmodel/memory_model.h"
+
+namespace rowsort {
+
+/// \file instrumented_sort.h
+/// Introsort whose element movement is replayed through a MemoryModel.
+///
+/// The algorithm reports every element read/write it performs (swaps,
+/// shifts, pivot moves) to the cache simulator; the comparator — which
+/// receives element *pointers* — reports its own data accesses and the
+/// data-dependent branches of the comparison. Together they regenerate the
+/// paper's counter experiments (Tables II/III) for any approach expressed as
+/// (element layout, comparator).
+
+namespace instrumented_detail {
+
+template <typename T>
+void LogRead(MemoryModel& model, const T* p) {
+  model.Access(p, sizeof(T));
+}
+template <typename T>
+void LogWrite(MemoryModel& model, T* p) {
+  model.Access(p, sizeof(T));
+}
+
+template <typename T, typename LessPtr>
+void InsertionSort(T* begin, T* end, MemoryModel& model, LessPtr less) {
+  for (T* cur = begin + 1; cur < end; ++cur) {
+    if (less(cur, cur - 1)) {
+      LogRead(model, cur);
+      T tmp = *cur;
+      T* sift = cur;
+      do {
+        LogRead(model, sift - 1);
+        LogWrite(model, sift);
+        *sift = *(sift - 1);
+        --sift;
+      } while (sift != begin && less(&tmp, sift - 1));
+      LogWrite(model, sift);
+      *sift = tmp;
+    }
+  }
+}
+
+template <typename T>
+void Swap(T* a, T* b, MemoryModel& model) {
+  LogRead(model, a);
+  LogRead(model, b);
+  LogWrite(model, a);
+  LogWrite(model, b);
+  T tmp = *a;
+  *a = *b;
+  *b = tmp;
+}
+
+template <typename T, typename LessPtr>
+void SiftDown(T* begin, int64_t len, int64_t root, MemoryModel& model,
+              LessPtr less) {
+  while (true) {
+    int64_t child = 2 * root + 1;
+    if (child >= len) break;
+    if (child + 1 < len && less(begin + child, begin + child + 1)) ++child;
+    if (!less(begin + root, begin + child)) break;
+    Swap(begin + root, begin + child, model);
+    root = child;
+  }
+}
+
+template <typename T, typename LessPtr>
+void HeapSort(T* begin, T* end, MemoryModel& model, LessPtr less) {
+  int64_t len = end - begin;
+  for (int64_t root = len / 2 - 1; root >= 0; --root) {
+    SiftDown(begin, len, root, model, less);
+  }
+  for (int64_t last = len - 1; last > 0; --last) {
+    Swap(begin, begin + last, model);
+    SiftDown(begin, last, int64_t(0), model, less);
+  }
+}
+
+template <typename T, typename LessPtr>
+T* Partition(T* begin, T* end, MemoryModel& model, LessPtr less) {
+  T* mid = begin + (end - begin) / 2;
+  // Median of three.
+  T* a = begin;
+  T* b = mid;
+  T* c = end - 1;
+  T* median = less(a, b) ? (less(b, c) ? b : (less(a, c) ? c : a))
+                         : (less(a, c) ? a : (less(b, c) ? c : b));
+  if (median != begin) Swap(begin, median, model);
+  LogRead(model, begin);
+  T pivot = *begin;
+
+  T* left = begin;
+  T* right = end;
+  while (true) {
+    do {
+      ++left;
+    } while (left != end && less(left, &pivot));
+    do {
+      --right;
+    } while (less(&pivot, right));
+    if (left >= right) break;
+    Swap(left, right, model);
+  }
+  if (right != begin) Swap(begin, right, model);
+  return right;
+}
+
+template <typename T, typename LessPtr>
+void IntroLoop(T* begin, T* end, int depth, MemoryModel& model, LessPtr less) {
+  while (end - begin > 16) {
+    if (depth == 0) {
+      HeapSort(begin, end, model, less);
+      return;
+    }
+    --depth;
+    T* split = Partition(begin, end, model, less);
+    if (split - begin < end - (split + 1)) {
+      IntroLoop(begin, split, depth, model, less);
+      begin = split + 1;
+    } else {
+      IntroLoop(split + 1, end, depth, model, less);
+      end = split;
+    }
+  }
+}
+
+}  // namespace instrumented_detail
+
+/// Sorts [begin, end) with introsort while reporting all element movement to
+/// \p model. \p less(const T* a, const T* b) must report its own accesses
+/// and branches.
+template <typename T, typename LessPtr>
+void InstrumentedIntroSort(T* begin, T* end, MemoryModel& model,
+                           LessPtr less) {
+  if (end - begin < 2) return;
+  int depth = 2 * bit_util::Log2Floor(static_cast<uint64_t>(end - begin));
+  instrumented_detail::IntroLoop(begin, end, depth, model, less);
+  instrumented_detail::InsertionSort(begin, end, model, less);
+}
+
+}  // namespace rowsort

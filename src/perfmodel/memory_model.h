@@ -1,0 +1,45 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include "perfmodel/branch_sim.h"
+#include "perfmodel/cache_sim.h"
+
+namespace rowsort {
+
+/// Counter snapshot reported by instrumented sorts; the software analogue of
+/// `perf -e L1-dcache-load-misses,branch-misses` (paper §III-B).
+struct PerfCounters {
+  uint64_t cache_accesses = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branches = 0;
+  uint64_t branch_misses = 0;
+};
+
+/// \brief Bundles the cache and branch simulators the instrumented sorting
+/// implementations report into.
+class MemoryModel {
+ public:
+  MemoryModel() = default;
+
+  /// Simulated data access of \p size bytes at \p addr.
+  void Access(const void* addr, uint64_t size) { cache_.Access(addr, size); }
+
+  /// Simulated data-dependent branch at \p site with outcome \p taken.
+  void Branch(uint64_t site, bool taken) { branch_.Record(site, taken); }
+
+  PerfCounters Counters() const {
+    return {cache_.accesses(), cache_.misses(), branch_.branches(),
+            branch_.mispredictions()};
+  }
+
+  void Reset() {
+    cache_.ResetCounters();
+    branch_.ResetCounters();
+  }
+
+ private:
+  CacheSim cache_;
+  BranchSim branch_;
+};
+
+}  // namespace rowsort

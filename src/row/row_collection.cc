@@ -1,0 +1,182 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "row/row_collection.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+uint64_t RowCollection::AppendUninitialized(uint64_t count) {
+  uint64_t first = row_count_;
+  rows_.resize(rows_.size() + count * layout_.row_width());
+  row_count_ += count;
+  return first;
+}
+
+uint64_t RowCollection::AppendRow(const DataChunk& chunk, uint64_t row) {
+  ROWSORT_ASSERT(chunk.ColumnCount() == layout_.ColumnCount());
+  ROWSORT_ASSERT(row < chunk.size());
+  uint64_t slot = AppendUninitialized(1);
+  uint8_t* dest = GetRow(slot);
+  std::memset(dest, 0xFF, layout_.ValidityBytes());
+  for (uint64_t col = 0; col < layout_.ColumnCount(); ++col) {
+    const Vector& vec = chunk.column(col);
+    const uint64_t offset = layout_.ColumnOffset(col);
+    const int value_size = vec.type().FixedSize();
+    if (!vec.validity().RowIsValid(row)) {
+      RowLayout::SetValid(dest, col, false);
+      std::memset(dest + offset, 0, value_size);
+      continue;
+    }
+    if (vec.type().id() == TypeId::kVarchar) {
+      string_t owned = heap_.AddString(vec.TypedData<string_t>()[row]);
+      std::memcpy(dest + offset, &owned, sizeof(string_t));
+    } else {
+      std::memcpy(dest + offset, vec.data() + row * value_size, value_size);
+    }
+  }
+  return slot;
+}
+
+void RowCollection::AppendChunk(const DataChunk& chunk) {
+  ROWSORT_ASSERT(chunk.ColumnCount() == layout_.ColumnCount());
+  const uint64_t count = chunk.size();
+  const uint64_t width = layout_.row_width();
+  uint64_t first = AppendUninitialized(count);
+  uint8_t* base = GetRow(first);
+
+  // Zero validity prefixes (and padding) once, then scatter column by column.
+  for (uint64_t row = 0; row < count; ++row) {
+    std::memset(base + row * width, 0xFF, layout_.ValidityBytes());
+  }
+
+  for (uint64_t col = 0; col < layout_.ColumnCount(); ++col) {
+    const Vector& vec = chunk.column(col);
+    const uint64_t offset = layout_.ColumnOffset(col);
+    const int value_size = vec.type().FixedSize();
+    const auto& validity = vec.validity();
+
+    if (vec.type().id() == TypeId::kVarchar) {
+      const string_t* strings = vec.TypedData<string_t>();
+      for (uint64_t row = 0; row < count; ++row) {
+        uint8_t* dest = base + row * width;
+        if (!validity.RowIsValid(row)) {
+          RowLayout::SetValid(dest, col, false);
+          std::memset(dest + offset, 0, sizeof(string_t));
+          continue;
+        }
+        // Copy the payload into our heap so the collection is self-owned.
+        string_t owned = heap_.AddString(strings[row]);
+        std::memcpy(dest + offset, &owned, sizeof(string_t));
+      }
+    } else {
+      const uint8_t* src = vec.data();
+      for (uint64_t row = 0; row < count; ++row) {
+        uint8_t* dest = base + row * width;
+        if (!validity.RowIsValid(row)) {
+          RowLayout::SetValid(dest, col, false);
+          std::memset(dest + offset, 0, value_size);
+          continue;
+        }
+        std::memcpy(dest + offset, src + row * value_size, value_size);
+      }
+    }
+  }
+}
+
+namespace {
+
+void GatherColumn(const RowLayout& layout, uint64_t col, uint64_t col_offset,
+                  const uint8_t* base, uint64_t width, const uint64_t* indices,
+                  uint64_t count, Vector* out) {
+  const int value_size = out->type().FixedSize();
+  if (out->type().id() == TypeId::kVarchar) {
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint8_t* src = base + indices[i] * width;
+      if (!RowLayout::IsValid(src, col)) {
+        out->validity().SetInvalid(i);
+        continue;
+      }
+      out->validity().SetValid(i);
+      string_t value = bit_util::LoadUnaligned<string_t>(src + col_offset);
+      // Copy into the output vector's heap so the chunk outlives the rows.
+      out->SetString(i, value.View());
+    }
+  } else {
+    uint8_t* dest = out->data();
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint8_t* src = base + indices[i] * width;
+      if (!RowLayout::IsValid(src, col)) {
+        out->validity().SetInvalid(i);
+        continue;
+      }
+      out->validity().SetValid(i);
+      std::memcpy(dest + i * value_size, src + col_offset, value_size);
+    }
+  }
+}
+
+}  // namespace
+
+void RowCollection::GatherChunk(uint64_t start, uint64_t count,
+                                DataChunk* out) const {
+  ROWSORT_ASSERT(start + count <= row_count_);
+  ROWSORT_ASSERT(out->ColumnCount() == layout_.ColumnCount());
+  ROWSORT_ASSERT(count <= out->capacity());
+  std::vector<uint64_t> indices(count);
+  for (uint64_t i = 0; i < count; ++i) indices[i] = start + i;
+  GatherRows(indices.data(), count, out);
+}
+
+void RowCollection::GatherRows(const uint64_t* row_indices, uint64_t count,
+                                DataChunk* out) const {
+  ROWSORT_ASSERT(out->ColumnCount() == layout_.ColumnCount());
+  const uint64_t width = layout_.row_width();
+  for (uint64_t col = 0; col < layout_.ColumnCount(); ++col) {
+    GatherColumn(layout_, col, layout_.ColumnOffset(col), rows_.data(), width,
+                 row_indices, count, &out->column(col));
+  }
+  out->SetSize(count);
+}
+
+Value RowCollection::GetValue(uint64_t row, uint64_t col) const {
+  ROWSORT_ASSERT(row < row_count_ && col < layout_.ColumnCount());
+  const uint8_t* row_ptr = GetRow(row);
+  const LogicalType& type = layout_.types()[col];
+  if (!RowLayout::IsValid(row_ptr, col)) return Value::Null(type);
+  const uint8_t* src = row_ptr + layout_.ColumnOffset(col);
+  switch (type.id()) {
+    case TypeId::kBool:
+      return Value::Bool(*src != 0);
+    case TypeId::kInt8:
+      return Value::Int8(static_cast<int8_t>(*src));
+    case TypeId::kInt16:
+      return Value::Int16(bit_util::LoadUnaligned<int16_t>(src));
+    case TypeId::kInt32:
+      return Value::Int32(bit_util::LoadUnaligned<int32_t>(src));
+    case TypeId::kDate:
+      return Value::Date(bit_util::LoadUnaligned<int32_t>(src));
+    case TypeId::kInt64:
+      return Value::Int64(bit_util::LoadUnaligned<int64_t>(src));
+    case TypeId::kUint32:
+      return Value::Uint32(bit_util::LoadUnaligned<uint32_t>(src));
+    case TypeId::kUint64:
+      return Value::Uint64(bit_util::LoadUnaligned<uint64_t>(src));
+    case TypeId::kFloat:
+      return Value::Float(bit_util::LoadUnaligned<float>(src));
+    case TypeId::kDouble:
+      return Value::Double(bit_util::LoadUnaligned<double>(src));
+    case TypeId::kVarchar: {
+      string_t value = bit_util::LoadUnaligned<string_t>(src);
+      return Value::Varchar(value.ToString());
+    }
+    case TypeId::kInvalid:
+      break;
+  }
+  ROWSORT_ASSERT(false && "GetValue on invalid type");
+  return Value();
+}
+
+}  // namespace rowsort

@@ -1,0 +1,84 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "row/row_layout.h"
+#include "vector/data_chunk.h"
+#include "vector/string_heap.h"
+
+namespace rowsort {
+
+/// \brief Materialized table in NSM row format: a contiguous array of
+/// fixed-size rows plus a StringHeap owning non-inlined VARCHAR payloads.
+///
+/// This is the materialization target of the sort operator (a pipeline
+/// breaker, paper §V) and the unit the engine sorts, merges, spills, and
+/// re-converts to vectors (Fig. 11).
+class RowCollection {
+ public:
+  RowCollection() = default;
+  explicit RowCollection(RowLayout layout) : layout_(std::move(layout)) {}
+  ROWSORT_DISALLOW_COPY(RowCollection);
+  RowCollection(RowCollection&&) = default;
+  RowCollection& operator=(RowCollection&&) = default;
+
+  const RowLayout& layout() const { return layout_; }
+  uint64_t row_count() const { return row_count_; }
+
+  uint8_t* data() { return rows_.data(); }
+  const uint8_t* data() const { return rows_.data(); }
+
+  uint8_t* GetRow(uint64_t row) {
+    return rows_.data() + row * layout_.row_width();
+  }
+  const uint8_t* GetRow(uint64_t row) const {
+    return rows_.data() + row * layout_.row_width();
+  }
+
+  StringHeap& string_heap() { return heap_; }
+
+  /// Scatters rows [0, chunk.size()) of \p chunk to the end of the
+  /// collection, converting DSM -> NSM column by column ("one vector at a
+  /// time", §VII). String payloads are copied into this collection's heap so
+  /// it owns all its data.
+  void AppendChunk(const DataChunk& chunk);
+
+  /// Pre-allocates space for \p count uninitialized rows and returns the
+  /// index of the first (engine-internal: reorder targets).
+  uint64_t AppendUninitialized(uint64_t count);
+
+  /// Scatters a single row of \p chunk (selective operators like Top-N
+  /// append only surviving rows). Returns the new row's index.
+  uint64_t AppendRow(const DataChunk& chunk, uint64_t row);
+
+  /// Gathers rows [start, start+count) into \p out (NSM -> DSM). \p out must
+  /// be initialized with the layout's types and capacity >= count. String
+  /// values are copied into the output vectors' heaps.
+  void GatherChunk(uint64_t start, uint64_t count, DataChunk* out) const;
+
+  /// Gathers arbitrary rows identified by \p row_indices (NSM -> DSM).
+  void GatherRows(const uint64_t* row_indices, uint64_t count,
+                   DataChunk* out) const;
+
+  /// Reads a single value (slow; tests and tie resolution).
+  Value GetValue(uint64_t row, uint64_t col) const;
+
+  /// Takes ownership of \p other's string heap (used after copying rows from
+  /// \p other into this collection, e.g. while merging sorted runs).
+  void AdoptHeap(RowCollection&& other) {
+    heap_.Merge(std::move(other.heap_));
+  }
+
+  /// Total bytes of fixed-size row storage.
+  uint64_t RowBytes() const { return rows_.size(); }
+
+ private:
+  RowLayout layout_;
+  std::vector<uint8_t> rows_;
+  StringHeap heap_;
+  uint64_t row_count_ = 0;
+};
+
+}  // namespace rowsort

@@ -1,0 +1,21 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "row/row_layout.h"
+
+#include "common/bit_util.h"
+
+namespace rowsort {
+
+RowLayout::RowLayout(std::vector<LogicalType> types)
+    : types_(std::move(types)) {
+  validity_bytes_ = (types_.size() + 7) / 8;
+  uint64_t offset = validity_bytes_;
+  offsets_.reserve(types_.size());
+  for (const auto& type : types_) {
+    offsets_.push_back(offset);
+    offset += static_cast<uint64_t>(type.FixedSize());
+    if (type.id() == TypeId::kVarchar) has_varchar_ = true;
+  }
+  row_width_ = bit_util::AlignValue(offset, 8);
+}
+
+}  // namespace rowsort

@@ -1,0 +1,62 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "types/logical_type.h"
+
+namespace rowsort {
+
+/// \brief Fixed-size NSM row layout over a set of column types.
+///
+/// Every row is the same number of bytes (paper §VII: "The rows have a fixed
+/// size: Variable-sized types like strings are stored separately"):
+///
+///   [ validity bytes: 1 bit per column ][ col 0 ][ col 1 ] ... [ padding ]
+///
+/// VARCHAR slots hold a 16-byte string_t whose non-inlined payload lives in
+/// the owning RowCollection's StringHeap. The total width is rounded up to a
+/// multiple of 8 because "8-byte alignment ... improves the performance of
+/// memcpy" (§VII).
+class RowLayout {
+ public:
+  RowLayout() = default;
+  explicit RowLayout(std::vector<LogicalType> types);
+
+  const std::vector<LogicalType>& types() const { return types_; }
+  uint64_t ColumnCount() const { return types_.size(); }
+
+  /// Total bytes per row including validity prefix and padding.
+  uint64_t row_width() const { return row_width_; }
+
+  /// Byte offset of column \p col's value slot within a row.
+  uint64_t ColumnOffset(uint64_t col) const { return offsets_[col]; }
+
+  /// Bytes of the validity prefix.
+  uint64_t ValidityBytes() const { return validity_bytes_; }
+
+  /// True when any column is VARCHAR (rows reference a string heap).
+  bool HasVariableSize() const { return has_varchar_; }
+
+  /// Reads/writes the validity bit of column \p col in row \p row_ptr.
+  static bool IsValid(const uint8_t* row_ptr, uint64_t col) {
+    return (row_ptr[col / 8] >> (col % 8)) & 1;
+  }
+  static void SetValid(uint8_t* row_ptr, uint64_t col, bool valid) {
+    if (valid) {
+      row_ptr[col / 8] |= static_cast<uint8_t>(1u << (col % 8));
+    } else {
+      row_ptr[col / 8] &= static_cast<uint8_t>(~(1u << (col % 8)));
+    }
+  }
+
+ private:
+  std::vector<LogicalType> types_;
+  std::vector<uint64_t> offsets_;
+  uint64_t validity_bytes_ = 0;
+  uint64_t row_width_ = 0;
+  bool has_varchar_ = false;
+};
+
+}  // namespace rowsort

@@ -1,0 +1,49 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <iterator>
+#include <utility>
+
+namespace rowsort {
+
+namespace detail {
+
+template <typename It, typename Compare>
+void SiftDown(It begin, typename std::iterator_traits<It>::difference_type len,
+              typename std::iterator_traits<It>::difference_type root,
+              Compare comp) {
+  using Diff = typename std::iterator_traits<It>::difference_type;
+  auto value = std::move(*(begin + root));
+  Diff hole = root;
+  while (true) {
+    Diff child = 2 * hole + 1;
+    if (child >= len) break;
+    if (child + 1 < len && comp(*(begin + child), *(begin + child + 1))) {
+      ++child;
+    }
+    if (!comp(value, *(begin + child))) break;
+    *(begin + hole) = std::move(*(begin + child));
+    hole = child;
+  }
+  *(begin + hole) = std::move(value);
+}
+
+}  // namespace detail
+
+/// \brief Bottom-up heapsort: the O(n log n) worst-case fallback of introsort
+/// and pdqsort when quicksort recursion degenerates.
+template <typename It, typename Compare>
+void HeapSort(It begin, It end, Compare comp) {
+  using Diff = typename std::iterator_traits<It>::difference_type;
+  Diff len = end - begin;
+  if (len < 2) return;
+  for (Diff root = len / 2 - 1; root >= 0; --root) {
+    detail::SiftDown(begin, len, root, comp);
+  }
+  for (Diff last = len - 1; last > 0; --last) {
+    std::swap(*begin, *(begin + last));
+    detail::SiftDown(begin, last, Diff(0), comp);
+  }
+}
+
+}  // namespace rowsort

@@ -1,0 +1,46 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <iterator>
+#include <utility>
+
+namespace rowsort {
+
+/// \brief Classic insertion sort; the base case of introsort, pdqsort, and
+/// MSD radix sort (paper §VI-B: "MSD radix sort that recurses to insertion
+/// sort for buckets with <= 24 tuples").
+template <typename It, typename Compare>
+void InsertionSort(It begin, It end, Compare comp) {
+  if (begin == end) return;
+  for (It cur = begin + 1; cur != end; ++cur) {
+    It sift = cur;
+    It sift_1 = cur - 1;
+    if (comp(*sift, *sift_1)) {
+      auto tmp = std::move(*sift);
+      do {
+        *sift-- = std::move(*sift_1);
+      } while (sift != begin && comp(tmp, *--sift_1));
+      *sift = std::move(tmp);
+    }
+  }
+}
+
+/// Insertion sort that assumes *(begin-1) is a sentinel <= every element in
+/// [begin, end); skips the bounds check in the inner loop.
+template <typename It, typename Compare>
+void UnguardedInsertionSort(It begin, It end, Compare comp) {
+  if (begin == end) return;
+  for (It cur = begin + 1; cur != end; ++cur) {
+    It sift = cur;
+    It sift_1 = cur - 1;
+    if (comp(*sift, *sift_1)) {
+      auto tmp = std::move(*sift);
+      do {
+        *sift-- = std::move(*sift_1);
+      } while (comp(tmp, *--sift_1));
+      *sift = std::move(tmp);
+    }
+  }
+}
+
+}  // namespace rowsort

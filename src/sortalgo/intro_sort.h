@@ -1,0 +1,93 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <iterator>
+#include <utility>
+
+#include "common/bit_util.h"
+#include "sortalgo/heap_sort.h"
+#include "sortalgo/insertion_sort.h"
+
+namespace rowsort {
+
+/// \brief Introspective sort (Musser 1997): median-of-three quicksort with a
+/// depth limit that falls back to heapsort, plus insertion sort for small
+/// ranges. This is the from-scratch stand-in for std::sort used by the
+/// micro-benchmarks (paper §III: "All of the approaches use std::sort, an
+/// introspective sort implementation").
+namespace introsort_detail {
+
+constexpr int kInsertionThreshold = 16;
+
+template <typename It, typename Compare>
+It MedianOfThree(It a, It b, It c, Compare comp) {
+  if (comp(*a, *b)) {
+    if (comp(*b, *c)) return b;
+    return comp(*a, *c) ? c : a;
+  }
+  if (comp(*a, *c)) return a;
+  return comp(*b, *c) ? c : b;
+}
+
+// Hoare-style partition around the median-of-three pivot; returns the split.
+template <typename It, typename Compare>
+It Partition(It begin, It end, Compare comp) {
+  It mid = begin + (end - begin) / 2;
+  It pivot_it = MedianOfThree(begin, mid, end - 1, comp);
+  std::swap(*begin, *pivot_it);
+  auto& pivot = *begin;
+
+  It left = begin;
+  It right = end;
+  while (true) {
+    do {
+      ++left;
+    } while (left != end && comp(*left, pivot));
+    do {
+      --right;
+    } while (comp(pivot, *right));
+    if (left >= right) break;
+    std::swap(*left, *right);
+  }
+  std::swap(*begin, *right);
+  return right;
+}
+
+template <typename It, typename Compare>
+void IntroSortLoop(It begin, It end, int depth_limit, Compare comp) {
+  while (end - begin > kInsertionThreshold) {
+    if (depth_limit == 0) {
+      HeapSort(begin, end, comp);
+      return;
+    }
+    --depth_limit;
+    It split = Partition(begin, end, comp);
+    // Recurse into the smaller side; loop on the larger (O(log n) stack).
+    if (split - begin < end - (split + 1)) {
+      IntroSortLoop(begin, split, depth_limit, comp);
+      begin = split + 1;
+    } else {
+      IntroSortLoop(split + 1, end, depth_limit, comp);
+      end = split;
+    }
+  }
+}
+
+}  // namespace introsort_detail
+
+/// Sorts [begin, end) with introsort; not stable.
+template <typename It, typename Compare>
+void IntroSort(It begin, It end, Compare comp) {
+  auto len = end - begin;
+  if (len < 2) return;
+  int depth_limit = 2 * bit_util::Log2Floor(static_cast<uint64_t>(len));
+  introsort_detail::IntroSortLoop(begin, end, depth_limit, comp);
+  InsertionSort(begin, end, comp);
+}
+
+template <typename It>
+void IntroSort(It begin, It end) {
+  IntroSort(begin, end, [](const auto& a, const auto& b) { return a < b; });
+}
+
+}  // namespace rowsort

@@ -1,0 +1,75 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sortalgo/insertion_sort.h"
+
+namespace rowsort {
+
+/// \brief Stable bottom-up merge sort with a full auxiliary buffer; the
+/// from-scratch stand-in for std::stable_sort in the micro-benchmarks
+/// (paper §III replicates every experiment with a merge-sort-based stable
+/// sort because "merge sort uses primarily sequential data access").
+template <typename It, typename Compare>
+void StableMergeSort(It begin, It end, Compare comp) {
+  using T = typename std::iterator_traits<It>::value_type;
+  using Diff = typename std::iterator_traits<It>::difference_type;
+  Diff len = end - begin;
+  if (len < 2) return;
+
+  constexpr Diff kRunSize = 32;
+  // Seed with insertion-sorted runs (stable).
+  for (Diff lo = 0; lo < len; lo += kRunSize) {
+    Diff hi = std::min(lo + kRunSize, len);
+    InsertionSort(begin + lo, begin + hi, comp);
+  }
+  if (len <= kRunSize) return;
+
+  std::vector<T> buffer(begin, end);
+  T* src = buffer.data();
+  bool data_in_buffer = false;  // tracks which array holds the current runs
+
+  // Bottom-up merging, ping-ponging between the input range and the buffer.
+  auto merge_pass = [&](auto* from, auto* to, Diff width) {
+    for (Diff lo = 0; lo < len; lo += 2 * width) {
+      Diff mid = std::min(lo + width, len);
+      Diff hi = std::min(lo + 2 * width, len);
+      Diff left = lo, right = mid, out = lo;
+      while (left < mid && right < hi) {
+        // Stable: take from the left run on ties.
+        if (comp(from[right], from[left])) {
+          to[out++] = std::move(from[right++]);
+        } else {
+          to[out++] = std::move(from[left++]);
+        }
+      }
+      while (left < mid) to[out++] = std::move(from[left++]);
+      while (right < hi) to[out++] = std::move(from[right++]);
+    }
+  };
+
+  T* in_place = &*begin;
+  for (Diff width = kRunSize; width < len; width *= 2) {
+    if (data_in_buffer) {
+      merge_pass(src, in_place, width);
+    } else {
+      merge_pass(in_place, src, width);
+    }
+    data_in_buffer = !data_in_buffer;
+  }
+  if (data_in_buffer) {
+    std::move(src, src + len, begin);
+  }
+}
+
+template <typename It>
+void StableMergeSort(It begin, It end) {
+  StableMergeSort(begin, end,
+                  [](const auto& a, const auto& b) { return a < b; });
+}
+
+}  // namespace rowsort

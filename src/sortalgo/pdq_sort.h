@@ -1,0 +1,359 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <utility>
+
+#include "common/bit_util.h"
+#include "sortalgo/heap_sort.h"
+#include "sortalgo/insertion_sort.h"
+
+namespace rowsort {
+
+/// \brief Pattern-defeating quicksort (Peters 2021), implemented from scratch.
+///
+/// The paper (§VI-B) picks pdqsort as the state-of-the-art comparison sort to
+/// pit against radix sort on normalized keys. Its defining features, all
+/// implemented here:
+///  * insertion sort for small partitions;
+///  * median-of-3 pivot selection (ninther for large partitions);
+///  * detection of already-/reverse-partitioned inputs via an optimistic
+///    bounded partial insertion sort ("pattern defeating");
+///  * partition-left for inputs with many equal keys (O(n) on all-equal);
+///  * branchless block partitioning from BlockQuickSort (Edelkamp & Weiss
+///    2019) to avoid branch mispredictions — enabled when the comparator is
+///    branchless-friendly (\p Branchless template flag);
+///  * shuffling + heapsort fallback when partitions are consistently bad.
+namespace pdq_detail {
+
+constexpr int64_t kInsertionSortThreshold = 24;
+constexpr int64_t kNintherThreshold = 128;
+constexpr int64_t kPartialInsertionSortLimit = 8;
+constexpr int64_t kBlockSize = 64;
+constexpr int64_t kCachelineSize = 64;
+
+template <typename It, typename Compare>
+void Sort2(It a, It b, Compare comp) {
+  if (comp(*b, *a)) std::swap(*a, *b);
+}
+
+template <typename It, typename Compare>
+void Sort3(It a, It b, It c, Compare comp) {
+  Sort2(a, b, comp);
+  Sort2(b, c, comp);
+  Sort2(a, b, comp);
+}
+
+/// Attempts to sort [begin, end) with insertion sort, giving up after
+/// kPartialInsertionSortLimit element moves. Returns true when the range is
+/// fully sorted. Defeats "nearly sorted" patterns in O(n).
+template <typename It, typename Compare>
+bool PartialInsertionSort(It begin, It end, Compare comp) {
+  if (begin == end) return true;
+  int64_t limit = 0;
+  for (It cur = begin + 1; cur != end; ++cur) {
+    It sift = cur;
+    It sift_1 = cur - 1;
+    if (comp(*sift, *sift_1)) {
+      auto tmp = std::move(*sift);
+      do {
+        *sift-- = std::move(*sift_1);
+      } while (sift != begin && comp(tmp, *--sift_1));
+      *sift = std::move(tmp);
+      limit += cur - sift;
+    }
+    if (limit > kPartialInsertionSortLimit) return false;
+  }
+  return true;
+}
+
+/// Partitions [begin, end) around *begin using Hoare crossing scans.
+/// Returns (pivot position, was the input already partitioned?).
+template <typename It, typename Compare>
+std::pair<It, bool> PartitionRight(It begin, It end, Compare comp) {
+  auto pivot = std::move(*begin);
+  It first = begin;
+  It last = end;
+
+  // The median-of-3 guarantees an element >= pivot on the left and <= pivot
+  // on the right, so these scans are unguarded.
+  while (comp(*++first, pivot)) {
+  }
+  if (first - 1 == begin) {
+    while (first < last && !comp(*--last, pivot)) {
+    }
+  } else {
+    while (!comp(*--last, pivot)) {
+    }
+  }
+
+  bool already_partitioned = first >= last;
+  while (first < last) {
+    std::swap(*first, *last);
+    while (comp(*++first, pivot)) {
+    }
+    while (!comp(*--last, pivot)) {
+    }
+  }
+
+  It pivot_pos = first - 1;
+  *begin = std::move(*pivot_pos);
+  *pivot_pos = std::move(pivot);
+  return {pivot_pos, already_partitioned};
+}
+
+/// Branchless variant of PartitionRight using BlockQuickSort offset buffers:
+/// comparison results are turned into offset-array writes instead of
+/// conditional swaps, so the hot loop has no data-dependent branches.
+template <typename It, typename Compare>
+std::pair<It, bool> PartitionRightBranchless(It begin, It end, Compare comp) {
+  auto pivot = std::move(*begin);
+  It first = begin;
+  It last = end;
+
+  while (comp(*++first, pivot)) {
+  }
+  if (first - 1 == begin) {
+    while (first < last && !comp(*--last, pivot)) {
+    }
+  } else {
+    while (!comp(*--last, pivot)) {
+    }
+  }
+
+  bool already_partitioned = first >= last;
+  if (!already_partitioned) {
+    std::swap(*first, *last);
+    ++first;
+  }
+
+  alignas(kCachelineSize) unsigned char offsets_l_storage[kBlockSize];
+  alignas(kCachelineSize) unsigned char offsets_r_storage[kBlockSize];
+  unsigned char* offsets_l = offsets_l_storage;
+  unsigned char* offsets_r = offsets_r_storage;
+  int64_t num_l = 0, num_r = 0, start_l = 0, start_r = 0;
+
+  while (last - first > 2 * kBlockSize) {
+    if (num_l == 0) {
+      start_l = 0;
+      It it = first;
+      for (int64_t i = 0; i < kBlockSize; ++i) {
+        offsets_l[num_l] = static_cast<unsigned char>(i);
+        num_l += !comp(*it, pivot);  // branchless accumulate
+        ++it;
+      }
+    }
+    if (num_r == 0) {
+      start_r = 0;
+      It it = last;
+      for (int64_t i = 0; i < kBlockSize; ++i) {
+        --it;
+        offsets_r[num_r] = static_cast<unsigned char>(i);
+        num_r += comp(*it, pivot);
+      }
+    }
+
+    int64_t num = std::min(num_l, num_r);
+    for (int64_t i = 0; i < num; ++i) {
+      std::swap(*(first + offsets_l[start_l + i]),
+                *(last - 1 - offsets_r[start_r + i]));
+    }
+    num_l -= num;
+    num_r -= num;
+    start_l += num;
+    start_r += num;
+    if (num_l == 0) first += kBlockSize;
+    if (num_r == 0) last -= kBlockSize;
+  }
+
+  // At most one side has unmatched offsets left. Compact that block so its
+  // classified elements sit contiguously, shrink the gap accordingly, and let
+  // the guarded crossing scans below finish the (O(block) sized) remainder.
+  if (num_l) {
+    // offsets_l[start_l..start_l+num_l) are increasing positions of >= pivot
+    // elements inside [first, first + kBlockSize). Move them to the block's
+    // back, processing largest offset first so targets are never disturbed.
+    int64_t back = kBlockSize;
+    for (int64_t i = num_l - 1; i >= 0; --i) {
+      --back;
+      int64_t off = offsets_l[start_l + i];
+      if (off != back) std::swap(*(first + off), *(first + back));
+    }
+    first += kBlockSize - num_l;  // leading part of the block is < pivot
+  }
+  if (num_r) {
+    // Mirror image: unmatched < pivot elements inside (last - kBlockSize,
+    // last]; move them to the block's front (largest offset = leftmost).
+    int64_t front = kBlockSize;
+    for (int64_t i = num_r - 1; i >= 0; --i) {
+      --front;
+      int64_t off = offsets_r[start_r + i];
+      if (off != front) std::swap(*(last - 1 - off), *(last - 1 - front));
+    }
+    last -= kBlockSize - num_r;  // trailing part of the block is >= pivot
+  }
+  {
+    It it_first = first;
+    It it_last = last;
+    while (true) {
+      while (it_first < it_last && comp(*it_first, pivot)) ++it_first;
+      while (it_first < it_last && !comp(*(it_last - 1), pivot)) --it_last;
+      if (it_first >= it_last) break;
+      std::swap(*it_first, *(it_last - 1));
+      ++it_first;
+      --it_last;
+    }
+    first = it_first;
+  }
+
+  It pivot_pos = first - 1;
+  *begin = std::move(*pivot_pos);
+  *pivot_pos = std::move(pivot);
+  return {pivot_pos, already_partitioned};
+}
+
+/// Partitions [begin, end) so elements equal to *begin go left: used when the
+/// chosen pivot equals its predecessor, which indicates many duplicates.
+/// Returns the position one past the equal range.
+template <typename It, typename Compare>
+It PartitionLeft(It begin, It end, Compare comp) {
+  auto pivot = std::move(*begin);
+  It first = begin;
+  It last = end;
+
+  while (comp(pivot, *--last)) {
+  }
+  if (last + 1 == end) {
+    while (first < last && !comp(pivot, *++first)) {
+    }
+  } else {
+    while (!comp(pivot, *++first)) {
+    }
+  }
+
+  while (first < last) {
+    std::swap(*first, *last);
+    while (comp(pivot, *--last)) {
+    }
+    while (!comp(pivot, *++first)) {
+    }
+  }
+
+  It pivot_pos = last;
+  *begin = std::move(*pivot_pos);
+  *pivot_pos = std::move(pivot);
+  return pivot_pos;
+}
+
+template <bool Branchless, typename It, typename Compare>
+void PdqSortLoop(It begin, It end, Compare comp, int bad_allowed,
+                 bool leftmost = true) {
+  using Diff = typename std::iterator_traits<It>::difference_type;
+
+  while (true) {
+    Diff size = end - begin;
+
+    if (size < kInsertionSortThreshold) {
+      if (leftmost) {
+        InsertionSort(begin, end, comp);
+      } else {
+        UnguardedInsertionSort(begin, end, comp);
+      }
+      return;
+    }
+
+    // Pivot selection: median of 3 (ninther for large ranges); also sorts
+    // the sampled elements, establishing the unguarded-scan sentinels.
+    Diff half = size / 2;
+    if (size > kNintherThreshold) {
+      Sort3(begin, begin + half, end - 1, comp);
+      Sort3(begin + 1, begin + (half - 1), end - 2, comp);
+      Sort3(begin + 2, begin + (half + 1), end - 3, comp);
+      Sort3(begin + (half - 1), begin + half, begin + (half + 1), comp);
+      std::swap(*begin, *(begin + half));
+    } else {
+      Sort3(begin + half, begin, end - 1, comp);
+    }
+
+    // Many-duplicates defense: if the pivot equals the element before this
+    // partition, partition-left consumes the whole equal range in O(n).
+    if (!leftmost && !comp(*(begin - 1), *begin)) {
+      begin = PartitionLeft(begin, end, comp) + 1;
+      continue;
+    }
+
+    auto [pivot_pos, already_partitioned] =
+        Branchless ? PartitionRightBranchless(begin, end, comp)
+                   : PartitionRight(begin, end, comp);
+
+    Diff l_size = pivot_pos - begin;
+    Diff r_size = end - (pivot_pos + 1);
+    bool highly_unbalanced = l_size < size / 8 || r_size < size / 8;
+
+    if (highly_unbalanced) {
+      if (--bad_allowed == 0) {
+        HeapSort(begin, end, comp);
+        return;
+      }
+      // Shuffle some elements to break the adversarial pattern.
+      if (l_size >= kInsertionSortThreshold) {
+        std::swap(*begin, *(begin + l_size / 4));
+        std::swap(*(pivot_pos - 1), *(pivot_pos - l_size / 4));
+        if (l_size > kNintherThreshold) {
+          std::swap(*(begin + 1), *(begin + (l_size / 4 + 1)));
+          std::swap(*(begin + 2), *(begin + (l_size / 4 + 2)));
+          std::swap(*(pivot_pos - 2), *(pivot_pos - (l_size / 4 + 1)));
+          std::swap(*(pivot_pos - 3), *(pivot_pos - (l_size / 4 + 2)));
+        }
+      }
+      if (r_size >= kInsertionSortThreshold) {
+        std::swap(*(pivot_pos + 1), *(pivot_pos + (1 + r_size / 4)));
+        std::swap(*(end - 1), *(end - r_size / 4));
+        if (r_size > kNintherThreshold) {
+          std::swap(*(pivot_pos + 2), *(pivot_pos + (2 + r_size / 4)));
+          std::swap(*(pivot_pos + 3), *(pivot_pos + (3 + r_size / 4)));
+          std::swap(*(end - 2), *(end - (1 + r_size / 4)));
+          std::swap(*(end - 3), *(end - (2 + r_size / 4)));
+        }
+      }
+    } else if (already_partitioned &&
+               PartialInsertionSort(begin, pivot_pos, comp) &&
+               PartialInsertionSort(pivot_pos + 1, end, comp)) {
+      // Pattern defeated: the range was (nearly) sorted already.
+      return;
+    }
+
+    // Recurse into the left side, loop on the right (O(log n) stack).
+    PdqSortLoop<Branchless>(begin, pivot_pos, comp, bad_allowed, leftmost);
+    begin = pivot_pos + 1;
+    leftmost = false;
+  }
+}
+
+}  // namespace pdq_detail
+
+/// Sorts [begin, end) with pattern-defeating quicksort; not stable.
+/// Uses the branching partition, appropriate for expensive comparators.
+template <typename It, typename Compare>
+void PdqSort(It begin, It end, Compare comp) {
+  if (end - begin < 2) return;
+  int depth = bit_util::Log2Floor(static_cast<uint64_t>(end - begin));
+  pdq_detail::PdqSortLoop<false>(begin, end, comp, depth);
+}
+
+/// Sorts [begin, end) using the BlockQuickSort branchless partition; best for
+/// cheap branchless comparators (integers, memcmp of short keys).
+template <typename It, typename Compare>
+void PdqSortBranchless(It begin, It end, Compare comp) {
+  if (end - begin < 2) return;
+  int depth = bit_util::Log2Floor(static_cast<uint64_t>(end - begin));
+  pdq_detail::PdqSortLoop<true>(begin, end, comp, depth);
+}
+
+template <typename It>
+void PdqSort(It begin, It end) {
+  PdqSort(begin, end, [](const auto& a, const auto& b) { return a < b; });
+}
+
+}  // namespace rowsort

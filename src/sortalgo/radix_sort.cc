@@ -1,0 +1,197 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "sortalgo/radix_sort.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "sortalgo/row_ops.h"
+#include "sortalgo/row_sort.h"
+
+namespace rowsort {
+
+namespace {
+
+constexpr uint64_t kBuckets = 256;
+
+struct ByteHistogram {
+  uint64_t counts[kBuckets] = {};
+
+  /// Returns the bucket holding every row, or kBuckets when rows spread over
+  /// more than one bucket (enables the paper's copy-skip optimization).
+  uint64_t SingleBucket(uint64_t count) const {
+    for (uint64_t b = 0; b < kBuckets; ++b) {
+      if (counts[b] == count) return b;
+      if (counts[b] != 0) return kBuckets;
+    }
+    return kBuckets;
+  }
+};
+
+void CountByte(const uint8_t* rows, uint64_t count, uint64_t row_width,
+               uint64_t byte_offset, ByteHistogram* hist) {
+  const uint8_t* ptr = rows + byte_offset;
+  for (uint64_t i = 0; i < count; ++i) {
+    ++hist->counts[*ptr];
+    ptr += row_width;
+  }
+}
+
+}  // namespace
+
+void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
+                  const RadixSortConfig& config, RadixSortStats* stats) {
+  ROWSORT_DASSERT(config.key_offset + config.key_width <= config.row_width);
+  if (count < 2 || config.key_width == 0) return;
+
+  const uint64_t row_width = config.row_width;
+  uint8_t* src = rows;
+  uint8_t* dst = aux;
+
+  // One stable counting pass per key byte, least significant digit first.
+  for (uint64_t d = config.key_width; d-- > 0;) {
+    const uint64_t byte_offset = config.key_offset + d;
+    ByteHistogram hist;
+    CountByte(src, count, row_width, byte_offset, &hist);
+
+    // Copy-skip optimization (paper §VI-B): a constant byte cannot change
+    // the order, so the pass performs no data movement.
+    if (hist.SingleBucket(count) != kBuckets) {
+      if (stats) ++stats->skipped_passes;
+      continue;
+    }
+
+    uint64_t offsets[kBuckets];
+    uint64_t sum = 0;
+    for (uint64_t b = 0; b < kBuckets; ++b) {
+      offsets[b] = sum;
+      sum += hist.counts[b];
+    }
+
+    const uint8_t* in = src;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t bucket = in[byte_offset];
+      RowCopy(dst + offsets[bucket] * row_width, in, row_width);
+      ++offsets[bucket];
+      in += row_width;
+    }
+    if (stats) {
+      ++stats->passes;
+      stats->rows_moved += count;
+    }
+    std::swap(src, dst);
+  }
+
+  if (src != rows) {
+    std::memcpy(rows, src, count * row_width);
+    if (stats) stats->rows_moved += count;
+  }
+}
+
+namespace {
+
+/// Shared recursive MSD implementation. \p small_sort finishes buckets of at
+/// most \p small_threshold rows by comparing the *remaining* key suffix.
+template <typename SmallSort>
+void MsdRecurse(uint8_t* rows, uint8_t* aux, uint64_t count,
+                const RadixSortConfig& config, uint64_t digit,
+                uint64_t small_threshold, const SmallSort& small_sort,
+                RadixSortStats* stats) {
+  while (digit < config.key_width) {
+    if (count <= 1) return;
+    if (count <= small_threshold) {
+      small_sort(rows, count, digit);
+      if (stats) ++stats->insertion_sorts;
+      return;
+    }
+
+    const uint64_t row_width = config.row_width;
+    const uint64_t byte_offset = config.key_offset + digit;
+    ByteHistogram hist;
+    CountByte(rows, count, row_width, byte_offset, &hist);
+
+    // Copy-skip: all rows share this byte, descend without moving data.
+    if (hist.SingleBucket(count) != kBuckets) {
+      if (stats) ++stats->skipped_passes;
+      ++digit;
+      continue;
+    }
+
+    uint64_t offsets[kBuckets + 1];
+    uint64_t sum = 0;
+    for (uint64_t b = 0; b < kBuckets; ++b) {
+      offsets[b] = sum;
+      sum += hist.counts[b];
+    }
+    offsets[kBuckets] = sum;
+
+    // Scatter into aux in bucket order, then copy back: rows now grouped by
+    // this digit, each bucket contiguous.
+    {
+      uint64_t cursor[kBuckets];
+      std::memcpy(cursor, offsets, sizeof(cursor));
+      const uint8_t* in = rows;
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t bucket = in[byte_offset];
+        RowCopy(aux + cursor[bucket] * row_width, in, row_width);
+        ++cursor[bucket];
+        in += row_width;
+      }
+      std::memcpy(rows, aux, count * row_width);
+    }
+    if (stats) {
+      ++stats->passes;
+      stats->rows_moved += 2 * count;
+    }
+
+    // Recurse per bucket on the next digit.
+    for (uint64_t b = 0; b < kBuckets; ++b) {
+      uint64_t bucket_count = offsets[b + 1] - offsets[b];
+      if (bucket_count > 1) {
+        MsdRecurse(rows + offsets[b] * row_width, aux + offsets[b] * row_width,
+                   bucket_count, config, digit + 1, small_threshold,
+                   small_sort, stats);
+      }
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+void RadixSortMsd(uint8_t* rows, uint8_t* aux, uint64_t count,
+                  const RadixSortConfig& config, RadixSortStats* stats) {
+  ROWSORT_DASSERT(config.key_offset + config.key_width <= config.row_width);
+  if (count < 2 || config.key_width == 0) return;
+  auto insertion = [&](uint8_t* bucket_rows, uint64_t bucket_count,
+                       uint64_t digit) {
+    // Bytes before `digit` are equal within the bucket; compare the suffix.
+    RowInsertionSort(bucket_rows, bucket_count, config.row_width,
+                     config.key_offset + digit, config.key_width - digit);
+  };
+  MsdRecurse(rows, aux, count, config, 0, config.insertion_threshold,
+             insertion, stats);
+}
+
+void RadixSortMsdWithPdq(uint8_t* rows, uint8_t* aux, uint64_t count,
+                         const RadixSortConfig& config, uint64_t pdq_threshold,
+                         RadixSortStats* stats) {
+  ROWSORT_DASSERT(config.key_offset + config.key_width <= config.row_width);
+  if (count < 2 || config.key_width == 0) return;
+  auto pdq = [&](uint8_t* bucket_rows, uint64_t bucket_count, uint64_t digit) {
+    PdqSortRows(bucket_rows, bucket_count, config.row_width,
+                config.key_offset + digit, config.key_width - digit);
+  };
+  MsdRecurse(rows, aux, count, config, 0, pdq_threshold, pdq, stats);
+}
+
+void RadixSort(uint8_t* rows, uint8_t* aux, uint64_t count,
+               const RadixSortConfig& config, RadixSortStats* stats) {
+  if (config.key_width <= config.lsd_key_width_bound) {
+    RadixSortLsd(rows, aux, count, config, stats);
+  } else {
+    RadixSortMsd(rows, aux, count, config, stats);
+  }
+}
+
+}  // namespace rowsort

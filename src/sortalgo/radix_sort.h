@@ -1,0 +1,62 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace rowsort {
+
+/// \brief Configuration for radix-sorting fixed-width binary rows whose sort
+/// key is an order-preserving byte string (a normalized key, paper §VI-A),
+/// so that byte-wise distribution yields the correct order (§VI-B).
+struct RadixSortConfig {
+  uint64_t row_width = 0;   ///< bytes per row (key + any trailing payload)
+  uint64_t key_offset = 0;  ///< byte offset of the normalized key in the row
+  uint64_t key_width = 0;   ///< bytes of normalized key to sort by
+
+  /// Buckets holding at most this many rows are finished with insertion sort
+  /// (paper: "MSD radix sort that recurses to insertion sort for buckets
+  /// with <= 24 tuples").
+  uint64_t insertion_threshold = 24;
+
+  /// LSD is chosen when key_width <= this bound, MSD otherwise (paper §VI-B:
+  /// "LSD radix sort is selected when the key size is <= 4 bytes").
+  uint64_t lsd_key_width_bound = 4;
+};
+
+/// Counters the radix sorts report for the ablation/diagnostic benches.
+struct RadixSortStats {
+  uint64_t passes = 0;          ///< counting passes actually executed
+  uint64_t skipped_passes = 0;  ///< passes skipped by the one-bucket shortcut
+  uint64_t insertion_sorts = 0; ///< small-bucket insertion-sort calls
+  uint64_t rows_moved = 0;      ///< row copies performed
+};
+
+/// Least-significant-digit radix sort: one stable counting pass per key byte,
+/// from last to first. Needs \p aux of the same size as \p rows; the sorted
+/// result is always left in \p rows. The one-bucket optimization skips the
+/// data movement of a pass whose byte is constant (paper §VI-B).
+void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
+                  const RadixSortConfig& config,
+                  RadixSortStats* stats = nullptr);
+
+/// Most-significant-digit radix sort: recursive bucketing from the first key
+/// byte, recursing to insertion sort for small buckets. Needs \p aux like
+/// RadixSortLsd; the result is left in \p rows.
+void RadixSortMsd(uint8_t* rows, uint8_t* aux, uint64_t count,
+                  const RadixSortConfig& config,
+                  RadixSortStats* stats = nullptr);
+
+/// Paper's dispatch: LSD for short keys (<= lsd_key_width_bound), else MSD.
+void RadixSort(uint8_t* rows, uint8_t* aux, uint64_t count,
+               const RadixSortConfig& config, RadixSortStats* stats = nullptr);
+
+/// Future-work variant (§IX): MSD radix sort that hands small buckets to
+/// pdqsort-with-memcmp instead of insertion sort, with a larger threshold.
+void RadixSortMsdWithPdq(uint8_t* rows, uint8_t* aux, uint64_t count,
+                         const RadixSortConfig& config,
+                         uint64_t pdq_threshold = 512,
+                         RadixSortStats* stats = nullptr);
+
+}  // namespace rowsort

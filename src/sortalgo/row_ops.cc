@@ -1,0 +1,39 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "sortalgo/row_ops.h"
+
+#include <vector>
+
+namespace rowsort {
+
+void RowInsertionSort(uint8_t* rows, uint64_t count, uint64_t row_width,
+                      uint64_t cmp_offset, uint64_t cmp_width) {
+  if (count < 2) return;
+  std::vector<uint8_t> tmp(row_width);
+  for (uint64_t i = 1; i < count; ++i) {
+    uint8_t* cur = rows + i * row_width;
+    if (std::memcmp(cur + cmp_offset, cur - row_width + cmp_offset,
+                    cmp_width) < 0) {
+      RowCopy(tmp.data(), cur, row_width);
+      uint64_t j = i;
+      do {
+        RowCopy(rows + j * row_width, rows + (j - 1) * row_width, row_width);
+        --j;
+      } while (j > 0 && std::memcmp(tmp.data() + cmp_offset,
+                                    rows + (j - 1) * row_width + cmp_offset,
+                                    cmp_width) < 0);
+      RowCopy(rows + j * row_width, tmp.data(), row_width);
+    }
+  }
+}
+
+bool RowsAreSorted(const uint8_t* rows, uint64_t count, uint64_t row_width,
+                   uint64_t cmp_offset, uint64_t cmp_width) {
+  for (uint64_t i = 1; i < count; ++i) {
+    const uint8_t* prev = rows + (i - 1) * row_width + cmp_offset;
+    const uint8_t* cur = rows + i * row_width + cmp_offset;
+    if (std::memcmp(prev, cur, cmp_width) > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,52 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \file row_ops.h
+/// Primitives for operating on arrays of fixed-width binary rows (NSM):
+/// runtime-width copy/swap and an insertion sort that moves whole rows, used
+/// as the recursion base of MSD radix sort (paper §VI-B).
+
+/// Maximum fixed row width the row sorting fast paths are compiled for;
+/// wider rows use the pointer-indirection fallback.
+constexpr uint64_t kMaxFixedRowWidth = 256;
+
+/// Copies one row of \p width bytes.
+inline void RowCopy(uint8_t* dst, const uint8_t* src, uint64_t width) {
+  std::memcpy(dst, src, width);
+}
+
+/// Swaps two rows of \p width bytes through a stack buffer.
+inline void RowSwap(uint8_t* a, uint8_t* b, uint64_t width) {
+  uint8_t tmp[kMaxFixedRowWidth];
+  while (width > kMaxFixedRowWidth) {
+    std::memcpy(tmp, a, kMaxFixedRowWidth);
+    std::memcpy(a, b, kMaxFixedRowWidth);
+    std::memcpy(b, tmp, kMaxFixedRowWidth);
+    a += kMaxFixedRowWidth;
+    b += kMaxFixedRowWidth;
+    width -= kMaxFixedRowWidth;
+  }
+  std::memcpy(tmp, a, width);
+  std::memcpy(a, b, width);
+  std::memcpy(b, tmp, width);
+}
+
+/// Insertion sort over \p count rows of \p row_width bytes, ordered by
+/// memcmp of \p cmp_width bytes starting at \p cmp_offset within each row.
+/// Rows are physically moved (memcpy), exactly like the engine's base case.
+void RowInsertionSort(uint8_t* rows, uint64_t count, uint64_t row_width,
+                      uint64_t cmp_offset, uint64_t cmp_width);
+
+/// True when the \p count rows are non-decreasing under the same comparison
+/// as RowInsertionSort (verification helper for tests).
+bool RowsAreSorted(const uint8_t* rows, uint64_t count, uint64_t row_width,
+                   uint64_t cmp_offset, uint64_t cmp_width);
+
+}  // namespace rowsort

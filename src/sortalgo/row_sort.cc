@@ -1,0 +1,50 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "sortalgo/row_sort.h"
+
+#include <vector>
+
+namespace rowsort {
+namespace row_sort_detail {
+
+void ApplyRowPermutation(uint8_t* rows, uint64_t count, uint64_t row_width,
+                         const std::vector<uint8_t*>& ptrs) {
+  std::vector<uint8_t> tmp(row_width);
+  std::vector<uint64_t> target(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    target[i] = static_cast<uint64_t>(ptrs[i] - rows) / row_width;
+  }
+  std::vector<bool> done(count, false);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (done[i] || target[i] == i) {
+      done[i] = true;
+      continue;
+    }
+    // Cycle starting at position i: slot i should receive row target[i].
+    RowCopy(tmp.data(), rows + i * row_width, row_width);
+    uint64_t hole = i;
+    uint64_t src = target[i];
+    while (src != i) {
+      RowCopy(rows + hole * row_width, rows + src * row_width, row_width);
+      done[hole] = true;
+      hole = src;
+      src = target[src];
+    }
+    RowCopy(rows + hole * row_width, tmp.data(), row_width);
+    done[hole] = true;
+  }
+}
+
+void PdqSortRowsIndirect(uint8_t* rows, uint64_t count, uint64_t row_width,
+                         uint64_t cmp_offset, uint64_t cmp_width) {
+  std::vector<uint8_t*> ptrs(count);
+  for (uint64_t i = 0; i < count; ++i) ptrs[i] = rows + i * row_width;
+  PdqSortBranchless(ptrs.begin(), ptrs.end(),
+                    [&](const uint8_t* a, const uint8_t* b) {
+                      return std::memcmp(a + cmp_offset, b + cmp_offset,
+                                         cmp_width) < 0;
+                    });
+  ApplyRowPermutation(rows, count, row_width, ptrs);
+}
+
+}  // namespace row_sort_detail
+}  // namespace rowsort

@@ -1,0 +1,155 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "sortalgo/pdq_sort.h"
+#include "sortalgo/row_ops.h"
+
+namespace rowsort {
+
+/// \file row_sort.h
+/// Comparison-sorting fixed-width binary rows without JIT compilation.
+///
+/// The paper (§VI-A) observes that an interpreted engine "cannot generate a
+/// struct such as OrderKey without JIT compilation" and must move keys with
+/// memcpy and compare them with memcmp. The closest static equivalent is to
+/// pre-instantiate the sort over a small set of row widths (all multiples of
+/// 8, matching the engine's 8-byte row alignment) and dispatch at runtime:
+/// inside each instantiation, moves compile to fixed-size copies while the
+/// comparator stays a *dynamic* memcmp whose length is a runtime parameter —
+/// exactly the "pdqsort uses memcmp dynamically" setup of Fig. 9.
+
+namespace row_sort_detail {
+
+/// Trivially copyable row of W bytes; assignment is a fixed-size copy.
+template <uint64_t W>
+struct RowBlob {
+  uint8_t bytes[W];
+};
+
+/// Dynamic memcmp comparator over a row prefix (the normalized key).
+template <uint64_t W>
+struct RowLess {
+  uint64_t cmp_offset;
+  uint64_t cmp_width;
+  bool operator()(const RowBlob<W>& a, const RowBlob<W>& b) const {
+    return std::memcmp(a.bytes + cmp_offset, b.bytes + cmp_offset,
+                       cmp_width) < 0;
+  }
+};
+
+template <uint64_t W>
+void PdqSortRowsFixed(uint8_t* rows, uint64_t count, uint64_t cmp_offset,
+                      uint64_t cmp_width) {
+  auto* blobs = reinterpret_cast<RowBlob<W>*>(rows);
+  PdqSortBranchless(blobs, blobs + count, RowLess<W>{cmp_offset, cmp_width});
+}
+
+/// Fallback for rows wider than every pre-instantiated width: sort pointers,
+/// then apply the permutation with a cycle walk (O(n) extra pointer memory).
+void PdqSortRowsIndirect(uint8_t* rows, uint64_t count, uint64_t row_width,
+                         uint64_t cmp_offset, uint64_t cmp_width);
+
+/// Reorders \p rows so that row i ends up holding the row \p ptrs[i] pointed
+/// to before the call (cycle-walk, each row copied once). \p ptrs must be a
+/// permutation of the row start pointers.
+void ApplyRowPermutation(uint8_t* rows, uint64_t count, uint64_t row_width,
+                         const std::vector<uint8_t*>& ptrs);
+
+template <uint64_t W, typename Less>
+void PdqSortRowsWithFixed(uint8_t* rows, uint64_t count, Less less) {
+  auto* blobs = reinterpret_cast<RowBlob<W>*>(rows);
+  PdqSort(blobs, blobs + count, [&less](const RowBlob<W>& a,
+                                        const RowBlob<W>& b) {
+    return less(a.bytes, b.bytes);
+  });
+}
+
+}  // namespace row_sort_detail
+
+/// Sorts rows with an arbitrary comparator \p less(const uint8_t* row_a,
+/// const uint8_t* row_b) -> bool. Used when memcmp alone cannot order the
+/// rows (VARCHAR prefix tie resolution). Rows are physically moved on the
+/// fast path; the pointer-sort fallback applies the permutation afterwards.
+template <typename Less>
+void PdqSortRowsWith(uint8_t* rows, uint64_t count, uint64_t row_width,
+                     Less less) {
+  using namespace row_sort_detail;
+  switch (row_width) {
+    case 8:
+      return PdqSortRowsWithFixed<8>(rows, count, less);
+    case 16:
+      return PdqSortRowsWithFixed<16>(rows, count, less);
+    case 24:
+      return PdqSortRowsWithFixed<24>(rows, count, less);
+    case 32:
+      return PdqSortRowsWithFixed<32>(rows, count, less);
+    case 40:
+      return PdqSortRowsWithFixed<40>(rows, count, less);
+    case 48:
+      return PdqSortRowsWithFixed<48>(rows, count, less);
+    case 56:
+      return PdqSortRowsWithFixed<56>(rows, count, less);
+    case 64:
+      return PdqSortRowsWithFixed<64>(rows, count, less);
+    case 80:
+      return PdqSortRowsWithFixed<80>(rows, count, less);
+    case 96:
+      return PdqSortRowsWithFixed<96>(rows, count, less);
+    case 128:
+      return PdqSortRowsWithFixed<128>(rows, count, less);
+    default: {
+      std::vector<uint8_t*> ptrs(count);
+      for (uint64_t i = 0; i < count; ++i) ptrs[i] = rows + i * row_width;
+      PdqSort(ptrs.begin(), ptrs.end(),
+              [&less](const uint8_t* a, const uint8_t* b) {
+                return less(a, b);
+              });
+      ApplyRowPermutation(rows, count, row_width, ptrs);
+      return;
+    }
+  }
+}
+
+/// Sorts \p count rows of \p row_width bytes by memcmp of the
+/// [cmp_offset, cmp_offset + cmp_width) byte range, physically moving rows.
+/// \p row_width must be a multiple of 8 for the fast path; other widths (and
+/// widths > kMaxFixedRowWidth) take the pointer-indirection fallback.
+inline void PdqSortRows(uint8_t* rows, uint64_t count, uint64_t row_width,
+                        uint64_t cmp_offset, uint64_t cmp_width) {
+  ROWSORT_DASSERT(cmp_offset + cmp_width <= row_width);
+  using namespace row_sort_detail;
+  switch (row_width) {
+    case 8:
+      return PdqSortRowsFixed<8>(rows, count, cmp_offset, cmp_width);
+    case 16:
+      return PdqSortRowsFixed<16>(rows, count, cmp_offset, cmp_width);
+    case 24:
+      return PdqSortRowsFixed<24>(rows, count, cmp_offset, cmp_width);
+    case 32:
+      return PdqSortRowsFixed<32>(rows, count, cmp_offset, cmp_width);
+    case 40:
+      return PdqSortRowsFixed<40>(rows, count, cmp_offset, cmp_width);
+    case 48:
+      return PdqSortRowsFixed<48>(rows, count, cmp_offset, cmp_width);
+    case 56:
+      return PdqSortRowsFixed<56>(rows, count, cmp_offset, cmp_width);
+    case 64:
+      return PdqSortRowsFixed<64>(rows, count, cmp_offset, cmp_width);
+    case 80:
+      return PdqSortRowsFixed<80>(rows, count, cmp_offset, cmp_width);
+    case 96:
+      return PdqSortRowsFixed<96>(rows, count, cmp_offset, cmp_width);
+    case 128:
+      return PdqSortRowsFixed<128>(rows, count, cmp_offset, cmp_width);
+    default:
+      return PdqSortRowsIndirect(rows, count, row_width, cmp_offset,
+                                 cmp_width);
+  }
+}
+
+}  // namespace rowsort

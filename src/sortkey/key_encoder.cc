@@ -1,0 +1,201 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "sortkey/key_encoder.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+namespace {
+
+constexpr uint8_t kNullFirstNull = 0x00;
+constexpr uint8_t kNullFirstValid = 0x01;
+constexpr uint8_t kNullLastNull = 0xFF;
+constexpr uint8_t kNullLastValid = 0x00;
+
+uint8_t NullByte(bool is_valid, NullOrder null_order) {
+  if (null_order == NullOrder::kNullsFirst) {
+    return is_valid ? kNullFirstValid : kNullFirstNull;
+  }
+  return is_valid ? kNullLastValid : kNullLastNull;
+}
+
+// --- order-preserving scalar encodings (big-endian output) ---
+
+void EncodeU8(uint8_t v, uint8_t* out) { out[0] = v; }
+void EncodeI8(int8_t v, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(v) ^ 0x80;
+}
+void EncodeU16(uint16_t v, uint8_t* out) {
+  bit_util::StoreUnaligned(out, bit_util::ByteSwap(v));
+}
+void EncodeI16(int16_t v, uint8_t* out) {
+  EncodeU16(static_cast<uint16_t>(v) ^ 0x8000u, out);
+}
+void EncodeU32(uint32_t v, uint8_t* out) {
+  bit_util::StoreUnaligned(out, bit_util::ByteSwap(v));
+}
+void EncodeI32(int32_t v, uint8_t* out) {
+  EncodeU32(static_cast<uint32_t>(v) ^ 0x80000000u, out);
+}
+void EncodeU64(uint64_t v, uint8_t* out) {
+  bit_util::StoreUnaligned(out, bit_util::ByteSwap(v));
+}
+void EncodeI64(int64_t v, uint8_t* out) {
+  EncodeU64(static_cast<uint64_t>(v) ^ 0x8000000000000000ull, out);
+}
+
+// IEEE float total order: negative -> flip all bits, non-negative -> flip
+// sign bit; NaN canonicalized to a positive quiet NaN so every NaN compares
+// equal and after +inf.
+void EncodeF32(float v, uint8_t* out) {
+  uint32_t bits;
+  if (std::isnan(v)) {
+    bits = 0x7FC00000u;
+  } else {
+    if (v == 0.0f) v = 0.0f;  // canonicalize -0.0 so it ties with +0.0
+    std::memcpy(&bits, &v, sizeof(bits));
+  }
+  if (bits & 0x80000000u) {
+    bits = ~bits;
+  } else {
+    bits ^= 0x80000000u;
+  }
+  EncodeU32(bits, out);
+}
+void EncodeF64(double v, uint8_t* out) {
+  uint64_t bits;
+  if (std::isnan(v)) {
+    bits = 0x7FF8000000000000ull;
+  } else {
+    if (v == 0.0) v = 0.0;  // canonicalize -0.0 so it ties with +0.0
+    std::memcpy(&bits, &v, sizeof(bits));
+  }
+  if (bits & 0x8000000000000000ull) {
+    bits = ~bits;
+  } else {
+    bits ^= 0x8000000000000000ull;
+  }
+  EncodeU64(bits, out);
+}
+
+void EncodeStringPrefix(const string_t& str, uint64_t prefix_len,
+                        Collation collation, uint8_t* out) {
+  uint64_t copy = std::min<uint64_t>(str.size(), prefix_len);
+  if (collation == Collation::kCaseInsensitive) {
+    // Evaluate the collation before encoding the prefix (paper §VI-A).
+    const char* src = str.data();
+    for (uint64_t i = 0; i < copy; ++i) {
+      char c = src[i];
+      out[i] = static_cast<uint8_t>(c >= 'A' && c <= 'Z' ? c + 32 : c);
+    }
+  } else {
+    std::memcpy(out, str.data(), copy);
+  }
+  if (copy < prefix_len) {
+    std::memset(out + copy, 0, prefix_len - copy);
+  }
+}
+
+void InvertBytes(uint8_t* bytes, uint64_t width) {
+  for (uint64_t i = 0; i < width; ++i) bytes[i] = ~bytes[i];
+}
+
+/// Encodes one column of \p count rows (vector-at-a-time hot loop).
+void EncodeColumn(const Vector& input, uint64_t count,
+                  const SortColumn& col_spec, uint8_t* out, uint64_t stride) {
+  const auto& validity = input.validity();
+  const uint64_t value_width = col_spec.EncodedWidth() - 1;
+  const bool desc = col_spec.order == OrderType::kDescending;
+
+  for (uint64_t row = 0; row < count; ++row) {
+    uint8_t* dest = out + row * stride;
+    bool valid = validity.RowIsValid(row);
+    dest[0] = NullByte(valid, col_spec.null_order);
+    uint8_t* value_dest = dest + 1;
+    if (!valid) {
+      // Deterministic content so equal NULLs tie cleanly under memcmp.
+      std::memset(value_dest, 0, value_width);
+      continue;
+    }
+    switch (input.type().id()) {
+      case TypeId::kBool:
+        EncodeU8(static_cast<uint8_t>(input.TypedData<int8_t>()[row] != 0),
+                 value_dest);
+        break;
+      case TypeId::kInt8:
+        EncodeI8(input.TypedData<int8_t>()[row], value_dest);
+        break;
+      case TypeId::kInt16:
+        EncodeI16(input.TypedData<int16_t>()[row], value_dest);
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        EncodeI32(input.TypedData<int32_t>()[row], value_dest);
+        break;
+      case TypeId::kInt64:
+        EncodeI64(input.TypedData<int64_t>()[row], value_dest);
+        break;
+      case TypeId::kUint32:
+        EncodeU32(input.TypedData<uint32_t>()[row], value_dest);
+        break;
+      case TypeId::kUint64:
+        EncodeU64(input.TypedData<uint64_t>()[row], value_dest);
+        break;
+      case TypeId::kFloat:
+        EncodeF32(input.TypedData<float>()[row], value_dest);
+        break;
+      case TypeId::kDouble:
+        EncodeF64(input.TypedData<double>()[row], value_dest);
+        break;
+      case TypeId::kVarchar:
+        EncodeStringPrefix(input.TypedData<string_t>()[row],
+                           col_spec.string_prefix_length, col_spec.collation,
+                           value_dest);
+        break;
+      case TypeId::kInvalid:
+        ROWSORT_ASSERT(false && "encode of invalid type");
+    }
+    if (desc) InvertBytes(value_dest, value_width);
+  }
+}
+
+}  // namespace
+
+NormalizedKeyEncoder::NormalizedKeyEncoder(SortSpec spec)
+    : spec_(std::move(spec)) {
+  key_width_ = spec_.KeyWidth();
+  needs_tie_resolution_ = spec_.NeedsTieResolution();
+}
+
+void NormalizedKeyEncoder::EncodeChunk(const DataChunk& chunk, uint64_t count,
+                                       uint8_t* out, uint64_t stride,
+                                       uint64_t offset) const {
+  ROWSORT_ASSERT(stride >= offset + key_width_);
+  uint64_t column_offset = offset;
+  // One column (vector) at a time: the interpretation of type/order happens
+  // once per column, not once per value (paper §VI-A).
+  for (const auto& col_spec : spec_.columns()) {
+    ROWSORT_ASSERT(col_spec.column_index < chunk.ColumnCount());
+    const Vector& input = chunk.column(col_spec.column_index);
+    ROWSORT_ASSERT(input.type() == col_spec.type);
+    EncodeColumn(input, count, col_spec, out + column_offset, stride);
+    column_offset += col_spec.EncodedWidth();
+  }
+}
+
+void NormalizedKeyEncoder::EncodeValue(const Value& value,
+                                       const SortColumn& col_spec,
+                                       uint8_t* out) {
+  ROWSORT_ASSERT(value.type() == col_spec.type);
+  // Route through a one-row vector so the slow path shares the hot-path code.
+  Vector vec(value.type(), 1);
+  vec.SetValue(0, value);
+  EncodeColumn(vec, 1, col_spec, out, col_spec.EncodedWidth());
+}
+
+}  // namespace rowsort

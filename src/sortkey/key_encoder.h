@@ -1,0 +1,59 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+#include "sortkey/sort_spec.h"
+#include "types/value.h"
+#include "vector/data_chunk.h"
+
+namespace rowsort {
+
+/// \brief Normalized-key encoder (paper §VI-A, Fig. 7).
+///
+/// Produces a single order-preserving byte string per row such that memcmp on
+/// the encoded keys yields exactly the ORDER BY order — which also makes the
+/// keys byte-wise radix-sortable (§VI-B). Encoding rules:
+///  * every column is prefixed with a NULL byte implementing
+///    NULLS FIRST (null = 0x00, valid = 0x01) or
+///    NULLS LAST  (null = 0xFF, valid = 0x00);
+///  * unsigned integers: big-endian byte order;
+///  * signed integers: big-endian with the sign bit flipped;
+///  * floats/doubles: big-endian; negative values have all bits flipped,
+///    non-negative have the sign bit flipped; NaNs canonicalized to sort
+///    after +infinity;
+///  * VARCHAR: the first string_prefix_length bytes, zero-padded — ties past
+///    the prefix are resolved by the caller comparing full strings;
+///  * DESC columns have their value bytes inverted (the NULL byte is not
+///    inverted: NULLS FIRST/LAST placement is absolute, as in SQL).
+class NormalizedKeyEncoder {
+ public:
+  explicit NormalizedKeyEncoder(SortSpec spec);
+
+  const SortSpec& spec() const { return spec_; }
+
+  /// Total encoded key width in bytes (sum of per-column widths).
+  uint64_t key_width() const { return key_width_; }
+
+  /// True when memcmp on the key cannot break every tie (VARCHAR prefixes).
+  bool needs_tie_resolution() const { return needs_tie_resolution_; }
+
+  /// Encodes rows [0, count) of \p chunk. Row r's key is written at
+  /// \p out + r * stride + \p offset. \p stride must be >= offset + key_width.
+  /// Vector-at-a-time inner loops amortize interpretation overhead exactly as
+  /// the paper prescribes ("one vector at a time").
+  void EncodeChunk(const DataChunk& chunk, uint64_t count, uint8_t* out,
+                   uint64_t stride, uint64_t offset = 0) const;
+
+  /// Encodes a single Value (tests and slow paths). \p out must hold the
+  /// column's EncodedWidth() bytes. \p col_spec must be one of spec's columns.
+  static void EncodeValue(const Value& value, const SortColumn& col_spec,
+                          uint8_t* out);
+
+ private:
+  SortSpec spec_;
+  uint64_t key_width_ = 0;
+  bool needs_tie_resolution_ = false;
+};
+
+}  // namespace rowsort

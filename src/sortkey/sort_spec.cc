@@ -1,0 +1,44 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "sortkey/sort_spec.h"
+
+#include <sstream>
+
+namespace rowsort {
+
+uint64_t SortColumn::EncodedWidth() const {
+  constexpr uint64_t kNullByte = 1;
+  if (type.id() == TypeId::kVarchar) {
+    return kNullByte + string_prefix_length;
+  }
+  return kNullByte + static_cast<uint64_t>(type.FixedSize());
+}
+
+uint64_t SortSpec::KeyWidth() const {
+  uint64_t width = 0;
+  for (const auto& col : columns_) width += col.EncodedWidth();
+  return width;
+}
+
+bool SortSpec::NeedsTieResolution() const {
+  for (const auto& col : columns_) {
+    if (col.type.id() == TypeId::kVarchar && !col.prefix_covers_full_string) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SortSpec::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ", ";
+    const auto& col = columns_[i];
+    out << "col" << col.column_index << " "
+        << (col.order == OrderType::kAscending ? "ASC" : "DESC") << " "
+        << (col.null_order == NullOrder::kNullsFirst ? "NULLS FIRST"
+                                                     : "NULLS LAST");
+  }
+  return out.str();
+}
+
+}  // namespace rowsort

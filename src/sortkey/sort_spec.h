@@ -1,0 +1,86 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/logical_type.h"
+
+namespace rowsort {
+
+/// ASC / DESC of one ORDER BY term.
+enum class OrderType : uint8_t { kAscending, kDescending };
+
+/// NULLS FIRST / NULLS LAST of one ORDER BY term.
+enum class NullOrder : uint8_t { kNullsFirst, kNullsLast };
+
+/// String collation of one ORDER BY term (paper §VI-A: "String collations
+/// ... are handled by evaluating the collation before encoding the string
+/// prefix"). kBinary compares raw bytes; kCaseInsensitive folds ASCII case
+/// before encoding and during tie resolution (NOCASE).
+enum class Collation : uint8_t { kBinary, kCaseInsensitive };
+
+/// \brief One term of an ORDER BY clause: which column, its type, direction,
+/// and NULL placement (paper §II example query).
+struct SortColumn {
+  uint64_t column_index = 0;
+  LogicalType type;
+  OrderType order = OrderType::kAscending;
+  NullOrder null_order = NullOrder::kNullsLast;
+
+  /// Number of string bytes encoded into the normalized key for VARCHAR
+  /// columns (paper §VII: "we encode the first n bytes ... at most 12").
+  /// Ties beyond the prefix are resolved by comparing the full strings.
+  uint64_t string_prefix_length = 12;
+
+  /// Collation applied to VARCHAR values before encoding and during tie
+  /// resolution; ignored for other types.
+  Collation collation = Collation::kBinary;
+
+  /// Statistics-proven guarantee that every (collated) string fits within
+  /// string_prefix_length and contains no NUL byte, so equal encoded
+  /// prefixes imply equal strings: no tie resolution is needed and the
+  /// radix-sort fast path becomes legal even for VARCHAR keys. Set by
+  /// TuneStringPrefixes (paper §VII: prefix length "chosen at runtime based
+  /// on the available statistics"). Ignored for other types.
+  bool prefix_covers_full_string = false;
+
+  SortColumn() = default;
+  SortColumn(uint64_t column_index, LogicalType type,
+             OrderType order = OrderType::kAscending,
+             NullOrder null_order = NullOrder::kNullsLast)
+      : column_index(column_index), type(type), order(order),
+        null_order(null_order) {}
+
+  /// Bytes this column contributes to the normalized key: one NULL byte plus
+  /// the encoded value (fixed width, or the string prefix).
+  uint64_t EncodedWidth() const;
+};
+
+/// \brief A full ORDER BY specification over the columns of a DataChunk.
+class SortSpec {
+ public:
+  SortSpec() = default;
+  explicit SortSpec(std::vector<SortColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<SortColumn>& columns() const { return columns_; }
+  uint64_t ColumnCount() const { return columns_.size(); }
+
+  /// Total width in bytes of the normalized key for one row.
+  uint64_t KeyWidth() const;
+
+  /// True when memcmp on the normalized key alone cannot break every tie
+  /// (some VARCHAR column may exceed its encoded prefix), so a comparison
+  /// sort with explicit tie resolution must be used instead of radix sort.
+  bool NeedsTieResolution() const;
+
+  /// Human-readable form, e.g. "col1 DESC NULLS LAST, col0 ASC NULLS FIRST".
+  std::string ToString() const;
+
+ private:
+  std::vector<SortColumn> columns_;
+};
+
+}  // namespace rowsort

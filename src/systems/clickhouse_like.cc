@@ -1,0 +1,176 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// ClickHouse-like system (paper §VII): "ClickHouse uses a columnar format
+// throughout the sort and performs thread-local sorts with radix sort if
+// sorting by a single integer column; otherwise, it uses pdqsort using a
+// tuple-at-a-time comparison approach. ... After the thread-local sorts are
+// done, the sorted runs are merged using a k-way merge."
+#include <atomic>
+
+#include "common/bit_util.h"
+#include "parallel/thread_pool.h"
+#include "sortalgo/pdq_sort.h"
+#include "sortalgo/radix_sort.h"
+#include "systems/columnar_common.h"
+#include "systems/kway_merge.h"
+#include "systems/system.h"
+
+namespace rowsort {
+
+namespace {
+
+/// True when the paper's radix-sort fast path applies: exactly one key
+/// column of a fixed-width integer type.
+bool SingleIntegerKey(const SortSpec& spec) {
+  if (spec.columns().size() != 1) return false;
+  switch (spec.columns()[0].type.id()) {
+    case TypeId::kInt8:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kUint32:
+    case TypeId::kUint64:
+    case TypeId::kDate:
+      return true;
+    default:
+      return false;  // floats and strings take the pdqsort path
+  }
+}
+
+/// Order-preserving big-endian encoding of the single integer key of row
+/// \p row (NULL handled via a leading byte), for the radix fast path.
+void EncodeSingleKey(const MaterializedColumns& cols, const SortColumn& sc,
+                     uint64_t row, uint8_t* out, uint64_t key_width) {
+  const uint64_t c = sc.column_index;
+  bool valid = cols.RowIsValid(c, row);
+  out[0] = sc.null_order == NullOrder::kNullsFirst ? (valid ? 1 : 0)
+                                                   : (valid ? 0 : 0xFF);
+  std::memset(out + 1, 0, key_width - 1);
+  if (!valid) return;
+  const uint8_t* data = cols.data[c].data();
+  switch (sc.type.id()) {
+    case TypeId::kInt8:
+      out[1] = static_cast<uint8_t>(data[row]) ^ 0x80;
+      break;
+    case TypeId::kInt16: {
+      uint16_t v = bit_util::LoadUnaligned<uint16_t>(data + row * 2) ^ 0x8000u;
+      bit_util::StoreUnaligned(out + 1, bit_util::ByteSwap(v));
+      break;
+    }
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      uint32_t v =
+          bit_util::LoadUnaligned<uint32_t>(data + row * 4) ^ 0x80000000u;
+      bit_util::StoreUnaligned(out + 1, bit_util::ByteSwap(v));
+      break;
+    }
+    case TypeId::kUint32: {
+      uint32_t v = bit_util::LoadUnaligned<uint32_t>(data + row * 4);
+      bit_util::StoreUnaligned(out + 1, bit_util::ByteSwap(v));
+      break;
+    }
+    case TypeId::kInt64: {
+      uint64_t v = bit_util::LoadUnaligned<uint64_t>(data + row * 8) ^
+                   0x8000000000000000ull;
+      bit_util::StoreUnaligned(out + 1, bit_util::ByteSwap(v));
+      break;
+    }
+    case TypeId::kUint64: {
+      uint64_t v = bit_util::LoadUnaligned<uint64_t>(data + row * 8);
+      bit_util::StoreUnaligned(out + 1, bit_util::ByteSwap(v));
+      break;
+    }
+    default:
+      ROWSORT_ASSERT(false && "not an integer key");
+  }
+  if (sc.order == OrderType::kDescending) {
+    for (uint64_t i = 1; i < key_width; ++i) out[i] = ~out[i];
+  }
+}
+
+class ClickHouseLike : public SortSystem {
+ public:
+  explicit ClickHouseLike(uint64_t threads)
+      : threads_(std::max<uint64_t>(threads, 1)) {}
+
+  std::string name() const override { return "ClickHouse-like"; }
+
+  Table Sort(const Table& input, const SortSpec& spec) override {
+    MaterializedColumns cols = MaterializeColumns(input);
+    const uint64_t n = cols.count;
+
+    // Thread-local sorted runs over row-index ranges.
+    const uint64_t num_runs =
+        std::min<uint64_t>(threads_, std::max<uint64_t>(n / 1024, 1));
+    std::vector<std::vector<uint64_t>> runs(num_runs);
+    ColumnarTupleComparator comparator(cols, spec);
+    bool radix_path = SingleIntegerKey(spec);
+
+    auto sort_run = [&](uint64_t r) {
+      uint64_t begin = n * r / num_runs;
+      uint64_t end = n * (r + 1) / num_runs;
+      auto& run = runs[r];
+      run.resize(end - begin);
+      for (uint64_t i = begin; i < end; ++i) run[i - begin] = i;
+      if (radix_path) {
+        SortRunRadix(cols, spec.columns()[0], run);
+      } else {
+        // Tuple-at-a-time comparator: random access into every key column
+        // touched, with branches per column (the §IV-A cost model).
+        PdqSort(run.begin(), run.end(), [&](uint64_t a, uint64_t b) {
+          return comparator.Less(a, b);
+        });
+      }
+    };
+
+    if (num_runs > 1) {
+      ThreadPool pool(threads_);
+      pool.ParallelFor(num_runs, sort_run);
+    } else {
+      sort_run(0);
+    }
+
+    // k-way merge of the sorted runs, then gather the payload.
+    std::vector<uint64_t> order =
+        KWayMerge(runs, [&](uint64_t a, uint64_t b) {
+          return comparator.Less(a, b);
+        });
+    return GatherToTable(cols, order);
+  }
+
+ private:
+  /// Radix path: (encoded key | row index) records, LSD radix on the key.
+  static void SortRunRadix(const MaterializedColumns& cols,
+                           const SortColumn& sc, std::vector<uint64_t>& run) {
+    const uint64_t key_width =
+        1 + static_cast<uint64_t>(sc.type.FixedSize());  // NULL byte + value
+    const uint64_t row_width = bit_util::AlignValue(key_width) + 8;
+    std::vector<uint8_t> records(run.size() * row_width);
+    for (uint64_t i = 0; i < run.size(); ++i) {
+      uint8_t* rec = records.data() + i * row_width;
+      EncodeSingleKey(cols, sc, run[i], rec, key_width);
+      bit_util::StoreUnaligned<uint64_t>(rec + row_width - 8, run[i]);
+    }
+    std::vector<uint8_t> aux(records.size());
+    RadixSortConfig config;
+    config.row_width = row_width;
+    config.key_offset = 0;
+    config.key_width = key_width;
+    config.lsd_key_width_bound = 64;  // ClickHouse's radix sort is LSD
+    RadixSort(records.data(), aux.data(), run.size(), config);
+    for (uint64_t i = 0; i < run.size(); ++i) {
+      run[i] = bit_util::LoadUnaligned<uint64_t>(records.data() +
+                                                 i * row_width + row_width - 8);
+    }
+  }
+
+  uint64_t threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<SortSystem> MakeClickHouseLike(uint64_t threads) {
+  return std::make_unique<ClickHouseLike>(threads);
+}
+
+}  // namespace rowsort

@@ -1,0 +1,194 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "systems/columnar_common.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+MaterializedColumns MaterializeColumns(const Table& input) {
+  MaterializedColumns cols;
+  cols.types = input.types();
+  cols.names = input.names();
+  cols.count = input.row_count();
+  const uint64_t num_cols = cols.types.size();
+  cols.data.resize(num_cols);
+  cols.validity.resize(num_cols);
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    cols.data[c].resize(cols.count *
+                        static_cast<uint64_t>(cols.types[c].FixedSize()));
+  }
+
+  uint64_t offset = 0;
+  for (uint64_t ci = 0; ci < input.ChunkCount(); ++ci) {
+    const DataChunk& chunk = input.chunk(ci);
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      const Vector& vec = chunk.column(c);
+      const uint64_t size = cols.types[c].FixedSize();
+      if (cols.types[c].id() == TypeId::kVarchar) {
+        // Re-own string payloads so the materialization outlives the input.
+        auto* dest = reinterpret_cast<string_t*>(cols.data[c].data()) + offset;
+        const auto* src = vec.TypedData<string_t>();
+        for (uint64_t r = 0; r < chunk.size(); ++r) {
+          dest[r] = vec.validity().RowIsValid(r) ? cols.heap.AddString(src[r])
+                                                 : string_t();
+        }
+      } else {
+        std::memcpy(cols.data[c].data() + offset * size, vec.data(),
+                    chunk.size() * size);
+      }
+      if (!vec.validity().AllValid()) {
+        if (cols.validity[c].empty()) {
+          cols.validity[c].assign(cols.count, 1);
+        }
+        for (uint64_t r = 0; r < chunk.size(); ++r) {
+          cols.validity[c][offset + r] = vec.validity().RowIsValid(r) ? 1 : 0;
+        }
+      }
+    }
+    offset += chunk.size();
+  }
+  return cols;
+}
+
+Table GatherToTable(const MaterializedColumns& cols,
+                    const std::vector<uint64_t>& order) {
+  Table out(cols.types, cols.names);
+  uint64_t offset = 0;
+  while (offset < order.size()) {
+    uint64_t n = std::min(kVectorSize, order.size() - offset);
+    DataChunk chunk = out.NewChunk();
+    for (uint64_t c = 0; c < cols.types.size(); ++c) {
+      Vector& vec = chunk.column(c);
+      const uint64_t size = cols.types[c].FixedSize();
+      if (cols.types[c].id() == TypeId::kVarchar) {
+        const auto* src = reinterpret_cast<const string_t*>(cols.data[c].data());
+        for (uint64_t i = 0; i < n; ++i) {
+          uint64_t row = order[offset + i];
+          if (!cols.RowIsValid(c, row)) {
+            vec.validity().SetInvalid(i);
+          } else {
+            vec.SetString(i, src[row].View());
+          }
+        }
+      } else {
+        uint8_t* dest = vec.data();
+        for (uint64_t i = 0; i < n; ++i) {
+          uint64_t row = order[offset + i];
+          if (!cols.RowIsValid(c, row)) {
+            vec.validity().SetInvalid(i);
+          } else {
+            std::memcpy(dest + i * size, cols.data[c].data() + row * size,
+                        size);
+          }
+        }
+      }
+    }
+    chunk.SetSize(n);
+    out.Append(std::move(chunk));
+    offset += n;
+  }
+  return out;
+}
+
+ColumnarTupleComparator::ColumnarTupleComparator(
+    const MaterializedColumns& cols, const SortSpec& spec)
+    : cols_(&cols), spec_(&spec) {
+  for (const auto& col : spec.columns()) {
+    ROWSORT_ASSERT(col.column_index < cols.types.size());
+    ROWSORT_ASSERT(col.type == cols.types[col.column_index]);
+  }
+}
+
+namespace {
+
+template <typename T>
+int CmpAt(const uint8_t* data, uint64_t a, uint64_t b) {
+  T va = bit_util::LoadUnaligned<T>(data + a * sizeof(T));
+  T vb = bit_util::LoadUnaligned<T>(data + b * sizeof(T));
+  if (va < vb) return -1;
+  if (vb < va) return 1;
+  return 0;
+}
+
+template <typename T>
+int CmpFloatAt(const uint8_t* data, uint64_t a, uint64_t b) {
+  T va = bit_util::LoadUnaligned<T>(data + a * sizeof(T));
+  T vb = bit_util::LoadUnaligned<T>(data + b * sizeof(T));
+  bool a_nan = va != va, b_nan = vb != vb;
+  if (a_nan || b_nan) {
+    if (a_nan && b_nan) return 0;
+    return a_nan ? 1 : -1;
+  }
+  if (va < vb) return -1;
+  if (vb < va) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int ColumnarTupleComparator::CompareColumn(uint64_t k, uint64_t a,
+                                           uint64_t b) const {
+  const SortColumn& sc = spec_->columns()[k];
+  const uint64_t c = sc.column_index;
+  bool valid_a = cols_->RowIsValid(c, a);
+  bool valid_b = cols_->RowIsValid(c, b);
+  if (!valid_a || !valid_b) {
+    if (!valid_a && !valid_b) return 0;
+    bool nulls_first = sc.null_order == NullOrder::kNullsFirst;
+    if (!valid_a) return nulls_first ? -1 : 1;
+    return nulls_first ? 1 : -1;
+  }
+  const uint8_t* data = cols_->data[c].data();
+  int cmp = 0;
+  switch (sc.type.id()) {
+    case TypeId::kBool:
+    case TypeId::kInt8:
+      cmp = CmpAt<int8_t>(data, a, b);
+      break;
+    case TypeId::kInt16:
+      cmp = CmpAt<int16_t>(data, a, b);
+      break;
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      cmp = CmpAt<int32_t>(data, a, b);
+      break;
+    case TypeId::kInt64:
+      cmp = CmpAt<int64_t>(data, a, b);
+      break;
+    case TypeId::kUint32:
+      cmp = CmpAt<uint32_t>(data, a, b);
+      break;
+    case TypeId::kUint64:
+      cmp = CmpAt<uint64_t>(data, a, b);
+      break;
+    case TypeId::kFloat:
+      cmp = CmpFloatAt<float>(data, a, b);
+      break;
+    case TypeId::kDouble:
+      cmp = CmpFloatAt<double>(data, a, b);
+      break;
+    case TypeId::kVarchar: {
+      const auto* strings = reinterpret_cast<const string_t*>(data);
+      cmp = strings[a].Compare(strings[b]);
+      break;
+    }
+    case TypeId::kInvalid:
+      ROWSORT_ASSERT(false && "compare of invalid type");
+  }
+  return sc.order == OrderType::kDescending ? -cmp : cmp;
+}
+
+int ColumnarTupleComparator::Compare(uint64_t a, uint64_t b) const {
+  const uint64_t keys = spec_->columns().size();
+  for (uint64_t k = 0; k < keys; ++k) {
+    int cmp = CompareColumn(k, a, b);
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+}  // namespace rowsort

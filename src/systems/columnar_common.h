@@ -1,0 +1,62 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sortkey/sort_spec.h"
+#include "vector/string_heap.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// \brief A table materialized as flat columns (DSM), the internal format of
+/// the columnar systems under benchmark (ClickHouse-like, MonetDB-like).
+struct MaterializedColumns {
+  std::vector<LogicalType> types;
+  std::vector<std::string> names;
+  /// data[c] holds count * FixedSize(c) bytes.
+  std::vector<std::vector<uint8_t>> data;
+  /// validity[c] is empty (all valid) or holds one byte per row (1 = valid).
+  std::vector<std::vector<uint8_t>> validity;
+  StringHeap heap;  ///< owns non-inlined varchar payloads
+  uint64_t count = 0;
+
+  bool RowIsValid(uint64_t col, uint64_t row) const {
+    return validity[col].empty() || validity[col][row] != 0;
+  }
+};
+
+/// Copies \p input into flat columns.
+MaterializedColumns MaterializeColumns(const Table& input);
+
+/// Gathers the columns in \p order into a Table (the columnar systems'
+/// payload collection step).
+Table GatherToTable(const MaterializedColumns& cols,
+                    const std::vector<uint64_t>& order);
+
+/// \brief Interpreted tuple-at-a-time comparator over materialized columns:
+/// every comparison walks the key columns, causing one random access per
+/// column touched (the DSM penalty of §IV-A), with NULL ordering and
+/// ASC/DESC applied per column.
+class ColumnarTupleComparator {
+ public:
+  ColumnarTupleComparator(const MaterializedColumns& cols,
+                          const SortSpec& spec);
+
+  /// Three-way ORDER BY comparison of rows \p a and \p b.
+  int Compare(uint64_t a, uint64_t b) const;
+
+  /// Comparison on key column \p k only (the subsort building block).
+  int CompareColumn(uint64_t k, uint64_t a, uint64_t b) const;
+
+  bool Less(uint64_t a, uint64_t b) const { return Compare(a, b) < 0; }
+
+  uint64_t KeyColumnCount() const { return spec_->columns().size(); }
+
+ private:
+  const MaterializedColumns* cols_;
+  const SortSpec* spec_;
+};
+
+}  // namespace rowsort

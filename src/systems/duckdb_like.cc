@@ -1,0 +1,55 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// DuckDB-like system: the library's own pipeline (paper Fig. 11) — this is
+// the configuration that shipped in DuckDB 0.3+.
+#include "engine/analyze.h"
+#include "engine/sort_engine.h"
+#include "systems/system.h"
+
+namespace rowsort {
+
+namespace {
+
+class DuckDBLike : public SortSystem {
+ public:
+  explicit DuckDBLike(uint64_t threads)
+      : threads_(std::max<uint64_t>(threads, 1)) {}
+
+  std::string name() const override { return "DuckDB-like"; }
+
+  Table Sort(const Table& input, const SortSpec& spec) override {
+    // Statistics-driven prefix choice (§VII): shrink VARCHAR key prefixes to
+    // the observed maximum string length (at most 12).
+    SortSpec tuned = spec;
+    TuneStringPrefixes(input, &tuned);
+    SortEngineConfig config;
+    config.threads = threads_;
+    config.algorithm = RunSortAlgorithm::kAuto;
+    // One run per thread when the data fits in memory (§II: "each thread
+    // will generally generate one sorted run").
+    config.run_size_rows =
+        std::max<uint64_t>(input.row_count() / threads_ + 1, kVectorSize);
+    return RelationalSort::SortTable(input, tuned, config);
+  }
+
+ private:
+  uint64_t threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<SortSystem> MakeDuckDBLike(uint64_t threads) {
+  return std::make_unique<DuckDBLike>(threads);
+}
+
+std::vector<std::unique_ptr<SortSystem>> MakeAllSystems(uint64_t threads) {
+  std::vector<std::unique_ptr<SortSystem>> systems;
+  systems.push_back(MakeDuckDBLike(threads));
+  systems.push_back(MakeClickHouseLike(threads));
+  systems.push_back(MakeMonetDBLike());
+  systems.push_back(MakeHyPerLike(threads));
+  systems.push_back(MakeUmbraLike(threads));
+  return systems;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,72 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rowsort {
+
+/// \brief Generic k-way merge over sorted runs of elements (row indices or
+/// row pointers), used by the ClickHouse-like and HyPer/Umbra-like systems
+/// (paper §VII: "the sorted runs are merged using a k-way merge").
+///
+/// Uses a binary heap of cursors; ties break toward the lower run index so
+/// the merge is stable with respect to run order.
+///
+/// \tparam T element type (uint64_t row index, const uint8_t* row pointer)
+/// \tparam Less strict weak ordering on T
+template <typename T, typename Less>
+std::vector<T> KWayMerge(const std::vector<std::vector<T>>& runs, Less less) {
+  struct Cursor {
+    const std::vector<T>* run;
+    uint64_t pos;
+    uint64_t run_index;
+  };
+  uint64_t total = 0;
+  std::vector<Cursor> heap;
+  heap.reserve(runs.size());
+  for (uint64_t r = 0; r < runs.size(); ++r) {
+    total += runs[r].size();
+    if (!runs[r].empty()) heap.push_back({&runs[r], 0, r});
+  }
+
+  auto cursor_greater = [&less](const Cursor& a, const Cursor& b) {
+    const T& va = (*a.run)[a.pos];
+    const T& vb = (*b.run)[b.pos];
+    if (less(va, vb)) return false;
+    if (less(vb, va)) return true;
+    return a.run_index > b.run_index;  // stability
+  };
+
+  // Build a min-heap by hand (no std::push_heap: keeps the hot loop simple
+  // and branch-predictable with sift-down only).
+  auto sift_down = [&](uint64_t root) {
+    uint64_t size = heap.size();
+    while (true) {
+      uint64_t child = 2 * root + 1;
+      if (child >= size) break;
+      if (child + 1 < size && cursor_greater(heap[child], heap[child + 1])) {
+        ++child;
+      }
+      if (!cursor_greater(heap[root], heap[child])) break;
+      std::swap(heap[root], heap[child]);
+      root = child;
+    }
+  };
+  for (uint64_t i = heap.size(); i-- > 0;) sift_down(i);
+
+  std::vector<T> result;
+  result.reserve(total);
+  while (!heap.empty()) {
+    Cursor& top = heap[0];
+    result.push_back((*top.run)[top.pos]);
+    if (++top.pos == top.run->size()) {
+      heap[0] = heap.back();
+      heap.pop_back();
+    }
+    if (!heap.empty()) sift_down(0);
+  }
+  return result;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,61 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// MonetDB-like system (paper §VII): "MonetDB also uses a columnar format
+// throughout the sort, using a single-threaded quicksort implementation. A
+// subsort approach is used when sorting by multiple key columns. After
+// sorting the key columns, the payload is collected in sorted order."
+#include "sortalgo/intro_sort.h"
+#include "systems/columnar_common.h"
+#include "systems/system.h"
+
+namespace rowsort {
+
+namespace {
+
+class MonetDBLike : public SortSystem {
+ public:
+  std::string name() const override { return "MonetDB-like"; }
+
+  Table Sort(const Table& input, const SortSpec& spec) override {
+    MaterializedColumns cols = MaterializeColumns(input);
+    const uint64_t n = cols.count;
+    ColumnarTupleComparator comparator(cols, spec);
+
+    std::vector<uint64_t> order(n);
+    for (uint64_t i = 0; i < n; ++i) order[i] = i;
+    if (n > 1) {
+      Subsort(comparator, order.data(), 0, n, 0);
+    }
+    return GatherToTable(cols, order);
+  }
+
+ private:
+  /// Single-threaded columnar subsort: quicksort by one key column at a
+  /// time, recursing into tied ranges (branch-free per-column comparator).
+  static void Subsort(const ColumnarTupleComparator& comparator,
+                      uint64_t* order, uint64_t begin, uint64_t end,
+                      uint64_t key) {
+    IntroSort(order + begin, order + end, [&](uint64_t a, uint64_t b) {
+      return comparator.CompareColumn(key, a, b) < 0;
+    });
+    if (key + 1 == comparator.KeyColumnCount()) return;
+    uint64_t run_start = begin;
+    for (uint64_t i = begin + 1; i <= end; ++i) {
+      if (i == end ||
+          comparator.CompareColumn(key, order[run_start], order[i]) != 0) {
+        if (i - run_start > 1) {
+          Subsort(comparator, order, run_start, i, key + 1);
+        }
+        run_start = i;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SortSystem> MakeMonetDBLike() {
+  return std::make_unique<MonetDBLike>();
+}
+
+}  // namespace rowsort

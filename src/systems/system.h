@@ -1,0 +1,64 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sortkey/sort_spec.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// \brief A database system under benchmark (paper §VII).
+///
+/// Each implementation reproduces the *sorting architecture* the paper
+/// describes for one of the five compared systems, on this repository's
+/// shared substrate (same data structures, same base algorithms), so the
+/// end-to-end comparison isolates architectural differences exactly as the
+/// paper intends. Sort() performs the work of the paper's benchmark query
+///
+///   SELECT count(*) FROM (SELECT ... ORDER BY ...) OFFSET 1
+///
+/// i.e., it fully sorts the input *and materializes the complete payload in
+/// sorted order* ("The count aggregate reads the sorted subquery, forcing
+/// systems that lazily collect a sorted payload to collect it fully").
+class SortSystem {
+ public:
+  virtual ~SortSystem() = default;
+
+  /// System label used in benchmark output ("DuckDB-like" etc).
+  virtual std::string name() const = 0;
+
+  /// Fully sorts \p input by \p spec and returns the materialized result.
+  virtual Table Sort(const Table& input, const SortSpec& spec) = 0;
+};
+
+/// DuckDB-like: this library's row-based pipeline — normalized keys, radix
+/// or pdqsort thread-local run sort, cascaded Merge-Path merge (Fig. 11).
+std::unique_ptr<SortSystem> MakeDuckDBLike(uint64_t threads);
+
+/// ClickHouse-like: columnar format throughout; thread-local radix sort for
+/// a single integer key, otherwise pdqsort with a tuple-at-a-time
+/// comparator; k-way merge of the sorted runs; payload gathered at the end.
+std::unique_ptr<SortSystem> MakeClickHouseLike(uint64_t threads);
+
+/// MonetDB-like: columnar format, single-threaded quicksort with the subsort
+/// approach for multiple key columns; payload collected after sorting.
+std::unique_ptr<SortSystem> MakeMonetDBLike();
+
+/// HyPer-like: compiled row-based sort — statically typed (inlined)
+/// comparator over NSM rows, thread-local pdqsort-style quicksort, parallel
+/// k-way merge on pointers, payload physically collected when reading.
+std::unique_ptr<SortSystem> MakeHyPerLike(uint64_t threads);
+
+/// Umbra-like: same architecture as HyPer-like; its generated comparator
+/// evaluates every key column (no early-exit specialization), which models
+/// the stronger multi-key degradation the paper measures for Umbra
+/// (§VII-C: up to 2.96x slower with four keys vs ~1.5x for HyPer/DuckDB).
+std::unique_ptr<SortSystem> MakeUmbraLike(uint64_t threads);
+
+/// All five systems in the paper's presentation order.
+std::vector<std::unique_ptr<SortSystem>> MakeAllSystems(uint64_t threads);
+
+}  // namespace rowsort

@@ -1,0 +1,80 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "types/logical_type.h"
+
+#include "common/macros.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+int LogicalType::FixedSize() const {
+  switch (id_) {
+    case TypeId::kBool:
+    case TypeId::kInt8:
+      return 1;
+    case TypeId::kInt16:
+      return 2;
+    case TypeId::kInt32:
+    case TypeId::kUint32:
+    case TypeId::kFloat:
+    case TypeId::kDate:
+      return 4;
+    case TypeId::kInt64:
+    case TypeId::kUint64:
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kVarchar:
+      return sizeof(string_t);
+    case TypeId::kInvalid:
+      break;
+  }
+  ROWSORT_ASSERT(false && "FixedSize of invalid type");
+  return 0;
+}
+
+bool LogicalType::IsNumeric() const {
+  switch (id_) {
+    case TypeId::kInt8:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kUint32:
+    case TypeId::kUint64:
+    case TypeId::kFloat:
+    case TypeId::kDouble:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string LogicalType::ToString() const {
+  switch (id_) {
+    case TypeId::kInvalid:
+      return "invalid";
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt8:
+      return "int8";
+    case TypeId::kInt16:
+      return "int16";
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kUint32:
+      return "uint32";
+    case TypeId::kUint64:
+      return "uint64";
+    case TypeId::kFloat:
+      return "float";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kDate:
+      return "date";
+    case TypeId::kVarchar:
+      return "varchar";
+  }
+  return "unknown";
+}
+
+}  // namespace rowsort

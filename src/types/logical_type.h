@@ -1,0 +1,60 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rowsort {
+
+/// Logical column types supported by the execution substrate.
+///
+/// This is the set exercised by the paper: fixed-width integers of several
+/// sizes, IEEE floats (Fig. 12 sorts integers and floats), DATE-like values
+/// (the customer-table benchmark sorts birth year/month/day), and VARCHAR
+/// (the customer-table benchmark sorts names; Fig. 7 normalizes a VARCHAR).
+enum class TypeId : uint8_t {
+  kInvalid = 0,
+  kBool,
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kUint32,
+  kUint64,
+  kFloat,
+  kDouble,
+  kDate,     ///< days since epoch, stored as int32
+  kVarchar,  ///< variable-size UTF-8 string
+};
+
+/// \brief A logical column type.
+///
+/// Kept as a tiny value class so that richer types (decimal precision,
+/// collations) can be added without changing call sites.
+class LogicalType {
+ public:
+  /*implicit*/ constexpr LogicalType(TypeId id = TypeId::kInvalid) : id_(id) {}
+
+  constexpr TypeId id() const { return id_; }
+
+  /// Width in bytes of the in-memory (DSM vector / NSM row) representation.
+  /// VARCHAR values are represented by a fixed-size string_t descriptor.
+  int FixedSize() const;
+
+  /// True for VARCHAR: the value payload lives outside the row/vector slot.
+  bool IsVariableSize() const { return id_ == TypeId::kVarchar; }
+
+  /// True for all numeric (integer and floating point) types.
+  bool IsNumeric() const;
+
+  /// Lowercase SQL-ish name, e.g. "int32", "varchar".
+  std::string ToString() const;
+
+  bool operator==(const LogicalType& other) const { return id_ == other.id_; }
+  bool operator!=(const LogicalType& other) const { return id_ != other.id_; }
+
+ private:
+  TypeId id_;
+};
+
+}  // namespace rowsort

@@ -1,0 +1,82 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \brief Fixed-size (16-byte) VARCHAR descriptor with a 12-byte inline
+/// prefix, in the style of Umbra/DuckDB "German strings".
+///
+/// Strings up to 12 bytes are stored entirely inline. Longer strings store a
+/// 4-byte prefix inline plus a pointer into a StringHeap. Keeping the
+/// descriptor fixed-size is what lets VARCHAR columns participate in the
+/// fixed-size NSM row layout (paper §VII: "The rows have a fixed size:
+/// Variable-sized types like strings are stored separately").
+struct string_t {
+  static constexpr uint32_t kInlineLength = 12;
+  static constexpr uint32_t kPrefixLength = 4;
+
+  string_t() : string_t("", 0) {}
+
+  /// Wraps external storage; \p data must outlive the descriptor unless the
+  /// string fits inline (it is then copied).
+  string_t(const char* data, uint32_t size) {
+    value.pointer.length = size;
+    if (size <= kInlineLength) {
+      std::memset(value.inlined.inlined, 0, kInlineLength);
+      if (size > 0) std::memcpy(value.inlined.inlined, data, size);
+    } else {
+      std::memcpy(value.pointer.prefix, data, kPrefixLength);
+      value.pointer.ptr = data;
+    }
+  }
+
+  /*implicit*/ string_t(std::string_view view)
+      : string_t(view.data(), static_cast<uint32_t>(view.size())) {}
+
+  uint32_t size() const { return value.pointer.length; }
+  bool IsInlined() const { return size() <= kInlineLength; }
+
+  /// Pointer to the character data (inline buffer or heap).
+  const char* data() const {
+    return IsInlined() ? value.inlined.inlined : value.pointer.ptr;
+  }
+
+  std::string_view View() const { return {data(), size()}; }
+  std::string ToString() const { return std::string(data(), size()); }
+
+  /// Lexicographic byte comparison (memcmp semantics, shorter-is-smaller on
+  /// equal prefixes). This matches BINARY collation.
+  int Compare(const string_t& other) const {
+    uint32_t min_size = size() < other.size() ? size() : other.size();
+    int cmp = std::memcmp(data(), other.data(), min_size);
+    if (cmp != 0) return cmp;
+    if (size() == other.size()) return 0;
+    return size() < other.size() ? -1 : 1;
+  }
+
+  bool operator==(const string_t& other) const { return Compare(other) == 0; }
+  bool operator<(const string_t& other) const { return Compare(other) < 0; }
+
+  union {
+    struct {
+      uint32_t length;
+      char prefix[kPrefixLength];
+      const char* ptr;
+    } pointer;
+    struct {
+      uint32_t length;
+      char inlined[kInlineLength];
+    } inlined;
+  } value;
+};
+
+static_assert(sizeof(string_t) == 16, "string_t must be 16 bytes");
+
+}  // namespace rowsort

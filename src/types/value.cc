@@ -1,0 +1,217 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "types/value.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace rowsort {
+
+Value Value::Bool(bool v) {
+  Value value(TypeId::kBool);
+  value.is_null_ = false;
+  value.data_.boolean = v;
+  return value;
+}
+Value Value::Int8(int8_t v) {
+  Value value(TypeId::kInt8);
+  value.is_null_ = false;
+  value.data_.i8 = v;
+  return value;
+}
+Value Value::Int16(int16_t v) {
+  Value value(TypeId::kInt16);
+  value.is_null_ = false;
+  value.data_.i16 = v;
+  return value;
+}
+Value Value::Int32(int32_t v) {
+  Value value(TypeId::kInt32);
+  value.is_null_ = false;
+  value.data_.i32 = v;
+  return value;
+}
+Value Value::Int64(int64_t v) {
+  Value value(TypeId::kInt64);
+  value.is_null_ = false;
+  value.data_.i64 = v;
+  return value;
+}
+Value Value::Uint32(uint32_t v) {
+  Value value(TypeId::kUint32);
+  value.is_null_ = false;
+  value.data_.u32 = v;
+  return value;
+}
+Value Value::Uint64(uint64_t v) {
+  Value value(TypeId::kUint64);
+  value.is_null_ = false;
+  value.data_.u64 = v;
+  return value;
+}
+Value Value::Float(float v) {
+  Value value(TypeId::kFloat);
+  value.is_null_ = false;
+  value.data_.f32 = v;
+  return value;
+}
+Value Value::Double(double v) {
+  Value value(TypeId::kDouble);
+  value.is_null_ = false;
+  value.data_.f64 = v;
+  return value;
+}
+Value Value::Date(int32_t days_since_epoch) {
+  Value value(TypeId::kDate);
+  value.is_null_ = false;
+  value.data_.i32 = days_since_epoch;
+  return value;
+}
+Value Value::Varchar(std::string v) {
+  Value value(TypeId::kVarchar);
+  value.is_null_ = false;
+  value.str_ = std::move(v);
+  return value;
+}
+
+bool Value::bool_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kBool && !is_null_);
+  return data_.boolean;
+}
+int8_t Value::int8_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kInt8 && !is_null_);
+  return data_.i8;
+}
+int16_t Value::int16_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kInt16 && !is_null_);
+  return data_.i16;
+}
+int32_t Value::int32_value() const {
+  ROWSORT_ASSERT(
+      (type_.id() == TypeId::kInt32 || type_.id() == TypeId::kDate) &&
+      !is_null_);
+  return data_.i32;
+}
+int64_t Value::int64_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kInt64 && !is_null_);
+  return data_.i64;
+}
+uint32_t Value::uint32_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kUint32 && !is_null_);
+  return data_.u32;
+}
+uint64_t Value::uint64_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kUint64 && !is_null_);
+  return data_.u64;
+}
+float Value::float_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kFloat && !is_null_);
+  return data_.f32;
+}
+double Value::double_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kDouble && !is_null_);
+  return data_.f64;
+}
+const std::string& Value::varchar_value() const {
+  ROWSORT_ASSERT(type_.id() == TypeId::kVarchar && !is_null_);
+  return str_;
+}
+
+namespace {
+template <typename T>
+int Cmp(T a, T b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+// Total order over floats: -inf < finite < +inf < NaN, matching the
+// normalized-key encoding (NaN sorts last among non-NULLs).
+template <typename T>
+int CmpFloat(T a, T b) {
+  bool a_nan = std::isnan(a);
+  bool b_nan = std::isnan(b);
+  if (a_nan || b_nan) {
+    if (a_nan && b_nan) return 0;
+    return a_nan ? 1 : -1;
+  }
+  return Cmp(a, b);
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  ROWSORT_ASSERT(type_ == other.type_);
+  if (is_null_ || other.is_null_) {
+    if (is_null_ && other.is_null_) return 0;
+    return is_null_ ? 1 : -1;
+  }
+  switch (type_.id()) {
+    case TypeId::kBool:
+      return Cmp(data_.boolean, other.data_.boolean);
+    case TypeId::kInt8:
+      return Cmp(data_.i8, other.data_.i8);
+    case TypeId::kInt16:
+      return Cmp(data_.i16, other.data_.i16);
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return Cmp(data_.i32, other.data_.i32);
+    case TypeId::kInt64:
+      return Cmp(data_.i64, other.data_.i64);
+    case TypeId::kUint32:
+      return Cmp(data_.u32, other.data_.u32);
+    case TypeId::kUint64:
+      return Cmp(data_.u64, other.data_.u64);
+    case TypeId::kFloat:
+      return CmpFloat(data_.f32, other.data_.f32);
+    case TypeId::kDouble:
+      return CmpFloat(data_.f64, other.data_.f64);
+    case TypeId::kVarchar:
+      return Cmp(str_.compare(other.str_), 0) == 0
+                 ? 0
+                 : (str_.compare(other.str_) < 0 ? -1 : 1);
+    case TypeId::kInvalid:
+      break;
+  }
+  ROWSORT_ASSERT(false && "Compare on invalid type");
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  if (is_null_ != other.is_null_) return false;
+  if (is_null_) return true;
+  return Compare(other) == 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_.id()) {
+    case TypeId::kBool:
+      return data_.boolean ? "true" : "false";
+    case TypeId::kInt8:
+      return std::to_string(data_.i8);
+    case TypeId::kInt16:
+      return std::to_string(data_.i16);
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return std::to_string(data_.i32);
+    case TypeId::kInt64:
+      return std::to_string(data_.i64);
+    case TypeId::kUint32:
+      return std::to_string(data_.u32);
+    case TypeId::kUint64:
+      return std::to_string(data_.u64);
+    case TypeId::kFloat:
+      return StringFormat("%g", data_.f32);
+    case TypeId::kDouble:
+      return StringFormat("%g", data_.f64);
+    case TypeId::kVarchar:
+      return str_;
+    case TypeId::kInvalid:
+      break;
+  }
+  return "invalid";
+}
+
+}  // namespace rowsort

@@ -1,0 +1,76 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "types/logical_type.h"
+
+namespace rowsort {
+
+/// \brief A single typed value, possibly NULL.
+///
+/// Values are the slow, convenient currency of tests, examples, and result
+/// verification; hot paths operate on vectors and rows directly.
+class Value {
+ public:
+  /// A NULL of the given type.
+  explicit Value(LogicalType type = TypeId::kInvalid)
+      : type_(type), is_null_(true) {}
+
+  static Value Bool(bool v);
+  static Value Int8(int8_t v);
+  static Value Int16(int16_t v);
+  static Value Int32(int32_t v);
+  static Value Int64(int64_t v);
+  static Value Uint32(uint32_t v);
+  static Value Uint64(uint64_t v);
+  static Value Float(float v);
+  static Value Double(double v);
+  static Value Date(int32_t days_since_epoch);
+  static Value Varchar(std::string v);
+  static Value Null(LogicalType type) { return Value(type); }
+
+  const LogicalType& type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  bool bool_value() const;
+  int8_t int8_value() const;
+  int16_t int16_value() const;
+  int32_t int32_value() const;
+  int64_t int64_value() const;
+  uint32_t uint32_value() const;
+  uint64_t uint64_value() const;
+  float float_value() const;
+  double double_value() const;
+  const std::string& varchar_value() const;
+
+  /// Three-way comparison following SQL ORDER BY semantics with NULLs treated
+  /// as greater than every non-NULL (the caller applies NULLS FIRST/LAST and
+  /// ASC/DESC on top). Requires identical types.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Human-readable rendering, "NULL" for nulls.
+  std::string ToString() const;
+
+ private:
+  LogicalType type_;
+  bool is_null_ = true;
+  union {
+    bool boolean;
+    int8_t i8;
+    int16_t i16;
+    int32_t i32;
+    int64_t i64;
+    uint32_t u32;
+    uint64_t u64;
+    float f32;
+    double f64;
+  } data_ = {};
+  std::string str_;
+};
+
+}  // namespace rowsort

@@ -1,0 +1,47 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "vector/data_chunk.h"
+
+#include <sstream>
+
+namespace rowsort {
+
+void DataChunk::Initialize(const std::vector<LogicalType>& types,
+                           uint64_t capacity) {
+  columns_.clear();
+  columns_.reserve(types.size());
+  for (const auto& type : types) {
+    columns_.emplace_back(type, capacity);
+  }
+  capacity_ = capacity;
+  count_ = 0;
+}
+
+std::vector<LogicalType> DataChunk::Types() const {
+  std::vector<LogicalType> types;
+  types.reserve(columns_.size());
+  for (const auto& col : columns_) types.push_back(col.type());
+  return types;
+}
+
+void DataChunk::Reset() {
+  count_ = 0;
+  for (auto& col : columns_) col.validity().Reset();
+}
+
+std::string DataChunk::ToString(uint64_t max_rows) const {
+  std::ostringstream out;
+  out << "DataChunk [" << ColumnCount() << " cols, " << count_ << " rows]\n";
+  uint64_t rows = std::min(count_, max_rows);
+  for (uint64_t row = 0; row < rows; ++row) {
+    out << "  ";
+    for (uint64_t col = 0; col < ColumnCount(); ++col) {
+      if (col > 0) out << " | ";
+      out << GetValue(col, row).ToString();
+    }
+    out << "\n";
+  }
+  if (rows < count_) out << "  ... (" << (count_ - rows) << " more)\n";
+  return out.str();
+}
+
+}  // namespace rowsort

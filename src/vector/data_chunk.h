@@ -1,0 +1,65 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vector/vector.h"
+
+namespace rowsort {
+
+/// \brief A horizontal slice of a table: one Vector per column, at most
+/// kVectorSize rows. DataChunks are what flow between operators in the
+/// vectorized engine; the sort operator consumes and produces them (Fig. 1).
+class DataChunk {
+ public:
+  DataChunk() = default;
+  ROWSORT_DISALLOW_COPY(DataChunk);
+  DataChunk(DataChunk&&) = default;
+  DataChunk& operator=(DataChunk&&) = default;
+
+  /// Allocates one vector per type with capacity kVectorSize.
+  void Initialize(const std::vector<LogicalType>& types,
+                  uint64_t capacity = kVectorSize);
+
+  uint64_t size() const { return count_; }
+  void SetSize(uint64_t count) {
+    ROWSORT_DASSERT(count <= capacity_);
+    count_ = count;
+  }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t ColumnCount() const { return columns_.size(); }
+
+  Vector& column(uint64_t idx) {
+    ROWSORT_DASSERT(idx < columns_.size());
+    return columns_[idx];
+  }
+  const Vector& column(uint64_t idx) const {
+    ROWSORT_DASSERT(idx < columns_.size());
+    return columns_[idx];
+  }
+
+  std::vector<LogicalType> Types() const;
+
+  /// Slow accessors for tests/examples.
+  Value GetValue(uint64_t col, uint64_t row) const {
+    return columns_[col].GetValue(row);
+  }
+  void SetValue(uint64_t col, uint64_t row, const Value& value) {
+    columns_[col].SetValue(row, value);
+  }
+
+  /// Resets the row count (and validity) so the chunk can be refilled.
+  void Reset();
+
+  /// Pretty-prints up to \p max_rows rows (tests/examples).
+  std::string ToString(uint64_t max_rows = 10) const;
+
+ private:
+  std::vector<Vector> columns_;
+  uint64_t count_ = 0;
+  uint64_t capacity_ = 0;
+};
+
+}  // namespace rowsort

@@ -1,0 +1,4 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "vector/string_heap.h"
+
+// StringHeap is header-only; this translation unit anchors the library.

@@ -1,0 +1,92 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "types/string_t.h"
+
+namespace rowsort {
+
+/// \brief Arena that owns the character data of non-inlined strings.
+///
+/// Vectors and row collections store 16-byte string_t descriptors; any string
+/// longer than the inline capacity points into a StringHeap. Blocks are never
+/// reallocated, so descriptors stay valid for the heap's lifetime.
+class StringHeap {
+ public:
+  static constexpr uint64_t kDefaultBlockSize = 256 * 1024;
+
+  StringHeap() = default;
+  ROWSORT_DISALLOW_COPY(StringHeap);
+  StringHeap(StringHeap&&) = default;
+  StringHeap& operator=(StringHeap&&) = default;
+
+  /// Copies \p view into the heap and returns a descriptor for it. Strings
+  /// short enough to inline never touch the heap.
+  string_t AddString(std::string_view view) {
+    uint32_t size = static_cast<uint32_t>(view.size());
+    if (size <= string_t::kInlineLength) {
+      return string_t(view.data(), size);
+    }
+    char* dest = Allocate(size);
+    std::memcpy(dest, view.data(), size);
+    return string_t(dest, size);
+  }
+
+  /// Copies the character data behind \p str (no-op result for inlined ones).
+  string_t AddString(const string_t& str) {
+    return AddString(str.View());
+  }
+
+  /// Raw arena allocation of \p size bytes (used by variable-size row heaps).
+  char* Allocate(uint64_t size) {
+    if (current_offset_ + size > current_capacity_) {
+      uint64_t block_size = std::max(size, kDefaultBlockSize);
+      blocks_.push_back(std::make_unique<char[]>(block_size));
+      current_capacity_ = block_size;
+      current_offset_ = 0;
+    }
+    char* result = blocks_.back().get() + current_offset_;
+    current_offset_ += size;
+    return result;
+  }
+
+  /// Total bytes handed out (diagnostics).
+  uint64_t SizeBytes() const {
+    uint64_t total = 0;
+    for (size_t i = 0; i + 1 < blocks_.size(); ++i) total += kDefaultBlockSize;
+    total += current_offset_;
+    return total;
+  }
+
+  /// Moves all blocks of \p other into this heap (descriptors into \p other
+  /// remain valid because block storage is stable).
+  void Merge(StringHeap&& other) {
+    if (other.blocks_.empty()) return;
+    if (blocks_.empty()) {
+      blocks_ = std::move(other.blocks_);
+      current_capacity_ = other.current_capacity_;
+      current_offset_ = other.current_offset_;
+    } else {
+      // Keep our back block active (Allocate() appends there); adopt the
+      // other heap's blocks in front.
+      blocks_.insert(blocks_.begin(),
+                     std::make_move_iterator(other.blocks_.begin()),
+                     std::make_move_iterator(other.blocks_.end()));
+    }
+    other.blocks_.clear();
+    other.current_capacity_ = 0;
+    other.current_offset_ = 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  uint64_t current_capacity_ = 0;
+  uint64_t current_offset_ = 0;
+};
+
+}  // namespace rowsort

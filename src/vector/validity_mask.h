@@ -1,0 +1,79 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \brief Bitmask tracking NULL entries of a vector (1 = valid, 0 = NULL).
+///
+/// Lazily allocated: a mask with no storage means "all valid", which keeps
+/// the common NULL-free path allocation- and branch-cheap.
+class ValidityMask {
+ public:
+  ValidityMask() = default;
+  explicit ValidityMask(uint64_t count) { Resize(count); }
+
+  /// True when no entry has ever been set NULL (no storage allocated).
+  bool AllValid() const { return bits_.empty(); }
+
+  bool RowIsValid(uint64_t row) const {
+    if (bits_.empty()) return true;
+    ROWSORT_DASSERT(row / 64 < bits_.size());
+    return (bits_[row / 64] >> (row % 64)) & 1;
+  }
+
+  /// Marks \p row NULL, materializing the mask on first use.
+  void SetInvalid(uint64_t row) {
+    EnsureCapacity(row + 1);
+    bits_[row / 64] &= ~(uint64_t(1) << (row % 64));
+  }
+
+  /// Marks \p row valid (not NULL).
+  void SetValid(uint64_t row) {
+    if (bits_.empty()) return;  // already all-valid
+    EnsureCapacity(row + 1);
+    bits_[row / 64] |= uint64_t(1) << (row % 64);
+  }
+
+  void Set(uint64_t row, bool valid) {
+    if (valid) {
+      SetValid(row);
+    } else {
+      SetInvalid(row);
+    }
+  }
+
+  /// Number of NULL rows among the first \p count rows.
+  uint64_t CountInvalid(uint64_t count) const {
+    if (bits_.empty()) return 0;
+    uint64_t invalid = 0;
+    for (uint64_t row = 0; row < count; ++row) {
+      invalid += RowIsValid(row) ? 0 : 1;
+    }
+    return invalid;
+  }
+
+  /// Drops all NULL markers (back to the all-valid fast path).
+  void Reset() { bits_.clear(); }
+
+  /// Pre-sizes storage for \p count rows, preserving existing validity.
+  void Resize(uint64_t count) {
+    if (!bits_.empty()) EnsureCapacity(count);
+    capacity_ = count;
+  }
+
+ private:
+  void EnsureCapacity(uint64_t count) {
+    uint64_t words = (std::max(count, capacity_) + 63) / 64;
+    if (bits_.size() < words) bits_.resize(words, ~uint64_t(0));
+  }
+
+  std::vector<uint64_t> bits_;
+  uint64_t capacity_ = 0;
+};
+
+}  // namespace rowsort

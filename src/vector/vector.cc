@@ -1,0 +1,93 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "vector/vector.h"
+
+#include <cstring>
+
+namespace rowsort {
+
+Vector::Vector(LogicalType type, uint64_t capacity)
+    : type_(type), capacity_(capacity),
+      data_(new uint8_t[capacity * type.FixedSize()]()),
+      validity_(capacity) {}
+
+void Vector::SetValue(uint64_t row, const Value& value) {
+  ROWSORT_ASSERT(row < capacity_);
+  ROWSORT_ASSERT(value.type() == type_);
+  if (value.is_null()) {
+    validity_.SetInvalid(row);
+    return;
+  }
+  validity_.SetValid(row);
+  switch (type_.id()) {
+    case TypeId::kBool:
+      TypedData<int8_t>()[row] = value.bool_value() ? 1 : 0;
+      break;
+    case TypeId::kInt8:
+      TypedData<int8_t>()[row] = value.int8_value();
+      break;
+    case TypeId::kInt16:
+      TypedData<int16_t>()[row] = value.int16_value();
+      break;
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      TypedData<int32_t>()[row] = value.int32_value();
+      break;
+    case TypeId::kInt64:
+      TypedData<int64_t>()[row] = value.int64_value();
+      break;
+    case TypeId::kUint32:
+      TypedData<uint32_t>()[row] = value.uint32_value();
+      break;
+    case TypeId::kUint64:
+      TypedData<uint64_t>()[row] = value.uint64_value();
+      break;
+    case TypeId::kFloat:
+      TypedData<float>()[row] = value.float_value();
+      break;
+    case TypeId::kDouble:
+      TypedData<double>()[row] = value.double_value();
+      break;
+    case TypeId::kVarchar:
+      SetString(row, value.varchar_value());
+      break;
+    case TypeId::kInvalid:
+      ROWSORT_ASSERT(false && "SetValue on invalid type");
+  }
+}
+
+Value Vector::GetValue(uint64_t row) const {
+  ROWSORT_ASSERT(row < capacity_);
+  if (!validity_.RowIsValid(row)) {
+    return Value::Null(type_);
+  }
+  switch (type_.id()) {
+    case TypeId::kBool:
+      return Value::Bool(TypedData<int8_t>()[row] != 0);
+    case TypeId::kInt8:
+      return Value::Int8(TypedData<int8_t>()[row]);
+    case TypeId::kInt16:
+      return Value::Int16(TypedData<int16_t>()[row]);
+    case TypeId::kInt32:
+      return Value::Int32(TypedData<int32_t>()[row]);
+    case TypeId::kDate:
+      return Value::Date(TypedData<int32_t>()[row]);
+    case TypeId::kInt64:
+      return Value::Int64(TypedData<int64_t>()[row]);
+    case TypeId::kUint32:
+      return Value::Uint32(TypedData<uint32_t>()[row]);
+    case TypeId::kUint64:
+      return Value::Uint64(TypedData<uint64_t>()[row]);
+    case TypeId::kFloat:
+      return Value::Float(TypedData<float>()[row]);
+    case TypeId::kDouble:
+      return Value::Double(TypedData<double>()[row]);
+    case TypeId::kVarchar:
+      return Value::Varchar(TypedData<string_t>()[row].ToString());
+    case TypeId::kInvalid:
+      break;
+  }
+  ROWSORT_ASSERT(false && "GetValue on invalid type");
+  return Value();
+}
+
+}  // namespace rowsort

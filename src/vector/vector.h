@@ -1,0 +1,75 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+#include "types/logical_type.h"
+#include "types/string_t.h"
+#include "types/value.h"
+#include "vector/string_heap.h"
+#include "vector/validity_mask.h"
+
+namespace rowsort {
+
+/// Number of rows processed per vector, the unit of vectorized execution.
+/// 2048 matches DuckDB's standard vector size.
+constexpr uint64_t kVectorSize = 2048;
+
+/// \brief A fixed-capacity column slice in DSM format: a flat typed array
+/// plus a validity mask, the currency of the vectorized engine (paper Fig. 1).
+///
+/// VARCHAR vectors hold string_t descriptors; non-inlined payloads live in
+/// the vector's own StringHeap.
+class Vector {
+ public:
+  explicit Vector(LogicalType type, uint64_t capacity = kVectorSize);
+  ROWSORT_DISALLOW_COPY(Vector);
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  const LogicalType& type() const { return type_; }
+  uint64_t capacity() const { return capacity_; }
+
+  /// Raw data pointer (array of FixedSize()-wide slots).
+  uint8_t* data() { return data_.get(); }
+  const uint8_t* data() const { return data_.get(); }
+
+  /// Typed access to the flat array.
+  template <typename T>
+  T* TypedData() {
+    ROWSORT_DASSERT(sizeof(T) == static_cast<size_t>(type_.FixedSize()));
+    return reinterpret_cast<T*>(data_.get());
+  }
+  template <typename T>
+  const T* TypedData() const {
+    ROWSORT_DASSERT(sizeof(T) == static_cast<size_t>(type_.FixedSize()));
+    return reinterpret_cast<const T*>(data_.get());
+  }
+
+  ValidityMask& validity() { return validity_; }
+  const ValidityMask& validity() const { return validity_; }
+
+  /// Heap owning non-inlined string payloads of this vector.
+  StringHeap& string_heap() { return string_heap_; }
+
+  /// Slow typed accessors used by tests/examples.
+  void SetValue(uint64_t row, const Value& value);
+  Value GetValue(uint64_t row) const;
+
+  /// Writes a string value at \p row, copying the payload into the heap.
+  void SetString(uint64_t row, std::string_view view) {
+    ROWSORT_DASSERT(type_.id() == TypeId::kVarchar);
+    TypedData<string_t>()[row] = string_heap_.AddString(view);
+  }
+
+ private:
+  LogicalType type_;
+  uint64_t capacity_;
+  std::unique_ptr<uint8_t[]> data_;
+  ValidityMask validity_;
+  StringHeap string_heap_;
+};
+
+}  // namespace rowsort

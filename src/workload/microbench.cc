@@ -1,0 +1,77 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "workload/microbench.h"
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace rowsort {
+
+namespace {
+constexpr uint64_t kCorrelatedUniqueValues = 128;
+}
+
+std::string MicroWorkload::Label() const {
+  if (distribution == MicroDistribution::kRandom) return "Random";
+  return StringFormat("Correlated%.2f", correlation);
+}
+
+MicroColumns GenerateMicroColumns(const MicroWorkload& workload) {
+  ROWSORT_ASSERT(workload.num_key_columns >= 1);
+  Random rng(workload.seed);
+  MicroColumns columns(workload.num_key_columns);
+  for (auto& col : columns) col.resize(workload.num_rows);
+
+  if (workload.distribution == MicroDistribution::kRandom) {
+    for (auto& col : columns) {
+      for (auto& v : col) v = rng.Next32();
+    }
+    return columns;
+  }
+
+  // CorrelatedP: first column uniform over 128 values; column C+1 copies
+  // column C's value with probability P (encouraging ties down the chain).
+  for (auto& v : columns[0]) {
+    v = static_cast<uint32_t>(rng.Uniform(kCorrelatedUniqueValues));
+  }
+  for (uint64_t c = 1; c < workload.num_key_columns; ++c) {
+    for (uint64_t r = 0; r < workload.num_rows; ++r) {
+      if (rng.Bernoulli(workload.correlation)) {
+        columns[c][r] = columns[c - 1][r];
+      } else {
+        columns[c][r] =
+            static_cast<uint32_t>(rng.Uniform(kCorrelatedUniqueValues));
+      }
+    }
+  }
+  return columns;
+}
+
+std::vector<MicroWorkload> StandardMicroSweep(uint64_t min_rows_log2,
+                                              uint64_t max_rows_log2,
+                                              uint64_t max_key_columns) {
+  std::vector<MicroWorkload> sweep;
+  struct Dist {
+    MicroDistribution distribution;
+    double correlation;
+  };
+  const Dist kDists[] = {{MicroDistribution::kRandom, 0.0},
+                         {MicroDistribution::kCorrelated, 0.0},
+                         {MicroDistribution::kCorrelated, 0.5},
+                         {MicroDistribution::kCorrelated, 1.0}};
+  for (const auto& dist : kDists) {
+    for (uint64_t cols = 1; cols <= max_key_columns; ++cols) {
+      for (uint64_t log2 = min_rows_log2; log2 <= max_rows_log2; log2 += 4) {
+        MicroWorkload w;
+        w.num_rows = uint64_t(1) << log2;
+        w.num_key_columns = cols;
+        w.distribution = dist.distribution;
+        w.correlation = dist.correlation;
+        sweep.push_back(w);
+      }
+    }
+  }
+  return sweep;
+}
+
+}  // namespace rowsort

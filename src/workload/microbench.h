@@ -1,0 +1,49 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rowsort {
+
+/// \brief Micro-benchmark workload generator (paper §III-A).
+///
+/// Columns of unsigned 32-bit integers drawn from two distributions:
+///  * Random      — uniform over the full uint32 domain, so each column has
+///                  virtually no duplicate values;
+///  * CorrelatedP — 128 unique values per column; the first column is
+///                  uniform; each subsequent column copies the previous
+///                  column's value with probability P and is uniform over the
+///                  128 values otherwise. Higher P means more cross-column
+///                  ties, forcing comparisons to look at later key columns.
+///
+/// Row counts in the paper sweep 2^12 .. 2^24 and key column counts 1..4.
+enum class MicroDistribution : uint8_t {
+  kRandom,
+  kCorrelated,
+};
+
+struct MicroWorkload {
+  uint64_t num_rows = 1 << 16;
+  uint64_t num_key_columns = 1;
+  MicroDistribution distribution = MicroDistribution::kRandom;
+  double correlation = 0.0;  ///< the P of CorrelatedP; ignored for kRandom
+  uint64_t seed = 42;
+
+  /// "Random" or "Correlated0.50"-style label used in benchmark output.
+  std::string Label() const;
+};
+
+/// Column-major uint32 data: result[c][r] is row r of key column c.
+using MicroColumns = std::vector<std::vector<uint32_t>>;
+
+/// Generates the workload's key columns (deterministic in workload.seed).
+MicroColumns GenerateMicroColumns(const MicroWorkload& workload);
+
+/// The paper's standard sweep axes (used by several bench binaries).
+std::vector<MicroWorkload> StandardMicroSweep(uint64_t min_rows_log2,
+                                              uint64_t max_rows_log2,
+                                              uint64_t max_key_columns);
+
+}  // namespace rowsort

@@ -1,0 +1,32 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "workload/rle.h"
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+uint64_t CountRuns(const Table& table, uint64_t col) {
+  ROWSORT_ASSERT(col < table.types().size());
+  uint64_t runs = 0;
+  bool have_prev = false;
+  Value prev;
+  for (uint64_t ci = 0; ci < table.ChunkCount(); ++ci) {
+    const DataChunk& chunk = table.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      Value cur = chunk.GetValue(col, r);
+      if (!have_prev || !(cur == prev)) {
+        ++runs;
+        prev = std::move(cur);
+        have_prev = true;
+      }
+    }
+  }
+  return runs;
+}
+
+uint64_t RleBytes(const Table& table, uint64_t col) {
+  uint64_t value_width = table.types()[col].FixedSize();
+  return CountRuns(table, col) * (value_width + sizeof(uint32_t));
+}
+
+}  // namespace rowsort

@@ -1,0 +1,23 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// \file rle.h
+/// Run-length statistics: the paper's §II lists "improving run-length
+/// encoding compression" among the implicit uses of sorting (citing Lemire &
+/// Kaser). These helpers quantify that benefit: a sorted column collapses
+/// into far fewer runs, i.e., compresses far better under RLE.
+
+/// Number of value runs in column \p col of \p table (NULLs form runs too).
+/// A column with r runs RLE-compresses to r (value, length) pairs.
+uint64_t CountRuns(const Table& table, uint64_t col);
+
+/// Hypothetical RLE size in bytes of column \p col: runs * (value width + 4).
+uint64_t RleBytes(const Table& table, uint64_t col);
+
+}  // namespace rowsort

@@ -1,0 +1,67 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "workload/tables.h"
+
+#include "common/random.h"
+
+namespace rowsort {
+
+Table Table::Project(const std::vector<uint64_t>& keep) const {
+  std::vector<LogicalType> types;
+  std::vector<std::string> names;
+  for (uint64_t col : keep) {
+    types.push_back(types_[col]);
+    if (col < names_.size()) names.push_back(names_[col]);
+  }
+  Table result(types, names);
+  for (const auto& chunk : chunks_) {
+    DataChunk out = result.NewChunk();
+    for (uint64_t i = 0; i < keep.size(); ++i) {
+      for (uint64_t row = 0; row < chunk.size(); ++row) {
+        out.SetValue(i, row, chunk.GetValue(keep[i], row));
+      }
+    }
+    out.SetSize(chunk.size());
+    result.Append(std::move(out));
+  }
+  return result;
+}
+
+Table MakeShuffledIntegerTable(uint64_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<int32_t> values(count);
+  for (uint64_t i = 0; i < count; ++i) values[i] = static_cast<int32_t>(i);
+  rng.Shuffle(values.data(), count);
+
+  Table table({LogicalType(TypeId::kInt32)}, {"value"});
+  uint64_t offset = 0;
+  while (offset < count) {
+    uint64_t n = std::min(kVectorSize, count - offset);
+    DataChunk chunk = table.NewChunk();
+    int32_t* data = chunk.column(0).TypedData<int32_t>();
+    std::memcpy(data, values.data() + offset, n * sizeof(int32_t));
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    offset += n;
+  }
+  return table;
+}
+
+Table MakeUniformFloatTable(uint64_t count, uint64_t seed) {
+  Random rng(seed);
+  Table table({LogicalType(TypeId::kFloat)}, {"value"});
+  uint64_t offset = 0;
+  while (offset < count) {
+    uint64_t n = std::min(kVectorSize, count - offset);
+    DataChunk chunk = table.NewChunk();
+    float* data = chunk.column(0).TypedData<float>();
+    for (uint64_t i = 0; i < n; ++i) {
+      data[i] = rng.UniformFloat(-1e9f, 1e9f);
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    offset += n;
+  }
+  return table;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,61 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vector/data_chunk.h"
+
+namespace rowsort {
+
+/// \brief An in-memory table: a schema plus a sequence of DataChunks, the
+/// input that the sort-operator implementations consume chunk by chunk.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<LogicalType> types,
+                 std::vector<std::string> names = {})
+      : types_(std::move(types)), names_(std::move(names)) {}
+  ROWSORT_DISALLOW_COPY(Table);
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::vector<LogicalType>& types() const { return types_; }
+  const std::vector<std::string>& names() const { return names_; }
+  uint64_t row_count() const { return row_count_; }
+  uint64_t ChunkCount() const { return chunks_.size(); }
+  const DataChunk& chunk(uint64_t i) const { return chunks_[i]; }
+
+  /// Appends a full chunk (takes ownership).
+  void Append(DataChunk&& chunk) {
+    row_count_ += chunk.size();
+    chunks_.push_back(std::move(chunk));
+  }
+
+  /// Allocates a fresh chunk with this table's schema.
+  DataChunk NewChunk() const {
+    DataChunk chunk;
+    chunk.Initialize(types_);
+    return chunk;
+  }
+
+  /// Builds a table whose single projection keeps columns \p keep (indices
+  /// into this table), sharing no storage (values are copied).
+  Table Project(const std::vector<uint64_t>& keep) const;
+
+ private:
+  std::vector<LogicalType> types_;
+  std::vector<std::string> names_;
+  std::vector<DataChunk> chunks_;
+  uint64_t row_count_ = 0;
+};
+
+/// Fig. 12 first workload: \p count 32-bit integers 0..count-1, shuffled
+/// ("The first set contains 32-bit integers from 0 to 99.999.999, shuffled").
+Table MakeShuffledIntegerTable(uint64_t count, uint64_t seed);
+
+/// Fig. 12 second workload: \p count 32-bit floats uniform in [-1e9, 1e9].
+Table MakeUniformFloatTable(uint64_t count, uint64_t seed);
+
+}  // namespace rowsort

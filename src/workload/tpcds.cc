@@ -1,0 +1,252 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "workload/tpcds.h"
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace rowsort {
+
+namespace {
+
+// dsdgen leaves roughly this fraction of nullable columns NULL.
+constexpr double kNullFraction = 0.018;
+
+// TPC-DS-style name lists. dsdgen draws last names from a frequency-ranked
+// list (a few very common names dominate) and first names from per-gender
+// lists; we reproduce that skew with a Zipf-ish pick over ranked lists.
+const char* const kLastNames[] = {
+    "Smith",    "Johnson",  "Williams", "Jones",    "Brown",    "Davis",
+    "Miller",   "Wilson",   "Moore",    "Taylor",   "Anderson", "Thomas",
+    "Jackson",  "White",    "Harris",   "Martin",   "Thompson", "Garcia",
+    "Martinez", "Robinson", "Clark",    "Rodriguez", "Lewis",   "Lee",
+    "Walker",   "Hall",     "Allen",    "Young",    "Hernandez", "King",
+    "Wright",   "Lopez",    "Hill",     "Scott",    "Green",    "Adams",
+    "Baker",    "Gonzalez", "Nelson",   "Carter",   "Mitchell", "Perez",
+    "Roberts",  "Turner",   "Phillips", "Campbell", "Parker",   "Evans",
+    "Edwards",  "Collins",  "Stewart",  "Sanchez",  "Morris",   "Rogers",
+    "Reed",     "Cook",     "Morgan",   "Bell",     "Murphy",   "Bailey",
+    "Rivera",   "Cooper",   "Richardson", "Cox",    "Howard",   "Ward",
+    "Torres",   "Peterson", "Gray",     "Ramirez",  "James",    "Watson",
+    "Brooks",   "Kelly",    "Sanders",  "Price",    "Bennett",  "Wood",
+    "Barnes",   "Ross",     "Henderson", "Coleman", "Jenkins",  "Perry",
+    "Powell",   "Long",     "Patterson", "Hughes",  "Flores",   "Washington",
+    "Butler",   "Simmons",  "Foster",   "Gonzales", "Bryant",   "Alexander",
+    "Russell",  "Griffin",  "Diaz",     "Hayes"};
+
+const char* const kFirstNames[] = {
+    "James",   "Mary",      "John",    "Patricia", "Robert",  "Jennifer",
+    "Michael", "Linda",     "William", "Elizabeth", "David",  "Barbara",
+    "Richard", "Susan",     "Joseph",  "Jessica",  "Thomas",  "Sarah",
+    "Charles", "Karen",     "Christopher", "Nancy", "Daniel", "Lisa",
+    "Matthew", "Margaret",  "Anthony", "Betty",    "Donald",  "Sandra",
+    "Mark",    "Ashley",    "Paul",    "Dorothy",  "Steven",  "Kimberly",
+    "Andrew",  "Emily",     "Kenneth", "Donna",    "Joshua",  "Michelle",
+    "Kevin",   "Carol",     "Brian",   "Amanda",   "George",  "Melissa",
+    "Edward",  "Deborah",   "Ronald",  "Stephanie", "Timothy", "Rebecca",
+    "Jason",   "Laura",     "Jeffrey", "Sharon",   "Ryan",    "Cynthia",
+    "Jacob",   "Kathleen",  "Gary",    "Amy",      "Nicholas", "Shirley",
+    "Eric",    "Angela",    "Jonathan", "Helen",   "Stephen", "Anna",
+    "Larry",   "Brenda",    "Justin",  "Pamela",   "Scott",   "Nicole",
+    "Brandon", "Emma",      "Benjamin", "Samantha", "Samuel", "Katherine",
+    "Gregory", "Christine", "Frank",   "Debra",    "Alexander", "Rachel",
+    "Raymond", "Catherine", "Patrick", "Carolyn",  "Jack",    "Janet",
+    "Dennis",  "Ruth",      "Jerry",   "Maria"};
+
+/// Rank-skewed pick: low ranks (common names) are much more likely,
+/// approximating dsdgen's frequency-weighted name selection.
+template <size_t N>
+const char* PickName(const char* const (&names)[N], Random& rng) {
+  // Square a uniform variate to bias toward small indices.
+  double u = rng.NextDouble();
+  size_t idx = static_cast<size_t>(u * u * N);
+  if (idx >= N) idx = N - 1;
+  return names[idx];
+}
+
+int32_t NullableKey(Random& rng, uint64_t cardinality) {
+  return static_cast<int32_t>(rng.Uniform(cardinality)) + 1;
+}
+
+}  // namespace
+
+uint64_t TpcdsScale::CatalogSalesRows() const {
+  // TPC-DS spec: ~1,441,548 rows per SF for catalog_sales.
+  uint64_t rows;
+  switch (scale_factor) {
+    case 1:
+      rows = 1441548;
+      break;
+    case 10:
+      rows = 14401261;
+      break;
+    case 100:
+      rows = 143997065;
+      break;
+    case 300:
+      rows = 260014655;
+      break;
+    default:
+      rows = static_cast<uint64_t>(scale_factor) * 1441548;
+  }
+  return std::max<uint64_t>(rows / scale_divisor, 1);
+}
+
+uint64_t TpcdsScale::CustomerRows() const {
+  uint64_t rows;
+  switch (scale_factor) {
+    case 1:
+      rows = 100000;
+      break;
+    case 10:
+      rows = 500000;
+      break;
+    case 100:
+      rows = 2000000;
+      break;
+    case 300:
+      rows = 5000000;
+      break;
+    default:
+      rows = static_cast<uint64_t>(scale_factor) * 20000;
+  }
+  return std::max<uint64_t>(rows / scale_divisor, 1);
+}
+
+uint64_t TpcdsScale::WarehouseCount() const {
+  if (scale_factor <= 1) return 5;
+  if (scale_factor <= 10) return 10;
+  if (scale_factor <= 100) return 15;
+  return 17;
+}
+
+uint64_t TpcdsScale::ShipModeCount() const { return 20; }
+
+uint64_t TpcdsScale::PromotionCount() const {
+  if (scale_factor <= 1) return 300;
+  if (scale_factor <= 10) return 450;
+  if (scale_factor <= 100) return 1000;
+  return 1300;
+}
+
+uint64_t TpcdsScale::ItemCount() const {
+  if (scale_factor <= 1) return 18000;
+  if (scale_factor <= 10) return 102000;
+  if (scale_factor <= 100) return 204000;
+  return 264000;
+}
+
+Table MakeCatalogSales(const TpcdsScale& scale) {
+  Random rng(scale.seed);
+  const uint64_t rows = scale.CatalogSalesRows();
+  Table table(
+      {TypeId::kInt32, TypeId::kInt32, TypeId::kInt32, TypeId::kInt32,
+       TypeId::kInt32},
+      {"cs_warehouse_sk", "cs_ship_mode_sk", "cs_promo_sk", "cs_quantity",
+       "cs_item_sk"});
+
+  const uint64_t warehouses = scale.WarehouseCount();
+  const uint64_t ship_modes = scale.ShipModeCount();
+  const uint64_t promos = scale.PromotionCount();
+  const uint64_t items = scale.ItemCount();
+
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    auto* warehouse = chunk.column(0).TypedData<int32_t>();
+    auto* ship_mode = chunk.column(1).TypedData<int32_t>();
+    auto* promo = chunk.column(2).TypedData<int32_t>();
+    auto* quantity = chunk.column(3).TypedData<int32_t>();
+    auto* item = chunk.column(4).TypedData<int32_t>();
+    for (uint64_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(0).validity().SetInvalid(i);
+        warehouse[i] = 0;
+      } else {
+        warehouse[i] = NullableKey(rng, warehouses);
+      }
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(1).validity().SetInvalid(i);
+        ship_mode[i] = 0;
+      } else {
+        ship_mode[i] = NullableKey(rng, ship_modes);
+      }
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(2).validity().SetInvalid(i);
+        promo[i] = 0;
+      } else {
+        promo[i] = NullableKey(rng, promos);
+      }
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(3).validity().SetInvalid(i);
+        quantity[i] = 0;
+      } else {
+        quantity[i] = static_cast<int32_t>(rng.Uniform(100)) + 1;
+      }
+      item[i] = NullableKey(rng, items);
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+Table MakeCustomer(const TpcdsScale& scale) {
+  Random rng(scale.seed + 1);
+  const uint64_t rows = scale.CustomerRows();
+  Table table(
+      {TypeId::kInt32, TypeId::kInt32, TypeId::kInt32, TypeId::kInt32,
+       TypeId::kVarchar, TypeId::kVarchar},
+      {"c_customer_sk", "c_birth_year", "c_birth_month", "c_birth_day",
+       "c_last_name", "c_first_name"});
+
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    auto* sk = chunk.column(0).TypedData<int32_t>();
+    auto* year = chunk.column(1).TypedData<int32_t>();
+    auto* month = chunk.column(2).TypedData<int32_t>();
+    auto* day = chunk.column(3).TypedData<int32_t>();
+    for (uint64_t i = 0; i < n; ++i) {
+      sk[i] = static_cast<int32_t>(produced + i) + 1;
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(1).validity().SetInvalid(i);
+        year[i] = 0;
+      } else {
+        // dsdgen: birth years uniform in 1924..1992 (the paper's Fig. 7
+        // example uses exactly this column).
+        year[i] = 1924 + static_cast<int32_t>(rng.Uniform(69));
+      }
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(2).validity().SetInvalid(i);
+        month[i] = 0;
+      } else {
+        month[i] = 1 + static_cast<int32_t>(rng.Uniform(12));
+      }
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(3).validity().SetInvalid(i);
+        day[i] = 0;
+      } else {
+        day[i] = 1 + static_cast<int32_t>(rng.Uniform(28));
+      }
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(4).validity().SetInvalid(i);
+      } else {
+        chunk.column(4).SetString(i, PickName(kLastNames, rng));
+      }
+      if (rng.Bernoulli(kNullFraction)) {
+        chunk.column(5).validity().SetInvalid(i);
+      } else {
+        chunk.column(5).SetString(i, PickName(kFirstNames, rng));
+      }
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,55 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// \file tpcds.h
+/// Synthetic substitute for the TPC-DS dsdgen data generator (paper §VII).
+///
+/// The paper's end-to-end benchmarks sort two TPC-DS tables:
+///  * catalog_sales (Fig. 13): key columns cs_warehouse_sk, cs_ship_mode_sk,
+///    cs_promo_sk, cs_quantity; payload cs_item_sk;
+///  * customer (Fig. 14): integer keys c_birth_year/month/day or string keys
+///    c_last_name/c_first_name; payload c_customer_sk.
+///
+/// Sorting cost depends only on column domains, duplicate structure, and
+/// NULL fractions, which this generator matches to the TPC-DS spec:
+/// surrogate keys uniform over the dimension cardinality at the given scale
+/// factor, quantity in [1, 100], ~1.8% NULLs in nullable FK columns, birth
+/// dates uniform in 1924-1992, and names drawn from TPC-DS-style name lists
+/// (skewed: a small set of frequent last names, many rarer ones).
+
+/// TPC-DS cardinalities relevant to the paper's Table IV; row counts can be
+/// scaled down uniformly for smaller machines (scale_divisor).
+struct TpcdsScale {
+  int scale_factor = 10;      ///< TPC-DS SF (10, 100, 300 used in the paper)
+  uint64_t scale_divisor = 1; ///< divide row counts by this (laptop runs)
+  uint64_t seed = 2023;
+
+  /// Row counts per the TPC-DS specification at this scale factor.
+  uint64_t CatalogSalesRows() const;
+  uint64_t CustomerRows() const;
+
+  /// Dimension cardinalities at this scale factor (domains of the FK keys).
+  uint64_t WarehouseCount() const;
+  uint64_t ShipModeCount() const;  ///< 20 at every scale factor
+  uint64_t PromotionCount() const;
+  uint64_t ItemCount() const;
+};
+
+/// Generates catalog_sales columns
+///   [cs_warehouse_sk, cs_ship_mode_sk, cs_promo_sk, cs_quantity, cs_item_sk]
+/// (all INT32; the FK columns contain NULLs as in dsdgen output).
+Table MakeCatalogSales(const TpcdsScale& scale);
+
+/// Generates customer columns
+///   [c_customer_sk, c_birth_year, c_birth_month, c_birth_day,
+///    c_last_name, c_first_name]
+/// (INT32 x4 then VARCHAR x2; birth columns and names contain NULLs).
+Table MakeCustomer(const TpcdsScale& scale);
+
+}  // namespace rowsort

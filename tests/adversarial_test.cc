@@ -1,0 +1,212 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Adversarial and randomized stress tests for the sorting algorithms:
+// quicksort-killer inputs (pdqsort's raison d'être), randomized radix
+// configurations, and Top-N vs full-sort fuzzing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "engine/sort_engine.h"
+#include "engine/top_n.h"
+#include "sortalgo/intro_sort.h"
+#include "sortalgo/merge_sort.h"
+#include "sortalgo/pdq_sort.h"
+#include "sortalgo/radix_sort.h"
+#include "sortalgo/row_ops.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+namespace {
+
+/// McIlroy's anti-quicksort: builds, online, a worst-case input for any
+/// median-of-few quicksort by answering comparisons adversarially.
+/// pdqsort must defeat it (heapsort fallback keeps it O(n log n)).
+class AntiQuicksort {
+ public:
+  explicit AntiQuicksort(uint64_t n)
+      : values_(n, kGas), order_(n), n_solid_(0), candidate_(0) {
+    for (uint64_t i = 0; i < n; ++i) order_[i] = i;
+  }
+
+  /// Comparator handed to the sort; freezes values lazily.
+  bool Less(uint64_t a, uint64_t b) {
+    if (values_[a] == kGas && values_[b] == kGas) {
+      if (a == candidate_) {
+        Freeze(a);
+      } else {
+        Freeze(b);
+      }
+    }
+    if (values_[a] == kGas) {
+      candidate_ = a;
+    } else if (values_[b] == kGas) {
+      candidate_ = b;
+    }
+    return Value(a) < Value(b);
+  }
+
+  uint64_t Value(uint64_t i) const {
+    return values_[i] == kGas ? n_solid_ + values_.size() : values_[i];
+  }
+
+ private:
+  static constexpr uint64_t kGas = ~uint64_t(0);
+  void Freeze(uint64_t i) { values_[i] = n_solid_++; }
+
+  std::vector<uint64_t> values_;
+  std::vector<uint64_t> order_;
+  uint64_t n_solid_;
+  uint64_t candidate_;
+};
+
+TEST(AdversarialTest, PdqSortDefeatsAntiQuicksort) {
+  const uint64_t n = 1 << 15;
+  // Phase 1: let the adversary construct its killer ordering.
+  AntiQuicksort adversary(n);
+  std::vector<uint64_t> indices(n);
+  for (uint64_t i = 0; i < n; ++i) indices[i] = i;
+  PdqSort(indices.begin(), indices.end(), [&](uint64_t a, uint64_t b) {
+    return adversary.Less(a, b);
+  });
+  // The adversary's frozen values must now be fully sorted.
+  for (uint64_t i = 1; i < n; ++i) {
+    ASSERT_LE(adversary.Value(indices[i - 1]), adversary.Value(indices[i]));
+  }
+
+  // Phase 2: replay the frozen values as a plain array; pdqsort must sort
+  // it in time comparable to a random input (not quadratic).
+  std::vector<uint64_t> killer(n);
+  for (uint64_t i = 0; i < n; ++i) killer[i] = adversary.Value(i);
+  std::vector<uint64_t> random_input = killer;
+  Random rng(17);
+  rng.Shuffle(random_input.data(), n);
+
+  Timer t1;
+  PdqSortBranchless(killer.begin(), killer.end(),
+                    [](uint64_t a, uint64_t b) { return a < b; });
+  double killer_time = t1.ElapsedSeconds();
+  Timer t2;
+  PdqSortBranchless(random_input.begin(), random_input.end(),
+                    [](uint64_t a, uint64_t b) { return a < b; });
+  double random_time = t2.ElapsedSeconds();
+
+  EXPECT_TRUE(std::is_sorted(killer.begin(), killer.end()));
+  // A quadratic blowup would be ~1000x; allow generous scheduling noise.
+  EXPECT_LT(killer_time, 30 * random_time + 0.01);
+}
+
+TEST(AdversarialTest, IntroSortSurvivesOrganPipeAndManyDuplicates) {
+  for (uint64_t n : {1u << 12, 1u << 16}) {
+    std::vector<uint32_t> organ(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      organ[i] = static_cast<uint32_t>(i < n / 2 ? i : n - i);
+    }
+    IntroSort(organ.begin(), organ.end());
+    EXPECT_TRUE(std::is_sorted(organ.begin(), organ.end()));
+
+    std::vector<uint32_t> dups(n, 3);
+    for (uint64_t i = 0; i < n; i += 7) dups[i] = 5;
+    IntroSort(dups.begin(), dups.end());
+    EXPECT_TRUE(std::is_sorted(dups.begin(), dups.end()));
+  }
+}
+
+TEST(AdversarialTest, RadixFuzzRandomConfigs) {
+  Random rng(23);
+  for (int trial = 0; trial < 60; ++trial) {
+    RadixSortConfig config;
+    config.key_width = 1 + rng.Uniform(24);
+    config.key_offset = rng.Uniform(8);
+    config.row_width =
+        ((config.key_offset + config.key_width + 7) / 8) * 8 +
+        8 * rng.Uniform(3);
+    config.insertion_threshold = 1 + rng.Uniform(64);
+    config.lsd_key_width_bound = rng.Uniform(10);
+    uint64_t count = rng.Uniform(5000);
+    uint64_t value_range = 1 + rng.Uniform(255);
+
+    std::vector<uint8_t> rows(count * config.row_width);
+    for (auto& b : rows) b = static_cast<uint8_t>(rng.Uniform(value_range));
+    std::vector<uint8_t> aux(rows.size());
+    RadixSort(rows.data(), aux.data(), count, config);
+    ASSERT_TRUE(RowsAreSorted(rows.data(), count, config.row_width,
+                              config.key_offset, config.key_width))
+        << "trial " << trial << " count " << count << " rw "
+        << config.row_width << " kw " << config.key_width;
+  }
+}
+
+TEST(AdversarialTest, TopNFuzzAgainstFullSort) {
+  Random rng(29);
+  for (int trial = 0; trial < 25; ++trial) {
+    uint64_t rows = rng.Uniform(4000);
+    uint64_t limit = 1 + rng.Uniform(rows + 10);
+    double null_prob = rng.NextDouble() * 0.3;
+
+    Table input({TypeId::kInt32, TypeId::kInt32});
+    uint64_t produced = 0;
+    while (produced < rows) {
+      uint64_t n = std::min(kVectorSize, rows - produced);
+      DataChunk chunk = input.NewChunk();
+      for (uint64_t r = 0; r < n; ++r) {
+        chunk.SetValue(0, r,
+                       rng.Bernoulli(null_prob)
+                           ? Value::Null(TypeId::kInt32)
+                           : Value::Int32(static_cast<int32_t>(
+                                 rng.Uniform(50))));
+        chunk.SetValue(1, r, Value::Int32(static_cast<int32_t>(r)));
+      }
+      chunk.SetSize(n);
+      input.Append(std::move(chunk));
+      produced += n;
+    }
+
+    SortColumn sc(0, TypeId::kInt32,
+                  rng.Bernoulli(0.5) ? OrderType::kAscending
+                                     : OrderType::kDescending,
+                  rng.Bernoulli(0.5) ? NullOrder::kNullsFirst
+                                     : NullOrder::kNullsLast);
+    SortSpec spec({sc});
+
+    TopN top_n(spec, input.types(), limit);
+    for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+      top_n.Sink(input.chunk(c));
+    }
+    Table result = top_n.Finalize();
+    Table full = RelationalSort::SortTable(input, spec);
+
+    uint64_t expect = std::min(limit, rows);
+    ASSERT_EQ(result.row_count(), expect) << "trial " << trial;
+    // Key sequences must match the full sort's prefix.
+    uint64_t checked = 0;
+    for (uint64_t ci = 0; ci < result.ChunkCount(); ++ci) {
+      for (uint64_t r = 0; r < result.chunk(ci).size(); ++r, ++checked) {
+        Value got = result.chunk(ci).GetValue(0, r);
+        Value want = full.chunk(checked / kVectorSize)
+                         .GetValue(0, checked % kVectorSize);
+        ASSERT_EQ(got.ToString(), want.ToString())
+            << "trial " << trial << " row " << checked;
+      }
+    }
+  }
+}
+
+TEST(AdversarialTest, MergeSortStableUnderAllEqualKeys) {
+  struct Item {
+    uint32_t key;
+    uint32_t seq;
+  };
+  std::vector<Item> data(5000);
+  for (uint32_t i = 0; i < data.size(); ++i) data[i] = {1, i};
+  StableMergeSort(data.begin(), data.end(),
+                  [](const Item& a, const Item& b) { return a.key < b.key; });
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i].seq, i);
+  }
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,212 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "engine/aggregate.h"
+#include "engine/sort_engine.h"
+
+namespace rowsort {
+namespace {
+
+Table MakeInput() {
+  // (dept VARCHAR, salary INT32, bonus DOUBLE)
+  Table table({TypeId::kVarchar, TypeId::kInt32, TypeId::kDouble});
+  DataChunk chunk = table.NewChunk();
+  struct Row {
+    const char* dept;
+    int32_t salary;
+    double bonus;
+    bool null_salary = false;
+  };
+  const Row rows[] = {
+      {"eng", 100, 1.5},  {"eng", 200, 2.5},          {"sales", 50, 0.5},
+      {"eng", 150, 3.0},  {"sales", 70, 1.0},         {nullptr, 10, 0.25},
+      {"sales", 0, 2.0, true}, {nullptr, 20, 0.75},
+  };
+  uint64_t n = 0;
+  for (const auto& r : rows) {
+    if (r.dept == nullptr) {
+      chunk.SetValue(0, n, Value::Null(TypeId::kVarchar));
+    } else {
+      chunk.SetValue(0, n, Value::Varchar(r.dept));
+    }
+    chunk.SetValue(1, n,
+                   r.null_salary ? Value::Null(TypeId::kInt32)
+                                 : Value::Int32(r.salary));
+    chunk.SetValue(2, n, Value::Double(r.bonus));
+    ++n;
+  }
+  chunk.SetSize(n);
+  table.Append(std::move(chunk));
+  return table;
+}
+
+/// Sorts the aggregate result by the first group column for deterministic
+/// comparison (chaining blocking operators, §IX ¶2).
+Table SortedResult(Table result) {
+  SortSpec spec({SortColumn(0, result.types()[0], OrderType::kAscending,
+                            NullOrder::kNullsFirst)});
+  return RelationalSort::SortTable(result, spec);
+}
+
+TEST(HashAggregateTest, CountSumMinMaxByDept) {
+  Table input = MakeInput();
+  HashAggregate agg({0},
+                    {{AggregateFunction::kCount, 1},
+                     {AggregateFunction::kSum, 1},
+                     {AggregateFunction::kMin, 1},
+                     {AggregateFunction::kMax, 1},
+                     {AggregateFunction::kSum, 2}},
+                    input.types());
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) agg.Sink(input.chunk(c));
+  EXPECT_EQ(agg.group_count(), 3u);  // eng, sales, NULL
+  Table result = SortedResult(agg.Finalize());
+
+  ASSERT_EQ(result.row_count(), 3u);
+  const DataChunk& chunk = result.chunk(0);
+  // Row 0: NULL dept (NULLS FIRST) — salaries 10, 20.
+  EXPECT_TRUE(chunk.GetValue(0, 0).is_null());
+  EXPECT_EQ(chunk.GetValue(1, 0), Value::Int64(2));    // count
+  EXPECT_EQ(chunk.GetValue(2, 0), Value::Int64(30));   // sum
+  EXPECT_EQ(chunk.GetValue(3, 0), Value::Int32(10));   // min
+  EXPECT_EQ(chunk.GetValue(4, 0), Value::Int32(20));   // max
+  EXPECT_EQ(chunk.GetValue(5, 0), Value::Double(1.0)); // sum bonus
+  // Row 1: eng — 100, 200, 150.
+  EXPECT_EQ(chunk.GetValue(0, 1), Value::Varchar("eng"));
+  EXPECT_EQ(chunk.GetValue(1, 1), Value::Int64(3));
+  EXPECT_EQ(chunk.GetValue(2, 1), Value::Int64(450));
+  EXPECT_EQ(chunk.GetValue(3, 1), Value::Int32(100));
+  EXPECT_EQ(chunk.GetValue(4, 1), Value::Int32(200));
+  EXPECT_EQ(chunk.GetValue(5, 1), Value::Double(7.0));
+  // Row 2: sales — 50, 70, NULL.
+  EXPECT_EQ(chunk.GetValue(0, 2), Value::Varchar("sales"));
+  EXPECT_EQ(chunk.GetValue(1, 2), Value::Int64(2));    // NULL not counted
+  EXPECT_EQ(chunk.GetValue(2, 2), Value::Int64(120));
+  EXPECT_EQ(chunk.GetValue(3, 2), Value::Int32(50));
+  EXPECT_EQ(chunk.GetValue(4, 2), Value::Int32(70));
+  EXPECT_EQ(chunk.GetValue(5, 2), Value::Double(3.5));
+}
+
+TEST(HashAggregateTest, AllNullInputsYieldNullSumMinMax) {
+  Table input({TypeId::kInt32, TypeId::kInt32});
+  DataChunk chunk = input.NewChunk();
+  chunk.SetValue(0, 0, Value::Int32(1));
+  chunk.SetValue(1, 0, Value::Null(TypeId::kInt32));
+  chunk.SetValue(0, 1, Value::Int32(1));
+  chunk.SetValue(1, 1, Value::Null(TypeId::kInt32));
+  chunk.SetSize(2);
+  input.Append(std::move(chunk));
+
+  HashAggregate agg({0},
+                    {{AggregateFunction::kCount, 1},
+                     {AggregateFunction::kSum, 1},
+                     {AggregateFunction::kMin, 1}},
+                    input.types());
+  agg.Sink(input.chunk(0));
+  Table result = agg.Finalize();
+  ASSERT_EQ(result.row_count(), 1u);
+  EXPECT_EQ(result.chunk(0).GetValue(1, 0), Value::Int64(0));  // COUNT = 0
+  EXPECT_TRUE(result.chunk(0).GetValue(2, 0).is_null());       // SUM NULL
+  EXPECT_TRUE(result.chunk(0).GetValue(3, 0).is_null());       // MIN NULL
+}
+
+TEST(HashAggregateTest, ManyGroupsForceTableGrowth) {
+  Random rng(3);
+  Table input({TypeId::kInt32, TypeId::kInt32});
+  const uint64_t rows = 50000, groups = 5000;
+  std::map<int32_t, std::pair<int64_t, int64_t>> oracle;  // count, sum
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = input.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      int32_t g = static_cast<int32_t>(rng.Uniform(groups));
+      int32_t v = static_cast<int32_t>(rng.Uniform(100));
+      chunk.SetValue(0, r, Value::Int32(g));
+      chunk.SetValue(1, r, Value::Int32(v));
+      auto& entry = oracle[g];
+      ++entry.first;
+      entry.second += v;
+    }
+    chunk.SetSize(n);
+    input.Append(std::move(chunk));
+    produced += n;
+  }
+
+  HashAggregate agg({0},
+                    {{AggregateFunction::kCount, 1},
+                     {AggregateFunction::kSum, 1}},
+                    input.types());
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) agg.Sink(input.chunk(c));
+  EXPECT_EQ(agg.group_count(), oracle.size());
+
+  Table result = agg.Finalize();
+  for (uint64_t ci = 0; ci < result.ChunkCount(); ++ci) {
+    const DataChunk& chunk = result.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      int32_t g = chunk.GetValue(0, r).int32_value();
+      auto it = oracle.find(g);
+      ASSERT_NE(it, oracle.end());
+      EXPECT_EQ(chunk.GetValue(1, r).int64_value(), it->second.first);
+      EXPECT_EQ(chunk.GetValue(2, r).int64_value(), it->second.second);
+      oracle.erase(it);
+    }
+  }
+  EXPECT_TRUE(oracle.empty());
+}
+
+TEST(HashAggregateTest, MultiColumnGroupBy) {
+  Table input({TypeId::kInt32, TypeId::kVarchar, TypeId::kInt32});
+  DataChunk chunk = input.NewChunk();
+  struct Row {
+    int32_t a;
+    const char* b;
+    int32_t v;
+  };
+  const Row rows[] = {{1, "x", 10}, {1, "y", 20}, {1, "x", 30}, {2, "x", 40}};
+  uint64_t n = 0;
+  for (const auto& r : rows) {
+    chunk.SetValue(0, n, Value::Int32(r.a));
+    chunk.SetValue(1, n, Value::Varchar(r.b));
+    chunk.SetValue(2, n, Value::Int32(r.v));
+    ++n;
+  }
+  chunk.SetSize(n);
+  input.Append(std::move(chunk));
+
+  HashAggregate agg({0, 1}, {{AggregateFunction::kSum, 2}}, input.types());
+  agg.Sink(input.chunk(0));
+  EXPECT_EQ(agg.group_count(), 3u);  // (1,x), (1,y), (2,x)
+  Table result = agg.Finalize();
+  int64_t total = 0;
+  for (uint64_t r = 0; r < result.chunk(0).size(); ++r) {
+    total += result.chunk(0).GetValue(2, r).int64_value();
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(HashAggregateTest, MinMaxOverStrings) {
+  Table input({TypeId::kInt32, TypeId::kVarchar});
+  DataChunk chunk = input.NewChunk();
+  const char* names[] = {"delta", "alpha", "charlie", "bravo"};
+  for (uint64_t r = 0; r < 4; ++r) {
+    chunk.SetValue(0, r, Value::Int32(1));
+    chunk.SetValue(1, r, Value::Varchar(names[r]));
+  }
+  chunk.SetSize(4);
+  input.Append(std::move(chunk));
+
+  HashAggregate agg({0},
+                    {{AggregateFunction::kMin, 1},
+                     {AggregateFunction::kMax, 1}},
+                    input.types());
+  agg.Sink(input.chunk(0));
+  Table result = agg.Finalize();
+  EXPECT_EQ(result.chunk(0).GetValue(1, 0), Value::Varchar("alpha"));
+  EXPECT_EQ(result.chunk(0).GetValue(2, 0), Value::Varchar("delta"));
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,212 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Every micro-benchmark sorting approach (paper §IV-§VI) must produce a
+// lexicographically sorted permutation on every distribution the paper
+// sweeps, under both base algorithms.
+#include <gtest/gtest.h>
+
+#include "approaches/approaches.h"
+#include "workload/microbench.h"
+
+namespace rowsort {
+namespace {
+
+struct ApproachCase {
+  MicroDistribution distribution;
+  double correlation;
+  uint64_t num_cols;
+  uint64_t num_rows;
+};
+
+MicroColumns Data(const ApproachCase& c, uint64_t seed = 7) {
+  MicroWorkload workload;
+  workload.num_rows = c.num_rows;
+  workload.num_key_columns = c.num_cols;
+  workload.distribution = c.distribution;
+  workload.correlation = c.correlation;
+  workload.seed = seed;
+  return GenerateMicroColumns(workload);
+}
+
+class ApproachesTest : public ::testing::TestWithParam<ApproachCase> {};
+
+TEST_P(ApproachesTest, ColumnarTupleAtATime) {
+  auto columns = Data(GetParam());
+  for (auto algo : {BaseSortAlgo::kIntroSort, BaseSortAlgo::kStableMergeSort}) {
+    auto idxs = MakeRowIndices(GetParam().num_rows);
+    SortIndicesTupleAtATime(columns, idxs, algo);
+    EXPECT_TRUE(IsSortedOrder(columns, ExtractOrder(idxs)));
+  }
+}
+
+TEST_P(ApproachesTest, ColumnarSubsort) {
+  auto columns = Data(GetParam());
+  for (auto algo : {BaseSortAlgo::kIntroSort, BaseSortAlgo::kStableMergeSort}) {
+    auto idxs = MakeRowIndices(GetParam().num_rows);
+    SortIndicesSubsort(columns, idxs, algo);
+    EXPECT_TRUE(IsSortedOrder(columns, ExtractOrder(idxs)));
+  }
+}
+
+TEST_P(ApproachesTest, RowTupleStatic) {
+  auto columns = Data(GetParam());
+  for (auto algo : {BaseSortAlgo::kIntroSort, BaseSortAlgo::kStableMergeSort}) {
+    MicroRows rows = BuildMicroRows(columns);
+    SortMicroRowsTupleStatic(rows, algo);
+    EXPECT_TRUE(IsSortedOrder(columns, ExtractOrder(rows)));
+  }
+}
+
+TEST_P(ApproachesTest, RowTupleDynamic) {
+  auto columns = Data(GetParam());
+  for (auto algo : {BaseSortAlgo::kIntroSort, BaseSortAlgo::kStableMergeSort}) {
+    MicroRows rows = BuildMicroRows(columns);
+    SortMicroRowsTupleDynamic(rows, algo);
+    EXPECT_TRUE(IsSortedOrder(columns, ExtractOrder(rows)));
+  }
+}
+
+TEST_P(ApproachesTest, RowSubsort) {
+  auto columns = Data(GetParam());
+  for (auto algo : {BaseSortAlgo::kIntroSort, BaseSortAlgo::kStableMergeSort}) {
+    MicroRows rows = BuildMicroRows(columns);
+    SortMicroRowsSubsort(rows, algo);
+    EXPECT_TRUE(IsSortedOrder(columns, ExtractOrder(rows)));
+  }
+}
+
+TEST_P(ApproachesTest, NormalizedMemcmp) {
+  auto columns = Data(GetParam());
+  for (auto algo : {BaseSortAlgo::kIntroSort, BaseSortAlgo::kStableMergeSort}) {
+    NormalizedRows rows = BuildNormalizedRows(columns);
+    SortNormalizedRowsMemcmp(rows, algo);
+    EXPECT_TRUE(IsSortedOrder(columns, ExtractOrder(rows)));
+  }
+}
+
+TEST_P(ApproachesTest, NormalizedPdq) {
+  auto columns = Data(GetParam());
+  NormalizedRows rows = BuildNormalizedRows(columns);
+  SortNormalizedRowsPdq(rows);
+  EXPECT_TRUE(IsSortedOrder(columns, ExtractOrder(rows)));
+}
+
+TEST_P(ApproachesTest, NormalizedRadix) {
+  auto columns = Data(GetParam());
+  NormalizedRows rows = BuildNormalizedRows(columns);
+  RadixSortStats stats;
+  SortNormalizedRowsRadix(rows, &stats);
+  EXPECT_TRUE(IsSortedOrder(columns, ExtractOrder(rows)));
+  if (GetParam().num_rows > 1) {
+    EXPECT_GT(stats.passes + stats.skipped_passes + stats.insertion_sorts, 0u);
+  }
+}
+
+std::vector<ApproachCase> AllCases() {
+  std::vector<ApproachCase> cases;
+  struct Dist {
+    MicroDistribution d;
+    double p;
+  };
+  for (Dist dist : {Dist{MicroDistribution::kRandom, 0.0},
+                    Dist{MicroDistribution::kCorrelated, 0.0},
+                    Dist{MicroDistribution::kCorrelated, 0.5},
+                    Dist{MicroDistribution::kCorrelated, 1.0}}) {
+    for (uint64_t cols : {1, 2, 3, 4}) {
+      for (uint64_t rows : {0ull, 1ull, 100ull, 4096ull}) {
+        cases.push_back({dist.d, dist.p, cols, rows});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproachesTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<ApproachCase>& info) {
+      const auto& c = info.param;
+      std::string dist =
+          c.distribution == MicroDistribution::kRandom
+              ? "Random"
+              : "Corr" + std::to_string(static_cast<int>(c.correlation * 100));
+      return dist + "_c" + std::to_string(c.num_cols) + "_n" +
+             std::to_string(c.num_rows);
+    });
+
+TEST(ApproachesAgreementTest, StableApproachesAgreeExactly) {
+  // With the stable base algorithm, columnar tuple-at-a-time defines the
+  // reference permutation; every other stable-sorted approach must match it
+  // exactly (including tie order).
+  MicroWorkload w;
+  w.num_rows = 5000;
+  w.num_key_columns = 3;
+  w.distribution = MicroDistribution::kCorrelated;
+  w.correlation = 0.7;
+  auto columns = GenerateMicroColumns(w);
+
+  auto ref = MakeRowIndices(w.num_rows);
+  SortIndicesTupleAtATime(columns, ref, BaseSortAlgo::kStableMergeSort);
+  auto reference = ExtractOrder(ref);
+
+  {
+    MicroRows rows = BuildMicroRows(columns);
+    SortMicroRowsTupleStatic(rows, BaseSortAlgo::kStableMergeSort);
+    EXPECT_EQ(ExtractOrder(rows), reference) << "row static";
+  }
+  {
+    MicroRows rows = BuildMicroRows(columns);
+    SortMicroRowsTupleDynamic(rows, BaseSortAlgo::kStableMergeSort);
+    EXPECT_EQ(ExtractOrder(rows), reference) << "row dynamic";
+  }
+  {
+    NormalizedRows rows = BuildNormalizedRows(columns);
+    SortNormalizedRowsMemcmp(rows, BaseSortAlgo::kStableMergeSort);
+    EXPECT_EQ(ExtractOrder(rows), reference) << "normalized memcmp";
+  }
+  {
+    // LSD radix is stable as well.
+    NormalizedRows rows = BuildNormalizedRows(columns);
+    std::vector<uint8_t> aux(rows.buffer.size());
+    RadixSortConfig config{rows.row_width, 0, rows.key_width};
+    RadixSortLsd(rows.buffer.data(), aux.data(), rows.count, config);
+    EXPECT_EQ(ExtractOrder(rows), reference) << "LSD radix";
+  }
+}
+
+TEST(MicroRowsTest, LayoutMatchesPaperStruct) {
+  MicroWorkload w;
+  w.num_rows = 4;
+  w.num_key_columns = 3;
+  auto columns = GenerateMicroColumns(w);
+  MicroRows rows = BuildMicroRows(columns);
+  EXPECT_EQ(rows.row_width, 24u);  // 3x4 keys + pad + 8 row id
+  EXPECT_EQ(rows.row_id_offset, 16u);
+  for (uint64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(rows.RowId(r), r);
+    for (uint64_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(rows.Key(r, k), columns[k][r]);
+    }
+  }
+}
+
+TEST(NormalizedRowsTest, KeysAreBigEndian) {
+  MicroColumns columns = {{0x01020304u}};
+  NormalizedRows rows = BuildNormalizedRows(columns);
+  EXPECT_EQ(rows.key_width, 4u);
+  EXPECT_EQ(rows.buffer[0], 0x01);
+  EXPECT_EQ(rows.buffer[1], 0x02);
+  EXPECT_EQ(rows.buffer[2], 0x03);
+  EXPECT_EQ(rows.buffer[3], 0x04);
+}
+
+TEST(IsSortedOrderTest, RejectsBadPermutations) {
+  MicroColumns columns = {{5, 3, 9}};
+  EXPECT_TRUE(IsSortedOrder(columns, {1, 0, 2}));
+  EXPECT_FALSE(IsSortedOrder(columns, {0, 1, 2}));   // not sorted
+  EXPECT_FALSE(IsSortedOrder(columns, {1, 1, 2}));   // duplicate id
+  EXPECT_FALSE(IsSortedOrder(columns, {1, 0}));      // wrong size
+  EXPECT_FALSE(IsSortedOrder(columns, {1, 0, 99}));  // out of range
+}
+
+}  // namespace
+}  // namespace rowsort

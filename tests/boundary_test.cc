@@ -1,0 +1,224 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Boundary-condition tests: vector-size edges, run-size edges, empty and
+// single-element inputs, strings with embedded NULs and non-ASCII bytes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "engine/sort_engine.h"
+#include "sortkey/key_encoder.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+namespace {
+
+Table IntTable(uint64_t rows, uint64_t seed) {
+  Random rng(seed);
+  Table table({TypeId::kInt32});
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    auto* data = chunk.column(0).TypedData<int32_t>();
+    for (uint64_t r = 0; r < n; ++r) {
+      data[r] = static_cast<int32_t>(rng.Next32());
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+bool IsSortedAscending(const Table& t) {
+  bool first = true;
+  int32_t prev = 0;
+  for (uint64_t ci = 0; ci < t.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < t.chunk(ci).size(); ++r) {
+      int32_t v = t.chunk(ci).GetValue(0, r).int32_value();
+      if (!first && v < prev) return false;
+      prev = v;
+      first = false;
+    }
+  }
+  return true;
+}
+
+class VectorSizeBoundaryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorSizeBoundaryTest, SortsExactlyAroundChunkEdges) {
+  uint64_t rows = GetParam();
+  Table input = IntTable(rows, rows + 1);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  Table output = RelationalSort::SortTable(input, spec);
+  EXPECT_EQ(output.row_count(), rows);
+  EXPECT_TRUE(IsSortedAscending(output));
+}
+
+INSTANTIATE_TEST_SUITE_P(Edges, VectorSizeBoundaryTest,
+                         ::testing::Values(kVectorSize - 1, kVectorSize,
+                                           kVectorSize + 1, 2 * kVectorSize,
+                                           2 * kVectorSize + 1),
+                         ::testing::PrintToStringParamName());
+
+class RunSizeBoundaryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RunSizeBoundaryTest, RunThresholdEdgesProduceCorrectMerges) {
+  const uint64_t rows = 10000;
+  Table input = IntTable(rows, 77);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = GetParam();
+  SortMetrics metrics;
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  EXPECT_EQ(output.row_count(), rows);
+  EXPECT_TRUE(IsSortedAscending(output));
+  EXPECT_GE(metrics.runs_generated, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Edges, RunSizeBoundaryTest,
+                         ::testing::Values(kVectorSize, kVectorSize + 1,
+                                           9999, 10000, 10001, 1 << 20),
+                         ::testing::PrintToStringParamName());
+
+TEST(StringEdgeTest, EmbeddedNulBytesSortCorrectly) {
+  // "ab\0" vs "ab" collide in the zero-padded key prefix; tie resolution on
+  // the full strings (which know their length) must separate them.
+  Table input({TypeId::kVarchar});
+  DataChunk chunk = input.NewChunk();
+  chunk.SetValue(0, 0, Value::Varchar(std::string("ab\0x", 4)));
+  chunk.SetValue(0, 1, Value::Varchar("ab"));
+  chunk.SetValue(0, 2, Value::Varchar(std::string("ab\0", 3)));
+  chunk.SetSize(3);
+  input.Append(std::move(chunk));
+
+  SortSpec spec({SortColumn(0, TypeId::kVarchar)});
+  Table sorted = RelationalSort::SortTable(input, spec);
+  // memcmp order: "ab" < "ab\0" < "ab\0x".
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 0).varchar_value().size(), 2u);
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 1).varchar_value().size(), 3u);
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 2).varchar_value().size(), 4u);
+}
+
+TEST(StringEdgeTest, HighBitBytesSortAsUnsigned) {
+  // Bytes >= 0x80 must compare as unsigned (UTF-8 continuation bytes etc.).
+  Table input({TypeId::kVarchar});
+  DataChunk chunk = input.NewChunk();
+  chunk.SetValue(0, 0, Value::Varchar("\xC3\xA9"));  // é in UTF-8
+  chunk.SetValue(0, 1, Value::Varchar("z"));
+  chunk.SetValue(0, 2, Value::Varchar("\x7F"));
+  chunk.SetSize(3);
+  input.Append(std::move(chunk));
+
+  SortSpec spec({SortColumn(0, TypeId::kVarchar)});
+  Table sorted = RelationalSort::SortTable(input, spec);
+  // Unsigned byte order: 'z' (0x7A) < 0x7F < 0xC3 (signed-char comparison
+  // would wrongly put the UTF-8 bytes first).
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Varchar("z"));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 1), Value::Varchar("\x7F"));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 2), Value::Varchar("\xC3\xA9"));
+}
+
+TEST(StringEdgeTest, ExactlyPrefixLengthStrings) {
+  // Strings of exactly prefix length must order against longer ones
+  // correctly ("abcdefghijkl" < "abcdefghijklm").
+  Table input({TypeId::kVarchar});
+  DataChunk chunk = input.NewChunk();
+  chunk.SetValue(0, 0, Value::Varchar("abcdefghijklm"));
+  chunk.SetValue(0, 1, Value::Varchar("abcdefghijkl"));
+  chunk.SetSize(2);
+  input.Append(std::move(chunk));
+  SortSpec spec({SortColumn(0, TypeId::kVarchar)});
+  Table sorted = RelationalSort::SortTable(input, spec);
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Varchar("abcdefghijkl"));
+}
+
+TEST(KeyWidthBoundaryTest, ManyColumnsProduceWideKeys) {
+  // 8 int64 DESC columns: 8 * 9 = 72 key bytes -> key row width 80, which
+  // exercises a wider PdqSortRows instantiation and MSD radix.
+  std::vector<LogicalType> types(8, LogicalType(TypeId::kInt64));
+  Random rng(3);
+  Table input(types);
+  DataChunk chunk = input.NewChunk();
+  for (uint64_t r = 0; r < 1000; ++r) {
+    for (uint64_t c = 0; c < 8; ++c) {
+      chunk.SetValue(c, r,
+                     Value::Int64(static_cast<int64_t>(rng.Uniform(4))));
+    }
+  }
+  chunk.SetSize(1000);
+  input.Append(std::move(chunk));
+
+  std::vector<SortColumn> cols;
+  for (uint64_t c = 0; c < 8; ++c) {
+    cols.emplace_back(c, TypeId::kInt64, OrderType::kDescending,
+                      NullOrder::kNullsLast);
+  }
+  SortSpec spec(cols);
+  EXPECT_EQ(spec.KeyWidth(), 72u);
+  for (auto algo : {RunSortAlgorithm::kRadix, RunSortAlgorithm::kPdq}) {
+    SortEngineConfig config;
+    config.algorithm = algo;
+    Table sorted = RelationalSort::SortTable(input, spec, config);
+    // Verify lexicographic descending across all 8 columns.
+    for (uint64_t r = 1; r < sorted.chunk(0).size(); ++r) {
+      int cmp = 0;
+      for (uint64_t c = 0; c < 8 && cmp == 0; ++c) {
+        cmp = sorted.chunk(0).GetValue(c, r - 1).Compare(
+            sorted.chunk(0).GetValue(c, r));
+      }
+      ASSERT_GE(cmp, 0) << "row " << r;
+    }
+  }
+}
+
+TEST(ExtremeValueTest, IntegerLimitsEncodeCorrectly) {
+  Table input({TypeId::kInt64});
+  DataChunk chunk = input.NewChunk();
+  chunk.SetValue(0, 0, Value::Int64(0));
+  chunk.SetValue(0, 1, Value::Int64(INT64_MAX));
+  chunk.SetValue(0, 2, Value::Int64(INT64_MIN));
+  chunk.SetValue(0, 3, Value::Int64(-1));
+  chunk.SetValue(0, 4, Value::Int64(1));
+  chunk.SetSize(5);
+  input.Append(std::move(chunk));
+  SortSpec spec({SortColumn(0, TypeId::kInt64)});
+  Table sorted = RelationalSort::SortTable(input, spec);
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Int64(INT64_MIN));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 1), Value::Int64(-1));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 2), Value::Int64(0));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 3), Value::Int64(1));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 4), Value::Int64(INT64_MAX));
+}
+
+TEST(ExtremeValueTest, FloatSpecialsOrderTotally) {
+  float inf = std::numeric_limits<float>::infinity();
+  float nan = std::numeric_limits<float>::quiet_NaN();
+  float denormal = std::numeric_limits<float>::denorm_min();
+  Table input({TypeId::kFloat});
+  DataChunk chunk = input.NewChunk();
+  float values[] = {nan, inf, -inf, 0.0f, -0.0f, denormal, -denormal, 1.0f};
+  for (uint64_t r = 0; r < 8; ++r) {
+    chunk.SetValue(0, r, Value::Float(values[r]));
+  }
+  chunk.SetSize(8);
+  input.Append(std::move(chunk));
+  SortSpec spec({SortColumn(0, TypeId::kFloat)});
+  Table sorted = RelationalSort::SortTable(input, spec);
+
+  // -inf < -denorm < -0/0 (tie) < denorm < 1 < inf < NaN.
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Float(-inf));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 1), Value::Float(-denormal));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 2).float_value(), 0.0f);
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 3).float_value(), 0.0f);
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 4), Value::Float(denormal));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 5), Value::Float(1.0f));
+  EXPECT_EQ(sorted.chunk(0).GetValue(0, 6), Value::Float(inf));
+  EXPECT_TRUE(std::isnan(sorted.chunk(0).GetValue(0, 7).float_value()));
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,142 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bit_util.h"
+#include "common/hardware.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace rowsort {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IOError("short write");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "short write");
+  EXPECT_EQ(st.ToString(), "IOError: short write");
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  auto fails = []() -> Status { return Status::InvalidArgument("bad"); };
+  auto wrapper = [&]() -> Status {
+    ROWSORT_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+
+  StatusOr<int> err_result(Status::OutOfRange("too big"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformRespectsBound) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversAllResidues) {
+  Random rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(11);
+  std::vector<uint32_t> data(1000);
+  for (uint32_t i = 0; i < 1000; ++i) data[i] = i;
+  rng.Shuffle(data.data(), data.size());
+  std::set<uint32_t> unique(data.begin(), data.end());
+  EXPECT_EQ(unique.size(), 1000u);
+}
+
+TEST(BitUtilTest, ByteSwap32) {
+  EXPECT_EQ(bit_util::ByteSwap(uint32_t{0x01020304}), 0x04030201u);
+}
+
+TEST(BitUtilTest, AlignValue) {
+  EXPECT_EQ(bit_util::AlignValue(0), 0u);
+  EXPECT_EQ(bit_util::AlignValue(1), 8u);
+  EXPECT_EQ(bit_util::AlignValue(8), 8u);
+  EXPECT_EQ(bit_util::AlignValue(9), 16u);
+  EXPECT_EQ(bit_util::AlignValue(13, 4), 16u);
+}
+
+TEST(BitUtilTest, Log2Floor) {
+  EXPECT_EQ(bit_util::Log2Floor(1), 0);
+  EXPECT_EQ(bit_util::Log2Floor(2), 1);
+  EXPECT_EQ(bit_util::Log2Floor(3), 1);
+  EXPECT_EQ(bit_util::Log2Floor(1ull << 24), 24);
+}
+
+TEST(StringUtilTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(16777216), "16,777,216");
+}
+
+TEST(StringUtilTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(StringUtilTest, SplitString) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(HardwareTest, DetectsSomething) {
+  HardwareInfo info = DetectHardware();
+  EXPECT_GT(info.logical_cores, 0);
+  EXPECT_GT(info.total_memory_bytes, 0u);
+  EXPECT_FALSE(info.ToString().empty());
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,209 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Randomized property test: generate random schemas, random ORDER BY specs
+// (types, directions, NULL orders, collations, prefix lengths), random data
+// (with NULLs and prefix-tied strings), random engine configurations — and
+// verify the engine output is a sorted permutation every time.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "engine/sort_engine.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+namespace {
+
+const TypeId kKeyableTypes[] = {
+    TypeId::kInt8,  TypeId::kInt16,  TypeId::kInt32, TypeId::kInt64,
+    TypeId::kUint32, TypeId::kUint64, TypeId::kFloat, TypeId::kDouble,
+    TypeId::kDate,  TypeId::kVarchar, TypeId::kBool,
+};
+
+Value RandomValue(TypeId type, Random& rng, double null_prob) {
+  if (rng.Bernoulli(null_prob)) return Value::Null(type);
+  switch (type) {
+    case TypeId::kBool:
+      return Value::Bool(rng.Bernoulli(0.5));
+    case TypeId::kInt8:
+      return Value::Int8(static_cast<int8_t>(rng.Uniform(256)));
+    case TypeId::kInt16:
+      return Value::Int16(static_cast<int16_t>(rng.Next32()));
+    case TypeId::kInt32:
+      return Value::Int32(static_cast<int32_t>(rng.Uniform(64)) - 32);
+    case TypeId::kInt64:
+      return Value::Int64(static_cast<int64_t>(rng.Next64() % 1000) - 500);
+    case TypeId::kUint32:
+      return Value::Uint32(rng.Next32() % 128);
+    case TypeId::kUint64:
+      return Value::Uint64(rng.Next64() % 256);
+    case TypeId::kFloat:
+      switch (rng.Uniform(6)) {
+        case 0:
+          return Value::Float(std::numeric_limits<float>::quiet_NaN());
+        case 1:
+          return Value::Float(std::numeric_limits<float>::infinity());
+        case 2:
+          return Value::Float(0.0f);
+        default:
+          return Value::Float(rng.UniformFloat(-10.0f, 10.0f));
+      }
+    case TypeId::kDouble:
+      return Value::Double((rng.NextDouble() - 0.5) * 100);
+    case TypeId::kDate:
+      return Value::Date(static_cast<int32_t>(rng.Uniform(1000)) - 500);
+    case TypeId::kVarchar:
+      switch (rng.Uniform(4)) {
+        case 0:
+          return Value::Varchar("");
+        case 1:
+          return Value::Varchar(std::string(1 + rng.Uniform(3), 'a' + rng.Uniform(4)));
+        case 2:
+          return Value::Varchar("identical-long-prefix-" +
+                                std::to_string(rng.Uniform(6)));
+        default:
+          return Value::Varchar("Mixed" + std::string(rng.Uniform(20), 'x'));
+      }
+    default:
+      return Value::Null(type);
+  }
+}
+
+int OrderByCompare(const Value& a, const Value& b, const SortColumn& sc) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    bool nulls_first = sc.null_order == NullOrder::kNullsFirst;
+    return a.is_null() ? (nulls_first ? -1 : 1) : (nulls_first ? 1 : -1);
+  }
+  int cmp;
+  if (sc.type.id() == TypeId::kVarchar &&
+      sc.collation == Collation::kCaseInsensitive) {
+    std::string fa = a.varchar_value(), fb = b.varchar_value();
+    for (auto& c : fa) c = static_cast<char>(std::tolower(c));
+    for (auto& c : fb) c = static_cast<char>(std::tolower(c));
+    cmp = fa.compare(fb);
+    cmp = (cmp > 0) - (cmp < 0);
+  } else {
+    cmp = a.Compare(b);
+  }
+  return sc.order == OrderType::kDescending ? -cmp : cmp;
+}
+
+class EngineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineFuzzTest, RandomSchemaSpecAndConfig) {
+  Random rng(GetParam() * 7919 + 13);
+
+  // Random schema: 1-5 columns.
+  uint64_t num_cols = 1 + rng.Uniform(5);
+  std::vector<LogicalType> types;
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    types.push_back(LogicalType(
+        kKeyableTypes[rng.Uniform(std::size(kKeyableTypes))]));
+  }
+
+  // Random spec: 1..num_cols distinct key columns.
+  std::vector<uint64_t> cols(num_cols);
+  for (uint64_t c = 0; c < num_cols; ++c) cols[c] = c;
+  rng.Shuffle(cols.data(), num_cols);
+  uint64_t num_keys = 1 + rng.Uniform(num_cols);
+  std::vector<SortColumn> sort_columns;
+  for (uint64_t k = 0; k < num_keys; ++k) {
+    SortColumn sc(cols[k], types[cols[k]],
+                  rng.Bernoulli(0.5) ? OrderType::kAscending
+                                     : OrderType::kDescending,
+                  rng.Bernoulli(0.5) ? NullOrder::kNullsFirst
+                                     : NullOrder::kNullsLast);
+    if (sc.type.id() == TypeId::kVarchar) {
+      sc.string_prefix_length = 1 + rng.Uniform(12);
+      if (rng.Bernoulli(0.3)) sc.collation = Collation::kCaseInsensitive;
+    }
+    sort_columns.push_back(sc);
+  }
+  SortSpec spec(sort_columns);
+
+  // Random data.
+  uint64_t rows = rng.Uniform(6000);
+  double null_prob = rng.NextDouble() * 0.4;
+  Table input(types);
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = input.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      for (uint64_t c = 0; c < num_cols; ++c) {
+        chunk.SetValue(c, r, RandomValue(types[c].id(), rng, null_prob));
+      }
+    }
+    chunk.SetSize(n);
+    input.Append(std::move(chunk));
+    produced += n;
+  }
+
+  // Random config.
+  SortEngineConfig config;
+  config.threads = 1 + rng.Uniform(3);
+  config.run_size_rows = 64 << rng.Uniform(8);
+  config.algorithm = spec.NeedsTieResolution()
+                         ? RunSortAlgorithm::kAuto
+                         : static_cast<RunSortAlgorithm>(rng.Uniform(4));
+  config.use_kway_merge = rng.Bernoulli(0.3);
+
+  Table output = RelationalSort::SortTable(input, spec, config);
+
+  // Verify: permutation + sortedness.
+  ASSERT_EQ(output.row_count(), rows);
+  std::map<std::string, int64_t> counts;
+  auto fingerprint = [&](const Table& t, uint64_t ci, uint64_t r) {
+    std::string fp;
+    for (uint64_t c = 0; c < t.types().size(); ++c) {
+      fp += t.chunk(ci).GetValue(c, r).ToString();
+      fp += '\x1f';
+    }
+    return fp;
+  };
+  for (uint64_t ci = 0; ci < input.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < input.chunk(ci).size(); ++r) {
+      ++counts[fingerprint(input, ci, r)];
+    }
+  }
+  for (uint64_t ci = 0; ci < output.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < output.chunk(ci).size(); ++r) {
+      --counts[fingerprint(output, ci, r)];
+    }
+  }
+  for (const auto& [fp, c] : counts) {
+    ASSERT_EQ(c, 0) << "multiset mismatch " << fp << " (spec "
+                    << spec.ToString() << ")";
+  }
+
+  std::vector<Value> prev;
+  bool have_prev = false;
+  for (uint64_t ci = 0; ci < output.ChunkCount(); ++ci) {
+    const DataChunk& chunk = output.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      std::vector<Value> cur;
+      for (const auto& sc : spec.columns()) {
+        cur.push_back(chunk.GetValue(sc.column_index, r));
+      }
+      if (have_prev) {
+        int cmp = 0;
+        for (uint64_t k = 0; k < spec.columns().size(); ++k) {
+          cmp = OrderByCompare(prev[k], cur[k], spec.columns()[k]);
+          if (cmp != 0) break;
+        }
+        ASSERT_LE(cmp, 0) << "out of order at row " << r << " (spec "
+                          << spec.ToString() << ")";
+      }
+      prev = std::move(cur);
+      have_prev = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Range<uint64_t>(0, 40),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,422 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// End-to-end correctness of the sorting pipeline (paper Fig. 11) against a
+// Value-level oracle, across types, NULL orders, directions, thread counts,
+// run sizes, and run-sort algorithms.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "engine/merge_path.h"
+#include "engine/sort_engine.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+namespace {
+
+int OrderByCompare(const Value& a, const Value& b, const SortColumn& sc) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    bool nulls_first = sc.null_order == NullOrder::kNullsFirst;
+    return a.is_null() ? (nulls_first ? -1 : 1) : (nulls_first ? 1 : -1);
+  }
+  int cmp = a.Compare(b);
+  return sc.order == OrderType::kDescending ? -cmp : cmp;
+}
+
+std::string RowFingerprint(const Table& t, uint64_t chunk, uint64_t row) {
+  std::string fp;
+  for (uint64_t c = 0; c < t.types().size(); ++c) {
+    fp += t.chunk(chunk).GetValue(c, row).ToString();
+    fp += '\x1f';
+  }
+  return fp;
+}
+
+/// Verifies output is a sorted permutation of input under spec.
+void ExpectSortedPermutation(const Table& input, const Table& output,
+                             const SortSpec& spec) {
+  ASSERT_EQ(output.row_count(), input.row_count());
+
+  // Multiset equality of complete rows.
+  std::map<std::string, int64_t> counts;
+  for (uint64_t ci = 0; ci < input.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < input.chunk(ci).size(); ++r) {
+      ++counts[RowFingerprint(input, ci, r)];
+    }
+  }
+  for (uint64_t ci = 0; ci < output.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < output.chunk(ci).size(); ++r) {
+      --counts[RowFingerprint(output, ci, r)];
+    }
+  }
+  for (const auto& [fp, count] : counts) {
+    ASSERT_EQ(count, 0) << "row multiset mismatch at " << fp;
+  }
+
+  // Sortedness by the spec.
+  std::vector<Value> prev;
+  bool have_prev = false;
+  for (uint64_t ci = 0; ci < output.ChunkCount(); ++ci) {
+    const DataChunk& chunk = output.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      std::vector<Value> cur;
+      for (const auto& sc : spec.columns()) {
+        cur.push_back(chunk.GetValue(sc.column_index, r));
+      }
+      if (have_prev) {
+        int cmp = 0;
+        for (uint64_t k = 0; k < spec.columns().size(); ++k) {
+          cmp = OrderByCompare(prev[k], cur[k], spec.columns()[k]);
+          if (cmp != 0) break;
+        }
+        ASSERT_LE(cmp, 0) << "out of order at chunk " << ci << " row " << r;
+      }
+      prev = std::move(cur);
+      have_prev = true;
+    }
+  }
+}
+
+Value RandomValueFor(TypeId type, Random& rng, double null_prob) {
+  if (rng.Bernoulli(null_prob)) return Value::Null(type);
+  switch (type) {
+    case TypeId::kInt32:
+      return Value::Int32(static_cast<int32_t>(rng.Uniform(1000)) - 500);
+    case TypeId::kInt64:
+      return Value::Int64(static_cast<int64_t>(rng.Next64() % 10000) - 5000);
+    case TypeId::kFloat:
+      return Value::Float(rng.UniformFloat(-100.0f, 100.0f));
+    case TypeId::kDouble:
+      return Value::Double(rng.NextDouble() * 2000 - 1000);
+    case TypeId::kVarchar: {
+      // Mix of short strings, shared 12+ byte prefixes (forces tie
+      // resolution beyond the normalized-key prefix), and empties.
+      switch (rng.Uniform(5)) {
+        case 0:
+          return Value::Varchar("");
+        case 1:
+          return Value::Varchar(std::string(1, 'a' + rng.Uniform(26)));
+        case 2:
+          return Value::Varchar("common-prefix-0123456789-" +
+                                std::to_string(rng.Uniform(50)));
+        case 3:
+          return Value::Varchar("common-prefix-0123456789-" +
+                                std::to_string(rng.Uniform(50)) + "-suffix");
+        default:
+          return Value::Varchar("w" + std::to_string(rng.Uniform(100)));
+      }
+    }
+    default:
+      return Value::Null(type);
+  }
+}
+
+Table MakeRandomTable(const std::vector<LogicalType>& types, uint64_t rows,
+                      double null_prob, uint64_t seed) {
+  Random rng(seed);
+  Table table(types);
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      for (uint64_t c = 0; c < types.size(); ++c) {
+        chunk.SetValue(c, r, RandomValueFor(types[c].id(), rng, null_prob));
+      }
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+struct EngineCase {
+  std::string name;
+  std::vector<LogicalType> types;
+  std::vector<SortColumn> sort_columns;
+  double null_prob;
+  uint64_t rows;
+  uint64_t threads;
+  uint64_t run_size;
+  RunSortAlgorithm algorithm;
+};
+
+class EngineTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineTest, SortedPermutation) {
+  const auto& c = GetParam();
+  Table input = MakeRandomTable(c.types, c.rows, c.null_prob, 99);
+  SortSpec spec(c.sort_columns);
+  SortEngineConfig config;
+  config.threads = c.threads;
+  config.run_size_rows = c.run_size;
+  config.algorithm = c.algorithm;
+  SortMetrics metrics;
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  ExpectSortedPermutation(input, output, spec);
+  EXPECT_EQ(metrics.rows, c.rows);
+  if (c.rows > 0) {
+    EXPECT_GE(metrics.runs_generated, 1u);
+  }
+}
+
+std::vector<EngineCase> EngineCases() {
+  LogicalType i32(TypeId::kInt32), i64(TypeId::kInt64), f32(TypeId::kFloat),
+      f64(TypeId::kDouble), str(TypeId::kVarchar);
+  std::vector<EngineCase> cases;
+
+  // Single int key, no NULLs, the radix fast path.
+  cases.push_back({"int32_radix", {i32, i64},
+                   {SortColumn(0, i32)},
+                   0.0, 20000, 1, 1 << 20, RunSortAlgorithm::kRadix});
+  // Same with pdqsort.
+  cases.push_back({"int32_pdq", {i32, i64},
+                   {SortColumn(0, i32)},
+                   0.0, 20000, 1, 1 << 20, RunSortAlgorithm::kPdq});
+  // Heuristic dispatch.
+  cases.push_back({"int32_heuristic", {i32, i64},
+                   {SortColumn(0, i32)},
+                   0.1, 20000, 1, 1 << 20, RunSortAlgorithm::kHeuristic});
+  // NULLs + DESC + NULLS FIRST.
+  cases.push_back(
+      {"nulls_desc", {i32, f64},
+       {SortColumn(0, i32, OrderType::kDescending, NullOrder::kNullsFirst)},
+       0.2, 10000, 1, 1 << 20, RunSortAlgorithm::kAuto});
+  // Multi-key mixed types and directions.
+  cases.push_back(
+      {"multikey_mixed", {i32, f32, i64},
+       {SortColumn(1, f32, OrderType::kAscending, NullOrder::kNullsLast),
+        SortColumn(0, i32, OrderType::kDescending, NullOrder::kNullsFirst),
+        SortColumn(2, i64)},
+       0.15, 15000, 1, 1 << 20, RunSortAlgorithm::kAuto});
+  // Strings with prefix ties (pdqsort + tie resolution path).
+  cases.push_back({"strings", {str, i32},
+                   {SortColumn(0, str)},
+                   0.1, 8000, 1, 1 << 20, RunSortAlgorithm::kAuto});
+  cases.push_back(
+      {"strings_desc", {str, i32},
+       {SortColumn(0, str, OrderType::kDescending, NullOrder::kNullsLast),
+        SortColumn(1, i32)},
+       0.1, 8000, 1, 1 << 20, RunSortAlgorithm::kAuto});
+  // String key then int key: prefix ties must not leak into the int compare.
+  cases.push_back({"string_then_int", {str, i32},
+                   {SortColumn(0, str), SortColumn(1, i32)},
+                   0.05, 8000, 1, 1 << 20, RunSortAlgorithm::kAuto});
+  // Many small runs + merge (single-threaded cascade).
+  cases.push_back({"many_runs", {i32, i64},
+                   {SortColumn(0, i32)},
+                   0.1, 30000, 1, 2048, RunSortAlgorithm::kAuto});
+  // Multi-threaded morsel-driven with merge path.
+  cases.push_back({"parallel", {i32, f64},
+                   {SortColumn(0, i32), SortColumn(1, f64)},
+                   0.1, 50000, 4, 4096, RunSortAlgorithm::kAuto});
+  cases.push_back({"parallel_strings", {str, i32},
+                   {SortColumn(0, str)},
+                   0.1, 30000, 4, 4096, RunSortAlgorithm::kAuto});
+  // Edge sizes.
+  cases.push_back({"empty", {i32},
+                   {SortColumn(0, i32)},
+                   0.0, 0, 1, 1 << 20, RunSortAlgorithm::kAuto});
+  cases.push_back({"one_row", {i32},
+                   {SortColumn(0, i32)},
+                   0.0, 1, 1, 1 << 20, RunSortAlgorithm::kAuto});
+  cases.push_back({"all_null", {i32},
+                   {SortColumn(0, i32)},
+                   1.0, 5000, 1, 2048, RunSortAlgorithm::kAuto});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, EngineTest, ::testing::ValuesIn(EngineCases()),
+                         [](const ::testing::TestParamInfo<EngineCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(EngineMergeStrategyTest, KWayMatchesCascade) {
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kVarchar), LogicalType(TypeId::kInt32)}, 25000,
+      0.1, 64);
+  SortSpec spec({SortColumn(0, TypeId::kVarchar), SortColumn(1, TypeId::kInt32)});
+
+  SortEngineConfig cascade;
+  cascade.run_size_rows = 2048;
+  Table a = RelationalSort::SortTable(input, spec, cascade);
+
+  SortEngineConfig kway = cascade;
+  kway.use_kway_merge = true;
+  Table b = RelationalSort::SortTable(input, spec, kway);
+
+  ExpectSortedPermutation(input, b, spec);
+  ASSERT_EQ(a.row_count(), b.row_count());
+  // Both merges are stable over the same runs: identical row sequences.
+  for (uint64_t ci = 0; ci < a.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < a.chunk(ci).size(); ++r) {
+      ASSERT_EQ(RowFingerprint(a, ci, r), RowFingerprint(b, ci, r))
+          << "chunk " << ci << " row " << r;
+    }
+  }
+}
+
+TEST(EngineScanTest, ScanChunkPaginates) {
+  Table input = MakeRandomTable({LogicalType(TypeId::kInt32)}, 5000, 0.0, 3);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  RelationalSort sort(spec, input.types(), {});
+  auto local = sort.MakeLocalState();
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    sort.Sink(*local, input.chunk(c));
+  }
+  sort.CombineLocal(*local);
+  sort.Finalize();
+  EXPECT_EQ(sort.row_count(), 5000u);
+
+  DataChunk out;
+  out.Initialize(input.types());
+  uint64_t total = 0;
+  int32_t prev = INT32_MIN;
+  while (true) {
+    uint64_t n = sort.ScanChunk(total, &out);
+    if (n == 0) break;
+    for (uint64_t r = 0; r < n; ++r) {
+      int32_t v = out.GetValue(0, r).int32_value();
+      EXPECT_LE(prev, v);
+      prev = v;
+    }
+    total += n;
+  }
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(EngineMetricsTest, ComparisonCountsMatchSection2Analysis) {
+  // §II: with k runs of n/k rows, ~n log(n/k) comparisons happen during run
+  // generation and ~n log(k) during merging; run generation dominates.
+  const uint64_t n = 1 << 16;
+  const uint64_t k = 16;
+  Table input = MakeRandomTable({LogicalType(TypeId::kInt32)}, n, 0.0, 5);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = n / k;
+  config.algorithm = RunSortAlgorithm::kPdq;
+  config.count_comparisons = true;
+  SortMetrics metrics;
+  RelationalSort::SortTable(input, spec, config, &metrics);
+
+  EXPECT_EQ(metrics.runs_generated, k);
+  EXPECT_GT(metrics.run_generation_compares, 0u);
+  EXPECT_GT(metrics.merge_compares, 0u);
+  // Run generation must dominate (paper: ~80% for n=1M, k=16; the ratio
+  // n·log(n/k) : n·log(k) = 12:4 = 3:1 here).
+  EXPECT_GT(metrics.run_generation_compares, metrics.merge_compares);
+}
+
+TEST(EngineSpillTest, SpilledSortMatchesInMemory) {
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kVarchar), LogicalType(TypeId::kInt32)}, 20000,
+      0.1, 8);
+  SortSpec spec({SortColumn(0, TypeId::kVarchar), SortColumn(1, TypeId::kInt32)});
+
+  SortEngineConfig mem_config;
+  mem_config.run_size_rows = 3000;
+  Table in_memory = RelationalSort::SortTable(input, spec, mem_config);
+
+  std::string dir = ::testing::TempDir() + "/rowsort_spill";
+  std::string cmd = "mkdir -p " + dir;
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  SortEngineConfig spill_config;
+  spill_config.run_size_rows = 3000;
+  spill_config.spill_directory = dir;
+  Table spilled = RelationalSort::SortTable(input, spec, spill_config);
+
+  ASSERT_EQ(in_memory.row_count(), spilled.row_count());
+  ExpectSortedPermutation(input, spilled, spec);
+  // Exact same sequence as the in-memory result.
+  for (uint64_t ci = 0; ci < in_memory.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < in_memory.chunk(ci).size(); ++r) {
+      ASSERT_EQ(RowFingerprint(in_memory, ci, r), RowFingerprint(spilled, ci, r));
+    }
+  }
+}
+
+TEST(MergePathTest, SplitsAreMonotoneAndExact) {
+  // Build two sorted runs of int32 keys directly through the engine, then
+  // check MergePathSearch invariants on every diagonal.
+  Table input = MakeRandomTable({LogicalType(TypeId::kInt32)}, 8192, 0.0, 21);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 4096;
+  RelationalSort sort(spec, input.types(), config);
+  auto local = sort.MakeLocalState();
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    sort.Sink(*local, input.chunk(c));
+  }
+  sort.CombineLocal(*local);
+  // Do not finalize: we want the individual runs. Instead rebuild runs by
+  // sorting two halves separately.
+  RelationalSort left_sort(spec, input.types(), {});
+  RelationalSort right_sort(spec, input.types(), {});
+  auto ll = left_sort.MakeLocalState();
+  auto rl = right_sort.MakeLocalState();
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    if (c % 2 == 0) {
+      left_sort.Sink(*ll, input.chunk(c));
+    } else {
+      right_sort.Sink(*rl, input.chunk(c));
+    }
+  }
+  left_sort.CombineLocal(*ll);
+  right_sort.CombineLocal(*rl);
+  left_sort.Finalize();
+  right_sort.Finalize();
+
+  const SortedRun& left = left_sort.result();
+  const SortedRun& right = right_sort.result();
+  const TupleComparator& cmp = left_sort.comparator();
+  uint64_t total = left.count + right.count;
+  uint64_t prev_i = 0;
+  for (uint64_t d = 0; d <= total; d += 97) {
+    uint64_t i = MergePathSearch(left, right, cmp, d);
+    uint64_t j = d - i;
+    ASSERT_LE(i, left.count);
+    ASSERT_LE(j, right.count);
+    ASSERT_GE(i, prev_i) << "split must be monotone in the diagonal";
+    prev_i = i;
+    // Validity: everything taken from left <= everything remaining in right,
+    // and everything taken from right < everything remaining in left.
+    if (i > 0 && j < right.count) {
+      ASSERT_LE(cmp.Compare(left.KeyRow(i - 1), left.PayloadRow(i - 1),
+                            right.KeyRow(j), right.PayloadRow(j)),
+                0);
+    }
+    if (j > 0 && i < left.count) {
+      ASSERT_LT(cmp.Compare(right.KeyRow(j - 1), right.PayloadRow(j - 1),
+                            left.KeyRow(i), left.PayloadRow(i)),
+                0);
+    }
+  }
+}
+
+TEST(TupleComparatorTest, StringPrefixTieDoesNotLeakIntoLaterColumns) {
+  // ORDER BY s ASC, i ASC where the 12-byte prefixes of s tie but the full
+  // strings differ: the string must decide, not the int.
+  std::vector<LogicalType> types = {TypeId::kVarchar, TypeId::kInt32};
+  SortSpec spec({SortColumn(0, TypeId::kVarchar), SortColumn(1, TypeId::kInt32)});
+  Table input(types);
+  DataChunk chunk = input.NewChunk();
+  chunk.SetValue(0, 0, Value::Varchar("commonprefix-ZZZ"));
+  chunk.SetValue(1, 0, Value::Int32(1));
+  chunk.SetValue(0, 1, Value::Varchar("commonprefix-AAA"));
+  chunk.SetValue(1, 1, Value::Int32(2));
+  chunk.SetSize(2);
+  input.Append(std::move(chunk));
+
+  Table output = RelationalSort::SortTable(input, spec);
+  EXPECT_EQ(output.chunk(0).GetValue(0, 0),
+            Value::Varchar("commonprefix-AAA"));
+  EXPECT_EQ(output.chunk(0).GetValue(1, 0), Value::Int32(2));
+  EXPECT_EQ(output.chunk(0).GetValue(0, 1),
+            Value::Varchar("commonprefix-ZZZ"));
+}
+
+}  // namespace
+}  // namespace rowsort

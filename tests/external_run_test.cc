@@ -1,0 +1,116 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "engine/external_run.h"
+#include "engine/sort_engine.h"
+
+namespace rowsort {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SortedRun MakeRun(const RowLayout& layout, uint64_t count, uint64_t seed) {
+  Random rng(seed);
+  SortedRun run;
+  run.count = count;
+  run.key_row_width = 16;
+  run.key_rows.resize(count * run.key_row_width);
+  for (auto& b : run.key_rows) b = static_cast<uint8_t>(rng.Next32());
+  run.payload = RowCollection(layout);
+
+  DataChunk chunk;
+  chunk.Initialize(layout.types(), count);
+  for (uint64_t i = 0; i < count; ++i) {
+    chunk.SetValue(0, i, Value::Int32(static_cast<int32_t>(i)));
+    if (i % 7 == 0) {
+      chunk.SetValue(1, i, Value::Null(TypeId::kVarchar));
+    } else if (i % 3 == 0) {
+      chunk.SetValue(1, i,
+                     Value::Varchar("long string payload number " +
+                                    std::to_string(i) + " with extra bytes"));
+    } else {
+      chunk.SetValue(1, i, Value::Varchar("s" + std::to_string(i % 11)));
+    }
+  }
+  chunk.SetSize(count);
+  run.payload.AppendChunk(chunk);
+  return run;
+}
+
+TEST(ExternalRunTest, RoundTripPreservesEverything) {
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 500, 42);
+  std::string path = TempPath("roundtrip.rsrun");
+
+  ASSERT_TRUE(WriteRunToFile(run, layout, path).ok());
+  auto loaded = ReadRunFromFile(layout, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SortedRun& back = loaded.value();
+
+  ASSERT_EQ(back.count, run.count);
+  ASSERT_EQ(back.key_row_width, run.key_row_width);
+  EXPECT_EQ(back.key_rows, run.key_rows);
+  for (uint64_t i = 0; i < run.count; ++i) {
+    EXPECT_EQ(back.payload.GetValue(i, 0), run.payload.GetValue(i, 0)) << i;
+    EXPECT_EQ(back.payload.GetValue(i, 1), run.payload.GetValue(i, 1)) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ExternalRunTest, EmptyRunRoundTrips) {
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run;
+  run.count = 0;
+  run.key_row_width = 16;
+  run.payload = RowCollection(layout);
+  std::string path = TempPath("empty.rsrun");
+  ASSERT_TRUE(WriteRunToFile(run, layout, path).ok());
+  auto loaded = ReadRunFromFile(layout, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().count, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ExternalRunTest, MissingFileReportsIOError) {
+  RowLayout layout({TypeId::kInt32});
+  auto result = ReadRunFromFile(layout, TempPath("does_not_exist.rsrun"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(ExternalRunTest, WrongMagicRejected) {
+  std::string path = TempPath("garbage.rsrun");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[32] = "not a run file at all, sorry!";
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  RowLayout layout({TypeId::kInt32});
+  auto result = ReadRunFromFile(layout, path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ExternalRunTest, LayoutMismatchRejected) {
+  RowLayout wide({TypeId::kInt32, TypeId::kInt64, TypeId::kDouble});
+  RowLayout narrow({TypeId::kInt32});
+  SortedRun run;
+  run.count = 0;
+  run.key_row_width = 8;
+  run.payload = RowCollection(wide);
+  std::string path = TempPath("mismatch.rsrun");
+  ASSERT_TRUE(WriteRunToFile(run, wide, path).ok());
+  auto result = ReadRunFromFile(narrow, path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,190 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Sort-merge join (paper §V-B's motivating operator) against a hash-join
+// oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "engine/merge_join.h"
+
+namespace rowsort {
+namespace {
+
+std::string Fingerprint(const Table& t, uint64_t ci, uint64_t r) {
+  std::string fp;
+  for (uint64_t c = 0; c < t.types().size(); ++c) {
+    fp += t.chunk(ci).GetValue(c, r).ToString();
+    fp += '\x1f';
+  }
+  return fp;
+}
+
+/// Nested-loop oracle join on Value equality (NULLs never match).
+std::map<std::string, int64_t> OracleJoin(
+    const Table& left, const Table& right, const std::vector<JoinKey>& keys) {
+  std::map<std::string, int64_t> rows;
+  for (uint64_t lci = 0; lci < left.ChunkCount(); ++lci) {
+    for (uint64_t lr = 0; lr < left.chunk(lci).size(); ++lr) {
+      for (uint64_t rci = 0; rci < right.ChunkCount(); ++rci) {
+        for (uint64_t rr = 0; rr < right.chunk(rci).size(); ++rr) {
+          bool match = true;
+          for (const auto& key : keys) {
+            Value lv = left.chunk(lci).GetValue(key.left_column, lr);
+            Value rv = right.chunk(rci).GetValue(key.right_column, rr);
+            if (lv.is_null() || rv.is_null() || !(lv == rv)) {
+              match = false;
+              break;
+            }
+          }
+          if (match) {
+            ++rows[Fingerprint(left, lci, lr) + Fingerprint(right, rci, rr)];
+          }
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+void ExpectJoinMatchesOracle(const Table& left, const Table& right,
+                             const std::vector<JoinKey>& keys) {
+  Table joined = SortMergeJoin(left, right, keys);
+  auto oracle = OracleJoin(left, right, keys);
+  uint64_t oracle_count = 0;
+  for (const auto& [fp, count] : oracle) oracle_count += count;
+  ASSERT_EQ(joined.row_count(), oracle_count);
+  for (uint64_t ci = 0; ci < joined.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < joined.chunk(ci).size(); ++r) {
+      --oracle[Fingerprint(joined, ci, r)];
+    }
+  }
+  for (const auto& [fp, count] : oracle) {
+    ASSERT_EQ(count, 0) << "mismatch for " << fp;
+  }
+}
+
+Table MakeSide(uint64_t rows, uint64_t key_range, double null_prob,
+               uint64_t seed, bool with_string) {
+  Random rng(seed);
+  std::vector<LogicalType> types = {TypeId::kInt32, TypeId::kInt64};
+  if (with_string) types.push_back(LogicalType(TypeId::kVarchar));
+  Table table(types);
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      if (rng.Bernoulli(null_prob)) {
+        chunk.SetValue(0, r, Value::Null(TypeId::kInt32));
+      } else {
+        chunk.SetValue(
+            0, r, Value::Int32(static_cast<int32_t>(rng.Uniform(key_range))));
+      }
+      chunk.SetValue(1, r, Value::Int64(static_cast<int64_t>(produced + r) +
+                                        static_cast<int64_t>(seed * 1000000)));
+      if (with_string) {
+        chunk.SetValue(2, r,
+                       Value::Varchar("shared-long-prefix-string-" +
+                                      std::to_string(rng.Uniform(5))));
+      }
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+TEST(MergeJoinTest, SingleIntKey) {
+  Table left = MakeSide(500, 100, 0.0, 1, false);
+  Table right = MakeSide(300, 100, 0.0, 2, false);
+  ExpectJoinMatchesOracle(left, right, {{0, 0}});
+}
+
+TEST(MergeJoinTest, NullKeysNeverMatch) {
+  Table left = MakeSide(300, 50, 0.3, 3, false);
+  Table right = MakeSide(300, 50, 0.3, 4, false);
+  ExpectJoinMatchesOracle(left, right, {{0, 0}});
+}
+
+TEST(MergeJoinTest, DifferentColumnPositions) {
+  // Join left.col0 with right.col1 (types must match: int64 vs int64).
+  Table left = MakeSide(200, 40, 0.1, 5, false);
+  Table right = MakeSide(200, 40, 0.1, 6, false);
+  // left.col1 (int64, unique-ish) joined with right.col1: few matches.
+  ExpectJoinMatchesOracle(left, right, {{1, 1}});
+}
+
+TEST(MergeJoinTest, StringKeyWithPrefixTies) {
+  // Keys share a >12-byte prefix, so the join must resolve ties from full
+  // strings across the two (differently laid out) tables.
+  Table left = MakeSide(400, 10, 0.0, 7, true);
+  Table right = MakeSide(200, 10, 0.0, 8, true);
+  ExpectJoinMatchesOracle(left, right, {{2, 2}});
+}
+
+TEST(MergeJoinTest, MultiKeyJoin) {
+  Table left = MakeSide(400, 8, 0.1, 9, true);
+  Table right = MakeSide(400, 8, 0.1, 10, true);
+  ExpectJoinMatchesOracle(left, right, {{0, 0}, {2, 2}});
+}
+
+TEST(MergeJoinTest, EmptySides) {
+  Table left = MakeSide(0, 10, 0.0, 11, false);
+  Table right = MakeSide(100, 10, 0.0, 12, false);
+  Table joined = SortMergeJoin(left, right, {{0, 0}});
+  EXPECT_EQ(joined.row_count(), 0u);
+  Table joined2 = SortMergeJoin(right, left, {{0, 0}});
+  EXPECT_EQ(joined2.row_count(), 0u);
+}
+
+TEST(MergeJoinTest, DuplicateGroupsCrossProduct) {
+  // 3 left rows and 4 right rows with the same key -> 12 output rows.
+  Table left({TypeId::kInt32});
+  Table right({TypeId::kInt32});
+  {
+    DataChunk chunk = left.NewChunk();
+    for (uint64_t r = 0; r < 3; ++r) chunk.SetValue(0, r, Value::Int32(7));
+    chunk.SetSize(3);
+    left.Append(std::move(chunk));
+  }
+  {
+    DataChunk chunk = right.NewChunk();
+    for (uint64_t r = 0; r < 4; ++r) chunk.SetValue(0, r, Value::Int32(7));
+    chunk.SetSize(4);
+    right.Append(std::move(chunk));
+  }
+  Table joined = SortMergeJoin(left, right, {{0, 0}});
+  EXPECT_EQ(joined.row_count(), 12u);
+}
+
+TEST(MergeJoinTest, OutputSchemaConcatenatesSides) {
+  Table left({TypeId::kInt32, TypeId::kVarchar}, {"l_key", "l_val"});
+  Table right({TypeId::kInt32, TypeId::kDouble}, {"r_key", "r_val"});
+  {
+    DataChunk chunk = left.NewChunk();
+    chunk.SetValue(0, 0, Value::Int32(1));
+    chunk.SetValue(1, 0, Value::Varchar("left"));
+    chunk.SetSize(1);
+    left.Append(std::move(chunk));
+  }
+  {
+    DataChunk chunk = right.NewChunk();
+    chunk.SetValue(0, 0, Value::Int32(1));
+    chunk.SetValue(1, 0, Value::Double(2.5));
+    chunk.SetSize(1);
+    right.Append(std::move(chunk));
+  }
+  Table joined = SortMergeJoin(left, right, {{0, 0}});
+  ASSERT_EQ(joined.row_count(), 1u);
+  ASSERT_EQ(joined.types().size(), 4u);
+  EXPECT_EQ(joined.names()[1], "l_val");
+  EXPECT_EQ(joined.names()[3], "r_val");
+  EXPECT_EQ(joined.chunk(0).GetValue(1, 0), Value::Varchar("left"));
+  EXPECT_EQ(joined.chunk(0).GetValue(3, 0), Value::Double(2.5));
+}
+
+}  // namespace
+}  // namespace rowsort

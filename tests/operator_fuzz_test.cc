@@ -1,0 +1,211 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Randomized oracle tests for the sort-consuming operators: window ranks
+// against a std::stable_sort oracle, merge join against a nested-loop
+// oracle, aggregate against a map oracle — random shapes every seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "engine/aggregate.h"
+#include "engine/merge_join.h"
+#include "engine/window.h"
+
+namespace rowsort {
+namespace {
+
+Table RandomTwoIntTable(uint64_t rows, uint64_t part_range,
+                        uint64_t value_range, double null_prob, Random& rng) {
+  Table table({TypeId::kInt32, TypeId::kInt32, TypeId::kInt64});
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r,
+                     rng.Bernoulli(null_prob)
+                         ? Value::Null(TypeId::kInt32)
+                         : Value::Int32(static_cast<int32_t>(
+                               rng.Uniform(part_range))));
+      chunk.SetValue(1, r,
+                     rng.Bernoulli(null_prob)
+                         ? Value::Null(TypeId::kInt32)
+                         : Value::Int32(static_cast<int32_t>(
+                               rng.Uniform(value_range))));
+      chunk.SetValue(2, r, Value::Int64(static_cast<int64_t>(produced + r)));
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+class OperatorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OperatorFuzzTest, WindowRanksMatchOracle) {
+  Random rng(GetParam() * 101 + 7);
+  uint64_t rows = rng.Uniform(3000);
+  Table input = RandomTwoIntTable(rows, 1 + rng.Uniform(8),
+                                  1 + rng.Uniform(20),
+                                  rng.NextDouble() * 0.3, rng);
+
+  WindowSpec spec;
+  spec.partition_by = {0};
+  spec.order_by = {SortColumn(1, TypeId::kInt32, OrderType::kAscending,
+                              NullOrder::kNullsLast)};
+  Table out = ComputeWindow(input, spec,
+                            {WindowFunction::kRowNumber, WindowFunction::kRank,
+                             WindowFunction::kDenseRank});
+  ASSERT_EQ(out.row_count(), rows);
+
+  // Oracle: group rows by partition string, sort each group's values with
+  // NULLS LAST, compute ranks.
+  struct OracleRow {
+    std::string part;
+    std::string value;  // "" for NULL; sorts via pair(is_null, value)
+    bool value_null;
+    int32_t value_int;
+  };
+  std::map<std::string, std::vector<OracleRow>> groups;
+  for (uint64_t ci = 0; ci < input.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < input.chunk(ci).size(); ++r) {
+      Value p = input.chunk(ci).GetValue(0, r);
+      Value v = input.chunk(ci).GetValue(1, r);
+      OracleRow row;
+      row.part = p.ToString();
+      row.value_null = v.is_null();
+      row.value_int = v.is_null() ? 0 : v.int32_value();
+      groups[row.part].push_back(row);
+    }
+  }
+  // Expected rank sequences per partition.
+  std::map<std::string, std::vector<std::array<int64_t, 3>>> expected;
+  for (auto& [part, rows_in_group] : groups) {
+    std::stable_sort(rows_in_group.begin(), rows_in_group.end(),
+                     [](const OracleRow& a, const OracleRow& b) {
+                       if (a.value_null != b.value_null) return b.value_null;
+                       return a.value_int < b.value_int;
+                     });
+    int64_t rn = 0, rank = 0, dense = 0;
+    bool first = true;
+    OracleRow prev{};
+    for (const auto& row : rows_in_group) {
+      ++rn;
+      bool new_peer = first || row.value_null != prev.value_null ||
+                      (!row.value_null && row.value_int != prev.value_int);
+      if (new_peer) {
+        rank = rn;
+        ++dense;
+      }
+      expected[part].push_back({rn, rank, dense});
+      prev = row;
+      first = false;
+    }
+  }
+
+  // Walk the operator output per partition and compare rank triples.
+  std::map<std::string, uint64_t> cursor;
+  for (uint64_t ci = 0; ci < out.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < out.chunk(ci).size(); ++r) {
+      std::string part = out.chunk(ci).GetValue(0, r).ToString();
+      uint64_t pos = cursor[part]++;
+      ASSERT_LT(pos, expected[part].size()) << "partition " << part;
+      const auto& want = expected[part][pos];
+      ASSERT_EQ(out.chunk(ci).GetValue(3, r).int64_value(), want[0])
+          << "row_number, partition " << part << " pos " << pos;
+      ASSERT_EQ(out.chunk(ci).GetValue(4, r).int64_value(), want[1])
+          << "rank, partition " << part << " pos " << pos;
+      ASSERT_EQ(out.chunk(ci).GetValue(5, r).int64_value(), want[2])
+          << "dense_rank, partition " << part << " pos " << pos;
+    }
+  }
+}
+
+TEST_P(OperatorFuzzTest, MergeJoinMatchesNestedLoop) {
+  Random rng(GetParam() * 211 + 3);
+  Table left = RandomTwoIntTable(rng.Uniform(300), 1 + rng.Uniform(20), 10,
+                                 rng.NextDouble() * 0.3, rng);
+  Table right = RandomTwoIntTable(rng.Uniform(300), 1 + rng.Uniform(20), 10,
+                                  rng.NextDouble() * 0.3, rng);
+  Table joined = SortMergeJoin(left, right, {{0, 0}});
+
+  uint64_t expected = 0;
+  for (uint64_t lci = 0; lci < left.ChunkCount(); ++lci) {
+    for (uint64_t lr = 0; lr < left.chunk(lci).size(); ++lr) {
+      Value lv = left.chunk(lci).GetValue(0, lr);
+      if (lv.is_null()) continue;
+      for (uint64_t rci = 0; rci < right.ChunkCount(); ++rci) {
+        for (uint64_t rr = 0; rr < right.chunk(rci).size(); ++rr) {
+          Value rv = right.chunk(rci).GetValue(0, rr);
+          if (!rv.is_null() && lv == rv) ++expected;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(joined.row_count(), expected);
+}
+
+TEST_P(OperatorFuzzTest, AggregateMatchesMapOracle) {
+  Random rng(GetParam() * 307 + 11);
+  Table input = RandomTwoIntTable(rng.Uniform(4000), 1 + rng.Uniform(50), 100,
+                                  rng.NextDouble() * 0.3, rng);
+  HashAggregate agg({0},
+                    {{AggregateFunction::kCount, 1},
+                     {AggregateFunction::kSum, 1},
+                     {AggregateFunction::kMin, 1},
+                     {AggregateFunction::kMax, 1}},
+                    input.types());
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) agg.Sink(input.chunk(c));
+  Table result = agg.Finalize();
+
+  struct OracleState {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int32_t min = INT32_MAX;
+    int32_t max = INT32_MIN;
+  };
+  std::map<std::string, OracleState> oracle;
+  for (uint64_t ci = 0; ci < input.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < input.chunk(ci).size(); ++r) {
+      auto& state = oracle[input.chunk(ci).GetValue(0, r).ToString()];
+      Value v = input.chunk(ci).GetValue(1, r);
+      if (v.is_null()) continue;
+      ++state.count;
+      state.sum += v.int32_value();
+      state.min = std::min(state.min, v.int32_value());
+      state.max = std::max(state.max, v.int32_value());
+    }
+  }
+  ASSERT_EQ(result.row_count(), oracle.size());
+  for (uint64_t ci = 0; ci < result.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < result.chunk(ci).size(); ++r) {
+      std::string key = result.chunk(ci).GetValue(0, r).ToString();
+      auto it = oracle.find(key);
+      ASSERT_NE(it, oracle.end()) << key;
+      EXPECT_EQ(result.chunk(ci).GetValue(1, r).int64_value(),
+                it->second.count);
+      if (it->second.count == 0) {
+        EXPECT_TRUE(result.chunk(ci).GetValue(2, r).is_null());
+        EXPECT_TRUE(result.chunk(ci).GetValue(3, r).is_null());
+      } else {
+        EXPECT_EQ(result.chunk(ci).GetValue(2, r).int64_value(),
+                  it->second.sum);
+        EXPECT_EQ(result.chunk(ci).GetValue(3, r).int32_value(),
+                  it->second.min);
+        EXPECT_EQ(result.chunk(ci).GetValue(4, r).int32_value(),
+                  it->second.max);
+      }
+      oracle.erase(it);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorFuzzTest,
+                         ::testing::Range<uint64_t>(0, 15),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace rowsort

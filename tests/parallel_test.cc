@@ -1,0 +1,72 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/thread_pool.h"
+
+namespace rowsort {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.RunBatch(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(50, [&counter](uint64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForPassesEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(10, [&counter](uint64_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsNoOp) {
+  ThreadPool pool(2);
+  pool.RunBatch({});
+  pool.ParallelFor(0, [](uint64_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrentlyWhenPossible) {
+  // Not a strict guarantee on a 1-core box, but RunBatch must at least not
+  // deadlock when tasks block on each other's side effects being visible.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(64, [&sum](uint64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 64ull * 63 / 2);
+}
+
+TEST(ThreadPoolTest, ThreadCountReported) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.thread_count(), 5u);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,164 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "perfmodel/branch_sim.h"
+#include "perfmodel/cache_sim.h"
+#include "perfmodel/counters.h"
+#include "workload/microbench.h"
+
+namespace rowsort {
+namespace {
+
+TEST(CacheSimTest, SequentialAccessHitsWithinLines) {
+  CacheSim cache(32 * 1024, 64, 8);
+  std::vector<uint8_t> data(4096);
+  for (uint64_t i = 0; i < data.size(); ++i) {
+    cache.Access(data.data() + i, 1);
+  }
+  // One miss per 64-byte line.
+  EXPECT_EQ(cache.misses(), 4096u / 64);
+  EXPECT_EQ(cache.accesses(), 4096u);
+}
+
+TEST(CacheSimTest, RepeatedAccessToResidentSetAllHits) {
+  CacheSim cache(32 * 1024, 64, 8);
+  std::vector<uint8_t> data(16 * 1024);  // fits in the cache
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t i = 0; i < data.size(); i += 64) {
+      cache.Access(data.data() + i, 1);
+    }
+  }
+  // Misses only on the first pass.
+  EXPECT_EQ(cache.misses(), 16u * 1024 / 64);
+}
+
+TEST(CacheSimTest, WorkingSetLargerThanCacheThrashes) {
+  CacheSim cache(32 * 1024, 64, 8);
+  std::vector<uint8_t> data(1024 * 1024);  // 32x the cache
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t i = 0; i < data.size(); i += 64) {
+      cache.Access(data.data() + i, 1);
+    }
+  }
+  // LRU + sequential sweep of 32x capacity: everything misses.
+  EXPECT_EQ(cache.misses(), cache.accesses());
+}
+
+TEST(CacheSimTest, MultiByteAccessSpanningLinesTouchesBoth) {
+  CacheSim cache;
+  alignas(64) static uint8_t buffer[256];
+  cache.Access(buffer + 60, 8);  // straddles a 64-byte boundary
+  EXPECT_EQ(cache.accesses(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(BranchSimTest, AlwaysTakenIsLearned) {
+  BranchSim sim;
+  for (int i = 0; i < 1000; ++i) sim.Record(1, true);
+  // After warm-up, no mispredictions.
+  EXPECT_LT(sim.mispredictions(), 20u);
+  EXPECT_EQ(sim.branches(), 1000u);
+}
+
+TEST(BranchSimTest, AlternatingPatternIsLearnedViaHistory) {
+  BranchSim sim;
+  for (int i = 0; i < 4000; ++i) sim.Record(1, i % 2 == 0);
+  // gshare history captures strict alternation after warm-up.
+  EXPECT_LT(sim.mispredictions(), 500u);
+}
+
+TEST(BranchSimTest, RandomOutcomesMispredictHalfTheTime) {
+  BranchSim sim;
+  Random rng(4);
+  for (int i = 0; i < 20000; ++i) sim.Record(1, rng.Bernoulli(0.5));
+  double rate = double(sim.mispredictions()) / double(sim.branches());
+  EXPECT_GT(rate, 0.40);
+  EXPECT_LT(rate, 0.60);
+}
+
+MicroColumns Corr05(uint64_t rows, uint64_t cols) {
+  MicroWorkload w;
+  w.num_rows = rows;
+  w.num_key_columns = cols;
+  w.distribution = MicroDistribution::kCorrelated;
+  w.correlation = 0.5;
+  return GenerateMicroColumns(w);
+}
+
+// Qualitative reproduction of the paper's counter findings at a size where
+// the data is far larger than the simulated 32 KiB L1.
+TEST(CounterExperimentsTest, ColumnarIncursFarMoreMissesThanRow) {
+  // Paper: "sorting the row data format incurs an order of magnitude fewer
+  // cache misses than sorting columnar format data" (§IV-B, Tables II/III).
+  auto columns = Corr05(1 << 15, 4);
+  PerfCounters columnar = CountColumnarTupleAtATime(columns);
+  PerfCounters row = CountRowTupleAtATime(columns);
+  EXPECT_GT(columnar.cache_misses, 4 * row.cache_misses);
+}
+
+TEST(CounterExperimentsTest, SubsortHasFewerBranchMissesThanTuple) {
+  // Paper Table II: subsort's branch-free single-column comparator
+  // mispredicts less than the tuple-at-a-time comparator.
+  auto columns = Corr05(1 << 14, 4);
+  PerfCounters tuple = CountColumnarTupleAtATime(columns);
+  PerfCounters subsort = CountColumnarSubsort(columns);
+  EXPECT_LT(subsort.branch_misses, tuple.branch_misses);
+}
+
+TEST(CounterExperimentsTest, RowSubsortFewerBranchMissesMoreMisses) {
+  // Paper Table III: on rows, subsort has fewer branch mispredictions but
+  // slightly more cache misses (tie re-scans) than tuple-at-a-time.
+  auto columns = Corr05(1 << 14, 4);
+  PerfCounters tuple = CountRowTupleAtATime(columns);
+  PerfCounters subsort = CountRowSubsort(columns);
+  EXPECT_LT(subsort.branch_misses, tuple.branch_misses);
+  EXPECT_GT(subsort.cache_misses, tuple.cache_misses / 2);
+}
+
+TEST(CounterExperimentsTest, RadixFewerBranchMissesThanComparisonSort) {
+  // Paper Fig. 10: "Radix sort performs better than pdqsort when it comes to
+  // branch mispredictions: It is a mostly branchless algorithm."
+  auto columns = Corr05(1 << 14, 4);
+  PerfCounters comparison = CountNormalizedComparisonSort(columns);
+  PerfCounters radix = CountNormalizedRadixSort(columns);
+  EXPECT_LT(radix.branch_misses, comparison.branch_misses / 4);
+}
+
+TEST(CounterExperimentsTest, RadixWorseCachePerformance) {
+  // Paper Fig. 10: "As expected, radix sort has a worse cache performance
+  // than pdqsort."
+  auto columns = Corr05(1 << 15, 4);
+  PerfCounters comparison = CountNormalizedComparisonSort(columns);
+  PerfCounters radix = CountNormalizedRadixSort(columns);
+  EXPECT_GT(radix.cache_misses, comparison.cache_misses);
+}
+
+TEST(CounterExperimentsTest, RandomDistributionTupleAndSubsortSimilar) {
+  // Paper Table II discussion: with (virtually) no duplicates both columnar
+  // approaches "operate almost exactly the same".
+  MicroWorkload w;
+  w.num_rows = 1 << 14;
+  w.num_key_columns = 4;
+  w.distribution = MicroDistribution::kRandom;
+  auto columns = GenerateMicroColumns(w);
+  PerfCounters tuple = CountColumnarTupleAtATime(columns);
+  PerfCounters subsort = CountColumnarSubsort(columns);
+  double miss_ratio =
+      double(std::max(tuple.cache_misses, subsort.cache_misses)) /
+      double(std::max<uint64_t>(
+          std::min(tuple.cache_misses, subsort.cache_misses), 1));
+  EXPECT_LT(miss_ratio, 1.5);
+}
+
+TEST(CounterExperimentsTest, CountersScaleWithInput) {
+  auto small = Corr05(1 << 10, 2);
+  auto large = Corr05(1 << 14, 2);
+  PerfCounters cs = CountRowTupleAtATime(small);
+  PerfCounters cl = CountRowTupleAtATime(large);
+  EXPECT_GT(cl.branches, cs.branches);
+  EXPECT_GT(cl.cache_accesses, cs.cache_accesses);
+}
+
+}  // namespace
+}  // namespace rowsort

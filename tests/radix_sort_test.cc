@@ -1,0 +1,239 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sortalgo/radix_sort.h"
+#include "sortalgo/row_ops.h"
+
+namespace rowsort {
+namespace {
+
+struct RadixCase {
+  uint64_t count;
+  uint64_t row_width;
+  uint64_t key_width;
+  uint64_t key_offset;
+  uint64_t value_range;  // bytes drawn from [0, value_range)
+};
+
+std::vector<uint8_t> MakeRows(const RadixCase& c, uint64_t seed) {
+  Random rng(seed);
+  std::vector<uint8_t> rows(c.count * c.row_width);
+  for (auto& b : rows) b = static_cast<uint8_t>(rng.Uniform(c.value_range));
+  return rows;
+}
+
+// Oracle: stable sort of row strings by the key byte range.
+std::vector<std::string> OracleSort(const std::vector<uint8_t>& rows,
+                                    const RadixCase& c) {
+  std::vector<std::string> copy(c.count);
+  for (uint64_t i = 0; i < c.count; ++i) {
+    copy[i].assign(
+        reinterpret_cast<const char*>(rows.data() + i * c.row_width),
+        c.row_width);
+  }
+  std::stable_sort(copy.begin(), copy.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return std::memcmp(a.data() + c.key_offset,
+                                        b.data() + c.key_offset,
+                                        c.key_width) < 0;
+                   });
+  return copy;
+}
+
+void ExpectKeysMatch(const std::vector<uint8_t>& rows,
+                     const std::vector<std::string>& oracle,
+                     const RadixCase& c) {
+  for (uint64_t i = 0; i < c.count; ++i) {
+    ASSERT_EQ(std::memcmp(rows.data() + i * c.row_width + c.key_offset,
+                          oracle[i].data() + c.key_offset, c.key_width),
+              0)
+        << "row " << i;
+  }
+}
+
+void ExpectMultisetPreserved(const std::vector<uint8_t>& rows,
+                             const std::vector<std::string>& oracle,
+                             const RadixCase& c) {
+  std::vector<std::string> got(c.count);
+  for (uint64_t i = 0; i < c.count; ++i) {
+    got[i].assign(
+        reinterpret_cast<const char*>(rows.data() + i * c.row_width),
+        c.row_width);
+  }
+  auto sorted_got = got;
+  auto sorted_oracle = oracle;
+  std::sort(sorted_got.begin(), sorted_got.end());
+  std::sort(sorted_oracle.begin(), sorted_oracle.end());
+  EXPECT_EQ(sorted_got, sorted_oracle);
+}
+
+class RadixSortTest : public ::testing::TestWithParam<RadixCase> {};
+
+TEST_P(RadixSortTest, LsdMatchesOracle) {
+  const RadixCase& c = GetParam();
+  auto rows = MakeRows(c, 101);
+  auto oracle = OracleSort(rows, c);
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortConfig config{c.row_width, c.key_offset, c.key_width};
+  RadixSortLsd(rows.data(), aux.data(), c.count, config);
+  ExpectKeysMatch(rows, oracle, c);
+  ExpectMultisetPreserved(rows, oracle, c);
+}
+
+TEST_P(RadixSortTest, MsdMatchesOracle) {
+  const RadixCase& c = GetParam();
+  auto rows = MakeRows(c, 102);
+  auto oracle = OracleSort(rows, c);
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortConfig config{c.row_width, c.key_offset, c.key_width};
+  RadixSortMsd(rows.data(), aux.data(), c.count, config);
+  ExpectKeysMatch(rows, oracle, c);
+  ExpectMultisetPreserved(rows, oracle, c);
+}
+
+TEST_P(RadixSortTest, MsdWithPdqMatchesOracle) {
+  const RadixCase& c = GetParam();
+  auto rows = MakeRows(c, 103);
+  auto oracle = OracleSort(rows, c);
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortConfig config{c.row_width, c.key_offset, c.key_width};
+  RadixSortMsdWithPdq(rows.data(), aux.data(), c.count, config);
+  ExpectKeysMatch(rows, oracle, c);
+  ExpectMultisetPreserved(rows, oracle, c);
+}
+
+TEST_P(RadixSortTest, DispatchMatchesOracle) {
+  const RadixCase& c = GetParam();
+  auto rows = MakeRows(c, 104);
+  auto oracle = OracleSort(rows, c);
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortConfig config{c.row_width, c.key_offset, c.key_width};
+  RadixSort(rows.data(), aux.data(), c.count, config);
+  ExpectKeysMatch(rows, oracle, c);
+  ExpectMultisetPreserved(rows, oracle, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RadixSortTest,
+    ::testing::Values(
+        RadixCase{0, 8, 4, 0, 256},        // empty
+        RadixCase{1, 8, 4, 0, 256},        // single row
+        RadixCase{2, 8, 4, 0, 256},        // pair
+        RadixCase{1000, 8, 4, 0, 256},     // short key -> LSD territory
+        RadixCase{1000, 8, 4, 0, 2},       // heavy duplicates
+        RadixCase{1000, 16, 8, 0, 256},    // 8-byte key
+        RadixCase{1000, 16, 8, 0, 1},      // all equal (skip optimization)
+        RadixCase{5000, 24, 12, 8, 16},    // key at offset, few uniques
+        RadixCase{30000, 32, 20, 0, 256},  // long key -> MSD
+        RadixCase{30000, 32, 20, 0, 3},    // long key, many ties
+        RadixCase{64, 40, 24, 8, 256},     // below insertion threshold sizes
+        RadixCase{100000, 16, 4, 4, 256}), // large single-digit-ish
+    [](const ::testing::TestParamInfo<RadixCase>& info) {
+      const auto& c = info.param;
+      return "n" + std::to_string(c.count) + "_rw" +
+             std::to_string(c.row_width) + "_kw" +
+             std::to_string(c.key_width) + "_ko" +
+             std::to_string(c.key_offset) + "_vr" +
+             std::to_string(c.value_range);
+    });
+
+TEST(RadixSortStatsTest, LsdSkipsConstantBytePasses) {
+  // Key bytes 0..1 constant, bytes 2..3 varying: exactly 2 passes must be
+  // skipped by the one-bucket optimization (paper §VI-B).
+  const uint64_t n = 4096, width = 8, key_width = 4;
+  Random rng(7);
+  std::vector<uint8_t> rows(n * width, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    rows[i * width + 2] = static_cast<uint8_t>(rng.Next32());
+    rows[i * width + 3] = static_cast<uint8_t>(rng.Next32());
+  }
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortStats stats;
+  RadixSortConfig config{width, 0, key_width};
+  RadixSortLsd(rows.data(), aux.data(), n, config, &stats);
+  EXPECT_EQ(stats.skipped_passes, 2u);
+  EXPECT_EQ(stats.passes, 2u);
+  EXPECT_TRUE(RowsAreSorted(rows.data(), n, width, 0, key_width));
+}
+
+TEST(RadixSortStatsTest, MsdDescendsWithoutCopyOnSharedPrefix) {
+  // All keys share the first 3 bytes: MSD must skip 3 digits without moving
+  // any rows, then bucket on the 4th.
+  const uint64_t n = 4096, width = 8, key_width = 4;
+  Random rng(8);
+  std::vector<uint8_t> rows(n * width);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t* row = rows.data() + i * width;
+    row[0] = 0xAB;
+    row[1] = 0xCD;
+    row[2] = 0xEF;
+    row[3] = static_cast<uint8_t>(rng.Next32());
+  }
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortStats stats;
+  RadixSortConfig config{width, 0, key_width};
+  RadixSortMsd(rows.data(), aux.data(), n, config, &stats);
+  EXPECT_EQ(stats.skipped_passes, 3u);
+  EXPECT_TRUE(RowsAreSorted(rows.data(), n, width, 0, key_width));
+}
+
+TEST(RadixSortStatsTest, MsdUsesInsertionSortForSmallBuckets) {
+  const uint64_t n = 10000, width = 8, key_width = 8;
+  Random rng(9);
+  std::vector<uint8_t> rows(n * width);
+  for (auto& b : rows) b = static_cast<uint8_t>(rng.Next32());
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortStats stats;
+  RadixSortConfig config{width, 0, key_width};
+  RadixSortMsd(rows.data(), aux.data(), n, config, &stats);
+  // With 256 buckets over 10k rows, buckets average ~39 rows; recursion one
+  // level deeper yields tiny buckets finished by insertion sort.
+  EXPECT_GT(stats.insertion_sorts, 0u);
+  EXPECT_TRUE(RowsAreSorted(rows.data(), n, width, 0, key_width));
+}
+
+TEST(RadixSortEdgeTest, KeyWidthZeroIsNoOp) {
+  std::vector<uint8_t> rows = {3, 0, 0, 0, 1, 0, 0, 0};
+  auto copy = rows;
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortConfig config{4, 0, 0};
+  RadixSort(rows.data(), aux.data(), 2, config);
+  EXPECT_EQ(rows, copy);  // nothing to sort by
+}
+
+TEST(RadixSortEdgeTest, LsdIsStable) {
+  // Two-byte keys with one varying byte: rows with equal keys must keep
+  // their original relative order (LSD counting sort is stable).
+  const uint64_t n = 1000, width = 8;
+  Random rng(10);
+  std::vector<uint8_t> rows(n * width, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t* row = rows.data() + i * width;
+    row[0] = static_cast<uint8_t>(rng.Uniform(4));  // key
+    // Sequence number in the payload bytes.
+    std::memcpy(row + 4, &i, 4);
+  }
+  std::vector<uint8_t> aux(rows.size());
+  RadixSortConfig config{width, 0, 1};
+  RadixSortLsd(rows.data(), aux.data(), n, config);
+  uint32_t last_seq[4] = {0, 0, 0, 0};
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint8_t* row = rows.data() + i * width;
+    uint8_t key = row[0];
+    uint32_t seq;
+    std::memcpy(&seq, row + 4, 4);
+    if (i > 0 && rows[(i - 1) * width] == key) {
+      ASSERT_GT(seq, last_seq[key]) << "stability violated";
+    }
+    last_seq[key] = seq;
+  }
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,212 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "row/row_collection.h"
+#include "row/row_layout.h"
+
+namespace rowsort {
+namespace {
+
+TEST(RowLayoutTest, OffsetsAndWidth) {
+  RowLayout layout({TypeId::kInt32, TypeId::kInt64, TypeId::kInt16});
+  // 1 validity byte for 3 columns, then 4 + 8 + 2 bytes of data = 15, padded
+  // to a multiple of 8 -> 16.
+  EXPECT_EQ(layout.ValidityBytes(), 1u);
+  EXPECT_EQ(layout.ColumnOffset(0), 1u);
+  EXPECT_EQ(layout.ColumnOffset(1), 5u);
+  EXPECT_EQ(layout.ColumnOffset(2), 13u);
+  EXPECT_EQ(layout.row_width(), 16u);
+  EXPECT_FALSE(layout.HasVariableSize());
+}
+
+TEST(RowLayoutTest, EightByteAlignment) {
+  // Paper §VII: row formats use 8-byte alignment.
+  RowLayout one_byte({TypeId::kInt8});
+  EXPECT_EQ(one_byte.row_width() % 8, 0u);
+  RowLayout many({TypeId::kInt8, TypeId::kVarchar, TypeId::kInt32});
+  EXPECT_EQ(many.row_width() % 8, 0u);
+}
+
+TEST(RowLayoutTest, NineColumnsNeedTwoValidityBytes) {
+  std::vector<LogicalType> types(9, LogicalType(TypeId::kInt32));
+  RowLayout layout(types);
+  EXPECT_EQ(layout.ValidityBytes(), 2u);
+}
+
+TEST(RowLayoutTest, ValidityBitAccess) {
+  uint8_t row[2] = {0xFF, 0xFF};
+  RowLayout::SetValid(row, 3, false);
+  EXPECT_FALSE(RowLayout::IsValid(row, 3));
+  EXPECT_TRUE(RowLayout::IsValid(row, 2));
+  RowLayout::SetValid(row, 3, true);
+  EXPECT_TRUE(RowLayout::IsValid(row, 3));
+  RowLayout::SetValid(row, 9, false);
+  EXPECT_FALSE(RowLayout::IsValid(row, 9));
+}
+
+TEST(RowCollectionTest, ScatterGatherRoundTripFixed) {
+  RowLayout layout({TypeId::kInt32, TypeId::kDouble});
+  RowCollection rows(layout);
+
+  DataChunk chunk;
+  chunk.Initialize(layout.types());
+  for (uint64_t i = 0; i < 100; ++i) {
+    chunk.SetValue(0, i, Value::Int32(static_cast<int32_t>(i) - 50));
+    chunk.SetValue(1, i, Value::Double(i * 1.5));
+  }
+  chunk.SetSize(100);
+  rows.AppendChunk(chunk);
+  EXPECT_EQ(rows.row_count(), 100u);
+
+  DataChunk out;
+  out.Initialize(layout.types());
+  rows.GatherChunk(0, 100, &out);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out.GetValue(0, i), Value::Int32(static_cast<int32_t>(i) - 50));
+    EXPECT_EQ(out.GetValue(1, i), Value::Double(i * 1.5));
+  }
+}
+
+TEST(RowCollectionTest, RoundTripNulls) {
+  RowLayout layout({TypeId::kInt32});
+  RowCollection rows(layout);
+
+  DataChunk chunk;
+  chunk.Initialize(layout.types());
+  for (uint64_t i = 0; i < 10; ++i) {
+    chunk.SetValue(0, i,
+                   i % 3 == 0 ? Value::Null(TypeId::kInt32)
+                              : Value::Int32(static_cast<int32_t>(i)));
+  }
+  chunk.SetSize(10);
+  rows.AppendChunk(chunk);
+
+  DataChunk out;
+  out.Initialize(layout.types());
+  rows.GatherChunk(0, 10, &out);
+  for (uint64_t i = 0; i < 10; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(out.GetValue(0, i).is_null()) << i;
+    } else {
+      EXPECT_EQ(out.GetValue(0, i), Value::Int32(static_cast<int32_t>(i)));
+    }
+  }
+}
+
+TEST(RowCollectionTest, RoundTripStringsOwnedByCollection) {
+  RowLayout layout({TypeId::kVarchar});
+  RowCollection rows(layout);
+  {
+    // The source chunk dies before we gather: the collection must have
+    // copied string payloads into its own heap.
+    DataChunk chunk;
+    chunk.Initialize(layout.types());
+    chunk.SetValue(0, 0, Value::Varchar("short"));
+    chunk.SetValue(0, 1,
+                   Value::Varchar("a long string that lives in the heap"));
+    chunk.SetValue(0, 2, Value::Null(TypeId::kVarchar));
+    chunk.SetSize(3);
+    rows.AppendChunk(chunk);
+  }
+  DataChunk out;
+  out.Initialize(layout.types());
+  rows.GatherChunk(0, 3, &out);
+  EXPECT_EQ(out.GetValue(0, 0), Value::Varchar("short"));
+  EXPECT_EQ(out.GetValue(0, 1),
+            Value::Varchar("a long string that lives in the heap"));
+  EXPECT_TRUE(out.GetValue(0, 2).is_null());
+}
+
+TEST(RowCollectionTest, GatherByIndicesReorders) {
+  RowLayout layout({TypeId::kInt32});
+  RowCollection rows(layout);
+  DataChunk chunk;
+  chunk.Initialize(layout.types());
+  for (uint64_t i = 0; i < 5; ++i) {
+    chunk.SetValue(0, i, Value::Int32(static_cast<int32_t>(i * 10)));
+  }
+  chunk.SetSize(5);
+  rows.AppendChunk(chunk);
+
+  uint64_t indices[] = {4, 2, 0};
+  DataChunk out;
+  out.Initialize(layout.types());
+  rows.GatherRows(indices, 3, &out);
+  EXPECT_EQ(out.GetValue(0, 0), Value::Int32(40));
+  EXPECT_EQ(out.GetValue(0, 1), Value::Int32(20));
+  EXPECT_EQ(out.GetValue(0, 2), Value::Int32(0));
+}
+
+TEST(RowCollectionTest, MultipleChunksAccumulate) {
+  RowLayout layout({TypeId::kInt64});
+  RowCollection rows(layout);
+  for (int c = 0; c < 5; ++c) {
+    DataChunk chunk;
+    chunk.Initialize(layout.types());
+    for (uint64_t i = 0; i < kVectorSize; ++i) {
+      chunk.SetValue(0, i, Value::Int64(c * 10000 + static_cast<int64_t>(i)));
+    }
+    chunk.SetSize(kVectorSize);
+    rows.AppendChunk(chunk);
+  }
+  EXPECT_EQ(rows.row_count(), 5 * kVectorSize);
+  EXPECT_EQ(rows.GetValue(3 * kVectorSize + 7, 0), Value::Int64(30007));
+}
+
+TEST(RowCollectionTest, AppendRowSelectsSingleRows) {
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  RowCollection rows(layout);
+  DataChunk chunk;
+  chunk.Initialize(layout.types());
+  chunk.SetValue(0, 0, Value::Int32(10));
+  chunk.SetValue(1, 0, Value::Varchar("skipped row zero"));
+  chunk.SetValue(0, 1, Value::Null(TypeId::kInt32));
+  chunk.SetValue(1, 1, Value::Varchar("a long string that is not inlined"));
+  chunk.SetValue(0, 2, Value::Int32(30));
+  chunk.SetValue(1, 2, Value::Varchar("short"));
+  chunk.SetSize(3);
+
+  // Append only rows 2 and 1 (in that order), as a selective operator would.
+  EXPECT_EQ(rows.AppendRow(chunk, 2), 0u);
+  EXPECT_EQ(rows.AppendRow(chunk, 1), 1u);
+  EXPECT_EQ(rows.row_count(), 2u);
+  EXPECT_EQ(rows.GetValue(0, 0), Value::Int32(30));
+  EXPECT_EQ(rows.GetValue(0, 1), Value::Varchar("short"));
+  EXPECT_TRUE(rows.GetValue(1, 0).is_null());
+  EXPECT_EQ(rows.GetValue(1, 1),
+            Value::Varchar("a long string that is not inlined"));
+}
+
+TEST(RowCollectionTest, AppendRowOwnsStringPayload) {
+  RowLayout layout({TypeId::kVarchar});
+  RowCollection rows(layout);
+  {
+    DataChunk chunk;
+    chunk.Initialize(layout.types());
+    chunk.SetValue(0, 0, Value::Varchar("heap payload must be copied here"));
+    chunk.SetSize(1);
+    rows.AppendRow(chunk, 0);
+    // chunk (and its heap) dies here.
+  }
+  EXPECT_EQ(rows.GetValue(0, 0),
+            Value::Varchar("heap payload must be copied here"));
+}
+
+TEST(RowCollectionTest, GetValueMatchesAppended) {
+  RowLayout layout({TypeId::kFloat, TypeId::kVarchar, TypeId::kInt16});
+  RowCollection rows(layout);
+  DataChunk chunk;
+  chunk.Initialize(layout.types());
+  chunk.SetValue(0, 0, Value::Float(2.5f));
+  chunk.SetValue(1, 0, Value::Varchar("abc"));
+  chunk.SetValue(2, 0, Value::Int16(-3));
+  chunk.SetSize(1);
+  rows.AppendChunk(chunk);
+  EXPECT_EQ(rows.GetValue(0, 0), Value::Float(2.5f));
+  EXPECT_EQ(rows.GetValue(0, 1), Value::Varchar("abc"));
+  EXPECT_EQ(rows.GetValue(0, 2), Value::Int16(-3));
+}
+
+}  // namespace
+}  // namespace rowsort

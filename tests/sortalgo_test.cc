@@ -1,0 +1,299 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Oracle tests: every from-scratch sorting algorithm must agree with
+// std::sort / std::stable_sort on a matrix of adversarial distributions
+// (the patterns pdqsort explicitly defends against).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sortalgo/heap_sort.h"
+#include "sortalgo/insertion_sort.h"
+#include "sortalgo/intro_sort.h"
+#include "sortalgo/merge_sort.h"
+#include "sortalgo/pdq_sort.h"
+#include "sortalgo/row_sort.h"
+
+namespace rowsort {
+namespace {
+
+enum class Pattern {
+  kRandom,
+  kSorted,
+  kReverse,
+  kAllEqual,
+  kFewUniques,
+  kSawtooth,
+  kOrganPipe,
+  kNearlySorted,
+  kRandomWithRuns,
+};
+
+const char* PatternName(Pattern p) {
+  switch (p) {
+    case Pattern::kRandom: return "Random";
+    case Pattern::kSorted: return "Sorted";
+    case Pattern::kReverse: return "Reverse";
+    case Pattern::kAllEqual: return "AllEqual";
+    case Pattern::kFewUniques: return "FewUniques";
+    case Pattern::kSawtooth: return "Sawtooth";
+    case Pattern::kOrganPipe: return "OrganPipe";
+    case Pattern::kNearlySorted: return "NearlySorted";
+    case Pattern::kRandomWithRuns: return "RandomWithRuns";
+  }
+  return "?";
+}
+
+std::vector<uint32_t> Generate(Pattern pattern, uint64_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<uint32_t> data(n);
+  switch (pattern) {
+    case Pattern::kRandom:
+      for (auto& v : data) v = rng.Next32();
+      break;
+    case Pattern::kSorted:
+      for (uint64_t i = 0; i < n; ++i) data[i] = static_cast<uint32_t>(i);
+      break;
+    case Pattern::kReverse:
+      for (uint64_t i = 0; i < n; ++i) data[i] = static_cast<uint32_t>(n - i);
+      break;
+    case Pattern::kAllEqual:
+      for (auto& v : data) v = 42;
+      break;
+    case Pattern::kFewUniques:
+      for (auto& v : data) v = static_cast<uint32_t>(rng.Uniform(4));
+      break;
+    case Pattern::kSawtooth:
+      for (uint64_t i = 0; i < n; ++i) data[i] = static_cast<uint32_t>(i % 16);
+      break;
+    case Pattern::kOrganPipe:
+      for (uint64_t i = 0; i < n; ++i) {
+        data[i] = static_cast<uint32_t>(i < n / 2 ? i : n - i);
+      }
+      break;
+    case Pattern::kNearlySorted:
+      for (uint64_t i = 0; i < n; ++i) data[i] = static_cast<uint32_t>(i);
+      if (n > 0) {
+        for (uint64_t s = 0; s < n / 20 + 1; ++s) {
+          uint64_t a = rng.Uniform(n), b = rng.Uniform(n);
+          std::swap(data[a], data[b]);
+        }
+      }
+      break;
+    case Pattern::kRandomWithRuns:
+      for (uint64_t i = 0; i < n; ++i) {
+        data[i] = (i / 64) % 2 == 0 ? static_cast<uint32_t>(i) : rng.Next32();
+      }
+      break;
+  }
+  return data;
+}
+
+struct SortCase {
+  Pattern pattern;
+  uint64_t size;
+};
+
+class SortAlgoTest : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(SortAlgoTest, IntroSortMatchesOracle) {
+  auto data = Generate(GetParam().pattern, GetParam().size, 17);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  IntroSort(data.begin(), data.end());
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(SortAlgoTest, HeapSortMatchesOracle) {
+  auto data = Generate(GetParam().pattern, GetParam().size, 18);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  HeapSort(data.begin(), data.end(),
+           [](uint32_t a, uint32_t b) { return a < b; });
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(SortAlgoTest, PdqSortMatchesOracle) {
+  auto data = Generate(GetParam().pattern, GetParam().size, 19);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  PdqSort(data.begin(), data.end());
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(SortAlgoTest, PdqSortBranchlessMatchesOracle) {
+  auto data = Generate(GetParam().pattern, GetParam().size, 20);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  PdqSortBranchless(data.begin(), data.end(),
+                    [](uint32_t a, uint32_t b) { return a < b; });
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(SortAlgoTest, StableMergeSortMatchesOracle) {
+  auto data = Generate(GetParam().pattern, GetParam().size, 21);
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end());
+  StableMergeSort(data.begin(), data.end());
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(SortAlgoTest, DescendingComparatorWorks) {
+  auto data = Generate(GetParam().pattern, GetParam().size, 22);
+  auto expected = data;
+  auto desc = [](uint32_t a, uint32_t b) { return a > b; };
+  std::sort(expected.begin(), expected.end(), desc);
+  PdqSortBranchless(data.begin(), data.end(), desc);
+  EXPECT_EQ(data, expected);
+}
+
+std::vector<SortCase> AllCases() {
+  std::vector<SortCase> cases;
+  for (Pattern p :
+       {Pattern::kRandom, Pattern::kSorted, Pattern::kReverse,
+        Pattern::kAllEqual, Pattern::kFewUniques, Pattern::kSawtooth,
+        Pattern::kOrganPipe, Pattern::kNearlySorted,
+        Pattern::kRandomWithRuns}) {
+    for (uint64_t n : {0ull, 1ull, 2ull, 23ull, 24ull, 25ull, 127ull, 128ull,
+                       1000ull, 65536ull}) {
+      cases.push_back({p, n});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, SortAlgoTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<SortCase>& info) {
+      return std::string(PatternName(info.param.pattern)) + "_" +
+             std::to_string(info.param.size);
+    });
+
+TEST(SortAlgoStabilityTest, MergeSortIsStable) {
+  // Sort (key, sequence) pairs by key only; sequence must stay ordered
+  // within equal keys.
+  struct Item {
+    uint32_t key;
+    uint32_t seq;
+  };
+  Random rng(33);
+  std::vector<Item> data(10000);
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    data[i] = {static_cast<uint32_t>(rng.Uniform(50)), i};
+  }
+  StableMergeSort(data.begin(), data.end(),
+                  [](const Item& a, const Item& b) { return a.key < b.key; });
+  for (size_t i = 1; i < data.size(); ++i) {
+    ASSERT_LE(data[i - 1].key, data[i].key);
+    if (data[i - 1].key == data[i].key) {
+      ASSERT_LT(data[i - 1].seq, data[i].seq) << "stability violated at " << i;
+    }
+  }
+}
+
+TEST(SortAlgoStabilityTest, InsertionSortIsStable) {
+  struct Item {
+    uint32_t key;
+    uint32_t seq;
+  };
+  Random rng(34);
+  std::vector<Item> data(500);
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    data[i] = {static_cast<uint32_t>(rng.Uniform(10)), i};
+  }
+  InsertionSort(data.begin(), data.end(),
+                [](const Item& a, const Item& b) { return a.key < b.key; });
+  for (size_t i = 1; i < data.size(); ++i) {
+    ASSERT_LE(data[i - 1].key, data[i].key);
+    if (data[i - 1].key == data[i].key) {
+      ASSERT_LT(data[i - 1].seq, data[i].seq);
+    }
+  }
+}
+
+TEST(SortAlgoTest64Bit, PdqSortSortsUint64) {
+  Random rng(55);
+  std::vector<uint64_t> data(100000);
+  for (auto& v : data) v = rng.Next64();
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  PdqSortBranchless(data.begin(), data.end(),
+                    [](uint64_t a, uint64_t b) { return a < b; });
+  EXPECT_EQ(data, expected);
+}
+
+// --- PdqSortRows: fixed-width binary rows, dynamic memcmp comparator ---
+
+class RowSortTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RowSortTest, SortsRowsByKeyPrefix) {
+  const uint64_t row_width = GetParam();
+  const uint64_t key_width = std::min<uint64_t>(row_width, 12);
+  const uint64_t n = 20000;
+  Random rng(77);
+  std::vector<uint8_t> rows(n * row_width);
+  for (auto& b : rows) b = static_cast<uint8_t>(rng.Uniform(8));
+
+  // Oracle: sort copies of the rows as strings.
+  std::vector<std::string> oracle(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    oracle[i].assign(reinterpret_cast<char*>(rows.data() + i * row_width),
+                     row_width);
+  }
+  std::sort(oracle.begin(), oracle.end(),
+            [&](const std::string& a, const std::string& b) {
+              return std::memcmp(a.data(), b.data(), key_width) < 0;
+            });
+
+  PdqSortRows(rows.data(), n, row_width, 0, key_width);
+
+  // Keys must match the oracle's key sequence exactly.
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(std::memcmp(rows.data() + i * row_width, oracle[i].data(),
+                          key_width),
+              0)
+        << "row " << i << " width " << row_width;
+  }
+  // And the full multiset of rows must be preserved.
+  std::vector<std::string> sorted_rows(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    sorted_rows[i].assign(
+        reinterpret_cast<char*>(rows.data() + i * row_width), row_width);
+  }
+  std::sort(sorted_rows.begin(), sorted_rows.end());
+  std::vector<std::string> oracle_sorted = oracle;
+  std::sort(oracle_sorted.begin(), oracle_sorted.end());
+  EXPECT_EQ(sorted_rows, oracle_sorted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RowSortTest,
+                         ::testing::Values(8, 16, 24, 32, 40, 64, 128,
+                                           144,  // indirect fallback
+                                           272), // > kMaxFixedRowWidth
+                         ::testing::PrintToStringParamName());
+
+TEST(RowOpsTest, RowSwapExchangesWideRows) {
+  std::vector<uint8_t> a(300, 0xAA), b(300, 0xBB);
+  RowSwap(a.data(), b.data(), 300);
+  EXPECT_EQ(a[0], 0xBB);
+  EXPECT_EQ(a[299], 0xBB);
+  EXPECT_EQ(b[0], 0xAA);
+  EXPECT_EQ(b[299], 0xAA);
+}
+
+TEST(RowOpsTest, RowInsertionSortSortsByOffsetRange) {
+  // Rows: [2B ignored][2B key]; sort by the key bytes only.
+  const uint64_t n = 100, width = 4;
+  Random rng(3);
+  std::vector<uint8_t> rows(n * width);
+  for (auto& byte : rows) byte = static_cast<uint8_t>(rng.Next32());
+  RowInsertionSort(rows.data(), n, width, 2, 2);
+  EXPECT_TRUE(RowsAreSorted(rows.data(), n, width, 2, 2));
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,116 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Concurrency stress: many threads, tiny runs, spilling, strings — the
+// combinations most likely to expose races or lifetime bugs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/random.h"
+#include "engine/sort_engine.h"
+#include "workload/tables.h"
+#include "workload/tpcds.h"
+
+namespace rowsort {
+namespace {
+
+bool KeyColumnSorted(const Table& t, uint64_t col) {
+  Value prev;
+  bool have_prev = false;
+  for (uint64_t ci = 0; ci < t.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < t.chunk(ci).size(); ++r) {
+      Value cur = t.chunk(ci).GetValue(col, r);
+      if (have_prev && !prev.is_null() && !cur.is_null() &&
+          prev.Compare(cur) > 0) {
+        return false;
+      }
+      // NULLS LAST: once NULL appears, everything after must be NULL.
+      if (have_prev && prev.is_null() && !cur.is_null()) return false;
+      prev = std::move(cur);
+      have_prev = true;
+    }
+  }
+  return true;
+}
+
+TEST(StressTest, EightThreadsTinyRunsStrings) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 2;  // 50k customers
+  Table input = MakeCustomer(scale);
+  SortSpec spec({SortColumn(4, TypeId::kVarchar, OrderType::kAscending,
+                            NullOrder::kNullsLast),
+                 SortColumn(1, TypeId::kInt32, OrderType::kAscending,
+                            NullOrder::kNullsLast)});
+  SortEngineConfig config;
+  config.threads = 8;
+  config.run_size_rows = kVectorSize;  // one run per chunk
+  SortMetrics metrics;
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  EXPECT_EQ(output.row_count(), input.row_count());
+  EXPECT_GT(metrics.runs_generated, 10u);
+  EXPECT_TRUE(KeyColumnSorted(output, 4));
+}
+
+TEST(StressTest, ParallelSinkWithSpilling) {
+  std::string dir = ::testing::TempDir() + "/rowsort_parallel_spill";
+  std::string cmd = "mkdir -p " + dir;
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  Table input = MakeShuffledIntegerTable(120000, 9);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.threads = 4;
+  config.run_size_rows = 8192;  // many spilled runs from multiple threads
+  config.spill_directory = dir;
+  SortMetrics metrics;
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  EXPECT_EQ(output.row_count(), 120000u);
+  EXPECT_GT(metrics.runs_generated, 8u);
+  EXPECT_TRUE(KeyColumnSorted(output, 0));
+  // Exactly sorted: shuffled 0..n-1 must come back as the identity.
+  EXPECT_EQ(output.chunk(0).GetValue(0, 0), Value::Int32(0));
+  EXPECT_EQ(output.chunk(0).GetValue(0, 1), Value::Int32(1));
+}
+
+TEST(StressTest, RepeatedSortsReuseNoState) {
+  // The same RelationalSort object is single-use, but SortTable must be
+  // callable back-to-back with identical results (no global state).
+  Table input = MakeShuffledIntegerTable(30000, 12);
+  SortSpec spec({SortColumn(0, TypeId::kInt32, OrderType::kDescending,
+                            NullOrder::kNullsLast)});
+  Table first = RelationalSort::SortTable(input, spec);
+  for (int round = 0; round < 3; ++round) {
+    Table again = RelationalSort::SortTable(input, spec);
+    ASSERT_EQ(again.row_count(), first.row_count());
+    for (uint64_t ci = 0; ci < first.ChunkCount(); ++ci) {
+      for (uint64_t r = 0; r < first.chunk(ci).size(); r += 997) {
+        ASSERT_EQ(again.chunk(ci).GetValue(0, r),
+                  first.chunk(ci).GetValue(0, r));
+      }
+    }
+  }
+}
+
+TEST(StressTest, ManyConcurrentSortTables) {
+  // Several sorts sharing the process (each with its own pool) must not
+  // interfere.
+  ThreadPool outer(3);
+  std::atomic<int> failures{0};
+  outer.ParallelFor(3, [&failures](uint64_t i) {
+    Table input = MakeShuffledIntegerTable(20000, 100 + i);
+    SortSpec spec({SortColumn(0, TypeId::kInt32)});
+    SortEngineConfig config;
+    config.threads = 2;
+    config.run_size_rows = 4096;
+    Table output = RelationalSort::SortTable(input, spec, config);
+    if (output.row_count() != 20000 ||
+        !(output.chunk(0).GetValue(0, 0) == Value::Int32(0))) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,87 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Cross-system agreement: all five §VII system stand-ins must produce the
+// exact same key-column sequences (payload order within ties may differ —
+// none of the architectures promises stability).
+#include <gtest/gtest.h>
+
+#include "systems/system.h"
+#include "workload/tables.h"
+#include "workload/tpcds.h"
+
+namespace rowsort {
+namespace {
+
+std::vector<std::string> KeySequence(const Table& t,
+                                     const std::vector<uint64_t>& key_cols) {
+  std::vector<std::string> keys;
+  keys.reserve(t.row_count());
+  for (uint64_t ci = 0; ci < t.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < t.chunk(ci).size(); ++r) {
+      std::string key;
+      for (uint64_t c : key_cols) {
+        key += t.chunk(ci).GetValue(c, r).ToString();
+        key += '\x1f';
+      }
+      keys.push_back(std::move(key));
+    }
+  }
+  return keys;
+}
+
+void ExpectAllSystemsAgree(const Table& input, const SortSpec& spec) {
+  std::vector<uint64_t> key_cols;
+  for (const auto& sc : spec.columns()) key_cols.push_back(sc.column_index);
+
+  auto systems = MakeAllSystems(2);
+  std::vector<std::string> reference;
+  std::string reference_name;
+  for (auto& system : systems) {
+    Table output = system->Sort(input, spec);
+    auto keys = KeySequence(output, key_cols);
+    if (reference.empty() && reference_name.empty()) {
+      reference = std::move(keys);
+      reference_name = system->name();
+      continue;
+    }
+    ASSERT_EQ(keys.size(), reference.size()) << system->name();
+    for (uint64_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(keys[i], reference[i])
+          << system->name() << " disagrees with " << reference_name
+          << " at row " << i;
+    }
+  }
+}
+
+TEST(SystemsAgreementTest, CatalogSalesTwoKeys) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 150;
+  Table input = MakeCatalogSales(scale);
+  SortSpec spec({SortColumn(0, TypeId::kInt32, OrderType::kAscending,
+                            NullOrder::kNullsFirst),
+                 SortColumn(3, TypeId::kInt32, OrderType::kDescending,
+                            NullOrder::kNullsLast)});
+  ExpectAllSystemsAgree(input, spec);
+}
+
+TEST(SystemsAgreementTest, CustomerNames) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 25;
+  Table input = MakeCustomer(scale);
+  SortSpec spec({SortColumn(4, TypeId::kVarchar),
+                 SortColumn(5, TypeId::kVarchar, OrderType::kDescending,
+                            NullOrder::kNullsFirst)});
+  ExpectAllSystemsAgree(input, spec);
+}
+
+TEST(SystemsAgreementTest, FloatsWithFullRange) {
+  Table input = MakeUniformFloatTable(8000, 5);
+  SortSpec spec({SortColumn(0, TypeId::kFloat, OrderType::kDescending,
+                            NullOrder::kNullsLast)});
+  ExpectAllSystemsAgree(input, spec);
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,154 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// The five system stand-ins (paper §VII) must all produce valid sorted
+// results on the paper's three end-to-end workloads; architectural
+// differences may only change performance, never correctness.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "systems/system.h"
+#include "workload/tables.h"
+#include "workload/tpcds.h"
+
+namespace rowsort {
+namespace {
+
+int OrderByCompare(const Value& a, const Value& b, const SortColumn& sc) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    bool nulls_first = sc.null_order == NullOrder::kNullsFirst;
+    return a.is_null() ? (nulls_first ? -1 : 1) : (nulls_first ? 1 : -1);
+  }
+  int cmp = a.Compare(b);
+  return sc.order == OrderType::kDescending ? -cmp : cmp;
+}
+
+void ExpectSorted(const Table& output, const SortSpec& spec,
+                  const std::string& system) {
+  std::vector<Value> prev;
+  bool have_prev = false;
+  for (uint64_t ci = 0; ci < output.ChunkCount(); ++ci) {
+    const DataChunk& chunk = output.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      std::vector<Value> cur;
+      for (const auto& sc : spec.columns()) {
+        cur.push_back(chunk.GetValue(sc.column_index, r));
+      }
+      if (have_prev) {
+        int cmp = 0;
+        for (uint64_t k = 0; k < spec.columns().size(); ++k) {
+          cmp = OrderByCompare(prev[k], cur[k], spec.columns()[k]);
+          if (cmp != 0) break;
+        }
+        ASSERT_LE(cmp, 0) << system << " out of order, chunk " << ci
+                          << " row " << r;
+      }
+      prev = std::move(cur);
+      have_prev = true;
+    }
+  }
+}
+
+void ExpectSameMultiset(const Table& input, const Table& output,
+                        const std::string& system) {
+  ASSERT_EQ(input.row_count(), output.row_count()) << system;
+  std::map<std::string, int64_t> counts;
+  auto fingerprint = [](const Table& t, uint64_t ci, uint64_t r) {
+    std::string fp;
+    for (uint64_t c = 0; c < t.types().size(); ++c) {
+      fp += t.chunk(ci).GetValue(c, r).ToString();
+      fp += '\x1f';
+    }
+    return fp;
+  };
+  for (uint64_t ci = 0; ci < input.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < input.chunk(ci).size(); ++r) {
+      ++counts[fingerprint(input, ci, r)];
+    }
+  }
+  for (uint64_t ci = 0; ci < output.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < output.chunk(ci).size(); ++r) {
+      --counts[fingerprint(output, ci, r)];
+    }
+  }
+  for (const auto& [fp, count] : counts) {
+    ASSERT_EQ(count, 0) << system << " lost/invented row " << fp;
+  }
+}
+
+void RunAllSystems(const Table& input, const SortSpec& spec) {
+  for (auto& system : MakeAllSystems(/*threads=*/2)) {
+    Table output = system->Sort(input, spec);
+    ExpectSorted(output, spec, system->name());
+    ExpectSameMultiset(input, output, system->name());
+  }
+}
+
+TEST(SystemsTest, ShuffledIntegers) {
+  Table input = MakeShuffledIntegerTable(20000, 11);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  RunAllSystems(input, spec);
+}
+
+TEST(SystemsTest, UniformFloats) {
+  Table input = MakeUniformFloatTable(20000, 12);
+  SortSpec spec({SortColumn(0, TypeId::kFloat)});
+  RunAllSystems(input, spec);
+}
+
+TEST(SystemsTest, CatalogSalesMultiKey) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 100;  // ~14k rows
+  Table input = MakeCatalogSales(scale);
+  // Fig. 13's four key columns over the catalog_sales schema.
+  SortSpec spec({SortColumn(0, TypeId::kInt32), SortColumn(1, TypeId::kInt32),
+                 SortColumn(2, TypeId::kInt32), SortColumn(3, TypeId::kInt32)});
+  RunAllSystems(input, spec);
+}
+
+TEST(SystemsTest, CustomerStringKeys) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 10;  // 10k rows
+  Table input = MakeCustomer(scale);
+  // Fig. 14's string sort: c_last_name, c_first_name.
+  SortSpec spec({SortColumn(4, TypeId::kVarchar),
+                 SortColumn(5, TypeId::kVarchar)});
+  RunAllSystems(input, spec);
+}
+
+TEST(SystemsTest, CustomerIntegerKeysDescending) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 10;
+  Table input = MakeCustomer(scale);
+  SortSpec spec(
+      {SortColumn(1, TypeId::kInt32, OrderType::kDescending,
+                  NullOrder::kNullsFirst),
+       SortColumn(2, TypeId::kInt32), SortColumn(3, TypeId::kInt32)});
+  RunAllSystems(input, spec);
+}
+
+TEST(SystemsTest, SingleRowAndEmpty) {
+  for (uint64_t n : {0ull, 1ull}) {
+    Table input = MakeShuffledIntegerTable(n, 1);
+    SortSpec spec({SortColumn(0, TypeId::kInt32)});
+    for (auto& system : MakeAllSystems(2)) {
+      Table output = system->Sort(input, spec);
+      EXPECT_EQ(output.row_count(), n) << system->name();
+    }
+  }
+}
+
+TEST(SystemsTest, NamesAreDistinct) {
+  auto systems = MakeAllSystems(1);
+  ASSERT_EQ(systems.size(), 5u);
+  std::set<std::string> names;
+  for (auto& s : systems) names.insert(s->name());
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rowsort

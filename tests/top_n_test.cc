@@ -1,0 +1,171 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Top-N operator (paper §VII-A): must return exactly the first N rows of
+// the full sort order with bounded memory.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/sort_engine.h"
+#include "engine/top_n.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+namespace {
+
+Table RandomInts(uint64_t rows, double null_prob, uint64_t seed) {
+  Random rng(seed);
+  Table table({TypeId::kInt32, TypeId::kInt64});
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      if (rng.Bernoulli(null_prob)) {
+        chunk.SetValue(0, r, Value::Null(TypeId::kInt32));
+      } else {
+        chunk.SetValue(0, r,
+                       Value::Int32(static_cast<int32_t>(rng.Uniform(10000))));
+      }
+      chunk.SetValue(1, r, Value::Int64(static_cast<int64_t>(produced + r)));
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+/// Key-column sequence of the first \p n rows of \p t.
+std::vector<std::string> KeyPrefix(const Table& t, uint64_t col, uint64_t n) {
+  std::vector<std::string> keys;
+  for (uint64_t ci = 0; ci < t.ChunkCount() && keys.size() < n; ++ci) {
+    for (uint64_t r = 0; r < t.chunk(ci).size() && keys.size() < n; ++r) {
+      keys.push_back(t.chunk(ci).GetValue(col, r).ToString());
+    }
+  }
+  return keys;
+}
+
+class TopNTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TopNTest, MatchesFullSortPrefix) {
+  const uint64_t limit = GetParam();
+  Table input = RandomInts(30000, 0.1, 7);
+  SortSpec spec({SortColumn(0, TypeId::kInt32, OrderType::kAscending,
+                            NullOrder::kNullsLast)});
+
+  TopN top_n(spec, input.types(), limit);
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    top_n.Sink(input.chunk(c));
+  }
+  Table result = top_n.Finalize();
+
+  Table full = RelationalSort::SortTable(input, spec);
+  uint64_t expect_rows = std::min<uint64_t>(limit, input.row_count());
+  ASSERT_EQ(result.row_count(), expect_rows);
+  // Key sequences must match exactly (payload may permute within ties).
+  EXPECT_EQ(KeyPrefix(result, 0, expect_rows),
+            KeyPrefix(full, 0, expect_rows));
+  EXPECT_EQ(top_n.rows_seen(), input.row_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, TopNTest,
+                         ::testing::Values(1, 2, 10, 100, 2048, 50000),
+                         ::testing::PrintToStringParamName());
+
+TEST(TopNTest, DescendingWithNullsFirst) {
+  Table input = RandomInts(5000, 0.2, 11);
+  SortSpec spec({SortColumn(0, TypeId::kInt32, OrderType::kDescending,
+                            NullOrder::kNullsFirst)});
+  TopN top_n(spec, input.types(), 50);
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    top_n.Sink(input.chunk(c));
+  }
+  Table result = top_n.Finalize();
+  Table full = RelationalSort::SortTable(input, spec);
+  EXPECT_EQ(KeyPrefix(result, 0, 50), KeyPrefix(full, 0, 50));
+  // NULLS FIRST + 20% nulls: the entire top 50 should be NULL.
+  EXPECT_EQ(result.chunk(0).GetValue(0, 0).ToString(), "NULL");
+}
+
+TEST(TopNTest, StringsWithTieResolution) {
+  Table input({TypeId::kVarchar});
+  DataChunk chunk = input.NewChunk();
+  const char* values[] = {"common-prefix-long-string-B",
+                          "common-prefix-long-string-A", "zz",
+                          "common-prefix-long-string-C", "aa"};
+  for (uint64_t r = 0; r < 5; ++r) {
+    chunk.SetValue(0, r, Value::Varchar(values[r]));
+  }
+  chunk.SetSize(5);
+  input.Append(std::move(chunk));
+
+  SortSpec spec({SortColumn(0, TypeId::kVarchar)});
+  TopN top_n(spec, input.types(), 3);
+  top_n.Sink(input.chunk(0));
+  Table result = top_n.Finalize();
+  ASSERT_EQ(result.row_count(), 3u);
+  EXPECT_EQ(result.chunk(0).GetValue(0, 0), Value::Varchar("aa"));
+  EXPECT_EQ(result.chunk(0).GetValue(0, 1),
+            Value::Varchar("common-prefix-long-string-A"));
+  EXPECT_EQ(result.chunk(0).GetValue(0, 2),
+            Value::Varchar("common-prefix-long-string-B"));
+}
+
+TEST(TopNTest, EarlyRejectionKicksIn) {
+  // Sorted ascending input with limit 10: after the first 10 rows, every
+  // row is rejected with a single comparison.
+  Table input({TypeId::kInt32});
+  uint64_t rows = 10000;
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = input.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r, Value::Int32(static_cast<int32_t>(produced + r)));
+    }
+    chunk.SetSize(n);
+    input.Append(std::move(chunk));
+    produced += n;
+  }
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  TopN top_n(spec, input.types(), 10);
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    top_n.Sink(input.chunk(c));
+  }
+  Table result = top_n.Finalize();
+  EXPECT_EQ(result.row_count(), 10u);
+  EXPECT_EQ(top_n.rows_rejected_early(), rows - 10);
+  EXPECT_EQ(result.chunk(0).GetValue(0, 9), Value::Int32(9));
+}
+
+TEST(TopNTest, CompactionPreservesStrings) {
+  // Enough rows (with heap-resident strings) to trigger several compactions.
+  Table input({TypeId::kVarchar});
+  Random rng(13);
+  uint64_t rows = 50000;
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = input.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r,
+                     Value::Varchar("payload-string-that-is-not-inlined-" +
+                                    std::to_string(rng.Uniform(100000))));
+    }
+    chunk.SetSize(n);
+    input.Append(std::move(chunk));
+    produced += n;
+  }
+  SortSpec spec({SortColumn(0, TypeId::kVarchar)});
+  TopN top_n(spec, input.types(), 25);
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    top_n.Sink(input.chunk(c));
+  }
+  Table result = top_n.Finalize();
+  Table full = RelationalSort::SortTable(input, spec);
+  EXPECT_EQ(KeyPrefix(result, 0, 25), KeyPrefix(full, 0, 25));
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,120 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "types/logical_type.h"
+#include "types/string_t.h"
+#include "types/value.h"
+
+namespace rowsort {
+namespace {
+
+TEST(LogicalTypeTest, FixedSizes) {
+  EXPECT_EQ(LogicalType(TypeId::kInt8).FixedSize(), 1);
+  EXPECT_EQ(LogicalType(TypeId::kInt16).FixedSize(), 2);
+  EXPECT_EQ(LogicalType(TypeId::kInt32).FixedSize(), 4);
+  EXPECT_EQ(LogicalType(TypeId::kUint32).FixedSize(), 4);
+  EXPECT_EQ(LogicalType(TypeId::kInt64).FixedSize(), 8);
+  EXPECT_EQ(LogicalType(TypeId::kFloat).FixedSize(), 4);
+  EXPECT_EQ(LogicalType(TypeId::kDouble).FixedSize(), 8);
+  EXPECT_EQ(LogicalType(TypeId::kDate).FixedSize(), 4);
+  EXPECT_EQ(LogicalType(TypeId::kVarchar).FixedSize(), 16);
+}
+
+TEST(LogicalTypeTest, Names) {
+  EXPECT_EQ(LogicalType(TypeId::kInt32).ToString(), "int32");
+  EXPECT_EQ(LogicalType(TypeId::kVarchar).ToString(), "varchar");
+}
+
+TEST(LogicalTypeTest, VariableSize) {
+  EXPECT_TRUE(LogicalType(TypeId::kVarchar).IsVariableSize());
+  EXPECT_FALSE(LogicalType(TypeId::kInt32).IsVariableSize());
+}
+
+TEST(StringTTest, InlineShortStrings) {
+  string_t s("hello", 5);
+  EXPECT_TRUE(s.IsInlined());
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(StringTTest, TwelveByteBoundary) {
+  string_t at_limit("abcdefghijkl", 12);
+  EXPECT_TRUE(at_limit.IsInlined());
+  EXPECT_EQ(at_limit.ToString(), "abcdefghijkl");
+
+  const char* backing = "abcdefghijklm";
+  string_t over_limit(backing, 13);
+  EXPECT_FALSE(over_limit.IsInlined());
+  EXPECT_EQ(over_limit.ToString(), "abcdefghijklm");
+  EXPECT_EQ(over_limit.data(), backing);  // points at external storage
+}
+
+TEST(StringTTest, EmptyString) {
+  string_t empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.IsInlined());
+  EXPECT_EQ(empty.ToString(), "");
+}
+
+TEST(StringTTest, CompareMatchesLexicographic) {
+  EXPECT_LT(string_t("abc").Compare(string_t("abd")), 0);
+  EXPECT_GT(string_t("b").Compare(string_t("a")), 0);
+  EXPECT_EQ(string_t("same").Compare(string_t("same")), 0);
+  // Shorter string with equal prefix sorts first.
+  EXPECT_LT(string_t("ab").Compare(string_t("abc")), 0);
+  // Comparison crosses the inline boundary correctly.
+  const char* long_str = "abcdefghijklmnop";
+  EXPECT_LT(string_t("abcdefghijkl").Compare(string_t(long_str, 16)), 0);
+}
+
+TEST(ValueTest, NullHandling) {
+  Value null_val = Value::Null(TypeId::kInt32);
+  EXPECT_TRUE(null_val.is_null());
+  Value v = Value::Int32(5);
+  EXPECT_FALSE(v.is_null());
+  // NULL compares greater than any non-NULL (engine-internal convention).
+  EXPECT_GT(null_val.Compare(v), 0);
+  EXPECT_LT(v.Compare(null_val), 0);
+  EXPECT_EQ(null_val.Compare(Value::Null(TypeId::kInt32)), 0);
+}
+
+TEST(ValueTest, IntegerComparison) {
+  EXPECT_LT(Value::Int32(-5).Compare(Value::Int32(3)), 0);
+  EXPECT_EQ(Value::Int32(7).Compare(Value::Int32(7)), 0);
+  EXPECT_GT(Value::Int64(100).Compare(Value::Int64(-100)), 0);
+  EXPECT_LT(Value::Uint32(1).Compare(Value::Uint32(0xFFFFFFFFu)), 0);
+}
+
+TEST(ValueTest, FloatTotalOrderWithNaN) {
+  float nan = std::numeric_limits<float>::quiet_NaN();
+  float inf = std::numeric_limits<float>::infinity();
+  EXPECT_GT(Value::Float(nan).Compare(Value::Float(inf)), 0);
+  EXPECT_EQ(Value::Float(nan).Compare(Value::Float(nan)), 0);
+  EXPECT_LT(Value::Float(-inf).Compare(Value::Float(0.0f)), 0);
+}
+
+TEST(ValueTest, VarcharComparison) {
+  EXPECT_LT(Value::Varchar("GERMANY").Compare(Value::Varchar("NETHERLANDS")),
+            0);
+  EXPECT_EQ(Value::Varchar("x").Compare(Value::Varchar("x")), 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int32(-42).ToString(), "-42");
+  EXPECT_EQ(Value::Null(TypeId::kInt32).ToString(), "NULL");
+  EXPECT_EQ(Value::Varchar("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+}
+
+TEST(ValueTest, EqualityRequiresSameTypeAndNullness) {
+  EXPECT_FALSE(Value::Int32(1) == Value::Int64(1));
+  EXPECT_FALSE(Value::Int32(1) == Value::Null(TypeId::kInt32));
+  EXPECT_TRUE(Value::Null(TypeId::kInt32) == Value::Null(TypeId::kInt32));
+  EXPECT_TRUE(Value::Int32(9) == Value::Int32(9));
+}
+
+}  // namespace
+}  // namespace rowsort

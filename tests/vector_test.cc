@@ -1,0 +1,169 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include "vector/data_chunk.h"
+#include "vector/string_heap.h"
+#include "vector/validity_mask.h"
+#include "vector/vector.h"
+
+namespace rowsort {
+namespace {
+
+TEST(ValidityMaskTest, AllValidByDefault) {
+  ValidityMask mask(100);
+  EXPECT_TRUE(mask.AllValid());
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(mask.RowIsValid(i));
+  EXPECT_EQ(mask.CountInvalid(100), 0u);
+}
+
+TEST(ValidityMaskTest, SetInvalidMaterializes) {
+  ValidityMask mask(100);
+  mask.SetInvalid(42);
+  EXPECT_FALSE(mask.AllValid());
+  EXPECT_FALSE(mask.RowIsValid(42));
+  EXPECT_TRUE(mask.RowIsValid(41));
+  EXPECT_TRUE(mask.RowIsValid(43));
+  EXPECT_EQ(mask.CountInvalid(100), 1u);
+}
+
+TEST(ValidityMaskTest, SetValidRestores) {
+  ValidityMask mask(64);
+  mask.SetInvalid(7);
+  mask.SetValid(7);
+  EXPECT_TRUE(mask.RowIsValid(7));
+}
+
+TEST(ValidityMaskTest, WordBoundaries) {
+  ValidityMask mask(130);
+  mask.SetInvalid(63);
+  mask.SetInvalid(64);
+  mask.SetInvalid(128);
+  EXPECT_FALSE(mask.RowIsValid(63));
+  EXPECT_FALSE(mask.RowIsValid(64));
+  EXPECT_FALSE(mask.RowIsValid(128));
+  EXPECT_TRUE(mask.RowIsValid(62));
+  EXPECT_TRUE(mask.RowIsValid(65));
+  EXPECT_EQ(mask.CountInvalid(130), 3u);
+}
+
+TEST(ValidityMaskTest, ResetClearsNulls) {
+  ValidityMask mask(10);
+  mask.SetInvalid(3);
+  mask.Reset();
+  EXPECT_TRUE(mask.AllValid());
+  EXPECT_TRUE(mask.RowIsValid(3));
+}
+
+TEST(StringHeapTest, ShortStringsStayInline) {
+  StringHeap heap;
+  string_t s = heap.AddString("tiny");
+  EXPECT_TRUE(s.IsInlined());
+  EXPECT_EQ(heap.SizeBytes(), 0u);
+}
+
+TEST(StringHeapTest, LongStringsCopied) {
+  StringHeap heap;
+  std::string original = "a string that is definitely longer than twelve";
+  string_t s = heap.AddString(original);
+  EXPECT_FALSE(s.IsInlined());
+  EXPECT_EQ(s.ToString(), original);
+  EXPECT_NE(s.data(), original.data());  // copied into the heap
+}
+
+TEST(StringHeapTest, ManyAllocationsSurviveBlockGrowth) {
+  StringHeap heap;
+  std::vector<string_t> strings;
+  for (int i = 0; i < 50000; ++i) {
+    std::string value = "string-value-" + std::to_string(i) + "-padding";
+    strings.push_back(heap.AddString(value));
+  }
+  for (int i = 0; i < 50000; ++i) {
+    std::string expect = "string-value-" + std::to_string(i) + "-padding";
+    EXPECT_EQ(strings[i].ToString(), expect);
+  }
+}
+
+TEST(StringHeapTest, MergePreservesDescriptors) {
+  StringHeap a, b;
+  string_t in_b = b.AddString("payload that lives in heap b, quite long");
+  a.AddString("payload that lives in heap a, quite long");
+  a.Merge(std::move(b));
+  EXPECT_EQ(in_b.ToString(), "payload that lives in heap b, quite long");
+  // New allocations in a still work after the merge.
+  string_t later = a.AddString("post-merge allocation, also quite long!");
+  EXPECT_EQ(later.ToString(), "post-merge allocation, also quite long!");
+}
+
+TEST(VectorTest, RoundTripFixedTypes) {
+  Vector vec{LogicalType(TypeId::kInt32)};
+  vec.SetValue(0, Value::Int32(-7));
+  vec.SetValue(1, Value::Null(TypeId::kInt32));
+  vec.SetValue(2, Value::Int32(123456));
+  EXPECT_EQ(vec.GetValue(0), Value::Int32(-7));
+  EXPECT_TRUE(vec.GetValue(1).is_null());
+  EXPECT_EQ(vec.GetValue(2), Value::Int32(123456));
+}
+
+TEST(VectorTest, RoundTripStrings) {
+  Vector vec{LogicalType(TypeId::kVarchar)};
+  vec.SetString(0, "short");
+  vec.SetString(1, "a very long string that cannot be inlined at all");
+  EXPECT_EQ(vec.GetValue(0), Value::Varchar("short"));
+  EXPECT_EQ(vec.GetValue(1),
+            Value::Varchar("a very long string that cannot be inlined at all"));
+}
+
+TEST(VectorTest, TypedDataMatchesSetValue) {
+  Vector vec{LogicalType(TypeId::kUint32)};
+  vec.SetValue(5, Value::Uint32(0xDEADBEEF));
+  EXPECT_EQ(vec.TypedData<uint32_t>()[5], 0xDEADBEEFu);
+}
+
+TEST(DataChunkTest, InitializeAndFill) {
+  DataChunk chunk;
+  chunk.Initialize({TypeId::kInt32, TypeId::kVarchar});
+  EXPECT_EQ(chunk.ColumnCount(), 2u);
+  EXPECT_EQ(chunk.capacity(), kVectorSize);
+
+  chunk.SetValue(0, 0, Value::Int32(1));
+  chunk.SetValue(1, 0, Value::Varchar("row zero"));
+  chunk.SetValue(0, 1, Value::Null(TypeId::kInt32));
+  chunk.SetValue(1, 1, Value::Varchar("row one"));
+  chunk.SetSize(2);
+
+  EXPECT_EQ(chunk.size(), 2u);
+  EXPECT_EQ(chunk.GetValue(0, 0), Value::Int32(1));
+  EXPECT_TRUE(chunk.GetValue(0, 1).is_null());
+  EXPECT_EQ(chunk.GetValue(1, 1), Value::Varchar("row one"));
+}
+
+TEST(DataChunkTest, TypesReflectInitialization) {
+  DataChunk chunk;
+  chunk.Initialize({TypeId::kFloat, TypeId::kInt64});
+  auto types = chunk.Types();
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0].id(), TypeId::kFloat);
+  EXPECT_EQ(types[1].id(), TypeId::kInt64);
+}
+
+TEST(DataChunkTest, ResetClearsCountAndValidity) {
+  DataChunk chunk;
+  chunk.Initialize({TypeId::kInt32});
+  chunk.SetValue(0, 0, Value::Null(TypeId::kInt32));
+  chunk.SetSize(1);
+  chunk.Reset();
+  EXPECT_EQ(chunk.size(), 0u);
+  EXPECT_TRUE(chunk.column(0).validity().AllValid());
+}
+
+TEST(DataChunkTest, ToStringRendersRows) {
+  DataChunk chunk;
+  chunk.Initialize({TypeId::kInt32});
+  chunk.SetValue(0, 0, Value::Int32(9));
+  chunk.SetSize(1);
+  std::string text = chunk.ToString();
+  EXPECT_NE(text.find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,198 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/window.h"
+
+namespace rowsort {
+namespace {
+
+Table MakeSales() {
+  // (region VARCHAR, amount INT32)
+  Table table({TypeId::kVarchar, TypeId::kInt32}, {"region", "amount"});
+  DataChunk chunk = table.NewChunk();
+  struct Row {
+    const char* region;
+    int32_t amount;
+  };
+  const Row rows[] = {
+      {"east", 30}, {"west", 10}, {"east", 10}, {"west", 20},
+      {"east", 20}, {"east", 20}, {"west", 10}, {"east", 40},
+  };
+  uint64_t n = 0;
+  for (const auto& r : rows) {
+    chunk.SetValue(0, n, Value::Varchar(r.region));
+    chunk.SetValue(1, n, Value::Int32(r.amount));
+    ++n;
+  }
+  chunk.SetSize(n);
+  table.Append(std::move(chunk));
+  return table;
+}
+
+TEST(WindowTest, RowNumberRankDenseRank) {
+  // ROW_NUMBER/RANK/DENSE_RANK OVER (PARTITION BY region ORDER BY amount).
+  Table input = MakeSales();
+  WindowSpec spec;
+  spec.partition_by = {0};
+  spec.order_by = {SortColumn(1, TypeId::kInt32)};
+  Table out = ComputeWindow(input, spec,
+                            {WindowFunction::kRowNumber, WindowFunction::kRank,
+                             WindowFunction::kDenseRank});
+
+  ASSERT_EQ(out.row_count(), 8u);
+  ASSERT_EQ(out.types().size(), 5u);
+  // east partition sorted by amount: 10, 20, 20, 30, 40
+  struct Expect {
+    const char* region;
+    int32_t amount;
+    int64_t row_number, rank, dense;
+  };
+  const Expect expected[] = {
+      {"east", 10, 1, 1, 1}, {"east", 20, 2, 2, 2}, {"east", 20, 3, 2, 2},
+      {"east", 30, 4, 4, 3}, {"east", 40, 5, 5, 4}, {"west", 10, 1, 1, 1},
+      {"west", 10, 2, 1, 1}, {"west", 20, 3, 3, 2},
+  };
+  const DataChunk& chunk = out.chunk(0);
+  for (uint64_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(chunk.GetValue(0, r), Value::Varchar(expected[r].region)) << r;
+    EXPECT_EQ(chunk.GetValue(1, r), Value::Int32(expected[r].amount)) << r;
+    EXPECT_EQ(chunk.GetValue(2, r), Value::Int64(expected[r].row_number)) << r;
+    EXPECT_EQ(chunk.GetValue(3, r), Value::Int64(expected[r].rank)) << r;
+    EXPECT_EQ(chunk.GetValue(4, r), Value::Int64(expected[r].dense)) << r;
+  }
+  EXPECT_EQ(out.names().back(), "dense_rank");
+}
+
+TEST(WindowTest, NoPartitionGlobalRanking) {
+  Table input = MakeSales();
+  WindowSpec spec;
+  spec.order_by = {SortColumn(1, TypeId::kInt32, OrderType::kDescending,
+                              NullOrder::kNullsLast)};
+  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber});
+  ASSERT_EQ(out.row_count(), 8u);
+  // Global DESC by amount: first row is the max (40), row_number 1..8.
+  EXPECT_EQ(out.chunk(0).GetValue(1, 0), Value::Int32(40));
+  for (uint64_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(out.chunk(0).GetValue(2, r),
+              Value::Int64(static_cast<int64_t>(r) + 1));
+  }
+}
+
+TEST(WindowTest, NullPartitionsGroupTogether) {
+  Table input({TypeId::kInt32, TypeId::kInt32});
+  DataChunk chunk = input.NewChunk();
+  // partition keys: NULL, 1, NULL, 1
+  chunk.SetValue(0, 0, Value::Null(TypeId::kInt32));
+  chunk.SetValue(1, 0, Value::Int32(5));
+  chunk.SetValue(0, 1, Value::Int32(1));
+  chunk.SetValue(1, 1, Value::Int32(6));
+  chunk.SetValue(0, 2, Value::Null(TypeId::kInt32));
+  chunk.SetValue(1, 2, Value::Int32(7));
+  chunk.SetValue(0, 3, Value::Int32(1));
+  chunk.SetValue(1, 3, Value::Int32(8));
+  chunk.SetSize(4);
+  input.Append(std::move(chunk));
+
+  WindowSpec spec;
+  spec.partition_by = {0};
+  spec.order_by = {SortColumn(1, TypeId::kInt32)};
+  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber});
+  // NULL partition first (NULLS FIRST), with row numbers 1..2, then 1..2.
+  EXPECT_TRUE(out.chunk(0).GetValue(0, 0).is_null());
+  EXPECT_EQ(out.chunk(0).GetValue(2, 0), Value::Int64(1));
+  EXPECT_EQ(out.chunk(0).GetValue(2, 1), Value::Int64(2));
+  EXPECT_EQ(out.chunk(0).GetValue(2, 2), Value::Int64(1));
+  EXPECT_EQ(out.chunk(0).GetValue(2, 3), Value::Int64(2));
+}
+
+TEST(WindowTest, StringPartitionsWithSharedPrefixes) {
+  // Partition keys share a 12+ byte prefix: boundary detection must resolve
+  // ties from the full strings, not just the normalized-key prefix.
+  Table input({TypeId::kVarchar, TypeId::kInt32});
+  DataChunk chunk = input.NewChunk();
+  const char* parts[] = {"shared-prefix-part-A", "shared-prefix-part-B",
+                         "shared-prefix-part-A", "shared-prefix-part-B"};
+  for (uint64_t r = 0; r < 4; ++r) {
+    chunk.SetValue(0, r, Value::Varchar(parts[r]));
+    chunk.SetValue(1, r, Value::Int32(static_cast<int32_t>(r)));
+  }
+  chunk.SetSize(4);
+  input.Append(std::move(chunk));
+
+  WindowSpec spec;
+  spec.partition_by = {0};
+  spec.order_by = {SortColumn(1, TypeId::kInt32)};
+  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber});
+  // Two partitions of two rows each: row numbers 1,2,1,2.
+  EXPECT_EQ(out.chunk(0).GetValue(2, 0), Value::Int64(1));
+  EXPECT_EQ(out.chunk(0).GetValue(2, 1), Value::Int64(2));
+  EXPECT_EQ(out.chunk(0).GetValue(2, 2), Value::Int64(1));
+  EXPECT_EQ(out.chunk(0).GetValue(2, 3), Value::Int64(2));
+}
+
+TEST(WindowTest, LargeInputRanksAreConsistent) {
+  Random rng(31);
+  Table input({TypeId::kInt32, TypeId::kInt32});
+  uint64_t rows = 20000;
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = input.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r, Value::Int32(static_cast<int32_t>(rng.Uniform(7))));
+      chunk.SetValue(1, r,
+                     Value::Int32(static_cast<int32_t>(rng.Uniform(100))));
+    }
+    chunk.SetSize(n);
+    input.Append(std::move(chunk));
+    produced += n;
+  }
+  WindowSpec spec;
+  spec.partition_by = {0};
+  spec.order_by = {SortColumn(1, TypeId::kInt32)};
+  Table out = ComputeWindow(
+      input, spec, {WindowFunction::kRowNumber, WindowFunction::kRank,
+                    WindowFunction::kDenseRank});
+
+  // Invariants per partition: row_number strictly increments; rank <=
+  // row_number; dense_rank <= rank; rank changes exactly when amount does.
+  Value prev_part, prev_amount;
+  int64_t prev_rn = 0, prev_rank = 0, prev_dense = 0;
+  bool first = true;
+  for (uint64_t ci = 0; ci < out.ChunkCount(); ++ci) {
+    const DataChunk& chunk = out.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      Value part = chunk.GetValue(0, r);
+      Value amount = chunk.GetValue(1, r);
+      int64_t rn = chunk.GetValue(2, r).int64_value();
+      int64_t rank = chunk.GetValue(3, r).int64_value();
+      int64_t dense = chunk.GetValue(4, r).int64_value();
+      ASSERT_LE(rank, rn);
+      ASSERT_LE(dense, rank);
+      if (!first && part == prev_part) {
+        ASSERT_EQ(rn, prev_rn + 1);
+        if (amount == prev_amount) {
+          ASSERT_EQ(rank, prev_rank);
+          ASSERT_EQ(dense, prev_dense);
+        } else {
+          ASSERT_EQ(rank, rn);
+          ASSERT_EQ(dense, prev_dense + 1);
+        }
+      } else {
+        ASSERT_EQ(rn, 1);
+        ASSERT_EQ(rank, 1);
+        ASSERT_EQ(dense, 1);
+      }
+      prev_part = part;
+      prev_amount = amount;
+      prev_rn = rn;
+      prev_rank = rank;
+      prev_dense = dense;
+      first = false;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,236 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/microbench.h"
+#include "workload/tables.h"
+#include "workload/tpcds.h"
+
+namespace rowsort {
+namespace {
+
+TEST(MicrobenchTest, RandomHasVirtuallyNoDuplicates) {
+  MicroWorkload w;
+  w.num_rows = 1 << 16;
+  w.num_key_columns = 1;
+  w.distribution = MicroDistribution::kRandom;
+  auto columns = GenerateMicroColumns(w);
+  std::set<uint32_t> unique(columns[0].begin(), columns[0].end());
+  // Birthday bound: ~0.5 expected collisions at 2^16 draws from 2^32.
+  EXPECT_GT(unique.size(), w.num_rows - 10);
+}
+
+TEST(MicrobenchTest, CorrelatedHas128UniqueValues) {
+  MicroWorkload w;
+  w.num_rows = 1 << 16;
+  w.num_key_columns = 3;
+  w.distribution = MicroDistribution::kCorrelated;
+  w.correlation = 0.5;
+  auto columns = GenerateMicroColumns(w);
+  for (const auto& col : columns) {
+    std::set<uint32_t> unique(col.begin(), col.end());
+    EXPECT_LE(unique.size(), 128u);
+    EXPECT_GT(unique.size(), 100u);  // essentially all present at this n
+  }
+}
+
+TEST(MicrobenchTest, CorrelationOneMakesColumnsIdentical) {
+  MicroWorkload w;
+  w.num_rows = 10000;
+  w.num_key_columns = 4;
+  w.distribution = MicroDistribution::kCorrelated;
+  w.correlation = 1.0;
+  auto columns = GenerateMicroColumns(w);
+  for (uint64_t c = 1; c < 4; ++c) {
+    EXPECT_EQ(columns[c], columns[0]);
+  }
+}
+
+TEST(MicrobenchTest, CorrelationIncreasesCrossColumnTies) {
+  auto tie_rate = [](double p) {
+    MicroWorkload w;
+    w.num_rows = 20000;
+    w.num_key_columns = 2;
+    w.distribution = MicroDistribution::kCorrelated;
+    w.correlation = p;
+    auto columns = GenerateMicroColumns(w);
+    uint64_t ties = 0;
+    for (uint64_t r = 0; r < w.num_rows; ++r) {
+      ties += columns[0][r] == columns[1][r] ? 1 : 0;
+    }
+    return double(ties) / double(w.num_rows);
+  };
+  double r0 = tie_rate(0.0), r5 = tie_rate(0.5), r9 = tie_rate(0.9);
+  EXPECT_LT(r0, r5);
+  EXPECT_LT(r5, r9);
+}
+
+TEST(MicrobenchTest, DeterministicInSeed) {
+  MicroWorkload w;
+  w.num_rows = 1000;
+  w.num_key_columns = 2;
+  w.distribution = MicroDistribution::kCorrelated;
+  w.correlation = 0.5;
+  auto a = GenerateMicroColumns(w);
+  auto b = GenerateMicroColumns(w);
+  EXPECT_EQ(a, b);
+  w.seed += 1;
+  auto c = GenerateMicroColumns(w);
+  EXPECT_NE(a, c);
+}
+
+TEST(MicrobenchTest, LabelsMatchPaperNaming) {
+  MicroWorkload w;
+  EXPECT_EQ(w.Label(), "Random");
+  w.distribution = MicroDistribution::kCorrelated;
+  w.correlation = 0.5;
+  EXPECT_EQ(w.Label(), "Correlated0.50");
+}
+
+TEST(MicrobenchTest, StandardSweepCoversAllAxes) {
+  auto sweep = StandardMicroSweep(12, 20, 4);
+  // 4 distributions x 4 column counts x 3 sizes (2^12, 2^16, 2^20).
+  EXPECT_EQ(sweep.size(), 4u * 4u * 3u);
+}
+
+TEST(TablesTest, ShuffledIntegersArePermutationOfRange) {
+  Table table = MakeShuffledIntegerTable(10000, 3);
+  EXPECT_EQ(table.row_count(), 10000u);
+  std::set<int32_t> seen;
+  bool sorted = true;
+  int32_t prev = -1;
+  for (uint64_t c = 0; c < table.ChunkCount(); ++c) {
+    const auto& chunk = table.chunk(c);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      int32_t v = chunk.GetValue(0, r).int32_value();
+      seen.insert(v);
+      if (v < prev) sorted = false;
+      prev = v;
+    }
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9999);
+  EXPECT_FALSE(sorted);  // shuffled
+}
+
+TEST(TablesTest, UniformFloatsWithinRange) {
+  Table table = MakeUniformFloatTable(5000, 4);
+  for (uint64_t c = 0; c < table.ChunkCount(); ++c) {
+    const auto& chunk = table.chunk(c);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      float v = chunk.GetValue(0, r).float_value();
+      EXPECT_GE(v, -1e9f);
+      EXPECT_LT(v, 1e9f);
+    }
+  }
+}
+
+TEST(TablesTest, ProjectKeepsSelectedColumns) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 1000;
+  Table customer = MakeCustomer(scale);
+  Table projected = customer.Project({0, 4});
+  ASSERT_EQ(projected.types().size(), 2u);
+  EXPECT_EQ(projected.types()[0].id(), TypeId::kInt32);
+  EXPECT_EQ(projected.types()[1].id(), TypeId::kVarchar);
+  EXPECT_EQ(projected.row_count(), customer.row_count());
+  EXPECT_EQ(projected.chunk(0).GetValue(0, 0),
+            customer.chunk(0).GetValue(0, 0));
+  EXPECT_EQ(projected.chunk(0).GetValue(1, 0),
+            customer.chunk(0).GetValue(4, 0));
+}
+
+TEST(TpcdsTest, CardinalitiesMatchTableIV) {
+  TpcdsScale sf10;
+  sf10.scale_factor = 10;
+  EXPECT_EQ(sf10.CatalogSalesRows(), 14401261u);
+  TpcdsScale sf100;
+  sf100.scale_factor = 100;
+  EXPECT_EQ(sf100.CatalogSalesRows(), 143997065u);
+  EXPECT_EQ(sf100.CustomerRows(), 2000000u);
+  TpcdsScale sf300;
+  sf300.scale_factor = 300;
+  EXPECT_EQ(sf300.CustomerRows(), 5000000u);
+}
+
+TEST(TpcdsTest, ScaleDivisorShrinksRowCounts) {
+  TpcdsScale scale;
+  scale.scale_factor = 10;
+  scale.scale_divisor = 100;
+  EXPECT_EQ(scale.CatalogSalesRows(), 14401261u / 100);
+}
+
+TEST(TpcdsTest, CatalogSalesDomains) {
+  TpcdsScale scale;
+  scale.scale_factor = 10;
+  scale.scale_divisor = 1000;
+  Table t = MakeCatalogSales(scale);
+  ASSERT_EQ(t.types().size(), 5u);
+  uint64_t nulls = 0, rows = 0;
+  for (uint64_t c = 0; c < t.ChunkCount(); ++c) {
+    const auto& chunk = t.chunk(c);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      ++rows;
+      Value wh = chunk.GetValue(0, r);
+      if (wh.is_null()) {
+        ++nulls;
+      } else {
+        EXPECT_GE(wh.int32_value(), 1);
+        EXPECT_LE(wh.int32_value(), int32_t(scale.WarehouseCount()));
+      }
+      Value qty = chunk.GetValue(3, r);
+      if (!qty.is_null()) {
+        EXPECT_GE(qty.int32_value(), 1);
+        EXPECT_LE(qty.int32_value(), 100);
+      }
+    }
+  }
+  EXPECT_EQ(rows, scale.CatalogSalesRows());
+  // ~1.8% NULLs in the FK columns.
+  EXPECT_GT(nulls, 0u);
+  EXPECT_LT(double(nulls) / double(rows), 0.05);
+}
+
+TEST(TpcdsTest, CustomerBirthDatesAndNames) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 20;
+  Table t = MakeCustomer(scale);
+  ASSERT_EQ(t.types().size(), 6u);
+  std::set<std::string> last_names;
+  for (uint64_t c = 0; c < t.ChunkCount(); ++c) {
+    const auto& chunk = t.chunk(c);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      Value year = chunk.GetValue(1, r);
+      if (!year.is_null()) {
+        EXPECT_GE(year.int32_value(), 1924);
+        EXPECT_LE(year.int32_value(), 1992);
+      }
+      Value name = chunk.GetValue(4, r);
+      if (!name.is_null()) last_names.insert(name.varchar_value());
+    }
+  }
+  // Skewed draw over a ~100-name list: many duplicates, many distinct names.
+  EXPECT_GT(last_names.size(), 30u);
+  EXPECT_LT(last_names.size(), 150u);
+}
+
+TEST(TpcdsTest, DeterministicInSeed) {
+  TpcdsScale scale;
+  scale.scale_factor = 1;
+  scale.scale_divisor = 500;
+  Table a = MakeCatalogSales(scale);
+  Table b = MakeCatalogSales(scale);
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (uint64_t r = 0; r < a.chunk(0).size(); ++r) {
+    for (uint64_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(a.chunk(0).GetValue(c, r), b.chunk(0).GetValue(c, r));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rowsort

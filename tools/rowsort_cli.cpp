@@ -1,0 +1,205 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// rowsort_cli — command-line driver for the sorting engine.
+//
+// Examples:
+//   rowsort_cli --workload=integers --rows=1000000
+//   rowsort_cli --workload=catalog_sales --rows=500000 --keys=4 --threads=4
+//   rowsort_cli --workload=customer --rows=200000 --string-keys
+//   rowsort_cli --workload=floats --rows=500000 --algorithm=pdq --desc
+//   rowsort_cli --workload=integers --rows=2000000 --topn=10
+//   rowsort_cli --workload=integers --rows=1000000 --spill=/tmp/rowsort
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "engine/sort_engine.h"
+#include "engine/top_n.h"
+#include "workload/tables.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+namespace {
+
+struct Options {
+  std::string workload = "integers";
+  uint64_t rows = 1'000'000;
+  uint64_t keys = 1;
+  uint64_t threads = 1;
+  std::string algorithm = "auto";
+  bool descending = false;
+  bool string_keys = false;
+  uint64_t topn = 0;
+  std::string spill;
+  uint64_t seed = 42;
+  bool show_rows = true;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: rowsort_cli [options]\n"
+      "  --workload=integers|floats|catalog_sales|customer\n"
+      "  --rows=N              input size (default 1,000,000)\n"
+      "  --keys=1..4           key columns for catalog_sales (default 1)\n"
+      "  --string-keys         sort customer by names instead of birth date\n"
+      "  --threads=N           worker threads (default 1)\n"
+      "  --algorithm=auto|radix|pdq|heuristic\n"
+      "  --desc                sort descending\n"
+      "  --topn=N              use the Top-N operator instead of a full sort\n"
+      "  --spill=DIR           spill sorted runs to DIR (out-of-core merge)\n"
+      "  --seed=N              workload seed (default 42)\n"
+      "  --quiet               do not print sample rows\n");
+}
+
+bool ParseArg(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseOptions(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseArg(argv[i], "--workload", &value)) {
+      opt->workload = value;
+    } else if (ParseArg(argv[i], "--rows", &value)) {
+      opt->rows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "--keys", &value)) {
+      opt->keys = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "--threads", &value)) {
+      opt->threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "--algorithm", &value)) {
+      opt->algorithm = value;
+    } else if (ParseArg(argv[i], "--topn", &value)) {
+      opt->topn = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "--spill", &value)) {
+      opt->spill = value;
+    } else if (ParseArg(argv[i], "--seed", &value)) {
+      opt->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--desc") == 0) {
+      opt->descending = true;
+    } else if (std::strcmp(argv[i], "--string-keys") == 0) {
+      opt->string_keys = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      opt->show_rows = false;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseOptions(argc, argv, &opt)) {
+    PrintUsage();
+    return 1;
+  }
+
+  // Build the workload.
+  Timer gen_timer;
+  Table input;
+  std::vector<SortColumn> sort_columns;
+  OrderType order =
+      opt.descending ? OrderType::kDescending : OrderType::kAscending;
+  if (opt.workload == "integers") {
+    input = MakeShuffledIntegerTable(opt.rows, opt.seed);
+    sort_columns.emplace_back(0, TypeId::kInt32, order);
+  } else if (opt.workload == "floats") {
+    input = MakeUniformFloatTable(opt.rows, opt.seed);
+    sort_columns.emplace_back(0, TypeId::kFloat, order);
+  } else if (opt.workload == "catalog_sales") {
+    TpcdsScale scale;
+    scale.scale_factor = 10;
+    scale.seed = opt.seed;
+    scale.scale_divisor = std::max<uint64_t>(
+        scale.CatalogSalesRows() / std::max<uint64_t>(opt.rows, 1), 1);
+    input = MakeCatalogSales(scale);
+    uint64_t keys = std::min<uint64_t>(std::max<uint64_t>(opt.keys, 1), 4);
+    for (uint64_t k = 0; k < keys; ++k) {
+      sort_columns.emplace_back(k, TypeId::kInt32, order);
+    }
+  } else if (opt.workload == "customer") {
+    TpcdsScale scale;
+    scale.scale_factor = 100;
+    scale.seed = opt.seed;
+    scale.scale_divisor = std::max<uint64_t>(
+        scale.CustomerRows() / std::max<uint64_t>(opt.rows, 1), 1);
+    input = MakeCustomer(scale);
+    if (opt.string_keys) {
+      sort_columns.emplace_back(4, TypeId::kVarchar, order);
+      sort_columns.emplace_back(5, TypeId::kVarchar, order);
+    } else {
+      sort_columns.emplace_back(1, TypeId::kInt32, order);
+      sort_columns.emplace_back(2, TypeId::kInt32, order);
+      sort_columns.emplace_back(3, TypeId::kInt32, order);
+    }
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", opt.workload.c_str());
+    PrintUsage();
+    return 1;
+  }
+  SortSpec spec(sort_columns);
+  std::printf("workload %s: %s rows generated in %s\n", opt.workload.c_str(),
+              FormatCount(input.row_count()).c_str(),
+              FormatDuration(gen_timer.ElapsedSeconds()).c_str());
+  std::printf("ORDER BY %s\n", spec.ToString().c_str());
+
+  SortEngineConfig config;
+  config.threads = std::max<uint64_t>(opt.threads, 1);
+  config.spill_directory = opt.spill;
+  if (opt.algorithm == "radix") {
+    config.algorithm = RunSortAlgorithm::kRadix;
+  } else if (opt.algorithm == "pdq") {
+    config.algorithm = RunSortAlgorithm::kPdq;
+  } else if (opt.algorithm == "heuristic") {
+    config.algorithm = RunSortAlgorithm::kHeuristic;
+  } else {
+    config.algorithm = RunSortAlgorithm::kAuto;
+  }
+  config.run_size_rows = std::max<uint64_t>(
+      input.row_count() / config.threads + 1, kVectorSize);
+  if (!opt.spill.empty()) {
+    config.run_size_rows =
+        std::min<uint64_t>(config.run_size_rows, 1 << 18);
+  }
+
+  Timer sort_timer;
+  Table result;
+  if (opt.topn > 0) {
+    TopN top_n(spec, input.types(), opt.topn);
+    for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+      top_n.Sink(input.chunk(c));
+    }
+    result = top_n.Finalize();
+    std::printf("top-%s computed in %s\n", FormatCount(opt.topn).c_str(),
+                FormatDuration(sort_timer.ElapsedSeconds()).c_str());
+  } else {
+    SortMetrics metrics;
+    result = RelationalSort::SortTable(input, spec, config, &metrics);
+    std::printf(
+        "sorted in %s (%llu runs; sink %s, run sort %s, merge %s)\n",
+        FormatDuration(sort_timer.ElapsedSeconds()).c_str(),
+        (unsigned long long)metrics.runs_generated,
+        FormatDuration(metrics.sink_seconds).c_str(),
+        FormatDuration(metrics.run_sort_seconds).c_str(),
+        FormatDuration(metrics.merge_seconds).c_str());
+  }
+
+  if (opt.show_rows && result.row_count() > 0) {
+    std::printf("\nfirst rows:\n%s", result.chunk(0).ToString(5).c_str());
+  }
+  return 0;
+}
