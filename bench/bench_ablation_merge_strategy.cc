@@ -1,53 +1,161 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 //
-// Ablation: merge strategy. §VII's systems split on this design choice —
-// DuckDB runs a 2-way cascaded merge (log k passes over the data, each pass
-// a cheap 1-vs-1 comparison, parallelizable with Merge Path); ClickHouse
-// and HyPer/Umbra run one k-way heap merge (a single pass, but a log k heap
-// reorganization per output row). This bench measures both on the same runs
-// across run counts, plus the §II comparison counts.
+// Ablation: merge strategy × offset-value coding. §VII's systems split on
+// the strategy choice — DuckDB runs a 2-way cascaded merge (log k passes,
+// each a cheap 1-vs-1 comparison, parallelizable with Merge Path);
+// ClickHouse and HyPer/Umbra run one k-way merge (a single pass, but a
+// log k tree comparison per output row). On top of both, offset-value
+// coding (Graefe & Do, arXiv:2209.08420) caches each row's first key-byte
+// difference against its run predecessor so that most merge comparisons
+// become one integer compare: the k-way merge upgrades from a binary heap
+// to an OVC loser tree, the cascade's Merge Path slices to code-first
+// comparisons. This bench measures the 2x2 grid on identical runs across
+// run counts, plus the §II comparison counts and the OVC counters.
+//
+// Set ROWSORT_BENCH_JSON=<path> to additionally emit the records as JSON
+// (see tools/run_merge_bench.sh, which tracks BENCH_merge.json over PRs).
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/random.h"
 #include "engine/sort_engine.h"
 #include "workload/tables.h"
 
 using namespace rowsort;
 
+namespace {
+
+/// Multi-column duplicate-heavy workload: three key columns of small
+/// cardinality (long shared key prefixes, frequent full-key duplicates —
+/// where OVC saves the most) plus a unique payload column.
+Table MakeDupHeavyTable(uint64_t rows, uint64_t seed) {
+  LogicalType i32(TypeId::kInt32), i64(TypeId::kInt64);
+  Random rng(seed);
+  Table table({i32, i32, i64, i64});
+  uint64_t produced = 0, serial = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r, Value::Int32(static_cast<int32_t>(rng.Uniform(90))));
+      chunk.SetValue(1, r,
+                     Value::Int32(static_cast<int32_t>(rng.Uniform(1000))));
+      chunk.SetValue(2, r,
+                     Value::Int64(static_cast<int64_t>(rng.Uniform(10000))));
+      chunk.SetValue(3, r, Value::Int64(static_cast<int64_t>(serial++)));
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+struct Record {
+  const char* workload;
+  uint64_t runs;
+  const char* strategy;  // "cascade" or "kway"
+  bool ovc;
+  double seconds;
+  SortMetrics metrics;
+};
+
+void RunGrid(const char* workload, const Table& input, const SortSpec& spec,
+             uint64_t n, std::vector<Record>* records) {
+  std::printf("\n-- workload: %s (%s rows) --\n", workload,
+              FormatCount(n).c_str());
+  std::printf("%6s %9s %5s %10s %16s %14s %16s\n", "runs", "strategy", "ovc",
+              "median", "full compares", "ovc decided", "ovc fallbacks");
+  for (uint64_t k : {4, 16, 64}) {
+    for (int strategy = 0; strategy < 2; ++strategy) {
+      for (int ovc = 0; ovc < 2; ++ovc) {
+        SortEngineConfig config;
+        config.run_size_rows = (n + k - 1) / k;
+        config.use_kway_merge = strategy == 1;
+        config.use_offset_value_codes = ovc == 1;
+        config.count_comparisons = true;  // forces the comparison-sort path
+        SortMetrics metrics;
+        double seconds = bench::MedianSeconds(
+            [&] { RelationalSort::SortTable(input, spec, config, &metrics); });
+        const char* name = strategy == 1 ? "kway" : "cascade";
+        std::printf("%6llu %9s %5s %9.3fs %16s %14s %16s\n",
+                    (unsigned long long)k,
+                    strategy == 1 ? (ovc ? "losertree" : "kway-heap") : name,
+                    ovc ? "on" : "off", seconds,
+                    FormatCount(metrics.merge_compares).c_str(),
+                    FormatCount(metrics.ovc_decided).c_str(),
+                    FormatCount(metrics.ovc_fallback_compares).c_str());
+        std::fflush(stdout);
+        records->push_back({workload, k, name, ovc == 1, seconds, metrics});
+      }
+    }
+  }
+}
+
+void EmitJson(const std::vector<Record>& records, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(
+        f,
+        "  {\"workload\": \"%s\", \"runs\": %llu, \"strategy\": \"%s\", "
+        "\"ovc\": %s, \"seconds\": %.6f, \"rows\": %llu, "
+        "\"merge_compares\": %llu, \"ovc_decided\": %llu, "
+        "\"ovc_fallback_compares\": %llu}%s\n",
+        r.workload, (unsigned long long)r.runs, r.strategy,
+        r.ovc ? "true" : "false", r.seconds,
+        (unsigned long long)r.metrics.rows,
+        (unsigned long long)r.metrics.merge_compares,
+        (unsigned long long)r.metrics.ovc_decided,
+        (unsigned long long)r.metrics.ovc_fallback_compares,
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
 int main() {
   bench::PrintHeader(
-      "Ablation: 2-way cascaded merge vs k-way heap merge",
-      "merge strategies of the §VII systems on identical runs",
-      "cascade performs more row movement (log k passes) but cheaper "
-      "comparisons; k-way touches rows once but pays heap comparisons — "
-      "cascade wins as k grows on cheap keys");
+      "Ablation: merge strategy x offset-value coding",
+      "2-way cascade vs k-way merge, OVC on/off, on identical runs",
+      "cascade wins as k grows on cheap keys; OVC removes most full key "
+      "comparisons (>= 2x fewer on duplicate-heavy multi-column keys), "
+      "turning the k-way heap into a loser tree of integer compares");
 
-  const uint64_t n = bench::EnvRows("ROWSORT_MERGE_ABL_ROWS", 2'000'000);
-  Table input = MakeShuffledIntegerTable(n, 31);
-  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  std::vector<Record> records;
 
-  std::printf("rows = %s, single int32 key\n\n", FormatCount(n).c_str());
-  std::printf("%6s %14s %14s %18s %18s\n", "runs", "cascade", "k-way",
-              "cascade compares", "k-way compares");
-  for (uint64_t k : {4, 16, 64, 256}) {
-    double times[2];
-    uint64_t compares[2];
-    for (int strategy = 0; strategy < 2; ++strategy) {
-      SortEngineConfig config;
-      config.run_size_rows = (n + k - 1) / k;
-      config.use_kway_merge = strategy == 1;
-      config.count_comparisons = true;  // forces the comparison-sort path
-      SortMetrics metrics;
-      times[strategy] = bench::MedianSeconds(
-          [&] { RelationalSort::SortTable(input, spec, config, &metrics); });
-      compares[strategy] = metrics.merge_compares;
-    }
-    std::printf("%6llu %13.3fs %13.3fs %18s %18s\n", (unsigned long long)k,
-                times[0], times[1], FormatCount(compares[0]).c_str(),
-                FormatCount(compares[1]).c_str());
-    std::fflush(stdout);
+  const uint64_t n_int = bench::EnvRows("ROWSORT_MERGE_ABL_ROWS", 2'000'000);
+  Table ints = MakeShuffledIntegerTable(n_int, 31);
+  RunGrid("unique int32", ints, SortSpec({SortColumn(0, TypeId::kInt32)}),
+          n_int, &records);
+
+  const uint64_t n_dup = bench::EnvRows("ROWSORT_MERGE_DUP_ROWS", 1'000'000);
+  LogicalType i32(TypeId::kInt32), i64(TypeId::kInt64);
+  Table dups = MakeDupHeavyTable(n_dup, 47);
+  RunGrid("dup-heavy 3-col", dups,
+          SortSpec({SortColumn(0, i32), SortColumn(1, i32),
+                    SortColumn(2, i64)}),
+          n_dup, &records);
+
+  std::printf("\n(times include run generation, identical within a run "
+              "count; the difference is the merge phase. 'full compares' = "
+              "comparator/key-byte comparisons; with OVC on these are only "
+              "the fallbacks on tied codes)\n");
+
+  const char* json_path = std::getenv("ROWSORT_BENCH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    EmitJson(records, json_path);
   }
-  std::printf("\n(times include run generation, identical for both; the "
-              "difference is the merge phase)\n");
   return 0;
 }

@@ -1,0 +1,46 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/offset_value.h"
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+int CompareKeySuffix(const uint8_t* a, const uint8_t* b, uint64_t begin,
+                     uint64_t key_width, uint64_t* diff_index) {
+  for (uint64_t i = begin; i < key_width; ++i) {
+    if (a[i] != b[i]) {
+      *diff_index = i;
+      return a[i] < b[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+uint64_t DeriveHeadOvc(const uint8_t* key, uint64_t key_width) {
+  for (uint64_t i = 0; i < key_width; ++i) {
+    if (key[i] != 0) return MakeOvc(key_width, i, key[i]);
+  }
+  return kOvcEqual;  // the all-zero key equals the virtual -inf base
+}
+
+uint64_t DeriveSuccessorOvc(const uint8_t* prev, const uint8_t* key,
+                            uint64_t key_width) {
+  uint64_t diff = 0;
+  int cmp = CompareKeySuffix(prev, key, 0, key_width, &diff);
+  if (cmp == 0) return kOvcEqual;
+  ROWSORT_DASSERT(cmp < 0 && "run must be sorted ascending by key bytes");
+  return MakeOvc(key_width, diff, key[diff]);
+}
+
+std::vector<uint64_t> DeriveRunOvcs(const SortedRun& run, uint64_t key_width) {
+  ROWSORT_DASSERT(key_width <= run.key_row_width);
+  std::vector<uint64_t> ovcs(run.count);
+  if (run.count == 0) return ovcs;
+  ovcs[0] = DeriveHeadOvc(run.KeyRow(0), key_width);
+  for (uint64_t i = 1; i < run.count; ++i) {
+    ovcs[i] = DeriveSuccessorOvc(run.KeyRow(i - 1), run.KeyRow(i), key_width);
+  }
+  return ovcs;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,77 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/sorted_run.h"
+
+namespace rowsort {
+
+/// \file offset_value.h
+/// Offset-value coding (OVC) for the merge phase (Graefe & Do,
+/// arXiv:2209.08420 / arXiv:2210.00034). Each row of a sorted run caches, as
+/// one integer, the offset of the first normalized-key byte that differs
+/// from the run predecessor plus the value of that byte. During merging,
+/// whenever two candidate rows carry codes relative to the *same* earlier
+/// row (their shared "base"), a single integer comparison of the codes
+/// decides their order; only equal codes require touching key bytes again,
+/// and then only the suffix past the cached offset.
+///
+/// Encoding, for a normalized key of \c key_width bytes compared ascending
+/// with memcmp: let \c k be the index of the first byte where row R differs
+/// from its base B (R >= B, so R[k] > B[k]). Then
+///
+///   code(R | B) = ((key_width - k) << 8) | R[k]
+///
+/// and code(R | B) == kOvcEqual (0) when R's key equals B's. Packing the
+/// *descending* offset before the value byte makes codes order-preserving:
+/// a row that deviates from the shared base earlier deviates upward with a
+/// larger byte, so a larger code always means a larger key.
+///
+/// Soundness requires that memcmp on the normalized key decides the total
+/// order, i.e. NormalizedKeyEncoder::needs_tie_resolution() is false
+/// (truncated VARCHAR prefixes would make equal key bytes ambiguous). The
+/// engine gates the OVC merge paths on exactly that predicate.
+
+/// Code of a row whose key equals its base's key.
+constexpr uint64_t kOvcEqual = 0;
+
+/// Sentinel ordering above every valid code; used for exhausted merge
+/// cursors (a valid code is at most ((key_width) << 8) | 0xFF).
+constexpr uint64_t kOvcExhausted = ~uint64_t{0};
+
+/// Packs the code of a row differing from its base at byte \p diff_index
+/// (0-based) with row byte \p value there.
+inline uint64_t MakeOvc(uint64_t key_width, uint64_t diff_index,
+                        uint8_t value) {
+  return ((key_width - diff_index) << 8) | value;
+}
+
+/// Index of the first differing byte cached in a non-equal \p ovc.
+inline uint64_t OvcDiffIndex(uint64_t key_width, uint64_t ovc) {
+  return key_width - (ovc >> 8);
+}
+
+/// Compares key bytes [\p begin, \p key_width) of \p a and \p b; on the
+/// first difference stores its index in \p diff_index and returns <0/>0.
+/// Returns 0 (diff_index untouched) when the suffixes are equal.
+int CompareKeySuffix(const uint8_t* a, const uint8_t* b, uint64_t begin,
+                     uint64_t key_width, uint64_t* diff_index);
+
+/// Code of a run's first row, taken relative to the virtual "minus
+/// infinity" key of key_width zero bytes (<= every key under memcmp). With
+/// this convention the leading rows of all runs share one base, so merge
+/// initialization needs no special-cased full comparisons.
+uint64_t DeriveHeadOvc(const uint8_t* key, uint64_t key_width);
+
+/// Code of \p key relative to its in-run predecessor \p prev (prev <= key).
+uint64_t DeriveSuccessorOvc(const uint8_t* prev, const uint8_t* key,
+                            uint64_t key_width);
+
+/// Derives the full per-row code vector of a sorted run: row 0 via
+/// DeriveHeadOvc, row i via DeriveSuccessorOvc against row i-1. O(n) with
+/// early-exit byte scans (duplicate-heavy runs scan whole keys).
+std::vector<uint64_t> DeriveRunOvcs(const SortedRun& run, uint64_t key_width);
+
+}  // namespace rowsort

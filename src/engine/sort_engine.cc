@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "engine/external_run.h"
 #include "engine/merge_path.h"
+#include "engine/offset_value.h"
 #include "sortalgo/radix_sort.h"
 #include "sortalgo/row_sort.h"
 
@@ -156,6 +157,12 @@ void RelationalSort::SortLocalRun(LocalState& local) {
   }
   run.payload.AdoptHeap(std::move(local.payload_));
 
+  if (UseOvc()) {
+    // Cache each row's first-difference offset+value against its run
+    // predecessor; the merge phase compares these codes instead of key bytes.
+    run.ovcs = DeriveRunOvcs(run, comparator_.key_width());
+  }
+
   // Reset the local state for the next run.
   local.key_rows_ = {};
   local.payload_ = RowCollection(payload_layout_);
@@ -217,6 +224,126 @@ void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
   }
 }
 
+/// OVC 2-way merge of one Merge Path partition. Invariant maintained after
+/// the seed comparison: both heads' codes are relative to the last emitted
+/// row. A comparison then needs key bytes only when the codes are equal and
+/// non-zero, and the suffix scan it performs yields the loser's new code
+/// relative to the winner for free (offset-value coding's merge logic,
+/// arXiv:2209.08420 §3).
+void RelationalSort::MergeSliceOvc(const SortedRun& left,
+                                   const SortedRun& right, uint64_t left_begin,
+                                   uint64_t left_end, uint64_t right_begin,
+                                   uint64_t right_end, SortedRun* out,
+                                   uint64_t out_begin) {
+  const uint64_t krw = key_row_width_;
+  const uint64_t prw = payload_layout_.row_width();
+  const uint64_t kw = comparator_.key_width();
+  uint64_t l = left_begin, r = right_begin, o = out_begin;
+  uint8_t* out_keys = out->key_rows.data();
+  uint64_t* out_ovcs = out->ovcs.data();
+  uint64_t decided = 0, fallback = 0;
+
+  // Head codes; until the seed comparison establishes the shared base these
+  // are relative to each run's own predecessor and only land in the first
+  // output slot, which MergePair re-derives at every partition boundary.
+  uint64_t ovc_l = l < left_end ? left.ovcs[l] : kOvcEqual;
+  uint64_t ovc_r = r < right_end ? right.ovcs[r] : kOvcEqual;
+  bool have_base = false;
+
+  while (l < left_end && r < right_end) {
+    bool take_left;
+    if (!have_base) {
+      // Slices start mid-run: the heads' stored codes are relative to
+      // different predecessors, so seed with one full comparison that also
+      // produces the loser's code relative to the winner.
+      uint64_t diff = 0;
+      int cmp = CompareKeySuffix(left.KeyRow(l), right.KeyRow(r), 0, kw, &diff);
+      ++fallback;
+      take_left = cmp <= 0;  // stable: left wins ties
+      if (cmp == 0) {
+        if (take_left) ovc_r = kOvcEqual;
+      } else if (take_left) {
+        ovc_r = MakeOvc(kw, diff, right.KeyRow(r)[diff]);
+      } else {
+        ovc_l = MakeOvc(kw, diff, left.KeyRow(l)[diff]);
+      }
+      have_base = true;
+    } else if (ovc_l != ovc_r) {
+      // Different codes against the same base decide the order outright; the
+      // loser's code stays valid relative to the winner.
+      ++decided;
+      take_left = ovc_l < ovc_r;
+    } else if (ovc_l == kOvcEqual) {
+      // Both heads equal the last emitted row, hence each other.
+      ++decided;
+      take_left = true;
+    } else {
+      // Equal non-zero codes: same first difference from the base, order
+      // decided by the bytes past the cached offset.
+      uint64_t begin = OvcDiffIndex(kw, ovc_l) + 1;
+      uint64_t diff = 0;
+      int cmp = begin >= kw
+                    ? 0
+                    : CompareKeySuffix(left.KeyRow(l), right.KeyRow(r), begin,
+                                       kw, &diff);
+      ++fallback;
+      take_left = cmp <= 0;
+      if (cmp == 0) {
+        if (take_left) ovc_r = kOvcEqual;
+      } else if (take_left) {
+        ovc_r = MakeOvc(kw, diff, right.KeyRow(r)[diff]);
+      } else {
+        ovc_l = MakeOvc(kw, diff, left.KeyRow(l)[diff]);
+      }
+    }
+    if (take_left) {
+      out_ovcs[o] = ovc_l;  // the winner's code is relative to the previous
+                            // output row — exactly the output run's code
+      std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
+      std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
+      if (++l < left_end) ovc_l = left.ovcs[l];  // run code vs just-emitted
+    } else {
+      out_ovcs[o] = ovc_r;
+      std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
+      std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
+      if (++r < right_end) ovc_r = right.ovcs[r];
+    }
+    ++o;
+  }
+  // One side exhausted: the first copied row's code relative to the last
+  // emitted row is its current head code (invariant), the rest are
+  // run-consecutive so their stored codes carry over.
+  if (l < left_end) {
+    out_ovcs[o] = ovc_l;
+    std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
+    std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
+    ++l, ++o;
+    for (; l < left_end; ++l, ++o) {
+      out_ovcs[o] = left.ovcs[l];
+      std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
+      std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
+    }
+  }
+  if (r < right_end) {
+    out_ovcs[o] = ovc_r;
+    std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
+    std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
+    ++r, ++o;
+    for (; r < right_end; ++r, ++o) {
+      out_ovcs[o] = right.ovcs[r];
+      std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
+      std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
+    }
+  }
+
+  ovc_decided_.fetch_add(decided, std::memory_order_relaxed);
+  ovc_fallback_.fetch_add(fallback, std::memory_order_relaxed);
+  if (config_.count_comparisons) {
+    // In the OVC path the fallbacks are the full key comparisons.
+    merge_compares_.fetch_add(fallback, std::memory_order_relaxed);
+  }
+}
+
 SortedRun RelationalSort::MergePair(const SortedRun& left,
                                     const SortedRun& right, ThreadPool* pool) {
   SortedRun out;
@@ -225,11 +352,18 @@ SortedRun RelationalSort::MergePair(const SortedRun& left,
   out.key_rows.resize(out.count * key_row_width_);
   out.payload = RowCollection(payload_layout_);
   out.payload.AppendUninitialized(out.count);
+  const bool ovc = UseOvc();
+  if (ovc) out.ovcs.resize(out.count);
 
   const uint64_t partitions =
       pool != nullptr ? std::max<uint64_t>(pool->thread_count(), 1) : 1;
+  std::vector<uint64_t> boundaries{0};
   if (partitions <= 1 || out.count < 2 * kVectorSize) {
-    MergeSlice(left, right, 0, left.count, 0, right.count, &out, 0);
+    if (ovc) {
+      MergeSliceOvc(left, right, 0, left.count, 0, right.count, &out, 0);
+    } else {
+      MergeSlice(left, right, 0, left.count, 0, right.count, &out, 0);
+    }
   } else {
     // Merge Path: cut both runs at evenly spaced output diagonals; each
     // partition merges independently (§VII).
@@ -242,22 +376,50 @@ SortedRun RelationalSort::MergePair(const SortedRun& left,
       uint64_t i = MergePathSearch(left, right, comparator_, diagonal);
       left_cuts[p] = i;
       right_cuts[p] = diagonal - i;
+      boundaries.push_back(diagonal);
     }
     std::vector<std::function<void()>> tasks;
     for (uint64_t p = 0; p < partitions; ++p) {
       uint64_t out_begin = left_cuts[p] + right_cuts[p];
       tasks.push_back([this, &left, &right, &left_cuts, &right_cuts, &out,
-                       out_begin, p] {
-        MergeSlice(left, right, left_cuts[p], left_cuts[p + 1], right_cuts[p],
-                   right_cuts[p + 1], &out, out_begin);
+                       out_begin, ovc, p] {
+        if (ovc) {
+          MergeSliceOvc(left, right, left_cuts[p], left_cuts[p + 1],
+                        right_cuts[p], right_cuts[p + 1], &out, out_begin);
+        } else {
+          MergeSlice(left, right, left_cuts[p], left_cuts[p + 1],
+                     right_cuts[p], right_cuts[p + 1], &out, out_begin);
+        }
       });
     }
     pool->RunBatch(std::move(tasks));
+  }
+  if (ovc && out.count > 0) {
+    // Each slice's first output row precedes rows another slice produced, so
+    // its code could not be derived in parallel; re-derive at the cuts (and
+    // re-anchor row 0 to the virtual -inf base).
+    const uint64_t kw = comparator_.key_width();
+    uint64_t fixups = 0;
+    for (uint64_t b : boundaries) {
+      if (b >= out.count) continue;  // empty tail partition
+      out.ovcs[b] = b == 0 ? DeriveHeadOvc(out.KeyRow(0), kw)
+                           : DeriveSuccessorOvc(out.KeyRow(b - 1),
+                                                out.KeyRow(b), kw);
+      ++fixups;
+    }
+    ovc_fallback_.fetch_add(fixups, std::memory_order_relaxed);
+    if (config_.count_comparisons) {
+      merge_compares_.fetch_add(fixups, std::memory_order_relaxed);
+    }
   }
   return out;
 }
 
 SortedRun RelationalSort::MergeKWay(std::vector<SortedRun>& runs) {
+  return UseOvc() ? MergeKWayLoserTree(runs) : MergeKWayHeap(runs);
+}
+
+SortedRun RelationalSort::MergeKWayHeap(std::vector<SortedRun>& runs) {
   SortedRun out;
   out.key_row_width = key_row_width_;
   out.payload = RowCollection(payload_layout_);
@@ -322,6 +484,125 @@ SortedRun RelationalSort::MergeKWay(std::vector<SortedRun>& runs) {
   return out;
 }
 
+/// Tournament loser tree over all runs with offset-value codes at the nodes
+/// (Graefe & Do, arXiv:2209.08420; arXiv:2210.00034 §4). Every run cursor
+/// carries a code relative to the most recently emitted row; replacement
+/// keys enter with their precomputed run code (their run predecessor *is*
+/// the emitted row) and ascend the same leaf-to-root path the winner took,
+/// meeting losers whose codes are relative to that same row — so a node
+/// comparison is one integer compare unless the codes tie, and the rare
+/// suffix scan repairs the loser's code in passing.
+SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
+  SortedRun out;
+  out.key_row_width = key_row_width_;
+  out.payload = RowCollection(payload_layout_);
+  uint64_t total = 0;
+  for (const auto& run : runs) total += run.count;
+  out.count = total;
+  out.key_rows.resize(total * key_row_width_);
+  out.payload.AppendUninitialized(total);
+
+  const uint64_t kw = comparator_.key_width();
+  // Leaves padded to a power of two; virtual leaves are exhausted cursors.
+  uint64_t leaves = 1;
+  while (leaves < runs.size() || leaves < 2) leaves <<= 1;
+  struct Cursor {
+    const SortedRun* run = nullptr;
+    uint64_t pos = 0;
+    uint64_t ovc = kOvcExhausted;
+  };
+  std::vector<Cursor> cursors(leaves);
+  for (uint64_t r = 0; r < runs.size(); ++r) {
+    if (runs[r].count == 0) continue;
+    ROWSORT_DASSERT(runs[r].ovcs.size() == runs[r].count);
+    cursors[r] = {&runs[r], 0, runs[r].ovcs[0]};  // code vs the -inf base
+  }
+  uint64_t decided = 0, fallback = 0;
+
+  // True iff leaf a's key precedes leaf b's. Both codes are relative to the
+  // same base row; the loser's code is left (or repaired) relative to the
+  // winner, preserving the tree invariant for the next visit of this node.
+  auto precedes = [&](uint32_t a, uint32_t b) -> bool {
+    Cursor& ca = cursors[a];
+    Cursor& cb = cursors[b];
+    if (ca.ovc == kOvcExhausted || cb.ovc == kOvcExhausted) {
+      return ca.ovc != kOvcExhausted;
+    }
+    if (ca.ovc != cb.ovc) {
+      ++decided;
+      return ca.ovc < cb.ovc;
+    }
+    if (ca.ovc == kOvcEqual) {
+      // Both equal the emitted base row: stable tie-break by run index.
+      ++decided;
+      return a < b;
+    }
+    const uint8_t* ka = ca.run->KeyRow(ca.pos);
+    const uint8_t* kb = cb.run->KeyRow(cb.pos);
+    uint64_t begin = OvcDiffIndex(kw, ca.ovc) + 1;
+    uint64_t diff = 0;
+    ++fallback;
+    int cmp = begin >= kw ? 0 : CompareKeySuffix(ka, kb, begin, kw, &diff);
+    if (cmp == 0) {
+      bool a_first = a < b;
+      (a_first ? cb : ca).ovc = kOvcEqual;  // loser equals the winner
+      return a_first;
+    }
+    if (cmp < 0) {
+      cb.ovc = MakeOvc(kw, diff, kb[diff]);
+      return true;
+    }
+    ca.ovc = MakeOvc(kw, diff, ka[diff]);
+    return false;
+  };
+
+  // tree[n] (1 <= n < leaves) holds the loser leaf of node n's last
+  // comparison; initial build plays every node bottom-up.
+  std::vector<uint32_t> tree(leaves, 0);
+  auto build = [&](auto&& self, uint64_t node) -> uint32_t {
+    if (node >= leaves) return static_cast<uint32_t>(node - leaves);
+    uint32_t wl = self(self, 2 * node);
+    uint32_t wr = self(self, 2 * node + 1);
+    if (precedes(wl, wr)) {
+      tree[node] = wr;
+      return wl;
+    }
+    tree[node] = wl;
+    return wr;
+  };
+  uint32_t winner = build(build, 1);
+
+  const uint64_t krw = key_row_width_;
+  const uint64_t prw = payload_layout_.row_width();
+  for (uint64_t o = 0; o < total; ++o) {
+    Cursor& cw = cursors[winner];
+    std::memcpy(out.key_rows.data() + o * krw, cw.run->KeyRow(cw.pos), krw);
+    std::memcpy(out.payload.GetRow(o), cw.run->PayloadRow(cw.pos), prw);
+    if (++cw.pos == cw.run->count) {
+      cw.ovc = kOvcExhausted;
+    } else {
+      cw.ovc = cw.run->ovcs[cw.pos];  // code vs the row just emitted
+    }
+    // Replay the winner's path; each stored loser's code is relative to the
+    // emitted row, like the replacement's.
+    uint32_t candidate = winner;
+    for (uint64_t node = (leaves + winner) >> 1; node >= 1; node >>= 1) {
+      if (precedes(tree[node], candidate)) std::swap(tree[node], candidate);
+    }
+    winner = candidate;
+  }
+
+  for (auto& run : runs) {
+    out.payload.AdoptHeap(std::move(run.payload));
+  }
+  ovc_decided_.fetch_add(decided, std::memory_order_relaxed);
+  ovc_fallback_.fetch_add(fallback, std::memory_order_relaxed);
+  if (config_.count_comparisons) {
+    merge_compares_.fetch_add(fallback, std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void RelationalSort::Finalize(ThreadPool* pool) {
   Timer timer;
   metrics_.run_generation_compares =
@@ -338,6 +619,12 @@ void RelationalSort::Finalize(ThreadPool* pool) {
       auto right = ReadRunFromFile(payload_layout_, right_path);
       ROWSORT_CHECK_OK(left.status());
       ROWSORT_CHECK_OK(right.status());
+      if (UseOvc()) {
+        // The spill format stores no codes; re-derive on load.
+        left.value().ovcs = DeriveRunOvcs(left.value(), comparator_.key_width());
+        right.value().ovcs =
+            DeriveRunOvcs(right.value(), comparator_.key_width());
+      }
       SortedRun merged = MergePair(left.value(), right.value(), pool);
       merged.payload.AdoptHeap(std::move(left.value().payload));
       merged.payload.AdoptHeap(std::move(right.value().payload));
@@ -356,6 +643,8 @@ void RelationalSort::Finalize(ThreadPool* pool) {
     result_ = std::move(final_run.value());
     metrics_.merge_seconds += timer.ElapsedSeconds();
     metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
+    metrics_.ovc_decided = ovc_decided_.load(std::memory_order_relaxed);
+    metrics_.ovc_fallback_compares = ovc_fallback_.load(std::memory_order_relaxed);
     return;
   }
 
@@ -372,6 +661,8 @@ void RelationalSort::Finalize(ThreadPool* pool) {
     runs_.clear();
     metrics_.merge_seconds += timer.ElapsedSeconds();
     metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
+    metrics_.ovc_decided = ovc_decided_.load(std::memory_order_relaxed);
+    metrics_.ovc_fallback_compares = ovc_fallback_.load(std::memory_order_relaxed);
     return;
   }
 
@@ -408,6 +699,8 @@ void RelationalSort::Finalize(ThreadPool* pool) {
   result_ = std::move(current.front());
   metrics_.merge_seconds += timer.ElapsedSeconds();
   metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
+  metrics_.ovc_decided = ovc_decided_.load(std::memory_order_relaxed);
+  metrics_.ovc_fallback_compares = ovc_fallback_.load(std::memory_order_relaxed);
 }
 
 uint64_t RelationalSort::ScanChunk(uint64_t start, DataChunk* out) const {

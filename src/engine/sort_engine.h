@@ -47,10 +47,19 @@ struct SortEngineConfig {
   std::string spill_directory;
   /// Merge strategy ablation: false = DuckDB's 2-way cascaded merge with
   /// Merge Path parallelism (the paper's design); true = a single k-way
-  /// heap merge over all runs at once, the strategy §VII attributes to
+  /// merge over all runs at once, the strategy §VII attributes to
   /// ClickHouse and HyPer/Umbra. The k-way merge touches each row once but
-  /// pays a log(k) heap comparison per output row and is one serial pass.
+  /// pays a log(k) tree comparison per output row and is one serial pass.
   bool use_kway_merge = false;
+  /// Offset-value coding (Graefe & Do, arXiv:2209.08420): cache per row the
+  /// offset+value of the first key byte differing from the run predecessor,
+  /// so merge comparisons are usually a single integer compare instead of a
+  /// full-key memcmp. Upgrades the k-way merge from a binary heap to a
+  /// tournament loser tree that repairs codes incrementally, and the 2-way
+  /// Merge Path slices to code-first comparisons. Automatically bypassed
+  /// (full comparator merge) when truncated VARCHAR prefixes make key bytes
+  /// non-decisive (TupleComparator::needs_tie_resolution()).
+  bool use_offset_value_codes = true;
 };
 
 /// Measurements the pipeline records per sort (bench/§II support).
@@ -59,6 +68,13 @@ struct SortMetrics {
   uint64_t runs_generated = 0;
   uint64_t run_generation_compares = 0;  ///< 0 when radix sort was used
   uint64_t merge_compares = 0;
+  /// Merge comparisons settled by the offset-value codes alone (one integer
+  /// compare, no key bytes touched). 0 when OVC is off or bypassed.
+  uint64_t ovc_decided = 0;
+  /// Merge comparisons that fell back to key bytes: equal codes resolved by
+  /// a suffix scan past the cached offset, plus the per-slice seed and
+  /// partition-boundary comparisons. The OVC analogue of merge_compares.
+  uint64_t ovc_fallback_compares = 0;
   double sink_seconds = 0;      ///< DSM->NSM conversion + key normalization
   double run_sort_seconds = 0;  ///< thread-local sorts + payload reorder
   double merge_seconds = 0;     ///< cascaded merge
@@ -143,10 +159,22 @@ class RelationalSort {
   SortedRun MergePair(const SortedRun& left, const SortedRun& right,
                       ThreadPool* pool);
   SortedRun MergeKWay(std::vector<SortedRun>& runs);
+  SortedRun MergeKWayHeap(std::vector<SortedRun>& runs);
+  SortedRun MergeKWayLoserTree(std::vector<SortedRun>& runs);
   void MergeSlice(const SortedRun& left, const SortedRun& right,
                   uint64_t left_begin, uint64_t left_end, uint64_t right_begin,
                   uint64_t right_end, SortedRun* out, uint64_t out_begin);
+  void MergeSliceOvc(const SortedRun& left, const SortedRun& right,
+                     uint64_t left_begin, uint64_t left_end,
+                     uint64_t right_begin, uint64_t right_end, SortedRun* out,
+                     uint64_t out_begin);
   bool UseRadix(uint64_t count) const;
+  /// OVC merge paths are sound only when memcmp on key bytes is the total
+  /// order (no truncated VARCHAR prefixes to resolve from payloads).
+  bool UseOvc() const {
+    return config_.use_offset_value_codes &&
+           comparator_.SupportsOffsetValueCoding();
+  }
 
   SortSpec spec_;
   std::vector<LogicalType> input_types_;
@@ -165,6 +193,8 @@ class RelationalSort {
   SortMetrics metrics_;
   std::atomic<uint64_t> run_compares_{0};
   std::atomic<uint64_t> merge_compares_{0};
+  std::atomic<uint64_t> ovc_decided_{0};
+  std::atomic<uint64_t> ovc_fallback_{0};
 };
 
 }  // namespace rowsort

@@ -18,6 +18,11 @@ struct SortedRun {
   uint64_t count = 0;
   uint64_t key_row_width = 0;
 
+  /// Per-row offset-value codes relative to the run predecessor (see
+  /// offset_value.h); empty when the engine runs with OVC disabled. Derived
+  /// after run generation and propagated through OVC-aware merges.
+  std::vector<uint64_t> ovcs;
+
   const uint8_t* KeyRow(uint64_t i) const {
     return key_rows.data() + i * key_row_width;
   }

@@ -27,6 +27,12 @@ class TupleComparator {
   uint64_t key_width() const { return key_width_; }
   bool needs_tie_resolution() const { return needs_ties_; }
 
+  /// True when memcmp on the key bytes alone decides the total order, which
+  /// is exactly the precondition for offset-value coding in the merge phase
+  /// (offset_value.h): a cached first-difference offset is only meaningful
+  /// when equal key bytes imply equal tuples.
+  bool SupportsOffsetValueCoding() const { return !needs_ties_; }
+
   /// Pure key comparison; exact iff !needs_tie_resolution().
   int CompareKeys(const uint8_t* key_a, const uint8_t* key_b) const {
     return std::memcmp(key_a, key_b, key_width_);

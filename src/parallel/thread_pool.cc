@@ -1,6 +1,8 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #include "parallel/thread_pool.h"
 
+#include <algorithm>
+
 namespace rowsort {
 
 ThreadPool::ThreadPool(uint64_t thread_count) {
@@ -72,11 +74,24 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
 }
 
 void ThreadPool::ParallelFor(uint64_t count,
-                             const std::function<void(uint64_t)>& fn) {
+                             const std::function<void(uint64_t)>& fn,
+                             uint64_t grain) {
+  if (count == 0) return;
+  if (grain == 0) {
+    // A few blocks per worker balances uneven per-index work without
+    // scheduling more than O(threads) tasks.
+    const uint64_t target_tasks = std::max<uint64_t>(thread_count(), 1) * 4;
+    grain = std::max<uint64_t>(1, (count + target_tasks - 1) / target_tasks);
+  }
+  const uint64_t num_tasks = (count + grain - 1) / grain;
   std::vector<std::function<void()>> tasks;
-  tasks.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    tasks.push_back([i, &fn] { fn(i); });
+  tasks.reserve(num_tasks);
+  for (uint64_t t = 0; t < num_tasks; ++t) {
+    const uint64_t begin = t * grain;
+    const uint64_t end = std::min(count, begin + grain);
+    tasks.push_back([begin, end, &fn] {
+      for (uint64_t i = begin; i < end; ++i) fn(i);
+    });
   }
   RunBatch(std::move(tasks));
 }

@@ -33,8 +33,13 @@ class ThreadPool {
   /// without deadlock.
   void RunBatch(std::vector<std::function<void()>> tasks);
 
-  /// Convenience: RunBatch over indices [0, count) of \p fn(index).
-  void ParallelFor(uint64_t count, const std::function<void(uint64_t)>& fn);
+  /// Convenience: RunBatch over indices [0, count) of \p fn(index). Indices
+  /// are grouped into contiguous blocks so that large index spaces schedule
+  /// O(threads) tasks instead of one std::function allocation per index;
+  /// \p grain is the minimum indices per task (0 = pick automatically, with
+  /// a few blocks per worker for load balance).
+  void ParallelFor(uint64_t count, const std::function<void(uint64_t)>& fn,
+                   uint64_t grain = 0);
 
  private:
   void WorkerLoop();

@@ -16,24 +16,40 @@ constexpr uint64_t kBuckets = 256;
 
 struct ByteHistogram {
   uint64_t counts[kBuckets] = {};
+  uint64_t max_count = 0;  ///< largest bucket, maintained by the counters
 
-  /// Returns the bucket holding every row, or kBuckets when rows spread over
-  /// more than one bucket (enables the paper's copy-skip optimization).
-  uint64_t SingleBucket(uint64_t count) const {
-    for (uint64_t b = 0; b < kBuckets; ++b) {
-      if (counts[b] == count) return b;
-      if (counts[b] != 0) return kBuckets;
-    }
-    return kBuckets;
-  }
+  /// True when one bucket holds every row (enables the paper's copy-skip
+  /// optimization); decided from the running maximum instead of an O(256)
+  /// scan after each counting pass.
+  bool AllInOneBucket(uint64_t count) const { return max_count == count; }
 };
 
 void CountByte(const uint8_t* rows, uint64_t count, uint64_t row_width,
                uint64_t byte_offset, ByteHistogram* hist) {
   const uint8_t* ptr = rows + byte_offset;
+  uint64_t max = hist->max_count;
   for (uint64_t i = 0; i < count; ++i) {
-    ++hist->counts[*ptr];
+    uint64_t c = ++hist->counts[*ptr];
+    if (c > max) max = c;
     ptr += row_width;
+  }
+  hist->max_count = max;
+}
+
+/// Histograms of all \p key_width digits in a single scan over the rows.
+/// Byte-value distributions are invariant under reordering, so the LSD sort
+/// can count every digit up front instead of re-scanning all rows per pass.
+void CountAllBytes(const uint8_t* rows, uint64_t count, uint64_t row_width,
+                   uint64_t key_offset, uint64_t key_width,
+                   ByteHistogram* hists) {
+  const uint8_t* key = rows + key_offset;
+  for (uint64_t i = 0; i < count; ++i) {
+    for (uint64_t d = 0; d < key_width; ++d) {
+      ByteHistogram& hist = hists[d];
+      uint64_t c = ++hist.counts[key[d]];
+      if (c > hist.max_count) hist.max_count = c;
+    }
+    key += row_width;
   }
 }
 
@@ -48,15 +64,20 @@ void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
   uint8_t* src = rows;
   uint8_t* dst = aux;
 
-  // One stable counting pass per key byte, least significant digit first.
+  // All per-digit histograms in one fused scan (they do not depend on row
+  // order, so the scatter passes below cannot invalidate them).
+  std::vector<ByteHistogram> hists(config.key_width);
+  CountAllBytes(src, count, row_width, config.key_offset, config.key_width,
+                hists.data());
+
+  // One stable scatter pass per key byte, least significant digit first.
   for (uint64_t d = config.key_width; d-- > 0;) {
     const uint64_t byte_offset = config.key_offset + d;
-    ByteHistogram hist;
-    CountByte(src, count, row_width, byte_offset, &hist);
+    const ByteHistogram& hist = hists[d];
 
     // Copy-skip optimization (paper §VI-B): a constant byte cannot change
     // the order, so the pass performs no data movement.
-    if (hist.SingleBucket(count) != kBuckets) {
+    if (hist.AllInOneBucket(count)) {
       if (stats) ++stats->skipped_passes;
       continue;
     }
@@ -111,7 +132,7 @@ void MsdRecurse(uint8_t* rows, uint8_t* aux, uint64_t count,
     CountByte(rows, count, row_width, byte_offset, &hist);
 
     // Copy-skip: all rows share this byte, descend without moving data.
-    if (hist.SingleBucket(count) != kBuckets) {
+    if (hist.AllInOneBucket(count)) {
       if (stats) ++stats->skipped_passes;
       ++digit;
       continue;

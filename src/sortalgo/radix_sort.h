@@ -33,10 +33,11 @@ struct RadixSortStats {
   uint64_t rows_moved = 0;      ///< row copies performed
 };
 
-/// Least-significant-digit radix sort: one stable counting pass per key byte,
-/// from last to first. Needs \p aux of the same size as \p rows; the sorted
-/// result is always left in \p rows. The one-bucket optimization skips the
-/// data movement of a pass whose byte is constant (paper §VI-B).
+/// Least-significant-digit radix sort: all per-digit histograms are counted
+/// in one fused scan over the rows, then one stable scatter pass runs per
+/// key byte from last to first. Needs \p aux of the same size as \p rows;
+/// the sorted result is always left in \p rows. The one-bucket optimization
+/// skips the data movement of a pass whose byte is constant (paper §VI-B).
 void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
                   const RadixSortConfig& config,
                   RadixSortStats* stats = nullptr);

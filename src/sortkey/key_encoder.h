@@ -38,6 +38,11 @@ class NormalizedKeyEncoder {
   /// True when memcmp on the key cannot break every tie (VARCHAR prefixes).
   bool needs_tie_resolution() const { return needs_tie_resolution_; }
 
+  /// True when the encoding is exact under memcmp, which additionally makes
+  /// the keys offset-value-codable (engine/offset_value.h): the first
+  /// differing byte between two keys then fully determines their order.
+  bool SupportsOffsetValueCoding() const { return !needs_tie_resolution_; }
+
   /// Encodes rows [0, count) of \p chunk. Row r's key is written at
   /// \p out + r * stride + \p offset. \p stride must be >= offset + key_width.
   /// Vector-at-a-time inner loops amortize interpretation overhead exactly as

@@ -58,6 +58,39 @@ TEST(ThreadPoolTest, TasksActuallyRunConcurrentlyWhenPossible) {
   EXPECT_EQ(sum.load(), 64ull * 63 / 2);
 }
 
+TEST(ThreadPoolTest, ParallelForLargeRangeCoversEveryIndexOnce) {
+  // A large index space must still hit every index exactly once even though
+  // the blocked-range scheduling creates far fewer tasks than indices.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100000);
+  pool.ParallelFor(100000, [&hits](uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForExplicitGrainCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  for (uint64_t grain : {1u, 7u, 64u, 5000u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.ParallelFor(
+        1000, [&hits](uint64_t i) { hits[i].fetch_add(1); }, grain);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForGrainLargerThanCount) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(
+      10, [&sum](uint64_t i) { sum.fetch_add(i); }, 1 << 20);
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeWithGrainIsNoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(
+      0, [](uint64_t) { FAIL(); }, 128);
+}
+
 TEST(ThreadPoolTest, ThreadCountReported) {
   ThreadPool pool(5);
   EXPECT_EQ(pool.thread_count(), 5u);

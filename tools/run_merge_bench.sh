@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the merge-strategy x offset-value-coding ablation and records the
+# results as BENCH_merge.json, so the comparison-count reduction can be
+# tracked across changes (see bench/bench_ablation_merge_strategy.cc and
+# docs/merge_phase.md).
+#
+# Usage: tools/run_merge_bench.sh [build-dir] [output-json]
+#   build-dir    defaults to ./build (configured+built if missing)
+#   output-json  defaults to ./BENCH_merge.json
+#
+# Knobs (environment):
+#   ROWSORT_BENCH_REPS       repetitions per cell (median reported; default 3)
+#   ROWSORT_MERGE_ABL_ROWS   unique-int32 workload rows (default 2000000)
+#   ROWSORT_MERGE_DUP_ROWS   dup-heavy 3-col workload rows (default 1000000)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_merge.json}"
+bench="${build_dir}/bench/bench_ablation_merge_strategy"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "== ${bench} not found; configuring and building =="
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+  cmake --build "${build_dir}" -j --target bench_ablation_merge_strategy
+fi
+
+echo "== running merge ablation (JSON -> ${out_json}) =="
+ROWSORT_BENCH_JSON="${out_json}" "${bench}"
+
+echo "== done: ${out_json} =="
