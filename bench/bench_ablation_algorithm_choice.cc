@@ -21,7 +21,7 @@ double TimeSort(const Table& input, const SortSpec& spec,
   SortEngineConfig config;
   config.algorithm = algorithm;
   return rowsort::bench::MedianSeconds(
-      [&] { RelationalSort::SortTable(input, spec, config); });
+      [&] { RelationalSort::SortTable(input, spec, config).ValueOrDie(); });
 }
 
 }  // namespace

@@ -79,7 +79,7 @@ void RunGrid(const char* workload, const Table& input, const SortSpec& spec,
         config.count_comparisons = true;  // forces the comparison-sort path
         SortMetrics metrics;
         double seconds = bench::MedianSeconds(
-            [&] { RelationalSort::SortTable(input, spec, config, &metrics); });
+            [&] { RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie(); });
         const char* name = strategy == 1 ? "kway" : "cascade";
         std::printf("%6llu %9s %5s %9.3fs %16s %14s %16s\n",
                     (unsigned long long)k,

@@ -27,7 +27,7 @@ int main() {
   SortSpec spec({SortColumn(0, TypeId::kInt32), SortColumn(1, TypeId::kInt32),
                  SortColumn(2, TypeId::kInt32),
                  SortColumn(3, TypeId::kInt32)});
-  Table sorted = RelationalSort::SortTable(table, spec);
+  Table sorted = RelationalSort::SortTable(table, spec).ValueOrDie();
 
   std::printf("rows = %s, ORDER BY cs_warehouse_sk, cs_ship_mode_sk, "
               "cs_promo_sk, cs_quantity\n\n",

@@ -24,7 +24,7 @@ int main() {
   SortSpec spec({SortColumn(0, TypeId::kInt32)});
 
   double full_sort = bench::MedianSeconds(
-      [&] { RelationalSort::SortTable(input, spec); });
+      [&] { RelationalSort::SortTable(input, spec).ValueOrDie(); });
   std::printf("rows = %s, full sort: %.3fs\n\n", FormatCount(n).c_str(),
               full_sort);
   std::printf("%12s %12s %10s %18s\n", "limit", "top-n time", "speedup",

@@ -38,7 +38,7 @@ int main() {
       config.use_offset_value_codes = ovc == 1;
       SortMetrics m;
       Timer timer;
-      RelationalSort::SortTable(input, spec, config, &m);
+      RelationalSort::SortTable(input, spec, config, &m).ValueOrDie();
       if (ovc == 1) {
         total = timer.ElapsedSeconds();
         metrics = m;

@@ -36,7 +36,7 @@ int main() {
     config.algorithm = RunSortAlgorithm::kPdq;
     config.count_comparisons = true;
     SortMetrics metrics;
-    RelationalSort::SortTable(input, spec, config, &metrics);
+    RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
 
     double measured = 100.0 * double(metrics.run_generation_compares) /
                       double(metrics.run_generation_compares +

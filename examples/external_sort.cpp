@@ -37,12 +37,12 @@ int main() {
   config.run_size_rows = run_rows;
   config.spill_directory = dir;
   SortMetrics metrics;
-  Table sorted = RelationalSort::SortTable(input, spec, config, &metrics);
+  Table sorted = RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
 
   // Verify against the fully in-memory pipeline.
   SortEngineConfig mem_config;
   mem_config.run_size_rows = run_rows;
-  Table reference = RelationalSort::SortTable(input, spec, mem_config);
+  Table reference = RelationalSort::SortTable(input, spec, mem_config).ValueOrDie();
 
   bool identical = sorted.row_count() == reference.row_count();
   for (uint64_t c = 0; identical && c < sorted.ChunkCount(); ++c) {

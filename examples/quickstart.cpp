@@ -51,7 +51,7 @@ int main() {
   // normalized key rows + payload rows, sorted with radix sort or pdqsort,
   // and converted back to vectors.
   SortMetrics metrics;
-  Table sorted = RelationalSort::SortTable(table, spec, {}, &metrics);
+  Table sorted = RelationalSort::SortTable(table, spec, {}, &metrics).ValueOrDie();
 
   // 4. Read the result.
   std::printf("%-8s %s\n", "name", "score");

@@ -40,7 +40,7 @@ int main() {
   config.threads = 2;  // morsel-driven parallel sink + Merge Path merge
   config.run_size_rows = 256;  // force several runs and a real merge
   SortMetrics metrics;
-  Table sorted = RelationalSort::SortTable(customer, spec, config, &metrics);
+  Table sorted = RelationalSort::SortTable(customer, spec, config, &metrics).ValueOrDie();
 
   std::printf("%-12s %-10s %-12s\n", "c_last_name", "birth_year",
               "c_first_name");

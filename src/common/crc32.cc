@@ -1,0 +1,41 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/crc32.h"
+
+#include <array>
+
+namespace rowsort {
+
+namespace {
+
+/// Table-driven byte-at-a-time CRC-32; the table is built once at startup.
+/// Spill I/O is disk-bound, so a software CRC is not on the critical path.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c >> 1) ^ ((c & 1) ? 0xEDB88320u : 0u);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, const void* data, uint64_t size) {
+  const auto& table = Table();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (uint64_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,18 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+namespace rowsort {
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to checksum spill-file
+/// sections so a corrupted or bit-flipped run file is detected on load and
+/// surfaced as Status::IOError instead of producing garbage rows or a crash.
+
+/// Extends a running CRC with \p size bytes. Start with crc = 0; the
+/// finalization (pre/post inversion) is handled internally, so
+/// Crc32(Crc32(0, a, n), b, m) == Crc32(0, concat(a, b), n + m).
+uint32_t Crc32(uint32_t crc, const void* data, uint64_t size);
+
+}  // namespace rowsort

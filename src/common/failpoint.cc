@@ -1,0 +1,135 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rowsort {
+namespace failpoint {
+
+namespace {
+
+constexpr uint64_t kFireForever = UINT64_MAX;
+
+struct State {
+  uint64_t skip = 0;       ///< evaluations to pass before firing
+  uint64_t remaining = 1;  ///< fires left (kFireForever = never exhausts)
+  uint64_t hits = 0;       ///< evaluations since armed
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, State> states;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Armed-failpoint count; lets Evaluate() bail with one relaxed load when
+/// nothing is armed, so compiled-in failpoints cost ~nothing in production.
+std::atomic<uint64_t> g_armed{0};
+
+void ParseEnvironmentLocked(Registry& registry) {
+  const char* env = std::getenv("ROWSORT_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;  // malformed: skip
+    State state;
+    std::string counts = entry.substr(eq + 1);
+    size_t colon = counts.find(':');
+    state.skip = std::strtoull(counts.c_str(), nullptr, 10);
+    if (colon != std::string::npos) {
+      uint64_t fires = std::strtoull(counts.c_str() + colon + 1, nullptr, 10);
+      state.remaining = fires == 0 ? kFireForever : fires;
+    }
+    registry.states[entry.substr(0, eq)] = state;
+    g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EnsureEnvParsed() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    ParseEnvironmentLocked(registry);
+  });
+}
+
+}  // namespace
+
+bool Enabled() {
+#if defined(ROWSORT_FAILPOINTS_ENABLED) && ROWSORT_FAILPOINTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Arm(const char* name, uint64_t skip, uint64_t fires) {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] = registry.states.insert_or_assign(
+      std::string(name), State{skip, fires == 0 ? kFireForever : fires, 0});
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const char* name) {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.states.erase(std::string(name)) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  g_armed.fetch_sub(registry.states.size(), std::memory_order_relaxed);
+  registry.states.clear();
+}
+
+bool Evaluate(const char* name) {
+  EnsureEnvParsed();
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.states.find(std::string(name));
+  if (it == registry.states.end()) return false;
+  State& state = it->second;
+  ++state.hits;
+  if (state.skip > 0) {
+    --state.skip;
+    return false;
+  }
+  if (state.remaining == 0) return false;  // exhausted; entry kept for hits
+  if (state.remaining != kFireForever) --state.remaining;
+  return true;
+}
+
+uint64_t HitCount(const char* name) {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.states.find(std::string(name));
+  return it == registry.states.end() ? 0 : it->second.hits;
+}
+
+}  // namespace failpoint
+}  // namespace rowsort

@@ -1,0 +1,54 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+namespace rowsort {
+namespace failpoint {
+
+/// \file failpoint.h
+/// Deterministic fault injection for the robustness tests: "fail the Nth
+/// spill write", "fail the Nth allocation in Sink". Sites are compiled in
+/// under the ROWSORT_FAILPOINTS CMake option (default ON; one relaxed atomic
+/// load per site when nothing is armed) and do nothing when it is OFF.
+///
+/// Programmatic activation:
+///   failpoint::Arm("external_run_write", /*skip=*/2);  // fail the 3rd write
+///   ... run the scenario ...
+///   failpoint::DisarmAll();
+///
+/// Environment activation (parsed once, on the first evaluation):
+///   ROWSORT_FAILPOINTS="external_run_write=2,sink_alloc=0:3"
+/// where each entry is name=skip[:fires] (fires defaults to 1; fires=0 means
+/// fire on every evaluation after the skip).
+
+/// True when failpoint support was compiled in.
+bool Enabled();
+
+/// Arms \p name: the next \p skip evaluations pass, then \p fires
+/// evaluations fail (0 = fail forever). Re-arming replaces the state.
+void Arm(const char* name, uint64_t skip = 0, uint64_t fires = 1);
+
+/// Disarms \p name (no-op when not armed).
+void Disarm(const char* name);
+
+/// Disarms everything (test teardown).
+void DisarmAll();
+
+/// Evaluates \p name: returns true when the site should fail now. Called by
+/// the ROWSORT_FAILPOINT macro; tests normally don't call this directly.
+bool Evaluate(const char* name);
+
+/// Total evaluations of \p name since it was last armed (diagnostics).
+uint64_t HitCount(const char* name);
+
+}  // namespace failpoint
+}  // namespace rowsort
+
+#if defined(ROWSORT_FAILPOINTS_ENABLED) && ROWSORT_FAILPOINTS_ENABLED
+/// Evaluates to true when the named failpoint fires; the site decides what
+/// failing means (throw std::bad_alloc, return Status::IOError, ...).
+#define ROWSORT_FAILPOINT(name) (::rowsort::failpoint::Evaluate(name))
+#else
+#define ROWSORT_FAILPOINT(name) (false)
+#endif

@@ -1,0 +1,128 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \brief Atomic reservation counter governing the sort pipeline's working
+/// set (Future Work §IX: graceful degradation for blocking operators).
+///
+/// Components that hold row data reserve their resident bytes here; the
+/// engine consults WouldExceed() before growing its working set and spills
+/// sorted runs to disk until the reservation fits. A limit of 0 means
+/// unlimited (accounting still happens so peak() stays meaningful).
+///
+/// The tracker never fails a reservation itself — enforcement is the
+/// caller's job (spill, then reserve). This keeps accounting exact even for
+/// allocations that cannot be avoided (e.g. the final merged result).
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+  ROWSORT_DISALLOW_COPY_AND_MOVE(MemoryTracker);
+
+  void set_limit(uint64_t limit_bytes) { limit_ = limit_bytes; }
+  uint64_t limit() const { return limit_; }
+
+  /// Accounts \p bytes of resident memory (unconditional).
+  void Reserve(uint64_t bytes) {
+    if (bytes == 0) return;
+    uint64_t now = reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Keep the high-water mark; CAS loop because peaks race.
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Releases \p bytes previously reserved.
+  void Release(uint64_t bytes) {
+    if (bytes == 0) return;
+    ROWSORT_DASSERT(reserved_.load(std::memory_order_relaxed) >= bytes);
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// True when a limit is set and adding \p extra bytes would exceed it.
+  bool WouldExceed(uint64_t extra) const {
+    return limit_ != 0 &&
+           reserved_.load(std::memory_order_relaxed) + extra > limit_;
+  }
+
+  /// True when a limit is set and the current reservation already exceeds it.
+  bool OverLimit() const {
+    return limit_ != 0 && reserved_.load(std::memory_order_relaxed) > limit_;
+  }
+
+  uint64_t reserved() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> reserved_{0};
+  std::atomic<uint64_t> peak_{0};
+  uint64_t limit_;
+};
+
+/// \brief RAII handle for bytes reserved against a MemoryTracker.
+///
+/// Owned by the structures whose memory it accounts (RowCollection,
+/// SortedRun, the engine's local sink state); releases on destruction and
+/// transfers on move, so accounting survives the pipeline's heavy use of
+/// move semantics without double releases.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      tracker_ = other.tracker_;
+      bytes_ = other.bytes_;
+      other.tracker_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  ~MemoryReservation() { Reset(); }
+
+  /// Re-points the reservation: releases the old amount and reserves
+  /// \p bytes against \p tracker (null tracker = stop accounting).
+  void Reset(MemoryTracker* tracker = nullptr, uint64_t bytes = 0) {
+    if (tracker_ != nullptr) tracker_->Release(bytes_);
+    tracker_ = tracker;
+    bytes_ = tracker != nullptr ? bytes : 0;
+    if (tracker_ != nullptr) tracker_->Reserve(bytes_);
+  }
+
+  /// Adjusts the reserved amount in place (same tracker).
+  void Update(uint64_t bytes) {
+    if (tracker_ == nullptr) return;
+    if (bytes > bytes_) {
+      tracker_->Reserve(bytes - bytes_);
+    } else if (bytes < bytes_) {
+      tracker_->Release(bytes_ - bytes);
+    }
+    bytes_ = bytes;
+  }
+
+  MemoryTracker* tracker() const { return tracker_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryTracker* tracker_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace rowsort

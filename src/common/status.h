@@ -1,6 +1,8 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -24,7 +26,8 @@ enum class StatusCode {
 /// Functions that can fail for reasons other than programmer error return a
 /// Status (or StatusOr<T>); internal invariants use ROWSORT_DASSERT instead.
 /// A Status must be inspected via ok()/code(); it is cheap to copy when OK.
-class Status {
+/// The class is [[nodiscard]]: silently dropping a Status is a bug.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -89,7 +92,7 @@ class Status {
 ///
 /// Minimal StatusOr: value() asserts ok().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /*implicit*/ StatusOr(Status status) : status_(std::move(status)) {
     ROWSORT_ASSERT(!status_.ok());
@@ -110,6 +113,18 @@ class StatusOr {
   }
   T&& MoveValue() {
     ROWSORT_ASSERT(ok());
+    return std::move(value_);
+  }
+
+  /// Returns the value or aborts with the status message — for call sites
+  /// that cannot recover (tests, examples, benchmark setup), mirroring
+  /// ROWSORT_CHECK_OK.
+  T ValueOrDie() && {
+    if (ROWSORT_UNLIKELY(!ok())) {
+      std::fprintf(stderr, "rowsort fatal status: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
     return std::move(value_);
   }
 

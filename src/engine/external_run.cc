@@ -1,10 +1,13 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #include "engine/external_run.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <memory>
+#include <cstring>
 
 #include "common/bit_util.h"
+#include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "types/string_t.h"
 
@@ -12,16 +15,18 @@ namespace rowsort {
 
 namespace {
 
-constexpr uint64_t kRunFileMagic = 0x524F57534F525431ull;  // "ROWSORT1"
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+constexpr uint64_t kRunFileMagic = 0x524F57534F525432ull;  // "ROWSORT2"
+constexpr uint32_t kRunFileVersion = 2;
+constexpr uint32_t kBlockMagic = 0x424C4B32u;  // "BLK2"
+constexpr uint64_t kHeaderSize = 8 + 4 + 4 + 8 + 8 + 8 + 4;
+/// Upper bound on a single string payload; a larger length can only come
+/// from corruption and must not drive an allocation.
+constexpr uint32_t kMaxStringLength = 1u << 30;
 
 Status WriteAll(std::FILE* f, const void* data, uint64_t size) {
+  if (ROWSORT_FAILPOINT("external_run_write")) {
+    return Status::IOError("injected spill write failure (failpoint)");
+  }
   if (size == 0) return Status::OK();
   if (std::fwrite(data, 1, size, f) != size) {
     return Status::IOError("short write");
@@ -37,15 +42,32 @@ Status ReadAll(std::FILE* f, void* data, uint64_t size) {
   return Status::OK();
 }
 
-template <typename T>
-Status WriteScalar(std::FILE* f, T value) {
-  return WriteAll(f, &value, sizeof(T));
+/// Reads \p size bytes and folds them into \p crc.
+Status ReadAllCrc(std::FILE* f, void* data, uint64_t size, uint32_t* crc) {
+  ROWSORT_RETURN_NOT_OK(ReadAll(f, data, size));
+  *crc = Crc32(*crc, data, size);
+  return Status::OK();
 }
 
 template <typename T>
-Status ReadScalar(std::FILE* f, T* value) {
-  return ReadAll(f, value, sizeof(T));
+Status ReadScalarCrc(std::FILE* f, T* value, uint32_t* crc) {
+  return ReadAllCrc(f, value, sizeof(T), crc);
 }
+
+/// Serialization buffer that accumulates scalars and tracks their CRC so
+/// header and block framing are written (and checksummed) identically.
+struct ScalarBuffer {
+  uint8_t bytes[64];
+  uint64_t size = 0;
+
+  template <typename T>
+  void Add(T value) {
+    ROWSORT_DASSERT(size + sizeof(T) <= sizeof(bytes));
+    std::memcpy(bytes + size, &value, sizeof(T));
+    size += sizeof(T);
+  }
+  uint32_t Crc(uint32_t crc = 0) const { return Crc32(crc, bytes, size); }
+};
 
 /// Columns of the layout that may hold non-inlined strings.
 std::vector<uint64_t> VarcharColumns(const RowLayout& layout) {
@@ -56,91 +78,301 @@ std::vector<uint64_t> VarcharColumns(const RowLayout& layout) {
   return cols;
 }
 
+/// Builds the 44-byte file header (count patched in by Finish()).
+ScalarBuffer BuildHeader(uint64_t count, uint64_t key_row_width,
+                         uint64_t payload_row_width) {
+  ScalarBuffer buf;
+  buf.Add<uint64_t>(kRunFileMagic);
+  buf.Add<uint32_t>(kRunFileVersion);
+  buf.Add<uint32_t>(0);  // flags
+  buf.Add<uint64_t>(count);
+  buf.Add<uint64_t>(key_row_width);
+  buf.Add<uint64_t>(payload_row_width);
+  buf.Add<uint32_t>(buf.Crc());
+  ROWSORT_DASSERT(buf.size == kHeaderSize);
+  return buf;
+}
+
 }  // namespace
 
-Status WriteRunToFile(const SortedRun& run, const RowLayout& payload_layout,
-                      const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (!file) return Status::IOError("cannot open " + path + " for writing");
-  std::FILE* f = file.get();
+ExternalRunWriter::ExternalRunWriter(const RowLayout& payload_layout,
+                                     std::string path)
+    : layout_(payload_layout), path_(std::move(path)),
+      temp_path_(path_ + ".tmp") {}
 
-  ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, kRunFileMagic));
-  ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, run.count));
-  ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, run.key_row_width));
-  ROWSORT_RETURN_NOT_OK(
-      WriteScalar<uint64_t>(f, payload_layout.row_width()));
-  ROWSORT_RETURN_NOT_OK(
-      WriteAll(f, run.key_rows.data(), run.count * run.key_row_width));
-  ROWSORT_RETURN_NOT_OK(WriteAll(f, run.payload.data(),
-                                 run.count * payload_layout.row_width()));
+ExternalRunWriter::~ExternalRunWriter() { Abandon(); }
 
-  // String section: every valid non-inlined string payload.
-  for (uint64_t col : VarcharColumns(payload_layout)) {
-    uint64_t offset = payload_layout.ColumnOffset(col);
-    for (uint64_t row = 0; row < run.count; ++row) {
+void ExternalRunWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!finished_) {
+    std::remove(temp_path_.c_str());
+  }
+}
+
+Status ExternalRunWriter::Open(uint64_t key_row_width) {
+  ROWSORT_ASSERT(file_ == nullptr && !finished_);
+  if (ROWSORT_FAILPOINT("external_run_open")) {
+    return Status::IOError("injected spill open failure (failpoint)");
+  }
+  file_ = std::fopen(temp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open " + temp_path_ + " for writing");
+  }
+  key_row_width_ = key_row_width;
+  // Placeholder header; Finish() seeks back and patches the row count.
+  ScalarBuffer header = BuildHeader(0, key_row_width_, layout_.row_width());
+  return WriteAll(file_, header.bytes, header.size);
+}
+
+Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
+                                     uint64_t end) {
+  ROWSORT_ASSERT(file_ != nullptr && !finished_);
+  ROWSORT_ASSERT(begin <= end && end <= run.count);
+  ROWSORT_ASSERT(run.key_row_width == key_row_width_);
+  if (begin == end) return Status::OK();
+  const uint64_t rows = end - begin;
+  const uint64_t krw = key_row_width_;
+  const uint64_t prw = layout_.row_width();
+  const uint8_t* keys = run.key_rows.data() + begin * krw;
+  const uint8_t* payload = run.payload.GetRow(begin);
+
+  // Collect the block's non-inlined strings first: the section length is
+  // part of the framing.
+  struct StringRef {
+    uint32_t row;
+    uint32_t col;
+    string_t value;
+  };
+  std::vector<StringRef> strings;
+  for (uint64_t col : VarcharColumns(layout_)) {
+    uint64_t offset = layout_.ColumnOffset(col);
+    for (uint64_t row = begin; row < end; ++row) {
       const uint8_t* row_ptr = run.payload.GetRow(row);
       if (!RowLayout::IsValid(row_ptr, col)) continue;
       string_t value = bit_util::LoadUnaligned<string_t>(row_ptr + offset);
       if (value.IsInlined()) continue;
-      ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, row));
-      ROWSORT_RETURN_NOT_OK(WriteScalar<uint64_t>(f, col));
-      ROWSORT_RETURN_NOT_OK(WriteScalar<uint32_t>(f, value.size()));
-      ROWSORT_RETURN_NOT_OK(WriteAll(f, value.data(), value.size()));
+      strings.push_back({static_cast<uint32_t>(row - begin),
+                         static_cast<uint32_t>(col), value});
     }
   }
-  if (std::fflush(f) != 0) return Status::IOError("flush failed");
+
+  ScalarBuffer framing;
+  framing.Add<uint32_t>(kBlockMagic);
+  framing.Add<uint64_t>(rows);
+  uint32_t crc = framing.Crc();
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, framing.bytes, framing.size));
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, keys, rows * krw));
+  crc = Crc32(crc, keys, rows * krw);
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, payload, rows * prw));
+  crc = Crc32(crc, payload, rows * prw);
+
+  ScalarBuffer nstrings;
+  nstrings.Add<uint64_t>(strings.size());
+  crc = nstrings.Crc(crc);
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, nstrings.bytes, nstrings.size));
+  for (const StringRef& s : strings) {
+    ScalarBuffer entry;
+    entry.Add<uint32_t>(s.row);
+    entry.Add<uint32_t>(s.col);
+    entry.Add<uint32_t>(s.value.size());
+    crc = entry.Crc(crc);
+    ROWSORT_RETURN_NOT_OK(WriteAll(file_, entry.bytes, entry.size));
+    ROWSORT_RETURN_NOT_OK(WriteAll(file_, s.value.data(), s.value.size()));
+    crc = Crc32(crc, s.value.data(), s.value.size());
+  }
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, &crc, sizeof(crc)));
+  rows_written_ += rows;
   return Status::OK();
+}
+
+Status ExternalRunWriter::Finish() {
+  ROWSORT_ASSERT(file_ != nullptr && !finished_);
+  if (ROWSORT_FAILPOINT("external_run_finish")) {
+    return Status::IOError("injected spill finish failure (failpoint)");
+  }
+  // Patch the real row count into the header.
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError("seek failed on " + temp_path_);
+  }
+  ScalarBuffer header =
+      BuildHeader(rows_written_, key_row_width_, layout_.row_width());
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, header.bytes, header.size));
+  // A failed flush or close after buffered writes means the data may not be
+  // on disk; surface it instead of reporting success.
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed for " + temp_path_);
+  }
+  std::FILE* f = file_;
+  file_ = nullptr;
+  if (std::fclose(f) != 0) {
+    return Status::IOError("close failed for " + temp_path_);
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("cannot rename " + temp_path_ + " to " + path_);
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+ExternalRunReader::ExternalRunReader(const RowLayout& payload_layout,
+                                     std::string path)
+    : layout_(payload_layout), path_(std::move(path)) {}
+
+ExternalRunReader::~ExternalRunReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status ExternalRunReader::Open() {
+  ROWSORT_ASSERT(file_ == nullptr);
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open " + path_ + " for reading");
+  }
+  // Check the magic before requiring a full header, so "not a run file at
+  // all" is reported as InvalidArgument rather than a truncation IOError.
+  uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, sizeof(uint64_t), file_) != sizeof(uint64_t)) {
+    return Status::IOError(path_ + ": short header");
+  }
+  uint64_t magic = bit_util::LoadUnaligned<uint64_t>(header);
+  if (magic != kRunFileMagic) {
+    return Status::InvalidArgument(path_ + " is not a rowsort run file");
+  }
+  constexpr uint64_t kRest = kHeaderSize - sizeof(uint64_t);
+  if (std::fread(header + sizeof(uint64_t), 1, kRest, file_) != kRest) {
+    return Status::IOError(path_ + ": short header");
+  }
+  uint32_t version = bit_util::LoadUnaligned<uint32_t>(header + 8);
+  if (version != kRunFileVersion) {
+    return Status::InvalidArgument(
+        StringFormat("%s: unsupported run file version %u", path_.c_str(),
+                     static_cast<unsigned>(version)));
+  }
+  uint32_t stored_crc =
+      bit_util::LoadUnaligned<uint32_t>(header + kHeaderSize - 4);
+  if (Crc32(0, header, kHeaderSize - 4) != stored_crc) {
+    return Status::IOError(path_ + ": header checksum mismatch");
+  }
+  count_ = bit_util::LoadUnaligned<uint64_t>(header + 16);
+  key_row_width_ = bit_util::LoadUnaligned<uint64_t>(header + 24);
+  uint64_t payload_width = bit_util::LoadUnaligned<uint64_t>(header + 32);
+  if (payload_width != layout_.row_width()) {
+    return Status::InvalidArgument(StringFormat(
+        "payload width mismatch: file has %llu, layout has %llu",
+        static_cast<unsigned long long>(payload_width),
+        static_cast<unsigned long long>(layout_.row_width())));
+  }
+  return Status::OK();
+}
+
+Status ExternalRunReader::ReadBlock(SortedRun* block) {
+  ROWSORT_ASSERT(file_ != nullptr);
+  block->count = 0;
+  block->key_row_width = key_row_width_;
+  block->key_rows.clear();
+  block->ovcs.clear();
+  block->payload = RowCollection(layout_);
+  if (rows_read_ >= count_) return Status::OK();  // clean end of data
+
+  uint32_t crc = 0;
+  uint32_t magic = 0;
+  uint64_t rows = 0;
+  if (std::fread(&magic, 1, sizeof(magic), file_) != sizeof(magic)) {
+    return Status::IOError(path_ + ": truncated (missing block)");
+  }
+  crc = Crc32(crc, &magic, sizeof(magic));
+  if (magic != kBlockMagic) {
+    return Status::IOError(path_ + ": corrupt block header");
+  }
+  ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &rows, &crc));
+  if (rows == 0 || rows > count_ - rows_read_) {
+    return Status::IOError(path_ + ": corrupt block row count");
+  }
+
+  const uint64_t krw = key_row_width_;
+  const uint64_t prw = layout_.row_width();
+  block->key_rows.resize(rows * krw);
+  ROWSORT_RETURN_NOT_OK(
+      ReadAllCrc(file_, block->key_rows.data(), rows * krw, &crc));
+  block->payload.AppendUninitialized(rows);
+  ROWSORT_RETURN_NOT_OK(
+      ReadAllCrc(file_, block->payload.data(), rows * prw, &crc));
+
+  // Rebuild non-inlined strings into the block's own heap.
+  uint64_t nstrings = 0;
+  ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &nstrings, &crc));
+  if (nstrings > rows * layout_.ColumnCount()) {
+    return Status::IOError(path_ + ": corrupt string section length");
+  }
+  for (uint64_t i = 0; i < nstrings; ++i) {
+    uint32_t row = 0, col = 0, len = 0;
+    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &row, &crc));
+    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &col, &crc));
+    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &len, &crc));
+    if (row >= rows || col >= layout_.ColumnCount() ||
+        layout_.types()[col].id() != TypeId::kVarchar ||
+        len > kMaxStringLength) {
+      return Status::IOError(path_ + ": corrupt string section");
+    }
+    char* dest = block->payload.string_heap().Allocate(len);
+    ROWSORT_RETURN_NOT_OK(ReadAllCrc(file_, dest, len, &crc));
+    string_t value(dest, len);
+    bit_util::StoreUnaligned(
+        block->payload.GetRow(row) + layout_.ColumnOffset(col), value);
+  }
+
+  uint32_t stored_crc = 0;
+  ROWSORT_RETURN_NOT_OK(ReadAll(file_, &stored_crc, sizeof(stored_crc)));
+  if (stored_crc != crc) {
+    return Status::IOError(path_ + ": block checksum mismatch");
+  }
+  block->count = rows;
+  rows_read_ += rows;
+  return Status::OK();
+}
+
+Status WriteRunToFile(const SortedRun& run, const RowLayout& payload_layout,
+                      const std::string& path) {
+  ExternalRunWriter writer(payload_layout, path);
+  ROWSORT_RETURN_NOT_OK(writer.Open(run.key_row_width));
+  for (uint64_t begin = 0; begin < run.count;
+       begin += kDefaultSpillBlockRows) {
+    uint64_t end = std::min(run.count, begin + kDefaultSpillBlockRows);
+    ROWSORT_RETURN_NOT_OK(writer.WriteSlice(run, begin, end));
+  }
+  return writer.Finish();
 }
 
 StatusOr<SortedRun> ReadRunFromFile(const RowLayout& payload_layout,
                                     const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (!file) return Status::IOError("cannot open " + path + " for reading");
-  std::FILE* f = file.get();
-
-  uint64_t magic = 0, count = 0, key_row_width = 0, payload_width = 0;
-  ROWSORT_RETURN_NOT_OK(ReadScalar(f, &magic));
-  if (magic != kRunFileMagic) {
-    return Status::InvalidArgument(path + " is not a rowsort run file");
-  }
-  ROWSORT_RETURN_NOT_OK(ReadScalar(f, &count));
-  ROWSORT_RETURN_NOT_OK(ReadScalar(f, &key_row_width));
-  ROWSORT_RETURN_NOT_OK(ReadScalar(f, &payload_width));
-  if (payload_width != payload_layout.row_width()) {
-    return Status::InvalidArgument(StringFormat(
-        "payload width mismatch: file has %llu, layout has %llu",
-        static_cast<unsigned long long>(payload_width),
-        static_cast<unsigned long long>(payload_layout.row_width())));
-  }
-
+  ExternalRunReader reader(payload_layout, path);
+  ROWSORT_RETURN_NOT_OK(reader.Open());
   SortedRun run;
-  run.count = count;
-  run.key_row_width = key_row_width;
-  run.key_rows.resize(count * key_row_width);
-  ROWSORT_RETURN_NOT_OK(ReadAll(f, run.key_rows.data(), run.key_rows.size()));
+  run.count = reader.row_count();
+  run.key_row_width = reader.key_row_width();
+  run.key_rows.resize(run.count * run.key_row_width);
   run.payload = RowCollection(payload_layout);
-  run.payload.AppendUninitialized(count);
-  ROWSORT_RETURN_NOT_OK(
-      ReadAll(f, run.payload.data(), count * payload_width));
 
-  // Rebuild non-inlined strings into the fresh heap.
+  const uint64_t prw = payload_layout.row_width();
+  uint64_t filled = 0;
+  SortedRun block;
   while (true) {
-    uint64_t row = 0, col = 0;
-    uint32_t len = 0;
-    if (std::fread(&row, 1, sizeof(row), f) != sizeof(row)) {
-      if (std::feof(f)) break;
-      return Status::IOError("short read in string section");
-    }
-    ROWSORT_RETURN_NOT_OK(ReadScalar(f, &col));
-    ROWSORT_RETURN_NOT_OK(ReadScalar(f, &len));
-    if (row >= count || col >= payload_layout.ColumnCount()) {
-      return Status::InvalidArgument("corrupt string section");
-    }
-    char* dest = run.payload.string_heap().Allocate(len);
-    ROWSORT_RETURN_NOT_OK(ReadAll(f, dest, len));
-    string_t value(dest, len);
-    bit_util::StoreUnaligned(
-        run.payload.GetRow(row) + payload_layout.ColumnOffset(col), value);
+    ROWSORT_RETURN_NOT_OK(reader.ReadBlock(&block));
+    if (block.count == 0) break;
+    std::memcpy(run.key_rows.data() + filled * run.key_row_width,
+                block.key_rows.data(), block.count * run.key_row_width);
+    uint64_t first = run.payload.AppendUninitialized(block.count);
+    std::memcpy(run.payload.GetRow(first), block.payload.data(),
+                block.count * prw);
+    // Adopting the block heap keeps the copied string_t pointers valid.
+    run.payload.AdoptHeap(std::move(block.payload));
+    filled += block.count;
+  }
+  if (filled != run.count) {
+    return Status::IOError(path + ": truncated run file");
   }
   return run;
 }

@@ -1,6 +1,7 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "common/status.h"
@@ -14,17 +15,111 @@ namespace rowsort {
 /// ... Utilizing DuckDB's row format to be able to offload the data to
 /// secondary storage in a unified way could enable this."
 ///
-/// The unified row format makes the spill format trivial: fixed-size key and
-/// payload rows are written verbatim; the only fix-up needed is for
-/// non-inlined VARCHAR payloads, whose bytes are appended in a string
-/// section and re-pointered on load.
+/// Format v2 (one file per run):
+///   header:  [magic u64 "ROWSORT2"][version u32][flags u32][count u64]
+///            [key_row_width u64][payload_row_width u64][header crc32 u32]
+///   blocks*: [block magic u32][rows u64][key rows][payload rows]
+///            [nstrings u64][(row u32, col u32, len u32, bytes)*]
+///            [block crc32 u32]
 ///
-/// File layout:
-///   [magic u64][count u64][key_row_width u64][payload_row_width u64]
-///   [key rows][payload rows][string section: (row u64, col u64, len u32,
-///   bytes)* for every non-inlined string]
+/// Robustness properties (docs/robustness.md):
+///  - Every section carries a CRC32; bit flips and swapped sectors surface
+///    as Status::IOError on load, never as garbage rows or a crash.
+///  - Writers write to "<path>.tmp" and rename on Finish(), so a partially
+///    written file (crash, disk full) is never picked up by a reader.
+///  - Data is written and read in bounded blocks, so the external merge
+///    holds O(block) memory per input instead of whole runs.
+///
+/// Non-inlined VARCHAR payloads are appended per block in a string section
+/// and re-pointered into the block's own heap on load.
 
-/// Writes \p run to \p path; \p payload_layout describes the payload rows.
+/// Rows per block used by the whole-run convenience writer and the engine's
+/// default spill granularity.
+constexpr uint64_t kDefaultSpillBlockRows = 4096;
+
+/// \brief Streaming writer for a spill file; append blocks, then Finish().
+///
+/// The destructor abandons an unfinished file (closes and removes the temp),
+/// so error paths leak neither memory nor files.
+class ExternalRunWriter {
+ public:
+  /// \p payload_layout must outlive the writer; data lands at "<path>.tmp"
+  /// until Finish() renames it to \p path.
+  ExternalRunWriter(const RowLayout& payload_layout, std::string path);
+  ~ExternalRunWriter();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(ExternalRunWriter);
+
+  /// Opens the temp file and writes a placeholder header (the final row
+  /// count is patched in by Finish()).
+  Status Open(uint64_t key_row_width);
+
+  /// Writes rows [begin, end) of \p run as one checksummed block. The rows'
+  /// string payloads are resolved through \p run's heap, so the run must be
+  /// alive and unmodified during the call (no copies are made).
+  Status WriteSlice(const SortedRun& run, uint64_t begin, uint64_t end);
+
+  /// Writes all rows of \p block as one checksummed block.
+  Status WriteBlock(const SortedRun& block) {
+    return WriteSlice(block, 0, block.count);
+  }
+
+  /// Patches the header with the final row count, flushes, closes (both
+  /// checked — a failed close after buffered writes is an IOError, not
+  /// silent success) and renames the temp file onto the target path.
+  Status Finish();
+
+  /// Closes and removes the temp file; the target path is left untouched.
+  /// Safe to call at any point (idempotent, also run by the destructor).
+  void Abandon();
+
+  uint64_t rows_written() const { return rows_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  const RowLayout& layout_;
+  std::string path_;
+  std::string temp_path_;
+  std::FILE* file_ = nullptr;
+  uint64_t key_row_width_ = 0;
+  uint64_t rows_written_ = 0;
+  bool finished_ = false;
+};
+
+/// \brief Streaming reader over a spill file written by ExternalRunWriter.
+///
+/// Blocks are validated (magic, bounds, CRC32) before they are handed out;
+/// any corruption or truncation yields a non-OK Status.
+class ExternalRunReader {
+ public:
+  /// \p payload_layout must outlive the reader.
+  ExternalRunReader(const RowLayout& payload_layout, std::string path);
+  ~ExternalRunReader();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(ExternalRunReader);
+
+  /// Opens the file and validates the header.
+  Status Open();
+
+  /// Reads the next block into \p block (replacing its contents; string
+  /// payloads are rebuilt into the block's own heap). Sets block->count = 0
+  /// at a clean end of file.
+  Status ReadBlock(SortedRun* block);
+
+  uint64_t row_count() const { return count_; }
+  uint64_t key_row_width() const { return key_row_width_; }
+  uint64_t rows_read() const { return rows_read_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  const RowLayout& layout_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t count_ = 0;
+  uint64_t key_row_width_ = 0;
+  uint64_t rows_read_ = 0;
+};
+
+/// Writes \p run to \p path (atomically, in kDefaultSpillBlockRows blocks);
+/// \p payload_layout describes the payload rows.
 Status WriteRunToFile(const SortedRun& run, const RowLayout& payload_layout,
                       const std::string& path);
 

@@ -21,10 +21,10 @@ std::unique_ptr<RelationalSort> SortByColumn(const Table& table,
   auto sort = std::make_unique<RelationalSort>(spec, table.types(), config);
   auto local = sort->MakeLocalState();
   for (uint64_t c = 0; c < table.ChunkCount(); ++c) {
-    sort->Sink(*local, table.chunk(c));
+    ROWSORT_CHECK_OK(sort->Sink(*local, table.chunk(c)));
   }
-  sort->CombineLocal(*local);
-  sort->Finalize();
+  ROWSORT_CHECK_OK(sort->CombineLocal(*local));
+  ROWSORT_CHECK_OK(sort->Finalize());
   return sort;
 }
 

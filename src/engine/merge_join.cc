@@ -124,19 +124,19 @@ Table SortMergeJoin(const Table& left, const Table& right,
   {
     auto local = left_sort.MakeLocalState();
     for (uint64_t c = 0; c < left.ChunkCount(); ++c) {
-      left_sort.Sink(*local, left.chunk(c));
+      ROWSORT_CHECK_OK(left_sort.Sink(*local, left.chunk(c)));
     }
-    left_sort.CombineLocal(*local);
-    left_sort.Finalize();
+    ROWSORT_CHECK_OK(left_sort.CombineLocal(*local));
+    ROWSORT_CHECK_OK(left_sort.Finalize());
   }
   RelationalSort right_sort(right_spec, right.types(), config);
   {
     auto local = right_sort.MakeLocalState();
     for (uint64_t c = 0; c < right.ChunkCount(); ++c) {
-      right_sort.Sink(*local, right.chunk(c));
+      ROWSORT_CHECK_OK(right_sort.Sink(*local, right.chunk(c)));
     }
-    right_sort.CombineLocal(*local);
-    right_sort.Finalize();
+    ROWSORT_CHECK_OK(right_sort.CombineLocal(*local));
+    ROWSORT_CHECK_OK(right_sort.Finalize());
   }
 
   const SortedRun& lrun = left_sort.result();

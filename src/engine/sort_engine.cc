@@ -1,10 +1,14 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #include "engine/sort_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <filesystem>
+#include <new>
 
 #include "common/bit_util.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "engine/external_run.h"
@@ -20,7 +24,8 @@ RelationalSort::RelationalSort(SortSpec spec,
                                SortEngineConfig config)
     : spec_(std::move(spec)), input_types_(std::move(input_types)),
       config_(config), encoder_(spec_), payload_layout_(input_types_),
-      comparator_(spec_, payload_layout_) {
+      comparator_(spec_, payload_layout_),
+      tracker_(config.memory_limit_bytes) {
   ROWSORT_ASSERT(!spec_.columns().empty());
   for (const auto& col : spec_.columns()) {
     ROWSORT_ASSERT(col.column_index < input_types_.size());
@@ -33,18 +38,66 @@ RelationalSort::RelationalSort(SortSpec spec,
   key_row_width_ = row_id_offset_ + sizeof(uint64_t);
 }
 
-RelationalSort::LocalState::LocalState(const RelationalSort& sort)
-    : payload_(sort.payload_layout_) {}
+RelationalSort::~RelationalSort() {
+  // Abandoned or failed pipelines must not leak spill files.
+  for (const auto& entry : entries_) {
+    if (entry.spilled) std::remove(entry.path.c_str());
+  }
+  if (created_spill_dir_) {
+    std::error_code ec;
+    std::filesystem::remove(resolved_spill_dir_, ec);  // best effort
+  }
+}
 
-void RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
-  if (chunk.size() == 0) return;
+RelationalSort::LocalState::LocalState(const RelationalSort& sort)
+    : payload_(sort.payload_layout_) {
+  payload_.SetMemoryTracker(&sort.tracker_);
+}
+
+Status RelationalSort::status() const {
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  return first_error_;
+}
+
+Status RelationalSort::RecordError(Status status) {
+  if (status.ok()) return status;
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  if (first_error_.ok()) first_error_ = status;
+  return status;
+}
+
+Status RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
+  ROWSORT_RETURN_NOT_OK(status());
+  Status st;
+  try {
+    st = SinkImpl(local, chunk);
+  } catch (const std::bad_alloc&) {
+    st = Status::OutOfMemory("sort sink: allocation failed");
+  }
+  return RecordError(std::move(st));
+}
+
+Status RelationalSort::SinkImpl(LocalState& local, const DataChunk& chunk) {
+  if (chunk.size() == 0) return Status::OK();
   Timer timer;
   const uint64_t count = chunk.size();
   const uint64_t old_count = local.count_;
 
+  if (ROWSORT_FAILPOINT("sink_alloc")) throw std::bad_alloc();
+
+  // Graceful degradation (§IX): if growing the local buffers would push the
+  // working set over the limit, spill resident runs first. The estimate is
+  // the fixed-width growth; string payloads are accounted as they land.
+  const uint64_t incoming =
+      count * (key_row_width_ + payload_layout_.row_width());
+  if (tracker_.WouldExceed(incoming)) {
+    ROWSORT_RETURN_NOT_OK(SpillToFit(incoming));
+  }
+
   // Key rows: [normalized key | padding | row id], one block of vectors at a
   // time so the conversion stays cache-resident (paper §VII).
   local.key_rows_.resize((old_count + count) * key_row_width_);
+  local.key_memory_.Reset(&tracker_, local.key_rows_.capacity());
   uint8_t* key_base = local.key_rows_.data() + old_count * key_row_width_;
   encoder_.EncodeChunk(chunk, count, key_base, key_row_width_);
   for (uint64_t i = 0; i < count; ++i) {
@@ -58,17 +111,25 @@ void RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
   local.sink_seconds_ += timer.ElapsedSeconds();
 
   if (local.count_ >= config_.run_size_rows) {
-    SortLocalRun(local);
+    return SortLocalRun(local);
   }
+  return Status::OK();
 }
 
-void RelationalSort::CombineLocal(LocalState& local) {
-  if (local.count_ > 0) {
-    SortLocalRun(local);
+Status RelationalSort::CombineLocal(LocalState& local) {
+  ROWSORT_RETURN_NOT_OK(status());
+  Status st;
+  try {
+    if (local.count_ > 0) st = SortLocalRun(local);
+  } catch (const std::bad_alloc&) {
+    st = Status::OutOfMemory("sort combine: allocation failed");
   }
-  std::lock_guard<std::mutex> lock(runs_mutex_);
-  metrics_.sink_seconds += local.sink_seconds_;
-  local.sink_seconds_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    metrics_.sink_seconds += local.sink_seconds_;
+    local.sink_seconds_ = 0;
+  }
+  return RecordError(std::move(st));
 }
 
 bool RelationalSort::UseRadix(uint64_t count) const {
@@ -91,14 +152,26 @@ bool RelationalSort::UseRadix(uint64_t count) const {
   return false;
 }
 
-void RelationalSort::SortLocalRun(LocalState& local) {
+Status RelationalSort::SortLocalRun(LocalState& local) {
   Timer timer;
   const uint64_t count = local.count_;
   const uint64_t krw = key_row_width_;
   uint8_t* keys = local.key_rows_.data();
+  const bool use_radix = UseRadix(count);
 
-  if (UseRadix(count)) {
+  // The sort needs transient working memory: the radix aux buffer, the
+  // reordered payload copy, and the OVC array. Make room before allocating.
+  uint64_t extra = count * payload_layout_.row_width();
+  if (use_radix) extra += count * krw;
+  if (UseOvc()) extra += count * sizeof(uint64_t);
+  if (tracker_.WouldExceed(extra)) {
+    ROWSORT_RETURN_NOT_OK(SpillToFit(extra));
+  }
+
+  if (use_radix) {
     std::vector<uint8_t> aux(count * krw);
+    MemoryReservation aux_memory;
+    aux_memory.Reset(&tracker_, aux.capacity());
     RadixSortConfig config;
     config.row_width = krw;
     config.key_offset = 0;
@@ -147,7 +220,9 @@ void RelationalSort::SortLocalRun(LocalState& local) {
   run.count = count;
   run.key_row_width = krw;
   run.key_rows = std::move(local.key_rows_);
+  local.key_memory_.Reset();  // the keys' bytes now belong to the run
   run.payload = RowCollection(payload_layout_);
+  run.payload.SetMemoryTracker(&tracker_);
   run.payload.AppendUninitialized(count);
   const uint64_t width = payload_layout_.row_width();
   for (uint64_t i = 0; i < count; ++i) {
@@ -162,10 +237,12 @@ void RelationalSort::SortLocalRun(LocalState& local) {
     // predecessor; the merge phase compares these codes instead of key bytes.
     run.ovcs = DeriveRunOvcs(run, comparator_.key_width());
   }
+  run.TrackMemory(&tracker_);
 
   // Reset the local state for the next run.
   local.key_rows_ = {};
   local.payload_ = RowCollection(payload_layout_);
+  local.payload_.SetMemoryTracker(&tracker_);
   local.count_ = 0;
 
   {
@@ -173,18 +250,84 @@ void RelationalSort::SortLocalRun(LocalState& local) {
     metrics_.run_sort_seconds += timer.ElapsedSeconds();
     metrics_.runs_generated += 1;
     metrics_.rows += count;
-    if (!config_.spill_directory.empty()) {
-      // Graceful degradation (§IX): offload the run in the unified row
-      // format and release its memory.
-      std::string path = StringFormat("%s/run_%llu.rsrun",
-                                      config_.spill_directory.c_str(),
-                                      (unsigned long long)spill_counter_++);
-      ROWSORT_CHECK_OK(WriteRunToFile(run, payload_layout_, path));
-      spilled_files_.push_back(std::move(path));
-    } else {
-      runs_.push_back(std::move(run));
+    entries_.push_back(RunEntry{std::move(run), std::string(), count, false});
+    if (!config_.spill_directory.empty() && tracker_.limit() == 0) {
+      // Pre-adaptive behavior (spill_directory without a memory limit):
+      // offload every run in the unified row format and release its memory.
+      ROWSORT_RETURN_NOT_OK(SpillEntryLocked(entries_.back()));
+    } else if (tracker_.OverLimit()) {
+      ROWSORT_RETURN_NOT_OK(SpillToFitLocked(0));
     }
   }
+  return Status::OK();
+}
+
+Status RelationalSort::SpillToFit(uint64_t incoming_bytes) {
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  return SpillToFitLocked(incoming_bytes);
+}
+
+Status RelationalSort::SpillToFitLocked(uint64_t incoming_bytes) {
+  while (tracker_.WouldExceed(incoming_bytes)) {
+    // Largest resident run first: fewest spills for the most relief.
+    RunEntry* largest = nullptr;
+    for (auto& entry : entries_) {
+      if (entry.spilled) continue;
+      if (largest == nullptr ||
+          entry.run.MemoryBytes() > largest->run.MemoryBytes()) {
+        largest = &entry;
+      }
+    }
+    // Nothing left to spill: the remaining reservation is thread-local sink
+    // state and transient buffers. Proceed rather than fail — the limit
+    // governs what the engine *can* evict (see docs/robustness.md).
+    if (largest == nullptr) break;
+    ROWSORT_RETURN_NOT_OK(SpillEntryLocked(*largest));
+  }
+  return Status::OK();
+}
+
+Status RelationalSort::SpillEntryLocked(RunEntry& entry) {
+  ROWSORT_DASSERT(!entry.spilled);
+  ROWSORT_RETURN_NOT_OK(EnsureSpillDirLocked());
+  std::string path = NextSpillPathLocked();
+  ROWSORT_RETURN_NOT_OK(WriteRunToFile(entry.run, payload_layout_, path));
+  entry.run = SortedRun();  // releases keys, codes, payload + reservations
+  entry.path = std::move(path);
+  entry.spilled = true;
+  metrics_.runs_spilled += 1;
+  return Status::OK();
+}
+
+Status RelationalSort::EnsureSpillDirLocked() {
+  if (!resolved_spill_dir_.empty()) return Status::OK();
+  if (!config_.spill_directory.empty()) {
+    resolved_spill_dir_ = config_.spill_directory;
+    return Status::OK();
+  }
+  // Memory limit set but no spill directory configured: use a private
+  // directory under the system temp path, removed with the engine.
+  std::error_code ec;
+  std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+  if (ec) {
+    return Status::IOError("cannot resolve temp directory for spilling: " +
+                           ec.message());
+  }
+  std::filesystem::path dir =
+      base / StringFormat("rowsort_spill_%p", static_cast<const void*>(this));
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill directory " + dir.string() +
+                           ": " + ec.message());
+  }
+  resolved_spill_dir_ = dir.string();
+  created_spill_dir_ = true;
+  return Status::OK();
+}
+
+std::string RelationalSort::NextSpillPathLocked() {
+  return StringFormat("%s/run_%llu.rsrun", resolved_spill_dir_.c_str(),
+                      (unsigned long long)spill_counter_++);
 }
 
 void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
@@ -603,104 +746,274 @@ SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
   return out;
 }
 
-void RelationalSort::Finalize(ThreadPool* pool) {
+Status RelationalSort::MergeSpilledPair(const std::string& left_path,
+                                        const std::string& right_path,
+                                        const std::string& out_path) {
+  ExternalRunReader left(payload_layout_, left_path);
+  ExternalRunReader right(payload_layout_, right_path);
+  ROWSORT_RETURN_NOT_OK(left.Open());
+  ROWSORT_RETURN_NOT_OK(right.Open());
+  ExternalRunWriter writer(payload_layout_, out_path);
+  ROWSORT_RETURN_NOT_OK(writer.Open(key_row_width_));
+
+  const uint64_t krw = key_row_width_;
+  const uint64_t prw = payload_layout_.row_width();
+  const uint64_t block_rows = kDefaultSpillBlockRows;
+
+  // Bounded scratch: two input blocks plus one output block, accounted as a
+  // flat estimate (string payloads ride in the blocks' own heaps).
+  MemoryReservation scratch;
+  scratch.Reset(&tracker_, 3 * block_rows * (krw + prw));
+
+  // The output block's payload rows hold string_t descriptors that point
+  // into the *input* blocks' heaps, so it must be flushed before an input
+  // block is replaced — that ordering is what keeps the merge zero-copy for
+  // strings while staying O(block) in memory.
+  SortedRun out_block;
+  out_block.key_row_width = krw;
+  out_block.key_rows.resize(block_rows * krw);
+  out_block.payload = RowCollection(payload_layout_);
+  out_block.payload.AppendUninitialized(block_rows);
+  out_block.count = 0;  // fill level
+
+  auto append = [&](const SortedRun& src, uint64_t i) {
+    const uint64_t o = out_block.count++;
+    std::memcpy(out_block.key_rows.data() + o * krw, src.KeyRow(i), krw);
+    std::memcpy(out_block.payload.GetRow(o), src.PayloadRow(i), prw);
+  };
+  auto flush = [&]() -> Status {
+    if (out_block.count == 0) return Status::OK();
+    ROWSORT_RETURN_NOT_OK(writer.WriteSlice(out_block, 0, out_block.count));
+    out_block.count = 0;
+    return Status::OK();
+  };
+
+  SortedRun lb, rb;
+  ROWSORT_RETURN_NOT_OK(left.ReadBlock(&lb));
+  ROWSORT_RETURN_NOT_OK(right.ReadBlock(&rb));
+  uint64_t li = 0, ri = 0;
+  std::atomic<uint64_t>* counter =
+      config_.count_comparisons ? &merge_compares_ : nullptr;
+
+  while (lb.count > 0 && rb.count > 0) {
+    if (counter) counter->fetch_add(1, std::memory_order_relaxed);
+    int cmp = comparator_.Compare(lb.KeyRow(li), lb.PayloadRow(li),
+                                  rb.KeyRow(ri), rb.PayloadRow(ri));
+    if (cmp <= 0) {  // stable: left wins ties, like MergeSlice
+      append(lb, li);
+      ++li;
+    } else {
+      append(rb, ri);
+      ++ri;
+    }
+    if (out_block.count == block_rows) ROWSORT_RETURN_NOT_OK(flush());
+    if (li == lb.count) {
+      ROWSORT_RETURN_NOT_OK(flush());
+      ROWSORT_RETURN_NOT_OK(left.ReadBlock(&lb));
+      li = 0;
+    }
+    if (ri == rb.count) {
+      ROWSORT_RETURN_NOT_OK(flush());
+      ROWSORT_RETURN_NOT_OK(right.ReadBlock(&rb));
+      ri = 0;
+    }
+  }
+  // One side exhausted: stream the rest of the other through unchanged.
+  while (lb.count > 0) {
+    for (; li < lb.count; ++li) {
+      append(lb, li);
+      if (out_block.count == block_rows) ROWSORT_RETURN_NOT_OK(flush());
+    }
+    ROWSORT_RETURN_NOT_OK(flush());
+    ROWSORT_RETURN_NOT_OK(left.ReadBlock(&lb));
+    li = 0;
+  }
+  while (rb.count > 0) {
+    for (; ri < rb.count; ++ri) {
+      append(rb, ri);
+      if (out_block.count == block_rows) ROWSORT_RETURN_NOT_OK(flush());
+    }
+    ROWSORT_RETURN_NOT_OK(flush());
+    ROWSORT_RETURN_NOT_OK(right.ReadBlock(&rb));
+    ri = 0;
+  }
+  ROWSORT_RETURN_NOT_OK(flush());
+  return writer.Finish();
+}
+
+Status RelationalSort::MergeEntryPair(RunEntry& left, RunEntry& right,
+                                      ThreadPool* pool, RunEntry* out) {
+  out->rows = left.rows + right.rows;
+  if (!left.spilled && !right.spilled) {
+    // The in-memory merge needs roughly the inputs' bytes again for the
+    // output run; fall through to the external path when that won't fit.
+    const uint64_t need = left.run.MemoryBytes() + right.run.MemoryBytes();
+    if (!tracker_.WouldExceed(need)) {
+      SortedRun merged = MergePair(left.run, right.run, pool);
+      merged.payload.AdoptHeap(std::move(left.run.payload));
+      merged.payload.AdoptHeap(std::move(right.run.payload));
+      merged.TrackMemory(&tracker_);
+      left.run = SortedRun();
+      right.run = SortedRun();
+      out->run = std::move(merged);
+      out->spilled = false;
+      return Status::OK();
+    }
+  }
+  // External path: stream both inputs (spilling any resident one first)
+  // block by block into a new spill file — O(block) resident memory.
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    if (!left.spilled) ROWSORT_RETURN_NOT_OK(SpillEntryLocked(left));
+    if (!right.spilled) ROWSORT_RETURN_NOT_OK(SpillEntryLocked(right));
+    ROWSORT_RETURN_NOT_OK(EnsureSpillDirLocked());
+    out->path = NextSpillPathLocked();
+  }
+  ROWSORT_RETURN_NOT_OK(MergeSpilledPair(left.path, right.path, out->path));
+  std::remove(left.path.c_str());
+  std::remove(right.path.c_str());
+  left.spilled = false;
+  left.path.clear();
+  right.spilled = false;
+  right.path.clear();
+  out->spilled = true;
+  metrics_.runs_spilled += 1;
+  return Status::OK();
+}
+
+Status RelationalSort::Finalize(ThreadPool* pool) {
+  ROWSORT_RETURN_NOT_OK(status());
+  Status st;
+  try {
+    st = FinalizeImpl(pool);
+  } catch (const std::bad_alloc&) {
+    st = Status::OutOfMemory("sort merge: allocation failed");
+  }
+  metrics_.peak_memory_bytes = tracker_.peak();
+  return RecordError(std::move(st));
+}
+
+Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
   Timer timer;
   metrics_.run_generation_compares =
       run_compares_.load(std::memory_order_relaxed);
-
-  if (!spilled_files_.empty()) {
-    // External cascaded merge: two runs resident at a time; merged results
-    // go back to disk until one remains.
-    while (spilled_files_.size() > 1) {
-      std::string left_path = spilled_files_[0];
-      std::string right_path = spilled_files_[1];
-      spilled_files_.erase(spilled_files_.begin(), spilled_files_.begin() + 2);
-      auto left = ReadRunFromFile(payload_layout_, left_path);
-      auto right = ReadRunFromFile(payload_layout_, right_path);
-      ROWSORT_CHECK_OK(left.status());
-      ROWSORT_CHECK_OK(right.status());
-      if (UseOvc()) {
-        // The spill format stores no codes; re-derive on load.
-        left.value().ovcs = DeriveRunOvcs(left.value(), comparator_.key_width());
-        right.value().ovcs =
-            DeriveRunOvcs(right.value(), comparator_.key_width());
-      }
-      SortedRun merged = MergePair(left.value(), right.value(), pool);
-      merged.payload.AdoptHeap(std::move(left.value().payload));
-      merged.payload.AdoptHeap(std::move(right.value().payload));
-      std::remove(left_path.c_str());
-      std::remove(right_path.c_str());
-      std::string out_path = StringFormat("%s/run_%llu.rsrun",
-                                          config_.spill_directory.c_str(),
-                                          (unsigned long long)spill_counter_++);
-      ROWSORT_CHECK_OK(WriteRunToFile(merged, payload_layout_, out_path));
-      spilled_files_.push_back(std::move(out_path));
-    }
-    auto final_run = ReadRunFromFile(payload_layout_, spilled_files_[0]);
-    ROWSORT_CHECK_OK(final_run.status());
-    std::remove(spilled_files_[0].c_str());
-    spilled_files_.clear();
-    result_ = std::move(final_run.value());
+  auto finish_metrics = [&] {
     metrics_.merge_seconds += timer.ElapsedSeconds();
     metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
     metrics_.ovc_decided = ovc_decided_.load(std::memory_order_relaxed);
-    metrics_.ovc_fallback_compares = ovc_fallback_.load(std::memory_order_relaxed);
-    return;
-  }
+    metrics_.ovc_fallback_compares =
+        ovc_fallback_.load(std::memory_order_relaxed);
+  };
 
-  if (runs_.empty()) {
+  if (entries_.empty()) {
     result_ = SortedRun();
     result_.key_row_width = key_row_width_;
     result_.payload = RowCollection(payload_layout_);
-    return;
+    finish_metrics();
+    return Status::OK();
   }
 
-  if (config_.use_kway_merge) {
-    // Merge-strategy ablation: one k-way heap pass (ClickHouse/HyPer style).
-    result_ = MergeKWay(runs_);
-    runs_.clear();
-    metrics_.merge_seconds += timer.ElapsedSeconds();
-    metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
-    metrics_.ovc_decided = ovc_decided_.load(std::memory_order_relaxed);
-    metrics_.ovc_fallback_compares = ovc_fallback_.load(std::memory_order_relaxed);
-    return;
-  }
+  bool any_spilled = false;
+  for (const auto& entry : entries_) any_spilled |= entry.spilled;
 
-  // 2-way cascaded merge sort: trivially parallel across pairs while many
-  // runs remain; Merge Path parallelizes within pairs as runs get large.
-  std::vector<SortedRun> current = std::move(runs_);
-  runs_.clear();
-  while (current.size() > 1) {
-    std::vector<SortedRun> next((current.size() + 1) / 2);
-    if (pool != nullptr && current.size() >= 4) {
-      std::vector<std::function<void()>> tasks;
-      for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
-        tasks.push_back([this, &current, &next, p] {
-          // Many pairs: no intra-pair partitioning needed yet.
-          next[p / 2] = MergePair(current[p], current[p + 1], nullptr);
-        });
-      }
-      pool->RunBatch(std::move(tasks));
+  if (!any_spilled && tracker_.limit() == 0) {
+    // Everything resident and no limit to respect: the fast merge phase.
+    std::vector<SortedRun> current;
+    current.reserve(entries_.size());
+    for (auto& entry : entries_) current.push_back(std::move(entry.run));
+    entries_.clear();
+
+    if (config_.use_kway_merge) {
+      // Merge-strategy ablation: one k-way pass (ClickHouse/HyPer style).
+      result_ = MergeKWay(current);
     } else {
-      for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
-        next[p / 2] = MergePair(current[p], current[p + 1], pool);
+      // 2-way cascaded merge sort: trivially parallel across pairs while
+      // many runs remain; Merge Path parallelizes within pairs as runs get
+      // large.
+      while (current.size() > 1) {
+        std::vector<SortedRun> next((current.size() + 1) / 2);
+        if (pool != nullptr && current.size() >= 4) {
+          std::vector<std::function<void()>> tasks;
+          for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
+            tasks.push_back([this, &current, &next, p] {
+              // Many pairs: no intra-pair partitioning needed yet.
+              next[p / 2] = MergePair(current[p], current[p + 1], nullptr);
+            });
+          }
+          pool->RunBatch(std::move(tasks));
+        } else {
+          for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
+            next[p / 2] = MergePair(current[p], current[p + 1], pool);
+          }
+        }
+        // Adopt string heaps of merged inputs so descriptors stay valid.
+        for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
+          next[p / 2].payload.AdoptHeap(std::move(current[p].payload));
+          next[p / 2].payload.AdoptHeap(std::move(current[p + 1].payload));
+        }
+        if (current.size() % 2 == 1) {
+          next.back() = std::move(current.back());
+        }
+        current = std::move(next);
       }
+      result_ = std::move(current.front());
     }
-    // Adopt string heaps of merged inputs so descriptors stay valid.
-    for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
-      next[p / 2].payload.AdoptHeap(std::move(current[p].payload));
-      next[p / 2].payload.AdoptHeap(std::move(current[p + 1].payload));
-    }
-    if (current.size() % 2 == 1) {
-      next.back() = std::move(current.back());
-    }
-    current = std::move(next);
+    result_.TrackMemory(nullptr);
+    finish_metrics();
+    return Status::OK();
   }
-  result_ = std::move(current.front());
-  metrics_.merge_seconds += timer.ElapsedSeconds();
-  metrics_.merge_compares = merge_compares_.load(std::memory_order_relaxed);
-  metrics_.ovc_decided = ovc_decided_.load(std::memory_order_relaxed);
-  metrics_.ovc_fallback_compares = ovc_fallback_.load(std::memory_order_relaxed);
+
+  // Governed / external cascade. Level-order pairing — the same merge tree
+  // as the in-memory cascade, so a memory-limited sort produces the exact
+  // byte sequence an unlimited one does. Each pair merges in memory when
+  // both sides are resident and the output fits under the limit; otherwise
+  // it streams file to file.
+  while (entries_.size() > 1) {
+    std::vector<RunEntry> next;
+    next.reserve((entries_.size() + 1) / 2);
+    for (uint64_t p = 0; p + 1 < entries_.size(); p += 2) {
+      RunEntry merged;
+      Status st;
+      try {
+        st = MergeEntryPair(entries_[p], entries_[p + 1], pool, &merged);
+      } catch (const std::bad_alloc&) {
+        st = Status::OutOfMemory("sort merge: allocation failed");
+      }
+      if (!st.ok()) {
+        // Re-register every live output so the destructor still removes all
+        // spill files.
+        for (auto& entry : next) entries_.push_back(std::move(entry));
+        if (merged.spilled) entries_.push_back(std::move(merged));
+        finish_metrics();
+        return st;
+      }
+      next.push_back(std::move(merged));
+    }
+    if (entries_.size() % 2 == 1) {
+      next.push_back(std::move(entries_.back()));
+    }
+    entries_ = std::move(next);
+  }
+
+  RunEntry& last = entries_.front();
+  if (last.spilled) {
+    // The final result is handed to the caller and intentionally not
+    // charged against the limit (the limit governs the sort's internal
+    // working set; see docs/robustness.md).
+    auto loaded = ReadRunFromFile(payload_layout_, last.path);
+    if (!loaded.ok()) {
+      finish_metrics();
+      return loaded.status();
+    }
+    std::remove(last.path.c_str());
+    result_ = std::move(loaded.value());
+  } else {
+    result_ = std::move(last.run);
+  }
+  entries_.clear();
+  result_.TrackMemory(nullptr);
+  finish_metrics();
+  return Status::OK();
 }
 
 uint64_t RelationalSort::ScanChunk(uint64_t start, DataChunk* out) const {
@@ -713,19 +1026,24 @@ uint64_t RelationalSort::ScanChunk(uint64_t start, DataChunk* out) const {
   return count;
 }
 
-Table RelationalSort::SortTable(const Table& input, const SortSpec& spec,
-                                const SortEngineConfig& config,
-                                SortMetrics* metrics_out) {
+StatusOr<Table> RelationalSort::SortTable(const Table& input,
+                                          const SortSpec& spec,
+                                          const SortEngineConfig& config,
+                                          SortMetrics* metrics_out) {
   RelationalSort sort(spec, input.types(), config);
   uint64_t threads = std::max<uint64_t>(config.threads, 1);
+  auto fill_metrics = [&] {
+    if (metrics_out != nullptr) *metrics_out = sort.metrics();
+  };
 
+  Status st;
   if (threads <= 1) {
     auto local = sort.MakeLocalState();
-    for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-      sort.Sink(*local, input.chunk(c));
+    for (uint64_t c = 0; c < input.ChunkCount() && st.ok(); ++c) {
+      st = sort.Sink(*local, input.chunk(c));
     }
-    sort.CombineLocal(*local);
-    sort.Finalize(nullptr);
+    if (st.ok()) st = sort.CombineLocal(*local);
+    if (st.ok()) st = sort.Finalize(nullptr);
   } else {
     ThreadPool pool(threads);
     // Morsel-driven: threads grab chunks from a shared counter (§VII /
@@ -738,27 +1056,41 @@ Table RelationalSort::SortTable(const Table& input, const SortSpec& spec,
         while (true) {
           uint64_t c = next_chunk.fetch_add(1);
           if (c >= input.ChunkCount()) break;
-          sort.Sink(*local, input.chunk(c));
+          // A failure is sticky in the sort; stop feeding it.
+          if (!sort.Sink(*local, input.chunk(c)).ok()) break;
         }
-        sort.CombineLocal(*local);
+        (void)sort.CombineLocal(*local);  // its status is recorded in the sort
       });
     }
-    pool.RunBatch(std::move(tasks));
-    sort.Finalize(&pool);
+    try {
+      pool.RunBatch(std::move(tasks));
+    } catch (const std::bad_alloc&) {
+      fill_metrics();
+      return Status::OutOfMemory("sort sink: allocation failed");
+    }
+    st = sort.status();
+    if (st.ok()) st = sort.Finalize(&pool);
+  }
+  if (!st.ok()) {
+    fill_metrics();
+    return st;
   }
 
-  Table output(input.types(), input.names());
-  uint64_t offset = 0;
-  while (offset < sort.row_count()) {
-    DataChunk chunk = output.NewChunk();
-    uint64_t produced = sort.ScanChunk(offset, &chunk);
-    offset += produced;
-    output.Append(std::move(chunk));
+  try {
+    Table output(input.types(), input.names());
+    uint64_t offset = 0;
+    while (offset < sort.row_count()) {
+      DataChunk chunk = output.NewChunk();
+      uint64_t produced = sort.ScanChunk(offset, &chunk);
+      offset += produced;
+      output.Append(std::move(chunk));
+    }
+    fill_metrics();
+    return output;
+  } catch (const std::bad_alloc&) {
+    fill_metrics();
+    return Status::OutOfMemory("sort output: allocation failed");
   }
-  if (metrics_out != nullptr) {
-    *metrics_out = sort.metrics();
-  }
-  return output;
 }
 
 }  // namespace rowsort

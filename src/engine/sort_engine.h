@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/memory_tracker.h"
+#include "common/status.h"
 #include "engine/sorted_run.h"
 #include "engine/tuple_comparator.h"
 #include "parallel/thread_pool.h"
@@ -40,16 +42,27 @@ struct SortEngineConfig {
   /// Count comparator invocations during run generation and merging (for the
   /// §II comparison-count analysis); small overhead when enabled.
   bool count_comparisons = false;
-  /// Future-work graceful degradation (§IX): when non-empty, every sorted
-  /// run is spilled to this directory after run generation and the cascaded
-  /// merge streams runs back two at a time, bounding resident memory by a
-  /// few runs instead of the whole input.
+  /// Directory for spill files. With memory_limit_bytes == 0 and this set,
+  /// every sorted run is spilled after run generation (the pre-adaptive
+  /// all-or-nothing behavior, kept for ablations). With a memory limit it
+  /// is where adaptive spills land; when empty, a private directory under
+  /// the system temp path is created on first spill and removed with the
+  /// engine.
   std::string spill_directory;
+  /// Graceful degradation (§IX): bound on the sort's tracked working set
+  /// (key rows, payload rows, string heaps, OVC arrays of local state and
+  /// resident runs). 0 = unlimited. When a reservation would exceed the
+  /// limit, the engine spills the largest resident runs until it fits, and
+  /// the merge phase streams spilled runs block by block instead of loading
+  /// them whole. The materialized result handed back to the caller is not
+  /// counted against the limit (see docs/robustness.md).
+  uint64_t memory_limit_bytes = 0;
   /// Merge strategy ablation: false = DuckDB's 2-way cascaded merge with
   /// Merge Path parallelism (the paper's design); true = a single k-way
   /// merge over all runs at once, the strategy §VII attributes to
   /// ClickHouse and HyPer/Umbra. The k-way merge touches each row once but
   /// pays a log(k) tree comparison per output row and is one serial pass.
+  /// Ignored (cascade is used) once any run has spilled.
   bool use_kway_merge = false;
   /// Offset-value coding (Graefe & Do, arXiv:2209.08420): cache per row the
   /// offset+value of the first key byte differing from the run predecessor,
@@ -75,6 +88,11 @@ struct SortMetrics {
   /// a suffix scan past the cached offset, plus the per-slice seed and
   /// partition-boundary comparisons. The OVC analogue of merge_compares.
   uint64_t ovc_fallback_compares = 0;
+  /// Spill events: runs written to disk (adaptive or all-or-nothing),
+  /// including intermediate external-merge outputs.
+  uint64_t runs_spilled = 0;
+  /// High-water mark of the MemoryTracker over the sort's lifetime.
+  uint64_t peak_memory_bytes = 0;
   double sink_seconds = 0;      ///< DSM->NSM conversion + key normalization
   double run_sort_seconds = 0;  ///< thread-local sorts + payload reorder
   double merge_seconds = 0;     ///< cascaded merge
@@ -91,19 +109,30 @@ struct SortMetrics {
 /// merged by a 2-way cascaded merge sort whose final merges are parallelized
 /// with Merge Path partitioning. The result converts back to vectors.
 ///
+/// Failure handling: every pipeline entry point returns a Status.
+/// Allocation failure surfaces as Status::OutOfMemory, spill I/O failure
+/// and corrupted spill files as Status::IOError; the first error is sticky
+/// (subsequent calls return it) and all spill files are removed on error or
+/// destruction. With SortEngineConfig::memory_limit_bytes set, the engine
+/// degrades gracefully by spilling runs instead of failing (§IX).
+///
 /// Usage:
 ///   RelationalSort sort(spec, input_types, config);
 ///   auto local = sort.MakeLocalState();
-///   for (chunk : input) sort.Sink(*local, chunk);   // per-thread
-///   sort.CombineLocal(*local);                      // per-thread
-///   sort.Finalize(&pool);                           // once
-///   sort.ScanChunk(offset, &out);                   // read sorted output
+///   for (chunk : input) st = sort.Sink(*local, chunk);   // per-thread
+///   st = sort.CombineLocal(*local);                      // per-thread
+///   st = sort.Finalize(&pool);                           // once
+///   sort.ScanChunk(offset, &out);                        // read output
 class RelationalSort {
  public:
   /// \p spec's column indices refer to \p input_types; every input column is
   /// carried as payload (the sort returns complete rows).
   RelationalSort(SortSpec spec, std::vector<LogicalType> input_types,
                  SortEngineConfig config = {});
+  /// Removes every live spill file (and the private spill directory, when
+  /// one was created), whether the pipeline completed, failed, or was
+  /// abandoned mid-flight.
+  ~RelationalSort();
   ROWSORT_DISALLOW_COPY_AND_MOVE(RelationalSort);
 
   /// Thread-local sink state (one per producing thread).
@@ -117,6 +146,7 @@ class RelationalSort {
     RowCollection payload_;
     uint64_t count_ = 0;
     double sink_seconds_ = 0;  ///< folded into SortMetrics at CombineLocal
+    MemoryReservation key_memory_;  ///< accounts key_rows_
   };
 
   std::unique_ptr<LocalState> MakeLocalState() const {
@@ -125,13 +155,21 @@ class RelationalSort {
 
   /// Materializes \p chunk into \p local (key normalization + payload
   /// scatter); emits a sorted run when the local threshold is reached.
-  void Sink(LocalState& local, const DataChunk& chunk);
+  /// Spills resident runs first when the reservation would exceed the
+  /// memory limit.
+  Status Sink(LocalState& local, const DataChunk& chunk);
 
   /// Flushes \p local's remaining rows as a final (smaller) sorted run.
-  void CombineLocal(LocalState& local);
+  Status CombineLocal(LocalState& local);
 
-  /// Runs the cascaded merge; \p pool may be null (serial merge).
-  void Finalize(ThreadPool* pool = nullptr);
+  /// Runs the cascaded merge; \p pool may be null (serial merge). Spilled
+  /// runs are merged by a streaming external merge that holds O(block)
+  /// memory per input.
+  Status Finalize(ThreadPool* pool = nullptr);
+
+  /// First error recorded by any pipeline stage (OK while healthy). Errors
+  /// are sticky: once set, every subsequent entry point returns it.
+  Status status() const;
 
   /// Total sorted rows (valid after Finalize).
   uint64_t row_count() const { return result_.count; }
@@ -145,17 +183,52 @@ class RelationalSort {
 
   const SortMetrics& metrics() const { return metrics_; }
   const TupleComparator& comparator() const { return comparator_; }
+  const MemoryTracker& memory_tracker() const { return tracker_; }
   uint64_t key_row_width() const { return key_row_width_; }
 
   /// Convenience single-call API: sorts \p input with \p config.threads
   /// workers (morsel-driven: chunks are distributed across local states) and
-  /// returns the sorted table. \p metrics_out is optional.
-  static Table SortTable(const Table& input, const SortSpec& spec,
-                         const SortEngineConfig& config = {},
-                         SortMetrics* metrics_out = nullptr);
+  /// returns the sorted table. \p metrics_out is optional and filled even on
+  /// error.
+  static StatusOr<Table> SortTable(const Table& input, const SortSpec& spec,
+                                   const SortEngineConfig& config = {},
+                                   SortMetrics* metrics_out = nullptr);
 
  private:
-  void SortLocalRun(LocalState& local);
+  /// One unit of the merge phase: a sorted run that is either resident in
+  /// memory or spilled to a file (never both).
+  struct RunEntry {
+    SortedRun run;     ///< valid iff !spilled
+    std::string path;  ///< valid iff spilled
+    uint64_t rows = 0;
+    bool spilled = false;
+  };
+
+  Status SinkImpl(LocalState& local, const DataChunk& chunk);
+  Status SortLocalRun(LocalState& local);
+  Status FinalizeImpl(ThreadPool* pool);
+  /// Merges entries_[left] and entries_[right] into *out — in memory when
+  /// both are resident and the output fits the limit, otherwise via the
+  /// streaming external merge (spilling resident inputs first).
+  Status MergeEntryPair(RunEntry& left, RunEntry& right, ThreadPool* pool,
+                        RunEntry* out);
+  /// Streaming 2-way merge of two spill files into a new spill file;
+  /// resident memory is O(spill block), not O(run).
+  Status MergeSpilledPair(const std::string& left_path,
+                          const std::string& right_path,
+                          const std::string& out_path);
+  /// Spills the largest resident runs until reserving \p incoming_bytes
+  /// more would fit under the limit (or nothing resident remains).
+  Status SpillToFit(uint64_t incoming_bytes);
+  Status SpillToFitLocked(uint64_t incoming_bytes);
+  /// Writes \p entry's run to a fresh spill file and frees its memory.
+  Status SpillEntryLocked(RunEntry& entry);
+  Status EnsureSpillDirLocked();
+  std::string NextSpillPathLocked();
+  /// Records the first pipeline error (thread-safe; later errors are
+  /// dropped) and returns the sticky status.
+  Status RecordError(Status status);
+
   SortedRun MergePair(const SortedRun& left, const SortedRun& right,
                       ThreadPool* pool);
   SortedRun MergeKWay(std::vector<SortedRun>& runs);
@@ -185,10 +258,17 @@ class RelationalSort {
   uint64_t key_row_width_ = 0;   ///< aligned key + 8-byte row id
   uint64_t row_id_offset_ = 0;
 
-  std::mutex runs_mutex_;
-  std::vector<SortedRun> runs_;
-  std::vector<std::string> spilled_files_;
+  /// Tracks the pipeline's resident working set; limit from
+  /// config_.memory_limit_bytes (0 = account only). Mutable because const
+  /// paths (MakeLocalState) hand it to thread-local state.
+  mutable MemoryTracker tracker_;
+
+  mutable std::mutex runs_mutex_;
+  std::vector<RunEntry> entries_;
+  std::string resolved_spill_dir_;
+  bool created_spill_dir_ = false;
   uint64_t spill_counter_ = 0;
+  Status first_error_;  ///< sticky pipeline error (guarded by runs_mutex_)
   SortedRun result_;
   SortMetrics metrics_;
   std::atomic<uint64_t> run_compares_{0};

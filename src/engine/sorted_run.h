@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "row/row_collection.h"
 
 namespace rowsort {
@@ -23,10 +24,33 @@ struct SortedRun {
   /// after run generation and propagated through OVC-aware merges.
   std::vector<uint64_t> ovcs;
 
+  /// Reservation for key_rows + ovcs against the engine's MemoryTracker
+  /// (the payload self-accounts through RowCollection). Follows moves,
+  /// releases on destruction, so a spilled or merged-away run gives its
+  /// bytes back automatically.
+  MemoryReservation key_memory;
+
   const uint8_t* KeyRow(uint64_t i) const {
     return key_rows.data() + i * key_row_width;
   }
   const uint8_t* PayloadRow(uint64_t i) const { return payload.GetRow(i); }
+
+  /// Resident bytes of the key-side buffers.
+  uint64_t KeyBytes() const {
+    return key_rows.capacity() + ovcs.capacity() * sizeof(uint64_t);
+  }
+
+  /// Total resident bytes (keys + codes + payload rows + string heap).
+  uint64_t MemoryBytes() const {
+    return KeyBytes() + payload.MemoryBytes();
+  }
+
+  /// Accounts this run's resident bytes against \p tracker (nullptr stops
+  /// accounting — e.g. when the run is handed out as the final result).
+  void TrackMemory(MemoryTracker* tracker) {
+    key_memory.Reset(tracker, KeyBytes());
+    payload.SetMemoryTracker(tracker);
+  }
 };
 
 }  // namespace rowsort

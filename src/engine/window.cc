@@ -31,10 +31,10 @@ Table ComputeWindow(const Table& input, const WindowSpec& spec,
   RelationalSort sort(full_spec, input.types(), config);
   auto local = sort.MakeLocalState();
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-    sort.Sink(*local, input.chunk(c));
+    ROWSORT_CHECK_OK(sort.Sink(*local, input.chunk(c)));
   }
-  sort.CombineLocal(*local);
-  sort.Finalize();
+  ROWSORT_CHECK_OK(sort.CombineLocal(*local));
+  ROWSORT_CHECK_OK(sort.Finalize());
   const SortedRun& run = sort.result();
 
   // Partition boundaries compare only the leading key segments; peer groups

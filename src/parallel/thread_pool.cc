@@ -24,6 +24,18 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::ExecuteTask(std::function<void()>& task) {
+  // A throwing task must not unwind a worker thread (std::terminate) or
+  // poison the queue: capture the first exception for the submitting thread
+  // and keep draining so the batch barrier still completes.
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!batch_error_) batch_error_ = std::current_exception();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -34,7 +46,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    ExecuteTask(task);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--outstanding_ == 0) batch_done_.notify_all();
@@ -50,7 +62,7 @@ bool ThreadPool::RunOneTask() {
     task = std::move(queue_.front());
     queue_.pop();
   }
-  task();
+  ExecuteTask(task);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (--outstanding_ == 0) batch_done_.notify_all();
@@ -69,8 +81,15 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   // Help drain the queue, then wait for stragglers.
   while (RunOneTask()) {
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  batch_done_.wait(lock, [this] { return outstanding_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [this] { return outstanding_ == 0; });
+    error = batch_error_;
+    batch_error_ = nullptr;
+  }
+  // First error wins; rethrown on the submitting thread after the barrier.
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::ParallelFor(uint64_t count,

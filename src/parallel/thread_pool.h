@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,6 +32,12 @@ class ThreadPool {
   /// Runs all \p tasks on the pool and waits for completion. The calling
   /// thread participates, so a pool of 1 degrades to serial execution
   /// without deadlock.
+  ///
+  /// Error propagation: an exception thrown by a task is captured (first
+  /// one wins), the remaining tasks of the batch still drain, and the
+  /// exception is rethrown here on the submitting thread after the batch
+  /// barrier — a worker-task failure never std::terminate()s the process.
+  /// Batches must be submitted by one thread at a time.
   void RunBatch(std::vector<std::function<void()>> tasks);
 
   /// Convenience: RunBatch over indices [0, count) of \p fn(index). Indices
@@ -44,6 +51,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
   bool RunOneTask();
+  void ExecuteTask(std::function<void()>& task);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -52,6 +60,7 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   uint64_t outstanding_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr batch_error_;  ///< first task exception of the batch
 };
 
 }  // namespace rowsort

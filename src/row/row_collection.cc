@@ -12,6 +12,7 @@ uint64_t RowCollection::AppendUninitialized(uint64_t count) {
   uint64_t first = row_count_;
   rows_.resize(rows_.size() + count * layout_.row_width());
   row_count_ += count;
+  UpdateMemoryAccounting();
   return first;
 }
 
@@ -37,6 +38,7 @@ uint64_t RowCollection::AppendRow(const DataChunk& chunk, uint64_t row) {
       std::memcpy(dest + offset, vec.data() + row * value_size, value_size);
     }
   }
+  UpdateMemoryAccounting();
   return slot;
 }
 
@@ -71,6 +73,7 @@ void RowCollection::AppendChunk(const DataChunk& chunk) {
         string_t owned = heap_.AddString(strings[row]);
         std::memcpy(dest + offset, &owned, sizeof(string_t));
       }
+      UpdateMemoryAccounting();
     } else {
       const uint8_t* src = vec.data();
       for (uint64_t row = 0; row < count; ++row) {

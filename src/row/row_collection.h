@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "row/row_layout.h"
 #include "vector/data_chunk.h"
 #include "vector/string_heap.h"
@@ -69,16 +70,41 @@ class RowCollection {
   /// \p other into this collection, e.g. while merging sorted runs).
   void AdoptHeap(RowCollection&& other) {
     heap_.Merge(std::move(other.heap_));
+    other.UpdateMemoryAccounting();
+    UpdateMemoryAccounting();
   }
 
   /// Total bytes of fixed-size row storage.
   uint64_t RowBytes() const { return rows_.size(); }
 
+  /// Resident bytes: row storage capacity plus owned string-heap blocks.
+  uint64_t MemoryBytes() const {
+    return rows_.capacity() + heap_.AllocatedBytes();
+  }
+
+  /// Starts (or stops, with nullptr) accounting this collection's resident
+  /// bytes against \p tracker. The reservation follows moves and is released
+  /// on destruction.
+  void SetMemoryTracker(MemoryTracker* tracker) {
+    tracker_ = tracker;
+    reservation_.Reset(tracker, MemoryBytes());
+  }
+
  private:
+  friend class RowCollectionTestPeer;
+
+  /// Re-syncs the reservation with the current resident size; called after
+  /// every mutating operation.
+  void UpdateMemoryAccounting() {
+    if (tracker_ != nullptr) reservation_.Reset(tracker_, MemoryBytes());
+  }
+
   RowLayout layout_;
   std::vector<uint8_t> rows_;
   StringHeap heap_;
   uint64_t row_count_ = 0;
+  MemoryTracker* tracker_ = nullptr;
+  MemoryReservation reservation_;
 };
 
 }  // namespace rowsort

@@ -29,7 +29,7 @@ class DuckDBLike : public SortSystem {
     // will generally generate one sorted run").
     config.run_size_rows =
         std::max<uint64_t>(input.row_count() / threads_ + 1, kVectorSize);
-    return RelationalSort::SortTable(input, tuned, config);
+    return RelationalSort::SortTable(input, tuned, config).ValueOrDie();
   }
 
  private:

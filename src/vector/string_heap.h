@@ -49,6 +49,7 @@ class StringHeap {
       blocks_.push_back(std::make_unique<char[]>(block_size));
       current_capacity_ = block_size;
       current_offset_ = 0;
+      allocated_bytes_ += block_size;
     }
     char* result = blocks_.back().get() + current_offset_;
     current_offset_ += size;
@@ -62,6 +63,10 @@ class StringHeap {
     total += current_offset_;
     return total;
   }
+
+  /// Total block bytes owned by the arena (memory accounting: what the heap
+  /// actually holds resident, as opposed to what was handed out).
+  uint64_t AllocatedBytes() const { return allocated_bytes_; }
 
   /// Moves all blocks of \p other into this heap (descriptors into \p other
   /// remain valid because block storage is stable).
@@ -78,15 +83,18 @@ class StringHeap {
                      std::make_move_iterator(other.blocks_.begin()),
                      std::make_move_iterator(other.blocks_.end()));
     }
+    allocated_bytes_ += other.allocated_bytes_;
     other.blocks_.clear();
     other.current_capacity_ = 0;
     other.current_offset_ = 0;
+    other.allocated_bytes_ = 0;
   }
 
  private:
   std::vector<std::unique_ptr<char[]>> blocks_;
   uint64_t current_capacity_ = 0;
   uint64_t current_offset_ = 0;
+  uint64_t allocated_bytes_ = 0;
 };
 
 }  // namespace rowsort

@@ -176,7 +176,7 @@ TEST(AdversarialTest, TopNFuzzAgainstFullSort) {
       top_n.Sink(input.chunk(c));
     }
     Table result = top_n.Finalize();
-    Table full = RelationalSort::SortTable(input, spec);
+    Table full = RelationalSort::SortTable(input, spec).ValueOrDie();
 
     uint64_t expect = std::min(limit, rows);
     ASSERT_EQ(result.row_count(), expect) << "trial " << trial;

@@ -48,7 +48,7 @@ Table MakeInput() {
 Table SortedResult(Table result) {
   SortSpec spec({SortColumn(0, result.types()[0], OrderType::kAscending,
                             NullOrder::kNullsFirst)});
-  return RelationalSort::SortTable(result, spec);
+  return RelationalSort::SortTable(result, spec).ValueOrDie();
 }
 
 TEST(HashAggregateTest, CountSumMinMaxByDept) {

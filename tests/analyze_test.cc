@@ -47,7 +47,7 @@ TEST(CollationTest, EngineSortsCaseInsensitively) {
   Table input = StringTable({"banana", "Apple", "cherry", "APRICOT", "apple"});
   SortColumn col(0, TypeId::kVarchar);
   col.collation = Collation::kCaseInsensitive;
-  Table sorted = RelationalSort::SortTable(input, SortSpec({col}));
+  Table sorted = RelationalSort::SortTable(input, SortSpec({col})).ValueOrDie();
   // Case-insensitive order: apple-group, APRICOT, banana, cherry.
   std::vector<std::string> got;
   for (uint64_t r = 0; r < sorted.chunk(0).size(); ++r) {
@@ -66,7 +66,7 @@ TEST(CollationTest, TieResolutionBeyondPrefixIsCollationAware) {
   Table input = StringTable({"shared-prefix-xyzB", "SHARED-PREFIX-xyza"});
   SortColumn col(0, TypeId::kVarchar);
   col.collation = Collation::kCaseInsensitive;
-  Table sorted = RelationalSort::SortTable(input, SortSpec({col}));
+  Table sorted = RelationalSort::SortTable(input, SortSpec({col})).ValueOrDie();
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 0),
             Value::Varchar("SHARED-PREFIX-xyza"));
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 1),
@@ -76,7 +76,7 @@ TEST(CollationTest, TieResolutionBeyondPrefixIsCollationAware) {
 TEST(BinaryCollationTest, CaseMatters) {
   Table input = StringTable({"b", "A", "a", "B"});
   Table sorted =
-      RelationalSort::SortTable(input, SortSpec({SortColumn(0, TypeId::kVarchar)}));
+      RelationalSort::SortTable(input, SortSpec({SortColumn(0, TypeId::kVarchar)})).ValueOrDie();
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Varchar("A"));
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 1), Value::Varchar("B"));
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 2), Value::Varchar("a"));
@@ -117,7 +117,7 @@ TEST(PrefixStatsTest, TunedSortStillCorrect) {
                             NullOrder::kNullsFirst)});
   TuneStringPrefixes(input, &spec);
   EXPECT_EQ(spec.columns()[0].string_prefix_length, 5u);
-  Table sorted = RelationalSort::SortTable(input, spec);
+  Table sorted = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_TRUE(sorted.chunk(0).GetValue(0, 0).is_null());
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 1), Value::Varchar("apple"));
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 6), Value::Varchar("plum"));
@@ -163,7 +163,7 @@ TEST(PrefixStatsTest, RadixPathOnCoveredStringsSortsCorrectly) {
   ASSERT_FALSE(spec.NeedsTieResolution());
   SortEngineConfig config;
   config.algorithm = RunSortAlgorithm::kRadix;  // legal thanks to the flag
-  Table sorted = RelationalSort::SortTable(input, spec, config);
+  Table sorted = RelationalSort::SortTable(input, spec, config).ValueOrDie();
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Varchar("apple"));
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 1), Value::Varchar("date"));
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 2), Value::Varchar("fig"));
@@ -182,8 +182,8 @@ TEST(PrefixStatsTest, TunedAndUntunedAgreeOnCustomerNames) {
   TuneStringPrefixes(input, &tuned);
   ASSERT_TRUE(tuned.columns()[0].prefix_covers_full_string);
 
-  Table a = RelationalSort::SortTable(input, untuned);
-  Table b = RelationalSort::SortTable(input, tuned);
+  Table a = RelationalSort::SortTable(input, untuned).ValueOrDie();
+  Table b = RelationalSort::SortTable(input, tuned).ValueOrDie();
   ASSERT_EQ(a.row_count(), b.row_count());
   for (uint64_t r = 0; r < a.chunk(0).size(); ++r) {
     EXPECT_EQ(a.chunk(0).GetValue(0, r).ToString(),
@@ -227,7 +227,7 @@ TEST(RleTest, SortingReducesRuns) {
 
   uint64_t before = CountRuns(t, 0);
   Table sorted =
-      RelationalSort::SortTable(t, SortSpec({SortColumn(0, TypeId::kInt32)}));
+      RelationalSort::SortTable(t, SortSpec({SortColumn(0, TypeId::kInt32)})).ValueOrDie();
   uint64_t after = CountRuns(sorted, 0);
   EXPECT_EQ(after, 16u);          // one run per distinct value
   EXPECT_GT(before, 50 * after);  // dramatic compression win

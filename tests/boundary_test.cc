@@ -53,7 +53,7 @@ TEST_P(VectorSizeBoundaryTest, SortsExactlyAroundChunkEdges) {
   uint64_t rows = GetParam();
   Table input = IntTable(rows, rows + 1);
   SortSpec spec({SortColumn(0, TypeId::kInt32)});
-  Table output = RelationalSort::SortTable(input, spec);
+  Table output = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_EQ(output.row_count(), rows);
   EXPECT_TRUE(IsSortedAscending(output));
 }
@@ -73,7 +73,7 @@ TEST_P(RunSizeBoundaryTest, RunThresholdEdgesProduceCorrectMerges) {
   SortEngineConfig config;
   config.run_size_rows = GetParam();
   SortMetrics metrics;
-  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
   EXPECT_EQ(output.row_count(), rows);
   EXPECT_TRUE(IsSortedAscending(output));
   EXPECT_GE(metrics.runs_generated, 1u);
@@ -96,7 +96,7 @@ TEST(StringEdgeTest, EmbeddedNulBytesSortCorrectly) {
   input.Append(std::move(chunk));
 
   SortSpec spec({SortColumn(0, TypeId::kVarchar)});
-  Table sorted = RelationalSort::SortTable(input, spec);
+  Table sorted = RelationalSort::SortTable(input, spec).ValueOrDie();
   // memcmp order: "ab" < "ab\0" < "ab\0x".
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 0).varchar_value().size(), 2u);
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 1).varchar_value().size(), 3u);
@@ -114,7 +114,7 @@ TEST(StringEdgeTest, HighBitBytesSortAsUnsigned) {
   input.Append(std::move(chunk));
 
   SortSpec spec({SortColumn(0, TypeId::kVarchar)});
-  Table sorted = RelationalSort::SortTable(input, spec);
+  Table sorted = RelationalSort::SortTable(input, spec).ValueOrDie();
   // Unsigned byte order: 'z' (0x7A) < 0x7F < 0xC3 (signed-char comparison
   // would wrongly put the UTF-8 bytes first).
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Varchar("z"));
@@ -132,7 +132,7 @@ TEST(StringEdgeTest, ExactlyPrefixLengthStrings) {
   chunk.SetSize(2);
   input.Append(std::move(chunk));
   SortSpec spec({SortColumn(0, TypeId::kVarchar)});
-  Table sorted = RelationalSort::SortTable(input, spec);
+  Table sorted = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Varchar("abcdefghijkl"));
 }
 
@@ -162,7 +162,7 @@ TEST(KeyWidthBoundaryTest, ManyColumnsProduceWideKeys) {
   for (auto algo : {RunSortAlgorithm::kRadix, RunSortAlgorithm::kPdq}) {
     SortEngineConfig config;
     config.algorithm = algo;
-    Table sorted = RelationalSort::SortTable(input, spec, config);
+    Table sorted = RelationalSort::SortTable(input, spec, config).ValueOrDie();
     // Verify lexicographic descending across all 8 columns.
     for (uint64_t r = 1; r < sorted.chunk(0).size(); ++r) {
       int cmp = 0;
@@ -186,7 +186,7 @@ TEST(ExtremeValueTest, IntegerLimitsEncodeCorrectly) {
   chunk.SetSize(5);
   input.Append(std::move(chunk));
   SortSpec spec({SortColumn(0, TypeId::kInt64)});
-  Table sorted = RelationalSort::SortTable(input, spec);
+  Table sorted = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Int64(INT64_MIN));
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 1), Value::Int64(-1));
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 2), Value::Int64(0));
@@ -207,7 +207,7 @@ TEST(ExtremeValueTest, FloatSpecialsOrderTotally) {
   chunk.SetSize(8);
   input.Append(std::move(chunk));
   SortSpec spec({SortColumn(0, TypeId::kFloat)});
-  Table sorted = RelationalSort::SortTable(input, spec);
+  Table sorted = RelationalSort::SortTable(input, spec).ValueOrDie();
 
   // -inf < -denorm < -0/0 (tie) < denorm < 1 < inf < NaN.
   EXPECT_EQ(sorted.chunk(0).GetValue(0, 0), Value::Float(-inf));

@@ -4,6 +4,9 @@
 #include <set>
 
 #include "common/bit_util.h"
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/memory_tracker.h"
 #include "common/hardware.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -136,6 +139,83 @@ TEST(HardwareTest, DetectsSomething) {
   EXPECT_GT(info.logical_cores, 0);
   EXPECT_GT(info.total_memory_bytes, 0u);
   EXPECT_FALSE(info.ToString().empty());
+}
+
+TEST(MemoryTrackerTest, ReserveReleaseAndPeak) {
+  MemoryTracker tracker(1000);
+  EXPECT_EQ(tracker.limit(), 1000u);
+  tracker.Reserve(400);
+  EXPECT_EQ(tracker.reserved(), 400u);
+  EXPECT_FALSE(tracker.WouldExceed(600));
+  EXPECT_TRUE(tracker.WouldExceed(601));
+  EXPECT_FALSE(tracker.OverLimit());
+  tracker.Reserve(700);  // enforcement is the caller's job, not the tracker's
+  EXPECT_TRUE(tracker.OverLimit());
+  EXPECT_EQ(tracker.peak(), 1100u);
+  tracker.Release(1100);
+  EXPECT_EQ(tracker.reserved(), 0u);
+  EXPECT_EQ(tracker.peak(), 1100u);  // high-water mark sticks
+}
+
+TEST(MemoryTrackerTest, UnlimitedNeverExceeds) {
+  MemoryTracker tracker;  // limit 0 = unlimited, accounting only
+  tracker.Reserve(1ull << 40);
+  EXPECT_FALSE(tracker.WouldExceed(1ull << 40));
+  EXPECT_FALSE(tracker.OverLimit());
+  tracker.Release(1ull << 40);
+}
+
+TEST(MemoryReservationTest, ReleasesOnDestructionAndMovesSafely) {
+  MemoryTracker tracker;
+  {
+    MemoryReservation a;
+    a.Reset(&tracker, 100);
+    EXPECT_EQ(tracker.reserved(), 100u);
+    MemoryReservation b = std::move(a);  // transfer, no double release
+    EXPECT_EQ(tracker.reserved(), 100u);
+    b.Update(250);
+    EXPECT_EQ(tracker.reserved(), 250u);
+    b.Update(50);
+    EXPECT_EQ(tracker.reserved(), 50u);
+    MemoryReservation c;
+    c.Reset(&tracker, 30);
+    c = std::move(b);  // move-assign releases c's 30, adopts b's 50
+    EXPECT_EQ(tracker.reserved(), 50u);
+  }
+  EXPECT_EQ(tracker.reserved(), 0u);
+}
+
+TEST(Crc32Test, KnownVectorAndIncrementalEquivalence) {
+  // IEEE CRC-32 of "123456789" is the classic check value.
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32(0, digits, 9), 0xCBF43926u);
+  // Chunked updates must equal one whole-buffer pass.
+  uint32_t chunked = Crc32(0, digits, 4);
+  chunked = Crc32(chunked, digits + 4, 5);
+  EXPECT_EQ(chunked, 0xCBF43926u);
+  // Sensitivity: any single-bit change moves the checksum.
+  char tweaked[] = "123456780";
+  EXPECT_NE(Crc32(0, tweaked, 9), 0xCBF43926u);
+}
+
+TEST(FailpointTest, ArmSkipFiresAndDisarm) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::DisarmAll();
+  EXPECT_FALSE(failpoint::Evaluate("common_test_fp"));  // unarmed: never fires
+
+  failpoint::Arm("common_test_fp", /*skip=*/2, /*fires=*/1);
+  EXPECT_FALSE(failpoint::Evaluate("common_test_fp"));  // skipped
+  EXPECT_FALSE(failpoint::Evaluate("common_test_fp"));  // skipped
+  EXPECT_TRUE(failpoint::Evaluate("common_test_fp"));   // fires once
+  EXPECT_FALSE(failpoint::Evaluate("common_test_fp"));  // exhausted
+  EXPECT_EQ(failpoint::HitCount("common_test_fp"), 4u);
+
+  failpoint::Arm("common_test_fp", /*skip=*/0, /*fires=*/0);  // 0 = forever
+  EXPECT_TRUE(failpoint::Evaluate("common_test_fp"));
+  EXPECT_TRUE(failpoint::Evaluate("common_test_fp"));
+  failpoint::Disarm("common_test_fp");
+  EXPECT_FALSE(failpoint::Evaluate("common_test_fp"));
+  failpoint::DisarmAll();
 }
 
 }  // namespace

@@ -150,7 +150,7 @@ TEST_P(EngineFuzzTest, RandomSchemaSpecAndConfig) {
                          : static_cast<RunSortAlgorithm>(rng.Uniform(4));
   config.use_kway_merge = rng.Bernoulli(0.3);
 
-  Table output = RelationalSort::SortTable(input, spec, config);
+  Table output = RelationalSort::SortTable(input, spec, config).ValueOrDie();
 
   // Verify: permutation + sortedness.
   ASSERT_EQ(output.row_count(), rows);

@@ -5,8 +5,10 @@
 // run sizes, and run-sort algorithms.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "engine/merge_path.h"
 #include "engine/sort_engine.h"
@@ -155,7 +157,7 @@ TEST_P(EngineTest, SortedPermutation) {
   config.run_size_rows = c.run_size;
   config.algorithm = c.algorithm;
   SortMetrics metrics;
-  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
   ExpectSortedPermutation(input, output, spec);
   EXPECT_EQ(metrics.rows, c.rows);
   if (c.rows > 0) {
@@ -242,11 +244,11 @@ TEST(EngineMergeStrategyTest, KWayMatchesCascade) {
 
   SortEngineConfig cascade;
   cascade.run_size_rows = 2048;
-  Table a = RelationalSort::SortTable(input, spec, cascade);
+  Table a = RelationalSort::SortTable(input, spec, cascade).ValueOrDie();
 
   SortEngineConfig kway = cascade;
   kway.use_kway_merge = true;
-  Table b = RelationalSort::SortTable(input, spec, kway);
+  Table b = RelationalSort::SortTable(input, spec, kway).ValueOrDie();
 
   ExpectSortedPermutation(input, b, spec);
   ASSERT_EQ(a.row_count(), b.row_count());
@@ -265,10 +267,10 @@ TEST(EngineScanTest, ScanChunkPaginates) {
   RelationalSort sort(spec, input.types(), {});
   auto local = sort.MakeLocalState();
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-    sort.Sink(*local, input.chunk(c));
+    ROWSORT_CHECK_OK(sort.Sink(*local, input.chunk(c)));
   }
-  sort.CombineLocal(*local);
-  sort.Finalize();
+  ROWSORT_CHECK_OK(sort.CombineLocal(*local));
+  ROWSORT_CHECK_OK(sort.Finalize());
   EXPECT_EQ(sort.row_count(), 5000u);
 
   DataChunk out;
@@ -300,7 +302,7 @@ TEST(EngineMetricsTest, ComparisonCountsMatchSection2Analysis) {
   config.algorithm = RunSortAlgorithm::kPdq;
   config.count_comparisons = true;
   SortMetrics metrics;
-  RelationalSort::SortTable(input, spec, config, &metrics);
+  RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
 
   EXPECT_EQ(metrics.runs_generated, k);
   EXPECT_GT(metrics.run_generation_compares, 0u);
@@ -318,7 +320,7 @@ TEST(EngineSpillTest, SpilledSortMatchesInMemory) {
 
   SortEngineConfig mem_config;
   mem_config.run_size_rows = 3000;
-  Table in_memory = RelationalSort::SortTable(input, spec, mem_config);
+  Table in_memory = RelationalSort::SortTable(input, spec, mem_config).ValueOrDie();
 
   std::string dir = ::testing::TempDir() + "/rowsort_spill";
   std::string cmd = "mkdir -p " + dir;
@@ -326,7 +328,7 @@ TEST(EngineSpillTest, SpilledSortMatchesInMemory) {
   SortEngineConfig spill_config;
   spill_config.run_size_rows = 3000;
   spill_config.spill_directory = dir;
-  Table spilled = RelationalSort::SortTable(input, spec, spill_config);
+  Table spilled = RelationalSort::SortTable(input, spec, spill_config).ValueOrDie();
 
   ASSERT_EQ(in_memory.row_count(), spilled.row_count());
   ExpectSortedPermutation(input, spilled, spec);
@@ -336,6 +338,197 @@ TEST(EngineSpillTest, SpilledSortMatchesInMemory) {
       ASSERT_EQ(RowFingerprint(in_memory, ci, r), RowFingerprint(spilled, ci, r));
     }
   }
+}
+
+void ExpectIdenticalSequences(const Table& a, const Table& b) {
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (uint64_t ci = 0; ci < a.ChunkCount(); ++ci) {
+    for (uint64_t r = 0; r < a.chunk(ci).size(); ++r) {
+      ASSERT_EQ(RowFingerprint(a, ci, r), RowFingerprint(b, ci, r))
+          << "chunk " << ci << " row " << r;
+    }
+  }
+}
+
+TEST(EngineMemoryLimitTest, LimitedSortIsByteIdenticalToUnlimited) {
+  // Duplicate-heavy VARCHAR keys with NULLs: ties that differ only in the
+  // payload are exactly where a different merge tree would show. The
+  // governed cascade must reproduce the unlimited result bit for bit.
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kVarchar), LogicalType(TypeId::kInt32)}, 20000,
+      0.1, 31);
+  SortSpec spec({SortColumn(0, TypeId::kVarchar)});
+
+  SortEngineConfig unlimited;
+  unlimited.run_size_rows = 2000;
+  SortMetrics unlimited_metrics;
+  Table reference =
+      RelationalSort::SortTable(input, spec, unlimited, &unlimited_metrics)
+          .ValueOrDie();
+  EXPECT_EQ(unlimited_metrics.runs_spilled, 0u);
+
+  SortEngineConfig limited = unlimited;
+  limited.memory_limit_bytes = 512 * 1024;
+  SortMetrics limited_metrics;
+  Table governed =
+      RelationalSort::SortTable(input, spec, limited, &limited_metrics)
+          .ValueOrDie();
+
+  EXPECT_GT(limited_metrics.runs_spilled, 0u) << "limit never bit";
+  ExpectSortedPermutation(input, governed, spec);
+  ExpectIdenticalSequences(reference, governed);
+}
+
+TEST(EngineMemoryLimitTest, PeakStaysNearLimit) {
+  // Fixed-width workload several times larger than the limit: adaptive
+  // spilling must keep the tracked peak close to the limit instead of
+  // materializing everything.
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 60000, 0.0,
+      77);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+
+  SortEngineConfig unlimited;
+  unlimited.run_size_rows = 4096;
+  SortMetrics unlimited_metrics;
+  RelationalSort::SortTable(input, spec, unlimited, &unlimited_metrics)
+      .ValueOrDie();
+
+  const uint64_t limit = 1024 * 1024;
+  ASSERT_GT(unlimited_metrics.peak_memory_bytes, 2 * limit)
+      << "workload too small to exercise the limit";
+
+  SortEngineConfig limited = unlimited;
+  limited.memory_limit_bytes = limit;
+  SortMetrics limited_metrics;
+  Table output =
+      RelationalSort::SortTable(input, spec, limited, &limited_metrics)
+          .ValueOrDie();
+  ExpectSortedPermutation(input, output, spec);
+  EXPECT_GT(limited_metrics.runs_spilled, 0u);
+  // The limit governs evictable memory; thread-local sink state and the
+  // bounded streaming-merge scratch ride on top (docs/robustness.md), so
+  // allow half a limit of slack.
+  EXPECT_LE(limited_metrics.peak_memory_bytes, limit + limit / 2);
+}
+
+TEST(EngineMemoryLimitTest, ParallelLimitedSortIsCorrect) {
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kVarchar), LogicalType(TypeId::kInt32)}, 40000,
+      0.05, 13);
+  SortSpec spec({SortColumn(0, TypeId::kVarchar), SortColumn(1, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.threads = 4;
+  config.run_size_rows = 3000;
+  config.memory_limit_bytes = 768 * 1024;
+  SortMetrics metrics;
+  Table output =
+      RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
+  ExpectSortedPermutation(input, output, spec);
+  EXPECT_GT(metrics.runs_spilled, 0u);
+}
+
+TEST(EngineMemoryLimitTest, ExplicitSpillDirectoryLeftEmpty) {
+  // With a configured spill directory, every spill file must be gone once
+  // the sort completes (merged inputs deleted eagerly, the rest at scan).
+  std::string dir = ::testing::TempDir() + "/rowsort_adaptive_spill";
+  std::filesystem::create_directories(dir);
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 30000, 0.0,
+      5);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 2048;
+  config.memory_limit_bytes = 256 * 1024;
+  config.spill_directory = dir;
+  SortMetrics metrics;
+  Table output =
+      RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
+  ExpectSortedPermutation(input, output, spec);
+  EXPECT_GT(metrics.runs_spilled, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir)) << "spill files leaked";
+  std::filesystem::remove(dir);
+}
+
+TEST(EngineFailureTest, AllocationFailureInSinkSurfacesAsOutOfMemory) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 20000, 0.0,
+      17);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 2048;
+  failpoint::Arm("sink_alloc", /*skip=*/3, /*fires=*/1);
+  auto result = RelationalSort::SortTable(input, spec, config);
+  failpoint::DisarmAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(EngineFailureTest, ParallelAllocationFailureSurfacesAsOutOfMemory) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 40000, 0.0,
+      19);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.threads = 4;
+  config.run_size_rows = 2048;
+  failpoint::Arm("sink_alloc", /*skip=*/5, /*fires=*/1);
+  auto result = RelationalSort::SortTable(input, spec, config);
+  failpoint::DisarmAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(EngineFailureTest, SpillWriteFailureIsIOErrorAndLeakFree) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  std::string dir = ::testing::TempDir() + "/rowsort_diskfull_spill";
+  std::filesystem::create_directories(dir);
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 30000, 0.0,
+      23);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 2048;
+  config.memory_limit_bytes = 128 * 1024;
+  config.spill_directory = dir;
+  // Let a few block writes through, then simulate a full disk.
+  failpoint::Arm("external_run_write", /*skip=*/6, /*fires=*/1);
+  auto result = RelationalSort::SortTable(input, spec, config);
+  failpoint::DisarmAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  // Every spill file — finished or in flight — must have been removed.
+  EXPECT_TRUE(std::filesystem::is_empty(dir)) << "spill files leaked";
+  std::filesystem::remove(dir);
+}
+
+TEST(EngineFailureTest, FirstErrorIsStickyAcrossEntryPoints) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  Table input = MakeRandomTable({LogicalType(TypeId::kInt32)}, 8192, 0.0, 29);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 1024;
+  RelationalSort sort(spec, input.types(), config);
+  auto local = sort.MakeLocalState();
+
+  failpoint::Arm("sink_alloc", /*skip=*/2, /*fires=*/1);
+  Status first;
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    first = sort.Sink(*local, input.chunk(c));
+    if (!first.ok()) break;
+  }
+  failpoint::DisarmAll();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kOutOfMemory);
+
+  // Every later entry point reports the recorded error and does no work.
+  Status again = sort.Sink(*local, input.chunk(0));
+  EXPECT_EQ(again.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(sort.CombineLocal(*local).code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(sort.Finalize().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(sort.status().code(), StatusCode::kOutOfMemory);
 }
 
 TEST(MergePathTest, SplitsAreMonotoneAndExact) {
@@ -348,9 +541,9 @@ TEST(MergePathTest, SplitsAreMonotoneAndExact) {
   RelationalSort sort(spec, input.types(), config);
   auto local = sort.MakeLocalState();
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-    sort.Sink(*local, input.chunk(c));
+    ROWSORT_CHECK_OK(sort.Sink(*local, input.chunk(c)));
   }
-  sort.CombineLocal(*local);
+  ROWSORT_CHECK_OK(sort.CombineLocal(*local));
   // Do not finalize: we want the individual runs. Instead rebuild runs by
   // sorting two halves separately.
   RelationalSort left_sort(spec, input.types(), {});
@@ -359,15 +552,15 @@ TEST(MergePathTest, SplitsAreMonotoneAndExact) {
   auto rl = right_sort.MakeLocalState();
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
     if (c % 2 == 0) {
-      left_sort.Sink(*ll, input.chunk(c));
+      ROWSORT_CHECK_OK(left_sort.Sink(*ll, input.chunk(c)));
     } else {
-      right_sort.Sink(*rl, input.chunk(c));
+      ROWSORT_CHECK_OK(right_sort.Sink(*rl, input.chunk(c)));
     }
   }
-  left_sort.CombineLocal(*ll);
-  right_sort.CombineLocal(*rl);
-  left_sort.Finalize();
-  right_sort.Finalize();
+  ROWSORT_CHECK_OK(left_sort.CombineLocal(*ll));
+  ROWSORT_CHECK_OK(right_sort.CombineLocal(*rl));
+  ROWSORT_CHECK_OK(left_sort.Finalize());
+  ROWSORT_CHECK_OK(right_sort.Finalize());
 
   const SortedRun& left = left_sort.result();
   const SortedRun& right = right_sort.result();
@@ -410,7 +603,7 @@ TEST(TupleComparatorTest, StringPrefixTieDoesNotLeakIntoLaterColumns) {
   chunk.SetSize(2);
   input.Append(std::move(chunk));
 
-  Table output = RelationalSort::SortTable(input, spec);
+  Table output = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_EQ(output.chunk(0).GetValue(0, 0),
             Value::Varchar("commonprefix-AAA"));
   EXPECT_EQ(output.chunk(0).GetValue(1, 0), Value::Int32(2));

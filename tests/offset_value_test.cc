@@ -142,10 +142,10 @@ void ExpectOvcMergeMatchesComparatorMerge(const Table& input,
   for (RelationalSort* sort : {&with_ovc, &without_ovc}) {
     auto local = sort->MakeLocalState();
     for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-      sort->Sink(*local, input.chunk(c));
+      ROWSORT_CHECK_OK(sort->Sink(*local, input.chunk(c)));
     }
-    sort->CombineLocal(*local);
-    sort->Finalize(pool);
+    ROWSORT_CHECK_OK(sort->CombineLocal(*local));
+    ROWSORT_CHECK_OK(sort->Finalize(pool));
   }
 
   const SortedRun& a = with_ovc.result();
@@ -242,7 +242,7 @@ TEST(OffsetValueMergeTest, SpilledRunsMatch) {
     config.spill_directory = dir;
     config.use_offset_value_codes = ovc;
     SortMetrics metrics;
-    Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+    Table output = RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
     ASSERT_EQ(output.row_count(), input.row_count());
     // Sorted-ness spot check on the leading key column per chunk pair.
     for (uint64_t ci = 0; ci + 1 < output.ChunkCount(); ++ci) {
@@ -252,9 +252,10 @@ TEST(OffsetValueMergeTest, SpilledRunsMatch) {
         EXPECT_LE(last.Compare(first), 0);
       }
     }
-    if (ovc) {
-      EXPECT_GT(metrics.ovc_decided + metrics.ovc_fallback_compares, 0u);
-    }
+    // The external merge streams spilled runs block by block with the plain
+    // comparator (the spill format stores no codes), so no OVC activity is
+    // expected here — only that the spill path actually ran.
+    EXPECT_GT(metrics.runs_spilled, 0u);
   }
 }
 
@@ -272,7 +273,7 @@ TEST(OffsetValueMergeTest, MetricsShowOvcDecidingMostComparisons) {
     config.count_comparisons = true;
     config.use_offset_value_codes = ovc;
     SortMetrics metrics;
-    RelationalSort::SortTable(input, spec, config, &metrics);
+    RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
     full_compares[ovc] = metrics.merge_compares;
     if (ovc) {
       EXPECT_EQ(metrics.merge_compares, metrics.ovc_fallback_compares);
@@ -316,7 +317,7 @@ TEST(OffsetValueMergeTest, VarcharTiesBypassOvc) {
   config.use_kway_merge = true;
   config.count_comparisons = true;
   SortMetrics metrics;
-  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
   ASSERT_EQ(output.row_count(), n);
   EXPECT_EQ(metrics.ovc_decided, 0u);
   EXPECT_EQ(metrics.ovc_fallback_compares, 0u);

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "parallel/thread_pool.h"
 
@@ -99,6 +101,74 @@ TEST(ThreadPoolTest, ThreadCountReported) {
 TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolErrorTest, TaskExceptionRethrownOnSubmitter) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("worker blew up"); });
+  try {
+    pool.RunBatch(std::move(tasks));
+    FAIL() << "expected the task's exception on the submitting thread";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker blew up");
+  }
+}
+
+TEST(ThreadPoolErrorTest, RemainingTasksDrainAfterFailure) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> ran{0};
+  std::vector<std::function<void()>> tasks;
+  // The throwing task sits first in the queue; every other task must still
+  // run to completion before the batch barrier releases.
+  tasks.push_back([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.RunBatch(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(ThreadPoolErrorTest, OnlyOneExceptionPropagates) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back(
+        [i] { throw std::runtime_error("task " + std::to_string(i)); });
+  }
+  // All eight tasks throw; exactly one exception (whichever was captured
+  // first) reaches the submitter, the rest are dropped with the batch.
+  try {
+    pool.RunBatch(std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u) << e.what();
+  }
+  std::atomic<int> ran{0};
+  pool.ParallelFor(10, [&ran](uint64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolErrorTest, PoolUsableAfterFailedBatch) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> bad;
+  bad.push_back([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.RunBatch(std::move(bad)), std::runtime_error);
+  // A failed batch must not poison the pool: the next batch runs cleanly
+  // and reports no stale exception.
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&sum](uint64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolErrorTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [](uint64_t i) {
+                                  if (i == 537) throw std::out_of_range("537");
+                                },
+                                1),
+               std::out_of_range);
 }
 
 }  // namespace

@@ -46,7 +46,7 @@ TEST(StressTest, EightThreadsTinyRunsStrings) {
   config.threads = 8;
   config.run_size_rows = kVectorSize;  // one run per chunk
   SortMetrics metrics;
-  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
   EXPECT_EQ(output.row_count(), input.row_count());
   EXPECT_GT(metrics.runs_generated, 10u);
   EXPECT_TRUE(KeyColumnSorted(output, 4));
@@ -64,7 +64,7 @@ TEST(StressTest, ParallelSinkWithSpilling) {
   config.run_size_rows = 8192;  // many spilled runs from multiple threads
   config.spill_directory = dir;
   SortMetrics metrics;
-  Table output = RelationalSort::SortTable(input, spec, config, &metrics);
+  Table output = RelationalSort::SortTable(input, spec, config, &metrics).ValueOrDie();
   EXPECT_EQ(output.row_count(), 120000u);
   EXPECT_GT(metrics.runs_generated, 8u);
   EXPECT_TRUE(KeyColumnSorted(output, 0));
@@ -79,9 +79,9 @@ TEST(StressTest, RepeatedSortsReuseNoState) {
   Table input = MakeShuffledIntegerTable(30000, 12);
   SortSpec spec({SortColumn(0, TypeId::kInt32, OrderType::kDescending,
                             NullOrder::kNullsLast)});
-  Table first = RelationalSort::SortTable(input, spec);
+  Table first = RelationalSort::SortTable(input, spec).ValueOrDie();
   for (int round = 0; round < 3; ++round) {
-    Table again = RelationalSort::SortTable(input, spec);
+    Table again = RelationalSort::SortTable(input, spec).ValueOrDie();
     ASSERT_EQ(again.row_count(), first.row_count());
     for (uint64_t ci = 0; ci < first.ChunkCount(); ++ci) {
       for (uint64_t r = 0; r < first.chunk(ci).size(); r += 997) {
@@ -103,7 +103,7 @@ TEST(StressTest, ManyConcurrentSortTables) {
     SortEngineConfig config;
     config.threads = 2;
     config.run_size_rows = 4096;
-    Table output = RelationalSort::SortTable(input, spec, config);
+    Table output = RelationalSort::SortTable(input, spec, config).ValueOrDie();
     if (output.row_count() != 20000 ||
         !(output.chunk(0).GetValue(0, 0) == Value::Int32(0))) {
       failures.fetch_add(1);

@@ -60,7 +60,7 @@ TEST_P(TopNTest, MatchesFullSortPrefix) {
   }
   Table result = top_n.Finalize();
 
-  Table full = RelationalSort::SortTable(input, spec);
+  Table full = RelationalSort::SortTable(input, spec).ValueOrDie();
   uint64_t expect_rows = std::min<uint64_t>(limit, input.row_count());
   ASSERT_EQ(result.row_count(), expect_rows);
   // Key sequences must match exactly (payload may permute within ties).
@@ -82,7 +82,7 @@ TEST(TopNTest, DescendingWithNullsFirst) {
     top_n.Sink(input.chunk(c));
   }
   Table result = top_n.Finalize();
-  Table full = RelationalSort::SortTable(input, spec);
+  Table full = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_EQ(KeyPrefix(result, 0, 50), KeyPrefix(full, 0, 50));
   // NULLS FIRST + 20% nulls: the entire top 50 should be NULL.
   EXPECT_EQ(result.chunk(0).GetValue(0, 0).ToString(), "NULL");
@@ -163,7 +163,7 @@ TEST(TopNTest, CompactionPreservesStrings) {
     top_n.Sink(input.chunk(c));
   }
   Table result = top_n.Finalize();
-  Table full = RelationalSort::SortTable(input, spec);
+  Table full = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_EQ(KeyPrefix(result, 0, 25), KeyPrefix(full, 0, 25));
 }
 

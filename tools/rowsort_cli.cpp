@@ -35,6 +35,7 @@ struct Options {
   bool string_keys = false;
   uint64_t topn = 0;
   std::string spill;
+  uint64_t memory_limit = 0;
   uint64_t seed = 42;
   bool show_rows = true;
 };
@@ -51,6 +52,7 @@ void PrintUsage() {
       "  --desc                sort descending\n"
       "  --topn=N              use the Top-N operator instead of a full sort\n"
       "  --spill=DIR           spill sorted runs to DIR (out-of-core merge)\n"
+      "  --memory-limit=N[kmg] bound the working set; runs spill adaptively\n"
       "  --seed=N              workload seed (default 42)\n"
       "  --quiet               do not print sample rows\n");
 }
@@ -81,6 +83,19 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->topn = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(argv[i], "--spill", &value)) {
       opt->spill = value;
+    } else if (ParseArg(argv[i], "--memory-limit", &value)) {
+      char* end = nullptr;
+      opt->memory_limit = std::strtoull(value.c_str(), &end, 10);
+      if (end && *end) {
+        switch (*end) {
+          case 'k': case 'K': opt->memory_limit <<= 10; break;
+          case 'm': case 'M': opt->memory_limit <<= 20; break;
+          case 'g': case 'G': opt->memory_limit <<= 30; break;
+          default:
+            std::fprintf(stderr, "bad --memory-limit suffix: %s\n", end);
+            return false;
+        }
+      }
     } else if (ParseArg(argv[i], "--seed", &value)) {
       opt->seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--desc") == 0) {
@@ -160,6 +175,7 @@ int main(int argc, char** argv) {
   SortEngineConfig config;
   config.threads = std::max<uint64_t>(opt.threads, 1);
   config.spill_directory = opt.spill;
+  config.memory_limit_bytes = opt.memory_limit;
   if (opt.algorithm == "radix") {
     config.algorithm = RunSortAlgorithm::kRadix;
   } else if (opt.algorithm == "pdq") {
@@ -171,7 +187,7 @@ int main(int argc, char** argv) {
   }
   config.run_size_rows = std::max<uint64_t>(
       input.row_count() / config.threads + 1, kVectorSize);
-  if (!opt.spill.empty()) {
+  if (!opt.spill.empty() || opt.memory_limit > 0) {
     config.run_size_rows =
         std::min<uint64_t>(config.run_size_rows, 1 << 18);
   }
@@ -188,7 +204,14 @@ int main(int argc, char** argv) {
                 FormatDuration(sort_timer.ElapsedSeconds()).c_str());
   } else {
     SortMetrics metrics;
-    result = RelationalSort::SortTable(input, spec, config, &metrics);
+    StatusOr<Table> sorted =
+        RelationalSort::SortTable(input, spec, config, &metrics);
+    if (!sorted.ok()) {
+      std::fprintf(stderr, "sort failed: %s\n",
+                   sorted.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(sorted).ValueOrDie();
     std::printf(
         "sorted in %s (%llu runs; sink %s, run sort %s, merge %s)\n",
         FormatDuration(sort_timer.ElapsedSeconds()).c_str(),
@@ -196,6 +219,11 @@ int main(int argc, char** argv) {
         FormatDuration(metrics.sink_seconds).c_str(),
         FormatDuration(metrics.run_sort_seconds).c_str(),
         FormatDuration(metrics.merge_seconds).c_str());
+    if (metrics.runs_spilled > 0 || config.memory_limit_bytes > 0) {
+      std::printf("spilled %llu runs; peak tracked memory %.1f MiB\n",
+                  (unsigned long long)metrics.runs_spilled,
+                  metrics.peak_memory_bytes / (1024.0 * 1024.0));
+    }
   }
 
   if (opt.show_rows && result.row_count() > 0) {
