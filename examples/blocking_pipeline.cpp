@@ -45,7 +45,7 @@ int main() {
   WindowSpec window;
   window.order_by = {SortColumn(2, TypeId::kInt64, OrderType::kDescending,
                                 NullOrder::kNullsLast)};
-  Table ranked = ComputeWindow(grouped, window, {WindowFunction::kRank});
+  Table ranked = ComputeWindow(grouped, window, {WindowFunction::kRank}).ValueOrDie();
 
   std::printf("\n%-14s %12s %14s %6s\n", "warehouse_sk", "order_count",
               "sum_quantity", "rank");

@@ -5,11 +5,13 @@
 // in the unified row format, then merging them back two at a time.
 //
 // Demonstrates: SortEngineConfig::spill_directory, bounded resident memory,
-// and that the spilled result is byte-identical in order to the in-memory
-// result.
+// that the spilled result is byte-identical in order to the in-memory
+// result, and deadline-bounded sorting (a sort that outlives its Deadline
+// returns Status::DeadlineExceeded instead of running to completion).
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/cancellation.h"
 #include "common/string_util.h"
 #include "engine/sort_engine.h"
 #include "workload/tables.h"
@@ -62,5 +64,27 @@ int main() {
     std::printf("%s ", sorted.chunk(0).GetValue(0, r).ToString().c_str());
   }
   std::printf("...\n");
-  return identical ? 0 : 1;
+
+  // Deadline-bounded sorting: an already-expired deadline must surface
+  // Status::DeadlineExceeded — not a crash, not a partial table — and the
+  // spill directory must stay clean (the destructor removes every run file).
+  CancellationSource deadline_source(Deadline::AfterMicros(0));
+  SortEngineConfig bounded = config;
+  bounded.cancellation = deadline_source.token();
+  SortMetrics bounded_metrics;
+  StatusOr<Table> bounded_result =
+      RelationalSort::SortTable(input, spec, bounded, &bounded_metrics);
+  bool deadline_ok =
+      !bounded_result.ok() &&
+      bounded_result.status().code() == StatusCode::kDeadlineExceeded;
+  std::printf("\nsort with expired deadline: %s\n",
+              bounded_result.ok()
+                  ? "completed (unexpected)"
+                  : bounded_result.status().ToString().c_str());
+  std::printf("deadline surfaced as DeadlineExceeded: %s\n",
+              deadline_ok ? "YES" : "NO");
+  std::printf("cancellation observed after %llu checks (%.2fms)\n",
+              (unsigned long long)bounded_metrics.cancel_checks,
+              bounded_metrics.time_to_cancel_us / 1000.0);
+  return identical && deadline_ok ? 0 : 1;
 }

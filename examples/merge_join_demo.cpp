@@ -52,7 +52,7 @@ int main() {
 
   Timer timer;
   // o_customer_sk (orders col 1) = c_customer_sk (customer col 0).
-  Table joined = SortMergeJoin(orders, customer, {{1, 0}});
+  Table joined = SortMergeJoin(orders, customer, {{1, 0}}).ValueOrDie();
   std::printf("joined: %s rows in %s\n\n",
               FormatCount(joined.row_count()).c_str(),
               FormatDuration(timer.ElapsedSeconds()).c_str());

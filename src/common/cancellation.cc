@@ -1,0 +1,70 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/cancellation.h"
+
+namespace rowsort {
+
+namespace cancel_detail {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace cancel_detail
+
+Status CancelledError::ToStatus() const {
+  return CancellationToken::StatusForCause(cause_);
+}
+
+Status CancellationToken::StatusForCause(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kDeadline:
+      return Status::DeadlineExceeded("sort deadline exceeded");
+    case CancelCause::kError:
+      return Status::Cancelled("cancelled after a sibling thread failed");
+    case CancelCause::kUser:
+    case CancelCause::kNone:
+      break;
+  }
+  return Status::Cancelled("sort cancelled");
+}
+
+void CancellationToken::LatchCause(CancelCause cause) const {
+  // First writer wins so cause()/RequestNanos() stay consistent even when
+  // an explicit cancel races a deadline expiry.
+  uint8_t expected = static_cast<uint8_t>(CancelCause::kNone);
+  if (state_->cause.compare_exchange_strong(
+          expected, static_cast<uint8_t>(cause), std::memory_order_acq_rel)) {
+    state_->requested_ns.store(cancel_detail::MonotonicNanos(),
+                               std::memory_order_release);
+  }
+}
+
+void CancellationSource::RequestCancel(CancelCause cause) {
+  if (cause == CancelCause::kNone) cause = CancelCause::kUser;
+  uint8_t expected = static_cast<uint8_t>(CancelCause::kNone);
+  if (state_->cause.compare_exchange_strong(
+          expected, static_cast<uint8_t>(cause), std::memory_order_acq_rel)) {
+    state_->requested_ns.store(cancel_detail::MonotonicNanos(),
+                               std::memory_order_release);
+  }
+}
+
+void CancelChecker::NoteObserved() {
+  bool expected = false;
+  if (!observed_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;  // another thread already recorded the latency
+  }
+  int64_t requested = token_.RequestNanos();
+  int64_t now = cancel_detail::MonotonicNanos();
+  // requested can be 0 in a narrow race (cause visible before the stamp);
+  // clamp to >= 1us so "observed" is distinguishable from "never".
+  int64_t latency_us = requested > 0 ? (now - requested) / 1000 : 0;
+  if (latency_us < 1) latency_us = 1;
+  observe_latency_us_.store(static_cast<uint64_t>(latency_us),
+                            std::memory_order_relaxed);
+}
+
+}  // namespace rowsort

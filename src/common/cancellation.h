@@ -1,0 +1,271 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+
+#include "common/status.h"
+
+namespace rowsort {
+
+/// \file cancellation.h
+/// Cooperative cancellation and deadlines for the sorting pipeline.
+///
+/// An interactive engine aborts queries all the time — users hit Ctrl-C,
+/// schedulers enforce per-query time budgets, and a failure on one worker
+/// thread should stop its siblings from finishing work nobody will read.
+/// The pattern here is the usual source/token split:
+///
+///   CancellationSource source(Deadline::AfterMillis(500));
+///   config.cancellation = source.token();      // copied freely, thread-safe
+///   ... from any thread: source.RequestCancel();
+///
+/// Long-running loops poll the token at *block* granularity (a few thousand
+/// rows per check — one relaxed atomic load on the fast path, never a
+/// per-row cost) and unwind with Status::Cancelled or
+/// Status::DeadlineExceeded, which the sort pipeline records through its
+/// sticky-error path so every sibling thread stops promptly and all spill
+/// files are still cleaned up.
+
+/// Why a long-running operation was told to stop.
+enum class CancelCause : uint8_t {
+  kNone = 0,
+  kUser,      ///< explicit RequestCancel() — e.g. a user abort
+  kDeadline,  ///< the source's deadline expired
+  kError,     ///< a sibling thread failed; finishing the work is pointless
+};
+
+/// \brief A point on the monotonic clock after which work should stop.
+///
+/// Built on steady_clock so wall-clock adjustments (NTP, DST) can neither
+/// fire a deadline early nor stall it forever. Default-constructed deadlines
+/// are infinite.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite — never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+  static Deadline AfterMicros(int64_t us) {
+    return Deadline(Clock::now() + std::chrono::microseconds(us));
+  }
+  static Deadline AfterMillis(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  bool IsInfinite() const { return infinite_; }
+  bool Expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  /// Microseconds until expiry; negative once expired, INT64_MAX when
+  /// infinite. Useful for bounding sleeps (retry backoff never naps past
+  /// the deadline).
+  int64_t RemainingMicros() const {
+    if (infinite_) return INT64_MAX;
+    return std::chrono::duration_cast<std::chrono::microseconds>(when_ -
+                                                                 Clock::now())
+        .count();
+  }
+
+  Clock::time_point when() const { return when_; }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when), infinite_(false) {}
+
+  Clock::time_point when_{};
+  bool infinite_ = true;
+};
+
+namespace cancel_detail {
+
+/// Shared flag between one source and its tokens. `cause` is written once
+/// (first cancel wins); `requested_ns` records when that happened on the
+/// steady clock so observers can report their reaction latency.
+struct SharedState {
+  explicit SharedState(Deadline d) : deadline(d) {}
+  std::atomic<uint8_t> cause{static_cast<uint8_t>(CancelCause::kNone)};
+  std::atomic<int64_t> requested_ns{0};
+  Deadline deadline;
+};
+
+int64_t MonotonicNanos();
+
+}  // namespace cancel_detail
+
+/// \brief Thrown by ThrowIfCancelled() to unwind deep loops (radix passes,
+/// merge inner loops) that have no Status return channel; converted back to
+/// a Status at the pipeline entry points, exactly like std::bad_alloc.
+class CancelledError : public std::exception {
+ public:
+  explicit CancelledError(CancelCause cause) : cause_(cause) {}
+  const char* what() const noexcept override {
+    return cause_ == CancelCause::kDeadline ? "deadline exceeded"
+                                            : "operation cancelled";
+  }
+  CancelCause cause() const { return cause_; }
+  /// The Status this unwind stands for.
+  Status ToStatus() const;
+
+ private:
+  CancelCause cause_;
+};
+
+/// \brief Cheap, copyable observer of a CancellationSource.
+///
+/// A default-constructed token can never be cancelled and costs one branch
+/// per check, so code paths that were given no token pay ~nothing. All
+/// methods are thread-safe.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True when attached to a source (i.e. cancellation is possible at all).
+  bool CanBeCancelled() const { return state_ != nullptr; }
+
+  /// True once the source was cancelled or its deadline has passed. The
+  /// first observer of an expired deadline latches kDeadline as the cause,
+  /// so the reported cause never flickers.
+  bool IsCancelled() const {
+    if (state_ == nullptr) return false;
+    if (state_->cause.load(std::memory_order_acquire) !=
+        static_cast<uint8_t>(CancelCause::kNone)) {
+      return true;
+    }
+    if (state_->deadline.Expired()) {
+      LatchCause(CancelCause::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// Why the operation was cancelled (kNone while still running).
+  CancelCause cause() const {
+    if (state_ == nullptr) return CancelCause::kNone;
+    return static_cast<CancelCause>(state_->cause.load(std::memory_order_acquire));
+  }
+
+  /// OK while running; Status::Cancelled / Status::DeadlineExceeded once
+  /// cancelled. The polling primitive for code with a Status channel.
+  Status CheckForCancellation() const {
+    if (!IsCancelled()) return Status::OK();
+    return StatusForCause(cause());
+  }
+
+  /// Unwinds with CancelledError once cancelled; the polling primitive for
+  /// deep loops without a Status channel.
+  void ThrowIfCancelled() const {
+    if (IsCancelled()) throw CancelledError(cause());
+  }
+
+  /// Steady-clock nanosecond stamp of the cancel request (0 while running);
+  /// lets observers measure their own reaction time.
+  int64_t RequestNanos() const {
+    return state_ == nullptr
+               ? 0
+               : state_->requested_ns.load(std::memory_order_acquire);
+  }
+
+  const Deadline& deadline() const {
+    static const Deadline kInfinite;
+    return state_ == nullptr ? kInfinite : state_->deadline;
+  }
+
+  /// The Status a given cause maps to.
+  static Status StatusForCause(CancelCause cause);
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<cancel_detail::SharedState> s)
+      : state_(std::move(s)) {}
+
+  void LatchCause(CancelCause cause) const;
+
+  std::shared_ptr<cancel_detail::SharedState> state_;
+};
+
+/// \brief Owner side: hands out tokens and delivers the cancel signal.
+class CancellationSource {
+ public:
+  /// A source with no deadline — cancels only via RequestCancel().
+  CancellationSource()
+      : state_(std::make_shared<cancel_detail::SharedState>(Deadline())) {}
+  /// A source whose tokens also trip when \p deadline expires.
+  explicit CancellationSource(Deadline deadline)
+      : state_(std::make_shared<cancel_detail::SharedState>(deadline)) {}
+
+  /// Signals every token. Idempotent; the first cause wins.
+  void RequestCancel(CancelCause cause = CancelCause::kUser);
+
+  bool cancel_requested() const {
+    return state_->cause.load(std::memory_order_acquire) !=
+           static_cast<uint8_t>(CancelCause::kNone);
+  }
+
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<cancel_detail::SharedState> state_;
+};
+
+/// \brief Per-pipeline wrapper that counts checks and measures how long the
+/// pipeline took to notice a cancellation (SortMetrics::cancel_checks /
+/// time_to_cancel_us). Shared by all of a sort's threads; methods are
+/// thread-safe, non-copyable.
+class CancelChecker {
+ public:
+  CancelChecker() = default;
+  void Reset(CancellationToken token) { token_ = std::move(token); }
+
+  bool enabled() const { return token_.CanBeCancelled(); }
+  const CancellationToken& token() const { return token_; }
+
+  /// One cooperative check; true once cancelled. The first observation
+  /// across all threads records the request->observation latency.
+  bool Check() {
+    if (!token_.CanBeCancelled()) return false;
+    checks_.fetch_add(1, std::memory_order_relaxed);
+    if (!token_.IsCancelled()) return false;
+    NoteObserved();
+    return true;
+  }
+
+  /// Check() with a Status result.
+  Status CheckStatus() {
+    if (!Check()) return Status::OK();
+    return CancellationToken::StatusForCause(token_.cause());
+  }
+
+  /// Check() that unwinds via CancelledError (for loops without a Status
+  /// channel; entry points convert back).
+  void ThrowIfCancelled() {
+    if (Check()) throw CancelledError(token_.cause());
+  }
+
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+
+  /// Microseconds between the cancel request and the pipeline's first
+  /// observation of it; 0 until a cancellation has been observed.
+  uint64_t time_to_cancel_us() const {
+    return observe_latency_us_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void NoteObserved();
+
+  CancellationToken token_;
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> observe_latency_us_{0};
+  std::atomic<bool> observed_{false};
+};
+
+/// How many rows a tight loop may process between cooperative checks. Small
+/// enough that even wide rows stay well under a millisecond per interval,
+/// large enough that the relaxed atomic check cost vanishes.
+constexpr uint64_t kCancelCheckRows = 4096;
+
+}  // namespace rowsort

@@ -18,7 +18,21 @@ struct State {
   uint64_t skip = 0;       ///< evaluations to pass before firing
   uint64_t remaining = 1;  ///< fires left (kFireForever = never exhausts)
   uint64_t hits = 0;       ///< evaluations since armed
+  /// Probabilistic mode when >= 0: each evaluation fires with this
+  /// probability, drawn from the deterministic xorshift stream below.
+  double probability = -1.0;
+  uint64_t rng_state = 0;
 };
+
+/// xorshift64*: tiny, deterministic, plenty for fault injection.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
 
 struct Registry {
   std::mutex mutex;
@@ -49,10 +63,22 @@ void ParseEnvironmentLocked(Registry& registry) {
     State state;
     std::string counts = entry.substr(eq + 1);
     size_t colon = counts.find(':');
-    state.skip = std::strtoull(counts.c_str(), nullptr, 10);
-    if (colon != std::string::npos) {
-      uint64_t fires = std::strtoull(counts.c_str() + colon + 1, nullptr, 10);
-      state.remaining = fires == 0 ? kFireForever : fires;
+    if (!counts.empty() && counts[0] == 'p') {
+      // name=pPROB[:seed] — probabilistic mode.
+      state.probability = std::strtod(counts.c_str() + 1, nullptr);
+      state.rng_state = 0x9E3779B97F4A7C15ull;  // default seed
+      if (colon != std::string::npos) {
+        uint64_t seed =
+            std::strtoull(counts.c_str() + colon + 1, nullptr, 10);
+        state.rng_state = seed * 0x9E3779B97F4A7C15ull + 1;
+      }
+    } else {
+      state.skip = std::strtoull(counts.c_str(), nullptr, 10);
+      if (colon != std::string::npos) {
+        uint64_t fires =
+            std::strtoull(counts.c_str() + colon + 1, nullptr, 10);
+        state.remaining = fires == 0 ? kFireForever : fires;
+      }
     }
     registry.states[entry.substr(0, eq)] = state;
     g_armed.fetch_add(1, std::memory_order_relaxed);
@@ -88,6 +114,19 @@ void Arm(const char* name, uint64_t skip, uint64_t fires) {
   if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ArmProbabilistic(const char* name, double probability, uint64_t seed) {
+  EnsureEnvParsed();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  State state;
+  state.probability = probability;
+  state.rng_state = seed * 0x9E3779B97F4A7C15ull + 1;
+  auto [it, inserted] =
+      registry.states.insert_or_assign(std::string(name), state);
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Disarm(const char* name) {
   EnsureEnvParsed();
   Registry& registry = GetRegistry();
@@ -114,6 +153,12 @@ bool Evaluate(const char* name) {
   if (it == registry.states.end()) return false;
   State& state = it->second;
   ++state.hits;
+  if (state.probability >= 0.0) {
+    // 53-bit uniform draw in [0, 1).
+    double draw = static_cast<double>(NextRandom(&state.rng_state) >> 11) *
+                  (1.0 / 9007199254740992.0);
+    return draw < state.probability;
+  }
   if (state.skip > 0) {
     --state.skip;
     return false;

@@ -17,10 +17,17 @@ namespace failpoint {
 ///   ... run the scenario ...
 ///   failpoint::DisarmAll();
 ///
+/// Probabilistic activation, for "a flaky disk fails ~10% of operations"
+/// scenarios. Deterministic: a seeded xorshift stream decides each
+/// evaluation, so a failing run replays exactly.
+///   failpoint::ArmProbabilistic("external_run_write_short", 0.1, 42);
+///
 /// Environment activation (parsed once, on the first evaluation):
-///   ROWSORT_FAILPOINTS="external_run_write=2,sink_alloc=0:3"
+///   ROWSORT_FAILPOINTS="external_run_write=2,sink_alloc=0:3,
+///                       external_run_read_eintr=p0.1:7"
 /// where each entry is name=skip[:fires] (fires defaults to 1; fires=0 means
-/// fire on every evaluation after the skip).
+/// fire on every evaluation after the skip) or name=pPROB[:seed] for the
+/// probabilistic mode.
 
 /// True when failpoint support was compiled in.
 bool Enabled();
@@ -28,6 +35,12 @@ bool Enabled();
 /// Arms \p name: the next \p skip evaluations pass, then \p fires
 /// evaluations fail (0 = fail forever). Re-arming replaces the state.
 void Arm(const char* name, uint64_t skip = 0, uint64_t fires = 1);
+
+/// Arms \p name probabilistically: each evaluation fails with probability
+/// \p probability, decided by a deterministic stream seeded with \p seed.
+/// Re-arming replaces the state.
+void ArmProbabilistic(const char* name, double probability,
+                      uint64_t seed = 42);
 
 /// Disarms \p name (no-op when not armed).
 void Disarm(const char* name);

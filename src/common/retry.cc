@@ -1,0 +1,52 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace rowsort {
+
+Status RetryState::OnTransientError(const Status& cause, bool made_progress) {
+  if (stats_ != nullptr) {
+    stats_->retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (made_progress) {
+    // The stream is advancing; an operation interrupted a thousand times is
+    // fine as long as each interruption moved bytes. Budget and backoff
+    // start over.
+    attempts_ = 0;
+    backoff_us_ = policy_.initial_backoff_us;
+    return Status::OK();
+  }
+  ++attempts_;
+  if (attempts_ >= policy_.max_attempts) {
+    return Status::IOError(StringFormat(
+        "%s (still failing after %llu retries)", cause.message().c_str(),
+        static_cast<unsigned long long>(attempts_)));
+  }
+  return BackOff();
+}
+
+Status RetryState::BackOff() {
+  uint64_t nap_us = backoff_us_;
+  backoff_us_ = std::min(backoff_us_ * 2, policy_.max_backoff_us);
+  // Sleep in short slices so a cancel or deadline cuts the wait short —
+  // a retry loop must not be the reason a cancelled sort lingers.
+  constexpr uint64_t kSliceUs = 500;
+  while (nap_us > 0) {
+    if (token_ != nullptr && token_->IsCancelled()) {
+      return CancellationToken::StatusForCause(token_->cause());
+    }
+    uint64_t slice = std::min(nap_us, kSliceUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    nap_us -= slice;
+  }
+  if (token_ != nullptr && token_->IsCancelled()) {
+    return CancellationToken::StatusForCause(token_->cause());
+  }
+  return Status::OK();
+}
+
+}  // namespace rowsort

@@ -1,0 +1,85 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace rowsort {
+
+/// \file retry.h
+/// Bounded retry-with-exponential-backoff for spill I/O.
+///
+/// Production sorters live on shared disks that hiccup: interrupted
+/// syscalls (EINTR), short writes under pressure, NFS blips. Those are
+/// *transient* — the same operation succeeds a moment later — and turning
+/// each one into a hard IOError makes a 10-minute external sort as fragile
+/// as its flakiest millisecond. Corruption (CRC mismatch) and persistent
+/// exhaustion (ENOSPC that survives every retry) are *permanent* and must
+/// fail fast. The classification is the call site's: it knows whether the
+/// failure mode can heal. This header provides the budget/backoff half:
+///
+///   RetryState retry(policy, &stats, &token);
+///   while (op fails transiently) {
+///     ROWSORT_RETURN_NOT_OK(retry.OnTransientError(cause, made_progress));
+///   }
+///
+/// Progress resets the attempt budget (a stream resuming after EINTR should
+/// never die because it was interrupted often, only if it is *stuck*), and
+/// backoff sleeps are sliced so a cancellation or deadline cuts them short.
+
+/// Tunables for one class of retryable operation.
+struct RetryPolicy {
+  /// Consecutive zero-progress failures tolerated before giving up.
+  uint64_t max_attempts = 5;
+  /// Backoff before the second attempt; doubles each zero-progress failure.
+  uint64_t initial_backoff_us = 100;
+  /// Backoff ceiling, so a long outage polls instead of stalling minutes.
+  uint64_t max_backoff_us = 20'000;
+};
+
+/// Shared counters a pipeline aggregates into its metrics
+/// (SortMetrics::io_retries). Thread-safe.
+struct RetryStats {
+  std::atomic<uint64_t> retries{0};  ///< transient failures recovered from
+
+  uint64_t count() const { return retries.load(std::memory_order_relaxed); }
+};
+
+/// \brief Attempt budget + backoff for ONE logical operation (one WriteAll,
+/// one ReadAll). Not thread-safe; make one per operation.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy, RetryStats* stats = nullptr,
+                      const CancellationToken* token = nullptr)
+      : policy_(policy), stats_(stats), token_(token),
+        backoff_us_(policy.initial_backoff_us) {}
+
+  /// Records a transient failure of the operation. Returns OK when another
+  /// attempt is allowed (after backing off on zero progress); returns a
+  /// permanent error derived from \p cause when the attempt budget is
+  /// exhausted, or the cancellation Status when the token fired mid-backoff.
+  ///
+  /// \p made_progress: the operation moved some bytes before failing. That
+  /// resets the budget and skips the backoff — a stream that advances is
+  /// healing, not stuck.
+  Status OnTransientError(const Status& cause, bool made_progress);
+
+  /// Zero-progress failures since the last progress (diagnostics).
+  uint64_t attempts_without_progress() const { return attempts_; }
+
+ private:
+  /// Sleeps the current backoff in slices, watching the token.
+  Status BackOff();
+
+  const RetryPolicy policy_;
+  RetryStats* stats_;
+  const CancellationToken* token_;
+  uint64_t attempts_ = 0;
+  uint64_t backoff_us_;
+};
+
+}  // namespace rowsort

@@ -19,6 +19,8 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// \brief Result of a fallible operation.
@@ -51,8 +53,20 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True for the two cooperative-interruption codes (user cancel and
+  /// deadline expiry) — failures of patience, not of the data or the disk.
+  bool IsCancellation() const {
+    return code_ == StatusCode::kCancelled ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

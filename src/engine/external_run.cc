@@ -2,6 +2,7 @@
 #include "engine/external_run.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -23,35 +24,103 @@ constexpr uint64_t kHeaderSize = 8 + 4 + 4 + 8 + 8 + 8 + 4;
 /// from corruption and must not drive an allocation.
 constexpr uint32_t kMaxStringLength = 1u << 30;
 
-Status WriteAll(std::FILE* f, const void* data, uint64_t size) {
+/// Backoff budget for one stuck spill operation: 5 zero-progress attempts,
+/// 100us..20ms exponential — a few tens of milliseconds before a hiccup is
+/// declared permanent.
+constexpr RetryPolicy kSpillRetryPolicy{};
+
+/// True for errno values a retry can plausibly outlast. EINTR/EAGAIN are
+/// the classic resumable interruptions; 0 covers libc short writes that set
+/// no errno. Everything else (ENOSPC, EIO, EBADF, ...) still gets the
+/// bounded retry budget — "ENOSPC after retries" is the permanent verdict,
+/// not the first ENOSPC — but is reported by name when the budget runs out.
+const char* ErrnoLabel(int err) {
+  switch (err) {
+    case 0: return "short transfer";
+    case EINTR: return "EINTR";
+    case EAGAIN: return "EAGAIN";
+    case ENOSPC: return "ENOSPC";
+    case EIO: return "EIO";
+    default: return "I/O error";
+  }
+}
+
+/// Writes \p size bytes, resuming short writes where they stopped. A write
+/// that advances resets the retry budget; one that is stuck backs off
+/// exponentially and eventually fails with a permanent IOError.
+Status WriteAll(std::FILE* f, const void* data, uint64_t size,
+                const SpillIoOptions& io) {
   if (ROWSORT_FAILPOINT("external_run_write")) {
     return Status::IOError("injected spill write failure (failpoint)");
   }
   if (size == 0) return Status::OK();
-  if (std::fwrite(data, 1, size, f) != size) {
-    return Status::IOError("short write");
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t done = 0;
+  RetryState retry(kSpillRetryPolicy, io.retry_stats, &io.cancellation);
+  while (done < size) {
+    uint64_t want = size - done;
+    // Transient failpoint: the stream accepts only part of the buffer, the
+    // way an interrupted or pressured write(2) would.
+    if (want > 1 && ROWSORT_FAILPOINT("external_run_write_short")) {
+      want = (want + 1) / 2;
+    }
+    errno = 0;
+    size_t n = std::fwrite(bytes + done, 1, want, f);
+    done += n;
+    if (done == size) break;
+    int err = errno;
+    std::clearerr(f);  // a stream error flag would fail every later call
+    ROWSORT_RETURN_NOT_OK(retry.OnTransientError(
+        Status::IOError(StringFormat("short write (%s)", ErrnoLabel(err))),
+        /*made_progress=*/n > 0));
   }
   return Status::OK();
 }
 
-Status ReadAll(std::FILE* f, void* data, uint64_t size) {
+/// Reads \p size bytes, resuming short reads. End-of-file is the one
+/// non-retryable shortfall: the bytes are not there and waiting will not
+/// materialize them (truncation => permanent IOError).
+Status ReadAll(std::FILE* f, void* data, uint64_t size,
+               const SpillIoOptions& io) {
   if (size == 0) return Status::OK();
-  if (std::fread(data, 1, size, f) != size) {
-    return Status::IOError("short read");
+  uint8_t* bytes = static_cast<uint8_t*>(data);
+  uint64_t done = 0;
+  RetryState retry(kSpillRetryPolicy, io.retry_stats, &io.cancellation);
+  while (done < size) {
+    uint64_t want = size - done;
+    // Transient failpoint: the read comes back short, as if interrupted by
+    // a signal mid-transfer.
+    if (want > 1 && ROWSORT_FAILPOINT("external_run_read_eintr")) {
+      want = (want + 1) / 2;
+    }
+    errno = 0;
+    size_t n = std::fread(bytes + done, 1, want, f);
+    done += n;
+    if (done == size) break;
+    if (n < want && std::feof(f)) {
+      return Status::IOError("short read");
+    }
+    int err = errno;
+    std::clearerr(f);
+    ROWSORT_RETURN_NOT_OK(retry.OnTransientError(
+        Status::IOError(StringFormat("short read (%s)", ErrnoLabel(err))),
+        /*made_progress=*/n > 0));
   }
   return Status::OK();
 }
 
 /// Reads \p size bytes and folds them into \p crc.
-Status ReadAllCrc(std::FILE* f, void* data, uint64_t size, uint32_t* crc) {
-  ROWSORT_RETURN_NOT_OK(ReadAll(f, data, size));
+Status ReadAllCrc(std::FILE* f, void* data, uint64_t size, uint32_t* crc,
+                  const SpillIoOptions& io) {
+  ROWSORT_RETURN_NOT_OK(ReadAll(f, data, size, io));
   *crc = Crc32(*crc, data, size);
   return Status::OK();
 }
 
 template <typename T>
-Status ReadScalarCrc(std::FILE* f, T* value, uint32_t* crc) {
-  return ReadAllCrc(f, value, sizeof(T), crc);
+Status ReadScalarCrc(std::FILE* f, T* value, uint32_t* crc,
+                     const SpillIoOptions& io) {
+  return ReadAllCrc(f, value, sizeof(T), crc, io);
 }
 
 /// Serialization buffer that accumulates scalars and tracks their CRC so
@@ -124,7 +193,7 @@ Status ExternalRunWriter::Open(uint64_t key_row_width) {
   key_row_width_ = key_row_width;
   // Placeholder header; Finish() seeks back and patches the row count.
   ScalarBuffer header = BuildHeader(0, key_row_width_, layout_.row_width());
-  return WriteAll(file_, header.bytes, header.size);
+  return WriteAll(file_, header.bytes, header.size, io_);
 }
 
 Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
@@ -133,6 +202,11 @@ Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
   ROWSORT_ASSERT(begin <= end && end <= run.count);
   ROWSORT_ASSERT(run.key_row_width == key_row_width_);
   if (begin == end) return Status::OK();
+  // Block-granular cancellation: a multi-gigabyte spill stops between
+  // blocks, never mid-framing (the temp file is abandoned whole).
+  if (io_.cancellation.IsCancelled()) {
+    return CancellationToken::StatusForCause(io_.cancellation.cause());
+  }
   const uint64_t rows = end - begin;
   const uint64_t krw = key_row_width_;
   const uint64_t prw = layout_.row_width();
@@ -163,27 +237,27 @@ Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
   framing.Add<uint32_t>(kBlockMagic);
   framing.Add<uint64_t>(rows);
   uint32_t crc = framing.Crc();
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, framing.bytes, framing.size));
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, keys, rows * krw));
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, framing.bytes, framing.size, io_));
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, keys, rows * krw, io_));
   crc = Crc32(crc, keys, rows * krw);
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, payload, rows * prw));
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, payload, rows * prw, io_));
   crc = Crc32(crc, payload, rows * prw);
 
   ScalarBuffer nstrings;
   nstrings.Add<uint64_t>(strings.size());
   crc = nstrings.Crc(crc);
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, nstrings.bytes, nstrings.size));
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, nstrings.bytes, nstrings.size, io_));
   for (const StringRef& s : strings) {
     ScalarBuffer entry;
     entry.Add<uint32_t>(s.row);
     entry.Add<uint32_t>(s.col);
     entry.Add<uint32_t>(s.value.size());
     crc = entry.Crc(crc);
-    ROWSORT_RETURN_NOT_OK(WriteAll(file_, entry.bytes, entry.size));
-    ROWSORT_RETURN_NOT_OK(WriteAll(file_, s.value.data(), s.value.size()));
+    ROWSORT_RETURN_NOT_OK(WriteAll(file_, entry.bytes, entry.size, io_));
+    ROWSORT_RETURN_NOT_OK(WriteAll(file_, s.value.data(), s.value.size(), io_));
     crc = Crc32(crc, s.value.data(), s.value.size());
   }
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, &crc, sizeof(crc)));
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, &crc, sizeof(crc), io_));
   rows_written_ += rows;
   return Status::OK();
 }
@@ -199,7 +273,7 @@ Status ExternalRunWriter::Finish() {
   }
   ScalarBuffer header =
       BuildHeader(rows_written_, key_row_width_, layout_.row_width());
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, header.bytes, header.size));
+  ROWSORT_RETURN_NOT_OK(WriteAll(file_, header.bytes, header.size, io_));
   // A failed flush or close after buffered writes means the data may not be
   // on disk; surface it instead of reporting success.
   if (std::fflush(file_) != 0) {
@@ -276,6 +350,10 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
   block->ovcs.clear();
   block->payload = RowCollection(layout_);
   if (rows_read_ >= count_) return Status::OK();  // clean end of data
+  // Block-granular cancellation, mirroring the writer side.
+  if (io_.cancellation.IsCancelled()) {
+    return CancellationToken::StatusForCause(io_.cancellation.cause());
+  }
 
   uint32_t crc = 0;
   uint32_t magic = 0;
@@ -287,7 +365,7 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
   if (magic != kBlockMagic) {
     return Status::IOError(path_ + ": corrupt block header");
   }
-  ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &rows, &crc));
+  ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &rows, &crc, io_));
   if (rows == 0 || rows > count_ - rows_read_) {
     return Status::IOError(path_ + ": corrupt block row count");
   }
@@ -296,36 +374,36 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
   const uint64_t prw = layout_.row_width();
   block->key_rows.resize(rows * krw);
   ROWSORT_RETURN_NOT_OK(
-      ReadAllCrc(file_, block->key_rows.data(), rows * krw, &crc));
+      ReadAllCrc(file_, block->key_rows.data(), rows * krw, &crc, io_));
   block->payload.AppendUninitialized(rows);
   ROWSORT_RETURN_NOT_OK(
-      ReadAllCrc(file_, block->payload.data(), rows * prw, &crc));
+      ReadAllCrc(file_, block->payload.data(), rows * prw, &crc, io_));
 
   // Rebuild non-inlined strings into the block's own heap.
   uint64_t nstrings = 0;
-  ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &nstrings, &crc));
+  ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &nstrings, &crc, io_));
   if (nstrings > rows * layout_.ColumnCount()) {
     return Status::IOError(path_ + ": corrupt string section length");
   }
   for (uint64_t i = 0; i < nstrings; ++i) {
     uint32_t row = 0, col = 0, len = 0;
-    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &row, &crc));
-    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &col, &crc));
-    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &len, &crc));
+    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &row, &crc, io_));
+    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &col, &crc, io_));
+    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &len, &crc, io_));
     if (row >= rows || col >= layout_.ColumnCount() ||
         layout_.types()[col].id() != TypeId::kVarchar ||
         len > kMaxStringLength) {
       return Status::IOError(path_ + ": corrupt string section");
     }
     char* dest = block->payload.string_heap().Allocate(len);
-    ROWSORT_RETURN_NOT_OK(ReadAllCrc(file_, dest, len, &crc));
+    ROWSORT_RETURN_NOT_OK(ReadAllCrc(file_, dest, len, &crc, io_));
     string_t value(dest, len);
     bit_util::StoreUnaligned(
         block->payload.GetRow(row) + layout_.ColumnOffset(col), value);
   }
 
   uint32_t stored_crc = 0;
-  ROWSORT_RETURN_NOT_OK(ReadAll(file_, &stored_crc, sizeof(stored_crc)));
+  ROWSORT_RETURN_NOT_OK(ReadAll(file_, &stored_crc, sizeof(stored_crc), io_));
   if (stored_crc != crc) {
     return Status::IOError(path_ + ": block checksum mismatch");
   }
@@ -335,8 +413,9 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
 }
 
 Status WriteRunToFile(const SortedRun& run, const RowLayout& payload_layout,
-                      const std::string& path) {
+                      const std::string& path, const SpillIoOptions& options) {
   ExternalRunWriter writer(payload_layout, path);
+  writer.SetIoOptions(options);
   ROWSORT_RETURN_NOT_OK(writer.Open(run.key_row_width));
   for (uint64_t begin = 0; begin < run.count;
        begin += kDefaultSpillBlockRows) {
@@ -347,8 +426,10 @@ Status WriteRunToFile(const SortedRun& run, const RowLayout& payload_layout,
 }
 
 StatusOr<SortedRun> ReadRunFromFile(const RowLayout& payload_layout,
-                                    const std::string& path) {
+                                    const std::string& path,
+                                    const SpillIoOptions& options) {
   ExternalRunReader reader(payload_layout, path);
+  reader.SetIoOptions(options);
   ROWSORT_RETURN_NOT_OK(reader.Open());
   SortedRun run;
   run.count = reader.row_count();

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/cancellation.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "engine/sorted_run.h"
 
@@ -29,6 +31,14 @@ namespace rowsort {
 ///    written file (crash, disk full) is never picked up by a reader.
 ///  - Data is written and read in bounded blocks, so the external merge
 ///    holds O(block) memory per input instead of whole runs.
+///  - Transient I/O hiccups self-heal: short reads/writes and interrupted
+///    syscalls (EINTR/EAGAIN) are resumed where they stopped, with bounded
+///    exponential backoff when the stream makes no progress (common/retry.h).
+///    Corruption (CRC mismatch, bad framing) and true truncation stay
+///    permanent IOErrors — retrying cannot un-corrupt a file.
+///  - Block-granular cancellation: give the writer/reader a
+///    CancellationToken and long spills stop between blocks (and inside
+///    backoff naps) with Status::Cancelled / Status::DeadlineExceeded.
 ///
 /// Non-inlined VARCHAR payloads are appended per block in a string section
 /// and re-pointered into the block's own heap on load.
@@ -36,6 +46,14 @@ namespace rowsort {
 /// Rows per block used by the whole-run convenience writer and the engine's
 /// default spill granularity.
 constexpr uint64_t kDefaultSpillBlockRows = 4096;
+
+/// Shared knobs for the spill I/O paths: where recovered transient failures
+/// are counted (SortMetrics::io_retries) and which token interrupts long
+/// streams. Both optional; default = no accounting, never cancelled.
+struct SpillIoOptions {
+  RetryStats* retry_stats = nullptr;  ///< unowned; may be shared by threads
+  CancellationToken cancellation;
+};
 
 /// \brief Streaming writer for a spill file; append blocks, then Finish().
 ///
@@ -72,6 +90,9 @@ class ExternalRunWriter {
   /// Safe to call at any point (idempotent, also run by the destructor).
   void Abandon();
 
+  /// Installs retry accounting / cancellation for subsequent operations.
+  void SetIoOptions(SpillIoOptions options) { io_ = std::move(options); }
+
   uint64_t rows_written() const { return rows_written_; }
   const std::string& path() const { return path_; }
 
@@ -83,6 +104,7 @@ class ExternalRunWriter {
   uint64_t key_row_width_ = 0;
   uint64_t rows_written_ = 0;
   bool finished_ = false;
+  SpillIoOptions io_;
 };
 
 /// \brief Streaming reader over a spill file written by ExternalRunWriter.
@@ -104,6 +126,9 @@ class ExternalRunReader {
   /// at a clean end of file.
   Status ReadBlock(SortedRun* block);
 
+  /// Installs retry accounting / cancellation for subsequent operations.
+  void SetIoOptions(SpillIoOptions options) { io_ = std::move(options); }
+
   uint64_t row_count() const { return count_; }
   uint64_t key_row_width() const { return key_row_width_; }
   uint64_t rows_read() const { return rows_read_; }
@@ -116,16 +141,19 @@ class ExternalRunReader {
   uint64_t count_ = 0;
   uint64_t key_row_width_ = 0;
   uint64_t rows_read_ = 0;
+  SpillIoOptions io_;
 };
 
 /// Writes \p run to \p path (atomically, in kDefaultSpillBlockRows blocks);
 /// \p payload_layout describes the payload rows.
 Status WriteRunToFile(const SortedRun& run, const RowLayout& payload_layout,
-                      const std::string& path);
+                      const std::string& path,
+                      const SpillIoOptions& options = {});
 
 /// Reads a run written by WriteRunToFile back into memory. String payloads
 /// are rebuilt into the run's own heap.
 StatusOr<SortedRun> ReadRunFromFile(const RowLayout& payload_layout,
-                                    const std::string& path);
+                                    const std::string& path,
+                                    const SpillIoOptions& options = {});
 
 }  // namespace rowsort

@@ -12,19 +12,19 @@ namespace rowsort {
 
 namespace {
 
-/// Sorts \p table by \p column ascending (NULLS LAST) and returns the sort.
-std::unique_ptr<RelationalSort> SortByColumn(const Table& table,
-                                             uint64_t column,
-                                             const SortEngineConfig& config) {
+/// Sorts \p table by \p column ascending (NULLS LAST) and returns the sort;
+/// pipeline failures (including cancellation) propagate as the Status.
+StatusOr<std::unique_ptr<RelationalSort>> SortByColumn(
+    const Table& table, uint64_t column, const SortEngineConfig& config) {
   SortSpec spec({SortColumn(column, table.types()[column],
                             OrderType::kAscending, NullOrder::kNullsLast)});
   auto sort = std::make_unique<RelationalSort>(spec, table.types(), config);
   auto local = sort->MakeLocalState();
   for (uint64_t c = 0; c < table.ChunkCount(); ++c) {
-    ROWSORT_CHECK_OK(sort->Sink(*local, table.chunk(c)));
+    ROWSORT_RETURN_NOT_OK(sort->Sink(*local, table.chunk(c)));
   }
-  ROWSORT_CHECK_OK(sort->CombineLocal(*local));
-  ROWSORT_CHECK_OK(sort->Finalize());
+  ROWSORT_RETURN_NOT_OK(sort->CombineLocal(*local));
+  ROWSORT_RETURN_NOT_OK(sort->Finalize());
   return sort;
 }
 
@@ -59,17 +59,22 @@ uint64_t LowerBound(const SortedRun& run, const uint8_t* key, uint64_t width) {
 
 }  // namespace
 
-Table InequalityJoin(const Table& left, const Table& right,
-                     uint64_t left_column, uint64_t right_column,
-                     InequalityOp op, const SortEngineConfig& config) {
+StatusOr<Table> InequalityJoin(const Table& left, const Table& right,
+                               uint64_t left_column, uint64_t right_column,
+                               InequalityOp op,
+                               const SortEngineConfig& config) {
   ROWSORT_ASSERT(left_column < left.types().size());
   ROWSORT_ASSERT(right_column < right.types().size());
   ROWSORT_ASSERT(left.types()[left_column] == right.types()[right_column]);
   ROWSORT_ASSERT(left.types()[left_column].id() != TypeId::kVarchar &&
                  "inequality join keys must be fixed-width");
 
-  auto left_sort = SortByColumn(left, left_column, config);
-  auto right_sort = SortByColumn(right, right_column, config);
+  auto left_sorted = SortByColumn(left, left_column, config);
+  ROWSORT_RETURN_NOT_OK(left_sorted.status());
+  auto right_sorted = SortByColumn(right, right_column, config);
+  ROWSORT_RETURN_NOT_OK(right_sorted.status());
+  std::unique_ptr<RelationalSort>& left_sort = left_sorted.value();
+  std::unique_ptr<RelationalSort>& right_sort = right_sorted.value();
   const SortedRun& lrun = left_sort->result();
   const SortedRun& rrun = right_sort->result();
   const uint64_t key_width = left_sort->comparator().key_width();
@@ -97,6 +102,9 @@ Table InequalityJoin(const Table& left, const Table& right,
   // right rows; the boundary is a binary search over normalized keys.
   std::vector<uint64_t> left_matches, right_matches;
   for (uint64_t i = 0; i < l_valid; ++i) {
+    if ((i & (kCancelCheckRows - 1)) == 0) {
+      ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
+    }
     const uint8_t* key = lrun.KeyRow(i);
     uint64_t begin = 0, end = 0;
     switch (op) {
@@ -134,6 +142,7 @@ Table InequalityJoin(const Table& left, const Table& right,
   const uint64_t lcols = left.types().size();
   uint64_t offset = 0;
   while (offset < left_matches.size()) {
+    ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
     uint64_t n = std::min(kVectorSize, left_matches.size() - offset);
     DataChunk lchunk;
     lchunk.Initialize(left.types());
@@ -253,10 +262,10 @@ uint64_t UpperBoundKeys(const std::vector<const uint8_t*>& sorted_keys,
 
 }  // namespace
 
-Table IEJoin(const Table& left, const Table& right,
-             const InequalityPredicate& pred1,
-             const InequalityPredicate& pred2,
-             const SortEngineConfig& config) {
+StatusOr<Table> IEJoin(const Table& left, const Table& right,
+                       const InequalityPredicate& pred1,
+                       const InequalityPredicate& pred2,
+                       const SortEngineConfig& config) {
   ROWSORT_ASSERT(left.types()[pred1.left_column] ==
                  right.types()[pred1.right_column]);
   ROWSORT_ASSERT(left.types()[pred2.left_column] ==
@@ -324,7 +333,12 @@ Table IEJoin(const Table& left, const Table& right,
   std::vector<uint64_t> left_matches, right_matches;
   uint64_t inserted = 0;
   const bool strict = OpIsStrict(pred1.op);
+  uint64_t until_check = kCancelCheckRows;
   for (uint64_t li : left_order) {
+    if (--until_check == 0) {
+      until_check = kCancelCheckRows;
+      ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
+    }
     const uint8_t* l_x = lx.data() + li * xw;
     while (inserted < m) {
       uint64_t ri = right_order[inserted];
@@ -381,6 +395,7 @@ Table IEJoin(const Table& left, const Table& right,
   const uint64_t lcols = left.types().size();
   uint64_t offset = 0;
   while (offset < left_matches.size()) {
+    ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
     uint64_t n = std::min(kVectorSize, left_matches.size() - offset);
     DataChunk lchunk;
     lchunk.Initialize(left.types());

@@ -28,9 +28,14 @@ enum class InequalityOp : uint8_t {
 /// Semantics: SQL inner join; NULL keys never match. Fixed-width key types
 /// only (inequalities over VARCHAR prefixes cannot be decided by the
 /// normalized key alone). Output columns: left's then right's.
-Table InequalityJoin(const Table& left, const Table& right,
-                     uint64_t left_column, uint64_t right_column,
-                     InequalityOp op, const SortEngineConfig& config = {});
+///
+/// Pipeline failures (OOM, spill I/O, cancellation / deadline via
+/// \p config.cancellation) surface as the returned Status; the join's own
+/// loops poll the token at block granularity.
+StatusOr<Table> InequalityJoin(const Table& left, const Table& right,
+                               uint64_t left_column, uint64_t right_column,
+                               InequalityOp op,
+                               const SortEngineConfig& config = {});
 
 /// One inequality predicate of a two-predicate IEJoin.
 struct InequalityPredicate {
@@ -53,10 +58,11 @@ struct InequalityPredicate {
 /// O(n log n + n·m/64 + output), versus O(n·m) nested loops.
 ///
 /// Semantics: SQL inner join; NULL keys never match; fixed-width key types
-/// only. Output columns: left's then right's.
-Table IEJoin(const Table& left, const Table& right,
-             const InequalityPredicate& pred1,
-             const InequalityPredicate& pred2,
-             const SortEngineConfig& config = {});
+/// only. Output columns: left's then right's. Cancellation as in
+/// InequalityJoin.
+StatusOr<Table> IEJoin(const Table& left, const Table& right,
+                       const InequalityPredicate& pred1,
+                       const InequalityPredicate& pred2,
+                       const SortEngineConfig& config = {});
 
 }  // namespace rowsort

@@ -112,9 +112,9 @@ bool SameKey(const CrossComparator& cmp, const SortedRun& run, uint64_t a,
 
 }  // namespace
 
-Table SortMergeJoin(const Table& left, const Table& right,
-                    const std::vector<JoinKey>& keys,
-                    const SortEngineConfig& config) {
+StatusOr<Table> SortMergeJoin(const Table& left, const Table& right,
+                              const std::vector<JoinKey>& keys,
+                              const SortEngineConfig& config) {
   ROWSORT_ASSERT(!keys.empty());
   SortSpec left_spec = JoinSpec(left, keys, /*left_side=*/true);
   SortSpec right_spec = JoinSpec(right, keys, /*left_side=*/false);
@@ -124,19 +124,19 @@ Table SortMergeJoin(const Table& left, const Table& right,
   {
     auto local = left_sort.MakeLocalState();
     for (uint64_t c = 0; c < left.ChunkCount(); ++c) {
-      ROWSORT_CHECK_OK(left_sort.Sink(*local, left.chunk(c)));
+      ROWSORT_RETURN_NOT_OK(left_sort.Sink(*local, left.chunk(c)));
     }
-    ROWSORT_CHECK_OK(left_sort.CombineLocal(*local));
-    ROWSORT_CHECK_OK(left_sort.Finalize());
+    ROWSORT_RETURN_NOT_OK(left_sort.CombineLocal(*local));
+    ROWSORT_RETURN_NOT_OK(left_sort.Finalize());
   }
   RelationalSort right_sort(right_spec, right.types(), config);
   {
     auto local = right_sort.MakeLocalState();
     for (uint64_t c = 0; c < right.ChunkCount(); ++c) {
-      ROWSORT_CHECK_OK(right_sort.Sink(*local, right.chunk(c)));
+      ROWSORT_RETURN_NOT_OK(right_sort.Sink(*local, right.chunk(c)));
     }
-    ROWSORT_CHECK_OK(right_sort.CombineLocal(*local));
-    ROWSORT_CHECK_OK(right_sort.Finalize());
+    ROWSORT_RETURN_NOT_OK(right_sort.CombineLocal(*local));
+    ROWSORT_RETURN_NOT_OK(right_sort.Finalize());
   }
 
   const SortedRun& lrun = left_sort.result();
@@ -149,7 +149,12 @@ Table SortMergeJoin(const Table& left, const Table& right,
   // groups and emit their cross product.
   std::vector<uint64_t> left_matches, right_matches;
   uint64_t i = 0, j = 0;
+  uint64_t until_check = kCancelCheckRows;
   while (i < lrun.count && j < rrun.count) {
+    if (--until_check == 0) {
+      until_check = kCancelCheckRows;
+      ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
+    }
     if (cmp.HasNullKey(lrun.KeyRow(i))) {
       ++i;
       continue;
@@ -195,6 +200,8 @@ Table SortMergeJoin(const Table& left, const Table& right,
   uint64_t offset = 0;
   const uint64_t lcols = left.types().size();
   while (offset < left_matches.size()) {
+    // One check per output chunk: large cross products stay cancellable.
+    ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
     uint64_t n = std::min(kVectorSize, left_matches.size() - offset);
     DataChunk lchunk;
     lchunk.Initialize(left.types());

@@ -31,8 +31,12 @@ struct JoinKey {
 /// Output columns are the left table's columns followed by the right
 /// table's; row order follows the sorted key order (groups of duplicate
 /// keys produce their cross product).
-Table SortMergeJoin(const Table& left, const Table& right,
-                    const std::vector<JoinKey>& keys,
-                    const SortEngineConfig& config = {});
+///
+/// Failures from the sorting pipeline (OOM, spill I/O, cancellation or an
+/// expired deadline via \p config.cancellation) surface as the returned
+/// Status; the join loop itself also polls the token at block granularity.
+StatusOr<Table> SortMergeJoin(const Table& left, const Table& right,
+                              const std::vector<JoinKey>& keys,
+                              const SortEngineConfig& config = {});
 
 }  // namespace rowsort

@@ -19,6 +19,15 @@
 
 namespace rowsort {
 
+namespace {
+
+/// Comparator-driven sorts poll for cancellation once per this many
+/// comparisons (a comparison is a few ns, so ~tens of microseconds between
+/// checks — far finer than the kCancelCheckRows row loops need).
+constexpr uint64_t kCancelCheckCompares = 8192;
+
+}  // namespace
+
 RelationalSort::RelationalSort(SortSpec spec,
                                std::vector<LogicalType> input_types,
                                SortEngineConfig config)
@@ -36,6 +45,7 @@ RelationalSort::RelationalSort(SortSpec spec,
                  "radix sort cannot resolve VARCHAR prefix ties");
   row_id_offset_ = bit_util::AlignValue(encoder_.key_width());
   key_row_width_ = row_id_offset_ + sizeof(uint64_t);
+  cancel_.Reset(config_.cancellation);
 }
 
 RelationalSort::~RelationalSort() {
@@ -63,6 +73,12 @@ Status RelationalSort::RecordError(Status status) {
   if (status.ok()) return status;
   std::lock_guard<std::mutex> lock(runs_mutex_);
   if (first_error_.ok()) first_error_ = status;
+  // Even an aborted pipeline reports its robustness counters — the cancel
+  // latency, in particular, is only interesting when the sort *was*
+  // cancelled, i.e. on this path.
+  metrics_.io_retries = io_retry_stats_.count();
+  metrics_.cancel_checks = cancel_.checks();
+  metrics_.time_to_cancel_us = cancel_.time_to_cancel_us();
   return status;
 }
 
@@ -71,6 +87,8 @@ Status RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
   Status st;
   try {
     st = SinkImpl(local, chunk);
+  } catch (const CancelledError& e) {
+    st = e.ToStatus();
   } catch (const std::bad_alloc&) {
     st = Status::OutOfMemory("sort sink: allocation failed");
   }
@@ -79,6 +97,8 @@ Status RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
 
 Status RelationalSort::SinkImpl(LocalState& local, const DataChunk& chunk) {
   if (chunk.size() == 0) return Status::OK();
+  // One check per chunk (<= kVectorSize rows) keeps sink latency bounded.
+  ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
   Timer timer;
   const uint64_t count = chunk.size();
   const uint64_t old_count = local.count_;
@@ -121,6 +141,8 @@ Status RelationalSort::CombineLocal(LocalState& local) {
   Status st;
   try {
     if (local.count_ > 0) st = SortLocalRun(local);
+  } catch (const CancelledError& e) {
+    st = e.ToStatus();
   } catch (const std::bad_alloc&) {
     st = Status::OutOfMemory("sort combine: allocation failed");
   }
@@ -153,6 +175,7 @@ bool RelationalSort::UseRadix(uint64_t count) const {
 }
 
 Status RelationalSort::SortLocalRun(LocalState& local) {
+  ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
   Timer timer;
   const uint64_t count = local.count_;
   const uint64_t krw = key_row_width_;
@@ -176,6 +199,11 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
     config.row_width = krw;
     config.key_offset = 0;
     config.key_width = encoder_.key_width();
+    if (cancel_.enabled()) {
+      // Checked once per radix pass; unwinds via CancelledError, caught at
+      // the Sink/CombineLocal entry points like std::bad_alloc.
+      config.cancellation_check = [this] { cancel_.ThrowIfCancelled(); };
+    }
     if (config_.pdq_inside_msd) {
       RadixSortMsdWithPdq(keys, aux.data(), count, config);
     } else {
@@ -184,15 +212,25 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
   } else if (comparator_.needs_tie_resolution()) {
     // pdqsort with memcmp; tied VARCHAR prefixes resolved from the (still
     // unsorted) payload rows via the row id carried in each key row.
+    // Cancellation rides in the comparator (pdqsort has no pass structure
+    // to hook): every kCancelCheckCompares comparisons the shared budget
+    // hits zero and the token is polled.
     const RowCollection& payload = local.payload_;
     const uint64_t id_offset = row_id_offset_;
     const TupleComparator& cmp = comparator_;
     std::atomic<uint64_t>* counter =
         config_.count_comparisons ? &run_compares_ : nullptr;
+    CancelChecker* cancel = cancel_.enabled() ? &cancel_ : nullptr;
+    uint64_t check_budget = kCancelCheckCompares;
+    uint64_t* budget = &check_budget;
     PdqSortRowsWith(keys, count, krw,
-                    [&payload, id_offset, &cmp, counter](const uint8_t* a,
-                                                         const uint8_t* b) {
+                    [&payload, id_offset, &cmp, counter, cancel,
+                     budget](const uint8_t* a, const uint8_t* b) {
                       if (counter) counter->fetch_add(1, std::memory_order_relaxed);
+                      if (cancel && --*budget == 0) {
+                        *budget = kCancelCheckCompares;
+                        cancel->ThrowIfCancelled();
+                      }
                       uint64_t id_a = bit_util::LoadUnaligned<uint64_t>(a + id_offset);
                       uint64_t id_b = bit_util::LoadUnaligned<uint64_t>(b + id_offset);
                       return cmp.Compare(a, payload.GetRow(id_a), b,
@@ -202,10 +240,18 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
     const uint64_t key_width = encoder_.key_width();
     std::atomic<uint64_t>* counter =
         config_.count_comparisons ? &run_compares_ : nullptr;
-    if (counter) {
+    if (counter != nullptr || cancel_.enabled()) {
+      CancelChecker* cancel = cancel_.enabled() ? &cancel_ : nullptr;
+      uint64_t check_budget = kCancelCheckCompares;
+      uint64_t* budget = &check_budget;
       PdqSortRowsWith(keys, count, krw,
-                      [key_width, counter](const uint8_t* a, const uint8_t* b) {
-                        counter->fetch_add(1, std::memory_order_relaxed);
+                      [key_width, counter, cancel, budget](const uint8_t* a,
+                                                           const uint8_t* b) {
+                        if (counter) counter->fetch_add(1, std::memory_order_relaxed);
+                        if (cancel && --*budget == 0) {
+                          *budget = kCancelCheckCompares;
+                          cancel->ThrowIfCancelled();
+                        }
                         return std::memcmp(a, b, key_width) < 0;
                       });
     } else {
@@ -226,6 +272,7 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
   run.payload.AppendUninitialized(count);
   const uint64_t width = payload_layout_.row_width();
   for (uint64_t i = 0; i < count; ++i) {
+    if ((i & (kCancelCheckRows - 1)) == 0) cancel_.ThrowIfCancelled();
     uint64_t row_id = bit_util::LoadUnaligned<uint64_t>(
         run.key_rows.data() + i * krw + row_id_offset_);
     std::memcpy(run.payload.GetRow(i), local.payload_.GetRow(row_id), width);
@@ -291,7 +338,9 @@ Status RelationalSort::SpillEntryLocked(RunEntry& entry) {
   ROWSORT_DASSERT(!entry.spilled);
   ROWSORT_RETURN_NOT_OK(EnsureSpillDirLocked());
   std::string path = NextSpillPathLocked();
-  ROWSORT_RETURN_NOT_OK(WriteRunToFile(entry.run, payload_layout_, path));
+  ROWSORT_RETURN_NOT_OK(
+      WriteRunToFile(entry.run, payload_layout_, path,
+                     SpillIoOptions{&io_retry_stats_, config_.cancellation}));
   entry.run = SortedRun();  // releases keys, codes, payload + reservations
   entry.path = std::move(path);
   entry.spilled = true;
@@ -340,8 +389,13 @@ void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
   uint8_t* out_keys = out->key_rows.data();
   std::atomic<uint64_t>* counter =
       config_.count_comparisons ? &merge_compares_ : nullptr;
+  uint64_t until_check = kCancelCheckRows;
 
   while (l < left_end && r < right_end) {
+    if (--until_check == 0) {
+      until_check = kCancelCheckRows;
+      cancel_.ThrowIfCancelled();  // pool tasks: rethrown at the submitter
+    }
     // Full tuple comparison with memcmp (+ string ties), §VII.
     if (counter) counter->fetch_add(1, std::memory_order_relaxed);
     int cmp = comparator_.Compare(left.KeyRow(l), left.PayloadRow(l),
@@ -358,10 +412,18 @@ void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
     ++o;
   }
   for (; l < left_end; ++l, ++o) {
+    if (--until_check == 0) {
+      until_check = kCancelCheckRows;
+      cancel_.ThrowIfCancelled();
+    }
     std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
     std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
   }
   for (; r < right_end; ++r, ++o) {
+    if (--until_check == 0) {
+      until_check = kCancelCheckRows;
+      cancel_.ThrowIfCancelled();
+    }
     std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
     std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
   }
@@ -392,8 +454,13 @@ void RelationalSort::MergeSliceOvc(const SortedRun& left,
   uint64_t ovc_l = l < left_end ? left.ovcs[l] : kOvcEqual;
   uint64_t ovc_r = r < right_end ? right.ovcs[r] : kOvcEqual;
   bool have_base = false;
+  uint64_t until_check = kCancelCheckRows;
 
   while (l < left_end && r < right_end) {
+    if (--until_check == 0) {
+      until_check = kCancelCheckRows;
+      cancel_.ThrowIfCancelled();  // pool tasks: rethrown at the submitter
+    }
     bool take_left;
     if (!have_base) {
       // Slices start mid-run: the heads' stored codes are relative to
@@ -462,6 +529,10 @@ void RelationalSort::MergeSliceOvc(const SortedRun& left,
     std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
     ++l, ++o;
     for (; l < left_end; ++l, ++o) {
+      if (--until_check == 0) {
+        until_check = kCancelCheckRows;
+        cancel_.ThrowIfCancelled();
+      }
       out_ovcs[o] = left.ovcs[l];
       std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
       std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
@@ -473,6 +544,10 @@ void RelationalSort::MergeSliceOvc(const SortedRun& left,
     std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
     ++r, ++o;
     for (; r < right_end; ++r, ++o) {
+      if (--until_check == 0) {
+        until_check = kCancelCheckRows;
+        cancel_.ThrowIfCancelled();
+      }
       out_ovcs[o] = right.ovcs[r];
       std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
       std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
@@ -535,7 +610,12 @@ SortedRun RelationalSort::MergePair(const SortedRun& left,
         }
       });
     }
-    pool->RunBatch(std::move(tasks));
+    // The token lets the pool skip not-yet-started slices once cancelled;
+    // the check below turns that silent skip (RunBatch returns normally)
+    // into the unwind the callers expect — without it a partially merged
+    // run would flow on as if complete.
+    pool->RunBatch(std::move(tasks), config_.cancellation);
+    cancel_.ThrowIfCancelled();
   }
   if (ovc && out.count > 0) {
     // Each slice's first output row precedes rows another slice produced, so
@@ -610,6 +690,7 @@ SortedRun RelationalSort::MergeKWayHeap(std::vector<SortedRun>& runs) {
   const uint64_t prw = payload_layout_.row_width();
   uint64_t o = 0;
   while (!heap.empty()) {
+    if ((o & (kCancelCheckRows - 1)) == 0) cancel_.ThrowIfCancelled();
     Cursor& top = heap[0];
     std::memcpy(out.key_rows.data() + o * krw, top.run->KeyRow(top.pos), krw);
     std::memcpy(out.payload.GetRow(o), top.run->PayloadRow(top.pos), prw);
@@ -718,6 +799,7 @@ SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
   const uint64_t krw = key_row_width_;
   const uint64_t prw = payload_layout_.row_width();
   for (uint64_t o = 0; o < total; ++o) {
+    if ((o & (kCancelCheckRows - 1)) == 0) cancel_.ThrowIfCancelled();
     Cursor& cw = cursors[winner];
     std::memcpy(out.key_rows.data() + o * krw, cw.run->KeyRow(cw.pos), krw);
     std::memcpy(out.payload.GetRow(o), cw.run->PayloadRow(cw.pos), prw);
@@ -749,11 +831,18 @@ SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
 Status RelationalSort::MergeSpilledPair(const std::string& left_path,
                                         const std::string& right_path,
                                         const std::string& out_path) {
+  // Spill streams share the sort's retry accounting and token: transient
+  // hiccups heal (SortMetrics::io_retries), cancellation lands between
+  // blocks.
+  const SpillIoOptions io{&io_retry_stats_, config_.cancellation};
   ExternalRunReader left(payload_layout_, left_path);
   ExternalRunReader right(payload_layout_, right_path);
+  left.SetIoOptions(io);
+  right.SetIoOptions(io);
   ROWSORT_RETURN_NOT_OK(left.Open());
   ROWSORT_RETURN_NOT_OK(right.Open());
   ExternalRunWriter writer(payload_layout_, out_path);
+  writer.SetIoOptions(io);
   ROWSORT_RETURN_NOT_OK(writer.Open(key_row_width_));
 
   const uint64_t krw = key_row_width_;
@@ -782,6 +871,9 @@ Status RelationalSort::MergeSpilledPair(const std::string& left_path,
     std::memcpy(out_block.payload.GetRow(o), src.PayloadRow(i), prw);
   };
   auto flush = [&]() -> Status {
+    // Runs at least once per block_rows appended rows, so it doubles as the
+    // merge loop's cooperative cancellation point.
+    ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
     if (out_block.count == 0) return Status::OK();
     ROWSORT_RETURN_NOT_OK(writer.WriteSlice(out_block, 0, out_block.count));
     out_block.count = 0;
@@ -886,14 +978,20 @@ Status RelationalSort::Finalize(ThreadPool* pool) {
   Status st;
   try {
     st = FinalizeImpl(pool);
+  } catch (const CancelledError& e) {
+    st = e.ToStatus();
   } catch (const std::bad_alloc&) {
     st = Status::OutOfMemory("sort merge: allocation failed");
   }
   metrics_.peak_memory_bytes = tracker_.peak();
+  metrics_.io_retries = io_retry_stats_.count();
+  metrics_.cancel_checks = cancel_.checks();
+  metrics_.time_to_cancel_us = cancel_.time_to_cancel_us();
   return RecordError(std::move(st));
 }
 
 Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
+  ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
   Timer timer;
   metrics_.run_generation_compares =
       run_compares_.load(std::memory_order_relaxed);
@@ -940,7 +1038,11 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
               next[p / 2] = MergePair(current[p], current[p + 1], nullptr);
             });
           }
-          pool->RunBatch(std::move(tasks));
+          // Token to the pool so queued pair merges are skipped once
+          // cancelled; the check right after surfaces the skip as an unwind
+          // (see MergePair).
+          pool->RunBatch(std::move(tasks), config_.cancellation);
+          cancel_.ThrowIfCancelled();
         } else {
           for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
             next[p / 2] = MergePair(current[p], current[p + 1], pool);
@@ -976,6 +1078,8 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
       Status st;
       try {
         st = MergeEntryPair(entries_[p], entries_[p + 1], pool, &merged);
+      } catch (const CancelledError& e) {
+        st = e.ToStatus();
       } catch (const std::bad_alloc&) {
         st = Status::OutOfMemory("sort merge: allocation failed");
       }
@@ -1000,7 +1104,9 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
     // The final result is handed to the caller and intentionally not
     // charged against the limit (the limit governs the sort's internal
     // working set; see docs/robustness.md).
-    auto loaded = ReadRunFromFile(payload_layout_, last.path);
+    auto loaded =
+        ReadRunFromFile(payload_layout_, last.path,
+                        SpillIoOptions{&io_retry_stats_, config_.cancellation});
     if (!loaded.ok()) {
       finish_metrics();
       return loaded.status();
@@ -1063,7 +1169,12 @@ StatusOr<Table> RelationalSort::SortTable(const Table& input,
       });
     }
     try {
-      pool.RunBatch(std::move(tasks));
+      // Sink tasks record their own failures in the sort; the token lets
+      // the pool skip workers that have not started yet once cancelled.
+      pool.RunBatch(std::move(tasks), config.cancellation);
+    } catch (const CancelledError& e) {
+      fill_metrics();
+      return e.ToStatus();
     } catch (const std::bad_alloc&) {
       fill_metrics();
       return Status::OutOfMemory("sort sink: allocation failed");

@@ -5,7 +5,9 @@
 #include <mutex>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/memory_tracker.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "engine/sorted_run.h"
 #include "engine/tuple_comparator.h"
@@ -73,6 +75,13 @@ struct SortEngineConfig {
   /// (full comparator merge) when truncated VARCHAR prefixes make key bytes
   /// non-decisive (TupleComparator::needs_tie_resolution()).
   bool use_offset_value_codes = true;
+  /// Cooperative cancellation / deadline for the whole pipeline. Every
+  /// long-running loop (sink scatter, run sorts, merge inner loops, spill
+  /// streaming) polls this token at block granularity (kCancelCheckRows) and
+  /// unwinds with Status::Cancelled or Status::DeadlineExceeded through the
+  /// sticky-error path — sibling threads stop promptly, spill files are
+  /// still removed. Default token = never cancelled, near-zero overhead.
+  CancellationToken cancellation;
 };
 
 /// Measurements the pipeline records per sort (bench/§II support).
@@ -93,6 +102,14 @@ struct SortMetrics {
   uint64_t runs_spilled = 0;
   /// High-water mark of the MemoryTracker over the sort's lifetime.
   uint64_t peak_memory_bytes = 0;
+  /// Transient spill-I/O failures recovered by retry (short reads/writes,
+  /// EINTR) — nonzero means the sort healed itself; see common/retry.h.
+  uint64_t io_retries = 0;
+  /// Cooperative cancellation checks performed (0 when no token was set).
+  uint64_t cancel_checks = 0;
+  /// Microseconds between a cancel request and the pipeline's first
+  /// observation of it; 0 unless the sort was cancelled.
+  uint64_t time_to_cancel_us = 0;
   double sink_seconds = 0;      ///< DSM->NSM conversion + key normalization
   double run_sort_seconds = 0;  ///< thread-local sorts + payload reorder
   double merge_seconds = 0;     ///< cascaded merge
@@ -114,7 +131,12 @@ struct SortMetrics {
 /// and corrupted spill files as Status::IOError; the first error is sticky
 /// (subsequent calls return it) and all spill files are removed on error or
 /// destruction. With SortEngineConfig::memory_limit_bytes set, the engine
-/// degrades gracefully by spilling runs instead of failing (§IX).
+/// degrades gracefully by spilling runs instead of failing (§IX). With
+/// SortEngineConfig::cancellation set, a cancel request or expired deadline
+/// stops every stage at block granularity (Status::Cancelled /
+/// Status::DeadlineExceeded) with the same cleanup guarantees; transient
+/// spill-I/O hiccups are retried with bounded backoff before they become
+/// IOErrors (docs/robustness.md).
 ///
 /// Usage:
 ///   RelationalSort sort(spec, input_types, config);
@@ -271,6 +293,11 @@ class RelationalSort {
   Status first_error_;  ///< sticky pipeline error (guarded by runs_mutex_)
   SortedRun result_;
   SortMetrics metrics_;
+  /// Shared by all pipeline threads; counts checks and stamps the first
+  /// observation of a cancellation (SortMetrics::time_to_cancel_us).
+  CancelChecker cancel_;
+  /// Recovered transient spill-I/O failures (SortMetrics::io_retries).
+  RetryStats io_retry_stats_;
   std::atomic<uint64_t> run_compares_{0};
   std::atomic<uint64_t> merge_compares_{0};
   std::atomic<uint64_t> ovc_decided_{0};

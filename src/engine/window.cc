@@ -6,9 +6,9 @@
 
 namespace rowsort {
 
-Table ComputeWindow(const Table& input, const WindowSpec& spec,
-                    const std::vector<WindowFunction>& functions,
-                    const SortEngineConfig& config) {
+StatusOr<Table> ComputeWindow(const Table& input, const WindowSpec& spec,
+                              const std::vector<WindowFunction>& functions,
+                              const SortEngineConfig& config) {
   ROWSORT_ASSERT(!functions.empty());
   ROWSORT_ASSERT(!spec.partition_by.empty() || !spec.order_by.empty());
 
@@ -31,10 +31,10 @@ Table ComputeWindow(const Table& input, const WindowSpec& spec,
   RelationalSort sort(full_spec, input.types(), config);
   auto local = sort.MakeLocalState();
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-    ROWSORT_CHECK_OK(sort.Sink(*local, input.chunk(c)));
+    ROWSORT_RETURN_NOT_OK(sort.Sink(*local, input.chunk(c)));
   }
-  ROWSORT_CHECK_OK(sort.CombineLocal(*local));
-  ROWSORT_CHECK_OK(sort.Finalize());
+  ROWSORT_RETURN_NOT_OK(sort.CombineLocal(*local));
+  ROWSORT_RETURN_NOT_OK(sort.Finalize());
   const SortedRun& run = sort.result();
 
   // Partition boundaries compare only the leading key segments; peer groups
@@ -48,6 +48,9 @@ Table ComputeWindow(const Table& input, const WindowSpec& spec,
       dense_rank(run.count);
   int64_t current_row = 0, current_rank = 0, current_dense = 0;
   for (uint64_t i = 0; i < run.count; ++i) {
+    if ((i & (kCancelCheckRows - 1)) == 0) {
+      ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
+    }
     bool new_partition =
         i == 0 ||
         (!spec.partition_by.empty() &&
@@ -95,6 +98,7 @@ Table ComputeWindow(const Table& input, const WindowSpec& spec,
   const uint64_t payload_cols = input.types().size();
   uint64_t offset = 0;
   while (offset < run.count) {
+    ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
     uint64_t n = std::min(kVectorSize, run.count - offset);
     DataChunk payload_chunk;
     payload_chunk.Initialize(input.types());

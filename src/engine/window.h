@@ -33,9 +33,12 @@ struct WindowSpec {
 /// (plus VARCHAR tie resolution) — no per-row interpretation.
 ///
 /// Returns the input columns followed by one INT64 column per requested
-/// function, rows ordered by (partition, order).
-Table ComputeWindow(const Table& input, const WindowSpec& spec,
-                    const std::vector<WindowFunction>& functions,
-                    const SortEngineConfig& config = {});
+/// function, rows ordered by (partition, order). Pipeline failures (OOM,
+/// spill I/O, cancellation / deadline via \p config.cancellation) surface
+/// as the returned Status; the rank scan and output assembly also poll the
+/// token at block granularity.
+StatusOr<Table> ComputeWindow(const Table& input, const WindowSpec& spec,
+                              const std::vector<WindowFunction>& functions,
+                              const SortEngineConfig& config = {});
 
 }  // namespace rowsort

@@ -27,7 +27,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::ExecuteTask(std::function<void()>& task) {
   // A throwing task must not unwind a worker thread (std::terminate) or
   // poison the queue: capture the first exception for the submitting thread
-  // and keep draining so the batch barrier still completes.
+  // and keep the barrier intact. Queued siblings are skipped from here on
+  // (see ShouldSkipLocked) — their output dies with the batch anyway.
   try {
     task();
   } catch (...) {
@@ -36,44 +37,64 @@ void ThreadPool::ExecuteTask(std::function<void()>& task) {
   }
 }
 
+bool ThreadPool::ShouldSkipLocked() {
+  if (batch_error_) return true;
+  if (batch_cancelled_) return true;
+  // The token check leaves the mutex-held path as one relaxed load plus (at
+  // most) a steady_clock read; once it fires, latch so later pops don't
+  // even pay that.
+  if (batch_cancel_.CanBeCancelled() && batch_cancel_.IsCancelled()) {
+    batch_cancelled_ = true;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::FinishTask(std::function<void()>& task, bool skip) {
+  if (!skip) ExecuteTask(task);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--outstanding_ == 0) batch_done_.notify_all();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
+    bool skip = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_workers_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      skip = ShouldSkipLocked();
     }
-    ExecuteTask(task);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--outstanding_ == 0) batch_done_.notify_all();
-    }
+    FinishTask(task, skip);
   }
 }
 
 bool ThreadPool::RunOneTask() {
   std::function<void()> task;
+  bool skip = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();
+    skip = ShouldSkipLocked();
   }
-  ExecuteTask(task);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (--outstanding_ == 0) batch_done_.notify_all();
-  }
+  FinishTask(task, skip);
   return true;
 }
 
-void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks,
+                          CancellationToken cancellation) {
   if (tasks.empty()) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    batch_cancel_ = std::move(cancellation);
+    batch_cancelled_ = false;
     outstanding_ += tasks.size();
     for (auto& task : tasks) queue_.push(std::move(task));
   }
@@ -87,6 +108,8 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
     batch_done_.wait(lock, [this] { return outstanding_ == 0; });
     error = batch_error_;
     batch_error_ = nullptr;
+    batch_cancel_ = CancellationToken();
+    batch_cancelled_ = false;
   }
   // First error wins; rethrown on the submitting thread after the barrier.
   if (error) std::rethrow_exception(error);
@@ -94,7 +117,7 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
 
 void ThreadPool::ParallelFor(uint64_t count,
                              const std::function<void(uint64_t)>& fn,
-                             uint64_t grain) {
+                             uint64_t grain, CancellationToken cancellation) {
   if (count == 0) return;
   if (grain == 0) {
     // A few blocks per worker balances uneven per-index work without
@@ -112,7 +135,7 @@ void ThreadPool::ParallelFor(uint64_t count,
       for (uint64_t i = begin; i < end; ++i) fn(i);
     });
   }
-  RunBatch(std::move(tasks));
+  RunBatch(std::move(tasks), std::move(cancellation));
 }
 
 }  // namespace rowsort

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/macros.h"
 
 namespace rowsort {
@@ -34,24 +35,44 @@ class ThreadPool {
   /// without deadlock.
   ///
   /// Error propagation: an exception thrown by a task is captured (first
-  /// one wins), the remaining tasks of the batch still drain, and the
-  /// exception is rethrown here on the submitting thread after the batch
+  /// one wins) and rethrown here on the submitting thread after the batch
   /// barrier — a worker-task failure never std::terminate()s the process.
+  /// Once a task has failed, queued tasks of the batch that have not yet
+  /// started are *skipped* (drained without executing): their results would
+  /// be thrown away with the batch, so running them only delays the error.
+  /// Tasks already executing on other workers run to completion — the
+  /// barrier always holds.
+  ///
+  /// Cancellation: when \p cancellation can fire, it is checked before each
+  /// task starts; once cancelled, not-yet-started tasks are skipped the same
+  /// way. RunBatch itself returns normally in that case (skipping is not an
+  /// error) — callers observe the token through their own checks. Tasks
+  /// that poll the token and throw CancelledError surface through the
+  /// exception path like any other failure.
+  ///
   /// Batches must be submitted by one thread at a time.
-  void RunBatch(std::vector<std::function<void()>> tasks);
+  void RunBatch(std::vector<std::function<void()>> tasks,
+                CancellationToken cancellation = {});
 
   /// Convenience: RunBatch over indices [0, count) of \p fn(index). Indices
   /// are grouped into contiguous blocks so that large index spaces schedule
   /// O(threads) tasks instead of one std::function allocation per index;
   /// \p grain is the minimum indices per task (0 = pick automatically, with
-  /// a few blocks per worker for load balance).
+  /// a few blocks per worker for load balance). \p cancellation as in
+  /// RunBatch: whole not-yet-started blocks are skipped once it fires.
   void ParallelFor(uint64_t count, const std::function<void(uint64_t)>& fn,
-                   uint64_t grain = 0);
+                   uint64_t grain = 0, CancellationToken cancellation = {});
 
  private:
   void WorkerLoop();
   bool RunOneTask();
   void ExecuteTask(std::function<void()>& task);
+  /// True when the current batch should stop launching queued tasks (a task
+  /// failed, or the batch's token fired). Called with mutex_ held.
+  bool ShouldSkipLocked();
+  /// Executes (or skips) an already-popped task and retires it against the
+  /// batch barrier.
+  void FinishTask(std::function<void()>& task, bool skip);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -61,6 +82,8 @@ class ThreadPool {
   uint64_t outstanding_ = 0;
   bool shutdown_ = false;
   std::exception_ptr batch_error_;  ///< first task exception of the batch
+  CancellationToken batch_cancel_;  ///< current batch's token (may be empty)
+  bool batch_cancelled_ = false;    ///< latched result of the token check
 };
 
 }  // namespace rowsort

@@ -66,12 +66,14 @@ void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
 
   // All per-digit histograms in one fused scan (they do not depend on row
   // order, so the scatter passes below cannot invalidate them).
+  if (config.cancellation_check) config.cancellation_check();
   std::vector<ByteHistogram> hists(config.key_width);
   CountAllBytes(src, count, row_width, config.key_offset, config.key_width,
                 hists.data());
 
   // One stable scatter pass per key byte, least significant digit first.
   for (uint64_t d = config.key_width; d-- > 0;) {
+    if (config.cancellation_check) config.cancellation_check();
     const uint64_t byte_offset = config.key_offset + d;
     const ByteHistogram& hist = hists[d];
 
@@ -128,6 +130,9 @@ void MsdRecurse(uint8_t* rows, uint8_t* aux, uint64_t count,
 
     const uint64_t row_width = config.row_width;
     const uint64_t byte_offset = config.key_offset + digit;
+    // One check per counting pass: each pass is O(count) work, so a cancel
+    // is observed within one pass over this bucket.
+    if (config.cancellation_check) config.cancellation_check();
     ByteHistogram hist;
     CountByte(rows, count, row_width, byte_offset, &hist);
 

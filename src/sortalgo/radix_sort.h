@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/status.h"
 
@@ -23,6 +24,13 @@ struct RadixSortConfig {
   /// LSD is chosen when key_width <= this bound, MSD otherwise (paper §VI-B:
   /// "LSD radix sort is selected when the key size is <= 4 bytes").
   uint64_t lsd_key_width_bound = 4;
+
+  /// Cooperative cancellation hook, invoked once per O(count) pass (LSD
+  /// scatter pass, MSD counting pass) — never per row. The hook signals by
+  /// throwing (e.g. CancelledError), unwinding the sort mid-pass; the rows
+  /// are then in an unspecified permutation but remain valid rows. Empty =
+  /// no checks.
+  std::function<void()> cancellation_check;
 };
 
 /// Counters the radix sorts report for the ablation/diagnostic benches.

@@ -12,34 +12,47 @@ namespace {
 
 class DuckDBLike : public SortSystem {
  public:
-  explicit DuckDBLike(uint64_t threads)
-      : threads_(std::max<uint64_t>(threads, 1)) {}
+  explicit DuckDBLike(uint64_t threads, const SortEngineConfig& base = {})
+      : threads_(std::max<uint64_t>(threads, 1)), base_(base) {}
 
   std::string name() const override { return "DuckDB-like"; }
 
   Table Sort(const Table& input, const SortSpec& spec) override {
+    return TrySort(input, spec).ValueOrDie();
+  }
+
+  StatusOr<Table> TrySort(const Table& input, const SortSpec& spec) override {
     // Statistics-driven prefix choice (§VII): shrink VARCHAR key prefixes to
     // the observed maximum string length (at most 12).
     SortSpec tuned = spec;
     TuneStringPrefixes(input, &tuned);
-    SortEngineConfig config;
+    // The base config carries the caller's cancellation token / deadline,
+    // spill directory, and memory limit; threads and run sizing are derived
+    // per call as before.
+    SortEngineConfig config = base_;
     config.threads = threads_;
     config.algorithm = RunSortAlgorithm::kAuto;
     // One run per thread when the data fits in memory (§II: "each thread
     // will generally generate one sorted run").
     config.run_size_rows =
         std::max<uint64_t>(input.row_count() / threads_ + 1, kVectorSize);
-    return RelationalSort::SortTable(input, tuned, config).ValueOrDie();
+    return RelationalSort::SortTable(input, tuned, config);
   }
 
  private:
   uint64_t threads_;
+  SortEngineConfig base_;
 };
 
 }  // namespace
 
 std::unique_ptr<SortSystem> MakeDuckDBLike(uint64_t threads) {
   return std::make_unique<DuckDBLike>(threads);
+}
+
+std::unique_ptr<SortSystem> MakeDuckDBLike(uint64_t threads,
+                                           const SortEngineConfig& base) {
+  return std::make_unique<DuckDBLike>(threads, base);
 }
 
 std::vector<std::unique_ptr<SortSystem>> MakeAllSystems(uint64_t threads) {

@@ -5,10 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "sortkey/sort_spec.h"
 #include "workload/tables.h"
 
 namespace rowsort {
+
+struct SortEngineConfig;
 
 /// \brief A database system under benchmark (paper §VII).
 ///
@@ -32,11 +35,27 @@ class SortSystem {
 
   /// Fully sorts \p input by \p spec and returns the materialized result.
   virtual Table Sort(const Table& input, const SortSpec& spec) = 0;
+
+  /// Status-propagating variant of Sort() for callers that run under a
+  /// cancellation token or deadline. The default forwards to Sort() (the
+  /// benchmark systems have no fallible path of their own); systems built on
+  /// the fallible pipeline override it so cancellation / spill-I/O failures
+  /// surface as a Status instead of aborting the process.
+  virtual StatusOr<Table> TrySort(const Table& input, const SortSpec& spec) {
+    return Sort(input, spec);
+  }
 };
 
 /// DuckDB-like: this library's row-based pipeline — normalized keys, radix
 /// or pdqsort thread-local run sort, cascaded Merge-Path merge (Fig. 11).
 std::unique_ptr<SortSystem> MakeDuckDBLike(uint64_t threads);
+
+/// DuckDB-like with an explicit base engine configuration: \p base supplies
+/// the cancellation token / deadline, spill directory, and memory limit,
+/// while threads / algorithm / run sizing are still derived per Sort() call.
+/// Use TrySort() with this variant — a cancelled Sort() would abort.
+std::unique_ptr<SortSystem> MakeDuckDBLike(uint64_t threads,
+                                           const SortEngineConfig& base);
 
 /// ClickHouse-like: columnar format throughout; thread-local radix sort for
 /// a single integer key, otherwise pdqsort with a tuple-at-a-time

@@ -4,8 +4,10 @@
 #include <set>
 
 #include "common/bit_util.h"
+#include "common/cancellation.h"
 #include "common/crc32.h"
 #include "common/failpoint.h"
+#include "common/retry.h"
 #include "common/memory_tracker.h"
 #include "common/hardware.h"
 #include "common/random.h"
@@ -216,6 +218,144 @@ TEST(FailpointTest, ArmSkipFiresAndDisarm) {
   failpoint::Disarm("common_test_fp");
   EXPECT_FALSE(failpoint::Evaluate("common_test_fp"));
   failpoint::DisarmAll();
+}
+
+TEST(FailpointTest, ProbabilisticFiresNearRateAndIsDeterministic) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::ArmProbabilistic("common_test_prob", 0.1, /*seed=*/7);
+  int fires = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (failpoint::Evaluate("common_test_prob")) ++fires;
+  }
+  // ~10% +- generous slack (the draw is a deterministic xorshift stream).
+  EXPECT_GT(fires, 700);
+  EXPECT_LT(fires, 1300);
+
+  // Re-arming with the same seed replays the identical decision sequence.
+  failpoint::ArmProbabilistic("common_test_prob", 0.1, /*seed=*/7);
+  int replay = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (failpoint::Evaluate("common_test_prob")) ++replay;
+  }
+  EXPECT_EQ(replay, fires);
+  failpoint::DisarmAll();
+}
+
+TEST(CancellationTest, TokenLifecycleAndCauses) {
+  CancellationToken none;  // default token: can never fire
+  EXPECT_FALSE(none.CanBeCancelled());
+  EXPECT_FALSE(none.IsCancelled());
+  EXPECT_TRUE(none.CheckForCancellation().ok());
+
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.CanBeCancelled());
+  EXPECT_FALSE(token.IsCancelled());
+  source.RequestCancel();
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kUser);
+  EXPECT_EQ(token.CheckForCancellation().code(), StatusCode::kCancelled);
+
+  // First cause wins: a later error request does not overwrite the user
+  // cancel.
+  source.RequestCancel(CancelCause::kError);
+  EXPECT_EQ(token.cause(), CancelCause::kUser);
+}
+
+TEST(CancellationTest, DeadlineExpiryLatchesDeadlineCause) {
+  CancellationSource source(Deadline::AfterMicros(0));
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.cause(), CancelCause::kDeadline);
+  EXPECT_EQ(token.CheckForCancellation().code(),
+            StatusCode::kDeadlineExceeded);
+
+  CancellationSource far(Deadline::AfterMillis(60'000));
+  EXPECT_FALSE(far.token().IsCancelled());
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+}
+
+TEST(CancellationTest, ThrowIfCancelledUnwindsWithStatus) {
+  CancellationSource source;
+  source.RequestCancel();
+  try {
+    source.token().ThrowIfCancelled();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.ToStatus().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(CancelCheckerTest, CountsChecksAndMeasuresObservationLatency) {
+  CancellationSource source;
+  CancelChecker checker;
+  checker.Reset(source.token());
+  EXPECT_TRUE(checker.enabled());
+  EXPECT_FALSE(checker.Check());  // not cancelled yet -> keep going
+  EXPECT_TRUE(checker.CheckStatus().ok());
+  source.RequestCancel();
+  EXPECT_TRUE(checker.Check());  // observed: latency recorded
+  EXPECT_EQ(checker.checks(), 3u);
+  // Observation happened promptly after the request on this thread.
+  EXPECT_LT(checker.time_to_cancel_us(), 1'000'000u);
+
+  CancelChecker disabled;
+  disabled.Reset(CancellationToken());
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.Check());  // untracked token: never fires
+}
+
+TEST(RetryTest, TransientErrorsBackOffThenGiveUp) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_us = 1;
+  policy.max_backoff_us = 4;
+  RetryStats stats;
+  RetryState state(policy, &stats);
+  Status transient = Status::IOError("interrupted (EINTR)");
+  // Budget of 3: two zero-progress retries succeed, the third fails
+  // permanently with the cause attached.
+  EXPECT_TRUE(state.OnTransientError(transient, /*made_progress=*/false).ok());
+  EXPECT_TRUE(state.OnTransientError(transient, /*made_progress=*/false).ok());
+  Status final = state.OnTransientError(transient, /*made_progress=*/false);
+  EXPECT_EQ(final.code(), StatusCode::kIOError);
+  // The permanent error carries the give-up diagnostic.
+  EXPECT_NE(final.message().find("still failing after"), std::string::npos);
+  EXPECT_EQ(stats.count(), 3u);  // every transient event is counted
+}
+
+TEST(RetryTest, ProgressResetsTheAttemptBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_us = 1;
+  policy.max_backoff_us = 2;
+  RetryStats stats;
+  RetryState state(policy, &stats);
+  Status transient = Status::IOError("short write");
+  // A stream that keeps making progress never exhausts the budget: only
+  // consecutive zero-progress failures count against it.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(
+        state.OnTransientError(transient, /*made_progress=*/true).ok());
+  }
+  EXPECT_TRUE(state.OnTransientError(transient, /*made_progress=*/false).ok());
+  EXPECT_FALSE(
+      state.OnTransientError(transient, /*made_progress=*/false).ok());
+}
+
+TEST(RetryTest, CancellationCutsBackoffShort) {
+  CancellationSource source;
+  source.RequestCancel();
+  CancellationToken token = source.token();
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_us = 50'000;  // would sleep 50ms without the token
+  RetryStats stats;
+  RetryState state(policy, &stats, &token);
+  Status st = state.OnTransientError(Status::IOError("interrupted"),
+                                     /*made_progress=*/false);
+  // A cancelled token turns the retry into an immediate cancellation.
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
 }
 
 }  // namespace

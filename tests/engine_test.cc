@@ -5,9 +5,12 @@
 // run sizes, and run-sort algorithms.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <map>
+#include <thread>
 
+#include "common/cancellation.h"
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "engine/merge_path.h"
@@ -529,6 +532,180 @@ TEST(EngineFailureTest, FirstErrorIsStickyAcrossEntryPoints) {
   EXPECT_EQ(sort.CombineLocal(*local).code(), StatusCode::kOutOfMemory);
   EXPECT_EQ(sort.Finalize().code(), StatusCode::kOutOfMemory);
   EXPECT_EQ(sort.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(EngineCancelTest, PreCancelledTokenFailsFast) {
+  Table input = MakeRandomTable({LogicalType(TypeId::kInt32)}, 20000, 0.0, 41);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 2048;
+  CancellationSource source;
+  source.RequestCancel();
+  config.cancellation = source.token();
+  SortMetrics metrics;
+  auto result = RelationalSort::SortTable(input, spec, config, &metrics);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_GT(metrics.cancel_checks, 0u);
+}
+
+TEST(EngineCancelTest, ExpiredDeadlineSurfacesAsDeadlineExceeded) {
+  Table input = MakeRandomTable({LogicalType(TypeId::kInt32)}, 20000, 0.0, 43);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 2048;
+  CancellationSource source(Deadline::AfterMicros(0));
+  config.cancellation = source.token();
+  auto result = RelationalSort::SortTable(input, spec, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(result.status().IsCancellation());
+}
+
+TEST(EngineCancelTest, CancelMidFinalizeIsPromptAndLeavesCleanState) {
+  // Acceptance criterion: a sort of >= 10M rows cancelled mid-Finalize must
+  // return Status::Cancelled with the request->observation latency under
+  // 50ms (SortMetrics::time_to_cancel_us), and the process must stay fully
+  // usable afterwards.
+  const uint64_t rows = 10'000'000;
+  Table input = MakeShuffledIntegerTable(rows, 47);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.threads = 4;
+  config.run_size_rows = 1 << 16;  // long merge cascade to cancel into
+  CancellationSource source;
+  config.cancellation = source.token();
+
+  RelationalSort sort(spec, input.types(), config);
+  auto local = sort.MakeLocalState();
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    ASSERT_TRUE(sort.Sink(*local, input.chunk(c)).ok());
+  }
+  ASSERT_TRUE(sort.CombineLocal(*local).ok());
+
+  // Fire the cancel ~15ms into the merge phase; merging 10M rows through a
+  // ~150-run cascade takes far longer than that, so the request lands while
+  // Finalize is in flight.
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    source.RequestCancel();
+  });
+  Status st = sort.Finalize();
+  canceller.join();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_GT(sort.metrics().cancel_checks, 0u);
+  EXPECT_LT(sort.metrics().time_to_cancel_us, 50'000u)
+      << "cancellation took too long to observe";
+
+  // No global poisoning: a fresh, un-cancelled sort of the same input
+  // completes (its own pool, its own engine state).
+  SortEngineConfig clean = config;
+  clean.cancellation = CancellationToken();
+  Table output = RelationalSort::SortTable(input, spec, clean).ValueOrDie();
+  EXPECT_EQ(output.row_count(), rows);
+}
+
+TEST(EngineCancelTest, CancelDuringSpilledSortLeavesNoFiles) {
+  std::string dir = ::testing::TempDir() + "/rowsort_cancel_spill";
+  std::filesystem::create_directories(dir);
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 60000, 0.0,
+      53);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 2048;
+  config.memory_limit_bytes = 128 * 1024;  // force spilling early
+  config.spill_directory = dir;
+  CancellationSource source;
+  config.cancellation = source.token();
+
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    source.RequestCancel();
+  });
+  auto result = RelationalSort::SortTable(input, spec, config);
+  canceller.join();
+  // Timing-dependent: the sort either finished before the cancel landed or
+  // was cancelled. Both outcomes must leave the spill directory empty.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir)) << "spill files leaked";
+  std::filesystem::remove(dir);
+}
+
+TEST(EngineCancelTest, RandomizedCancelPointNeverCorruptsOrLeaks) {
+  // Fire the cancel at a random point of the pipeline, repeatedly: whatever
+  // the timing, the sort must either complete correctly or fail with
+  // Status::Cancelled — never crash, never return a partial table, never
+  // leak a spill file.
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kVarchar), LogicalType(TypeId::kInt32)}, 40000,
+      0.05, 59);
+  SortSpec spec({SortColumn(0, TypeId::kVarchar)});
+  Table reference = RelationalSort::SortTable(input, spec).ValueOrDie();
+
+  Random rng(61);
+  for (int round = 0; round < 8; ++round) {
+    std::string dir = ::testing::TempDir() + "/rowsort_rand_cancel";
+    std::filesystem::create_directories(dir);
+    SortEngineConfig config;
+    config.threads = 1 + round % 4;
+    config.run_size_rows = 2048;
+    config.memory_limit_bytes = 256 * 1024;
+    config.spill_directory = dir;
+    CancellationSource source;
+    config.cancellation = source.token();
+    uint64_t delay_us = rng.Uniform(30'000);
+    std::thread canceller([&source, delay_us] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      source.RequestCancel();
+    });
+    auto result = RelationalSort::SortTable(input, spec, config);
+    canceller.join();
+    if (result.ok()) {
+      Table output = std::move(result).ValueOrDie();
+      ASSERT_EQ(output.row_count(), input.row_count()) << "partial table";
+      ExpectIdenticalSequences(reference, output);
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << result.status().ToString();
+    }
+    EXPECT_TRUE(std::filesystem::is_empty(dir))
+        << "spill files leaked in round " << round;
+    std::filesystem::remove(dir);
+  }
+}
+
+TEST(EngineRetryTest, TransientFaultsAreRetriedToByteIdenticalResult) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  // Acceptance criterion: with transient-I/O failpoints armed at 10%
+  // probability, an external sort completes byte-identically to the
+  // unfaulted run (the retry layer absorbs every injected flake).
+  std::string dir = ::testing::TempDir() + "/rowsort_flaky_spill";
+  std::filesystem::create_directories(dir);
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kVarchar), LogicalType(TypeId::kInt32)}, 30000,
+      0.1, 67);
+  SortSpec spec({SortColumn(0, TypeId::kVarchar), SortColumn(1, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 2048;
+  config.spill_directory = dir;
+  Table reference = RelationalSort::SortTable(input, spec, config).ValueOrDie();
+  ASSERT_TRUE(std::filesystem::is_empty(dir));
+
+  failpoint::ArmProbabilistic("external_run_read_eintr", 0.1, 71);
+  failpoint::ArmProbabilistic("external_run_write_short", 0.1, 73);
+  SortMetrics metrics;
+  auto result = RelationalSort::SortTable(input, spec, config, &metrics);
+  failpoint::DisarmAll();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Table faulted = std::move(result).ValueOrDie();
+  EXPECT_GT(metrics.io_retries, 0u) << "failpoints never fired";
+  ExpectIdenticalSequences(reference, faulted);
+  EXPECT_TRUE(std::filesystem::is_empty(dir)) << "spill files leaked";
+  std::filesystem::remove(dir);
 }
 
 TEST(MergePathTest, SplitsAreMonotoneAndExact) {

@@ -6,8 +6,10 @@
 #include <filesystem>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/failpoint.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "engine/external_run.h"
 #include "engine/sort_engine.h"
 
@@ -251,6 +253,104 @@ TEST(ExternalRunStreamingTest, FailpointDiskFullSurfacesAsIOError) {
   // A failed write must leave neither the target nor the temp file behind.
   EXPECT_FALSE(std::filesystem::exists(path));
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+void ExpectRunsEqual(const SortedRun& a, const SortedRun& b) {
+  ASSERT_EQ(a.count, b.count);
+  ASSERT_EQ(a.key_row_width, b.key_row_width);
+  EXPECT_EQ(a.key_rows, b.key_rows);
+  for (uint64_t i = 0; i < a.count; ++i) {
+    ASSERT_EQ(a.payload.GetValue(i, 0), b.payload.GetValue(i, 0)) << i;
+    ASSERT_EQ(a.payload.GetValue(i, 1), b.payload.GetValue(i, 1)) << i;
+  }
+}
+
+TEST(ExternalRunRetryTest, ShortWritesAreResumedNotFatal) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 400, 33);
+  std::string path = TempPath("shortwrite.rsrun");
+
+  // Every write comes back short (the stream takes half the buffer) until
+  // the transfer is down to one byte. Before the retry layer this was a
+  // hard IOError on the first shortfall; now the stream resumes where it
+  // stopped and the file must round-trip bit-exactly.
+  RetryStats stats;
+  SpillIoOptions io;
+  io.retry_stats = &stats;
+  failpoint::Arm("external_run_write_short", /*skip=*/0, /*fires=*/0);
+  Status st = WriteRunToFile(run, layout, path, io);
+  failpoint::DisarmAll();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(stats.count(), 0u) << "failpoint never fired";
+
+  auto loaded = ReadRunFromFile(layout, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectRunsEqual(run, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(ExternalRunRetryTest, InterruptedReadsAreResumedNotFatal) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 400, 35);
+  std::string path = TempPath("eintr.rsrun");
+  ASSERT_TRUE(WriteRunToFile(run, layout, path).ok());
+
+  // Every block read is interrupted mid-transfer (EINTR-style short read).
+  RetryStats stats;
+  SpillIoOptions io;
+  io.retry_stats = &stats;
+  failpoint::Arm("external_run_read_eintr", /*skip=*/0, /*fires=*/0);
+  auto loaded = ReadRunFromFile(layout, path, io);
+  failpoint::DisarmAll();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(stats.count(), 0u) << "failpoint never fired";
+  ExpectRunsEqual(run, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(ExternalRunRetryTest, ProbabilisticFlakesRoundTrip) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 600, 37);
+  std::string path = TempPath("flaky.rsrun");
+
+  // 30% of transfers come back short, both directions, deterministically
+  // seeded: the retry layer must absorb all of it.
+  failpoint::ArmProbabilistic("external_run_write_short", 0.3, /*seed=*/39);
+  failpoint::ArmProbabilistic("external_run_read_eintr", 0.3, /*seed=*/41);
+  Status st = WriteRunToFile(run, layout, path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto loaded = ReadRunFromFile(layout, path);
+  failpoint::DisarmAll();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectRunsEqual(run, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(ExternalRunRetryTest, CancelledTokenAbortsSpillIo) {
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 200, 43);
+  std::string path = TempPath("cancelled.rsrun");
+
+  CancellationSource source;
+  source.RequestCancel();
+  SpillIoOptions io;
+  io.cancellation = source.token();
+  Status st = WriteRunToFile(run, layout, path, io);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // The abandoned write must leave no files.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // The reader honours the token the same way.
+  ASSERT_TRUE(WriteRunToFile(run, layout, path).ok());
+  auto loaded = ReadRunFromFile(layout, path, io);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCancelled);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ std::string Fingerprint(const Table& t, uint64_t ci, uint64_t r) {
 
 void ExpectMatchesOracle(const Table& left, const Table& right, uint64_t lcol,
                          uint64_t rcol, InequalityOp op) {
-  Table joined = InequalityJoin(left, right, lcol, rcol, op);
+  Table joined = InequalityJoin(left, right, lcol, rcol, op).ValueOrDie();
 
   std::map<std::string, int64_t> oracle;
   uint64_t expected = 0;
@@ -102,7 +102,7 @@ TEST_P(IeJoinTest, DuplicateHeavyKeys) {
 TEST_P(IeJoinTest, EmptySidesYieldEmptyResult) {
   Table left = MakeSide(0, 10, 0.0, 5);
   Table right = MakeSide(50, 10, 0.0, 6);
-  Table joined = InequalityJoin(left, right, 0, 0, GetParam());
+  Table joined = InequalityJoin(left, right, 0, 0, GetParam()).ValueOrDie();
   EXPECT_EQ(joined.row_count(), 0u);
 }
 
@@ -168,7 +168,7 @@ TEST_P(IeJoin2Test, MatchesNestedLoopOracle) {
 
   InequalityPredicate p1{0, 0, op1};
   InequalityPredicate p2{1, 1, op2};
-  Table joined = IEJoin(left, right, p1, p2);
+  Table joined = IEJoin(left, right, p1, p2).ValueOrDie();
 
   // Nested-loop oracle.
   std::map<std::string, int64_t> oracle;
@@ -228,7 +228,7 @@ TEST(IeJoin2Test, ClassicSelfJoinShape) {
   Table t2 = t.Project({0, 1});
 
   Table joined = IEJoin(t, t2, {0, 0, InequalityOp::kLess},
-                        {1, 1, InequalityOp::kGreater});
+                        {1, 1, InequalityOp::kGreater}).ValueOrDie();
   // Oracle count: pairs with start_l < start_r and end_l > end_r:
   // (1,10)->(2,8),(3,9),(4,5); (2,8)->(4,5); (3,9)->(4,5); (0,3) none as
   // left except... (0,3)->none (end 3 must be > r.end; (4,5) no). Total 5.

@@ -50,7 +50,7 @@ std::map<std::string, int64_t> OracleJoin(
 
 void ExpectJoinMatchesOracle(const Table& left, const Table& right,
                              const std::vector<JoinKey>& keys) {
-  Table joined = SortMergeJoin(left, right, keys);
+  Table joined = SortMergeJoin(left, right, keys).ValueOrDie();
   auto oracle = OracleJoin(left, right, keys);
   uint64_t oracle_count = 0;
   for (const auto& [fp, count] : oracle) oracle_count += count;
@@ -134,9 +134,9 @@ TEST(MergeJoinTest, MultiKeyJoin) {
 TEST(MergeJoinTest, EmptySides) {
   Table left = MakeSide(0, 10, 0.0, 11, false);
   Table right = MakeSide(100, 10, 0.0, 12, false);
-  Table joined = SortMergeJoin(left, right, {{0, 0}});
+  Table joined = SortMergeJoin(left, right, {{0, 0}}).ValueOrDie();
   EXPECT_EQ(joined.row_count(), 0u);
-  Table joined2 = SortMergeJoin(right, left, {{0, 0}});
+  Table joined2 = SortMergeJoin(right, left, {{0, 0}}).ValueOrDie();
   EXPECT_EQ(joined2.row_count(), 0u);
 }
 
@@ -156,7 +156,7 @@ TEST(MergeJoinTest, DuplicateGroupsCrossProduct) {
     chunk.SetSize(4);
     right.Append(std::move(chunk));
   }
-  Table joined = SortMergeJoin(left, right, {{0, 0}});
+  Table joined = SortMergeJoin(left, right, {{0, 0}}).ValueOrDie();
   EXPECT_EQ(joined.row_count(), 12u);
 }
 
@@ -177,7 +177,7 @@ TEST(MergeJoinTest, OutputSchemaConcatenatesSides) {
     chunk.SetSize(1);
     right.Append(std::move(chunk));
   }
-  Table joined = SortMergeJoin(left, right, {{0, 0}});
+  Table joined = SortMergeJoin(left, right, {{0, 0}}).ValueOrDie();
   ASSERT_EQ(joined.row_count(), 1u);
   ASSERT_EQ(joined.types().size(), 4u);
   EXPECT_EQ(joined.names()[1], "l_val");

@@ -58,7 +58,7 @@ TEST_P(OperatorFuzzTest, WindowRanksMatchOracle) {
                               NullOrder::kNullsLast)};
   Table out = ComputeWindow(input, spec,
                             {WindowFunction::kRowNumber, WindowFunction::kRank,
-                             WindowFunction::kDenseRank});
+                             WindowFunction::kDenseRank}).ValueOrDie();
   ASSERT_EQ(out.row_count(), rows);
 
   // Oracle: group rows by partition string, sort each group's values with
@@ -130,7 +130,7 @@ TEST_P(OperatorFuzzTest, MergeJoinMatchesNestedLoop) {
                                  rng.NextDouble() * 0.3, rng);
   Table right = RandomTwoIntTable(rng.Uniform(300), 1 + rng.Uniform(20), 10,
                                   rng.NextDouble() * 0.3, rng);
-  Table joined = SortMergeJoin(left, right, {{0, 0}});
+  Table joined = SortMergeJoin(left, right, {{0, 0}}).ValueOrDie();
 
   uint64_t expected = 0;
   for (uint64_t lci = 0; lci < left.ChunkCount(); ++lci) {

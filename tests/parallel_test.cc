@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "common/cancellation.h"
 #include "parallel/thread_pool.h"
 
 namespace rowsort {
@@ -115,18 +118,72 @@ TEST(ThreadPoolErrorTest, TaskExceptionRethrownOnSubmitter) {
   }
 }
 
-TEST(ThreadPoolErrorTest, RemainingTasksDrainAfterFailure) {
+TEST(ThreadPoolErrorTest, RemainingTasksSkippedAfterFailure) {
   ThreadPool pool(2);
   std::atomic<uint64_t> ran{0};
   std::vector<std::function<void()>> tasks;
-  // The throwing task sits first in the queue; every other task must still
-  // run to completion before the batch barrier releases.
+  // The throwing task sits first in the queue; once its exception is
+  // captured, not-yet-started tasks are drained without executing (the
+  // barrier still releases, so RunBatch returns after every slot resolves).
+  // Each follower sleeps so the two workers cannot race through the whole
+  // queue before the failure is recorded.
   tasks.push_back([] { throw std::runtime_error("first"); });
   for (int i = 0; i < 64; ++i) {
-    tasks.push_back([&ran] { ran.fetch_add(1); });
+    tasks.push_back([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran.fetch_add(1);
+    });
   }
   EXPECT_THROW(pool.RunBatch(std::move(tasks)), std::runtime_error);
-  EXPECT_EQ(ran.load(), 64u);
+  EXPECT_LT(ran.load(), 64u);
+}
+
+TEST(ThreadPoolErrorTest, PreCancelledTokenSkipsWholeBatch) {
+  ThreadPool pool(4);
+  CancellationSource source;
+  source.RequestCancel();
+  std::atomic<uint64_t> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+  }
+  // Cancellation is not an error: RunBatch returns normally, zero tasks
+  // execute, and the pool stays usable. The *caller* is responsible for
+  // checking the token afterwards.
+  pool.RunBatch(std::move(tasks), source.token());
+  EXPECT_EQ(ran.load(), 0u);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&sum](uint64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolErrorTest, CancelMidBatchSkipsRemainder) {
+  ThreadPool pool(2);
+  CancellationSource source;
+  std::atomic<uint64_t> ran{0};
+  std::vector<std::function<void()>> tasks;
+  // The first task requests cancellation; followers sleep so the workers
+  // cannot finish the queue before the request lands.
+  tasks.push_back([&source] { source.RequestCancel(); });
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran.fetch_add(1);
+    });
+  }
+  pool.RunBatch(std::move(tasks), source.token());
+  EXPECT_LT(ran.load(), 64u);
+  EXPECT_TRUE(source.token().IsCancelled());
+}
+
+TEST(ThreadPoolErrorTest, ParallelForWithCancelledTokenRunsNothing) {
+  ThreadPool pool(4);
+  CancellationSource source(Deadline::AfterMicros(0));
+  std::atomic<uint64_t> ran{0};
+  pool.ParallelFor(
+      1000, [&ran](uint64_t) { ran.fetch_add(1); }, /*grain=*/1,
+      source.token());
+  EXPECT_EQ(ran.load(), 0u);
 }
 
 TEST(ThreadPoolErrorTest, OnlyOneExceptionPropagates) {

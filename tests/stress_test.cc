@@ -4,8 +4,13 @@
 // combinations most likely to expose races or lifetime bugs.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
+#include <thread>
 
+#include "common/cancellation.h"
 #include "common/random.h"
 #include "engine/sort_engine.h"
 #include "workload/tables.h"
@@ -110,6 +115,79 @@ TEST(StressTest, ManyConcurrentSortTables) {
     }
   });
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StressTest, ConcurrentCancelUnderContention) {
+  // TSan target: many rounds of a multi-threaded spilling sort racing an
+  // external canceller thread. Whatever interleaving the scheduler picks,
+  // each round must end in a full result or Status::Cancelled (no deadlock,
+  // no crash, no partial table) and leave the spill directory empty.
+  std::string dir = ::testing::TempDir() + "/rowsort_concurrent_cancel";
+  std::filesystem::create_directories(dir);
+  Table input = MakeShuffledIntegerTable(60000, 21);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+
+  Random rng(23);
+  for (int round = 0; round < 6; ++round) {
+    SortEngineConfig config;
+    config.threads = 4;
+    config.run_size_rows = 4096;
+    config.memory_limit_bytes = 256 * 1024;
+    config.spill_directory = dir;
+    CancellationSource source;
+    config.cancellation = source.token();
+
+    // Several canceller threads race each other and the sort: cancellation
+    // must be idempotent (first cause wins) and data-race free.
+    uint64_t delay_us = rng.Uniform(20'000);
+    std::vector<std::thread> cancellers;
+    for (int t = 0; t < 3; ++t) {
+      cancellers.emplace_back([&source, delay_us, t] {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(delay_us + 100 * t));
+        source.RequestCancel();
+      });
+    }
+    auto result = RelationalSort::SortTable(input, spec, config);
+    for (auto& t : cancellers) t.join();
+    if (result.ok()) {
+      Table output = std::move(result).ValueOrDie();
+      ASSERT_EQ(output.row_count(), input.row_count());
+      EXPECT_TRUE(KeyColumnSorted(output, 0));
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << result.status().ToString();
+    }
+    ASSERT_TRUE(std::filesystem::is_empty(dir))
+        << "spill files leaked in round " << round;
+  }
+  std::filesystem::remove(dir);
+}
+
+TEST(StressTest, DeadlineRacesCompletion) {
+  // Deadline expiry racing natural completion: both outcomes are legal,
+  // neither may crash, deadlock, or leak. Exercises the latched deadline
+  // check (IsCancelled marks kDeadline on first observation) from many
+  // worker threads at once.
+  Table input = MakeShuffledIntegerTable(40000, 27);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  for (int round = 0; round < 6; ++round) {
+    SortEngineConfig config;
+    config.threads = 4;
+    config.run_size_rows = 2048;
+    CancellationSource source(Deadline::AfterMicros(500 * (round + 1)));
+    config.cancellation = source.token();
+    SortMetrics metrics;
+    auto result = RelationalSort::SortTable(input, spec, config, &metrics);
+    if (result.ok()) {
+      EXPECT_EQ(std::move(result).ValueOrDie().row_count(),
+                input.row_count());
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << result.status().ToString();
+      EXPECT_GT(metrics.cancel_checks, 0u);
+    }
+  }
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include <map>
 
+#include "common/cancellation.h"
+#include "engine/sort_engine.h"
 #include "systems/system.h"
 #include "workload/tables.h"
 #include "workload/tpcds.h"
@@ -148,6 +150,33 @@ TEST(SystemsTest, NamesAreDistinct) {
   std::set<std::string> names;
   for (auto& s : systems) names.insert(s->name());
   EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(SystemsTest, DuckDBLikeTrySortHonoursBaseConfigCancellation) {
+  Table input = MakeShuffledIntegerTable(20000, 3);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+
+  // A base config carrying a cancelled token: TrySort must surface the
+  // cancellation as a Status instead of aborting the process.
+  CancellationSource source;
+  source.RequestCancel();
+  SortEngineConfig base;
+  base.cancellation = source.token();
+  auto cancelled_system = MakeDuckDBLike(2, base);
+  auto cancelled = cancelled_system->TrySort(input, spec);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+
+  // Without a token the same system sorts normally, and the base-config
+  // result matches the plain constructor's.
+  auto plain = MakeDuckDBLike(2)->TrySort(input, spec);
+  ASSERT_TRUE(plain.ok());
+  auto with_base = MakeDuckDBLike(2, SortEngineConfig{})->TrySort(input, spec);
+  ASSERT_TRUE(with_base.ok());
+  EXPECT_EQ(plain.value().row_count(), input.row_count());
+  EXPECT_EQ(with_base.value().row_count(), input.row_count());
+  ExpectSorted(plain.value(), spec, "DuckDB-like");
+  ExpectSorted(with_base.value(), spec, "DuckDB-like (base config)");
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ TEST(WindowTest, RowNumberRankDenseRank) {
   spec.order_by = {SortColumn(1, TypeId::kInt32)};
   Table out = ComputeWindow(input, spec,
                             {WindowFunction::kRowNumber, WindowFunction::kRank,
-                             WindowFunction::kDenseRank});
+                             WindowFunction::kDenseRank}).ValueOrDie();
 
   ASSERT_EQ(out.row_count(), 8u);
   ASSERT_EQ(out.types().size(), 5u);
@@ -69,7 +69,7 @@ TEST(WindowTest, NoPartitionGlobalRanking) {
   WindowSpec spec;
   spec.order_by = {SortColumn(1, TypeId::kInt32, OrderType::kDescending,
                               NullOrder::kNullsLast)};
-  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber});
+  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber}).ValueOrDie();
   ASSERT_EQ(out.row_count(), 8u);
   // Global DESC by amount: first row is the max (40), row_number 1..8.
   EXPECT_EQ(out.chunk(0).GetValue(1, 0), Value::Int32(40));
@@ -97,7 +97,7 @@ TEST(WindowTest, NullPartitionsGroupTogether) {
   WindowSpec spec;
   spec.partition_by = {0};
   spec.order_by = {SortColumn(1, TypeId::kInt32)};
-  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber});
+  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber}).ValueOrDie();
   // NULL partition first (NULLS FIRST), with row numbers 1..2, then 1..2.
   EXPECT_TRUE(out.chunk(0).GetValue(0, 0).is_null());
   EXPECT_EQ(out.chunk(0).GetValue(2, 0), Value::Int64(1));
@@ -123,7 +123,7 @@ TEST(WindowTest, StringPartitionsWithSharedPrefixes) {
   WindowSpec spec;
   spec.partition_by = {0};
   spec.order_by = {SortColumn(1, TypeId::kInt32)};
-  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber});
+  Table out = ComputeWindow(input, spec, {WindowFunction::kRowNumber}).ValueOrDie();
   // Two partitions of two rows each: row numbers 1,2,1,2.
   EXPECT_EQ(out.chunk(0).GetValue(2, 0), Value::Int64(1));
   EXPECT_EQ(out.chunk(0).GetValue(2, 1), Value::Int64(2));
@@ -153,7 +153,7 @@ TEST(WindowTest, LargeInputRanksAreConsistent) {
   spec.order_by = {SortColumn(1, TypeId::kInt32)};
   Table out = ComputeWindow(
       input, spec, {WindowFunction::kRowNumber, WindowFunction::kRank,
-                    WindowFunction::kDenseRank});
+                    WindowFunction::kDenseRank}).ValueOrDie();
 
   // Invariants per partition: row_number strictly increments; rank <=
   // row_number; dense_rank <= rank; rank changes exactly when amount does.

@@ -36,6 +36,7 @@ struct Options {
   uint64_t topn = 0;
   std::string spill;
   uint64_t memory_limit = 0;
+  uint64_t timeout_ms = 0;
   uint64_t seed = 42;
   bool show_rows = true;
 };
@@ -53,6 +54,7 @@ void PrintUsage() {
       "  --topn=N              use the Top-N operator instead of a full sort\n"
       "  --spill=DIR           spill sorted runs to DIR (out-of-core merge)\n"
       "  --memory-limit=N[kmg] bound the working set; runs spill adaptively\n"
+      "  --timeout-ms=N        abort with DeadlineExceeded after N ms\n"
       "  --seed=N              workload seed (default 42)\n"
       "  --quiet               do not print sample rows\n");
 }
@@ -96,6 +98,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
             return false;
         }
       }
+    } else if (ParseArg(argv[i], "--timeout-ms", &value)) {
+      opt->timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(argv[i], "--seed", &value)) {
       opt->seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--desc") == 0) {
@@ -191,6 +195,14 @@ int main(int argc, char** argv) {
     config.run_size_rows =
         std::min<uint64_t>(config.run_size_rows, 1 << 18);
   }
+  // Deadline-bounded execution: the source must outlive the sort; the token
+  // it hands out is polled cooperatively by every pipeline loop.
+  CancellationSource deadline_source(
+      opt.timeout_ms > 0 ? Deadline::AfterMillis(opt.timeout_ms)
+                         : Deadline::Infinite());
+  if (opt.timeout_ms > 0) {
+    config.cancellation = deadline_source.token();
+  }
 
   Timer sort_timer;
   Table result;
@@ -209,6 +221,13 @@ int main(int argc, char** argv) {
     if (!sorted.ok()) {
       std::fprintf(stderr, "sort failed: %s\n",
                    sorted.status().ToString().c_str());
+      if (sorted.status().IsCancellation()) {
+        std::fprintf(stderr,
+                     "cancellation observed after %llu checks, %.2fms from "
+                     "the deadline firing\n",
+                     (unsigned long long)metrics.cancel_checks,
+                     metrics.time_to_cancel_us / 1000.0);
+      }
       return 1;
     }
     result = std::move(sorted).ValueOrDie();
@@ -223,6 +242,10 @@ int main(int argc, char** argv) {
       std::printf("spilled %llu runs; peak tracked memory %.1f MiB\n",
                   (unsigned long long)metrics.runs_spilled,
                   metrics.peak_memory_bytes / (1024.0 * 1024.0));
+    }
+    if (metrics.io_retries > 0) {
+      std::printf("transient spill-I/O errors retried: %llu\n",
+                  (unsigned long long)metrics.io_retries);
     }
   }
 

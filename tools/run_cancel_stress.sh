@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the cancellation / transient-I/O robustness suite in a loop, with
+# probabilistic failpoints armed from the environment, to shake out races
+# and leaks that a single pass can miss. Intended for the sanitizer CI jobs
+# (TSan especially) and for local soak testing.
+#
+# Usage: tools/run_cancel_stress.sh [build-dir] [rounds]
+#   build-dir  cmake build directory with the tests built (default: build)
+#   rounds     repetitions of the suite (default: 5)
+#
+# Requires a build with -DROWSORT_FAILPOINTS=ON for the fault-injection
+# cases; without it those tests skip and only the cancellation cases run.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROUNDS="${2:-5}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "error: build directory '${BUILD_DIR}' not found" >&2
+  echo "       configure with: cmake -B ${BUILD_DIR} -DROWSORT_FAILPOINTS=ON" >&2
+  exit 2
+fi
+
+# The tests that exercise cancellation, deadlines, batch-skip semantics,
+# and the spill-I/O retry layer.
+FILTER='EngineCancelTest|EngineRetryTest|ExternalRunRetryTest|StressTest|ThreadPoolErrorTest|CancellationTest|CancelCheckerTest|RetryTest'
+
+# Arm transient spill-I/O flakes at 10% probability for every sort the
+# suite runs. Deterministic seeds: a failing round is replayable verbatim.
+export ROWSORT_FAILPOINTS="external_run_read_eintr=p0.1:11,external_run_write_short=p0.1:13"
+
+echo "cancel stress: ${ROUNDS} rounds of {${FILTER}}"
+echo "ROWSORT_FAILPOINTS=${ROWSORT_FAILPOINTS}"
+for ((round = 1; round <= ROUNDS; ++round)); do
+  echo "--- round ${round}/${ROUNDS}"
+  ctest --test-dir "${BUILD_DIR}" -R "${FILTER}" -j "$(nproc)" \
+    --output-on-failure
+done
+echo "cancel stress: all ${ROUNDS} rounds passed"
