@@ -5,8 +5,10 @@
 // vector->row conversion + key normalization (sink), thread-local run sorts
 // + payload reorder, and the cascaded merge — across run counts.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
+#include "engine/profile.h"
 #include "engine/sort_engine.h"
 #include "workload/tables.h"
 
@@ -50,6 +52,24 @@ int main() {
                 metrics.sink_seconds, metrics.run_sort_seconds,
                 merge_seconds[1], merge_seconds[0], total);
     std::fflush(stdout);
+  }
+
+  // ROWSORT_FIG11_PROFILE=<path>: re-run the largest configuration with the
+  // hierarchical profile attached and dump it as JSON (used by
+  // tools/run_profile_bench.sh and CI to validate the export end to end).
+  if (const char* path = std::getenv("ROWSORT_FIG11_PROFILE")) {
+    SortEngineConfig config;
+    config.run_size_rows = (n + 63) / 64;
+    SortProfile profile;
+    RelationalSort::SortTable(input, spec, config, nullptr, &profile)
+        .ValueOrDie();
+    Status st = profile.WriteJson(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "profile export failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nprofile written to %s\n", path);
   }
   return 0;
 }

@@ -1,0 +1,26 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/histogram.h"
+
+#include "common/string_util.h"
+
+namespace rowsort {
+
+std::string DurationHistogram::ToJson() const {
+  std::string json = StringFormat(
+      "{\"count\":%llu,\"total_ns\":%llu,\"max_ns\":%llu,\"buckets\":{",
+      (unsigned long long)count_, (unsigned long long)total_ns_,
+      (unsigned long long)max_ns_);
+  bool first = true;
+  for (uint64_t i = 0; i < kDurationHistogramBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) json += ",";
+    first = false;
+    json += StringFormat("\"%llu\":%llu",
+                         (unsigned long long)DurationBucketLowerNs(i),
+                         (unsigned long long)buckets_[i]);
+  }
+  json += "}}";
+  return json;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,141 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/bit_util.h"
+
+namespace rowsort {
+
+/// \file histogram.h
+/// Coarse log2-bucketed duration histograms for the observability layer
+/// (docs/observability.md). A recorded duration of n nanoseconds lands in
+/// bucket floor(log2(n)) + 1 (bucket 0 holds 0–1 ns), so the whole range
+/// from nanoseconds to minutes fits in a few dozen counters and recording
+/// is one clz plus one increment — cheap enough to leave on for every
+/// block sort, merge slice, and spill block.
+
+/// Buckets cover [2^(i-1), 2^i) ns; the last bucket absorbs the tail.
+/// 2^38 ns is ~4.6 minutes, enough for any single span the engine records.
+constexpr uint64_t kDurationHistogramBuckets = 40;
+
+/// Bucket index for a duration of \p ns nanoseconds.
+inline uint64_t DurationBucketIndex(uint64_t ns) {
+  if (ns <= 1) return ns;  // 0 -> bucket 0, 1 -> bucket 1
+  uint64_t idx = static_cast<uint64_t>(bit_util::Log2Floor(ns)) + 1;
+  return idx < kDurationHistogramBuckets ? idx : kDurationHistogramBuckets - 1;
+}
+
+/// Inclusive lower bound of bucket \p i in nanoseconds.
+inline uint64_t DurationBucketLowerNs(uint64_t i) {
+  return i <= 1 ? i : (uint64_t{1} << (i - 1));
+}
+
+/// \brief Single-writer log2 duration histogram. Not thread-safe; used for
+/// thread-local recording (folded under a lock) and as the snapshot/export
+/// form of AtomicDurationHistogram.
+class DurationHistogram {
+ public:
+  void Record(uint64_t ns) {
+    buckets_[DurationBucketIndex(ns)] += 1;
+    count_ += 1;
+    total_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+
+  void Merge(const DurationHistogram& other) {
+    for (uint64_t i = 0; i < kDurationHistogramBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    total_ns_ += other.total_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t total_ns() const { return total_ns_; }
+  uint64_t max_ns() const { return max_ns_; }
+  double total_seconds() const { return total_ns_ * 1e-9; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(total_ns_) / count_;
+  }
+  uint64_t bucket(uint64_t i) const { return buckets_[i]; }
+
+  /// Upper-bound estimate of the \p q quantile (0 < q <= 1): the upper edge
+  /// of the bucket holding the q-th recorded duration.
+  uint64_t QuantileUpperNs(double q) const {
+    if (count_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    uint64_t seen = 0;
+    for (uint64_t i = 0; i < kDurationHistogramBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return DurationBucketLowerNs(i + 1);
+    }
+    return max_ns_;
+  }
+
+  /// Sparse JSON object: {"count":N,"total_ns":N,"max_ns":N,
+  /// "buckets":{"<lower_ns>":N,...}} (only non-empty buckets appear).
+  std::string ToJson() const;
+
+  /// Bulk fold used when snapshotting an AtomicDurationHistogram: adds \p n
+  /// recordings to bucket \p i without touching total/max.
+  void AddBucket(uint64_t i, uint64_t n) {
+    buckets_[i] += n;
+    count_ += n;
+  }
+  /// Companion to AddBucket: installs the snapshotted totals.
+  void SetTotals(uint64_t total_ns, uint64_t max_ns) {
+    total_ns_ = total_ns;
+    max_ns_ = max_ns;
+  }
+
+ private:
+  std::array<uint64_t, kDurationHistogramBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t total_ns_ = 0;
+  uint64_t max_ns_ = 0;
+};
+
+/// \brief Thread-safe log2 duration histogram: relaxed atomic increments,
+/// recordable from any number of threads concurrently (merge slices, spill
+/// I/O, pool tasks). Snapshot() produces the plain form for export.
+class AtomicDurationHistogram {
+ public:
+  void Record(uint64_t ns) {
+    buckets_[DurationBucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    // Lock-free running maximum.
+    uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    while (ns > prev && !max_ns_.compare_exchange_weak(
+                            prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  DurationHistogram Snapshot() const {
+    DurationHistogram out;
+    // Per-bucket counts are folded directly; a snapshot racing in-flight
+    // records may lag by those records, which is fine for coarse profiles.
+    for (uint64_t i = 0; i < kDurationHistogramBuckets; ++i) {
+      out.AddBucket(i, buckets_[i].load(std::memory_order_relaxed));
+    }
+    out.SetTotals(total_ns_.load(std::memory_order_relaxed),
+                  max_ns_.load(std::memory_order_relaxed));
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kDurationHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+}  // namespace rowsort

@@ -32,6 +32,11 @@ Status RetryState::OnTransientError(const Status& cause, bool made_progress) {
 Status RetryState::BackOff() {
   uint64_t nap_us = backoff_us_;
   backoff_us_ = std::min(backoff_us_ * 2, policy_.max_backoff_us);
+  // The planned nap is what the backoff policy chose; record it whether or
+  // not a cancellation cuts the actual sleep short (the histogram answers
+  // "how long did retries stall the sort", and a cancelled nap stalls
+  // nothing that matters).
+  if (stats_ != nullptr) stats_->backoff_waits.Record(nap_us * 1000);
   // Sleep in short slices so a cancel or deadline cuts the wait short —
   // a retry loop must not be the reason a cancelled sort lingers.
   constexpr uint64_t kSliceUs = 500;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/cancellation.h"
+#include "common/histogram.h"
 #include "common/status.h"
 
 namespace rowsort {
@@ -42,9 +43,14 @@ struct RetryPolicy {
 };
 
 /// Shared counters a pipeline aggregates into its metrics
-/// (SortMetrics::io_retries). Thread-safe.
+/// (SortMetrics::io_retries) and profile (docs/observability.md).
+/// Thread-safe.
 struct RetryStats {
   std::atomic<uint64_t> retries{0};  ///< transient failures recovered from
+  /// Time the pipeline spent asleep in retry backoff, one recording per
+  /// backoff nap — a sort that "healed itself" shows here exactly what the
+  /// healing cost (SortProfile's spill/retry_backoff node).
+  AtomicDurationHistogram backoff_waits;
 
   uint64_t count() const { return retries.load(std::memory_order_relaxed); }
 };

@@ -1,0 +1,223 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace rowsort {
+
+namespace {
+
+/// Process-unique tracer ids, so a thread-local cache entry can never alias
+/// a new tracer allocated at a dead tracer's address.
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+/// Names are static strings under our control, but a cheap escape keeps the
+/// emitted file valid whatever a caller passes.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      *out += StringFormat("\\u%04x", c);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(uint64_t events_per_thread)
+    : capacity_(RoundUpPow2(std::max<uint64_t>(events_per_thread, 2))),
+      tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer* Tracer::Buffer() {
+  // One-entry cache: the common case is a thread recording into the same
+  // tracer again and again; only the first record (or a tracer switch) pays
+  // the registration lock.
+  thread_local struct {
+    uint64_t tracer_id = 0;
+    ThreadBuffer* buf = nullptr;
+  } cache;
+  if (cache.tracer_id == tracer_id_) return cache.buf;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::thread::id self = std::this_thread::get_id();
+  ThreadBuffer* buf = nullptr;
+  for (const auto& candidate : buffers_) {
+    if (candidate->owner == self) {
+      buf = candidate.get();
+      break;
+    }
+  }
+  if (buf == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>(capacity_));
+    buf = buffers_.back().get();
+    buf->ordinal = static_cast<uint32_t>(buffers_.size() - 1);
+    buf->owner = self;
+  }
+  cache.tracer_id = tracer_id_;
+  cache.buf = buf;
+  return buf;
+}
+
+void Tracer::Push(ThreadBuffer* buf, const TraceEvent& event) {
+  uint64_t head = buf->head.load(std::memory_order_relaxed);
+  buf->ring[head & buf->mask] = event;
+  // Release-publish so an exporter that acquires `head` sees the slot.
+  buf->head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::RecordSpan(const char* name, const char* category,
+                        int64_t start_ns, int64_t end_ns) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = start_ns;
+  event.duration_ns = end_ns - start_ns;
+  event.kind = TraceEvent::Kind::kSpan;
+  ThreadBuffer* buf = Buffer();
+  event.depth = buf->depth;
+  Push(buf, event);
+}
+
+void Tracer::RecordInstant(const char* name, const char* category) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = NowNanos();
+  event.kind = TraceEvent::Kind::kInstant;
+  ThreadBuffer* buf = Buffer();
+  event.depth = buf->depth;
+  Push(buf, event);
+}
+
+void Tracer::RecordCounter(const char* name, int64_t value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = "counter";
+  event.start_ns = NowNanos();
+  event.value = value;
+  event.kind = TraceEvent::Kind::kCounter;
+  Push(Buffer(), event);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers_) {
+    const uint64_t head = buf->head.load(std::memory_order_acquire);
+    const uint64_t kept = std::min<uint64_t>(head, capacity_);
+    out.reserve(out.size() + kept);
+    for (uint64_t i = head - kept; i < head; ++i) {
+      TraceEvent event = buf->ring[i & buf->mask];
+      event.thread_ordinal = buf->ordinal;
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped = 0;
+  for (const auto& buf : buffers_) {
+    const uint64_t head = buf->head.load(std::memory_order_acquire);
+    if (head > capacity_) dropped += head - capacity_;
+  }
+  return dropped;
+}
+
+uint64_t Tracer::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  // Normalize timestamps so the trace starts near t=0 (nicer in viewers).
+  const int64_t base_ns = events.empty() ? 0 : events.front().start_ns;
+
+  std::string json;
+  json.reserve(events.size() * 96 + 256);
+  json += "{\"traceEvents\":[";
+  bool first = true;
+  const uint64_t threads = thread_count();
+  for (uint64_t t = 0; t < threads; ++t) {
+    if (!first) json += ",";
+    first = false;
+    json += StringFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%llu,"
+        "\"args\":{\"name\":\"sort-thread-%llu\"}}",
+        (unsigned long long)t, (unsigned long long)t);
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) json += ",";
+    first = false;
+    const double ts_us = (event.start_ns - base_ns) / 1e3;
+    json += "{\"name\":\"";
+    AppendJsonEscaped(&json, event.name);
+    json += "\",\"cat\":\"";
+    AppendJsonEscaped(&json, event.category);
+    json += "\"";
+    switch (event.kind) {
+      case TraceEvent::Kind::kSpan:
+        json += StringFormat(
+            ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u",
+            ts_us, event.duration_ns / 1e3, event.thread_ordinal);
+        break;
+      case TraceEvent::Kind::kInstant:
+        json += StringFormat(
+            ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%u",
+            ts_us, event.thread_ordinal);
+        break;
+      case TraceEvent::Kind::kCounter:
+        json += StringFormat(
+            ",\"ph\":\"C\",\"ts\":%.3f,\"pid\":0,\"tid\":%u,"
+            "\"args\":{\"value\":%lld}",
+            ts_us, event.thread_ordinal, (long long)event.value);
+        break;
+    }
+    json += "}";
+  }
+  json += "]}";
+  return json;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("cannot write trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace rowsort

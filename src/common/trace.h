@@ -1,0 +1,194 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace rowsort {
+
+/// \file trace.h
+/// Low-overhead span tracing for the sorting pipeline.
+///
+/// The paper argues from phase-level evidence (Fig. 11's sink / run-sort /
+/// merge decomposition); this tracer makes the live engine emit the same
+/// decomposition as Chrome/Perfetto trace-event JSON, per thread, span by
+/// span, so a regression in any stage is visible on a timeline instead of
+/// requiring a rebuilt bench.
+///
+/// Design constraints, in order:
+///  1. Disabled tracing must cost ~nothing. Call sites hold a Tracer*
+///     (usually from SortEngineConfig::trace); a null pointer short-circuits
+///     in the TraceSpan constructor, and a non-null but disabled tracer is
+///     one relaxed atomic load. No clock is read unless a span will be kept.
+///  2. Recording must never block the pipeline. Each thread writes into its
+///     own fixed-capacity ring buffer — no locks, no allocation after the
+///     buffer exists; when the ring wraps, the oldest events are dropped
+///     (and counted) rather than stalling the sorter.
+///  3. Export is offline. ToChromeTraceJson() snapshots all rings; call it
+///     after the traced operation finished (the pipeline's barriers order
+///     all recordings before the caller regains control).
+///
+/// Usage:
+///   Tracer tracer;
+///   config.trace = &tracer;
+///   ... run the sort ...
+///   tracer.WriteChromeTrace("sort.trace.json");   // open in Perfetto
+///
+/// Span names/categories must be string literals (or otherwise outlive the
+/// tracer): events store the pointers, never copies.
+
+/// One recorded event in a thread's ring.
+struct TraceEvent {
+  enum class Kind : uint8_t { kSpan, kInstant, kCounter };
+
+  const char* name = nullptr;      ///< static string, not owned
+  const char* category = nullptr;  ///< static string, not owned
+  int64_t start_ns = 0;            ///< steady-clock stamp
+  int64_t duration_ns = 0;         ///< kSpan only
+  int64_t value = 0;               ///< kCounter only
+  uint32_t thread_ordinal = 0;     ///< filled by Snapshot()
+  uint32_t depth = 0;              ///< span nesting depth at record time
+  Kind kind = Kind::kSpan;
+};
+
+/// \brief Per-thread ring-buffer span tracer with Chrome trace export.
+///
+/// Thread-safe: any thread may record; the first record from a new thread
+/// registers its ring under a mutex, every later record is lock-free.
+class Tracer {
+ public:
+  /// \p events_per_thread is the ring capacity of each thread's buffer
+  /// (rounded up to a power of two). Memory is allocated lazily, on a
+  /// thread's first record.
+  explicit Tracer(uint64_t events_per_thread = 1 << 16);
+  ~Tracer();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(Tracer);
+
+  /// Runtime switch. Checked with one relaxed load on every record path, so
+  /// a disabled tracer can stay attached to a config at ~zero cost.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Steady-clock nanoseconds (the time base of every event).
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Records a completed span [start_ns, end_ns) on the calling thread.
+  void RecordSpan(const char* name, const char* category, int64_t start_ns,
+                  int64_t end_ns);
+
+  /// Records a zero-duration marker on the calling thread.
+  void RecordInstant(const char* name, const char* category);
+
+  /// Records a named counter sample (rendered as a counter track).
+  void RecordCounter(const char* name, int64_t value);
+
+  /// All retained events, oldest-first per thread, with thread ordinals
+  /// attached. Call after the traced work has completed.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events lost to ring wraparound across all threads.
+  uint64_t dropped_events() const;
+
+  /// Number of threads that have recorded at least one event.
+  uint64_t thread_count() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), loadable by Perfetto
+  /// (ui.perfetto.dev) and chrome://tracing. Spans become "X" events with
+  /// microsecond timestamps on one track per recording thread.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to \p path.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  friend class TraceSpan;
+
+  struct ThreadBuffer {
+    explicit ThreadBuffer(uint64_t capacity)
+        : ring(capacity), mask(capacity - 1) {}
+    std::vector<TraceEvent> ring;
+    const uint64_t mask;
+    /// Monotonic write index; slot = head & mask. Published with release so
+    /// Snapshot() (acquire) sees completed slots.
+    std::atomic<uint64_t> head{0};
+    uint32_t ordinal = 0;
+    uint32_t depth = 0;  ///< live span nesting; touched only by the owner
+    std::thread::id owner;
+  };
+
+  /// The calling thread's buffer (registered on first use).
+  ThreadBuffer* Buffer();
+  void Push(ThreadBuffer* buf, const TraceEvent& event);
+
+  const uint64_t capacity_;   ///< power of two
+  const uint64_t tracer_id_;  ///< process-unique, for the TLS cache
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;  ///< guards buffers_ registration and export
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// \brief RAII span: records [construction, destruction) on the calling
+/// thread when the tracer is attached and enabled.
+///
+///   { TraceSpan span(config.trace, "merge.slice", "merge"); ...work... }
+///
+/// With a null tracer the constructor is a pointer test; with a disabled
+/// tracer, one relaxed load. Only a live span reads the clock.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, const char* category = "sort")
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name), category_(category) {
+    if (tracer_ != nullptr) {
+      buffer_ = tracer_->Buffer();
+      ++buffer_->depth;
+      start_ns_ = Tracer::NowNanos();
+    }
+  }
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      int64_t end_ns = Tracer::NowNanos();
+      --buffer_->depth;
+      TraceEvent event;
+      event.name = name_;
+      event.category = category_;
+      event.start_ns = start_ns_;
+      event.duration_ns = end_ns - start_ns_;
+      event.depth = buffer_->depth;
+      event.kind = TraceEvent::Kind::kSpan;
+      tracer_->Push(buffer_, event);
+    }
+  }
+
+  ROWSORT_DISALLOW_COPY_AND_MOVE(TraceSpan);
+
+  /// Nanoseconds since the span began; 0 when not recording.
+  int64_t ElapsedNanos() const {
+    return tracer_ != nullptr ? Tracer::NowNanos() - start_ns_ : 0;
+  }
+
+ private:
+  Tracer* tracer_;
+  Tracer::ThreadBuffer* buffer_ = nullptr;
+  const char* name_;
+  const char* category_;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace rowsort

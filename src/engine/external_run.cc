@@ -10,6 +10,7 @@
 #include "common/crc32.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "types/string_t.h"
 
 namespace rowsort {
@@ -207,6 +208,9 @@ Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
   if (io_.cancellation.IsCancelled()) {
     return CancellationToken::StatusForCause(io_.cancellation.cause());
   }
+  TraceSpan span(io_.trace, "spill.write_block", "spill");
+  Timer timer;
+  const long block_start = std::ftell(file_);
   const uint64_t rows = end - begin;
   const uint64_t krw = key_row_width_;
   const uint64_t prw = layout_.row_width();
@@ -259,6 +263,13 @@ Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
   }
   ROWSORT_RETURN_NOT_OK(WriteAll(file_, &crc, sizeof(crc), io_));
   rows_written_ += rows;
+  if (io_.io_profile != nullptr) {
+    const long block_end = std::ftell(file_);
+    const uint64_t bytes = (block_start >= 0 && block_end >= block_start)
+                               ? static_cast<uint64_t>(block_end - block_start)
+                               : 0;
+    io_.io_profile->RecordWrite(timer.ElapsedNanos(), bytes, rows);
+  }
   return Status::OK();
 }
 
@@ -354,6 +365,9 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
   if (io_.cancellation.IsCancelled()) {
     return CancellationToken::StatusForCause(io_.cancellation.cause());
   }
+  TraceSpan span(io_.trace, "spill.read_block", "spill");
+  Timer timer;
+  const long block_start = std::ftell(file_);
 
   uint32_t crc = 0;
   uint32_t magic = 0;
@@ -409,6 +423,13 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
   }
   block->count = rows;
   rows_read_ += rows;
+  if (io_.io_profile != nullptr) {
+    const long block_end = std::ftell(file_);
+    const uint64_t bytes = (block_start >= 0 && block_end >= block_start)
+                               ? static_cast<uint64_t>(block_end - block_start)
+                               : 0;
+    io_.io_profile->RecordRead(timer.ElapsedNanos(), bytes, rows);
+  }
   return Status::OK();
 }
 

@@ -7,6 +7,8 @@
 #include "common/cancellation.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "common/trace.h"
+#include "engine/profile.h"
 #include "engine/sorted_run.h"
 
 namespace rowsort {
@@ -48,11 +50,15 @@ namespace rowsort {
 constexpr uint64_t kDefaultSpillBlockRows = 4096;
 
 /// Shared knobs for the spill I/O paths: where recovered transient failures
-/// are counted (SortMetrics::io_retries) and which token interrupts long
-/// streams. Both optional; default = no accounting, never cancelled.
+/// are counted (SortMetrics::io_retries), which token interrupts long
+/// streams, and where per-block latencies/bytes land (the sort profile's
+/// spill node) and spans are traced. All optional; default = no accounting,
+/// never cancelled, no tracing.
 struct SpillIoOptions {
   RetryStats* retry_stats = nullptr;  ///< unowned; may be shared by threads
   CancellationToken cancellation;
+  SpillIoProfile* io_profile = nullptr;  ///< unowned; shared by threads
+  Tracer* trace = nullptr;               ///< unowned; null = no spans
 };
 
 /// \brief Streaming writer for a spill file; append blocks, then Finish().

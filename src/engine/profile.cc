@@ -1,0 +1,354 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "engine/profile.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace rowsort {
+
+const char* SortPhaseName(SortPhase phase) {
+  switch (phase) {
+    case SortPhase::kIdle:
+      return "idle";
+    case SortPhase::kSink:
+      return "sink";
+    case SortPhase::kRunSort:
+      return "run_sort";
+    case SortPhase::kMerge:
+      return "merge";
+    case SortPhase::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+ProfileNode* ProfileNode::Child(const std::string& child_name) {
+  for (auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  children.push_back(std::make_unique<ProfileNode>(child_name));
+  return children.back().get();
+}
+
+const ProfileNode* ProfileNode::FindChild(const std::string& child_name) const {
+  for (const auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  return nullptr;
+}
+
+void ProfileNode::SetCounter(const std::string& counter_name, uint64_t value) {
+  for (auto& kv : counters) {
+    if (kv.first == counter_name) {
+      kv.second = value;
+      return;
+    }
+  }
+  counters.emplace_back(counter_name, value);
+}
+
+uint64_t ProfileNode::counter(const std::string& counter_name) const {
+  for (const auto& kv : counters) {
+    if (kv.first == counter_name) return kv.second;
+  }
+  return 0;
+}
+
+double ProfileNode::ChildSeconds() const {
+  double total = 0;
+  for (const auto& child : children) total += child->seconds;
+  return total;
+}
+
+std::unique_ptr<ProfileNode> ProfileNode::Clone() const {
+  auto copy = std::make_unique<ProfileNode>(name);
+  copy->invocations = invocations;
+  copy->rows = rows;
+  copy->seconds = seconds;
+  copy->latencies = latencies;
+  copy->counters = counters;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+void ProfileNode::AppendJson(std::string* out) const {
+  *out += "{\"name\":";
+  AppendJsonString(out, name);
+  *out += StringFormat(",\"invocations\":%llu,\"rows\":%llu,\"seconds\":%.9f",
+                       (unsigned long long)invocations,
+                       (unsigned long long)rows, seconds);
+  if (!counters.empty()) {
+    *out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& kv : counters) {
+      if (!first) *out += ",";
+      first = false;
+      AppendJsonString(out, kv.first);
+      *out += StringFormat(":%llu", (unsigned long long)kv.second);
+    }
+    *out += "}";
+  }
+  if (latencies.count() > 0) {
+    *out += ",\"latency_ns\":";
+    *out += latencies.ToJson();
+  }
+  if (!children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) *out += ",";
+      children[i]->AppendJson(out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+void ProfileNode::AppendPretty(std::string* out, const std::string& prefix,
+                               bool last, bool is_root) const {
+  if (is_root) {
+    *out += name;
+  } else {
+    *out += prefix + (last ? "└── " : "├── ") + name;
+  }
+  std::string detail;
+  if (seconds > 0) detail += "  " + FormatDuration(seconds);
+  if (rows > 0) detail += "  rows=" + FormatCount(rows);
+  if (invocations > 0) {
+    detail += StringFormat("  calls=%llu", (unsigned long long)invocations);
+  }
+  if (latencies.count() > 0) {
+    detail += StringFormat(
+        "  lat[mean=%s p99<=%s max=%s]",
+        FormatDuration(latencies.mean_ns() * 1e-9).c_str(),
+        FormatDuration(latencies.QuantileUpperNs(0.99) * 1e-9).c_str(),
+        FormatDuration(latencies.max_ns() * 1e-9).c_str());
+  }
+  for (const auto& kv : counters) {
+    detail += StringFormat("  %s=%s", kv.first.c_str(),
+                           FormatCount(kv.second).c_str());
+  }
+  *out += detail + "\n";
+  std::string child_prefix =
+      is_root ? "" : prefix + (last ? "    " : "│   ");
+  for (size_t i = 0; i < children.size(); ++i) {
+    children[i]->AppendPretty(out, child_prefix, i + 1 == children.size(),
+                              /*is_root=*/false);
+  }
+}
+
+SortProfile::SortProfile() { root_.name = "sort"; }
+
+void SortProfile::FoldThread(uint64_t ordinal, const ThreadProfile& thread) {
+  std::string label = StringFormat("thread-%llu", (unsigned long long)ordinal);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileNode* sink =
+      root_.Child("sink")->Child(label);
+  sink->invocations = thread.chunks;
+  sink->rows = thread.rows;
+  sink->seconds = thread.sink_seconds;
+  sink->latencies = thread.sink_chunk_ns;
+  ProfileNode* run_sort = root_.Child("run_sort")->Child(label);
+  run_sort->invocations = thread.runs;
+  run_sort->rows = thread.rows;
+  run_sort->seconds = thread.run_sort_seconds;
+  run_sort->latencies = thread.block_sort_ns;
+}
+
+void SortProfile::SetMergeRound(uint64_t round, uint64_t merges, uint64_t rows,
+                                double seconds) {
+  std::string label = StringFormat("round-%llu", (unsigned long long)round);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileNode* node = root_.Child("merge")->Child(label);
+  node->invocations = merges;
+  node->rows = rows;
+  node->seconds = seconds;
+}
+
+void SortProfile::SetPhaseSeconds(double sink, double run_sort, double merge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  root_.Child("sink")->seconds = sink;
+  root_.Child("run_sort")->seconds = run_sort;
+  root_.Child("merge")->seconds = merge;
+  root_.seconds = sink + run_sort + merge;
+}
+
+void SortProfile::SetRows(uint64_t rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  root_.rows = rows;
+  root_.invocations = 1;
+}
+
+void SortProfile::SetRootCounter(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  root_.SetCounter(name, value);
+}
+
+void SortProfile::FoldSpillIo(const SpillIoProfile& io) {
+  // Snapshot outside the lock; the atomics never block.
+  uint64_t blocks_written = io.blocks_written();
+  uint64_t blocks_read = io.blocks_read();
+  if (blocks_written == 0 && blocks_read == 0) return;
+  DurationHistogram writes = io.write_latencies();
+  DurationHistogram reads = io.read_latencies();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileNode* spill = root_.Child("spill");
+  ProfileNode* write = spill->Child("write");
+  write->invocations = blocks_written;
+  write->rows = io.rows_written();
+  write->seconds = writes.total_seconds();
+  write->latencies = writes;
+  write->SetCounter("bytes", io.bytes_written());
+  ProfileNode* read = spill->Child("read");
+  read->invocations = blocks_read;
+  read->rows = io.rows_read();
+  read->seconds = reads.total_seconds();
+  read->latencies = reads;
+  read->SetCounter("bytes", io.bytes_read());
+  spill->seconds = write->seconds + read->seconds +
+                   spill->Child("retry_backoff")->seconds;
+}
+
+void SortProfile::FoldRetryBackoff(uint64_t io_retries,
+                                   const DurationHistogram& backoff_waits) {
+  if (io_retries == 0 && backoff_waits.count() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileNode* spill = root_.Child("spill");
+  ProfileNode* node = spill->Child("retry_backoff");
+  node->invocations = backoff_waits.count();
+  node->seconds = backoff_waits.total_seconds();
+  node->latencies = backoff_waits;
+  node->SetCounter("io_retries", io_retries);
+  const ProfileNode* write = spill->FindChild("write");
+  const ProfileNode* read = spill->FindChild("read");
+  spill->seconds = node->seconds + (write ? write->seconds : 0) +
+                   (read ? read->seconds : 0);
+}
+
+void SortProfile::FoldMergeSlices() {
+  DurationHistogram slices = merge_slice_ns_.Snapshot();
+  if (slices.count() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileNode* node = root_.Child("merge")->Child("slices");
+  node->invocations = slices.count();
+  node->rows = merge_slice_rows_.load(std::memory_order_relaxed);
+  node->seconds = slices.total_seconds();
+  node->latencies = slices;
+}
+
+void SortProfile::FoldPool(const ThreadPoolStatsSnapshot& pool) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileNode* node = root_.Child("parallel");
+  node->invocations = pool.tasks_executed;
+  node->SetCounter("tasks_skipped", pool.tasks_skipped);
+  node->SetCounter("batches", pool.batches);
+  node->SetCounter("max_queue_depth", pool.max_queue_depth);
+  ProfileNode* wait = node->Child("queue_wait");
+  wait->invocations = pool.queue_wait_ns.count();
+  wait->seconds = pool.queue_wait_ns.total_seconds();
+  wait->latencies = pool.queue_wait_ns;
+  ProfileNode* run = node->Child("task_run");
+  run->invocations = pool.run_ns.count();
+  run->seconds = pool.run_ns.total_seconds();
+  run->latencies = pool.run_ns;
+  double busy = 0;
+  for (size_t i = 0; i < pool.thread_busy_seconds.size(); ++i) {
+    ProfileNode* worker =
+        node->Child(StringFormat("thread-%llu", (unsigned long long)i));
+    worker->seconds = pool.thread_busy_seconds[i];
+    busy += pool.thread_busy_seconds[i];
+  }
+  node->seconds = busy;
+}
+
+void SortProfile::CopyFrom(const SortProfile& other) {
+  // Lock ordering: other first, then this. CopyFrom is only called with
+  // `other` = the engine's internal profile and `this` = a caller-owned
+  // output, so there is no lock-cycle risk.
+  std::unique_ptr<ProfileNode> copy;
+  uint8_t phase;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    copy = other.root_.Clone();
+    phase = other.active_phase_.load(std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  root_ = std::move(*copy);
+  active_phase_.store(phase, std::memory_order_relaxed);
+}
+
+double SortProfile::PhaseSeconds(const std::string& phase_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ProfileNode* node = root_.FindChild(phase_name);
+  return node == nullptr ? 0.0 : node->seconds;
+}
+
+std::string SortProfile::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"schema\":\"rowsort.profile.v1\",\"active_phase\":";
+  AppendJsonString(&out, SortPhaseName(active_phase()));
+  out += ",\"profile\":";
+  root_.AppendJson(&out);
+  out += "}";
+  return out;
+}
+
+std::string SortProfile::ToString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out += StringFormat("-- sort profile (phase: %s) --\n",
+                      SortPhaseName(active_phase()));
+  root_.AppendPretty(&out, "", true);
+  return out;
+}
+
+Status SortProfile::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  json += "\n";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError(
+        StringFormat("cannot open profile output '%s'", path.c_str()));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError(
+        StringFormat("short write to profile output '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace rowsort

@@ -1,0 +1,228 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "parallel/thread_pool.h"
+
+namespace rowsort {
+
+/// \file profile.h
+/// Hierarchical per-sort profiles (docs/observability.md).
+///
+/// SortMetrics answers "how long did each phase take" with three doubles;
+/// this file answers the questions the paper argues from — Fig. 11's phase
+/// decomposition, Tables II–III's counters — for a *live* sort:
+///
+///   sort
+///   ├── sink        per-thread children (chunks, rows, per-chunk latency)
+///   ├── run_sort    per-thread children (runs, per-block-sort latency)
+///   ├── merge       per-round children + a merge-slice latency histogram
+///   ├── spill       write/read block latencies, bytes, retry backoff waits
+///   └── parallel    thread-pool stats (queue wait vs run time, busy time)
+///
+/// Aggregation is race-free by construction: threads record into local
+/// ThreadProfile structs folded once at CombineLocal (under the engine's
+/// run mutex), cross-thread histograms (merge slices, spill I/O) use relaxed
+/// atomics, and everything else is written by the single Finalize thread.
+/// All engine-side folds are assignment-style, so a profile rebuilt after an
+/// error (partial profile) is identical to one rebuilt at success — nothing
+/// double-counts.
+
+/// Pipeline stage a sort is currently executing; recorded with a relaxed
+/// atomic so a profile retrieved after Status::Cancelled / DeadlineExceeded
+/// / IOError still tells *where* the pipeline was (docs/observability.md).
+enum class SortPhase : uint8_t {
+  kIdle = 0,   ///< constructed, no input yet
+  kSink,       ///< DSM->NSM conversion + key normalization
+  kRunSort,    ///< thread-local block sorts + payload reorder
+  kMerge,      ///< cascaded / k-way / external merge
+  kDone,       ///< Finalize completed
+};
+
+const char* SortPhaseName(SortPhase phase);
+
+/// \brief One node of the profile tree. Plain data; synchronization is the
+/// owning SortProfile's concern.
+struct ProfileNode {
+  ProfileNode() = default;
+  explicit ProfileNode(std::string n) : name(std::move(n)) {}
+
+  std::string name;
+  uint64_t invocations = 0;  ///< chunks sunk, runs sorted, merges played...
+  uint64_t rows = 0;         ///< rows that flowed through this node
+  double seconds = 0;        ///< wall time attributed to this node
+  DurationHistogram latencies;  ///< per-invocation durations (log2 buckets)
+  /// Named counters in insertion order (stable JSON output).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  /// Finds or creates the child named \p child_name.
+  ProfileNode* Child(const std::string& child_name);
+  const ProfileNode* FindChild(const std::string& child_name) const;
+  /// Sets (not adds — folds must be idempotent) a named counter.
+  void SetCounter(const std::string& counter_name, uint64_t value);
+  uint64_t counter(const std::string& counter_name) const;
+  /// Sum of \p field over the direct children (reconciliation checks).
+  double ChildSeconds() const;
+
+  std::unique_ptr<ProfileNode> Clone() const;
+  /// {"name":...,"invocations":N,"rows":N,"seconds":S[,"counters":{...}]
+  ///  [,"latency_ns":{...}][,"children":[...]]}
+  void AppendJson(std::string* out) const;
+  /// One EXPLAIN-ANALYZE-style tree line per node. The root call passes
+  /// is_root = true (no connector); recursion handles the rest.
+  void AppendPretty(std::string* out, const std::string& prefix, bool last,
+                    bool is_root = true) const;
+};
+
+/// \brief Per-thread slice of the profile. Recorded with no synchronization
+/// whatsoever by the thread that owns the LocalState, then folded exactly
+/// once into the SortProfile at CombineLocal — the same single aggregation
+/// path the phase timings use, so TSan has nothing to object to.
+struct ThreadProfile {
+  uint64_t chunks = 0;
+  uint64_t rows = 0;
+  uint64_t runs = 0;
+  double sink_seconds = 0;
+  double run_sort_seconds = 0;
+  DurationHistogram sink_chunk_ns;  ///< one recording per Sink() chunk
+  DurationHistogram block_sort_ns;  ///< one recording per sorted run
+};
+
+/// \brief Thread-safe accounting sink for spill I/O, shared by every writer
+/// and reader a sort opens (SpillIoOptions::io_profile). Relaxed atomics
+/// only — spill blocks are ~4096 rows, so the accounting cost vanishes next
+/// to the I/O itself.
+class SpillIoProfile {
+ public:
+  void RecordWrite(uint64_t ns, uint64_t bytes, uint64_t rows) {
+    blocks_written_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    rows_written_.fetch_add(rows, std::memory_order_relaxed);
+    write_ns_.Record(ns);
+  }
+  void RecordRead(uint64_t ns, uint64_t bytes, uint64_t rows) {
+    blocks_read_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    rows_read_.fetch_add(rows, std::memory_order_relaxed);
+    read_ns_.Record(ns);
+  }
+
+  uint64_t blocks_written() const {
+    return blocks_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t rows_written() const {
+    return rows_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t blocks_read() const {
+    return blocks_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t rows_read() const {
+    return rows_read_.load(std::memory_order_relaxed);
+  }
+  DurationHistogram write_latencies() const { return write_ns_.Snapshot(); }
+  DurationHistogram read_latencies() const { return read_ns_.Snapshot(); }
+
+ private:
+  std::atomic<uint64_t> blocks_written_{0}, bytes_written_{0},
+      rows_written_{0};
+  std::atomic<uint64_t> blocks_read_{0}, bytes_read_{0}, rows_read_{0};
+  AtomicDurationHistogram write_ns_;
+  AtomicDurationHistogram read_ns_;
+};
+
+/// \brief The hierarchical profile of one sort. Owned by RelationalSort;
+/// retrievable (complete or partial) after success, error, or cancellation.
+///
+/// All mutators are thread-safe. Tree readers (root(), ToJson(), ToString())
+/// take the same lock for the structure, but must not race ThreadProfile
+/// folds for *content* freshness — in practice: read after the pipeline
+/// entry points have returned.
+class SortProfile {
+ public:
+  SortProfile();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(SortProfile);
+
+  /// -- live recording -------------------------------------------------
+  void EnterPhase(SortPhase phase) {
+    active_phase_.store(static_cast<uint8_t>(phase),
+                        std::memory_order_relaxed);
+  }
+  SortPhase active_phase() const {
+    return static_cast<SortPhase>(
+        active_phase_.load(std::memory_order_relaxed));
+  }
+
+  /// One merge-slice (or streamed external-merge block span) duration;
+  /// callable from any pool thread.
+  void RecordMergeSlice(uint64_t ns, uint64_t rows) {
+    merge_slice_ns_.Record(ns);
+    merge_slice_rows_.fetch_add(rows, std::memory_order_relaxed);
+  }
+
+  /// -- folds (all idempotent / assignment-style) ----------------------
+  /// Folds one thread's locally recorded slice; called once per LocalState
+  /// at CombineLocal. Re-folding the same ordinal replaces, not adds.
+  void FoldThread(uint64_t ordinal, const ThreadProfile& thread);
+
+  /// Describes merge level \p round of the cascade (1-based).
+  void SetMergeRound(uint64_t round, uint64_t merges, uint64_t rows,
+                     double seconds);
+
+  /// Phase wall-clock totals (assigned from SortMetrics so profile and
+  /// metrics reconcile exactly).
+  void SetPhaseSeconds(double sink, double run_sort, double merge);
+
+  void SetRows(uint64_t rows);
+  void SetRootCounter(const std::string& name, uint64_t value);
+  /// Rebuilds the spill node from the shared I/O accounting.
+  void FoldSpillIo(const SpillIoProfile& io);
+  /// Rebuilds the spill/retry_backoff node (io_retries + wait histogram).
+  void FoldRetryBackoff(uint64_t io_retries,
+                        const DurationHistogram& backoff_waits);
+  /// Rebuilds the merge/slices node from the atomic slice histogram.
+  void FoldMergeSlices();
+  /// Rebuilds the parallel node from a pool snapshot.
+  void FoldPool(const ThreadPoolStatsSnapshot& pool);
+
+  /// Deep copy (for SortTable's profile_out, filled even on error).
+  void CopyFrom(const SortProfile& other);
+
+  /// -- export ---------------------------------------------------------
+  /// Root of the tree. Tree structure is stable under the internal lock;
+  /// read after the sort's entry points returned for consistent contents.
+  const ProfileNode& root() const { return root_; }
+  /// Convenience: seconds attributed to a top-level phase node.
+  double PhaseSeconds(const std::string& phase_name) const;
+
+  /// {"schema":"rowsort.profile.v1","active_phase":...,<root node>}
+  std::string ToJson() const;
+  /// EXPLAIN-ANALYZE-style pretty tree.
+  std::string ToString() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  ProfileNode root_;
+  std::atomic<uint8_t> active_phase_{0};
+  AtomicDurationHistogram merge_slice_ns_;
+  std::atomic<uint64_t> merge_slice_rows_{0};
+};
+
+}  // namespace rowsort

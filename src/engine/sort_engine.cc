@@ -62,6 +62,7 @@ RelationalSort::~RelationalSort() {
 RelationalSort::LocalState::LocalState(const RelationalSort& sort)
     : payload_(sort.payload_layout_) {
   payload_.SetMemoryTracker(&sort.tracker_);
+  ordinal_ = sort.next_local_ordinal_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status RelationalSort::status() const {
@@ -71,15 +72,50 @@ Status RelationalSort::status() const {
 
 Status RelationalSort::RecordError(Status status) {
   if (status.ok()) return status;
-  std::lock_guard<std::mutex> lock(runs_mutex_);
-  if (first_error_.ok()) first_error_ = status;
-  // Even an aborted pipeline reports its robustness counters — the cancel
-  // latency, in particular, is only interesting when the sort *was*
-  // cancelled, i.e. on this path.
-  metrics_.io_retries = io_retry_stats_.count();
-  metrics_.cancel_checks = cancel_.checks();
-  metrics_.time_to_cancel_us = cancel_.time_to_cancel_us();
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    if (first_error_.ok()) first_error_ = status;
+    // Even an aborted pipeline reports its robustness counters — the cancel
+    // latency, in particular, is only interesting when the sort *was*
+    // cancelled, i.e. on this path.
+    metrics_.io_retries = io_retry_stats_.count();
+    metrics_.cancel_checks = cancel_.checks();
+    metrics_.time_to_cancel_us = cancel_.time_to_cancel_us();
+  }
+  // Partial profile (docs/observability.md): a failed or cancelled sort
+  // still reports where it was (active phase) and what it measured so far,
+  // including the retry-backoff and spill-I/O histograms. Idempotent, so
+  // every error path may call it.
+  FoldRuntimeIntoProfile();
   return status;
+}
+
+void RelationalSort::FoldRuntimeIntoProfile() {
+  SortMetrics snapshot;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    snapshot = metrics_;
+  }
+  profile_.SetRows(snapshot.rows);
+  profile_.SetPhaseSeconds(snapshot.sink_seconds, snapshot.run_sort_seconds,
+                           snapshot.merge_seconds);
+  profile_.SetRootCounter("runs_generated", snapshot.runs_generated);
+  profile_.SetRootCounter("runs_spilled", snapshot.runs_spilled);
+  profile_.SetRootCounter("peak_memory_bytes", tracker_.peak());
+  profile_.SetRootCounter("io_retries", io_retry_stats_.count());
+  profile_.SetRootCounter("cancel_checks", cancel_.checks());
+  profile_.SetRootCounter(
+      "merge_compares", merge_compares_.load(std::memory_order_relaxed));
+  if (UseOvc()) {
+    profile_.SetRootCounter("ovc_decided",
+                            ovc_decided_.load(std::memory_order_relaxed));
+    profile_.SetRootCounter("ovc_fallback_compares",
+                            ovc_fallback_.load(std::memory_order_relaxed));
+  }
+  profile_.FoldMergeSlices();
+  profile_.FoldSpillIo(spill_io_profile_);
+  profile_.FoldRetryBackoff(io_retry_stats_.count(),
+                            io_retry_stats_.backoff_waits.Snapshot());
 }
 
 Status RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
@@ -99,6 +135,8 @@ Status RelationalSort::SinkImpl(LocalState& local, const DataChunk& chunk) {
   if (chunk.size() == 0) return Status::OK();
   // One check per chunk (<= kVectorSize rows) keeps sink latency bounded.
   ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
+  profile_.EnterPhase(SortPhase::kSink);
+  TraceSpan span(config_.trace, "sink.chunk", "sink");
   Timer timer;
   const uint64_t count = chunk.size();
   const uint64_t old_count = local.count_;
@@ -128,7 +166,11 @@ Status RelationalSort::SinkImpl(LocalState& local, const DataChunk& chunk) {
   // Payload rows: every input column, scattered column by column.
   local.payload_.AppendChunk(chunk);
   local.count_ += count;
-  local.sink_seconds_ += timer.ElapsedSeconds();
+  const uint64_t sink_ns = timer.ElapsedNanos();
+  local.profile_.chunks += 1;
+  local.profile_.rows += count;
+  local.profile_.sink_seconds += sink_ns * 1e-9;
+  local.profile_.sink_chunk_ns.Record(sink_ns);
 
   if (local.count_ >= config_.run_size_rows) {
     return SortLocalRun(local);
@@ -137,19 +179,29 @@ Status RelationalSort::SinkImpl(LocalState& local, const DataChunk& chunk) {
 }
 
 Status RelationalSort::CombineLocal(LocalState& local) {
-  ROWSORT_RETURN_NOT_OK(status());
-  Status st;
-  try {
-    if (local.count_ > 0) st = SortLocalRun(local);
-  } catch (const CancelledError& e) {
-    st = e.ToStatus();
-  } catch (const std::bad_alloc&) {
-    st = Status::OutOfMemory("sort combine: allocation failed");
+  Status st = status();
+  if (st.ok()) {
+    try {
+      if (local.count_ > 0) st = SortLocalRun(local);
+    } catch (const CancelledError& e) {
+      st = e.ToStatus();
+    } catch (const std::bad_alloc&) {
+      st = Status::OutOfMemory("sort combine: allocation failed");
+    }
   }
-  {
-    std::lock_guard<std::mutex> lock(runs_mutex_);
-    metrics_.sink_seconds += local.sink_seconds_;
-    local.sink_seconds_ = 0;
+  // The pipeline's single timing-aggregation path: everything this thread
+  // measured folds into the shared metrics and profile exactly once, here —
+  // even when the sort already failed, so a partial profile still reports
+  // the work that was done. Sink/SortLocalRun never touch the shared
+  // timings, which is what keeps concurrent sinks data-race-free.
+  if (!local.combined_) {
+    local.combined_ = true;
+    {
+      std::lock_guard<std::mutex> lock(runs_mutex_);
+      metrics_.sink_seconds += local.profile_.sink_seconds;
+      metrics_.run_sort_seconds += local.profile_.run_sort_seconds;
+    }
+    profile_.FoldThread(local.ordinal_, local.profile_);
   }
   return RecordError(std::move(st));
 }
@@ -176,6 +228,8 @@ bool RelationalSort::UseRadix(uint64_t count) const {
 
 Status RelationalSort::SortLocalRun(LocalState& local) {
   ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
+  profile_.EnterPhase(SortPhase::kRunSort);
+  TraceSpan span(config_.trace, "run.sort", "run_sort");
   Timer timer;
   const uint64_t count = local.count_;
   const uint64_t krw = key_row_width_;
@@ -199,6 +253,7 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
     config.row_width = krw;
     config.key_offset = 0;
     config.key_width = encoder_.key_width();
+    config.trace = config_.trace;
     if (cancel_.enabled()) {
       // Checked once per radix pass; unwinds via CancelledError, caught at
       // the Sink/CombineLocal entry points like std::bad_alloc.
@@ -292,9 +347,17 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
   local.payload_.SetMemoryTracker(&tracker_);
   local.count_ = 0;
 
+  // Timing stays thread-local (folded once at CombineLocal); only the run
+  // registration below needs the shared lock.
+  const uint64_t sort_ns = timer.ElapsedNanos();
+  local.profile_.runs += 1;
+  local.profile_.run_sort_seconds += sort_ns * 1e-9;
+  local.profile_.block_sort_ns.Record(sort_ns);
+  // A completed block sort means more sinking may follow on this thread.
+  profile_.EnterPhase(SortPhase::kSink);
+
   {
     std::lock_guard<std::mutex> lock(runs_mutex_);
-    metrics_.run_sort_seconds += timer.ElapsedSeconds();
     metrics_.runs_generated += 1;
     metrics_.rows += count;
     entries_.push_back(RunEntry{std::move(run), std::string(), count, false});
@@ -338,9 +401,9 @@ Status RelationalSort::SpillEntryLocked(RunEntry& entry) {
   ROWSORT_DASSERT(!entry.spilled);
   ROWSORT_RETURN_NOT_OK(EnsureSpillDirLocked());
   std::string path = NextSpillPathLocked();
+  TraceSpan span(config_.trace, "spill.run", "spill");
   ROWSORT_RETURN_NOT_OK(
-      WriteRunToFile(entry.run, payload_layout_, path,
-                     SpillIoOptions{&io_retry_stats_, config_.cancellation}));
+      WriteRunToFile(entry.run, payload_layout_, path, IoOptions()));
   entry.run = SortedRun();  // releases keys, codes, payload + reservations
   entry.path = std::move(path);
   entry.spilled = true;
@@ -383,6 +446,8 @@ void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
                                 uint64_t left_begin, uint64_t left_end,
                                 uint64_t right_begin, uint64_t right_end,
                                 SortedRun* out, uint64_t out_begin) {
+  TraceSpan span(config_.trace, "merge.slice", "merge");
+  Timer timer;
   const uint64_t krw = key_row_width_;
   const uint64_t prw = payload_layout_.row_width();
   uint64_t l = left_begin, r = right_begin, o = out_begin;
@@ -427,6 +492,8 @@ void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
     std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
     std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
   }
+  profile_.RecordMergeSlice(timer.ElapsedNanos(),
+                            (left_end - left_begin) + (right_end - right_begin));
 }
 
 /// OVC 2-way merge of one Merge Path partition. Invariant maintained after
@@ -440,6 +507,8 @@ void RelationalSort::MergeSliceOvc(const SortedRun& left,
                                    uint64_t left_end, uint64_t right_begin,
                                    uint64_t right_end, SortedRun* out,
                                    uint64_t out_begin) {
+  TraceSpan trace_span(config_.trace, "merge.slice", "merge");
+  Timer slice_timer;
   const uint64_t krw = key_row_width_;
   const uint64_t prw = payload_layout_.row_width();
   const uint64_t kw = comparator_.key_width();
@@ -560,6 +629,8 @@ void RelationalSort::MergeSliceOvc(const SortedRun& left,
     // In the OVC path the fallbacks are the full key comparisons.
     merge_compares_.fetch_add(fallback, std::memory_order_relaxed);
   }
+  profile_.RecordMergeSlice(slice_timer.ElapsedNanos(),
+                            (left_end - left_begin) + (right_end - right_begin));
 }
 
 SortedRun RelationalSort::MergePair(const SortedRun& left,
@@ -643,6 +714,8 @@ SortedRun RelationalSort::MergeKWay(std::vector<SortedRun>& runs) {
 }
 
 SortedRun RelationalSort::MergeKWayHeap(std::vector<SortedRun>& runs) {
+  TraceSpan span(config_.trace, "merge.kway", "merge");
+  Timer timer;
   SortedRun out;
   out.key_row_width = key_row_width_;
   out.payload = RowCollection(payload_layout_);
@@ -705,6 +778,7 @@ SortedRun RelationalSort::MergeKWayHeap(std::vector<SortedRun>& runs) {
   for (auto& run : runs) {
     out.payload.AdoptHeap(std::move(run.payload));
   }
+  profile_.RecordMergeSlice(timer.ElapsedNanos(), total);
   return out;
 }
 
@@ -717,6 +791,8 @@ SortedRun RelationalSort::MergeKWayHeap(std::vector<SortedRun>& runs) {
 /// comparison is one integer compare unless the codes tie, and the rare
 /// suffix scan repairs the loser's code in passing.
 SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
+  TraceSpan span(config_.trace, "merge.kway", "merge");
+  Timer timer;
   SortedRun out;
   out.key_row_width = key_row_width_;
   out.payload = RowCollection(payload_layout_);
@@ -825,16 +901,19 @@ SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
   if (config_.count_comparisons) {
     merge_compares_.fetch_add(fallback, std::memory_order_relaxed);
   }
+  profile_.RecordMergeSlice(timer.ElapsedNanos(), total);
   return out;
 }
 
 Status RelationalSort::MergeSpilledPair(const std::string& left_path,
                                         const std::string& right_path,
                                         const std::string& out_path) {
-  // Spill streams share the sort's retry accounting and token: transient
-  // hiccups heal (SortMetrics::io_retries), cancellation lands between
-  // blocks.
-  const SpillIoOptions io{&io_retry_stats_, config_.cancellation};
+  // Spill streams share the sort's retry accounting, token, and I/O
+  // profile: transient hiccups heal (SortMetrics::io_retries), cancellation
+  // lands between blocks, block latencies land in the spill node.
+  TraceSpan span(config_.trace, "merge.external", "merge");
+  Timer timer;
+  const SpillIoOptions io = IoOptions();
   ExternalRunReader left(payload_layout_, left_path);
   ExternalRunReader right(payload_layout_, right_path);
   left.SetIoOptions(io);
@@ -930,7 +1009,9 @@ Status RelationalSort::MergeSpilledPair(const std::string& left_path,
     ri = 0;
   }
   ROWSORT_RETURN_NOT_OK(flush());
-  return writer.Finish();
+  ROWSORT_RETURN_NOT_OK(writer.Finish());
+  profile_.RecordMergeSlice(timer.ElapsedNanos(), writer.rows_written());
+  return Status::OK();
 }
 
 Status RelationalSort::MergeEntryPair(RunEntry& left, RunEntry& right,
@@ -987,11 +1068,17 @@ Status RelationalSort::Finalize(ThreadPool* pool) {
   metrics_.io_retries = io_retry_stats_.count();
   metrics_.cancel_checks = cancel_.checks();
   metrics_.time_to_cancel_us = cancel_.time_to_cancel_us();
-  return RecordError(std::move(st));
+  Status out = RecordError(std::move(st));
+  // Success skips RecordError's fold; rebuild the profile's derived nodes
+  // here either way (idempotent).
+  FoldRuntimeIntoProfile();
+  return out;
 }
 
 Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
   ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
+  profile_.EnterPhase(SortPhase::kMerge);
+  TraceSpan merge_span(config_.trace, "merge.phase", "merge");
   Timer timer;
   metrics_.run_generation_compares =
       run_compares_.load(std::memory_order_relaxed);
@@ -1008,6 +1095,7 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
     result_.key_row_width = key_row_width_;
     result_.payload = RowCollection(payload_layout_);
     finish_metrics();
+    profile_.EnterPhase(SortPhase::kDone);
     return Status::OK();
   }
 
@@ -1023,12 +1111,18 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
 
     if (config_.use_kway_merge) {
       // Merge-strategy ablation: one k-way pass (ClickHouse/HyPer style).
+      const uint64_t kway_inputs = current.size();
       result_ = MergeKWay(current);
+      profile_.SetMergeRound(1, kway_inputs, result_.count,
+                             timer.ElapsedSeconds());
     } else {
       // 2-way cascaded merge sort: trivially parallel across pairs while
       // many runs remain; Merge Path parallelizes within pairs as runs get
       // large.
+      uint64_t round = 0;
       while (current.size() > 1) {
+        ++round;
+        Timer round_timer;
         std::vector<SortedRun> next((current.size() + 1) / 2);
         if (pool != nullptr && current.size() >= 4) {
           std::vector<std::function<void()>> tasks;
@@ -1056,12 +1150,19 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
         if (current.size() % 2 == 1) {
           next.back() = std::move(current.back());
         }
+        uint64_t merged_rows = 0;
+        for (uint64_t p = 0; p + 1 < current.size(); p += 2) {
+          merged_rows += next[p / 2].count;
+        }
+        profile_.SetMergeRound(round, current.size() / 2, merged_rows,
+                               round_timer.ElapsedSeconds());
         current = std::move(next);
       }
       result_ = std::move(current.front());
     }
     result_.TrackMemory(nullptr);
     finish_metrics();
+    profile_.EnterPhase(SortPhase::kDone);
     return Status::OK();
   }
 
@@ -1070,7 +1171,11 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
   // byte sequence an unlimited one does. Each pair merges in memory when
   // both sides are resident and the output fits under the limit; otherwise
   // it streams file to file.
+  uint64_t round = 0;
   while (entries_.size() > 1) {
+    ++round;
+    Timer round_timer;
+    uint64_t merged_rows = 0;
     std::vector<RunEntry> next;
     next.reserve((entries_.size() + 1) / 2);
     for (uint64_t p = 0; p + 1 < entries_.size(); p += 2) {
@@ -1091,8 +1196,11 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
         finish_metrics();
         return st;
       }
+      merged_rows += merged.rows;
       next.push_back(std::move(merged));
     }
+    profile_.SetMergeRound(round, entries_.size() / 2, merged_rows,
+                           round_timer.ElapsedSeconds());
     if (entries_.size() % 2 == 1) {
       next.push_back(std::move(entries_.back()));
     }
@@ -1104,9 +1212,7 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
     // The final result is handed to the caller and intentionally not
     // charged against the limit (the limit governs the sort's internal
     // working set; see docs/robustness.md).
-    auto loaded =
-        ReadRunFromFile(payload_layout_, last.path,
-                        SpillIoOptions{&io_retry_stats_, config_.cancellation});
+    auto loaded = ReadRunFromFile(payload_layout_, last.path, IoOptions());
     if (!loaded.ok()) {
       finish_metrics();
       return loaded.status();
@@ -1119,6 +1225,7 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
   entries_.clear();
   result_.TrackMemory(nullptr);
   finish_metrics();
+  profile_.EnterPhase(SortPhase::kDone);
   return Status::OK();
 }
 
@@ -1135,11 +1242,19 @@ uint64_t RelationalSort::ScanChunk(uint64_t start, DataChunk* out) const {
 StatusOr<Table> RelationalSort::SortTable(const Table& input,
                                           const SortSpec& spec,
                                           const SortEngineConfig& config,
-                                          SortMetrics* metrics_out) {
+                                          SortMetrics* metrics_out,
+                                          SortProfile* profile_out) {
+  if (metrics_out != nullptr) metrics_out->Reset();
   RelationalSort sort(spec, input.types(), config);
   uint64_t threads = std::max<uint64_t>(config.threads, 1);
-  auto fill_metrics = [&] {
+  // Fills the caller's outputs; used on every exit path so metrics and a
+  // (possibly partial) profile survive errors and cancellation.
+  auto fill_outputs = [&] {
     if (metrics_out != nullptr) *metrics_out = sort.metrics();
+    if (profile_out != nullptr) {
+      sort.FoldRuntimeIntoProfile();
+      profile_out->CopyFrom(sort.profile_);
+    }
   };
 
   Status st;
@@ -1152,6 +1267,15 @@ StatusOr<Table> RelationalSort::SortTable(const Table& input,
     if (st.ok()) st = sort.Finalize(nullptr);
   } else {
     ThreadPool pool(threads);
+    // Pool observability is opt-in: timing every task costs two clock reads,
+    // so it stays off unless the caller asked for a profile or a trace.
+    if (profile_out != nullptr) pool.EnableStats(true);
+    if (config.trace != nullptr) pool.SetTracer(config.trace);
+    // Folds the pool's counters into the profile before the pool goes out
+    // of scope (FoldPool is assignment-style, safe to call once per pool).
+    auto fold_pool = [&] {
+      if (profile_out != nullptr) sort.profile_.FoldPool(pool.StatsSnapshot());
+    };
     // Morsel-driven: threads grab chunks from a shared counter (§VII /
     // Leis et al.), each filling its own local state.
     std::atomic<uint64_t> next_chunk{0};
@@ -1173,17 +1297,20 @@ StatusOr<Table> RelationalSort::SortTable(const Table& input,
       // the pool skip workers that have not started yet once cancelled.
       pool.RunBatch(std::move(tasks), config.cancellation);
     } catch (const CancelledError& e) {
-      fill_metrics();
+      fold_pool();
+      fill_outputs();
       return e.ToStatus();
     } catch (const std::bad_alloc&) {
-      fill_metrics();
+      fold_pool();
+      fill_outputs();
       return Status::OutOfMemory("sort sink: allocation failed");
     }
     st = sort.status();
     if (st.ok()) st = sort.Finalize(&pool);
+    fold_pool();
   }
   if (!st.ok()) {
-    fill_metrics();
+    fill_outputs();
     return st;
   }
 
@@ -1196,10 +1323,10 @@ StatusOr<Table> RelationalSort::SortTable(const Table& input,
       offset += produced;
       output.Append(std::move(chunk));
     }
-    fill_metrics();
+    fill_outputs();
     return output;
   } catch (const std::bad_alloc&) {
-    fill_metrics();
+    fill_outputs();
     return Status::OutOfMemory("sort output: allocation failed");
   }
 }

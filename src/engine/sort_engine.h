@@ -9,6 +9,9 @@
 #include "common/memory_tracker.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "common/trace.h"
+#include "engine/external_run.h"
+#include "engine/profile.h"
 #include "engine/sorted_run.h"
 #include "engine/tuple_comparator.h"
 #include "parallel/thread_pool.h"
@@ -82,6 +85,13 @@ struct SortEngineConfig {
   /// sticky-error path — sibling threads stop promptly, spill files are
   /// still removed. Default token = never cancelled, near-zero overhead.
   CancellationToken cancellation;
+  /// Span tracer for the whole pipeline (docs/observability.md): sink
+  /// chunks, block sorts, radix passes, merge slices/rounds, and spill
+  /// blocks record Chrome/Perfetto spans on their executing thread's track.
+  /// Null (default) = no tracing; a pointer test per instrumented site. An
+  /// attached-but-disabled tracer costs one relaxed load per site. The
+  /// tracer must outlive the sort.
+  Tracer* trace = nullptr;
 };
 
 /// Measurements the pipeline records per sort (bench/§II support).
@@ -113,6 +123,11 @@ struct SortMetrics {
   double sink_seconds = 0;      ///< DSM->NSM conversion + key normalization
   double run_sort_seconds = 0;  ///< thread-local sorts + payload reorder
   double merge_seconds = 0;     ///< cascaded merge
+
+  /// Returns every field to its default. SortTable() calls this on the
+  /// caller's metrics_out before sorting, so a SortMetrics struct reused
+  /// across sorts never carries counters from the previous one.
+  void Reset() { *this = SortMetrics(); }
 };
 
 /// \brief The paper's primary contribution: a fully parallel row-based
@@ -167,7 +182,13 @@ class RelationalSort {
     std::vector<uint8_t> key_rows_;
     RowCollection payload_;
     uint64_t count_ = 0;
-    double sink_seconds_ = 0;  ///< folded into SortMetrics at CombineLocal
+    /// Everything this thread measures (sink time, block-sort time, per-call
+    /// latencies) lands here with no synchronization; CombineLocal folds it
+    /// into SortMetrics and the SortProfile exactly once — the pipeline's
+    /// single timing-aggregation path.
+    ThreadProfile profile_;
+    uint64_t ordinal_ = 0;    ///< stable thread slot in the profile tree
+    bool combined_ = false;   ///< guards the one-time fold
     MemoryReservation key_memory_;  ///< accounts key_rows_
   };
 
@@ -204,17 +225,28 @@ class RelationalSort {
   const SortedRun& result() const { return result_; }
 
   const SortMetrics& metrics() const { return metrics_; }
+
+  /// The sort's hierarchical profile (docs/observability.md). Complete
+  /// after a successful Finalize; after an error or cancellation it is the
+  /// *partial* profile — active phase, per-thread timings folded so far,
+  /// spill I/O and retry-backoff histograms. Read after the pipeline entry
+  /// points have returned.
+  const SortProfile& profile() const { return profile_; }
+
   const TupleComparator& comparator() const { return comparator_; }
   const MemoryTracker& memory_tracker() const { return tracker_; }
   uint64_t key_row_width() const { return key_row_width_; }
 
   /// Convenience single-call API: sorts \p input with \p config.threads
   /// workers (morsel-driven: chunks are distributed across local states) and
-  /// returns the sorted table. \p metrics_out is optional and filled even on
-  /// error.
+  /// returns the sorted table. \p metrics_out and \p profile_out are
+  /// optional and filled even on error (\p metrics_out is Reset() first, so
+  /// reusing one struct across sorts starts each from zero; \p profile_out
+  /// additionally receives the thread-pool stats of the internal pool).
   static StatusOr<Table> SortTable(const Table& input, const SortSpec& spec,
                                    const SortEngineConfig& config = {},
-                                   SortMetrics* metrics_out = nullptr);
+                                   SortMetrics* metrics_out = nullptr,
+                                   SortProfile* profile_out = nullptr);
 
  private:
   /// One unit of the merge phase: a sorted run that is either resident in
@@ -250,6 +282,16 @@ class RelationalSort {
   /// Records the first pipeline error (thread-safe; later errors are
   /// dropped) and returns the sticky status.
   Status RecordError(Status status);
+  /// Rebuilds the profile's derived nodes (phase seconds, root counters,
+  /// merge slices, spill I/O, retry backoff) from the engine's runtime
+  /// state. Idempotent — called from both Finalize and RecordError, so a
+  /// failed sort leaves a valid partial profile behind.
+  void FoldRuntimeIntoProfile();
+  /// The spill paths' shared accounting/cancellation/tracing bundle.
+  SpillIoOptions IoOptions() {
+    return SpillIoOptions{&io_retry_stats_, config_.cancellation,
+                          &spill_io_profile_, config_.trace};
+  }
 
   SortedRun MergePair(const SortedRun& left, const SortedRun& right,
                       ThreadPool* pool);
@@ -298,6 +340,15 @@ class RelationalSort {
   CancelChecker cancel_;
   /// Recovered transient spill-I/O failures (SortMetrics::io_retries).
   RetryStats io_retry_stats_;
+  /// Hierarchical profile of this sort (docs/observability.md). Mutable
+  /// because spill paths reachable from const-flavored accounting record
+  /// into spill_io_profile_, and both live for the engine's lifetime.
+  SortProfile profile_;
+  /// Per-block spill write/read accounting, shared by every writer/reader
+  /// this sort opens (folded into profile_'s spill node).
+  mutable SpillIoProfile spill_io_profile_;
+  /// Hands each LocalState a stable thread slot in the profile tree.
+  mutable std::atomic<uint64_t> next_local_ordinal_{0};
   std::atomic<uint64_t> run_compares_{0};
   std::atomic<uint64_t> merge_compares_{0};
   std::atomic<uint64_t> ovc_decided_{0};

@@ -9,9 +9,12 @@ ThreadPool::ThreadPool(uint64_t thread_count) {
   if (thread_count == 0) {
     thread_count = std::max(1u, std::thread::hardware_concurrency());
   }
+  // One busy slot per worker plus one for the submitting thread (RunBatch
+  // helps drain the queue).
+  busy_ns_ = std::vector<std::atomic<uint64_t>>(thread_count + 1);
   workers_.reserve(thread_count);
   for (uint64_t i = 0; i < thread_count; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -22,6 +25,25 @@ ThreadPool::~ThreadPool() {
   }
   wake_workers_.notify_all();
   for (auto& worker : workers_) worker.join();
+}
+
+ThreadPoolStatsSnapshot ThreadPool::StatsSnapshot() const {
+  ThreadPoolStatsSnapshot out;
+  out.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  out.tasks_skipped = tasks_skipped_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.queue_wait_ns = queue_wait_ns_.Snapshot();
+  out.run_ns = run_ns_.Snapshot();
+  out.thread_busy_seconds.reserve(busy_ns_.size());
+  for (const auto& ns : busy_ns_) {
+    out.thread_busy_seconds.push_back(
+        ns.load(std::memory_order_relaxed) * 1e-9);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.max_queue_depth = max_queue_depth_;
+  }
+  return out;
 }
 
 void ThreadPool::ExecuteTask(std::function<void()>& task) {
@@ -50,17 +72,40 @@ bool ThreadPool::ShouldSkipLocked() {
   return false;
 }
 
-void ThreadPool::FinishTask(std::function<void()>& task, bool skip) {
-  if (!skip) ExecuteTask(task);
+void ThreadPool::FinishTask(Task& task, bool skip, uint64_t executor_index) {
+  if (!skip) {
+    const bool stats = stats_enabled_.load(std::memory_order_relaxed);
+    if (stats || tracer_ != nullptr) {
+      int64_t start_ns = Tracer::NowNanos();
+      if (stats && task.enqueue_ns != 0) {
+        queue_wait_ns_.Record(
+            static_cast<uint64_t>(start_ns - task.enqueue_ns));
+      }
+      {
+        TraceSpan span(tracer_, "pool.task", "parallel");
+        ExecuteTask(task.fn);
+      }
+      if (stats) {
+        uint64_t run = static_cast<uint64_t>(Tracer::NowNanos() - start_ns);
+        run_ns_.Record(run);
+        busy_ns_[executor_index].fetch_add(run, std::memory_order_relaxed);
+        tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      ExecuteTask(task.fn);
+    }
+  } else if (stats_enabled_.load(std::memory_order_relaxed)) {
+    tasks_skipped_.fetch_add(1, std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (--outstanding_ == 0) batch_done_.notify_all();
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(uint64_t worker_index) {
   while (true) {
-    std::function<void()> task;
+    Task task;
     bool skip = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -70,12 +115,12 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       skip = ShouldSkipLocked();
     }
-    FinishTask(task, skip);
+    FinishTask(task, skip, worker_index);
   }
 }
 
 bool ThreadPool::RunOneTask() {
-  std::function<void()> task;
+  Task task;
   bool skip = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -84,19 +129,29 @@ bool ThreadPool::RunOneTask() {
     queue_.pop();
     skip = ShouldSkipLocked();
   }
-  FinishTask(task, skip);
+  FinishTask(task, skip, workers_.size());
   return true;
 }
 
 void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks,
                           CancellationToken cancellation) {
   if (tasks.empty()) return;
+  const bool stats = stats_enabled_.load(std::memory_order_relaxed);
+  const int64_t enqueue_ns = stats ? Tracer::NowNanos() : 0;
+  if (stats) batches_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch_cancel_ = std::move(cancellation);
     batch_cancelled_ = false;
     outstanding_ += tasks.size();
-    for (auto& task : tasks) queue_.push(std::move(task));
+    for (auto& task : tasks) queue_.push(Task{std::move(task), enqueue_ns});
+    if (stats && queue_.size() > max_queue_depth_) {
+      max_queue_depth_ = queue_.size();
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->RecordCounter("pool.queue_depth",
+                           static_cast<int64_t>(tasks.size()));
   }
   wake_workers_.notify_all();
   // Help drain the queue, then wait for stragglers.

@@ -11,9 +11,24 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/histogram.h"
 #include "common/macros.h"
+#include "common/trace.h"
 
 namespace rowsort {
+
+/// Snapshot of a ThreadPool's activity since construction, folded into a
+/// SortProfile's "parallel" node (docs/observability.md). Produced by
+/// ThreadPool::StatsSnapshot(); empty unless EnableStats(true) was called.
+struct ThreadPoolStatsSnapshot {
+  uint64_t tasks_executed = 0;
+  uint64_t tasks_skipped = 0;  ///< drained unrun: batch error or cancel
+  uint64_t batches = 0;
+  uint64_t max_queue_depth = 0;
+  DurationHistogram queue_wait_ns;  ///< enqueue -> start, per task
+  DurationHistogram run_ns;         ///< start -> finish, per task
+  std::vector<double> thread_busy_seconds;  ///< per worker (+1 submitter)
+};
 
 /// \brief Fixed-size worker pool used by the parallel sorting pipeline
 /// (paper §VII: morsel-driven run generation and the parallel merge phase).
@@ -29,6 +44,25 @@ class ThreadPool {
   ROWSORT_DISALLOW_COPY_AND_MOVE(ThreadPool);
 
   uint64_t thread_count() const { return workers_.size(); }
+
+  /// Turns on per-task accounting (queue wait, run time, per-thread busy
+  /// time, max queue depth). Off by default: the accounting is two clock
+  /// reads per task, negligible for the pipeline's coarse tasks but not
+  /// free. Call before submitting work.
+  void EnableStats(bool on) {
+    stats_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Attaches a tracer: each executed task records a "pool.task" span on
+  /// its worker's track and each batch submission records a queue-depth
+  /// counter sample. Null (default) = no tracing. The tracer must outlive
+  /// all task execution.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Accumulated stats (all zeros unless EnableStats(true) preceded the
+  /// work). Call between batches — per-task histograms are updated as tasks
+  /// retire.
+  ThreadPoolStatsSnapshot StatsSnapshot() const;
 
   /// Runs all \p tasks on the pool and waits for completion. The calling
   /// thread participates, so a pool of 1 degrades to serial execution
@@ -64,26 +98,47 @@ class ThreadPool {
                    uint64_t grain = 0, CancellationToken cancellation = {});
 
  private:
-  void WorkerLoop();
+  /// Queue element: the callable plus its submission stamp (0 when stats
+  /// are off — no clock read on the untimed path).
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop(uint64_t worker_index);
   bool RunOneTask();
   void ExecuteTask(std::function<void()>& task);
   /// True when the current batch should stop launching queued tasks (a task
   /// failed, or the batch's token fired). Called with mutex_ held.
   bool ShouldSkipLocked();
   /// Executes (or skips) an already-popped task and retires it against the
-  /// batch barrier.
-  void FinishTask(std::function<void()>& task, bool skip);
+  /// batch barrier. \p executor_index identifies the running thread's busy
+  /// slot: [0, thread_count) = workers, thread_count = the submitter.
+  void FinishTask(Task& task, bool skip, uint64_t executor_index);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;  ///< mutable: StatsSnapshot() is const
   std::condition_variable wake_workers_;
   std::condition_variable batch_done_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   uint64_t outstanding_ = 0;
   bool shutdown_ = false;
   std::exception_ptr batch_error_;  ///< first task exception of the batch
   CancellationToken batch_cancel_;  ///< current batch's token (may be empty)
   bool batch_cancelled_ = false;    ///< latched result of the token check
+
+  /// -- observability (inert until EnableStats / SetTracer) -------------
+  std::atomic<bool> stats_enabled_{false};
+  Tracer* tracer_ = nullptr;
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> tasks_skipped_{0};
+  std::atomic<uint64_t> batches_{0};
+  uint64_t max_queue_depth_ = 0;  ///< guarded by mutex_
+  AtomicDurationHistogram queue_wait_ns_;
+  AtomicDurationHistogram run_ns_;
+  /// Busy (task-running) nanoseconds per executor; the extra tail slot is
+  /// the submitting thread helping drain in RunBatch.
+  std::vector<std::atomic<uint64_t>> busy_ns_;
 };
 
 }  // namespace rowsort

@@ -68,8 +68,11 @@ void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
   // order, so the scatter passes below cannot invalidate them).
   if (config.cancellation_check) config.cancellation_check();
   std::vector<ByteHistogram> hists(config.key_width);
-  CountAllBytes(src, count, row_width, config.key_offset, config.key_width,
-                hists.data());
+  {
+    TraceSpan span(config.trace, "radix.lsd_count", "run_sort");
+    CountAllBytes(src, count, row_width, config.key_offset, config.key_width,
+                  hists.data());
+  }
 
   // One stable scatter pass per key byte, least significant digit first.
   for (uint64_t d = config.key_width; d-- > 0;) {
@@ -84,6 +87,7 @@ void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
       continue;
     }
 
+    TraceSpan span(config.trace, "radix.lsd_pass", "run_sort");
     uint64_t offsets[kBuckets];
     uint64_t sum = 0;
     for (uint64_t b = 0; b < kBuckets; ++b) {
@@ -195,6 +199,9 @@ void RadixSortMsd(uint8_t* rows, uint8_t* aux, uint64_t count,
     RowInsertionSort(bucket_rows, bucket_count, config.row_width,
                      config.key_offset + digit, config.key_width - digit);
   };
+  // One span for the whole recursion: MSD buckets are too fine-grained to
+  // trace individually without drowning the ring buffer.
+  TraceSpan span(config.trace, "radix.msd", "run_sort");
   MsdRecurse(rows, aux, count, config, 0, config.insertion_threshold,
              insertion, stats);
 }
@@ -208,6 +215,7 @@ void RadixSortMsdWithPdq(uint8_t* rows, uint8_t* aux, uint64_t count,
     PdqSortRows(bucket_rows, bucket_count, config.row_width,
                 config.key_offset + digit, config.key_width - digit);
   };
+  TraceSpan span(config.trace, "radix.msd", "run_sort");
   MsdRecurse(rows, aux, count, config, 0, pdq_threshold, pdq, stats);
 }
 

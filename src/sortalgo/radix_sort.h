@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace rowsort {
 
@@ -31,6 +32,11 @@ struct RadixSortConfig {
   /// are then in an unspecified permutation but remain valid rows. Empty =
   /// no checks.
   std::function<void()> cancellation_check;
+
+  /// Optional span tracer (docs/observability.md): the fused LSD counting
+  /// scan, each LSD scatter pass, and the top-level MSD recursion record
+  /// spans on the sorting thread's track. Null = no tracing.
+  Tracer* trace = nullptr;
 };
 
 /// Counters the radix sorts report for the ablation/diagnostic benches.

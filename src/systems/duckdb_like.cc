@@ -36,12 +36,16 @@ class DuckDBLike : public SortSystem {
     // will generally generate one sorted run").
     config.run_size_rows =
         std::max<uint64_t>(input.row_count() / threads_ + 1, kVectorSize);
-    return RelationalSort::SortTable(input, tuned, config);
+    // metrics_ is reused across calls; SortTable resets it per sort.
+    return RelationalSort::SortTable(input, tuned, config, &metrics_);
   }
+
+  const SortMetrics* last_metrics() const override { return &metrics_; }
 
  private:
   uint64_t threads_;
   SortEngineConfig base_;
+  SortMetrics metrics_;
 };
 
 }  // namespace

@@ -12,6 +12,7 @@
 namespace rowsort {
 
 struct SortEngineConfig;
+struct SortMetrics;
 
 /// \brief A database system under benchmark (paper §VII).
 ///
@@ -44,6 +45,13 @@ class SortSystem {
   virtual StatusOr<Table> TrySort(const Table& input, const SortSpec& spec) {
     return Sort(input, spec);
   }
+
+  /// Metrics of the most recent Sort()/TrySort(), for systems that collect
+  /// them (currently the DuckDB-like pipeline); nullptr otherwise. The
+  /// struct is reused across calls and reset at the start of each sort, so
+  /// a second sort through the same system never reports accumulated
+  /// counters.
+  virtual const SortMetrics* last_metrics() const { return nullptr; }
 };
 
 /// DuckDB-like: this library's row-based pipeline — normalized keys, radix

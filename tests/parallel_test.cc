@@ -228,5 +228,94 @@ TEST(ThreadPoolErrorTest, ParallelForPropagatesExceptions) {
                std::out_of_range);
 }
 
+TEST(ThreadPoolStatsTest, DisabledByDefault) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks(10, [] {});
+  pool.RunBatch(std::move(tasks));
+  ThreadPoolStatsSnapshot stats = pool.StatsSnapshot();
+  EXPECT_EQ(stats.tasks_executed, 0u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.queue_wait_ns.count(), 0u);
+}
+
+TEST(ThreadPoolStatsTest, CountsTasksWaitAndRunTime) {
+  ThreadPool pool(3);
+  pool.EnableStats(true);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&counter] {
+      counter.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+  }
+  pool.RunBatch(std::move(tasks));
+  pool.ParallelFor(10, [&counter](uint64_t) { counter.fetch_add(1); });
+
+  ThreadPoolStatsSnapshot stats = pool.StatsSnapshot();
+  EXPECT_EQ(stats.tasks_executed, 30u);
+  EXPECT_EQ(stats.tasks_skipped, 0u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_GE(stats.max_queue_depth, 1u);
+  // Every executed task recorded one queue-wait and one run duration.
+  EXPECT_EQ(stats.queue_wait_ns.count(), 30u);
+  EXPECT_EQ(stats.run_ns.count(), 30u);
+  // The 20 sleeping tasks each ran >= 100us.
+  EXPECT_GE(stats.run_ns.total_ns(), 20u * 100'000u);
+  // workers + the submitter slot; total busy time covers the run time.
+  ASSERT_EQ(stats.thread_busy_seconds.size(), 4u);
+  double busy = 0;
+  for (double s : stats.thread_busy_seconds) busy += s;
+  EXPECT_GE(busy, stats.run_ns.total_ns() * 1e-9 * 0.99);
+}
+
+TEST(ThreadPoolStatsTest, SkippedTasksAreCounted) {
+  ThreadPool pool(2);
+  pool.EnableStats(true);
+  CancellationSource source;
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] {
+    // Cancel from inside the first task so later queued tasks are skipped.
+    source.RequestCancel();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 50; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+  }
+  try {
+    pool.RunBatch(std::move(tasks), source.token());
+  } catch (const CancelledError&) {
+    // RunBatch may surface the skip as an unwind; either way stats must add
+    // up below.
+  }
+  ThreadPoolStatsSnapshot stats = pool.StatsSnapshot();
+  EXPECT_EQ(stats.tasks_executed + stats.tasks_skipped, 51u);
+  EXPECT_EQ(stats.tasks_executed, static_cast<uint64_t>(ran.load()));
+}
+
+TEST(ThreadPoolStatsTest, TracerRecordsPoolTaskSpans) {
+  Tracer tracer;
+  ThreadPool pool(2);
+  pool.SetTracer(&tracer);
+  std::vector<std::function<void()>> tasks(8, [] {});
+  pool.RunBatch(std::move(tasks));
+  uint64_t task_spans = 0;
+  bool saw_queue_depth = false;
+  for (const auto& e : tracer.Snapshot()) {
+    if (e.kind == TraceEvent::Kind::kSpan &&
+        std::string(e.name) == "pool.task") {
+      ++task_spans;
+    }
+    if (e.kind == TraceEvent::Kind::kCounter &&
+        std::string(e.name) == "pool.queue_depth") {
+      saw_queue_depth = true;
+    }
+  }
+  EXPECT_EQ(task_spans, 8u);
+  EXPECT_TRUE(saw_queue_depth);
+}
+
 }  // namespace
 }  // namespace rowsort

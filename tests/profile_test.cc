@@ -1,0 +1,348 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Hierarchical sort profiles (engine/profile.h): the duration histograms,
+// the profile tree, JSON/pretty export, reconciliation of the profile's
+// phase timings with SortMetrics, spill accounting, partial profiles after
+// cancellation, and SortMetrics::Reset() on engine reuse.
+#include "engine/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/histogram.h"
+#include "engine/sort_engine.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(DurationHistogramTest, BucketsAreLog2) {
+  EXPECT_EQ(DurationBucketIndex(0), 0u);
+  EXPECT_EQ(DurationBucketIndex(1), 1u);
+  EXPECT_EQ(DurationBucketIndex(2), 2u);
+  EXPECT_EQ(DurationBucketIndex(3), 2u);  // [2, 4)
+  EXPECT_EQ(DurationBucketIndex(4), 3u);  // [4, 8)
+  EXPECT_EQ(DurationBucketIndex(1023), 10u);
+  EXPECT_EQ(DurationBucketIndex(1024), 11u);
+  // The tail bucket absorbs everything.
+  EXPECT_EQ(DurationBucketIndex(~uint64_t{0}), kDurationHistogramBuckets - 1);
+  EXPECT_EQ(DurationBucketLowerNs(0), 0u);
+  EXPECT_EQ(DurationBucketLowerNs(1), 1u);
+  EXPECT_EQ(DurationBucketLowerNs(11), 1024u);
+}
+
+TEST(DurationHistogramTest, RecordAndStats) {
+  DurationHistogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(3000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.total_ns(), 3300u);
+  EXPECT_EQ(h.max_ns(), 3000u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 1100.0);
+  // All three in distinct buckets; the p99 upper bound covers the max.
+  EXPECT_GE(h.QuantileUpperNs(0.99), 3000u);
+  // The median's bucket upper edge covers 200 but not 3000.
+  EXPECT_GE(h.QuantileUpperNs(0.5), 200u);
+  EXPECT_LT(h.QuantileUpperNs(0.5), 3000u);
+}
+
+TEST(DurationHistogramTest, MergeAddsCountsAndKeepsMax) {
+  DurationHistogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.total_ns(), 2010u);
+  EXPECT_EQ(a.max_ns(), 1000u);
+}
+
+TEST(DurationHistogramTest, SparseJson) {
+  DurationHistogram h;
+  h.Record(5);  // bucket [4, 8)
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"4\":1"), std::string::npos);
+  // Sparse: empty buckets do not appear.
+  EXPECT_EQ(json.find("\"1\":"), std::string::npos);
+}
+
+TEST(DurationHistogramTest, AtomicSnapshotMatchesPlainRecording) {
+  AtomicDurationHistogram atomic;
+  DurationHistogram plain;
+  for (uint64_t ns : {7u, 300u, 300u, 90000u}) {
+    atomic.Record(ns);
+    plain.Record(ns);
+  }
+  DurationHistogram snap = atomic.Snapshot();
+  EXPECT_EQ(snap.count(), plain.count());
+  EXPECT_EQ(snap.total_ns(), plain.total_ns());
+  EXPECT_EQ(snap.max_ns(), plain.max_ns());
+  for (uint64_t i = 0; i < kDurationHistogramBuckets; ++i) {
+    EXPECT_EQ(snap.bucket(i), plain.bucket(i)) << "bucket " << i;
+  }
+}
+
+// ------------------------------------------------------------ profile tree
+
+TEST(ProfileNodeTest, ChildFindOrCreateAndCounters) {
+  ProfileNode root("sort");
+  ProfileNode* sink = root.Child("sink");
+  EXPECT_EQ(root.Child("sink"), sink);  // find, not re-create
+  EXPECT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.FindChild("merge"), nullptr);
+
+  sink->SetCounter("bytes", 10);
+  sink->SetCounter("bytes", 42);  // assignment-style, not additive
+  EXPECT_EQ(sink->counter("bytes"), 42u);
+  EXPECT_EQ(sink->counter("missing"), 0u);
+}
+
+TEST(SortProfileTest, FoldThreadIsIdempotentPerOrdinal) {
+  SortProfile profile;
+  ThreadProfile thread;
+  thread.chunks = 4;
+  thread.rows = 1000;
+  thread.sink_seconds = 0.5;
+  profile.FoldThread(0, thread);
+  profile.FoldThread(0, thread);  // re-fold replaces, never double-counts
+  const ProfileNode* sink = profile.root().FindChild("sink");
+  ASSERT_NE(sink, nullptr);
+  const ProfileNode* t0 = sink->FindChild("thread-0");
+  ASSERT_NE(t0, nullptr);
+  EXPECT_EQ(t0->invocations, 4u);
+  EXPECT_EQ(t0->rows, 1000u);
+  EXPECT_DOUBLE_EQ(t0->seconds, 0.5);
+}
+
+TEST(SortProfileTest, PhaseAndMergeRoundNodes) {
+  SortProfile profile;
+  EXPECT_EQ(profile.active_phase(), SortPhase::kIdle);
+  profile.EnterPhase(SortPhase::kMerge);
+  EXPECT_EQ(profile.active_phase(), SortPhase::kMerge);
+  EXPECT_STREQ(SortPhaseName(profile.active_phase()), "merge");
+
+  profile.SetPhaseSeconds(1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(profile.PhaseSeconds("sink"), 1.0);
+  EXPECT_DOUBLE_EQ(profile.PhaseSeconds("run_sort"), 2.0);
+  EXPECT_DOUBLE_EQ(profile.PhaseSeconds("merge"), 3.0);
+  EXPECT_DOUBLE_EQ(profile.root().seconds, 6.0);
+
+  profile.SetMergeRound(1, 8, 4000, 0.25);
+  const ProfileNode* merge = profile.root().FindChild("merge");
+  ASSERT_NE(merge, nullptr);
+  const ProfileNode* round = merge->FindChild("round-1");
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->invocations, 8u);
+  EXPECT_EQ(round->rows, 4000u);
+  EXPECT_DOUBLE_EQ(round->seconds, 0.25);
+}
+
+TEST(SortProfileTest, JsonGolden) {
+  SortProfile profile;
+  profile.EnterPhase(SortPhase::kDone);
+  profile.SetRows(123);
+  profile.SetPhaseSeconds(0.5, 1.5, 0.25);
+  profile.SetRootCounter("runs_generated", 4);
+  ThreadProfile thread;
+  thread.chunks = 2;
+  thread.sink_chunk_ns.Record(1000);
+  thread.sink_chunk_ns.Record(2000);
+  profile.FoldThread(0, thread);
+
+  std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"rowsort.profile.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"active_phase\":\"done\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sort\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"runs_generated\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sink\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\""), std::string::npos);
+
+  std::string pretty = profile.ToString();
+  EXPECT_NE(pretty.find("sort profile (phase: done)"), std::string::npos);
+  EXPECT_NE(pretty.find("thread-0"), std::string::npos);
+}
+
+TEST(SortProfileTest, WriteJsonRoundTrip) {
+  SortProfile profile;
+  profile.SetRows(7);
+  std::string path =
+      std::string(::testing::TempDir()) + "/rowsort_profile_test.json";
+  ASSERT_TRUE(profile.WriteJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 16, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, profile.ToJson() + "\n");  // file gets a newline
+}
+
+// ---------------------------------------------------- end-to-end profiling
+
+SortSpec IntSpec() { return SortSpec({SortColumn(0, TypeId::kInt32)}); }
+
+TEST(SortProfileEndToEndTest, PhaseSecondsReconcileWithMetrics) {
+  Table input = MakeShuffledIntegerTable(200'000, 7);
+  SortEngineConfig config;
+  config.threads = 4;
+  config.run_size_rows = 32 * 1024;
+  SortMetrics metrics;
+  SortProfile profile;
+  auto sorted =
+      RelationalSort::SortTable(input, IntSpec(), config, &metrics, &profile);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+
+  EXPECT_EQ(profile.active_phase(), SortPhase::kDone);
+  EXPECT_EQ(profile.root().rows, 200'000u);
+  // The acceptance criterion: the profile's phase seconds must reconcile
+  // with SortMetrics within 5%. They are assigned from the same values, so
+  // here they must match exactly.
+  EXPECT_DOUBLE_EQ(profile.PhaseSeconds("sink"), metrics.sink_seconds);
+  EXPECT_DOUBLE_EQ(profile.PhaseSeconds("run_sort"),
+                   metrics.run_sort_seconds);
+  EXPECT_DOUBLE_EQ(profile.PhaseSeconds("merge"), metrics.merge_seconds);
+  EXPECT_EQ(profile.root().counter("runs_generated"),
+            metrics.runs_generated);
+
+  // Per-thread folds must reconcile with the phase totals: the sink node's
+  // children sum to the sink phase (same numbers, different grouping).
+  const ProfileNode* sink = profile.root().FindChild("sink");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_NEAR(sink->ChildSeconds(), metrics.sink_seconds,
+              metrics.sink_seconds * 0.05 + 1e-9);
+  uint64_t sink_rows = 0;
+  for (const auto& child : sink->children) sink_rows += child->rows;
+  EXPECT_EQ(sink_rows, 200'000u);
+
+  // The run_sort children carry one block-sort latency per generated run.
+  const ProfileNode* run_sort = profile.root().FindChild("run_sort");
+  ASSERT_NE(run_sort, nullptr);
+  uint64_t block_sorts = 0;
+  for (const auto& child : run_sort->children) {
+    block_sorts += child->latencies.count();
+  }
+  EXPECT_EQ(block_sorts, metrics.runs_generated);
+
+  // Pool stats were folded for the internal pool.
+  const ProfileNode* parallel = profile.root().FindChild("parallel");
+  ASSERT_NE(parallel, nullptr);
+  EXPECT_GT(parallel->counter("batches"), 0u);
+}
+
+TEST(SortProfileEndToEndTest, SpillNodeAppearsUnderMemoryLimit) {
+  std::string dir =
+      std::string(::testing::TempDir()) + "/rowsort_profile_spill";
+  std::filesystem::create_directories(dir);
+  Table input = MakeShuffledIntegerTable(100'000, 11);
+  SortEngineConfig config;
+  config.run_size_rows = 8 * 1024;
+  config.memory_limit_bytes = 256 * 1024;
+  config.spill_directory = dir;
+  SortMetrics metrics;
+  SortProfile profile;
+  auto sorted =
+      RelationalSort::SortTable(input, IntSpec(), config, &metrics, &profile);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  ASSERT_GT(metrics.runs_spilled, 0u);
+
+  const ProfileNode* spill = profile.root().FindChild("spill");
+  ASSERT_NE(spill, nullptr);
+  const ProfileNode* write = spill->FindChild("write");
+  const ProfileNode* read = spill->FindChild("read");
+  ASSERT_NE(write, nullptr);
+  ASSERT_NE(read, nullptr);
+  EXPECT_GT(write->invocations, 0u);
+  EXPECT_GT(write->counter("bytes"), 0u);
+  EXPECT_GT(read->invocations, 0u);
+  // Every spilled row is read back (the final run is loaded from disk too).
+  EXPECT_GT(write->rows, 0u);
+  EXPECT_GE(read->rows, write->rows);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SortProfileEndToEndTest, PartialProfileAfterCancellation) {
+  Table input = MakeShuffledIntegerTable(400'000, 13);
+  SortEngineConfig config;
+  config.threads = 2;
+  config.run_size_rows = 16 * 1024;
+  CancellationSource source;
+  source.RequestCancel();  // cancelled before the sort even starts
+  config.cancellation = source.token();
+  SortMetrics metrics;
+  SortProfile profile;
+  auto sorted =
+      RelationalSort::SortTable(input, IntSpec(), config, &metrics, &profile);
+  ASSERT_FALSE(sorted.ok());
+  EXPECT_TRUE(sorted.status().IsCancellation())
+      << sorted.status().ToString();
+
+  // The partial profile still exports and records where the pipeline was.
+  EXPECT_NE(profile.active_phase(), SortPhase::kDone);
+  std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"rowsort.profile.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"active_phase\":"), std::string::npos);
+}
+
+TEST(SortProfileEndToEndTest, MetricsResetOnReuse) {
+  Table input = MakeShuffledIntegerTable(50'000, 3);
+  SortEngineConfig config;
+  config.run_size_rows = 8 * 1024;
+  SortMetrics metrics;
+  ASSERT_TRUE(
+      RelationalSort::SortTable(input, IntSpec(), config, &metrics).ok());
+  uint64_t first_runs = metrics.runs_generated;
+  ASSERT_GT(first_runs, 0u);
+  ASSERT_EQ(metrics.rows, 50'000u);
+
+  // Reusing the same struct must not accumulate: SortTable Reset()s it, so
+  // the second sort reports 50k rows again, not 100k.
+  ASSERT_TRUE(
+      RelationalSort::SortTable(input, IntSpec(), config, &metrics).ok());
+  EXPECT_EQ(metrics.runs_generated, first_runs);
+  EXPECT_EQ(metrics.rows, 50'000u);
+
+  // And Reset() itself zeroes everything.
+  metrics.Reset();
+  EXPECT_EQ(metrics.runs_generated, 0u);
+  EXPECT_EQ(metrics.rows, 0u);
+  EXPECT_DOUBLE_EQ(metrics.sink_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.merge_seconds, 0.0);
+}
+
+TEST(SortProfileEndToEndTest, TraceSpansCoverThePipeline) {
+  Table input = MakeShuffledIntegerTable(100'000, 5);
+  SortEngineConfig config;
+  config.threads = 2;
+  config.run_size_rows = 16 * 1024;
+  Tracer tracer;
+  config.trace = &tracer;
+  ASSERT_TRUE(RelationalSort::SortTable(input, IntSpec(), config).ok());
+
+  bool saw_sink = false, saw_run_sort = false, saw_merge = false;
+  for (const auto& e : tracer.Snapshot()) {
+    if (e.kind != TraceEvent::Kind::kSpan) continue;
+    std::string name = e.name;
+    saw_sink |= name == "sink.chunk";
+    saw_run_sort |= name == "run.sort";
+    saw_merge |= name == "merge.slice" || name == "merge.kway" ||
+                 name == "merge.phase";
+  }
+  EXPECT_TRUE(saw_sink);
+  EXPECT_TRUE(saw_run_sort);
+  EXPECT_TRUE(saw_merge);
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -4,6 +4,7 @@
 // combinations most likely to expose races or lifetime bugs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -12,6 +13,9 @@
 
 #include "common/cancellation.h"
 #include "common/random.h"
+#include "common/timer.h"
+#include "common/trace.h"
+#include "engine/profile.h"
 #include "engine/sort_engine.h"
 #include "workload/tables.h"
 #include "workload/tpcds.h"
@@ -188,6 +192,74 @@ TEST(StressTest, DeadlineRacesCompletion) {
       EXPECT_GT(metrics.cancel_checks, 0u);
     }
   }
+}
+
+TEST(StressTest, ConcurrentSinkTimingAggregation) {
+  // Eight threads sink and sort concurrently while the profile and a live
+  // tracer record everything. All per-thread timing flows through exactly
+  // one aggregation path (LocalState::profile_ folded at CombineLocal), so
+  // this must be race-free under TSan. Repeated so scheduling varies.
+  Table input = MakeShuffledIntegerTable(120000, 31);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  for (int round = 0; round < 4; ++round) {
+    SortEngineConfig config;
+    config.threads = 8;
+    config.run_size_rows = 4096;
+    Tracer tracer(1 << 12);
+    config.trace = &tracer;
+    SortMetrics metrics;
+    SortProfile profile;
+    Table output =
+        RelationalSort::SortTable(input, spec, config, &metrics, &profile)
+            .ValueOrDie();
+    EXPECT_EQ(output.row_count(), input.row_count());
+
+    // Every sunk chunk and generated run was attributed to some thread.
+    const ProfileNode* sink = profile.root().FindChild("sink");
+    ASSERT_NE(sink, nullptr);
+    uint64_t rows = 0;
+    for (const auto& child : sink->children) rows += child->rows;
+    EXPECT_EQ(rows, input.row_count());
+    const ProfileNode* run_sort = profile.root().FindChild("run_sort");
+    ASSERT_NE(run_sort, nullptr);
+    uint64_t runs = 0;
+    for (const auto& child : run_sort->children) {
+      runs += child->latencies.count();
+    }
+    EXPECT_EQ(runs, metrics.runs_generated);
+  }
+}
+
+TEST(StressTest, DisabledTracingOverheadIsBounded) {
+  // The observability bargain: an attached-but-disabled tracer costs one
+  // relaxed load per call site. Compare best-of-3 sorts with no tracer
+  // against best-of-3 with a disabled tracer attached; the ratio must stay
+  // small. Deliberately loose (CI machines are noisy) — this catches "the
+  // disabled path accidentally reads the clock", not a 2% regression
+  // (bench_fig11_pipeline_phases tracks that).
+  Table input = MakeShuffledIntegerTable(1000000, 17);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  auto best_of = [&](Tracer* tracer) {
+    double best = 1e30;
+    for (int i = 0; i < 3; ++i) {
+      SortEngineConfig config;
+      config.threads = 2;
+      config.run_size_rows = 256 * 1024;
+      config.trace = tracer;
+      Timer timer;
+      RelationalSort::SortTable(input, spec, config).ValueOrDie();
+      best = std::min(best, timer.ElapsedSeconds());
+    }
+    return best;
+  };
+  double without = best_of(nullptr);
+  Tracer disabled;
+  disabled.set_enabled(false);
+  double with_disabled = best_of(&disabled);
+  EXPECT_EQ(disabled.Snapshot().size(), 0u);
+  EXPECT_LT(with_disabled, without * 1.5 + 0.05)
+      << "disabled tracing cost " << with_disabled << "s vs " << without
+      << "s untraced";
 }
 
 }  // namespace

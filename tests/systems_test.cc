@@ -179,5 +179,26 @@ TEST(SystemsTest, DuckDBLikeTrySortHonoursBaseConfigCancellation) {
   ExpectSorted(with_base.value(), spec, "DuckDB-like (base config)");
 }
 
+TEST(SystemsTest, DuckDBLikeMetricsResetBetweenSorts) {
+  Table input = MakeShuffledIntegerTable(30000, 9);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  auto system = MakeDuckDBLike(2);
+
+  ASSERT_TRUE(system->TrySort(input, spec).ok());
+  const SortMetrics* metrics = system->last_metrics();
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->rows, 30000u);
+  uint64_t first_runs = metrics->runs_generated;
+
+  // The reused struct is reset per sort: the second sort reports 30k rows
+  // again, not an accumulated 60k.
+  ASSERT_TRUE(system->TrySort(input, spec).ok());
+  EXPECT_EQ(metrics->rows, 30000u);
+  EXPECT_EQ(metrics->runs_generated, first_runs);
+
+  // Systems that do not collect metrics return nullptr.
+  EXPECT_EQ(MakeMonetDBLike()->last_metrics(), nullptr);
+}
+
 }  // namespace
 }  // namespace rowsort

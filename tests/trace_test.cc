@@ -1,0 +1,191 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// The span tracer (common/trace.h): nesting depth, thread attribution,
+// ring-buffer wraparound, the disabled path, and the Chrome trace-event
+// JSON export the acceptance pipeline loads into Perfetto.
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rowsort {
+namespace {
+
+std::vector<TraceEvent> SpansOnly(const std::vector<TraceEvent>& events) {
+  std::vector<TraceEvent> spans;
+  for (const auto& e : events) {
+    if (e.kind == TraceEvent::Kind::kSpan) spans.push_back(e);
+  }
+  return spans;
+}
+
+TEST(TraceTest, RecordsSpanWithDuration) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, "outer", "test");
+  }
+  auto spans = SpansOnly(tracer.Snapshot());
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[0].category, "test");
+  EXPECT_GE(spans[0].duration_ns, 0);
+  EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST(TraceTest, NestedSpansRecordDepth) {
+  Tracer tracer;
+  {
+    TraceSpan outer(&tracer, "outer", "test");
+    {
+      TraceSpan middle(&tracer, "middle", "test");
+      TraceSpan inner(&tracer, "inner", "test");
+    }
+  }
+  // Spans are recorded at destruction, so innermost lands first.
+  auto spans = SpansOnly(tracer.Snapshot());
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_STREQ(spans[1].name, "middle");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_STREQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].depth, 0u);
+  // Nesting is temporal containment: outer starts no later and ends no
+  // earlier than inner.
+  EXPECT_LE(spans[2].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[2].start_ns + spans[2].duration_ns,
+            spans[0].start_ns + spans[0].duration_ns);
+}
+
+TEST(TraceTest, NullTracerAndDisabledTracerRecordNothing) {
+  {
+    // Null tracer: the constructor must short-circuit (no crash, no-op).
+    TraceSpan span(nullptr, "ghost", "test");
+    EXPECT_EQ(span.ElapsedNanos(), 0);
+  }
+
+  Tracer tracer;
+  tracer.set_enabled(false);
+  {
+    TraceSpan span(&tracer, "ghost", "test");
+    tracer.RecordInstant("ghost-instant", "test");
+    tracer.RecordCounter("ghost-counter", 7);
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.thread_count(), 0u);
+}
+
+TEST(TraceTest, AttributesEventsToRecordingThreads) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      TraceSpan span(&tracer, "worker", "test");
+    });
+  }
+  for (auto& t : threads) t.join();
+  {
+    TraceSpan span(&tracer, "main", "test");
+  }
+
+  auto events = tracer.Snapshot();
+  EXPECT_EQ(tracer.thread_count(), kThreads + 1u);
+  ASSERT_EQ(events.size(), kThreads + 1u);
+  // Every registered thread ordinal appears exactly once.
+  std::vector<int> per_ordinal(kThreads + 1, 0);
+  for (const auto& e : events) {
+    ASSERT_LT(e.thread_ordinal, kThreads + 1u);
+    ++per_ordinal[e.thread_ordinal];
+  }
+  for (int count : per_ordinal) EXPECT_EQ(count, 1);
+}
+
+TEST(TraceTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  // Capacity rounds up to a power of two: ask for 8.
+  Tracer tracer(8);
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span(&tracer, "spin", "test");
+  }
+  auto events = tracer.Snapshot();
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_EQ(tracer.dropped_events(), 92u);
+  // Retained events are the newest, oldest-first.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
+  }
+}
+
+TEST(TraceTest, InstantAndCounterEvents) {
+  Tracer tracer;
+  tracer.RecordInstant("marker", "test");
+  tracer.RecordCounter("depth", 42);
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kInstant);
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kCounter);
+  EXPECT_EQ(events[1].value, 42);
+}
+
+TEST(TraceTest, ChromeTraceJsonShape) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, "sink.chunk", "sink");
+  }
+  tracer.RecordInstant("cancelled", "sort");
+  tracer.RecordCounter("pool.queue_depth", 3);
+
+  std::string json = tracer.ToChromeTraceJson();
+  // Chrome trace-event envelope and the three event phases.
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counter
+  EXPECT_NE(json.find("\"name\":\"sink.chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"sink\""), std::string::npos);
+  // Thread-name metadata so Perfetto labels the tracks.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(TraceTest, WriteChromeTraceRoundTrip) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, "merge.slice", "merge");
+  }
+  std::string path =
+      (std::string(::testing::TempDir()) + "/rowsort_trace_test.json");
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 16, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, tracer.ToChromeTraceJson());
+}
+
+TEST(TraceTest, ManyThreadsRecordConcurrently) {
+  // Lock-free recording under contention; run under TSan in CI.
+  Tracer tracer(1 << 10);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span(&tracer, "concurrent", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.thread_count(), kThreads);
+  EXPECT_EQ(tracer.Snapshot().size() + tracer.dropped_events(),
+            uint64_t{kThreads} * kSpansPerThread);
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -9,6 +9,8 @@
 //   rowsort_cli --workload=floats --rows=500000 --algorithm=pdq --desc
 //   rowsort_cli --workload=integers --rows=2000000 --topn=10
 //   rowsort_cli --workload=integers --rows=1000000 --spill=/tmp/rowsort
+//   rowsort_cli --workload=integers --rows=1000000 --threads=4
+//       --profile=profile.json --trace=trace.json --metrics
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -16,6 +18,8 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
+#include "engine/profile.h"
 #include "engine/sort_engine.h"
 #include "engine/top_n.h"
 #include "workload/tables.h"
@@ -39,6 +43,9 @@ struct Options {
   uint64_t timeout_ms = 0;
   uint64_t seed = 42;
   bool show_rows = true;
+  std::string profile_path;  ///< write SortProfile JSON here
+  std::string trace_path;    ///< write Chrome/Perfetto trace JSON here
+  bool show_metrics = false;
 };
 
 void PrintUsage() {
@@ -56,7 +63,10 @@ void PrintUsage() {
       "  --memory-limit=N[kmg] bound the working set; runs spill adaptively\n"
       "  --timeout-ms=N        abort with DeadlineExceeded after N ms\n"
       "  --seed=N              workload seed (default 42)\n"
-      "  --quiet               do not print sample rows\n");
+      "  --quiet               do not print sample rows\n"
+      "  --profile=FILE        write the hierarchical sort profile as JSON\n"
+      "  --trace=FILE          write a Chrome/Perfetto trace of the sort\n"
+      "  --metrics             print the profile tree and counters\n");
 }
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -102,6 +112,12 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(argv[i], "--seed", &value)) {
       opt->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "--profile", &value)) {
+      opt->profile_path = value;
+    } else if (ParseArg(argv[i], "--trace", &value)) {
+      opt->trace_path = value;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      opt->show_metrics = true;
     } else if (std::strcmp(argv[i], "--desc") == 0) {
       opt->descending = true;
     } else if (std::strcmp(argv[i], "--string-keys") == 0) {
@@ -204,6 +220,42 @@ int main(int argc, char** argv) {
     config.cancellation = deadline_source.token();
   }
 
+  // Observability: attach a tracer when a trace file was requested, and ask
+  // SortTable for the hierarchical profile when either --profile or
+  // --metrics needs one. Both are filled even when the sort fails, so a
+  // cancelled or erroring run still leaves its partial profile behind.
+  Tracer tracer;
+  if (!opt.trace_path.empty()) config.trace = &tracer;
+  const bool want_profile = !opt.profile_path.empty() || opt.show_metrics;
+  SortProfile profile;
+  auto export_observability = [&](const SortProfile* prof) {
+    if (prof != nullptr && !opt.profile_path.empty()) {
+      Status st = prof->WriteJson(opt.profile_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "profile export failed: %s\n",
+                     st.ToString().c_str());
+      } else {
+        std::printf("profile written to %s\n", opt.profile_path.c_str());
+      }
+    }
+    if (prof != nullptr && opt.show_metrics) {
+      std::printf("%s", prof->ToString().c_str());
+    }
+    if (!opt.trace_path.empty()) {
+      Status st = tracer.WriteChromeTrace(opt.trace_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     st.ToString().c_str());
+      } else {
+        std::printf(
+            "trace written to %s (%llu threads, %llu events dropped) — open "
+            "in ui.perfetto.dev\n",
+            opt.trace_path.c_str(), (unsigned long long)tracer.thread_count(),
+            (unsigned long long)tracer.dropped_events());
+      }
+    }
+  };
+
   Timer sort_timer;
   Table result;
   if (opt.topn > 0) {
@@ -216,8 +268,8 @@ int main(int argc, char** argv) {
                 FormatDuration(sort_timer.ElapsedSeconds()).c_str());
   } else {
     SortMetrics metrics;
-    StatusOr<Table> sorted =
-        RelationalSort::SortTable(input, spec, config, &metrics);
+    StatusOr<Table> sorted = RelationalSort::SortTable(
+        input, spec, config, &metrics, want_profile ? &profile : nullptr);
     if (!sorted.ok()) {
       std::fprintf(stderr, "sort failed: %s\n",
                    sorted.status().ToString().c_str());
@@ -228,6 +280,9 @@ int main(int argc, char** argv) {
                      (unsigned long long)metrics.cancel_checks,
                      metrics.time_to_cancel_us / 1000.0);
       }
+      // Partial observability: the profile records the phase the sort died
+      // in plus everything folded up to that point.
+      export_observability(want_profile ? &profile : nullptr);
       return 1;
     }
     result = std::move(sorted).ValueOrDie();
@@ -247,6 +302,7 @@ int main(int argc, char** argv) {
       std::printf("transient spill-I/O errors retried: %llu\n",
                   (unsigned long long)metrics.io_retries);
     }
+    export_observability(want_profile ? &profile : nullptr);
   }
 
   if (opt.show_rows && result.row_count() > 0) {

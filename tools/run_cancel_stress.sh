@@ -37,3 +37,20 @@ for ((round = 1; round <= ROUNDS; ++round)); do
     --output-on-failure
 done
 echo "cancel stress: all ${ROUNDS} rounds passed"
+
+# Partial-profile check: a deadline-killed sort must still leave a usable
+# profile behind (active phase + whatever was folded before the cut). The
+# CLI exits non-zero on DeadlineExceeded — that is the expected outcome.
+CLI="${BUILD_DIR}/tools/rowsort_cli"
+if [[ -x "${CLI}" ]]; then
+  echo "--- partial profile from a deadline-cancelled sort"
+  PROFILE="$(mktemp)"
+  trap 'rm -f "${PROFILE}"' EXIT
+  if "${CLI}" --workload=integers --rows=20000000 --threads=2 \
+      --timeout-ms=20 --quiet --profile="${PROFILE}"; then
+    echo "warning: sort finished before the deadline; profile is complete," \
+         "not partial"
+  fi
+  python3 -m json.tool "${PROFILE}" >/dev/null
+  echo "partial profile parses: $(head -c 120 "${PROFILE}")..."
+fi

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Runs a profiled external sort and records the observability artifacts:
+#   BENCH_profile.json  hierarchical SortProfile (rowsort.profile.v1)
+#   BENCH_trace.json    Chrome/Perfetto trace of the same sort
+# Transient spill-I/O failpoints are armed so the profile's retry/backoff
+# nodes carry real data (requires a -DROWSORT_FAILPOINTS=ON build; without
+# it the failpoints are compiled out and the sort just runs clean).
+# Both files are validated: they must parse as JSON and the profile must
+# contain the sink / run_sort / merge phase nodes.
+#
+# Usage: tools/run_profile_bench.sh [build-dir] [output-dir]
+#   build-dir   defaults to ./build (configured+built if missing)
+#   output-dir  defaults to the repo root
+#
+# Knobs (environment):
+#   ROWSORT_PROFILE_ROWS     workload rows (default 10000000)
+#   ROWSORT_PROFILE_THREADS  worker threads (default: nproc, capped at 8)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_dir="${2:-${repo_root}}"
+cli="${build_dir}/tools/rowsort_cli"
+rows="${ROWSORT_PROFILE_ROWS:-10000000}"
+threads="${ROWSORT_PROFILE_THREADS:-$(($(nproc) < 8 ? $(nproc) : 8))}"
+profile_json="${out_dir}/BENCH_profile.json"
+trace_json="${out_dir}/BENCH_trace.json"
+
+if [[ ! -x "${cli}" ]]; then
+  echo "== ${cli} not found; configuring and building =="
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+  cmake --build "${build_dir}" -j --target rowsort_cli
+fi
+
+spill_dir="$(mktemp -d)"
+trap 'rm -rf "${spill_dir}"' EXIT
+
+# Probabilistic transient I/O faults with deterministic seeds: the retry
+# layer absorbs them and the profile's spill/retry_backoff node records the
+# recovery cost.
+export ROWSORT_FAILPOINTS="external_run_read_eintr=p0.05:7,external_run_write_short=p0.05:9"
+
+echo "== profiled external sort: ${rows} rows, ${threads} threads =="
+echo "ROWSORT_FAILPOINTS=${ROWSORT_FAILPOINTS}"
+"${cli}" --workload=integers --rows="${rows}" --threads="${threads}" \
+  --spill="${spill_dir}" --memory-limit=64m --quiet \
+  --profile="${profile_json}" --trace="${trace_json}" --metrics
+
+echo "== validating ${profile_json} and ${trace_json} =="
+python3 -m json.tool "${profile_json}" >/dev/null
+python3 -m json.tool "${trace_json}" >/dev/null
+python3 - "${profile_json}" "${trace_json}" <<'EOF'
+import json, sys
+profile = json.load(open(sys.argv[1]))
+assert profile["schema"] == "rowsort.profile.v1", profile.get("schema")
+phases = {c["name"] for c in profile["profile"]["children"]}
+for want in ("sink", "run_sort", "merge"):
+    assert want in phases, f"missing phase node: {want} (have {phases})"
+trace = json.load(open(sys.argv[2]))
+names = {e.get("name") for e in trace["traceEvents"]}
+for want in ("sink.chunk", "run.sort", "merge.phase"):
+    assert want in names, f"missing trace span: {want}"
+print(f"profile phases: {sorted(phases)}")
+print(f"trace events: {len(trace['traceEvents'])}")
+EOF
+echo "== done: ${profile_json}, ${trace_json} =="
