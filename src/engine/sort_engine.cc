@@ -94,6 +94,14 @@ void RelationalSort::FoldRuntimeIntoProfile() {
   SortMetrics snapshot;
   {
     std::lock_guard<std::mutex> lock(runs_mutex_);
+    // The kernel counters keep moving after Finalize (ScanChunk gathers), so
+    // refresh them whenever the profile is rebuilt.
+    metrics_.rows_bulk_copied =
+        rows_bulk_copied_.load(std::memory_order_relaxed);
+    metrics_.gather_fast_path =
+        kernel_stats_.gather_fast_path.load(std::memory_order_relaxed);
+    metrics_.scatter_fast_path =
+        kernel_stats_.scatter_fast_path.load(std::memory_order_relaxed);
     snapshot = metrics_;
   }
   profile_.SetRows(snapshot.rows);
@@ -106,6 +114,9 @@ void RelationalSort::FoldRuntimeIntoProfile() {
   profile_.SetRootCounter("cancel_checks", cancel_.checks());
   profile_.SetRootCounter(
       "merge_compares", merge_compares_.load(std::memory_order_relaxed));
+  profile_.SetRootCounter("rows_bulk_copied", snapshot.rows_bulk_copied);
+  profile_.SetRootCounter("gather_fast_path", snapshot.gather_fast_path);
+  profile_.SetRootCounter("scatter_fast_path", snapshot.scatter_fast_path);
   if (UseOvc()) {
     profile_.SetRootCounter("ovc_decided",
                             ovc_decided_.load(std::memory_order_relaxed));
@@ -163,8 +174,9 @@ Status RelationalSort::SinkImpl(LocalState& local, const DataChunk& chunk) {
         key_base + i * key_row_width_ + row_id_offset_, old_count + i);
   }
 
-  // Payload rows: every input column, scattered column by column.
-  local.payload_.AppendChunk(chunk);
+  // Payload rows: every input column, scattered column by column through the
+  // width-specialized kernels (all-valid columns skip per-row branches).
+  local.payload_.AppendChunk(chunk, &kernel_stats_);
   local.count_ += count;
   const uint64_t sink_ns = timer.ElapsedNanos();
   local.profile_.chunks += 1;
@@ -254,6 +266,7 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
     config.key_offset = 0;
     config.key_width = encoder_.key_width();
     config.trace = config_.trace;
+    config.prefetch = config_.use_movement_kernels;
     if (cancel_.enabled()) {
       // Checked once per radix pass; unwinds via CancelledError, caught at
       // the Sink/CombineLocal entry points like std::bad_alloc.
@@ -325,13 +338,26 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
   run.payload = RowCollection(payload_layout_);
   run.payload.SetMemoryTracker(&tracker_);
   run.payload.AppendUninitialized(count);
+  const uint64_t source_null_mask = local.payload_.maybe_null_mask();
   const uint64_t width = payload_layout_.row_width();
+  const bool prefetch = config_.use_movement_kernels;
+  const uint8_t* sorted_keys = run.key_rows.data();
   for (uint64_t i = 0; i < count; ++i) {
     if ((i & (kCancelCheckRows - 1)) == 0) cancel_.ThrowIfCancelled();
+    if (prefetch && i + kGatherPrefetchDistance < count) {
+      // The sorted row ids hit effectively random payload rows; fetch the
+      // source of the copy a few iterations ahead of the cursor.
+      uint64_t ahead = bit_util::LoadUnaligned<uint64_t>(
+          sorted_keys + (i + kGatherPrefetchDistance) * krw + row_id_offset_);
+      ROWSORT_PREFETCH_READ(local.payload_.GetRow(ahead));
+    }
     uint64_t row_id = bit_util::LoadUnaligned<uint64_t>(
-        run.key_rows.data() + i * krw + row_id_offset_);
+        sorted_keys + i * krw + row_id_offset_);
     std::memcpy(run.payload.GetRow(i), local.payload_.GetRow(row_id), width);
   }
+  // The reorder copied rows verbatim, so the sink-side NULL tracking is
+  // exact for the run too (AppendUninitialized had tainted it).
+  run.payload.SetMaybeNullMask(source_null_mask);
   run.payload.AdoptHeap(std::move(local.payload_));
 
   if (UseOvc()) {
@@ -455,6 +481,35 @@ void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
   std::atomic<uint64_t>* counter =
       config_.count_comparisons ? &merge_compares_ : nullptr;
   uint64_t until_check = kCancelCheckRows;
+  const bool batch = config_.use_movement_kernels;
+  uint64_t bulk_rows = 0;
+
+  // Run-length batched emission (docs/architecture.md): rows taken
+  // consecutively from the same input run accumulate into one pending range
+  // and are flushed with a single wide memcpy per region when the winning
+  // side flips. With batching off every row flushes immediately — the
+  // per-row memcpy baseline.
+  const SortedRun* pend_run = nullptr;
+  uint64_t pend_begin = 0, pend_len = 0;
+  auto flush_pending = [&]() {
+    if (pend_len == 0) return;
+    std::memcpy(out_keys + (o - pend_len) * krw, pend_run->KeyRow(pend_begin),
+                pend_len * krw);
+    std::memcpy(out->payload.GetRow(o - pend_len),
+                pend_run->PayloadRow(pend_begin), pend_len * prw);
+    if (pend_len > 1) bulk_rows += pend_len;
+    pend_len = 0;
+  };
+  auto take = [&](const SortedRun& src, uint64_t i) {
+    if (pend_run != &src || pend_begin + pend_len != i) {
+      flush_pending();
+      pend_run = &src;
+      pend_begin = i;
+    }
+    ++pend_len;
+    ++o;
+    if (!batch) flush_pending();
+  };
 
   while (l < left_end && r < right_end) {
     if (--until_check == 0) {
@@ -466,31 +521,35 @@ void RelationalSort::MergeSlice(const SortedRun& left, const SortedRun& right,
     int cmp = comparator_.Compare(left.KeyRow(l), left.PayloadRow(l),
                                   right.KeyRow(r), right.PayloadRow(r));
     if (cmp <= 0) {  // stable: left wins ties
-      std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
-      std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
+      take(left, l);
       ++l;
     } else {
-      std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
-      std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
+      take(right, r);
       ++r;
     }
-    ++o;
   }
-  for (; l < left_end; ++l, ++o) {
-    if (--until_check == 0) {
-      until_check = kCancelCheckRows;
-      cancel_.ThrowIfCancelled();
+  flush_pending();
+  // Exhausted-side tails stream through in cancellation-check-sized chunks
+  // instead of row at a time.
+  auto drain = [&](const SortedRun& src, uint64_t pos, uint64_t end) {
+    while (pos < end) {
+      uint64_t n = batch ? std::min(end - pos, until_check) : 1;
+      std::memcpy(out_keys + o * krw, src.KeyRow(pos), n * krw);
+      std::memcpy(out->payload.GetRow(o), src.PayloadRow(pos), n * prw);
+      if (n > 1) bulk_rows += n;
+      o += n;
+      pos += n;
+      until_check -= n;
+      if (until_check == 0) {
+        until_check = kCancelCheckRows;
+        cancel_.ThrowIfCancelled();
+      }
     }
-    std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
-    std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
-  }
-  for (; r < right_end; ++r, ++o) {
-    if (--until_check == 0) {
-      until_check = kCancelCheckRows;
-      cancel_.ThrowIfCancelled();
-    }
-    std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
-    std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
+  };
+  drain(left, l, left_end);
+  drain(right, r, right_end);
+  if (bulk_rows > 0) {
+    rows_bulk_copied_.fetch_add(bulk_rows, std::memory_order_relaxed);
   }
   profile_.RecordMergeSlice(timer.ElapsedNanos(),
                             (left_end - left_begin) + (right_end - right_begin));
@@ -516,6 +575,34 @@ void RelationalSort::MergeSliceOvc(const SortedRun& left,
   uint8_t* out_keys = out->key_rows.data();
   uint64_t* out_ovcs = out->ovcs.data();
   uint64_t decided = 0, fallback = 0;
+  const bool batch = config_.use_movement_kernels;
+  uint64_t bulk_rows = 0;
+
+  // Run-length batching like MergeSlice: key/payload copies are deferred
+  // until the winning side flips, then flushed as one wide memcpy per
+  // region. The OVC stores stay per-row — the winner's code depends on the
+  // comparison just made.
+  const SortedRun* pend_run = nullptr;
+  uint64_t pend_begin = 0, pend_len = 0;
+  auto flush_pending = [&]() {
+    if (pend_len == 0) return;
+    std::memcpy(out_keys + (o - pend_len) * krw, pend_run->KeyRow(pend_begin),
+                pend_len * krw);
+    std::memcpy(out->payload.GetRow(o - pend_len),
+                pend_run->PayloadRow(pend_begin), pend_len * prw);
+    if (pend_len > 1) bulk_rows += pend_len;
+    pend_len = 0;
+  };
+  auto take = [&](const SortedRun& src, uint64_t i) {
+    if (pend_run != &src || pend_begin + pend_len != i) {
+      flush_pending();
+      pend_run = &src;
+      pend_begin = i;
+    }
+    ++pend_len;
+    ++o;
+    if (!batch) flush_pending();
+  };
 
   // Head codes; until the seed comparison establishes the shared base these
   // are relative to each run's own predecessor and only land in the first
@@ -578,51 +665,47 @@ void RelationalSort::MergeSliceOvc(const SortedRun& left,
     if (take_left) {
       out_ovcs[o] = ovc_l;  // the winner's code is relative to the previous
                             // output row — exactly the output run's code
-      std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
-      std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
+      take(left, l);
       if (++l < left_end) ovc_l = left.ovcs[l];  // run code vs just-emitted
     } else {
       out_ovcs[o] = ovc_r;
-      std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
-      std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
+      take(right, r);
       if (++r < right_end) ovc_r = right.ovcs[r];
     }
-    ++o;
   }
+  flush_pending();
   // One side exhausted: the first copied row's code relative to the last
   // emitted row is its current head code (invariant), the rest are
-  // run-consecutive so their stored codes carry over.
-  if (l < left_end) {
-    out_ovcs[o] = ovc_l;
-    std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
-    std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
-    ++l, ++o;
-    for (; l < left_end; ++l, ++o) {
-      if (--until_check == 0) {
+  // run-consecutive so their stored codes carry over — one bulk copy for
+  // the codes, cancellation-check-sized chunks for keys and payload.
+  auto drain = [&](const SortedRun& src, uint64_t pos, uint64_t end,
+                   uint64_t head_code) {
+    if (pos >= end) return;
+    out_ovcs[o] = head_code;
+    if (end - pos > 1) {
+      std::memcpy(out_ovcs + o + 1, src.ovcs.data() + pos + 1,
+                  (end - pos - 1) * sizeof(uint64_t));
+    }
+    while (pos < end) {
+      uint64_t n = batch ? std::min(end - pos, until_check) : 1;
+      std::memcpy(out_keys + o * krw, src.KeyRow(pos), n * krw);
+      std::memcpy(out->payload.GetRow(o), src.PayloadRow(pos), n * prw);
+      if (n > 1) bulk_rows += n;
+      o += n;
+      pos += n;
+      until_check -= n;
+      if (until_check == 0) {
         until_check = kCancelCheckRows;
         cancel_.ThrowIfCancelled();
       }
-      out_ovcs[o] = left.ovcs[l];
-      std::memcpy(out_keys + o * krw, left.KeyRow(l), krw);
-      std::memcpy(out->payload.GetRow(o), left.PayloadRow(l), prw);
     }
-  }
-  if (r < right_end) {
-    out_ovcs[o] = ovc_r;
-    std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
-    std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
-    ++r, ++o;
-    for (; r < right_end; ++r, ++o) {
-      if (--until_check == 0) {
-        until_check = kCancelCheckRows;
-        cancel_.ThrowIfCancelled();
-      }
-      out_ovcs[o] = right.ovcs[r];
-      std::memcpy(out_keys + o * krw, right.KeyRow(r), krw);
-      std::memcpy(out->payload.GetRow(o), right.PayloadRow(r), prw);
-    }
-  }
+  };
+  drain(left, l, left_end, ovc_l);
+  drain(right, r, right_end, ovc_r);
 
+  if (bulk_rows > 0) {
+    rows_bulk_copied_.fetch_add(bulk_rows, std::memory_order_relaxed);
+  }
   ovc_decided_.fetch_add(decided, std::memory_order_relaxed);
   ovc_fallback_.fetch_add(fallback, std::memory_order_relaxed);
   if (config_.count_comparisons) {
@@ -641,6 +724,10 @@ SortedRun RelationalSort::MergePair(const SortedRun& left,
   out.key_rows.resize(out.count * key_row_width_);
   out.payload = RowCollection(payload_layout_);
   out.payload.AppendUninitialized(out.count);
+  // Merged rows are verbatim copies of input rows, so the union of the
+  // inputs' NULL masks is exact (AppendUninitialized had tainted it).
+  out.payload.SetMaybeNullMask(left.payload.maybe_null_mask() |
+                               right.payload.maybe_null_mask());
   const bool ovc = UseOvc();
   if (ovc) out.ovcs.resize(out.count);
 
@@ -720,10 +807,15 @@ SortedRun RelationalSort::MergeKWayHeap(std::vector<SortedRun>& runs) {
   out.key_row_width = key_row_width_;
   out.payload = RowCollection(payload_layout_);
   uint64_t total = 0;
-  for (const auto& run : runs) total += run.count;
+  uint64_t null_mask = 0;
+  for (const auto& run : runs) {
+    total += run.count;
+    null_mask |= run.payload.maybe_null_mask();
+  }
   out.count = total;
   out.key_rows.resize(total * key_row_width_);
   out.payload.AppendUninitialized(total);
+  out.payload.SetMaybeNullMask(null_mask);  // verbatim copies: union is exact
 
   // Binary min-heap of run cursors; ties break toward the lower run index.
   struct Cursor {
@@ -761,18 +853,42 @@ SortedRun RelationalSort::MergeKWayHeap(std::vector<SortedRun>& runs) {
 
   const uint64_t krw = key_row_width_;
   const uint64_t prw = payload_layout_.row_width();
+  const bool batch = config_.use_movement_kernels;
+  uint64_t bulk_rows = 0;
   uint64_t o = 0;
+  // Run-length batching, like MergeSlice: consecutive wins by the same run
+  // accumulate and flush as one wide memcpy per region.
+  const SortedRun* pend_run = nullptr;
+  uint64_t pend_begin = 0, pend_len = 0;
+  auto flush_pending = [&]() {
+    if (pend_len == 0) return;
+    std::memcpy(out.key_rows.data() + (o - pend_len) * krw,
+                pend_run->KeyRow(pend_begin), pend_len * krw);
+    std::memcpy(out.payload.GetRow(o - pend_len),
+                pend_run->PayloadRow(pend_begin), pend_len * prw);
+    if (pend_len > 1) bulk_rows += pend_len;
+    pend_len = 0;
+  };
   while (!heap.empty()) {
     if ((o & (kCancelCheckRows - 1)) == 0) cancel_.ThrowIfCancelled();
     Cursor& top = heap[0];
-    std::memcpy(out.key_rows.data() + o * krw, top.run->KeyRow(top.pos), krw);
-    std::memcpy(out.payload.GetRow(o), top.run->PayloadRow(top.pos), prw);
+    if (pend_run != top.run || pend_begin + pend_len != top.pos) {
+      flush_pending();
+      pend_run = top.run;
+      pend_begin = top.pos;
+    }
+    ++pend_len;
     ++o;
+    if (!batch) flush_pending();
     if (++top.pos == top.run->count) {
       heap[0] = heap.back();
       heap.pop_back();
     }
     if (!heap.empty()) sift_down(0);
+  }
+  flush_pending();
+  if (bulk_rows > 0) {
+    rows_bulk_copied_.fetch_add(bulk_rows, std::memory_order_relaxed);
   }
 
   for (auto& run : runs) {
@@ -797,10 +913,15 @@ SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
   out.key_row_width = key_row_width_;
   out.payload = RowCollection(payload_layout_);
   uint64_t total = 0;
-  for (const auto& run : runs) total += run.count;
+  uint64_t null_mask = 0;
+  for (const auto& run : runs) {
+    total += run.count;
+    null_mask |= run.payload.maybe_null_mask();
+  }
   out.count = total;
   out.key_rows.resize(total * key_row_width_);
   out.payload.AppendUninitialized(total);
+  out.payload.SetMaybeNullMask(null_mask);  // verbatim copies: union is exact
 
   const uint64_t kw = comparator_.key_width();
   // Leaves padded to a power of two; virtual leaves are exhausted cursors.
@@ -874,15 +995,43 @@ SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
 
   const uint64_t krw = key_row_width_;
   const uint64_t prw = payload_layout_.row_width();
+  const bool batch = config_.use_movement_kernels;
+  uint64_t bulk_rows = 0;
+  // Run-length batching, like MergeSlice: consecutive wins by the same
+  // cursor accumulate and flush as one wide memcpy per region. `emitted`
+  // counts rows handed to the batcher (flushed + pending).
+  const SortedRun* pend_run = nullptr;
+  uint64_t pend_begin = 0, pend_len = 0, emitted = 0;
+  auto flush_pending = [&]() {
+    if (pend_len == 0) return;
+    std::memcpy(out.key_rows.data() + (emitted - pend_len) * krw,
+                pend_run->KeyRow(pend_begin), pend_len * krw);
+    std::memcpy(out.payload.GetRow(emitted - pend_len),
+                pend_run->PayloadRow(pend_begin), pend_len * prw);
+    if (pend_len > 1) bulk_rows += pend_len;
+    pend_len = 0;
+  };
   for (uint64_t o = 0; o < total; ++o) {
     if ((o & (kCancelCheckRows - 1)) == 0) cancel_.ThrowIfCancelled();
     Cursor& cw = cursors[winner];
-    std::memcpy(out.key_rows.data() + o * krw, cw.run->KeyRow(cw.pos), krw);
-    std::memcpy(out.payload.GetRow(o), cw.run->PayloadRow(cw.pos), prw);
+    if (pend_run != cw.run || pend_begin + pend_len != cw.pos) {
+      flush_pending();
+      pend_run = cw.run;
+      pend_begin = cw.pos;
+    }
+    ++pend_len;
+    ++emitted;
+    if (!batch) flush_pending();
     if (++cw.pos == cw.run->count) {
       cw.ovc = kOvcExhausted;
     } else {
       cw.ovc = cw.run->ovcs[cw.pos];  // code vs the row just emitted
+      if (batch) {
+        // The replacement's key is read by the replay comparisons right
+        // below; its payload by the streak flush shortly after.
+        ROWSORT_PREFETCH_READ(cw.run->KeyRow(cw.pos));
+        ROWSORT_PREFETCH_READ(cw.run->PayloadRow(cw.pos));
+      }
     }
     // Replay the winner's path; each stored loser's code is relative to the
     // emitted row, like the replacement's.
@@ -891,6 +1040,10 @@ SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
       if (precedes(tree[node], candidate)) std::swap(tree[node], candidate);
     }
     winner = candidate;
+  }
+  flush_pending();
+  if (bulk_rows > 0) {
+    rows_bulk_copied_.fetch_add(bulk_rows, std::memory_order_relaxed);
   }
 
   for (auto& run : runs) {
@@ -944,11 +1097,8 @@ Status RelationalSort::MergeSpilledPair(const std::string& left_path,
   out_block.payload.AppendUninitialized(block_rows);
   out_block.count = 0;  // fill level
 
-  auto append = [&](const SortedRun& src, uint64_t i) {
-    const uint64_t o = out_block.count++;
-    std::memcpy(out_block.key_rows.data() + o * krw, src.KeyRow(i), krw);
-    std::memcpy(out_block.payload.GetRow(o), src.PayloadRow(i), prw);
-  };
+  const bool batch = config_.use_movement_kernels;
+  uint64_t bulk_rows = 0;
   auto flush = [&]() -> Status {
     // Runs at least once per block_rows appended rows, so it doubles as the
     // merge loop's cooperative cancellation point.
@@ -956,6 +1106,25 @@ Status RelationalSort::MergeSpilledPair(const std::string& left_path,
     if (out_block.count == 0) return Status::OK();
     ROWSORT_RETURN_NOT_OK(writer.WriteSlice(out_block, 0, out_block.count));
     out_block.count = 0;
+    return Status::OK();
+  };
+  // Appends rows [begin, begin + n) of \p src to the output block with one
+  // wide memcpy per region, splitting the range at block-flush boundaries.
+  auto append_range = [&](const SortedRun& src, uint64_t begin,
+                          uint64_t n) -> Status {
+    while (n > 0) {
+      const uint64_t take = std::min(n, block_rows - out_block.count);
+      const uint64_t o = out_block.count;
+      std::memcpy(out_block.key_rows.data() + o * krw, src.KeyRow(begin),
+                  take * krw);
+      std::memcpy(out_block.payload.GetRow(o), src.PayloadRow(begin),
+                  take * prw);
+      if (take > 1) bulk_rows += take;
+      out_block.count += take;
+      begin += take;
+      n -= take;
+      if (out_block.count == block_rows) ROWSORT_RETURN_NOT_OK(flush());
+    }
     return Status::OK();
   };
 
@@ -966,49 +1135,71 @@ Status RelationalSort::MergeSpilledPair(const std::string& left_path,
   std::atomic<uint64_t>* counter =
       config_.count_comparisons ? &merge_compares_ : nullptr;
 
+  // Run-length batching like MergeSlice, with the pending streak ranging
+  // over the *current input block* of one side. It must flush both into the
+  // output block and onward to disk before that input block is replaced.
+  int pend_side = -1;  // 0 = lb, 1 = rb, -1 = none
+  uint64_t pend_begin = 0, pend_len = 0;
+  auto flush_pending = [&]() -> Status {
+    if (pend_len == 0) return Status::OK();
+    const uint64_t len = pend_len;
+    pend_len = 0;
+    return append_range(pend_side == 0 ? lb : rb, pend_begin, len);
+  };
+  auto take = [&](int side, uint64_t i) -> Status {
+    if (side != pend_side || pend_begin + pend_len != i) {
+      ROWSORT_RETURN_NOT_OK(flush_pending());
+      pend_side = side;
+      pend_begin = i;
+    }
+    ++pend_len;
+    if (!batch) return flush_pending();
+    return Status::OK();
+  };
+
   while (lb.count > 0 && rb.count > 0) {
     if (counter) counter->fetch_add(1, std::memory_order_relaxed);
     int cmp = comparator_.Compare(lb.KeyRow(li), lb.PayloadRow(li),
                                   rb.KeyRow(ri), rb.PayloadRow(ri));
     if (cmp <= 0) {  // stable: left wins ties, like MergeSlice
-      append(lb, li);
+      ROWSORT_RETURN_NOT_OK(take(0, li));
       ++li;
     } else {
-      append(rb, ri);
+      ROWSORT_RETURN_NOT_OK(take(1, ri));
       ++ri;
     }
-    if (out_block.count == block_rows) ROWSORT_RETURN_NOT_OK(flush());
     if (li == lb.count) {
+      ROWSORT_RETURN_NOT_OK(flush_pending());
       ROWSORT_RETURN_NOT_OK(flush());
       ROWSORT_RETURN_NOT_OK(left.ReadBlock(&lb));
       li = 0;
     }
     if (ri == rb.count) {
+      ROWSORT_RETURN_NOT_OK(flush_pending());
       ROWSORT_RETURN_NOT_OK(flush());
       ROWSORT_RETURN_NOT_OK(right.ReadBlock(&rb));
       ri = 0;
     }
   }
-  // One side exhausted: stream the rest of the other through unchanged.
+  ROWSORT_RETURN_NOT_OK(flush_pending());
+  // One side exhausted: the rest of each input block streams through as one
+  // bulk range.
   while (lb.count > 0) {
-    for (; li < lb.count; ++li) {
-      append(lb, li);
-      if (out_block.count == block_rows) ROWSORT_RETURN_NOT_OK(flush());
-    }
+    ROWSORT_RETURN_NOT_OK(append_range(lb, li, lb.count - li));
     ROWSORT_RETURN_NOT_OK(flush());
     ROWSORT_RETURN_NOT_OK(left.ReadBlock(&lb));
     li = 0;
   }
   while (rb.count > 0) {
-    for (; ri < rb.count; ++ri) {
-      append(rb, ri);
-      if (out_block.count == block_rows) ROWSORT_RETURN_NOT_OK(flush());
-    }
+    ROWSORT_RETURN_NOT_OK(append_range(rb, ri, rb.count - ri));
     ROWSORT_RETURN_NOT_OK(flush());
     ROWSORT_RETURN_NOT_OK(right.ReadBlock(&rb));
     ri = 0;
   }
   ROWSORT_RETURN_NOT_OK(flush());
+  if (bulk_rows > 0) {
+    rows_bulk_copied_.fetch_add(bulk_rows, std::memory_order_relaxed);
+  }
   ROWSORT_RETURN_NOT_OK(writer.Finish());
   profile_.RecordMergeSlice(timer.ElapsedNanos(), writer.rows_written());
   return Status::OK();
@@ -1088,6 +1279,12 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
     metrics_.ovc_decided = ovc_decided_.load(std::memory_order_relaxed);
     metrics_.ovc_fallback_compares =
         ovc_fallback_.load(std::memory_order_relaxed);
+    metrics_.rows_bulk_copied =
+        rows_bulk_copied_.load(std::memory_order_relaxed);
+    metrics_.gather_fast_path =
+        kernel_stats_.gather_fast_path.load(std::memory_order_relaxed);
+    metrics_.scatter_fast_path =
+        kernel_stats_.scatter_fast_path.load(std::memory_order_relaxed);
   };
 
   if (entries_.empty()) {
@@ -1235,7 +1432,7 @@ uint64_t RelationalSort::ScanChunk(uint64_t start, DataChunk* out) const {
     return 0;
   }
   uint64_t count = std::min(out->capacity(), result_.count - start);
-  result_.payload.GatherChunk(start, count, out);
+  result_.payload.GatherChunk(start, count, out, &kernel_stats_);
   return count;
 }
 
@@ -1250,11 +1447,11 @@ StatusOr<Table> RelationalSort::SortTable(const Table& input,
   // Fills the caller's outputs; used on every exit path so metrics and a
   // (possibly partial) profile survive errors and cancellation.
   auto fill_outputs = [&] {
+    // Folding first refreshes the data-movement counters (the scan-time
+    // gathers in particular) into the metrics before they are copied out.
+    sort.FoldRuntimeIntoProfile();
     if (metrics_out != nullptr) *metrics_out = sort.metrics();
-    if (profile_out != nullptr) {
-      sort.FoldRuntimeIntoProfile();
-      profile_out->CopyFrom(sort.profile_);
-    }
+    if (profile_out != nullptr) profile_out->CopyFrom(sort.profile_);
   };
 
   Status st;

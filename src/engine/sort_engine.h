@@ -78,6 +78,14 @@ struct SortEngineConfig {
   /// (full comparator merge) when truncated VARCHAR prefixes make key bytes
   /// non-decisive (TupleComparator::needs_tie_resolution()).
   bool use_offset_value_codes = true;
+  /// Data-movement ablation (docs/architecture.md, "Data movement"): true
+  /// (default) = the merge inner loops emit run-length streaks — consecutive
+  /// rows taken from the same input run — with one wide memcpy per streak,
+  /// and the hot loops issue software prefetches; false = the per-row memcpy
+  /// baseline. Output bytes are identical either way. The row-layer
+  /// scatter/gather kernels have their own process-wide switch
+  /// (SetRowKernelsEnabled, row/row_kernels.h).
+  bool use_movement_kernels = true;
   /// Cooperative cancellation / deadline for the whole pipeline. Every
   /// long-running loop (sink scatter, run sorts, merge inner loops, spill
   /// streaming) polls this token at block granularity (kCancelCheckRows) and
@@ -117,6 +125,17 @@ struct SortMetrics {
   uint64_t io_retries = 0;
   /// Cooperative cancellation checks performed (0 when no token was set).
   uint64_t cancel_checks = 0;
+  /// Rows the merge paths emitted through run-length batched copies (streaks
+  /// of >= 2 consecutive rows from one input flushed with a single wide
+  /// memcpy). 0 with use_movement_kernels off.
+  uint64_t rows_bulk_copied = 0;
+  /// Column gathers (NSM -> DSM, counted per column x chunk) that took the
+  /// no-NULL fast path — no per-row validity branch (row/row_kernels.h).
+  /// Scan-time counters: refreshed into metrics() by SortTable and
+  /// FoldRuntimeIntoProfile, not by Finalize (scans happen after it).
+  uint64_t gather_fast_path = 0;
+  /// Column scatters (DSM -> NSM) that took the all-valid fast path.
+  uint64_t scatter_fast_path = 0;
   /// Microseconds between a cancel request and the pipeline's first
   /// observation of it; 0 unless the sort was cancelled.
   uint64_t time_to_cancel_us = 0;
@@ -349,6 +368,12 @@ class RelationalSort {
   mutable SpillIoProfile spill_io_profile_;
   /// Hands each LocalState a stable thread slot in the profile tree.
   mutable std::atomic<uint64_t> next_local_ordinal_{0};
+  /// Fast-path scatter/gather counters from the row-kernel layer. Mutable:
+  /// ScanChunk (const) gathers through it; the atomics make concurrent
+  /// sinks safe.
+  mutable RowKernelStats kernel_stats_;
+  /// Rows emitted via run-length batched merge copies (streak length >= 2).
+  std::atomic<uint64_t> rows_bulk_copied_{0};
   std::atomic<uint64_t> run_compares_{0};
   std::atomic<uint64_t> merge_compares_{0};
   std::atomic<uint64_t> ovc_decided_{0};

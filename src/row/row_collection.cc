@@ -1,14 +1,16 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #include "row/row_collection.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bit_util.h"
+#include "row/row_kernels.h"
 #include "types/string_t.h"
 
 namespace rowsort {
 
-uint64_t RowCollection::AppendUninitialized(uint64_t count) {
+uint64_t RowCollection::GrowRows(uint64_t count) {
   uint64_t first = row_count_;
   rows_.resize(rows_.size() + count * layout_.row_width());
   row_count_ += count;
@@ -16,10 +18,17 @@ uint64_t RowCollection::AppendUninitialized(uint64_t count) {
   return first;
 }
 
+uint64_t RowCollection::AppendUninitialized(uint64_t count) {
+  // Raw bytes follow; assume any column may now hold NULLs until the caller
+  // narrows the mask (SetMaybeNullMask) with real knowledge of the rows.
+  maybe_null_mask_ = ~uint64_t(0);
+  return GrowRows(count);
+}
+
 uint64_t RowCollection::AppendRow(const DataChunk& chunk, uint64_t row) {
   ROWSORT_ASSERT(chunk.ColumnCount() == layout_.ColumnCount());
   ROWSORT_ASSERT(row < chunk.size());
-  uint64_t slot = AppendUninitialized(1);
+  uint64_t slot = GrowRows(1);
   uint8_t* dest = GetRow(slot);
   std::memset(dest, 0xFF, layout_.ValidityBytes());
   for (uint64_t col = 0; col < layout_.ColumnCount(); ++col) {
@@ -29,6 +38,7 @@ uint64_t RowCollection::AppendRow(const DataChunk& chunk, uint64_t row) {
     if (!vec.validity().RowIsValid(row)) {
       RowLayout::SetValid(dest, col, false);
       std::memset(dest + offset, 0, value_size);
+      MarkMaybeNull(col);
       continue;
     }
     if (vec.type().id() == TypeId::kVarchar) {
@@ -42,16 +52,28 @@ uint64_t RowCollection::AppendRow(const DataChunk& chunk, uint64_t row) {
   return slot;
 }
 
-void RowCollection::AppendChunk(const DataChunk& chunk) {
+void RowCollection::AppendChunk(const DataChunk& chunk, RowKernelStats* stats) {
   ROWSORT_ASSERT(chunk.ColumnCount() == layout_.ColumnCount());
   const uint64_t count = chunk.size();
   const uint64_t width = layout_.row_width();
-  uint64_t first = AppendUninitialized(count);
+  const bool kernels = RowKernelsEnabled();
+  uint64_t first = GrowRows(count);
   uint8_t* base = GetRow(first);
 
   // Zero validity prefixes (and padding) once, then scatter column by column.
-  for (uint64_t row = 0; row < count; ++row) {
-    std::memset(base + row * width, 0xFF, layout_.ValidityBytes());
+  const uint64_t validity_bytes = layout_.ValidityBytes();
+  if (kernels && validity_bytes == 1) {
+    // The common <= 8 column case: one byte store per row beats a memset
+    // call per row.
+    uint8_t* prefix = base;
+    for (uint64_t row = 0; row < count; ++row) {
+      *prefix = 0xFF;
+      prefix += width;
+    }
+  } else {
+    for (uint64_t row = 0; row < count; ++row) {
+      std::memset(base + row * width, 0xFF, validity_bytes);
+    }
   }
 
   for (uint64_t col = 0; col < layout_.ColumnCount(); ++col) {
@@ -59,22 +81,39 @@ void RowCollection::AppendChunk(const DataChunk& chunk) {
     const uint64_t offset = layout_.ColumnOffset(col);
     const int value_size = vec.type().FixedSize();
     const auto& validity = vec.validity();
+    // Conservative NULL tracking: a materialized source mask marks the
+    // column possibly-NULL even if every bit happens to be set.
+    if (!validity.AllValid()) MarkMaybeNull(col);
 
     if (vec.type().id() == TypeId::kVarchar) {
       const string_t* strings = vec.TypedData<string_t>();
-      for (uint64_t row = 0; row < count; ++row) {
-        uint8_t* dest = base + row * width;
-        if (!validity.RowIsValid(row)) {
-          RowLayout::SetValid(dest, col, false);
-          std::memset(dest + offset, 0, sizeof(string_t));
-          continue;
+      if (kernels && validity.AllValid()) {
+        // All-valid fast path: no per-row validity branch (string payloads
+        // still copy one at a time — they own heap space).
+        for (uint64_t row = 0; row < count; ++row) {
+          string_t owned = heap_.AddString(strings[row]);
+          std::memcpy(base + row * width + offset, &owned, sizeof(string_t));
         }
-        // Copy the payload into our heap so the collection is self-owned.
-        string_t owned = heap_.AddString(strings[row]);
-        std::memcpy(dest + offset, &owned, sizeof(string_t));
+        if (stats != nullptr) {
+          stats->scatter_fast_path.fetch_add(count, std::memory_order_relaxed);
+        }
+      } else {
+        for (uint64_t row = 0; row < count; ++row) {
+          uint8_t* dest = base + row * width;
+          if (!validity.RowIsValid(row)) {
+            RowLayout::SetValid(dest, col, false);
+            std::memset(dest + offset, 0, sizeof(string_t));
+            continue;
+          }
+          // Copy the payload into our heap so the collection is self-owned.
+          string_t owned = heap_.AddString(strings[row]);
+          std::memcpy(dest + offset, &owned, sizeof(string_t));
+        }
       }
       UpdateMemoryAccounting();
-    } else {
+    } else if (!kernels) {
+      // Scalar reference path (ablation baseline): runtime-width memcpy per
+      // value, validity branch per row.
       const uint8_t* src = vec.data();
       for (uint64_t row = 0; row < count; ++row) {
         uint8_t* dest = base + row * width;
@@ -85,61 +124,138 @@ void RowCollection::AppendChunk(const DataChunk& chunk) {
         }
         std::memcpy(dest + offset, src + row * value_size, value_size);
       }
+    } else if (validity.AllValid()) {
+      // All-valid fast path: width-specialized branchless scatter.
+      ScatterColumnDense(vec.data(), value_size, base + offset, width, count);
+      if (stats != nullptr) {
+        stats->scatter_fast_path.fetch_add(count, std::memory_order_relaxed);
+      }
+    } else {
+      // Mixed validity: test the mask one 64-row word at a time; fully-valid
+      // words run the branchless kernel, others fall back to per-row bits.
+      const uint8_t* src = vec.data();
+      for (uint64_t span_begin = 0; span_begin < count; span_begin += 64) {
+        const uint64_t span = std::min<uint64_t>(64, count - span_begin);
+        const uint64_t bits = validity.ValidWord(span_begin / 64);
+        uint8_t* dest = base + span_begin * width;
+        const uint8_t* vals = src + span_begin * value_size;
+        if (bits == ~uint64_t(0)) {
+          ScatterColumnDense(vals, value_size, dest + offset, width, span);
+          if (stats != nullptr) {
+            stats->scatter_fast_path.fetch_add(span, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        for (uint64_t i = 0; i < span; ++i, dest += width) {
+          if (((bits >> i) & 1) == 0) {
+            RowLayout::SetValid(dest, col, false);
+            std::memset(dest + offset, 0, value_size);
+          } else {
+            std::memcpy(dest + offset, vals + i * value_size, value_size);
+          }
+        }
+      }
     }
   }
 }
 
 namespace {
 
-void GatherColumn(const RowLayout& layout, uint64_t col, uint64_t col_offset,
-                  const uint8_t* base, uint64_t width, const uint64_t* indices,
-                  uint64_t count, Vector* out) {
+/// Gathers one column, sequentially (\p indices == nullptr: rows
+/// [seq_start, seq_start + count)) or index-driven. \p maybe_null false
+/// guarantees every gathered row is valid, enabling the branchless fast
+/// path; \p kernels false forces the scalar reference loop.
+void GatherColumn(uint64_t col, uint64_t col_offset, const uint8_t* base,
+                  uint64_t width, const uint64_t* indices, uint64_t seq_start,
+                  uint64_t count, bool maybe_null, bool kernels, Vector* out,
+                  RowKernelStats* stats) {
   const int value_size = out->type().FixedSize();
+  const bool fast = kernels && !maybe_null;
+  if (fast && stats != nullptr) {
+    stats->gather_fast_path.fetch_add(count, std::memory_order_relaxed);
+  }
   if (out->type().id() == TypeId::kVarchar) {
+    if (fast) out->validity().Reset();  // every gathered row is valid
     for (uint64_t i = 0; i < count; ++i) {
-      const uint8_t* src = base + indices[i] * width;
-      if (!RowLayout::IsValid(src, col)) {
-        out->validity().SetInvalid(i);
-        continue;
+      const uint8_t* src =
+          base + (indices != nullptr ? indices[i] : seq_start + i) * width;
+      if (indices != nullptr && i + kGatherPrefetchDistance < count) {
+        ROWSORT_PREFETCH_READ(base + indices[i + kGatherPrefetchDistance] * width);
       }
-      out->validity().SetValid(i);
+      if (!fast) {
+        if (!RowLayout::IsValid(src, col)) {
+          out->validity().SetInvalid(i);
+          continue;
+        }
+        out->validity().SetValid(i);
+      }
       string_t value = bit_util::LoadUnaligned<string_t>(src + col_offset);
       // Copy into the output vector's heap so the chunk outlives the rows.
       out->SetString(i, value.View());
     }
-  } else {
-    uint8_t* dest = out->data();
-    for (uint64_t i = 0; i < count; ++i) {
-      const uint8_t* src = base + indices[i] * width;
-      if (!RowLayout::IsValid(src, col)) {
-        out->validity().SetInvalid(i);
-        continue;
-      }
-      out->validity().SetValid(i);
-      std::memcpy(dest + i * value_size, src + col_offset, value_size);
+    return;
+  }
+  uint8_t* dest = out->data();
+  if (fast) {
+    out->validity().Reset();
+    if (indices == nullptr) {
+      GatherColumnDense(base + seq_start * width + col_offset, width,
+                        value_size, dest, count);
+    } else {
+      GatherColumnIndexed(base, width, col_offset, indices, count, value_size,
+                          dest);
     }
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* src =
+        base + (indices != nullptr ? indices[i] : seq_start + i) * width;
+    if (kernels && indices != nullptr && i + kGatherPrefetchDistance < count) {
+      ROWSORT_PREFETCH_READ(base + indices[i + kGatherPrefetchDistance] * width);
+    }
+    if (!RowLayout::IsValid(src, col)) {
+      out->validity().SetInvalid(i);
+      continue;
+    }
+    out->validity().SetValid(i);
+    std::memcpy(dest + i * value_size, src + col_offset, value_size);
   }
 }
 
 }  // namespace
 
-void RowCollection::GatherChunk(uint64_t start, uint64_t count,
-                                DataChunk* out) const {
+void RowCollection::GatherChunk(uint64_t start, uint64_t count, DataChunk* out,
+                                RowKernelStats* stats) const {
   ROWSORT_ASSERT(start + count <= row_count_);
   ROWSORT_ASSERT(out->ColumnCount() == layout_.ColumnCount());
   ROWSORT_ASSERT(count <= out->capacity());
-  std::vector<uint64_t> indices(count);
-  for (uint64_t i = 0; i < count; ++i) indices[i] = start + i;
-  GatherRows(indices.data(), count, out);
+  const bool kernels = RowKernelsEnabled();
+  if (!kernels) {
+    // Scalar reference path, exactly as shipped before the kernel layer:
+    // materialize an index array and run the indexed gather.
+    std::vector<uint64_t> indices(count);
+    for (uint64_t i = 0; i < count; ++i) indices[i] = start + i;
+    GatherRows(indices.data(), count, out, stats);
+    return;
+  }
+  const uint64_t width = layout_.row_width();
+  for (uint64_t col = 0; col < layout_.ColumnCount(); ++col) {
+    GatherColumn(col, layout_.ColumnOffset(col), rows_.data(), width,
+                 /*indices=*/nullptr, start, count, ColumnMaybeNull(col),
+                 kernels, &out->column(col), stats);
+  }
+  out->SetSize(count);
 }
 
 void RowCollection::GatherRows(const uint64_t* row_indices, uint64_t count,
-                                DataChunk* out) const {
+                               DataChunk* out, RowKernelStats* stats) const {
   ROWSORT_ASSERT(out->ColumnCount() == layout_.ColumnCount());
+  const bool kernels = RowKernelsEnabled();
   const uint64_t width = layout_.row_width();
   for (uint64_t col = 0; col < layout_.ColumnCount(); ++col) {
-    GatherColumn(layout_, col, layout_.ColumnOffset(col), rows_.data(), width,
-                 row_indices, count, &out->column(col));
+    GatherColumn(col, layout_.ColumnOffset(col), rows_.data(), width,
+                 row_indices, /*seq_start=*/0, count, ColumnMaybeNull(col),
+                 kernels, &out->column(col), stats);
   }
   out->SetSize(count);
 }

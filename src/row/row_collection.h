@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "row/row_kernels.h"
 #include "row/row_layout.h"
 #include "vector/data_chunk.h"
 #include "vector/string_heap.h"
@@ -43,11 +44,15 @@ class RowCollection {
   /// Scatters rows [0, chunk.size()) of \p chunk to the end of the
   /// collection, converting DSM -> NSM column by column ("one vector at a
   /// time", §VII). String payloads are copied into this collection's heap so
-  /// it owns all its data.
-  void AppendChunk(const DataChunk& chunk);
+  /// it owns all its data. Fixed-width columns go through the
+  /// width-specialized scatter kernels with a word-at-a-time all-valid fast
+  /// path (row_kernels.h); \p stats, when given, counts the fast-path rows.
+  void AppendChunk(const DataChunk& chunk, RowKernelStats* stats = nullptr);
 
   /// Pre-allocates space for \p count uninitialized rows and returns the
-  /// index of the first (engine-internal: reorder targets).
+  /// index of the first (engine-internal: reorder targets). The caller
+  /// writes raw row bytes, so NULL tracking turns conservative: every
+  /// column is treated as possibly NULL until SetMaybeNullMask() narrows it.
   uint64_t AppendUninitialized(uint64_t count);
 
   /// Scatters a single row of \p chunk (selective operators like Top-N
@@ -56,12 +61,28 @@ class RowCollection {
 
   /// Gathers rows [start, start+count) into \p out (NSM -> DSM). \p out must
   /// be initialized with the layout's types and capacity >= count. String
-  /// values are copied into the output vectors' heaps.
-  void GatherChunk(uint64_t start, uint64_t count, DataChunk* out) const;
+  /// values are copied into the output vectors' heaps. Columns never marked
+  /// possibly-NULL skip the per-row validity branch entirely (counted in
+  /// \p stats->gather_fast_path when given).
+  void GatherChunk(uint64_t start, uint64_t count, DataChunk* out,
+                   RowKernelStats* stats = nullptr) const;
 
-  /// Gathers arbitrary rows identified by \p row_indices (NSM -> DSM).
-  void GatherRows(const uint64_t* row_indices, uint64_t count,
-                   DataChunk* out) const;
+  /// Gathers arbitrary rows identified by \p row_indices (NSM -> DSM),
+  /// prefetching kGatherPrefetchDistance rows ahead of the copy cursor.
+  void GatherRows(const uint64_t* row_indices, uint64_t count, DataChunk* out,
+                  RowKernelStats* stats = nullptr) const;
+
+  /// Bit i set = column i may contain NULL rows (always assumed for columns
+  /// >= 64). Maintained by the Append paths; raw writes through
+  /// AppendUninitialized() set every bit. The gather fast path relies on
+  /// this being conservative: a clear bit guarantees no NULL.
+  uint64_t maybe_null_mask() const { return maybe_null_mask_; }
+
+  /// Overrides the possibly-NULL mask. Only valid when the caller knows the
+  /// rows' true NULL content — e.g. the sort engine after copying rows
+  /// verbatim from source collections, where the union of the sources'
+  /// masks is exact (see sort_engine.cc's merge paths).
+  void SetMaybeNullMask(uint64_t mask) { maybe_null_mask_ = mask; }
 
   /// Reads a single value (slow; tests and tie resolution).
   Value GetValue(uint64_t row, uint64_t col) const;
@@ -99,10 +120,23 @@ class RowCollection {
     if (tracker_ != nullptr) reservation_.Reset(tracker_, MemoryBytes());
   }
 
+  /// Grows the row storage without touching NULL tracking (internal: the
+  /// Append paths grow first, then record per-column validity precisely).
+  uint64_t GrowRows(uint64_t count);
+
+  /// True when column \p col may hold NULLs (conservative).
+  bool ColumnMaybeNull(uint64_t col) const {
+    return col >= 64 || ((maybe_null_mask_ >> col) & 1) != 0;
+  }
+  void MarkMaybeNull(uint64_t col) {
+    maybe_null_mask_ |= col < 64 ? (uint64_t(1) << col) : 0;
+  }
+
   RowLayout layout_;
   std::vector<uint8_t> rows_;
   StringHeap heap_;
   uint64_t row_count_ = 0;
+  uint64_t maybe_null_mask_ = 0;  ///< bit per column; see maybe_null_mask()
   MemoryTracker* tracker_ = nullptr;
   MemoryReservation reservation_;
 };

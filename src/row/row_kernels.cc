@@ -1,0 +1,116 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "row/row_kernels.h"
+
+namespace rowsort {
+
+namespace {
+
+/// Process-wide kernel switch. Relaxed: readers only need to see *a* value,
+/// and tests that flip it synchronize externally (they flip around whole
+/// operations, not mid-loop).
+std::atomic<bool> g_row_kernels_enabled{true};
+
+}  // namespace
+
+bool RowKernelsEnabled() {
+  return g_row_kernels_enabled.load(std::memory_order_relaxed);
+}
+
+bool SetRowKernelsEnabled(bool enabled) {
+  return g_row_kernels_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+void ScatterColumnDense(const uint8_t* src, int value_size, uint8_t* dst,
+                        uint64_t dst_stride, uint64_t count) {
+  using namespace row_kernels;
+  switch (value_size) {
+    case 1:
+      ScatterLoop<1>(src, dst, dst_stride, count);
+      return;
+    case 2:
+      ScatterLoop<2>(src, dst, dst_stride, count);
+      return;
+    case 4:
+      ScatterLoop<4>(src, dst, dst_stride, count);
+      return;
+    case 8:
+      ScatterLoop<8>(src, dst, dst_stride, count);
+      return;
+    case 16:
+      ScatterLoop<16>(src, dst, dst_stride, count);
+      return;
+    default:
+      // Runtime-width fallback for widths no type currently has.
+      for (uint64_t i = 0; i < count; ++i) {
+        std::memcpy(dst, src, value_size);
+        src += value_size;
+        dst += dst_stride;
+      }
+      return;
+  }
+}
+
+void GatherColumnDense(const uint8_t* src, uint64_t src_stride, int value_size,
+                       uint8_t* dst, uint64_t count) {
+  using namespace row_kernels;
+  switch (value_size) {
+    case 1:
+      GatherSeqLoop<1>(src, src_stride, dst, count);
+      return;
+    case 2:
+      GatherSeqLoop<2>(src, src_stride, dst, count);
+      return;
+    case 4:
+      GatherSeqLoop<4>(src, src_stride, dst, count);
+      return;
+    case 8:
+      GatherSeqLoop<8>(src, src_stride, dst, count);
+      return;
+    case 16:
+      GatherSeqLoop<16>(src, src_stride, dst, count);
+      return;
+    default:
+      for (uint64_t i = 0; i < count; ++i) {
+        std::memcpy(dst, src, value_size);
+        src += src_stride;
+        dst += value_size;
+      }
+      return;
+  }
+}
+
+void GatherColumnIndexed(const uint8_t* base, uint64_t row_stride,
+                         uint64_t col_offset, const uint64_t* indices,
+                         uint64_t count, int value_size, uint8_t* dst) {
+  using namespace row_kernels;
+  switch (value_size) {
+    case 1:
+      GatherIndexedLoop<1>(base, row_stride, col_offset, indices, count, dst);
+      return;
+    case 2:
+      GatherIndexedLoop<2>(base, row_stride, col_offset, indices, count, dst);
+      return;
+    case 4:
+      GatherIndexedLoop<4>(base, row_stride, col_offset, indices, count, dst);
+      return;
+    case 8:
+      GatherIndexedLoop<8>(base, row_stride, col_offset, indices, count, dst);
+      return;
+    case 16:
+      GatherIndexedLoop<16>(base, row_stride, col_offset, indices, count, dst);
+      return;
+    default:
+      for (uint64_t i = 0; i < count; ++i) {
+        if (i + kGatherPrefetchDistance < count) {
+          ROWSORT_PREFETCH_READ(
+              base + indices[i + kGatherPrefetchDistance] * row_stride +
+              col_offset);
+        }
+        std::memcpy(dst + i * value_size,
+                    base + indices[i] * row_stride + col_offset, value_size);
+      }
+      return;
+  }
+}
+
+}  // namespace rowsort

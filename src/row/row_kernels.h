@@ -1,0 +1,178 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \file row_kernels.h
+/// Specialized data-movement kernels for the row-format pipeline.
+///
+/// The paper's row format wins because conversion and merging are pure data
+/// movement (§IV, §VII) — so that movement must be as cheap as the hardware
+/// allows. These kernels replace the generic per-value `memcpy(dst, src,
+/// runtime_width)` + per-row validity branch of the scalar reference path
+/// with:
+///
+///  * compile-time-specialized copy loops for the fixed column widths that
+///    actually occur (1/2/4/8/16 bytes — every fixed-width type plus the
+///    string_t descriptor); each iteration compiles to one load/store pair
+///    instead of a libc memcpy call,
+///  * an all-valid fast path that checks the validity mask one 64-row word
+///    at a time and runs the branchless inner loop for fully-valid words,
+///  * software prefetching for the access patterns the hardware prefetcher
+///    cannot predict (index-driven gathers, radix scatters, loser-tree
+///    emits).
+///
+/// The scalar reference implementation stays callable: `SetRowKernelsEnabled
+/// (false)` reverts every kernel call site to the original per-value loops
+/// (the ablation baseline of `bench_data_movement`), and
+/// `SortEngineConfig::use_movement_kernels` does the same for the engine's
+/// batched merge copies. Both paths produce byte-identical rows.
+/// See docs/architecture.md ("Data movement").
+
+// ---------------------------------------------------------------------------
+// Software prefetch
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+/// Prefetch \p addr for reading into the L2/L1 (low temporal locality).
+#define ROWSORT_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 1)
+/// Prefetch \p addr for writing.
+#define ROWSORT_PREFETCH_WRITE(addr) __builtin_prefetch((addr), 1, 1)
+#else
+#define ROWSORT_PREFETCH_READ(addr) ((void)0)
+#define ROWSORT_PREFETCH_WRITE(addr) ((void)0)
+#endif
+
+/// How many rows ahead index-driven gathers (GatherRows, the payload
+/// reorder after run sorts) prefetch the source row. Eight rows ≈ the
+/// latency of one DRAM access over the cost of one row copy; measured flat
+/// between 4 and 16 on the bench workloads.
+constexpr uint64_t kGatherPrefetchDistance = 8;
+
+/// How many rows ahead the radix scatter passes prefetch the destination
+/// slot. The destination of row i+d is offsets[bucket(i+d)] *at emit time*;
+/// prefetching with the current counter value is off by at most d rows'
+/// worth of drift — well within the prefetched line's neighborhood.
+constexpr uint64_t kScatterPrefetchDistance = 8;
+
+// ---------------------------------------------------------------------------
+// Process-wide kernel toggle (ablation support)
+// ---------------------------------------------------------------------------
+
+/// True (default) when the specialized kernels are active. Kept as a
+/// process-wide flag rather than per-collection state so the ablation can
+/// flip every call site — including gathers on collections created before
+/// the flip — without threading a config through RowCollection.
+bool RowKernelsEnabled();
+
+/// Enables/disables the specialized kernels; returns the previous value.
+/// The scalar reference path is always compiled in, so flipping this is
+/// safe at any point (tests flip it around individual operations).
+bool SetRowKernelsEnabled(bool enabled);
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Data-movement counters (relaxed atomics: callers may share one instance
+/// across threads). The engine folds these into SortMetrics and the profile
+/// root counters so the kernel win is observable through the PR 4
+/// instrumentation.
+struct RowKernelStats {
+  /// Rows gathered (NSM->DSM) through the all-valid fast path, i.e. without
+  /// a per-row validity branch. Counted per column visit: a 4-column
+  /// all-valid gather of n rows adds 4n.
+  std::atomic<uint64_t> gather_fast_path{0};
+  /// Rows scattered (DSM->NSM) through the all-valid fast path.
+  std::atomic<uint64_t> scatter_fast_path{0};
+  /// Rows emitted by the merge paths as part of a multi-row batched copy
+  /// (run-length >= 2) instead of per-row copies.
+  std::atomic<uint64_t> rows_bulk_copied{0};
+};
+
+// ---------------------------------------------------------------------------
+// Fixed-width copy kernels
+// ---------------------------------------------------------------------------
+
+namespace row_kernels {
+
+/// One compile-time-width value copy. For W in {1,2,4,8,16} this compiles
+/// to plain loads/stores (memcpy with a constant size is an intrinsic).
+template <int W>
+inline void CopyValue(uint8_t* dst, const uint8_t* src) {
+  std::memcpy(dst, src, W);
+}
+
+/// Dense scatter: values [0, count) of a flat DSM array into NSM slots at
+/// dst + i * dst_stride. The source is sequential and the destination is a
+/// fixed positive stride, both patterns the hardware prefetcher handles.
+template <int W>
+inline void ScatterLoop(const uint8_t* src, uint8_t* dst, uint64_t dst_stride,
+                        uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    CopyValue<W>(dst, src);
+    src += W;
+    dst += dst_stride;
+  }
+}
+
+/// Dense sequential gather: NSM slots at src + i * src_stride into a flat
+/// DSM array.
+template <int W>
+inline void GatherSeqLoop(const uint8_t* src, uint64_t src_stride,
+                          uint8_t* dst, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    CopyValue<W>(dst, src);
+    src += src_stride;
+    dst += W;
+  }
+}
+
+/// Index-driven gather with software prefetching: rows land in arbitrary
+/// order (sorted output, join matches), so each source row is a potential
+/// cache miss the hardware prefetcher cannot anticipate.
+template <int W>
+inline void GatherIndexedLoop(const uint8_t* base, uint64_t row_stride,
+                              uint64_t col_offset, const uint64_t* indices,
+                              uint64_t count, uint8_t* dst) {
+  for (uint64_t i = 0; i < count; ++i) {
+    if (i + kGatherPrefetchDistance < count) {
+      ROWSORT_PREFETCH_READ(base +
+                            indices[i + kGatherPrefetchDistance] * row_stride +
+                            col_offset);
+    }
+    CopyValue<W>(dst + i * W, base + indices[i] * row_stride + col_offset);
+  }
+}
+
+}  // namespace row_kernels
+
+// ---------------------------------------------------------------------------
+// Width-dispatched entry points
+// ---------------------------------------------------------------------------
+
+/// Scatters \p count dense values of \p value_size bytes from \p src into
+/// slots at \p dst + i * \p dst_stride. Widths 1/2/4/8/16 dispatch to the
+/// specialized loops; other widths use a runtime-width fallback.
+void ScatterColumnDense(const uint8_t* src, int value_size, uint8_t* dst,
+                        uint64_t dst_stride, uint64_t count);
+
+/// Gathers \p count sequential slots at \p src + i * \p src_stride into the
+/// dense array \p dst.
+void GatherColumnDense(const uint8_t* src, uint64_t src_stride, int value_size,
+                       uint8_t* dst, uint64_t count);
+
+/// Gathers \p count slots at \p base + indices[i] * \p row_stride +
+/// \p col_offset into the dense array \p dst, prefetching
+/// kGatherPrefetchDistance rows ahead.
+void GatherColumnIndexed(const uint8_t* base, uint64_t row_stride,
+                         uint64_t col_offset, const uint64_t* indices,
+                         uint64_t count, int value_size, uint8_t* dst);
+
+}  // namespace rowsort

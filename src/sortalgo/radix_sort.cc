@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "row/row_kernels.h"
 #include "sortalgo/row_ops.h"
 #include "sortalgo/row_sort.h"
 
@@ -25,10 +26,16 @@ struct ByteHistogram {
 };
 
 void CountByte(const uint8_t* rows, uint64_t count, uint64_t row_width,
-               uint64_t byte_offset, ByteHistogram* hist) {
+               uint64_t byte_offset, ByteHistogram* hist, bool prefetch) {
   const uint8_t* ptr = rows + byte_offset;
+  // The strided single-byte loads defeat the hardware next-line prefetcher
+  // for wide rows; reading ahead of the cursor hides that.
+  const uint64_t ahead = prefetch ? kScatterPrefetchDistance * row_width : 0;
   uint64_t max = hist->max_count;
   for (uint64_t i = 0; i < count; ++i) {
+    if (ahead != 0 && i + kScatterPrefetchDistance < count) {
+      ROWSORT_PREFETCH_READ(ptr + ahead);
+    }
     uint64_t c = ++hist->counts[*ptr];
     if (c > max) max = c;
     ptr += row_width;
@@ -41,9 +48,13 @@ void CountByte(const uint8_t* rows, uint64_t count, uint64_t row_width,
 /// can count every digit up front instead of re-scanning all rows per pass.
 void CountAllBytes(const uint8_t* rows, uint64_t count, uint64_t row_width,
                    uint64_t key_offset, uint64_t key_width,
-                   ByteHistogram* hists) {
+                   ByteHistogram* hists, bool prefetch) {
   const uint8_t* key = rows + key_offset;
+  const uint64_t ahead = prefetch ? kScatterPrefetchDistance * row_width : 0;
   for (uint64_t i = 0; i < count; ++i) {
+    if (ahead != 0 && i + kScatterPrefetchDistance < count) {
+      ROWSORT_PREFETCH_READ(key + ahead);
+    }
     for (uint64_t d = 0; d < key_width; ++d) {
       ByteHistogram& hist = hists[d];
       uint64_t c = ++hist.counts[key[d]];
@@ -71,7 +82,7 @@ void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
   {
     TraceSpan span(config.trace, "radix.lsd_count", "run_sort");
     CountAllBytes(src, count, row_width, config.key_offset, config.key_width,
-                  hists.data());
+                  hists.data(), config.prefetch);
   }
 
   // One stable scatter pass per key byte, least significant digit first.
@@ -96,7 +107,17 @@ void RadixSortLsd(uint8_t* rows, uint8_t* aux, uint64_t count,
     }
 
     const uint8_t* in = src;
+    const uint64_t ahead =
+        config.prefetch ? kScatterPrefetchDistance * row_width : 0;
     for (uint64_t i = 0; i < count; ++i) {
+      if (ahead != 0 && i + kScatterPrefetchDistance < count) {
+        // Read ahead of the scan cursor and prime the store target of the
+        // lookahead row — its bucket offset is exact up to the rows scattered
+        // there in between, which land in the same lines anyway.
+        const uint8_t* next = in + ahead;
+        ROWSORT_PREFETCH_READ(next);
+        ROWSORT_PREFETCH_WRITE(dst + offsets[next[byte_offset]] * row_width);
+      }
       uint64_t bucket = in[byte_offset];
       RowCopy(dst + offsets[bucket] * row_width, in, row_width);
       ++offsets[bucket];
@@ -138,7 +159,7 @@ void MsdRecurse(uint8_t* rows, uint8_t* aux, uint64_t count,
     // is observed within one pass over this bucket.
     if (config.cancellation_check) config.cancellation_check();
     ByteHistogram hist;
-    CountByte(rows, count, row_width, byte_offset, &hist);
+    CountByte(rows, count, row_width, byte_offset, &hist, config.prefetch);
 
     // Copy-skip: all rows share this byte, descend without moving data.
     if (hist.AllInOneBucket(count)) {
@@ -161,7 +182,14 @@ void MsdRecurse(uint8_t* rows, uint8_t* aux, uint64_t count,
       uint64_t cursor[kBuckets];
       std::memcpy(cursor, offsets, sizeof(cursor));
       const uint8_t* in = rows;
+      const uint64_t ahead =
+          config.prefetch ? kScatterPrefetchDistance * row_width : 0;
       for (uint64_t i = 0; i < count; ++i) {
+        if (ahead != 0 && i + kScatterPrefetchDistance < count) {
+          const uint8_t* next = in + ahead;
+          ROWSORT_PREFETCH_READ(next);
+          ROWSORT_PREFETCH_WRITE(aux + cursor[next[byte_offset]] * row_width);
+        }
         uint64_t bucket = in[byte_offset];
         RowCopy(aux + cursor[bucket] * row_width, in, row_width);
         ++cursor[bucket];

@@ -26,6 +26,13 @@ struct RadixSortConfig {
   /// "LSD radix sort is selected when the key size is <= 4 bytes").
   uint64_t lsd_key_width_bound = 4;
 
+  /// Issue software prefetches in the counting and scatter passes
+  /// (row/row_kernels.h): the counting scan reads ahead of its cursor, the
+  /// scatter passes additionally prime the store target of the row
+  /// kScatterPrefetchDistance iterations ahead. Off = the plain loops (the
+  /// engine forwards SortEngineConfig::use_movement_kernels here).
+  bool prefetch = true;
+
   /// Cooperative cancellation hook, invoked once per O(count) pass (LSD
   /// scatter pass, MSD counting pass) — never per row. The hook signals by
   /// throwing (e.g. CancelledError), unwinding the sort mid-pass; the rows

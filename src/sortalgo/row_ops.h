@@ -25,14 +25,27 @@ inline void RowCopy(uint8_t* dst, const uint8_t* src, uint64_t width) {
 /// Swaps two rows of \p width bytes through a stack buffer.
 inline void RowSwap(uint8_t* a, uint8_t* b, uint64_t width) {
   uint8_t tmp[kMaxFixedRowWidth];
-  while (width > kMaxFixedRowWidth) {
+  // Rows up to kMaxFixedRowWidth (every key-row layout the engine builds)
+  // swap in one three-memcpy pass with no loop entered.
+  if (ROWSORT_LIKELY(width <= kMaxFixedRowWidth)) {
+    std::memcpy(tmp, a, width);
+    std::memcpy(a, b, width);
+    std::memcpy(b, tmp, width);
+    return;
+  }
+  // Wider rows go chunk by chunk through the same buffer: full
+  // kMaxFixedRowWidth chunks first, then one pass for the residual tail
+  // (width is strictly positive here, so the tail pass is never empty for
+  // widths that are not a multiple of the chunk size, and swaps the final
+  // full chunk otherwise).
+  do {
     std::memcpy(tmp, a, kMaxFixedRowWidth);
     std::memcpy(a, b, kMaxFixedRowWidth);
     std::memcpy(b, tmp, kMaxFixedRowWidth);
     a += kMaxFixedRowWidth;
     b += kMaxFixedRowWidth;
     width -= kMaxFixedRowWidth;
-  }
+  } while (width > kMaxFixedRowWidth);
   std::memcpy(tmp, a, width);
   std::memcpy(a, b, width);
   std::memcpy(b, tmp, width);

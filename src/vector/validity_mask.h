@@ -47,6 +47,14 @@ class ValidityMask {
     }
   }
 
+  /// 64-row validity word \p w (bit i = row w*64+i is valid). All-ones when
+  /// the mask is unmaterialized or \p w is beyond the materialized storage
+  /// (both mean "no row in that span was ever set NULL"). Lets scatter
+  /// kernels test 64 rows with one compare instead of 64 branches.
+  uint64_t ValidWord(uint64_t w) const {
+    return w < bits_.size() ? bits_[w] : ~uint64_t(0);
+  }
+
   /// Number of NULL rows among the first \p count rows.
   uint64_t CountInvalid(uint64_t count) const {
     if (bits_.empty()) return 0;

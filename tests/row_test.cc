@@ -1,8 +1,13 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <numeric>
+#include <vector>
+
 #include "common/random.h"
 #include "row/row_collection.h"
+#include "row/row_kernels.h"
 #include "row/row_layout.h"
 
 namespace rowsort {
@@ -206,6 +211,311 @@ TEST(RowCollectionTest, GetValueMatchesAppended) {
   EXPECT_EQ(rows.GetValue(0, 0), Value::Float(2.5f));
   EXPECT_EQ(rows.GetValue(0, 1), Value::Varchar("abc"));
   EXPECT_EQ(rows.GetValue(0, 2), Value::Int16(-3));
+}
+
+// ---------------------------------------------------------------------------
+// Specialized data-movement kernels vs. the scalar reference path
+// ---------------------------------------------------------------------------
+
+/// RAII toggle for the process-wide kernel flag so a failing assertion can't
+/// leak a disabled state into later tests.
+class ScopedRowKernels {
+ public:
+  explicit ScopedRowKernels(bool enabled)
+      : previous_(SetRowKernelsEnabled(enabled)) {}
+  ~ScopedRowKernels() { SetRowKernelsEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+enum class ValidityPattern { kAllValid, kSparse, kAlternating, kAllNull };
+
+const char* PatternName(ValidityPattern p) {
+  switch (p) {
+    case ValidityPattern::kAllValid:
+      return "all-valid";
+    case ValidityPattern::kSparse:
+      return "sparse";
+    case ValidityPattern::kAlternating:
+      return "alternating";
+    case ValidityPattern::kAllNull:
+      return "all-null";
+  }
+  return "?";
+}
+
+bool RowIsNull(ValidityPattern p, uint64_t i) {
+  switch (p) {
+    case ValidityPattern::kAllValid:
+      return false;
+    case ValidityPattern::kSparse:
+      return i % 97 == 0;  // ~1% NULLs: most 64-row words stay fully valid
+    case ValidityPattern::kAlternating:
+      return i % 2 == 0;  // no 64-row word is ever fully valid
+    case ValidityPattern::kAllNull:
+      return true;
+  }
+  return false;
+}
+
+Value DeterministicValue(TypeId type, uint64_t i) {
+  switch (type) {
+    case TypeId::kBool:
+      return Value::Bool(i % 3 == 0);
+    case TypeId::kInt8:
+      return Value::Int8(static_cast<int8_t>(i * 7));
+    case TypeId::kInt16:
+      return Value::Int16(static_cast<int16_t>(i * 131 - 900));
+    case TypeId::kInt32:
+      return Value::Int32(static_cast<int32_t>(i * 2654435761u));
+    case TypeId::kInt64:
+      return Value::Int64(static_cast<int64_t>(i * 0x9E3779B97F4A7C15ull));
+    case TypeId::kUint32:
+      return Value::Uint32(static_cast<uint32_t>(i * 40503u + 1));
+    case TypeId::kUint64:
+      return Value::Uint64(i * 0xC2B2AE3D27D4EB4Full);
+    case TypeId::kFloat:
+      return Value::Float(static_cast<float>(i) * 0.25f - 100.0f);
+    case TypeId::kDouble:
+      return Value::Double(static_cast<double>(i) * 1.75 - 1000.0);
+    case TypeId::kDate:
+      return Value::Date(static_cast<int32_t>(i) - 365);
+    case TypeId::kVarchar:
+      // Mix inlined and heap-resident payloads.
+      return i % 4 == 0
+                 ? Value::Varchar("row-" + std::to_string(i) +
+                                  "-long-enough-to-live-in-the-string-heap")
+                 : Value::Varchar("r" + std::to_string(i));
+    default:
+      return Value::Null(type);
+  }
+}
+
+DataChunk MakePatternChunk(TypeId type, ValidityPattern pattern,
+                           uint64_t count) {
+  DataChunk chunk;
+  chunk.Initialize({LogicalType(type)});
+  for (uint64_t i = 0; i < count; ++i) {
+    chunk.SetValue(0, i,
+                   RowIsNull(pattern, i) ? Value::Null(type)
+                                         : DeterministicValue(type, i));
+  }
+  chunk.SetSize(count);
+  return chunk;
+}
+
+const TypeId kAllFixedWidthTypes[] = {
+    TypeId::kBool,   TypeId::kInt8,  TypeId::kInt16,  TypeId::kInt32,
+    TypeId::kInt64,  TypeId::kUint32, TypeId::kUint64, TypeId::kFloat,
+    TypeId::kDouble, TypeId::kDate};
+
+const ValidityPattern kAllPatterns[] = {
+    ValidityPattern::kAllValid, ValidityPattern::kSparse,
+    ValidityPattern::kAlternating, ValidityPattern::kAllNull};
+
+// 1000 rows: crosses several 64-row validity words and ends mid-word, so the
+// word-at-a-time fast path exercises both full and partial spans.
+constexpr uint64_t kKernelTestRows = 1000;
+
+TEST(RowKernelsTest, ScatterMatchesScalarBytesForEveryFixedWidthType) {
+  for (TypeId type : kAllFixedWidthTypes) {
+    for (ValidityPattern pattern : kAllPatterns) {
+      SCOPED_TRACE(std::string(LogicalType(type).ToString()) + "/" +
+                   PatternName(pattern));
+      DataChunk chunk = MakePatternChunk(type, pattern, kKernelTestRows);
+
+      RowCollection with_kernels{RowLayout({LogicalType(type)})};
+      {
+        ScopedRowKernels on(true);
+        with_kernels.AppendChunk(chunk);
+      }
+      RowCollection scalar{RowLayout({LogicalType(type)})};
+      {
+        ScopedRowKernels off(false);
+        scalar.AppendChunk(chunk);
+      }
+
+      ASSERT_EQ(with_kernels.RowBytes(), scalar.RowBytes());
+      EXPECT_EQ(std::memcmp(with_kernels.data(), scalar.data(),
+                            scalar.RowBytes()),
+                0)
+          << "kernel scatter produced different row bytes";
+      EXPECT_EQ(with_kernels.maybe_null_mask(), scalar.maybe_null_mask());
+    }
+  }
+}
+
+TEST(RowKernelsTest, GatherMatchesScalarValuesForEveryFixedWidthType) {
+  for (TypeId type : kAllFixedWidthTypes) {
+    for (ValidityPattern pattern : kAllPatterns) {
+      SCOPED_TRACE(std::string(LogicalType(type).ToString()) + "/" +
+                   PatternName(pattern));
+      DataChunk chunk = MakePatternChunk(type, pattern, kKernelTestRows);
+      RowCollection rows{RowLayout({LogicalType(type)})};
+      rows.AppendChunk(chunk);
+
+      // Sequential gather (GatherChunk) and an index-driven gather over a
+      // reversed permutation (GatherRows, hits the prefetching loop).
+      std::vector<uint64_t> reversed(kKernelTestRows);
+      std::iota(reversed.begin(), reversed.end(), 0);
+      std::reverse(reversed.begin(), reversed.end());
+
+      DataChunk seq_fast, seq_ref, idx_fast, idx_ref;
+      for (DataChunk* c : {&seq_fast, &seq_ref, &idx_fast, &idx_ref}) {
+        c->Initialize({LogicalType(type)});
+      }
+      {
+        ScopedRowKernels on(true);
+        rows.GatherChunk(0, kKernelTestRows, &seq_fast);
+        rows.GatherRows(reversed.data(), kKernelTestRows, &idx_fast);
+      }
+      {
+        ScopedRowKernels off(false);
+        rows.GatherChunk(0, kKernelTestRows, &seq_ref);
+        rows.GatherRows(reversed.data(), kKernelTestRows, &idx_ref);
+      }
+
+      for (uint64_t i = 0; i < kKernelTestRows; ++i) {
+        ASSERT_EQ(seq_fast.GetValue(0, i), seq_ref.GetValue(0, i)) << i;
+        ASSERT_EQ(idx_fast.GetValue(0, i), idx_ref.GetValue(0, i)) << i;
+        // Both must agree with the source chunk too, not just each other.
+        ASSERT_EQ(seq_fast.GetValue(0, i), chunk.GetValue(0, i)) << i;
+        ASSERT_EQ(idx_fast.GetValue(0, i),
+                  chunk.GetValue(0, kKernelTestRows - 1 - i))
+            << i;
+      }
+    }
+  }
+}
+
+TEST(RowKernelsTest, VarcharRoundTripMatchesScalarForEveryPattern) {
+  for (ValidityPattern pattern : kAllPatterns) {
+    SCOPED_TRACE(PatternName(pattern));
+    DataChunk chunk =
+        MakePatternChunk(TypeId::kVarchar, pattern, kKernelTestRows);
+
+    RowCollection with_kernels{RowLayout({LogicalType(TypeId::kVarchar)})};
+    {
+      ScopedRowKernels on(true);
+      with_kernels.AppendChunk(chunk);
+    }
+    RowCollection scalar{RowLayout({LogicalType(TypeId::kVarchar)})};
+    {
+      ScopedRowKernels off(false);
+      scalar.AppendChunk(chunk);
+    }
+
+    // Row bytes hold heap pointers, so compare through the gather instead:
+    // every (validity, payload) pair must match the scalar path and the
+    // source values.
+    DataChunk out_fast, out_ref;
+    out_fast.Initialize({LogicalType(TypeId::kVarchar)});
+    out_ref.Initialize({LogicalType(TypeId::kVarchar)});
+    {
+      ScopedRowKernels on(true);
+      with_kernels.GatherChunk(0, kKernelTestRows, &out_fast);
+    }
+    {
+      ScopedRowKernels off(false);
+      scalar.GatherChunk(0, kKernelTestRows, &out_ref);
+    }
+    for (uint64_t i = 0; i < kKernelTestRows; ++i) {
+      ASSERT_EQ(out_fast.GetValue(0, i), out_ref.GetValue(0, i)) << i;
+      ASSERT_EQ(out_fast.GetValue(0, i), chunk.GetValue(0, i)) << i;
+    }
+  }
+}
+
+TEST(RowKernelsTest, MixedLayoutScatterBytesMatchScalar) {
+  // A multi-column layout (the bench's 4-column table plus bool + date)
+  // with per-column validity differing: fast-path columns and fallback
+  // columns must coexist within one AppendChunk.
+  std::vector<LogicalType> types = {
+      LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64),
+      LogicalType(TypeId::kInt16), LogicalType(TypeId::kBool),
+      LogicalType(TypeId::kDate),  LogicalType(TypeId::kDouble)};
+  DataChunk chunk;
+  chunk.Initialize(types);
+  for (uint64_t i = 0; i < kKernelTestRows; ++i) {
+    for (uint64_t col = 0; col < types.size(); ++col) {
+      // Column c uses pattern c % 4, so every pattern appears.
+      ValidityPattern pattern = kAllPatterns[col % 4];
+      chunk.SetValue(col, i,
+                     RowIsNull(pattern, i)
+                         ? Value::Null(types[col].id())
+                         : DeterministicValue(types[col].id(), i + col));
+    }
+  }
+  chunk.SetSize(kKernelTestRows);
+
+  RowCollection with_kernels{RowLayout(types)};
+  {
+    ScopedRowKernels on(true);
+    with_kernels.AppendChunk(chunk);
+  }
+  RowCollection scalar{RowLayout(types)};
+  {
+    ScopedRowKernels off(false);
+    scalar.AppendChunk(chunk);
+  }
+  ASSERT_EQ(with_kernels.RowBytes(), scalar.RowBytes());
+  EXPECT_EQ(
+      std::memcmp(with_kernels.data(), scalar.data(), scalar.RowBytes()), 0);
+}
+
+TEST(RowKernelsTest, StatsCountFastPathRows) {
+  ScopedRowKernels on(true);
+  RowLayout layout({TypeId::kInt32, TypeId::kInt64});
+  // Two-column chunk, both all-valid.
+  DataChunk chunk;
+  chunk.Initialize(layout.types());
+  for (uint64_t i = 0; i < kKernelTestRows; ++i) {
+    chunk.SetValue(0, i, DeterministicValue(TypeId::kInt32, i));
+    chunk.SetValue(1, i, DeterministicValue(TypeId::kInt64, i));
+  }
+  chunk.SetSize(kKernelTestRows);
+
+  RowCollection rows(layout);
+  RowKernelStats stats;
+  rows.AppendChunk(chunk, &stats);
+  // Counted per column visit: 2 columns * rows.
+  EXPECT_EQ(stats.scatter_fast_path.load(), 2 * kKernelTestRows);
+
+  DataChunk out;
+  out.Initialize(layout.types());
+  rows.GatherChunk(0, kKernelTestRows, &out, &stats);
+  EXPECT_EQ(stats.gather_fast_path.load(), 2 * kKernelTestRows);
+
+  // An all-null chunk never takes the fast path on scatter, and poisons the
+  // maybe-null mask so later gathers take the branchy path too.
+  RowCollection null_rows(layout);
+  RowKernelStats null_stats;
+  DataChunk nulls;
+  nulls.Initialize(layout.types());
+  for (uint64_t i = 0; i < kKernelTestRows; ++i) {
+    nulls.SetValue(0, i, Value::Null(TypeId::kInt32));
+    nulls.SetValue(1, i, Value::Null(TypeId::kInt64));
+  }
+  nulls.SetSize(kKernelTestRows);
+  null_rows.AppendChunk(nulls, &null_stats);
+  EXPECT_EQ(null_stats.scatter_fast_path.load(), 0u);
+  null_rows.GatherChunk(0, kKernelTestRows, &out, &null_stats);
+  EXPECT_EQ(null_stats.gather_fast_path.load(), 0u);
+}
+
+TEST(RowKernelsTest, SparsePatternStillUsesFastPathForFullWords) {
+  // 1000 rows with a NULL at every multiple of 97: the NULLs land in words
+  // {0,1,3,4,6,7,9,10,12,13,15}, leaving full words {2,5,8,11,14} — 5 words
+  // of 64 rows each — to go through the branchless kernel.
+  ScopedRowKernels on(true);
+  RowLayout layout({TypeId::kInt64});
+  DataChunk chunk = MakePatternChunk(TypeId::kInt64, ValidityPattern::kSparse,
+                                     kKernelTestRows);
+  RowCollection rows(layout);
+  RowKernelStats stats;
+  rows.AppendChunk(chunk, &stats);
+  EXPECT_EQ(stats.scatter_fast_path.load(), 5 * 64u);
 }
 
 }  // namespace

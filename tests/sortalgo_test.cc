@@ -285,6 +285,49 @@ TEST(RowOpsTest, RowSwapExchangesWideRows) {
   EXPECT_EQ(b[299], 0xAA);
 }
 
+// Regression tests for the kMaxFixedRowWidth boundary: width == 256 must
+// take the single-pass stack-buffer path, width == 257 the chunked path with
+// a 1-byte residual tail. Guard bytes around the rows catch overruns in
+// either direction.
+void CheckRowSwapAtWidth(uint64_t width) {
+  SCOPED_TRACE(width);
+  const uint64_t guard = 16;
+  std::vector<uint8_t> a_buf(width + 2 * guard, 0xE1);
+  std::vector<uint8_t> b_buf(width + 2 * guard, 0xE2);
+  std::vector<uint8_t> a_row(width), b_row(width);
+  for (uint64_t i = 0; i < width; ++i) {
+    a_row[i] = static_cast<uint8_t>(i * 7 + 1);
+    b_row[i] = static_cast<uint8_t>(i * 13 + 5);
+  }
+  std::copy(a_row.begin(), a_row.end(), a_buf.begin() + guard);
+  std::copy(b_row.begin(), b_row.end(), b_buf.begin() + guard);
+
+  RowSwap(a_buf.data() + guard, b_buf.data() + guard, width);
+
+  EXPECT_TRUE(std::equal(b_row.begin(), b_row.end(), a_buf.begin() + guard));
+  EXPECT_TRUE(std::equal(a_row.begin(), a_row.end(), b_buf.begin() + guard));
+  for (uint64_t i = 0; i < guard; ++i) {
+    ASSERT_EQ(a_buf[i], 0xE1) << "front guard clobbered at " << i;
+    ASSERT_EQ(a_buf[guard + width + i], 0xE1) << "back guard clobbered at " << i;
+    ASSERT_EQ(b_buf[i], 0xE2) << "front guard clobbered at " << i;
+    ASSERT_EQ(b_buf[guard + width + i], 0xE2) << "back guard clobbered at " << i;
+  }
+}
+
+TEST(RowOpsTest, RowSwapWidthExactlyAtFixedBufferBoundary) {
+  static_assert(kMaxFixedRowWidth == 256,
+                "update the boundary regression widths");
+  CheckRowSwapAtWidth(256);
+}
+
+TEST(RowOpsTest, RowSwapWidthJustPastFixedBufferBoundary) {
+  CheckRowSwapAtWidth(257);
+  // A couple of other chunked-path shapes: exactly two chunks, and a
+  // mid-sized residual.
+  CheckRowSwapAtWidth(512);
+  CheckRowSwapAtWidth(300);
+}
+
 TEST(RowOpsTest, RowInsertionSortSortsByOffsetRange) {
   // Rows: [2B ignored][2B key]; sort by the key bytes only.
   const uint64_t n = 100, width = 4;

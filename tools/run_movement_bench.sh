@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the data-movement microbench (kernels vs. the scalar reference path)
+# plus the pipeline phase breakdown it feeds into, and records the results
+# as BENCH_movement.json so the scatter/gather win can be tracked across
+# changes (see bench/bench_data_movement.cc and docs/architecture.md,
+# "Data movement").
+#
+# The emitted JSON is validated: it must parse, cover every (op, variant)
+# cell, and carry positive timings. No perf gating — CI runs this as a
+# smoke job at small sizes where speedup numbers are noise.
+#
+# Usage: tools/run_movement_bench.sh [build-dir] [output-json]
+#   build-dir    defaults to ./build (configured+built if missing)
+#   output-json  defaults to ./BENCH_movement.json
+#
+# Knobs (environment):
+#   ROWSORT_MOVEMENT_ROWS  microbench table rows (default 2000000)
+#   ROWSORT_FIG11_ROWS     phase-breakdown sort rows (default 4000000)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_movement.json}"
+movement="${build_dir}/bench/bench_data_movement"
+fig11="${build_dir}/bench/bench_fig11_pipeline_phases"
+
+for target in bench_data_movement bench_fig11_pipeline_phases; do
+  if [[ ! -x "${build_dir}/bench/${target}" ]]; then
+    echo "== ${build_dir}/bench/${target} not found; configuring and building =="
+    cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+    cmake --build "${build_dir}" -j --target "${target}"
+  fi
+done
+
+echo "== data-movement kernels vs scalar baseline (JSON -> ${out_json}) =="
+ROWSORT_BENCH_JSON="${out_json}" "${movement}"
+
+echo
+echo "== pipeline phase breakdown (sink / run sort / merge) =="
+"${fig11}"
+
+echo
+echo "== validating ${out_json} =="
+python3 -m json.tool "${out_json}" >/dev/null
+python3 - "${out_json}" <<'EOF'
+import json, sys
+records = json.load(open(sys.argv[1]))
+cells = {(r["op"], r["variant"]) for r in records}
+ops = ("scatter", "gather_seq", "gather_random")
+variants = ("all-valid", "sparse-nulls", "half-nulls", "all-null")
+for op in ops:
+    for variant in variants:
+        assert (op, variant) in cells, f"missing cell: {op}/{variant}"
+for r in records:
+    assert r["rows"] > 0 and r["scalar_seconds"] > 0 and r["kernel_seconds"] > 0, r
+best = max(records, key=lambda r: r["speedup"])
+print(f"{len(records)} cells; best speedup {best['speedup']:.2f}x "
+      f"({best['op']}/{best['variant']})")
+EOF
+echo "== done: ${out_json} =="
