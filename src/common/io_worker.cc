@@ -1,0 +1,130 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/io_worker.h"
+
+#include <chrono>
+#include <utility>
+
+namespace rowsort {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool IoTicket::done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+Status IoTicket::Wait() {
+  if (state_ == nullptr) return Status::OK();
+  Status result;
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    result = state_->status;
+  }
+  state_.reset();
+  return result;
+}
+
+IoWorker::IoWorker(uint64_t queue_capacity)
+    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+IoWorker::~IoWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  worker_.join();
+}
+
+IoTicket IoWorker::Submit(std::function<Status()> job) {
+  Job entry;
+  entry.fn = std::move(job);
+  entry.state = std::make_shared<io_detail::JobState>();
+  const bool stats = stats_enabled_.load(std::memory_order_relaxed);
+  entry.enqueue_ns = stats ? NowNs() : 0;
+  IoTicket ticket(entry.state);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stats && queue_.size() >= queue_capacity_) stats_.submit_blocked += 1;
+    space_cv_.wait(lock,
+                   [&] { return shutdown_ || queue_.size() < queue_capacity_; });
+    // After shutdown began (destructor running concurrently with a Submit is
+    // a caller bug, but don't hang): run the job inline.
+    if (shutdown_) {
+      Status status = entry.fn();
+      std::lock_guard<std::mutex> state_lock(entry.state->mutex);
+      entry.state->status = std::move(status);
+      entry.state->done = true;
+      entry.state->cv.notify_all();
+      return ticket;
+    }
+    queue_.push_back(std::move(entry));
+    if (stats && queue_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = queue_.size();
+    }
+  }
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+IoWorkerStatsSnapshot IoWorker::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void IoWorker::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+
+    const bool stats = stats_enabled_.load(std::memory_order_relaxed);
+    const int64_t start_ns = stats ? NowNs() : 0;
+    Status status = job.fn();
+    const int64_t end_ns = stats ? NowNs() : 0;
+
+    if (stats) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.jobs_executed += 1;
+      if (job.enqueue_ns > 0 && start_ns >= job.enqueue_ns) {
+        stats_.queue_wait_ns.Record(
+            static_cast<uint64_t>(start_ns - job.enqueue_ns));
+      }
+      if (end_ns >= start_ns) {
+        stats_.run_ns.Record(static_cast<uint64_t>(end_ns - start_ns));
+        stats_.busy_seconds += static_cast<double>(end_ns - start_ns) * 1e-9;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(job.state->mutex);
+      job.state->status = std::move(status);
+      job.state->done = true;
+    }
+    job.state->cv.notify_all();
+  }
+}
+
+}  // namespace rowsort

@@ -1,0 +1,132 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/histogram.h"
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace rowsort {
+
+/// Snapshot of an IoWorker's activity since construction, folded into a
+/// SortProfile's "spill/io_worker" node (docs/observability.md). Mirrors the
+/// ThreadPoolStatsSnapshot conventions: per-job queue-wait and run-time
+/// histograms plus total busy seconds for the single worker thread.
+struct IoWorkerStatsSnapshot {
+  uint64_t jobs_executed = 0;
+  uint64_t max_queue_depth = 0;
+  uint64_t submit_blocked = 0;      ///< Submit() calls that hit a full queue
+  DurationHistogram queue_wait_ns;  ///< submit -> start, per job
+  DurationHistogram run_ns;         ///< start -> finish, per job
+  double busy_seconds = 0.0;
+};
+
+namespace io_detail {
+/// Shared completion state between an IoTicket and the worker thread.
+struct JobState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+};
+}  // namespace io_detail
+
+/// Handle to one submitted I/O job. Wait() blocks until the job finishes and
+/// returns its Status; after Wait() the ticket is empty again. Tickets are
+/// movable, not copyable — exactly one owner collects each job's result.
+class IoTicket {
+ public:
+  IoTicket() = default;
+  IoTicket(IoTicket&&) = default;
+  IoTicket& operator=(IoTicket&&) = default;
+  IoTicket(const IoTicket&) = delete;
+  IoTicket& operator=(const IoTicket&) = delete;
+
+  /// True while a job's result has not been collected yet.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking: true when the job has finished (Wait() would not block).
+  /// False for an empty ticket.
+  bool done() const;
+
+  /// Blocks until the job completes and returns its Status. Returns OK
+  /// immediately for an empty ticket. Resets the ticket to empty.
+  Status Wait();
+
+ private:
+  friend class IoWorker;
+  explicit IoTicket(std::shared_ptr<io_detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<io_detail::JobState> state_;
+};
+
+/// \brief Single background thread executing spill I/O jobs in submission
+/// order behind a bounded queue.
+///
+/// This is the overlap engine for the external-sort path (ROADMAP item 2):
+/// ExternalRunWriter submits the encoded block k while the sort thread fills
+/// block k+1 (write-behind), and ExternalRunReader submits the raw read of
+/// block k+1 while the merge decodes block k (readahead). One worker per
+/// RelationalSort keeps spill I/O sequential on disk while every producer /
+/// consumer holds at most one job in flight, so the bounded queue can never
+/// deadlock (jobs themselves never submit).
+///
+/// Jobs are Status() callables; the returned Status travels back through the
+/// IoTicket so callers keep the existing sticky-Status error path. Retry,
+/// CRC, failpoint, and cancellation machinery all live inside the job body
+/// (external_run.cc), which is what arms failpoints on the worker thread.
+class IoWorker {
+ public:
+  /// Starts the worker thread. \p queue_capacity bounds the number of
+  /// not-yet-started jobs; Submit() blocks when the queue is full.
+  explicit IoWorker(uint64_t queue_capacity = 4);
+  /// Drains remaining jobs (running each — owners may still Wait on their
+  /// tickets) and joins the thread.
+  ~IoWorker();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(IoWorker);
+
+  /// Enqueues \p job and returns a ticket for its completion. Blocks while
+  /// the queue is at capacity. Jobs run in submission order on the single
+  /// worker thread.
+  IoTicket Submit(std::function<Status()> job);
+
+  /// Turns on per-job accounting (queue wait, run time, busy seconds).
+  /// Off by default, same convention as ThreadPool::EnableStats.
+  void EnableStats(bool on) {
+    stats_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Accumulated stats (all zeros unless EnableStats(true) preceded the
+  /// work). Safe to call while jobs are running.
+  IoWorkerStatsSnapshot StatsSnapshot() const;
+
+ private:
+  struct Job {
+    std::function<Status()> fn;
+    std::shared_ptr<io_detail::JobState> state;
+    int64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop();
+
+  const uint64_t queue_capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< worker waits for work
+  std::condition_variable space_cv_;  ///< submitters wait for queue space
+  std::deque<Job> queue_;
+  bool shutdown_ = false;
+  std::atomic<bool> stats_enabled_{false};
+  IoWorkerStatsSnapshot stats_;  ///< guarded by mutex_
+  std::thread worker_;
+};
+
+}  // namespace rowsort

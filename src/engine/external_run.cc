@@ -48,7 +48,9 @@ const char* ErrnoLabel(int err) {
 
 /// Writes \p size bytes, resuming short writes where they stopped. A write
 /// that advances resets the retry budget; one that is stuck backs off
-/// exponentially and eventually fails with a permanent IOError.
+/// exponentially and eventually fails with a permanent IOError. Runs on the
+/// spill I/O worker when write-behind is enabled, so the failpoints and the
+/// retry machinery fire on the background thread.
 Status WriteAll(std::FILE* f, const void* data, uint64_t size,
                 const SpillIoOptions& io) {
   if (ROWSORT_FAILPOINT("external_run_write")) {
@@ -110,20 +112,6 @@ Status ReadAll(std::FILE* f, void* data, uint64_t size,
   return Status::OK();
 }
 
-/// Reads \p size bytes and folds them into \p crc.
-Status ReadAllCrc(std::FILE* f, void* data, uint64_t size, uint32_t* crc,
-                  const SpillIoOptions& io) {
-  ROWSORT_RETURN_NOT_OK(ReadAll(f, data, size, io));
-  *crc = Crc32(*crc, data, size);
-  return Status::OK();
-}
-
-template <typename T>
-Status ReadScalarCrc(std::FILE* f, T* value, uint32_t* crc,
-                     const SpillIoOptions& io) {
-  return ReadAllCrc(f, value, sizeof(T), crc, io);
-}
-
 /// Serialization buffer that accumulates scalars and tracks their CRC so
 /// header and block framing are written (and checksummed) identically.
 struct ScalarBuffer {
@@ -163,59 +151,22 @@ ScalarBuffer BuildHeader(uint64_t count, uint64_t key_row_width,
   return buf;
 }
 
-}  // namespace
-
-ExternalRunWriter::ExternalRunWriter(const RowLayout& payload_layout,
-                                     std::string path)
-    : layout_(payload_layout), path_(std::move(path)),
-      temp_path_(path_ + ".tmp") {}
-
-ExternalRunWriter::~ExternalRunWriter() { Abandon(); }
-
-void ExternalRunWriter::Abandon() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-  if (!finished_) {
-    std::remove(temp_path_.c_str());
-  }
+void AppendBytes(std::vector<uint8_t>* out, const void* data, uint64_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), bytes, bytes + size);
 }
 
-Status ExternalRunWriter::Open(uint64_t key_row_width) {
-  ROWSORT_ASSERT(file_ == nullptr && !finished_);
-  if (ROWSORT_FAILPOINT("external_run_open")) {
-    return Status::IOError("injected spill open failure (failpoint)");
-  }
-  file_ = std::fopen(temp_path_.c_str(), "wb");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot open " + temp_path_ + " for writing");
-  }
-  key_row_width_ = key_row_width;
-  // Placeholder header; Finish() seeks back and patches the row count.
-  ScalarBuffer header = BuildHeader(0, key_row_width_, layout_.row_width());
-  return WriteAll(file_, header.bytes, header.size, io_);
-}
-
-Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
-                                     uint64_t end) {
-  ROWSORT_ASSERT(file_ != nullptr && !finished_);
-  ROWSORT_ASSERT(begin <= end && end <= run.count);
-  ROWSORT_ASSERT(run.key_row_width == key_row_width_);
-  if (begin == end) return Status::OK();
-  // Block-granular cancellation: a multi-gigabyte spill stops between
-  // blocks, never mid-framing (the temp file is abandoned whole).
-  if (io_.cancellation.IsCancelled()) {
-    return CancellationToken::StatusForCause(io_.cancellation.cause());
-  }
-  TraceSpan span(io_.trace, "spill.write_block", "spill");
-  Timer timer;
-  const long block_start = std::ftell(file_);
+/// Serializes rows [begin, end) of \p run into \p out: block framing, key
+/// rows, payload rows, string section, trailing CRC32 over everything
+/// before it. Byte-for-byte the block format that the synchronous writer
+/// has always produced — encoding is separated from writing so the write
+/// can happen behind the sort thread's back.
+void EncodeSlice(const RowLayout& layout, const SortedRun& run, uint64_t begin,
+                 uint64_t end, std::vector<uint8_t>* out) {
+  out->clear();
   const uint64_t rows = end - begin;
-  const uint64_t krw = key_row_width_;
-  const uint64_t prw = layout_.row_width();
-  const uint8_t* keys = run.key_rows.data() + begin * krw;
-  const uint8_t* payload = run.payload.GetRow(begin);
+  const uint64_t krw = run.key_row_width;
+  const uint64_t prw = layout.row_width();
 
   // Collect the block's non-inlined strings first: the section length is
   // part of the framing.
@@ -225,8 +176,8 @@ Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
     string_t value;
   };
   std::vector<StringRef> strings;
-  for (uint64_t col : VarcharColumns(layout_)) {
-    uint64_t offset = layout_.ColumnOffset(col);
+  for (uint64_t col : VarcharColumns(layout)) {
+    uint64_t offset = layout.ColumnOffset(col);
     for (uint64_t row = begin; row < end; ++row) {
       const uint8_t* row_ptr = run.payload.GetRow(row);
       if (!RowLayout::IsValid(row_ptr, col)) continue;
@@ -240,41 +191,308 @@ Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
   ScalarBuffer framing;
   framing.Add<uint32_t>(kBlockMagic);
   framing.Add<uint64_t>(rows);
-  uint32_t crc = framing.Crc();
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, framing.bytes, framing.size, io_));
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, keys, rows * krw, io_));
-  crc = Crc32(crc, keys, rows * krw);
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, payload, rows * prw, io_));
-  crc = Crc32(crc, payload, rows * prw);
+  AppendBytes(out, framing.bytes, framing.size);
+  AppendBytes(out, run.key_rows.data() + begin * krw, rows * krw);
+  AppendBytes(out, run.payload.GetRow(begin), rows * prw);
 
   ScalarBuffer nstrings;
   nstrings.Add<uint64_t>(strings.size());
-  crc = nstrings.Crc(crc);
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, nstrings.bytes, nstrings.size, io_));
+  AppendBytes(out, nstrings.bytes, nstrings.size);
   for (const StringRef& s : strings) {
     ScalarBuffer entry;
     entry.Add<uint32_t>(s.row);
     entry.Add<uint32_t>(s.col);
     entry.Add<uint32_t>(s.value.size());
-    crc = entry.Crc(crc);
-    ROWSORT_RETURN_NOT_OK(WriteAll(file_, entry.bytes, entry.size, io_));
-    ROWSORT_RETURN_NOT_OK(WriteAll(file_, s.value.data(), s.value.size(), io_));
-    crc = Crc32(crc, s.value.data(), s.value.size());
+    AppendBytes(out, entry.bytes, entry.size);
+    AppendBytes(out, s.value.data(), s.value.size());
   }
-  ROWSORT_RETURN_NOT_OK(WriteAll(file_, &crc, sizeof(crc), io_));
+  uint32_t crc = Crc32(0, out->data(), out->size());
+  AppendBytes(out, &crc, sizeof(crc));
+}
+
+/// Reads the raw bytes of the next block (framing included, trailing CRC
+/// included) from \p f into \p raw. Framing fields are validated as they
+/// are read — a corrupt length must not drive a huge allocation — but the
+/// CRC and string placement are checked later by DecodeRawBlock, so this
+/// function can run on the I/O worker while the compute thread decodes the
+/// previous block. \p remaining_rows bounds the plausible row count.
+Status FetchRawBlock(std::FILE* f, const std::string& path,
+                     const RowLayout& layout, uint64_t key_row_width,
+                     uint64_t remaining_rows, std::vector<uint8_t>* raw,
+                     uint64_t* rows_out, const SpillIoOptions& io) {
+  raw->clear();
+  *rows_out = 0;
+  if (io.cancellation.IsCancelled()) {
+    return CancellationToken::StatusForCause(io.cancellation.cause());
+  }
+  TraceSpan span(io.trace, "spill.read_block", "spill");
+  Timer timer;
+  uint64_t pos = 0;
+  auto read_into = [&](uint64_t n) -> Status {
+    raw->resize(pos + n);
+    Status s = ReadAll(f, raw->data() + pos, n, io);
+    if (s.ok()) pos += n;
+    return s;
+  };
+
+  raw->resize(sizeof(uint32_t));
+  if (std::fread(raw->data(), 1, sizeof(uint32_t), f) != sizeof(uint32_t)) {
+    std::clearerr(f);
+    return Status::IOError(path + ": truncated (missing block)");
+  }
+  pos = sizeof(uint32_t);
+  if (bit_util::LoadUnaligned<uint32_t>(raw->data()) != kBlockMagic) {
+    return Status::IOError(path + ": corrupt block header");
+  }
+  ROWSORT_RETURN_NOT_OK(read_into(sizeof(uint64_t)));
+  const uint64_t rows = bit_util::LoadUnaligned<uint64_t>(raw->data() + 4);
+  if (rows == 0 || rows > remaining_rows) {
+    return Status::IOError(path + ": corrupt block row count");
+  }
+  ROWSORT_RETURN_NOT_OK(
+      read_into(rows * (key_row_width + layout.row_width())));
+  ROWSORT_RETURN_NOT_OK(read_into(sizeof(uint64_t)));
+  const uint64_t nstrings =
+      bit_util::LoadUnaligned<uint64_t>(raw->data() + pos - sizeof(uint64_t));
+  if (nstrings > rows * layout.ColumnCount()) {
+    return Status::IOError(path + ": corrupt string section length");
+  }
+  for (uint64_t i = 0; i < nstrings; ++i) {
+    ROWSORT_RETURN_NOT_OK(read_into(3 * sizeof(uint32_t)));
+    const uint32_t len =
+        bit_util::LoadUnaligned<uint32_t>(raw->data() + pos - sizeof(uint32_t));
+    if (len > kMaxStringLength) {
+      return Status::IOError(path + ": corrupt string section");
+    }
+    ROWSORT_RETURN_NOT_OK(read_into(len));
+  }
+  ROWSORT_RETURN_NOT_OK(read_into(sizeof(uint32_t)));  // stored block CRC
+  *rows_out = rows;
+  if (io.io_profile != nullptr) {
+    io.io_profile->RecordRead(timer.ElapsedNanos(), pos, rows);
+  }
+  return Status::OK();
+}
+
+/// Bounds-checked cursor over a fetched raw block.
+struct RawCursor {
+  const uint8_t* data;
+  uint64_t size;
+  uint64_t pos = 0;
+
+  const uint8_t* Take(uint64_t n) {
+    if (pos + n > size) return nullptr;
+    const uint8_t* p = data + pos;
+    pos += n;
+    return p;
+  }
+  template <typename T>
+  bool TakeScalar(T* out) {
+    const uint8_t* p = Take(sizeof(T));
+    if (p == nullptr) return false;
+    *out = bit_util::LoadUnaligned<T>(p);
+    return true;
+  }
+};
+
+/// Decodes a raw block fetched by FetchRawBlock into \p block: verifies the
+/// trailing CRC over the whole buffer, then rebuilds rows and re-pointers
+/// non-inlined strings into the block's own heap. Pure CPU — this is the
+/// half that overlaps the next block's background read.
+Status DecodeRawBlock(const RowLayout& layout, const std::string& path,
+                      const std::vector<uint8_t>& raw, uint64_t key_row_width,
+                      SortedRun* block, Tracer* trace) {
+  TraceSpan span(trace, "spill.decode_block", "spill");
+  if (raw.size() < sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint64_t) +
+                       sizeof(uint32_t)) {
+    return Status::IOError(path + ": truncated block");
+  }
+  const uint32_t stored_crc =
+      bit_util::LoadUnaligned<uint32_t>(raw.data() + raw.size() - 4);
+  if (Crc32(0, raw.data(), raw.size() - 4) != stored_crc) {
+    return Status::IOError(path + ": block checksum mismatch");
+  }
+
+  RawCursor cur{raw.data(), raw.size() - 4};
+  uint32_t magic = 0;
+  uint64_t rows = 0;
+  if (!cur.TakeScalar(&magic) || !cur.TakeScalar(&rows) ||
+      magic != kBlockMagic || rows == 0) {
+    return Status::IOError(path + ": corrupt block header");
+  }
+  const uint64_t krw = key_row_width;
+  const uint64_t prw = layout.row_width();
+  const uint8_t* keys = cur.Take(rows * krw);
+  const uint8_t* payload = cur.Take(rows * prw);
+  if (keys == nullptr || payload == nullptr) {
+    return Status::IOError(path + ": truncated block");
+  }
+  block->key_rows.resize(rows * krw);
+  std::memcpy(block->key_rows.data(), keys, rows * krw);
+  block->payload.AppendUninitialized(rows);
+  std::memcpy(block->payload.data(), payload, rows * prw);
+
+  uint64_t nstrings = 0;
+  if (!cur.TakeScalar(&nstrings) ||
+      nstrings > rows * layout.ColumnCount()) {
+    return Status::IOError(path + ": corrupt string section length");
+  }
+  for (uint64_t i = 0; i < nstrings; ++i) {
+    uint32_t row = 0, col = 0, len = 0;
+    if (!cur.TakeScalar(&row) || !cur.TakeScalar(&col) ||
+        !cur.TakeScalar(&len)) {
+      return Status::IOError(path + ": truncated block");
+    }
+    if (row >= rows || col >= layout.ColumnCount() ||
+        layout.types()[col].id() != TypeId::kVarchar ||
+        len > kMaxStringLength) {
+      return Status::IOError(path + ": corrupt string section");
+    }
+    const uint8_t* bytes = cur.Take(len);
+    if (bytes == nullptr) {
+      return Status::IOError(path + ": truncated block");
+    }
+    char* dest = block->payload.string_heap().Allocate(len);
+    std::memcpy(dest, bytes, len);
+    string_t value(dest, len);
+    bit_util::StoreUnaligned(
+        block->payload.GetRow(row) + layout.ColumnOffset(col), value);
+  }
+  if (cur.pos != cur.size) {
+    return Status::IOError(path + ": corrupt block length");
+  }
+  block->count = rows;
+  block->key_row_width = key_row_width;
+  return Status::OK();
+}
+
+}  // namespace
+
+ExternalRunWriter::ExternalRunWriter(const RowLayout& payload_layout,
+                                     std::string path)
+    : layout_(payload_layout), path_(std::move(path)),
+      temp_path_(path_ + ".tmp") {}
+
+ExternalRunWriter::~ExternalRunWriter() { Abandon(); }
+
+void ExternalRunWriter::Abandon() {
+  // An in-flight background block still references file_ and inflight_buf_;
+  // never close the file under it.
+  if (inflight_.valid()) (void)inflight_.Wait();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!finished_) {
+    std::remove(temp_path_.c_str());
+  }
+  buffer_memory_.Reset();
+}
+
+Status ExternalRunWriter::Open(uint64_t key_row_width) {
+  ROWSORT_ASSERT(file_ == nullptr && !finished_);
+  if (ROWSORT_FAILPOINT("external_run_open")) {
+    return Status::IOError("injected spill open failure (failpoint)");
+  }
+  file_ = std::fopen(temp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open " + temp_path_ + " for writing");
+  }
+  key_row_width_ = key_row_width;
+  if (io_.worker != nullptr && io_.buffer_tracker != nullptr) {
+    buffer_memory_.Reset(io_.buffer_tracker, 0);
+  }
+  // Placeholder header; Finish() seeks back and patches the row count.
+  ScalarBuffer header = BuildHeader(0, key_row_width_, layout_.row_width());
+  return WriteAll(file_, header.bytes, header.size, io_);
+}
+
+Status ExternalRunWriter::WaitForInflight(bool count_stall) {
+  if (!inflight_.valid()) return Status::OK();
+  if (inflight_.done()) return inflight_.Wait();
+  TraceSpan span(io_.trace, "spill.write_wait", "spill");
+  Timer timer;
+  Status s = inflight_.Wait();
+  if (io_.overlap_stats != nullptr) {
+    io_.overlap_stats->io_wait_us.fetch_add(timer.ElapsedNanos() / 1000,
+                                            std::memory_order_relaxed);
+    if (count_stall) {
+      io_.overlap_stats->write_behind_stalls.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+  return s;
+}
+
+Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
+                                     uint64_t end) {
+  ROWSORT_ASSERT(file_ != nullptr && !finished_);
+  ROWSORT_ASSERT(begin <= end && end <= run.count);
+  ROWSORT_ASSERT(run.key_row_width == key_row_width_);
+  if (!error_.ok()) return error_;
+  if (begin == end) return Status::OK();
+  // Block-granular cancellation: a multi-gigabyte spill stops between
+  // blocks, never mid-framing (the temp file is abandoned whole).
+  if (io_.cancellation.IsCancelled()) {
+    return CancellationToken::StatusForCause(io_.cancellation.cause());
+  }
+  const uint64_t rows = end - begin;
+  if (io_.worker != nullptr) {
+    // Write-behind: encode into the free half of the double buffer, wait
+    // for the previous block's background write (normally already done),
+    // then hand the new block to the worker and return to sorting.
+    TraceSpan span(io_.trace, "spill.write_submit", "spill");
+    EncodeSlice(layout_, run, begin, end, &encode_buf_);
+    Status s = WaitForInflight(/*count_stall=*/true);
+    if (!s.ok()) {
+      error_ = s;
+      return error_;
+    }
+    std::swap(encode_buf_, inflight_buf_);
+    buffer_memory_.Update(encode_buf_.capacity() + inflight_buf_.capacity());
+    std::FILE* f = file_;
+    const std::vector<uint8_t>* buf = &inflight_buf_;
+    SpillIoOptions io = io_;
+    inflight_ = io_.worker->Submit([f, buf, rows, io]() {
+      TraceSpan write_span(io.trace, "spill.write_block", "spill");
+      Timer timer;
+      Status ws = WriteAll(f, buf->data(), buf->size(), io);
+      if (ws.ok() && io.io_profile != nullptr) {
+        io.io_profile->RecordWrite(timer.ElapsedNanos(), buf->size(), rows);
+      }
+      return ws;
+    });
+  } else {
+    TraceSpan span(io_.trace, "spill.write_block", "spill");
+    EncodeSlice(layout_, run, begin, end, &encode_buf_);
+    Timer timer;
+    Status s = WriteAll(file_, encode_buf_.data(), encode_buf_.size(), io_);
+    const uint64_t ns = timer.ElapsedNanos();
+    if (io_.overlap_stats != nullptr) {
+      io_.overlap_stats->io_wait_us.fetch_add(ns / 1000,
+                                              std::memory_order_relaxed);
+    }
+    if (!s.ok()) {
+      error_ = s;
+      return error_;
+    }
+    if (io_.io_profile != nullptr) {
+      io_.io_profile->RecordWrite(ns, encode_buf_.size(), rows);
+    }
+  }
   rows_written_ += rows;
-  if (io_.io_profile != nullptr) {
-    const long block_end = std::ftell(file_);
-    const uint64_t bytes = (block_start >= 0 && block_end >= block_start)
-                               ? static_cast<uint64_t>(block_end - block_start)
-                               : 0;
-    io_.io_profile->RecordWrite(timer.ElapsedNanos(), bytes, rows);
-  }
   return Status::OK();
 }
 
 Status ExternalRunWriter::Finish() {
   ROWSORT_ASSERT(file_ != nullptr && !finished_);
+  if (!error_.ok()) return error_;
+  // The header patch below seeks; the in-flight block must land first.
+  Status s = WaitForInflight(/*count_stall=*/false);
+  if (!s.ok()) {
+    error_ = s;
+    return error_;
+  }
   if (ROWSORT_FAILPOINT("external_run_finish")) {
     return Status::IOError("injected spill finish failure (failpoint)");
   }
@@ -299,6 +517,7 @@ Status ExternalRunWriter::Finish() {
     return Status::IOError("cannot rename " + temp_path_ + " to " + path_);
   }
   finished_ = true;
+  buffer_memory_.Reset();
   return Status::OK();
 }
 
@@ -307,7 +526,12 @@ ExternalRunReader::ExternalRunReader(const RowLayout& payload_layout,
     : layout_(payload_layout), path_(std::move(path)) {}
 
 ExternalRunReader::~ExternalRunReader() {
+  DrainPrefetch();
   if (file_ != nullptr) std::fclose(file_);
+}
+
+void ExternalRunReader::DrainPrefetch() {
+  if (prefetch_.valid()) (void)prefetch_.Wait();
 }
 
 Status ExternalRunReader::Open() {
@@ -350,7 +574,31 @@ Status ExternalRunReader::Open() {
         static_cast<unsigned long long>(payload_width),
         static_cast<unsigned long long>(layout_.row_width())));
   }
+  if (io_.worker != nullptr && io_.buffer_tracker != nullptr) {
+    buffer_memory_.Reset(io_.buffer_tracker, 0);
+  }
+  // Readahead: get the first block's bytes moving before the first
+  // ReadBlock call (the merge still has k-1 other cursors to open).
+  StartPrefetch();
   return Status::OK();
+}
+
+void ExternalRunReader::StartPrefetch() {
+  if (io_.worker == nullptr || prefetch_.valid()) return;
+  if (rows_fetched_ >= count_) return;
+  const uint64_t remaining = count_ - rows_fetched_;
+  std::FILE* f = file_;
+  std::vector<uint8_t>* raw = &prefetch_raw_;
+  uint64_t* rows_out = &prefetch_rows_;
+  const RowLayout* layout = &layout_;
+  const std::string* path = &path_;
+  const uint64_t krw = key_row_width_;
+  SpillIoOptions io = io_;
+  prefetch_ = io_.worker->Submit(
+      [f, raw, rows_out, layout, path, krw, remaining, io]() {
+        return FetchRawBlock(f, *path, *layout, krw, remaining, raw, rows_out,
+                             io);
+      });
 }
 
 Status ExternalRunReader::ReadBlock(SortedRun* block) {
@@ -363,73 +611,49 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
   if (rows_read_ >= count_) return Status::OK();  // clean end of data
   // Block-granular cancellation, mirroring the writer side.
   if (io_.cancellation.IsCancelled()) {
+    DrainPrefetch();
     return CancellationToken::StatusForCause(io_.cancellation.cause());
   }
-  TraceSpan span(io_.trace, "spill.read_block", "spill");
-  Timer timer;
-  const long block_start = std::ftell(file_);
-
-  uint32_t crc = 0;
-  uint32_t magic = 0;
-  uint64_t rows = 0;
-  if (std::fread(&magic, 1, sizeof(magic), file_) != sizeof(magic)) {
-    return Status::IOError(path_ + ": truncated (missing block)");
-  }
-  crc = Crc32(crc, &magic, sizeof(magic));
-  if (magic != kBlockMagic) {
-    return Status::IOError(path_ + ": corrupt block header");
-  }
-  ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &rows, &crc, io_));
-  if (rows == 0 || rows > count_ - rows_read_) {
-    return Status::IOError(path_ + ": corrupt block row count");
-  }
-
-  const uint64_t krw = key_row_width_;
-  const uint64_t prw = layout_.row_width();
-  block->key_rows.resize(rows * krw);
-  ROWSORT_RETURN_NOT_OK(
-      ReadAllCrc(file_, block->key_rows.data(), rows * krw, &crc, io_));
-  block->payload.AppendUninitialized(rows);
-  ROWSORT_RETURN_NOT_OK(
-      ReadAllCrc(file_, block->payload.data(), rows * prw, &crc, io_));
-
-  // Rebuild non-inlined strings into the block's own heap.
-  uint64_t nstrings = 0;
-  ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &nstrings, &crc, io_));
-  if (nstrings > rows * layout_.ColumnCount()) {
-    return Status::IOError(path_ + ": corrupt string section length");
-  }
-  for (uint64_t i = 0; i < nstrings; ++i) {
-    uint32_t row = 0, col = 0, len = 0;
-    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &row, &crc, io_));
-    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &col, &crc, io_));
-    ROWSORT_RETURN_NOT_OK(ReadScalarCrc(file_, &len, &crc, io_));
-    if (row >= rows || col >= layout_.ColumnCount() ||
-        layout_.types()[col].id() != TypeId::kVarchar ||
-        len > kMaxStringLength) {
-      return Status::IOError(path_ + ": corrupt string section");
+  if (io_.worker != nullptr) {
+    StartPrefetch();  // no-op unless an earlier error consumed the ticket
+    const bool ready = prefetch_.done();
+    Status s;
+    if (ready) {
+      s = prefetch_.Wait();
+      if (s.ok() && io_.overlap_stats != nullptr) {
+        io_.overlap_stats->blocks_prefetched.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    } else {
+      TraceSpan span(io_.trace, "spill.read_wait", "spill");
+      Timer timer;
+      s = prefetch_.Wait();
+      if (io_.overlap_stats != nullptr) {
+        io_.overlap_stats->io_wait_us.fetch_add(timer.ElapsedNanos() / 1000,
+                                                std::memory_order_relaxed);
+      }
     }
-    char* dest = block->payload.string_heap().Allocate(len);
-    ROWSORT_RETURN_NOT_OK(ReadAllCrc(file_, dest, len, &crc, io_));
-    string_t value(dest, len);
-    bit_util::StoreUnaligned(
-        block->payload.GetRow(row) + layout_.ColumnOffset(col), value);
+    ROWSORT_RETURN_NOT_OK(s);
+    std::swap(raw_, prefetch_raw_);
+    raw_rows_ = prefetch_rows_;
+    rows_fetched_ += raw_rows_;
+    buffer_memory_.Update(raw_.capacity() + prefetch_raw_.capacity());
+    // The worker reads block k+1 while we decode block k below.
+    StartPrefetch();
+  } else {
+    Timer timer;
+    Status s = FetchRawBlock(file_, path_, layout_, key_row_width_,
+                             count_ - rows_fetched_, &raw_, &raw_rows_, io_);
+    if (io_.overlap_stats != nullptr) {
+      io_.overlap_stats->io_wait_us.fetch_add(timer.ElapsedNanos() / 1000,
+                                              std::memory_order_relaxed);
+    }
+    ROWSORT_RETURN_NOT_OK(s);
+    rows_fetched_ += raw_rows_;
   }
-
-  uint32_t stored_crc = 0;
-  ROWSORT_RETURN_NOT_OK(ReadAll(file_, &stored_crc, sizeof(stored_crc), io_));
-  if (stored_crc != crc) {
-    return Status::IOError(path_ + ": block checksum mismatch");
-  }
-  block->count = rows;
-  rows_read_ += rows;
-  if (io_.io_profile != nullptr) {
-    const long block_end = std::ftell(file_);
-    const uint64_t bytes = (block_start >= 0 && block_end >= block_start)
-                               ? static_cast<uint64_t>(block_end - block_start)
-                               : 0;
-    io_.io_profile->RecordRead(timer.ElapsedNanos(), bytes, rows);
-  }
+  ROWSORT_RETURN_NOT_OK(
+      DecodeRawBlock(layout_, path_, raw_, key_row_width_, block, io_.trace));
+  rows_read_ += block->count;
   return Status::OK();
 }
 

@@ -1,10 +1,15 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/cancellation.h"
+#include "common/io_worker.h"
+#include "common/memory_tracker.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "common/trace.h"
@@ -42,6 +47,15 @@ namespace rowsort {
 ///    CancellationToken and long spills stop between blocks (and inside
 ///    backoff naps) with Status::Cancelled / Status::DeadlineExceeded.
 ///
+/// Overlapped I/O (docs/external_sort.md): when SpillIoOptions::worker is
+/// set, the writer becomes double-buffered write-behind (the sort thread
+/// encodes block k+1 while the worker writes block k) and the reader gains
+/// one block of readahead (the merge decodes block k while the worker reads
+/// the raw bytes of block k+1). The bytes on disk and the rows handed out
+/// are identical to the synchronous path; only the thread doing the fread /
+/// fwrite changes. Background failures surface on the next call through the
+/// same sticky-Status path, and Abandon() still deletes the temp file.
+///
 /// Non-inlined VARCHAR payloads are appended per block in a string section
 /// and re-pointered into the block's own heap on load.
 
@@ -53,12 +67,20 @@ constexpr uint64_t kDefaultSpillBlockRows = 4096;
 /// are counted (SortMetrics::io_retries), which token interrupts long
 /// streams, and where per-block latencies/bytes land (the sort profile's
 /// spill node) and spans are traced. All optional; default = no accounting,
-/// never cancelled, no tracing.
+/// never cancelled, no tracing, fully synchronous I/O.
 struct SpillIoOptions {
   RetryStats* retry_stats = nullptr;  ///< unowned; may be shared by threads
   CancellationToken cancellation;
   SpillIoProfile* io_profile = nullptr;  ///< unowned; shared by threads
   Tracer* trace = nullptr;               ///< unowned; null = no spans
+  /// Background spill thread; non-null turns on write-behind in
+  /// ExternalRunWriter and block readahead in ExternalRunReader. Unowned;
+  /// must outlive every writer/reader it is installed on.
+  IoWorker* worker = nullptr;
+  /// Tracker charged for the overlap buffers (double write buffer /
+  /// readahead block). Optional; unowned.
+  MemoryTracker* buffer_tracker = nullptr;
+  SpillOverlapStats* overlap_stats = nullptr;  ///< unowned; shared
 };
 
 /// \brief Streaming writer for a spill file; append blocks, then Finish().
@@ -78,8 +100,9 @@ class ExternalRunWriter {
   Status Open(uint64_t key_row_width);
 
   /// Writes rows [begin, end) of \p run as one checksummed block. The rows'
-  /// string payloads are resolved through \p run's heap, so the run must be
-  /// alive and unmodified during the call (no copies are made).
+  /// string payloads are resolved through \p run's heap and copied into the
+  /// encode buffer before the call returns, so with write-behind enabled the
+  /// run may be freed as soon as WriteSlice returns.
   Status WriteSlice(const SortedRun& run, uint64_t begin, uint64_t end);
 
   /// Writes all rows of \p block as one checksummed block.
@@ -87,22 +110,29 @@ class ExternalRunWriter {
     return WriteSlice(block, 0, block.count);
   }
 
-  /// Patches the header with the final row count, flushes, closes (both
-  /// checked — a failed close after buffered writes is an IOError, not
-  /// silent success) and renames the temp file onto the target path.
+  /// Waits for any in-flight background block, patches the header with the
+  /// final row count, flushes, closes (both checked — a failed close after
+  /// buffered writes is an IOError, not silent success) and renames the
+  /// temp file onto the target path.
   Status Finish();
 
-  /// Closes and removes the temp file; the target path is left untouched.
-  /// Safe to call at any point (idempotent, also run by the destructor).
+  /// Closes and removes the temp file (after draining any in-flight
+  /// background write); the target path is left untouched. Safe to call at
+  /// any point (idempotent, also run by the destructor).
   void Abandon();
 
-  /// Installs retry accounting / cancellation for subsequent operations.
+  /// Installs retry accounting / cancellation / overlap for subsequent
+  /// operations. Call before Open().
   void SetIoOptions(SpillIoOptions options) { io_ = std::move(options); }
 
   uint64_t rows_written() const { return rows_written_; }
   const std::string& path() const { return path_; }
 
  private:
+  /// Waits for the in-flight background block, folding the wait into the
+  /// overlap counters (\p count_stall: the wait delayed the fill pipeline).
+  Status WaitForInflight(bool count_stall);
+
   const RowLayout& layout_;
   std::string path_;
   std::string temp_path_;
@@ -111,6 +141,11 @@ class ExternalRunWriter {
   uint64_t rows_written_ = 0;
   bool finished_ = false;
   SpillIoOptions io_;
+  Status error_;  ///< sticky first failure (incl. background writes)
+  std::vector<uint8_t> encode_buf_;    ///< block being encoded (compute)
+  std::vector<uint8_t> inflight_buf_;  ///< block owned by the worker job
+  IoTicket inflight_;
+  MemoryReservation buffer_memory_;
 };
 
 /// \brief Streaming reader over a spill file written by ExternalRunWriter.
@@ -124,15 +159,18 @@ class ExternalRunReader {
   ~ExternalRunReader();
   ROWSORT_DISALLOW_COPY_AND_MOVE(ExternalRunReader);
 
-  /// Opens the file and validates the header.
+  /// Opens the file and validates the header. With readahead enabled the
+  /// background fetch of the first block is started here.
   Status Open();
 
   /// Reads the next block into \p block (replacing its contents; string
   /// payloads are rebuilt into the block's own heap). Sets block->count = 0
-  /// at a clean end of file.
+  /// at a clean end of file. With readahead enabled, decoding the returned
+  /// block overlaps the background read of the next one.
   Status ReadBlock(SortedRun* block);
 
-  /// Installs retry accounting / cancellation for subsequent operations.
+  /// Installs retry accounting / cancellation / readahead for subsequent
+  /// operations. Call before Open().
   void SetIoOptions(SpillIoOptions options) { io_ = std::move(options); }
 
   uint64_t row_count() const { return count_; }
@@ -141,13 +179,27 @@ class ExternalRunReader {
   const std::string& path() const { return path_; }
 
  private:
+  /// Submits the background fetch of the next raw block (no-op when
+  /// everything has been fetched or readahead is off).
+  void StartPrefetch();
+  /// Waits for the in-flight prefetch, swallowing its status (error and
+  /// destructor paths — the file must not be closed under a running job).
+  void DrainPrefetch();
+
   const RowLayout& layout_;
   std::string path_;
   std::FILE* file_ = nullptr;
   uint64_t count_ = 0;
   uint64_t key_row_width_ = 0;
-  uint64_t rows_read_ = 0;
+  uint64_t rows_read_ = 0;     ///< rows handed out via ReadBlock
+  uint64_t rows_fetched_ = 0;  ///< rows pulled off the file (>= rows_read_)
   SpillIoOptions io_;
+  std::vector<uint8_t> raw_;           ///< raw bytes of the current block
+  uint64_t raw_rows_ = 0;              ///< rows framed in raw_
+  std::vector<uint8_t> prefetch_raw_;  ///< owned by the worker job
+  uint64_t prefetch_rows_ = 0;
+  IoTicket prefetch_;
+  MemoryReservation buffer_memory_;
 };
 
 /// Writes \p run to \p path (atomically, in kDefaultSpillBlockRows blocks);

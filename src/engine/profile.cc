@@ -257,6 +257,38 @@ void SortProfile::FoldRetryBackoff(uint64_t io_retries,
                    (read ? read->seconds : 0);
 }
 
+void SortProfile::FoldSpillOverlap(const SpillOverlapStats& overlap,
+                                   const IoWorkerStatsSnapshot& worker) {
+  const uint64_t io_wait_us =
+      overlap.io_wait_us.load(std::memory_order_relaxed);
+  const uint64_t prefetched =
+      overlap.blocks_prefetched.load(std::memory_order_relaxed);
+  const uint64_t stalls =
+      overlap.write_behind_stalls.load(std::memory_order_relaxed);
+  if (io_wait_us == 0 && prefetched == 0 && stalls == 0 &&
+      worker.jobs_executed == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileNode* spill = root_.Child("spill");
+  spill->SetCounter("io_wait_us", io_wait_us);
+  spill->SetCounter("blocks_prefetched", prefetched);
+  spill->SetCounter("write_behind_stalls", stalls);
+  if (worker.jobs_executed > 0) {
+    // Mirrors the parallel node's queue-wait/run split for the single spill
+    // I/O thread.
+    ProfileNode* node = spill->Child("io_worker");
+    node->invocations = worker.jobs_executed;
+    node->seconds = worker.busy_seconds;
+    node->latencies = worker.run_ns;
+    node->SetCounter("max_queue_depth", worker.max_queue_depth);
+    node->SetCounter("submit_blocked", worker.submit_blocked);
+    node->SetCounter("queue_wait_us",
+                     static_cast<uint64_t>(worker.queue_wait_ns.total_ns() /
+                                           1000));
+  }
+}
+
 void SortProfile::FoldMergeSlices() {
   DurationHistogram slices = merge_slice_ns_.Snapshot();
   if (slices.count() == 0) return;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/io_worker.h"
 #include "common/macros.h"
 #include "common/status.h"
 #include "parallel/thread_pool.h"
@@ -147,6 +148,23 @@ class SpillIoProfile {
   AtomicDurationHistogram read_ns_;
 };
 
+/// \brief Counters for the overlapped spill path (SpillIoOptions::
+/// overlap_stats), shared by every writer/reader of one sort and folded into
+/// SortMetrics and the profile's spill node (docs/observability.md).
+struct SpillOverlapStats {
+  /// Microseconds a *compute* thread spent blocked on spill I/O: the full
+  /// fread/fwrite time on the synchronous path, only the residual ticket
+  /// waits when overlap is on. The >= 50% drop of this counter under
+  /// overlap is the headline number of bench_external_sort.
+  std::atomic<uint64_t> io_wait_us{0};
+  /// Blocks whose background read had already completed when the consumer
+  /// asked for them (the readahead fully hid the I/O).
+  std::atomic<uint64_t> blocks_prefetched{0};
+  /// WriteSlice calls that had to wait for the previous block's background
+  /// write (the double buffer was still in flight — I/O slower than encode).
+  std::atomic<uint64_t> write_behind_stalls{0};
+};
+
 /// \brief The hierarchical profile of one sort. Owned by RelationalSort;
 /// retrievable (complete or partial) after success, error, or cancellation.
 ///
@@ -196,6 +214,11 @@ class SortProfile {
   /// Rebuilds the spill/retry_backoff node (io_retries + wait histogram).
   void FoldRetryBackoff(uint64_t io_retries,
                         const DurationHistogram& backoff_waits);
+  /// Rebuilds the spill node's overlap counters (compute-side I/O wait,
+  /// prefetch hits, write-behind stalls) and the spill/io_worker child from
+  /// the background worker's snapshot. No-op when nothing was recorded.
+  void FoldSpillOverlap(const SpillOverlapStats& overlap,
+                        const IoWorkerStatsSnapshot& worker);
   /// Rebuilds the merge/slices node from the atomic slice histogram.
   void FoldMergeSlices();
   /// Rebuilds the parallel node from a pool snapshot.

@@ -102,6 +102,14 @@ void RelationalSort::FoldRuntimeIntoProfile() {
         kernel_stats_.gather_fast_path.load(std::memory_order_relaxed);
     metrics_.scatter_fast_path =
         kernel_stats_.scatter_fast_path.load(std::memory_order_relaxed);
+    // The overlap counters keep moving until every writer/reader is done, so
+    // refresh them here too (covers success, error, and cancellation).
+    metrics_.io_wait_us =
+        overlap_stats_.io_wait_us.load(std::memory_order_relaxed);
+    metrics_.blocks_prefetched =
+        overlap_stats_.blocks_prefetched.load(std::memory_order_relaxed);
+    metrics_.write_behind_stalls =
+        overlap_stats_.write_behind_stalls.load(std::memory_order_relaxed);
     snapshot = metrics_;
   }
   profile_.SetRows(snapshot.rows);
@@ -117,6 +125,9 @@ void RelationalSort::FoldRuntimeIntoProfile() {
   profile_.SetRootCounter("rows_bulk_copied", snapshot.rows_bulk_copied);
   profile_.SetRootCounter("gather_fast_path", snapshot.gather_fast_path);
   profile_.SetRootCounter("scatter_fast_path", snapshot.scatter_fast_path);
+  if (snapshot.merge_fan_in > 0) {
+    profile_.SetRootCounter("merge_fan_in", snapshot.merge_fan_in);
+  }
   if (UseOvc()) {
     profile_.SetRootCounter("ovc_decided",
                             ovc_decided_.load(std::memory_order_relaxed));
@@ -127,6 +138,18 @@ void RelationalSort::FoldRuntimeIntoProfile() {
   profile_.FoldSpillIo(spill_io_profile_);
   profile_.FoldRetryBackoff(io_retry_stats_.count(),
                             io_retry_stats_.backoff_waits.Snapshot());
+  profile_.FoldSpillOverlap(overlap_stats_, io_worker_ != nullptr
+                                                ? io_worker_->StatsSnapshot()
+                                                : IoWorkerStatsSnapshot());
+}
+
+IoWorker* RelationalSort::EnsureIoWorker() {
+  std::call_once(io_worker_once_, [this] {
+    auto worker = std::make_unique<IoWorker>();
+    worker->EnableStats(true);
+    io_worker_ = std::move(worker);
+  });
+  return io_worker_.get();
 }
 
 Status RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
@@ -1058,190 +1081,375 @@ SortedRun RelationalSort::MergeKWayLoserTree(std::vector<SortedRun>& runs) {
   return out;
 }
 
-Status RelationalSort::MergeSpilledPair(const std::string& left_path,
-                                        const std::string& right_path,
-                                        const std::string& out_path) {
-  // Spill streams share the sort's retry accounting, token, and I/O
-  // profile: transient hiccups heal (SortMetrics::io_retries), cancellation
-  // lands between blocks, block latencies land in the spill node.
+uint64_t RelationalSort::PlanMergeFanIn(uint64_t input_count) const {
+  if (input_count <= 2) return 2;
+  // No limit to respect: a single pass over every input touches each spilled
+  // row exactly once more (one read), the theoretical minimum.
+  if (tracker_.limit() == 0) return input_count;
+  // Per spilled input the merge buffers one decoded block, plus the raw
+  // readahead block when overlap is on. Half the limit is the merge's input
+  // budget; the other half covers the output block, the write-behind double
+  // buffer, and whatever resident runs remain.
+  // The plan minimizes passes: each extra level rewrites every row once
+  // (encode + CRC + write + read + decode), which costs far more than
+  // overlapped I/O can win back. So size the fan-in for the inline per-input
+  // footprint (one decoded block); whether a given merge can additionally
+  // afford readahead buffers is decided per merge by MergeEntryRange's
+  // budget gate, which falls back to inline streams when they don't fit.
+  const uint64_t block_bytes =
+      kDefaultSpillBlockRows * (key_row_width_ + payload_layout_.row_width());
+  const uint64_t fan_in =
+      (tracker_.limit() / 2) / std::max<uint64_t>(1, block_bytes);
+  return std::min(std::max<uint64_t>(fan_in, 2), input_count);
+}
+
+Status RelationalSort::MergeEntryRange(uint64_t begin, uint64_t count,
+                                       bool to_memory, RunEntry* out,
+                                       SortedRun* result) {
+  // Spill streams share the sort's retry accounting, token, I/O profile and
+  // (with overlap_spill_io) the background worker: transient hiccups heal
+  // (SortMetrics::io_retries), cancellation lands between blocks, and every
+  // reader keeps one block of readahead in flight while this loop merges.
   TraceSpan span(config_.trace, "merge.external", "merge");
   Timer timer;
-  const SpillIoOptions io = IoOptions();
-  ExternalRunReader left(payload_layout_, left_path);
-  ExternalRunReader right(payload_layout_, right_path);
-  left.SetIoOptions(io);
-  right.SetIoOptions(io);
-  ROWSORT_RETURN_NOT_OK(left.Open());
-  ROWSORT_RETURN_NOT_OK(right.Open());
-  ExternalRunWriter writer(payload_layout_, out_path);
-  writer.SetIoOptions(io);
-  ROWSORT_RETURN_NOT_OK(writer.Open(key_row_width_));
-
+  SpillIoOptions io = IoOptions();
   const uint64_t krw = key_row_width_;
   const uint64_t prw = payload_layout_.row_width();
+  const uint64_t kw = comparator_.key_width();
   const uint64_t block_rows = kDefaultSpillBlockRows;
-
-  // Bounded scratch: two input blocks plus one output block, accounted as a
-  // flat estimate (string payloads ride in the blocks' own heaps).
-  MemoryReservation scratch;
-  scratch.Reset(&tracker_, 3 * block_rows * (krw + prw));
-
-  // The output block's payload rows hold string_t descriptors that point
-  // into the *input* blocks' heaps, so it must be flushed before an input
-  // block is replaced — that ordering is what keeps the merge zero-copy for
-  // strings while staying O(block) in memory.
-  SortedRun out_block;
-  out_block.key_row_width = krw;
-  out_block.key_rows.resize(block_rows * krw);
-  out_block.payload = RowCollection(payload_layout_);
-  out_block.payload.AppendUninitialized(block_rows);
-  out_block.count = 0;  // fill level
-
+  const bool use_ovc = UseOvc();
   const bool batch = config_.use_movement_kernels;
+
+  uint64_t total = 0;
+  uint64_t spilled_inputs = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    total += entries_[begin + i].rows;
+    spilled_inputs += entries_[begin + i].spilled ? 1 : 0;
+  }
+
+  // Readahead budget: with overlap each spilled input holds up to three
+  // block-sized buffers (decoded + current raw + readahead raw) and the
+  // output holds three (output block + double write buffer). When that
+  // cannot fit the limit, run this merge's streams inline instead — the
+  // readahead budget is charged to the tracker, so it must also respect it.
+  const uint64_t block_bytes = block_rows * (krw + prw);
+  if (io.worker != nullptr && tracker_.limit() != 0 &&
+      (spilled_inputs * 3 + 3) * block_bytes > tracker_.limit()) {
+    io.worker = nullptr;
+  }
+
+  // One cursor per input. Spilled inputs stream block by block; resident
+  // inputs are a single "block" (their whole run, codes precomputed at run
+  // generation). Offset-value codes for spilled inputs are derived per
+  // block: row 0 of a refilled block codes against the last row of the
+  // previous block — which is exactly the row this cursor last emitted, so
+  // the loser-tree invariant (all codes relative to the last emitted row)
+  // survives block boundaries.
+  struct StreamCursor {
+    const RunEntry* entry = nullptr;
+    std::unique_ptr<ExternalRunReader> reader;  // spilled inputs only
+    SortedRun block;            // current decoded block (spilled only)
+    const SortedRun* cur = nullptr;
+    uint64_t pos = 0;
+    uint64_t ovc = kOvcExhausted;
+    bool exhausted = true;
+    bool first_block = true;
+    std::vector<uint8_t> prev_last_key;  // OVC chaining across blocks
+  };
+
+  // Leaves padded to a power of two; virtual leaves are exhausted cursors
+  // (same shape as MergeKWayLoserTree).
+  uint64_t leaves = 1;
+  while (leaves < count || leaves < 2) leaves <<= 1;
+  std::vector<StreamCursor> cursors(leaves);
+
+  uint64_t null_mask = 0;
+  auto refill = [&](StreamCursor& c) -> Status {
+    if (use_ovc && c.block.count > 0) {
+      const uint8_t* last = c.block.KeyRow(c.block.count - 1);
+      c.prev_last_key.assign(last, last + krw);
+    }
+    ROWSORT_RETURN_NOT_OK(c.reader->ReadBlock(&c.block));
+    c.pos = 0;
+    if (c.block.count == 0) {
+      c.exhausted = true;
+      c.ovc = kOvcExhausted;
+      return Status::OK();
+    }
+    null_mask |= c.block.payload.maybe_null_mask();
+    if (use_ovc) {
+      c.block.ovcs = DeriveRunOvcs(c.block, kw);
+      if (!c.first_block) {
+        c.block.ovcs[0] =
+            DeriveSuccessorOvc(c.prev_last_key.data(), c.block.KeyRow(0), kw);
+      }
+      c.ovc = c.block.ovcs[0];
+    }
+    c.first_block = false;
+    c.exhausted = false;
+    return Status::OK();
+  };
+
+  // Bounded scratch for the decoded input blocks (one per spilled input)
+  // and the output block; the raw readahead and write-behind buffers charge
+  // themselves through SpillIoOptions::buffer_tracker.
+  MemoryReservation scratch;
+  scratch.Reset(&tracker_, (spilled_inputs + (to_memory ? 0 : 1)) *
+                               block_rows * (krw + prw));
+
+  for (uint64_t i = 0; i < count; ++i) {
+    StreamCursor& c = cursors[i];
+    c.entry = &entries_[begin + i];
+    if (c.entry->spilled) {
+      c.reader =
+          std::make_unique<ExternalRunReader>(payload_layout_, c.entry->path);
+      c.reader->SetIoOptions(io);
+      ROWSORT_RETURN_NOT_OK(c.reader->Open());
+      c.cur = &c.block;
+      ROWSORT_RETURN_NOT_OK(refill(c));
+    } else {
+      c.cur = &c.entry->run;
+      c.first_block = false;
+      null_mask |= c.entry->run.payload.maybe_null_mask();
+      if (c.entry->run.count > 0) {
+        c.exhausted = false;
+        if (use_ovc) {
+          ROWSORT_DASSERT(c.entry->run.ovcs.size() == c.entry->run.count);
+          c.ovc = c.entry->run.ovcs[0];  // code vs the -inf base
+        }
+      }
+    }
+  }
+
+  // Output side: either the caller's in-memory result (pre-sized, adopted
+  // heaps — not charged against the limit, see docs/robustness.md) or a
+  // bounded output block streamed through the write-behind writer.
+  std::unique_ptr<ExternalRunWriter> writer;
+  SortedRun out_block;
+  uint64_t out_pos = 0;  // fill level of *result (to_memory mode)
+  if (to_memory) {
+    *result = SortedRun();
+    result->key_row_width = krw;
+    result->payload = RowCollection(payload_layout_);
+    result->count = total;
+    result->key_rows.resize(total * krw);
+    result->payload.AppendUninitialized(total);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(runs_mutex_);
+      ROWSORT_RETURN_NOT_OK(EnsureSpillDirLocked());
+      out->path = NextSpillPathLocked();
+    }
+    writer = std::make_unique<ExternalRunWriter>(payload_layout_, out->path);
+    writer->SetIoOptions(io);
+    ROWSORT_RETURN_NOT_OK(writer->Open(krw));
+    out_block.key_row_width = krw;
+    out_block.key_rows.resize(block_rows * krw);
+    out_block.payload = RowCollection(payload_layout_);
+    out_block.payload.AppendUninitialized(block_rows);
+    out_block.count = 0;  // fill level
+  }
+
   uint64_t bulk_rows = 0;
-  auto flush = [&]() -> Status {
-    // Runs at least once per block_rows appended rows, so it doubles as the
-    // merge loop's cooperative cancellation point.
+  auto flush_out_block = [&]() -> Status {
+    // Runs at least once per block_rows appended rows, so it doubles as a
+    // cooperative cancellation point of the file-output path.
     ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
     if (out_block.count == 0) return Status::OK();
-    ROWSORT_RETURN_NOT_OK(writer.WriteSlice(out_block, 0, out_block.count));
+    ROWSORT_RETURN_NOT_OK(writer->WriteSlice(out_block, 0, out_block.count));
     out_block.count = 0;
     return Status::OK();
   };
-  // Appends rows [begin, begin + n) of \p src to the output block with one
-  // wide memcpy per region, splitting the range at block-flush boundaries.
-  auto append_range = [&](const SortedRun& src, uint64_t begin,
+  // Appends rows [from, from + n) of \p src to the output with one wide
+  // memcpy per region, splitting at block-flush boundaries in file mode.
+  auto append_range = [&](const SortedRun& src, uint64_t from,
                           uint64_t n) -> Status {
+    if (n > 1) bulk_rows += n;
+    if (to_memory) {
+      std::memcpy(result->key_rows.data() + out_pos * krw, src.KeyRow(from),
+                  n * krw);
+      std::memcpy(result->payload.GetRow(out_pos), src.PayloadRow(from),
+                  n * prw);
+      out_pos += n;
+      return Status::OK();
+    }
     while (n > 0) {
       const uint64_t take = std::min(n, block_rows - out_block.count);
       const uint64_t o = out_block.count;
-      std::memcpy(out_block.key_rows.data() + o * krw, src.KeyRow(begin),
+      std::memcpy(out_block.key_rows.data() + o * krw, src.KeyRow(from),
                   take * krw);
-      std::memcpy(out_block.payload.GetRow(o), src.PayloadRow(begin),
+      std::memcpy(out_block.payload.GetRow(o), src.PayloadRow(from),
                   take * prw);
-      if (take > 1) bulk_rows += take;
       out_block.count += take;
-      begin += take;
+      from += take;
       n -= take;
-      if (out_block.count == block_rows) ROWSORT_RETURN_NOT_OK(flush());
+      if (out_block.count == block_rows) {
+        ROWSORT_RETURN_NOT_OK(flush_out_block());
+      }
     }
     return Status::OK();
   };
-
-  SortedRun lb, rb;
-  ROWSORT_RETURN_NOT_OK(left.ReadBlock(&lb));
-  ROWSORT_RETURN_NOT_OK(right.ReadBlock(&rb));
-  uint64_t li = 0, ri = 0;
-  std::atomic<uint64_t>* counter =
-      config_.count_comparisons ? &merge_compares_ : nullptr;
-
-  // Run-length batching like MergeSlice, with the pending streak ranging
-  // over the *current input block* of one side. It must flush both into the
-  // output block and onward to disk before that input block is replaced.
-  int pend_side = -1;  // 0 = lb, 1 = rb, -1 = none
+  // Run-length batching like MergeSlice: the pending streak ranges over the
+  // winning cursor's *current block* and must flush before that block is
+  // replaced (its string descriptors point into the block's heap).
+  StreamCursor* pend = nullptr;
   uint64_t pend_begin = 0, pend_len = 0;
   auto flush_pending = [&]() -> Status {
     if (pend_len == 0) return Status::OK();
     const uint64_t len = pend_len;
     pend_len = 0;
-    return append_range(pend_side == 0 ? lb : rb, pend_begin, len);
-  };
-  auto take = [&](int side, uint64_t i) -> Status {
-    if (side != pend_side || pend_begin + pend_len != i) {
-      ROWSORT_RETURN_NOT_OK(flush_pending());
-      pend_side = side;
-      pend_begin = i;
-    }
-    ++pend_len;
-    if (!batch) return flush_pending();
-    return Status::OK();
+    return append_range(*pend->cur, pend_begin, len);
   };
 
-  while (lb.count > 0 && rb.count > 0) {
-    if (counter) counter->fetch_add(1, std::memory_order_relaxed);
-    int cmp = comparator_.Compare(lb.KeyRow(li), lb.PayloadRow(li),
-                                  rb.KeyRow(ri), rb.PayloadRow(ri));
-    if (cmp <= 0) {  // stable: left wins ties, like MergeSlice
-      ROWSORT_RETURN_NOT_OK(take(0, li));
-      ++li;
+  uint64_t decided = 0, fallback = 0, compares = 0;
+  // True iff leaf a's key precedes leaf b's; code-first with incremental
+  // repair when OVC applies (see MergeKWayLoserTree), full comparator with
+  // stable lower-index tie-break otherwise.
+  auto precedes = [&](uint32_t a, uint32_t b) -> bool {
+    StreamCursor& ca = cursors[a];
+    StreamCursor& cb = cursors[b];
+    if (ca.exhausted || cb.exhausted) return !ca.exhausted;
+    if (use_ovc) {
+      if (ca.ovc != cb.ovc) {
+        ++decided;
+        return ca.ovc < cb.ovc;
+      }
+      if (ca.ovc == kOvcEqual) {
+        ++decided;
+        return a < b;  // both equal the emitted base row: stable tie-break
+      }
+      const uint8_t* ka = ca.cur->KeyRow(ca.pos);
+      const uint8_t* kb = cb.cur->KeyRow(cb.pos);
+      uint64_t suffix = OvcDiffIndex(kw, ca.ovc) + 1;
+      uint64_t diff = 0;
+      ++fallback;
+      int cmp =
+          suffix >= kw ? 0 : CompareKeySuffix(ka, kb, suffix, kw, &diff);
+      if (cmp == 0) {
+        bool a_first = a < b;
+        (a_first ? cb : ca).ovc = kOvcEqual;  // loser equals the winner
+        return a_first;
+      }
+      if (cmp < 0) {
+        cb.ovc = MakeOvc(kw, diff, kb[diff]);
+        return true;
+      }
+      ca.ovc = MakeOvc(kw, diff, ka[diff]);
+      return false;
+    }
+    ++compares;
+    int cmp =
+        comparator_.Compare(ca.cur->KeyRow(ca.pos), ca.cur->PayloadRow(ca.pos),
+                            cb.cur->KeyRow(cb.pos), cb.cur->PayloadRow(cb.pos));
+    if (cmp == 0) return a < b;
+    return cmp < 0;
+  };
+
+  std::vector<uint32_t> tree(leaves, 0);
+  auto build = [&](auto&& self, uint64_t node) -> uint32_t {
+    if (node >= leaves) return static_cast<uint32_t>(node - leaves);
+    uint32_t wl = self(self, 2 * node);
+    uint32_t wr = self(self, 2 * node + 1);
+    if (precedes(wl, wr)) {
+      tree[node] = wr;
+      return wl;
+    }
+    tree[node] = wl;
+    return wr;
+  };
+  uint32_t winner = build(build, 1);
+
+  for (uint64_t o = 0; o < total; ++o) {
+    if ((o & (kCancelCheckRows - 1)) == 0) cancel_.ThrowIfCancelled();
+    StreamCursor& cw = cursors[winner];
+    if (pend != &cw || pend_begin + pend_len != cw.pos) {
+      ROWSORT_RETURN_NOT_OK(flush_pending());
+      pend = &cw;
+      pend_begin = cw.pos;
+    }
+    ++pend_len;
+    if (!batch) ROWSORT_RETURN_NOT_OK(flush_pending());
+    if (++cw.pos == cw.cur->count) {
+      if (cw.reader != nullptr) {
+        // Block exhausted: the pending streak and (file mode) the output
+        // block still reference this block's memory — flush them, bank the
+        // block's string heap (memory mode), then replace the block.
+        ROWSORT_RETURN_NOT_OK(flush_pending());
+        if (to_memory) {
+          result->payload.AdoptHeap(std::move(cw.block.payload));
+        } else {
+          ROWSORT_RETURN_NOT_OK(flush_out_block());
+        }
+        if (cw.reader->rows_read() < cw.reader->row_count()) {
+          ROWSORT_RETURN_NOT_OK(refill(cw));
+        } else {
+          cw.exhausted = true;
+          cw.ovc = kOvcExhausted;
+        }
+      } else {
+        cw.exhausted = true;
+        cw.ovc = kOvcExhausted;
+      }
     } else {
-      ROWSORT_RETURN_NOT_OK(take(1, ri));
-      ++ri;
+      if (use_ovc) cw.ovc = cw.cur->ovcs[cw.pos];  // vs the row just emitted
+      if (batch) {
+        ROWSORT_PREFETCH_READ(cw.cur->KeyRow(cw.pos));
+        ROWSORT_PREFETCH_READ(cw.cur->PayloadRow(cw.pos));
+      }
     }
-    if (li == lb.count) {
-      ROWSORT_RETURN_NOT_OK(flush_pending());
-      ROWSORT_RETURN_NOT_OK(flush());
-      ROWSORT_RETURN_NOT_OK(left.ReadBlock(&lb));
-      li = 0;
+    // Replay the winner's path; each stored loser's code is relative to the
+    // emitted row, like the replacement's.
+    uint32_t candidate = winner;
+    for (uint64_t node = (leaves + winner) >> 1; node >= 1; node >>= 1) {
+      if (precedes(tree[node], candidate)) std::swap(tree[node], candidate);
     }
-    if (ri == rb.count) {
-      ROWSORT_RETURN_NOT_OK(flush_pending());
-      ROWSORT_RETURN_NOT_OK(flush());
-      ROWSORT_RETURN_NOT_OK(right.ReadBlock(&rb));
-      ri = 0;
-    }
+    winner = candidate;
   }
   ROWSORT_RETURN_NOT_OK(flush_pending());
-  // One side exhausted: the rest of each input block streams through as one
-  // bulk range.
-  while (lb.count > 0) {
-    ROWSORT_RETURN_NOT_OK(append_range(lb, li, lb.count - li));
-    ROWSORT_RETURN_NOT_OK(flush());
-    ROWSORT_RETURN_NOT_OK(left.ReadBlock(&lb));
-    li = 0;
+
+  if (to_memory) {
+    // Adopt the resident inputs' string heaps (their descriptors were
+    // copied verbatim); exhausted spilled blocks banked theirs above.
+    for (uint64_t i = 0; i < count; ++i) {
+      if (cursors[i].reader == nullptr && cursors[i].entry != nullptr) {
+        result->payload.AdoptHeap(
+            std::move(entries_[begin + i].run.payload));
+      }
+    }
+    result->payload.SetMaybeNullMask(null_mask);
+  } else {
+    ROWSORT_RETURN_NOT_OK(flush_out_block());
+    ROWSORT_RETURN_NOT_OK(writer->Finish());
   }
-  while (rb.count > 0) {
-    ROWSORT_RETURN_NOT_OK(append_range(rb, ri, rb.count - ri));
-    ROWSORT_RETURN_NOT_OK(flush());
-    ROWSORT_RETURN_NOT_OK(right.ReadBlock(&rb));
-    ri = 0;
-  }
-  ROWSORT_RETURN_NOT_OK(flush());
+
   if (bulk_rows > 0) {
     rows_bulk_copied_.fetch_add(bulk_rows, std::memory_order_relaxed);
   }
-  ROWSORT_RETURN_NOT_OK(writer.Finish());
-  profile_.RecordMergeSlice(timer.ElapsedNanos(), writer.rows_written());
-  return Status::OK();
-}
+  ovc_decided_.fetch_add(decided, std::memory_order_relaxed);
+  ovc_fallback_.fetch_add(fallback, std::memory_order_relaxed);
+  if (config_.count_comparisons) {
+    merge_compares_.fetch_add(use_ovc ? fallback : compares,
+                              std::memory_order_relaxed);
+  }
+  profile_.RecordMergeSlice(timer.ElapsedNanos(), total);
 
-Status RelationalSort::MergeEntryPair(RunEntry& left, RunEntry& right,
-                                      ThreadPool* pool, RunEntry* out) {
-  out->rows = left.rows + right.rows;
-  if (!left.spilled && !right.spilled) {
-    // The in-memory merge needs roughly the inputs' bytes again for the
-    // output run; fall through to the external path when that won't fit.
-    const uint64_t need = left.run.MemoryBytes() + right.run.MemoryBytes();
-    if (!tracker_.WouldExceed(need)) {
-      SortedRun merged = MergePair(left.run, right.run, pool);
-      merged.payload.AdoptHeap(std::move(left.run.payload));
-      merged.payload.AdoptHeap(std::move(right.run.payload));
-      merged.TrackMemory(&tracker_);
-      left.run = SortedRun();
-      right.run = SortedRun();
-      out->run = std::move(merged);
-      out->spilled = false;
-      return Status::OK();
+  // Release every consumed input *now* — resident memory freed, spill files
+  // deleted — so peak disk stays at most input plus one output level even
+  // through a multi-level plan.
+  for (uint64_t i = 0; i < count; ++i) {
+    RunEntry& e = entries_[begin + i];
+    if (e.spilled) {
+      std::remove(e.path.c_str());
+      e.path.clear();
+      e.spilled = false;
     }
+    e.run = SortedRun();
   }
-  // External path: stream both inputs (spilling any resident one first)
-  // block by block into a new spill file — O(block) resident memory.
-  {
-    std::lock_guard<std::mutex> lock(runs_mutex_);
-    if (!left.spilled) ROWSORT_RETURN_NOT_OK(SpillEntryLocked(left));
-    if (!right.spilled) ROWSORT_RETURN_NOT_OK(SpillEntryLocked(right));
-    ROWSORT_RETURN_NOT_OK(EnsureSpillDirLocked());
-    out->path = NextSpillPathLocked();
+  if (!to_memory) {
+    out->rows = total;
+    out->spilled = true;
+    metrics_.runs_spilled += 1;
   }
-  ROWSORT_RETURN_NOT_OK(MergeSpilledPair(left.path, right.path, out->path));
-  std::remove(left.path.c_str());
-  std::remove(right.path.c_str());
-  left.spilled = false;
-  left.path.clear();
-  right.spilled = false;
-  right.path.clear();
-  out->spilled = true;
-  metrics_.runs_spilled += 1;
   return Status::OK();
 }
 
@@ -1309,6 +1517,7 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
     if (config_.use_kway_merge) {
       // Merge-strategy ablation: one k-way pass (ClickHouse/HyPer style).
       const uint64_t kway_inputs = current.size();
+      metrics_.merge_fan_in = kway_inputs;
       result_ = MergeKWay(current);
       profile_.SetMergeRound(1, kway_inputs, result_.count,
                              timer.ElapsedSeconds());
@@ -1316,6 +1525,7 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
       // 2-way cascaded merge sort: trivially parallel across pairs while
       // many runs remain; Merge Path parallelizes within pairs as runs get
       // large.
+      metrics_.merge_fan_in = current.size() > 1 ? 2 : 1;
       uint64_t round = 0;
       while (current.size() > 1) {
         ++round;
@@ -1363,62 +1573,102 @@ Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
     return Status::OK();
   }
 
-  // Governed / external cascade. Level-order pairing — the same merge tree
-  // as the in-memory cascade, so a memory-limited sort produces the exact
-  // byte sequence an unlimited one does. Each pair merges in memory when
-  // both sides are resident and the output fits under the limit; otherwise
-  // it streams file to file.
-  uint64_t round = 0;
-  while (entries_.size() > 1) {
-    ++round;
-    Timer round_timer;
-    uint64_t merged_rows = 0;
-    std::vector<RunEntry> next;
-    next.reserve((entries_.size() + 1) / 2);
-    for (uint64_t p = 0; p + 1 < entries_.size(); p += 2) {
-      RunEntry merged;
-      Status st;
-      try {
-        st = MergeEntryPair(entries_[p], entries_[p + 1], pool, &merged);
-      } catch (const CancelledError& e) {
-        st = e.ToStatus();
-      } catch (const std::bad_alloc&) {
-        st = Status::OutOfMemory("sort merge: allocation failed");
-      }
-      if (!st.ok()) {
-        // Re-register every live output so the destructor still removes all
-        // spill files.
-        for (auto& entry : next) entries_.push_back(std::move(entry));
-        if (merged.spilled) entries_.push_back(std::move(merged));
+  // Governed / external merge with planned fan-in (docs/external_sort.md).
+  // Instead of a pairwise cascade that rewrites every spilled row O(log n)
+  // times, the planner picks the widest fan-in the memory budget allows and
+  // merges all inputs through one loser tree per pass — most spilled inputs
+  // take exactly one extra read/write pass. When the run count exceeds the
+  // fan-in, intermediate passes fold the cheapest *contiguous* window of
+  // entries into one spilled run first; contiguity preserves the stable
+  // lower-index-wins order, so a memory-limited sort still produces the
+  // exact byte sequence an unlimited one does.
+  (void)pool;  // the streaming merge is single-pass serial by design
+  if (entries_.size() == 1) {
+    metrics_.merge_fan_in = 1;
+    RunEntry& last = entries_.front();
+    if (last.spilled) {
+      // The final result is handed to the caller and intentionally not
+      // charged against the limit (the limit governs the sort's internal
+      // working set; see docs/robustness.md).
+      auto loaded = ReadRunFromFile(payload_layout_, last.path, IoOptions());
+      if (!loaded.ok()) {
         finish_metrics();
-        return st;
+        return loaded.status();
       }
-      merged_rows += merged.rows;
-      next.push_back(std::move(merged));
+      std::remove(last.path.c_str());
+      result_ = std::move(loaded.value());
+    } else {
+      result_ = std::move(last.run);
     }
-    profile_.SetMergeRound(round, entries_.size() / 2, merged_rows,
-                           round_timer.ElapsedSeconds());
-    if (entries_.size() % 2 == 1) {
-      next.push_back(std::move(entries_.back()));
-    }
-    entries_ = std::move(next);
+    entries_.clear();
+    result_.TrackMemory(nullptr);
+    finish_metrics();
+    profile_.EnterPhase(SortPhase::kDone);
+    return Status::OK();
   }
 
-  RunEntry& last = entries_.front();
-  if (last.spilled) {
-    // The final result is handed to the caller and intentionally not
-    // charged against the limit (the limit governs the sort's internal
-    // working set; see docs/robustness.md).
-    auto loaded = ReadRunFromFile(payload_layout_, last.path, IoOptions());
-    if (!loaded.ok()) {
-      finish_metrics();
-      return loaded.status();
+  const uint64_t fan_in = PlanMergeFanIn(entries_.size());
+  uint64_t round = 0;
+  while (entries_.size() > fan_in) {
+    ++round;
+    Timer round_timer;
+    // Merging `width` entries reduces the count by width - 1; never merge
+    // more than needed to land exactly on the final fan-in.
+    const uint64_t width = std::min(fan_in, entries_.size() - fan_in + 1);
+    // Cheapest contiguous window: fewest rows rewritten this level.
+    uint64_t window_rows = 0;
+    for (uint64_t i = 0; i < width; ++i) window_rows += entries_[i].rows;
+    uint64_t best_begin = 0, best_rows = window_rows;
+    for (uint64_t i = 1; i + width <= entries_.size(); ++i) {
+      window_rows += entries_[i + width - 1].rows - entries_[i - 1].rows;
+      if (window_rows < best_rows) {
+        best_rows = window_rows;
+        best_begin = i;
+      }
     }
-    std::remove(last.path.c_str());
-    result_ = std::move(loaded.value());
-  } else {
-    result_ = std::move(last.run);
+    RunEntry merged;
+    Status st;
+    try {
+      st = MergeEntryRange(best_begin, width, /*to_memory=*/false, &merged,
+                           nullptr);
+    } catch (const CancelledError& e) {
+      st = e.ToStatus();
+    } catch (const std::bad_alloc&) {
+      st = Status::OutOfMemory("sort merge: allocation failed");
+    }
+    if (!st.ok()) {
+      // Register the output if it survived so the destructor still removes
+      // every spill file (the unconsumed inputs are still registered).
+      if (merged.spilled) entries_.push_back(std::move(merged));
+      finish_metrics();
+      return st;
+    }
+    entries_.erase(entries_.begin() + best_begin,
+                   entries_.begin() + best_begin + width);
+    entries_.insert(entries_.begin() + best_begin, std::move(merged));
+    profile_.SetMergeRound(round, 1, best_rows, round_timer.ElapsedSeconds());
   }
+
+  // Final pass: every remaining input through one loser tree, streamed
+  // straight into the in-memory result.
+  ++round;
+  Timer final_timer;
+  metrics_.merge_fan_in = entries_.size();
+  Status st;
+  try {
+    st = MergeEntryRange(0, entries_.size(), /*to_memory=*/true, nullptr,
+                         &result_);
+  } catch (const CancelledError& e) {
+    st = e.ToStatus();
+  } catch (const std::bad_alloc&) {
+    st = Status::OutOfMemory("sort merge: allocation failed");
+  }
+  if (!st.ok()) {
+    finish_metrics();
+    return st;
+  }
+  profile_.SetMergeRound(round, 1, result_.count,
+                         final_timer.ElapsedSeconds());
   entries_.clear();
   result_.TrackMemory(nullptr);
   finish_metrics();

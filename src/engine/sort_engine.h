@@ -86,6 +86,14 @@ struct SortEngineConfig {
   /// scatter/gather kernels have their own process-wide switch
   /// (SetRowKernelsEnabled, row/row_kernels.h).
   bool use_movement_kernels = true;
+  /// Overlapped spill I/O (docs/external_sort.md): true (default) = spill
+  /// writes are double-buffered write-behind (the sort thread encodes block
+  /// k+1 while a per-sort background I/O thread writes block k) and external
+  /// merge readers keep one block of readahead in flight; false = every
+  /// fread/fwrite happens inline on the compute thread. The bytes on disk
+  /// and the sorted output are byte-identical either way; only where the
+  /// blocking happens changes (SortMetrics::io_wait_us shows the residual).
+  bool overlap_spill_io = true;
   /// Cooperative cancellation / deadline for the whole pipeline. Every
   /// long-running loop (sink scatter, run sorts, merge inner loops, spill
   /// streaming) polls this token at block granularity (kCancelCheckRows) and
@@ -139,6 +147,20 @@ struct SortMetrics {
   /// Microseconds between a cancel request and the pipeline's first
   /// observation of it; 0 unless the sort was cancelled.
   uint64_t time_to_cancel_us = 0;
+  /// Microseconds compute threads spent blocked on spill I/O: the full
+  /// inline fread/fwrite time with overlap_spill_io off, only the residual
+  /// waits on the background worker when it is on.
+  uint64_t io_wait_us = 0;
+  /// Spill blocks whose background read completed before the merge asked
+  /// for them (readahead fully hid the I/O). 0 with overlap off.
+  uint64_t blocks_prefetched = 0;
+  /// Write-behind submissions that found the previous block still in
+  /// flight and had to wait (I/O slower than encode). 0 with overlap off.
+  uint64_t write_behind_stalls = 0;
+  /// Fan-in of the final merge pass over registered runs (the k in the
+  /// closing k-way merge). Equal to runs_generated when the planner fit
+  /// every run into a single pass; 0 until Finalize.
+  uint64_t merge_fan_in = 0;
   double sink_seconds = 0;      ///< DSM->NSM conversion + key normalization
   double run_sort_seconds = 0;  ///< thread-local sorts + payload reorder
   double merge_seconds = 0;     ///< cascaded merge
@@ -280,16 +302,20 @@ class RelationalSort {
   Status SinkImpl(LocalState& local, const DataChunk& chunk);
   Status SortLocalRun(LocalState& local);
   Status FinalizeImpl(ThreadPool* pool);
-  /// Merges entries_[left] and entries_[right] into *out — in memory when
-  /// both are resident and the output fits the limit, otherwise via the
-  /// streaming external merge (spilling resident inputs first).
-  Status MergeEntryPair(RunEntry& left, RunEntry& right, ThreadPool* pool,
-                        RunEntry* out);
-  /// Streaming 2-way merge of two spill files into a new spill file;
-  /// resident memory is O(spill block), not O(run).
-  Status MergeSpilledPair(const std::string& left_path,
-                          const std::string& right_path,
-                          const std::string& out_path);
+  /// Fan-in (number of simultaneous merge inputs) the external planner
+  /// allows, from memory_limit_bytes and the per-input block buffering
+  /// cost. Unlimited memory plans a single pass over all inputs.
+  uint64_t PlanMergeFanIn(uint64_t input_count) const;
+  /// Streaming k-way merge of entries_[begin, begin + count) through one
+  /// OVC loser tree; resident memory is O(block) per spilled input, not
+  /// O(run). to_memory == false: emits block-by-block into a fresh spill
+  /// file described by *out. to_memory == true: emits straight into
+  /// *result (the materialized result, not charged against the limit).
+  /// Consumed inputs are released — resident memory freed, spill files
+  /// deleted — as the merge completes, so peak disk stays at most input
+  /// plus one output level.
+  Status MergeEntryRange(uint64_t begin, uint64_t count, bool to_memory,
+                         RunEntry* out, SortedRun* result);
   /// Spills the largest resident runs until reserving \p incoming_bytes
   /// more would fit under the limit (or nothing resident remains).
   Status SpillToFit(uint64_t incoming_bytes);
@@ -306,10 +332,28 @@ class RelationalSort {
   /// state. Idempotent — called from both Finalize and RecordError, so a
   /// failed sort leaves a valid partial profile behind.
   void FoldRuntimeIntoProfile();
-  /// The spill paths' shared accounting/cancellation/tracing bundle.
+  /// Lazily starts the per-sort background spill I/O thread (first spill
+  /// with overlap_spill_io on); thread-safe.
+  IoWorker* EnsureIoWorker();
+  /// The spill paths' shared accounting/cancellation/tracing bundle. With
+  /// overlap_spill_io on it also wires the background worker, the tracker
+  /// that the overlap buffers are charged against, and the shared overlap
+  /// counters, turning on write-behind and readahead in every writer /
+  /// reader the engine opens.
   SpillIoOptions IoOptions() {
-    return SpillIoOptions{&io_retry_stats_, config_.cancellation,
-                          &spill_io_profile_, config_.trace};
+    SpillIoOptions io;
+    io.retry_stats = &io_retry_stats_;
+    io.cancellation = config_.cancellation;
+    io.io_profile = &spill_io_profile_;
+    io.trace = config_.trace;
+    // Always wired: with overlap off (or gated off), the inline fread/fwrite
+    // time lands in io_wait_us, making sync vs. overlapped stalls comparable.
+    io.overlap_stats = &overlap_stats_;
+    if (config_.overlap_spill_io) {
+      io.worker = EnsureIoWorker();
+      io.buffer_tracker = &tracker_;
+    }
+    return io;
   }
 
   SortedRun MergePair(const SortedRun& left, const SortedRun& right,
@@ -366,6 +410,16 @@ class RelationalSort {
   /// Per-block spill write/read accounting, shared by every writer/reader
   /// this sort opens (folded into profile_'s spill node).
   mutable SpillIoProfile spill_io_profile_;
+  /// Background spill I/O thread (overlap_spill_io), started on first use
+  /// and shared by every writer/reader of this sort. Declared after the
+  /// spill accounting it feeds and destroyed before it (reverse member
+  /// order), so in-flight jobs drain while their sinks are still alive.
+  std::unique_ptr<IoWorker> io_worker_;
+  std::once_flag io_worker_once_;
+  /// Overlap counters shared by all spill streams; folded into SortMetrics
+  /// (io_wait_us / blocks_prefetched / write_behind_stalls) and the
+  /// profile's spill node.
+  SpillOverlapStats overlap_stats_;
   /// Hands each LocalState a stable thread slot in the profile tree.
   mutable std::atomic<uint64_t> next_local_ordinal_{0};
   /// Fast-path scatter/gather counters from the row-kernel layer. Mutable:

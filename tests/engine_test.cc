@@ -509,6 +509,124 @@ TEST(EngineMemoryLimitTest, ExplicitSpillDirectoryLeftEmpty) {
   std::filesystem::remove(dir);
 }
 
+TEST(EngineOverlapTest, OverlappedSpillIsByteIdenticalDupHeavy) {
+  // Duplicate-heavy VARCHAR keys with NULLs under a limit that forces
+  // spilling: the overlapped writer/readers move the I/O to a background
+  // thread but must reproduce the synchronous result bit for bit.
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kVarchar), LogicalType(TypeId::kInt32)}, 20000,
+      0.1, 131);
+  SortSpec spec({SortColumn(0, TypeId::kVarchar)});
+
+  SortEngineConfig sync_config;
+  sync_config.run_size_rows = 2000;
+  sync_config.memory_limit_bytes = 512 * 1024;
+  sync_config.overlap_spill_io = false;
+  SortMetrics sync_metrics;
+  Table sync_out =
+      RelationalSort::SortTable(input, spec, sync_config, &sync_metrics)
+          .ValueOrDie();
+  EXPECT_GT(sync_metrics.runs_spilled, 0u) << "limit never bit";
+
+  SortEngineConfig overlap_config = sync_config;
+  overlap_config.overlap_spill_io = true;
+  SortMetrics overlap_metrics;
+  Table overlap_out =
+      RelationalSort::SortTable(input, spec, overlap_config, &overlap_metrics)
+          .ValueOrDie();
+  EXPECT_GT(overlap_metrics.runs_spilled, 0u);
+  ExpectSortedPermutation(input, overlap_out, spec);
+  ExpectIdenticalSequences(sync_out, overlap_out);
+}
+
+TEST(EngineOverlapTest, OverlappedSpillIsByteIdenticalRandomNumeric) {
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 60000, 0.0,
+      137);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+
+  SortEngineConfig sync_config;
+  sync_config.run_size_rows = 4096;
+  sync_config.memory_limit_bytes = 1024 * 1024;
+  sync_config.overlap_spill_io = false;
+  SortMetrics sync_metrics;
+  Table sync_out =
+      RelationalSort::SortTable(input, spec, sync_config, &sync_metrics)
+          .ValueOrDie();
+  EXPECT_GT(sync_metrics.runs_spilled, 0u) << "limit never bit";
+
+  SortEngineConfig overlap_config = sync_config;
+  overlap_config.overlap_spill_io = true;
+  SortMetrics overlap_metrics;
+  Table overlap_out =
+      RelationalSort::SortTable(input, spec, overlap_config, &overlap_metrics)
+          .ValueOrDie();
+  EXPECT_GT(overlap_metrics.runs_spilled, 0u);
+  ExpectIdenticalSequences(sync_out, overlap_out);
+}
+
+TEST(EngineOverlapTest, SpilledRunsMergeInOneExtraPass) {
+  // All-spill mode (spill directory, no limit): the fan-in planner has an
+  // unlimited budget and must merge every spilled run in a single k-way
+  // pass — each spilled row is read back exactly once (the one extra pass),
+  // never rewritten through a pairwise cascade.
+  std::string dir = ::testing::TempDir() + "/rowsort_fanin";
+  std::filesystem::create_directories(dir);
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 40000, 0.0,
+      139);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.run_size_rows = 2048;
+  config.spill_directory = dir;
+  SortMetrics metrics;
+  SortProfile profile;
+  Table output =
+      RelationalSort::SortTable(input, spec, config, &metrics, &profile)
+          .ValueOrDie();
+  ExpectSortedPermutation(input, output, spec);
+  EXPECT_GT(metrics.runs_generated, 2u);
+  EXPECT_EQ(metrics.runs_spilled, metrics.runs_generated);
+  // The headline planner property: fan-in of the final merge equals the run
+  // count, i.e. one extra pass and no intermediate rewrite.
+  EXPECT_EQ(metrics.merge_fan_in, metrics.runs_generated);
+  // Overlap was on (default): the background worker really executed the
+  // spill jobs, and its stats landed in the profile.
+  const ProfileNode* spill = profile.root().FindChild("spill");
+  ASSERT_NE(spill, nullptr);
+  const ProfileNode* worker = spill->FindChild("io_worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_GT(worker->invocations, 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir)) << "spill files leaked";
+  std::filesystem::remove(dir);
+}
+
+TEST(EngineOverlapTest, PlannedFanInRespectsTightLimit) {
+  // A tight limit cannot afford an all-at-once merge: the planner must
+  // choose a smaller fan-in, take intermediate passes, and still produce
+  // the exact sequence of the unlimited sort.
+  Table input = MakeRandomTable(
+      {LogicalType(TypeId::kInt32), LogicalType(TypeId::kInt64)}, 60000, 0.0,
+      149);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+
+  SortEngineConfig unlimited;
+  unlimited.run_size_rows = 2048;
+  Table reference =
+      RelationalSort::SortTable(input, spec, unlimited).ValueOrDie();
+
+  SortEngineConfig limited = unlimited;
+  limited.memory_limit_bytes = 1024 * 1024;
+  SortMetrics metrics;
+  Table governed =
+      RelationalSort::SortTable(input, spec, limited, &metrics).ValueOrDie();
+  EXPECT_GT(metrics.runs_spilled, 0u) << "limit never bit";
+  EXPECT_GE(metrics.merge_fan_in, 2u);
+  EXPECT_LT(metrics.merge_fan_in, metrics.runs_generated)
+      << "tight limit should have forced a narrower plan";
+  ExpectIdenticalSequences(reference, governed);
+}
+
 TEST(EngineFailureTest, AllocationFailureInSinkSurfacesAsOutOfMemory) {
   if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
   Table input = MakeRandomTable(

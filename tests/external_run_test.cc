@@ -329,6 +329,153 @@ TEST(ExternalRunRetryTest, ProbabilisticFlakesRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(ExternalRunOverlapTest, WriteBehindFileIsByteIdenticalToSync) {
+  // The overlapped writer moves the fwrite to a background thread but must
+  // put the exact same bytes on disk — same framing, same CRCs.
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 9000, 51);  // several blocks
+  std::string sync_path = TempPath("overlap_sync.rsrun");
+  std::string async_path = TempPath("overlap_async.rsrun");
+
+  ASSERT_TRUE(WriteRunToFile(run, layout, sync_path).ok());
+
+  IoWorker worker;
+  SpillOverlapStats stats;
+  SpillIoOptions io;
+  io.worker = &worker;
+  io.overlap_stats = &stats;
+  ASSERT_TRUE(WriteRunToFile(run, layout, async_path, io).ok());
+
+  EXPECT_EQ(ReadFileBytes(sync_path), ReadFileBytes(async_path));
+  std::remove(sync_path.c_str());
+  std::remove(async_path.c_str());
+}
+
+TEST(ExternalRunOverlapTest, PrefetchingReaderYieldsIdenticalBlocks) {
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 9000, 53);
+  std::string path = TempPath("overlap_read.rsrun");
+  ASSERT_TRUE(WriteRunToFile(run, layout, path).ok());
+
+  // Collect the block stream synchronously and with readahead; the blocks
+  // handed out must match row for row.
+  auto collect = [&](IoWorker* worker, SpillOverlapStats* stats) {
+    SpillIoOptions io;
+    io.worker = worker;
+    io.overlap_stats = stats;
+    ExternalRunReader reader(layout, path);
+    reader.SetIoOptions(io);
+    EXPECT_TRUE(reader.Open().ok());
+    std::vector<std::pair<std::vector<uint8_t>, uint64_t>> blocks;
+    SortedRun block;
+    for (;;) {
+      Status st = reader.ReadBlock(&block);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      if (!st.ok() || block.count == 0) break;
+      blocks.emplace_back(block.key_rows, block.count);
+    }
+    EXPECT_EQ(reader.rows_read(), run.count);
+    return blocks;
+  };
+  auto sync_blocks = collect(nullptr, nullptr);
+
+  IoWorker worker;
+  SpillOverlapStats stats;
+  auto async_blocks = collect(&worker, &stats);
+  EXPECT_EQ(sync_blocks, async_blocks);
+  // Exactly one readahead is in flight at a time; every block is either a
+  // prefetch hit or was waited for — the file has > 1 block, so at least
+  // the hit-or-wait machinery must have engaged.
+  EXPECT_GT(sync_blocks.size(), 1u);
+  EXPECT_LE(stats.blocks_prefetched.load(), sync_blocks.size());
+  std::remove(path.c_str());
+}
+
+TEST(ExternalRunOverlapTest, WorkerThreadFailpointsStillHealTransients) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  // Failpoints are process-global, so arming them here makes them fire on
+  // the background I/O thread: the retry/backoff machinery must have moved
+  // to the worker along with the fwrite/fread.
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 6000, 57);
+  std::string path = TempPath("overlap_flaky.rsrun");
+
+  IoWorker worker;
+  RetryStats stats;
+  SpillIoOptions io;
+  io.worker = &worker;
+  io.retry_stats = &stats;
+  failpoint::ArmProbabilistic("external_run_write_short", 0.3, /*seed=*/61);
+  failpoint::ArmProbabilistic("external_run_read_eintr", 0.3, /*seed=*/63);
+  Status st = WriteRunToFile(run, layout, path, io);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto loaded = ReadRunFromFile(layout, path, io);
+  failpoint::DisarmAll();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(stats.count(), 0u) << "failpoints never fired on the worker";
+  ExpectRunsEqual(run, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(ExternalRunOverlapTest, BackgroundWriteFailureSurfacesSticky) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints compiled out";
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 4096, 59);
+  std::string path = TempPath("overlap_diskfull.rsrun");
+
+  // Skip the header write, then fail permanently (disk full) — on the
+  // *worker* thread. The error must come back through the sticky Status on
+  // a later WriteSlice/Finish, and no file may be left behind.
+  {
+    IoWorker worker;
+    SpillIoOptions io;
+    io.worker = &worker;
+    ExternalRunWriter writer(layout, path);
+    writer.SetIoOptions(io);
+    ASSERT_TRUE(writer.Open(run.key_row_width).ok());
+    failpoint::Arm("external_run_write", /*skip=*/0, /*fires=*/1);
+    Status st;
+    for (int i = 0; i < 4 && st.ok(); ++i) {
+      st = writer.WriteSlice(run, 0, run.count);
+    }
+    if (st.ok()) st = writer.Finish();
+    failpoint::DisarmAll();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    // Sticky: every later call reports the same failure.
+    EXPECT_FALSE(writer.WriteSlice(run, 0, 1).ok());
+    EXPECT_FALSE(writer.Finish().ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(ExternalRunOverlapTest, CancelMidWriteBehindLeavesNoFiles) {
+  RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
+  SortedRun run = MakeRun(layout, 4096, 67);
+  std::string path = TempPath("overlap_cancel.rsrun");
+
+  CancellationSource source;
+  {
+    IoWorker worker;
+    SpillIoOptions io;
+    io.worker = &worker;
+    io.cancellation = source.token();
+    ExternalRunWriter writer(layout, path);
+    writer.SetIoOptions(io);
+    ASSERT_TRUE(writer.Open(run.key_row_width).ok());
+    ASSERT_TRUE(writer.WriteSlice(run, 0, run.count).ok());
+    // A block is (or was) in flight on the worker; cancelling now must stop
+    // the next submission and the abandon must drain + delete the temp.
+    source.RequestCancel();
+    Status st = writer.WriteSlice(run, 0, run.count);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
 TEST(ExternalRunRetryTest, CancelledTokenAbortsSpillIo) {
   RowLayout layout({TypeId::kInt32, TypeId::kVarchar});
   SortedRun run = MakeRun(layout, 200, 43);

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "engine/external_run.h"
 #include "engine/profile.h"
 #include "engine/sort_engine.h"
 #include "workload/tables.h"
@@ -115,6 +117,92 @@ TEST(StressTest, ManyConcurrentSortTables) {
     Table output = RelationalSort::SortTable(input, spec, config).ValueOrDie();
     if (output.row_count() != 20000 ||
         !(output.chunk(0).GetValue(0, 0) == Value::Int32(0))) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StressTest, OverlappedSpillSharedWorkerContention) {
+  // TSan target for the write-behind / readahead handoff: four threads
+  // each stream several runs through ONE shared background I/O worker —
+  // writer and reader of each thread interleave their jobs on the worker's
+  // queue with everyone else's, so the double-buffer swap, the ticket
+  // wait/consume, and the shared overlap counters all race-test at once.
+  std::string dir = ::testing::TempDir() + "/rowsort_overlap_stress";
+  std::filesystem::create_directories(dir);
+  RowLayout layout({TypeId::kInt32, TypeId::kInt64});
+  IoWorker worker;
+  SpillOverlapStats overlap;
+  SpillIoProfile io_profile;
+  std::atomic<int> failures{0};
+
+  auto stream_runs = [&](uint64_t thread_id) {
+    Random rng(1000 + thread_id);
+    for (int round = 0; round < 3; ++round) {
+      SortedRun run;
+      run.count = 10000;
+      run.key_row_width = 16;
+      run.key_rows.resize(run.count * run.key_row_width);
+      for (auto& b : run.key_rows) b = static_cast<uint8_t>(rng.Next32());
+      run.payload = RowCollection(layout);
+      DataChunk chunk;
+      chunk.Initialize(layout.types(), kVectorSize);
+      uint64_t produced = 0;
+      while (produced < run.count) {
+        uint64_t n = std::min(kVectorSize, run.count - produced);
+        for (uint64_t i = 0; i < n; ++i) {
+          chunk.SetValue(0, i, Value::Int32(static_cast<int32_t>(i)));
+          chunk.SetValue(1, i, Value::Int64(static_cast<int64_t>(produced)));
+        }
+        chunk.SetSize(n);
+        run.payload.AppendChunk(chunk);
+        produced += n;
+      }
+
+      SpillIoOptions io;
+      io.worker = &worker;
+      io.overlap_stats = &overlap;
+      io.io_profile = &io_profile;
+      std::string path = dir + "/t" + std::to_string(thread_id) + "_r" +
+                         std::to_string(round) + ".rsrun";
+      if (!WriteRunToFile(run, layout, path, io).ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      auto loaded = ReadRunFromFile(layout, path, io);
+      if (!loaded.ok() || loaded.value().count != run.count ||
+          loaded.value().key_rows != run.key_rows) {
+        failures.fetch_add(1);
+      }
+      std::remove(path.c_str());
+    }
+  };
+  std::vector<std::thread> threads;
+  for (uint64_t t = 0; t < 4; ++t) threads.emplace_back(stream_runs, t);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StressTest, OverlappedSpillingSortsRaceEachOther) {
+  // Whole-pipeline TSan target: concurrent memory-limited sorts, each with
+  // its own background I/O worker, write-behind spills and prefetching
+  // merge readers all active at once.
+  ThreadPool outer(3);
+  std::atomic<int> failures{0};
+  outer.ParallelFor(3, [&failures](uint64_t i) {
+    Table input = MakeShuffledIntegerTable(60000, 200 + i);
+    SortSpec spec({SortColumn(0, TypeId::kInt32)});
+    SortEngineConfig config;
+    config.threads = 2;
+    config.run_size_rows = 4096;
+    config.memory_limit_bytes = 512 * 1024;
+    SortMetrics metrics;
+    auto result = RelationalSort::SortTable(input, spec, config, &metrics);
+    if (!result.ok() || result.value().row_count() != 60000 ||
+        metrics.runs_spilled == 0 ||
+        !(result.value().chunk(0).GetValue(0, 0) == Value::Int32(0))) {
       failures.fetch_add(1);
     }
   });
