@@ -1,0 +1,297 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Multi-tenant SortService under a production-shaped mix (docs/service.md):
+// a large fleet of small interactive sorts racing a handful of spilling
+// giants over one shared ThreadPool and one global memory budget, with
+// transient spill-I/O faults armed and a slice of requests carrying
+// deadlines tight enough to kill them. Reports per-class p50/p99 latency,
+// service throughput, admission-queue pressure, victim-spill activity, and
+// shed rates — the overload-graceful-degradation story in numbers.
+//
+// Set ROWSORT_BENCH_JSON=<path> to emit BENCH_service.json (see
+// tools/run_service_stress.sh, which tracks and validates it).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/failpoint.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "service/sort_service.h"
+#include "workload/tables.h"
+
+using namespace rowsort;
+
+namespace {
+
+Table MakeWorkload(uint64_t rows, uint64_t seed) {
+  LogicalType i32(TypeId::kInt32), i64(TypeId::kInt64);
+  Table table({i32, i64});
+  Random rng(seed);
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(
+          0, r, Value::Int32(static_cast<int32_t>(rng.Uniform(1u << 30))));
+      chunk.SetValue(1, r,
+                     Value::Int64(static_cast<int64_t>(produced + r)));
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+/// Outcome tally for one request class (small / giant).
+struct ClassStats {
+  std::mutex mutex;
+  DurationHistogram latency_ns;  ///< wall time of OK requests
+  uint64_t ok = 0;
+  uint64_t shed = 0;      ///< ResourceExhausted
+  uint64_t killed = 0;    ///< DeadlineExceeded / Cancelled
+  uint64_t io_error = 0;  ///< transient-fault losses (IOError / OOM)
+
+  void Record(const Status& status, uint64_t ns) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (status.ok()) {
+      ok += 1;
+      latency_ns.Record(ns);
+    } else if (status.code() == StatusCode::kResourceExhausted) {
+      shed += 1;
+    } else if (status.IsCancellation()) {
+      killed += 1;
+    } else {
+      io_error += 1;
+    }
+  }
+};
+
+void PrintClass(const char* name, ClassStats& c) {
+  std::printf("%-7s %6llu ok %5llu shed %5llu killed %5llu io-err | "
+              "p50 %8.3f ms  p99 %8.3f ms  max %8.3f ms\n",
+              name, (unsigned long long)c.ok, (unsigned long long)c.shed,
+              (unsigned long long)c.killed, (unsigned long long)c.io_error,
+              c.latency_ns.QuantileUpperNs(0.5) * 1e-6,
+              c.latency_ns.QuantileUpperNs(0.99) * 1e-6,
+              c.latency_ns.max_ns() * 1e-6);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "BENCH_service",
+      "multi-tenant SortService: small-sort fleet vs. spilling giants under "
+      "one global budget, with I/O faults and deadline kills",
+      "every request completes, sheds with ResourceExhausted, or dies on "
+      "its deadline; small-sort p99 stays bounded while giants spill");
+
+  const uint64_t kSmallSorts =
+      bench::EnvRows("ROWSORT_SERVICE_SMALL_SORTS", 1000);
+  const uint64_t kGiants = bench::EnvRows("ROWSORT_SERVICE_GIANTS", 4);
+  const uint64_t kSmallRows = 4000;
+  const uint64_t kGiantRows =
+      bench::EnvRows("ROWSORT_SERVICE_GIANT_ROWS", 400000);
+  const uint64_t kClients = 8;
+
+  Table small_input = MakeWorkload(kSmallRows, 7);
+  Table giant_input = MakeWorkload(kGiantRows, 8);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+
+  std::filesystem::path spill_dir =
+      std::filesystem::temp_directory_path() / "rowsort_bench_service";
+  std::filesystem::create_directories(spill_dir);
+
+  // Budget = one giant's rough footprint: the giants cannot all be resident,
+  // so victim spilling must arbitrate between them while the small sorts
+  // squeeze through underneath.
+  SortServiceConfig config;
+  config.memory_limit_bytes = kGiantRows * 24;
+  // Fewer slots than clients: the admission queue is always in play, so
+  // the queue-depth and queue-wait numbers below measure something real.
+  config.max_running = 6;
+  config.max_queued = 128;
+  config.queue_wait_limit_ms = 30000;
+  config.tenant_max_running = 6;
+  config.pool_stats = true;
+  SortService service(config);
+
+  if (failpoint::Enabled()) {
+    failpoint::ArmProbabilistic("external_run_read_eintr", 0.01, 11);
+    failpoint::ArmProbabilistic("external_run_write_short", 0.01, 13);
+  }
+
+  ClassStats small_stats, giant_stats;
+  std::atomic<uint64_t> next_small{0};
+  std::atomic<uint64_t> next_giant{0};
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point bench_start = Clock::now();
+
+  std::vector<std::thread> clients;
+  for (uint64_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      while (true) {
+        // Giants drain first so they overlap the small-sort fleet; two
+        // client threads carry them, the rest stay on interactive traffic.
+        const uint64_t g =
+            t < 2 ? next_giant.fetch_add(1) : kGiants;
+        if (g < kGiants) {
+          SortRequest request;
+          request.tenant = "analytics";
+          request.priority = TaskPriority::kLow;
+          request.engine.run_size_rows = 1 << 15;
+          request.engine.spill_directory = spill_dir.string();
+          const Clock::time_point start = Clock::now();
+          auto result = service.Sort(giant_input, spec, request);
+          giant_stats.Record(
+              result.ok() ? Status::OK() : result.status(),
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - start)
+                      .count()));
+          continue;
+        }
+        const uint64_t q = next_small.fetch_add(1);
+        if (q >= kSmallSorts) break;
+        SortRequest request;
+        request.tenant = "tenant-" + std::to_string(q % 4);
+        request.priority =
+            q % 4 == 0 ? TaskPriority::kHigh : TaskPriority::kNormal;
+        // Every 20th request carries a deadline tight enough to die under
+        // load — the deadline-kill slice of the mix.
+        if (q % 20 == 19) request.deadline = Deadline::AfterMillis(2);
+        const Clock::time_point start = Clock::now();
+        auto result = service.Sort(small_input, spec, request);
+        small_stats.Record(
+            result.ok() ? Status::OK() : result.status(),
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - start)
+                    .count()));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  failpoint::DisarmAll();
+  const double wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                bench_start)
+          .count();
+
+  const SortServiceStats stats = service.StatsSnapshot();
+  const ThreadPoolStatsSnapshot pool = service.PoolStatsSnapshot();
+  const double throughput =
+      (stats.completed) / (wall_seconds > 0 ? wall_seconds : 1.0);
+
+  PrintClass("small", small_stats);
+  PrintClass("giant", giant_stats);
+  std::printf(
+      "service: %llu requests, %llu completed (%.0f/s), %llu shed "
+      "(%llu queue-full, %llu wait-budget, %llu queued-cancel)\n",
+      (unsigned long long)stats.requests,
+      (unsigned long long)stats.completed, throughput,
+      (unsigned long long)(stats.shed_queue_full + stats.shed_wait_budget +
+                           stats.shed_queued_cancel),
+      (unsigned long long)stats.shed_queue_full,
+      (unsigned long long)stats.shed_wait_budget,
+      (unsigned long long)stats.shed_queued_cancel);
+  std::printf(
+      "pressure: queue depth high-water %llu, running high-water %llu, "
+      "queue wait p99 %.3f ms, victim spills %llu (%.1f MiB freed), "
+      "pool queue high-water %llu\n",
+      (unsigned long long)stats.max_queue_depth,
+      (unsigned long long)stats.max_running,
+      stats.queue_wait_ns.QuantileUpperNs(0.99) * 1e-6,
+      (unsigned long long)stats.victim_spills,
+      stats.victim_bytes_freed / (1024.0 * 1024.0),
+      (unsigned long long)pool.max_queue_depth);
+
+  if (service.memory_tracker().reserved() != 0) {
+    std::fprintf(stderr, "leaked reservations: %llu bytes\n",
+                 (unsigned long long)service.memory_tracker().reserved());
+    return 1;
+  }
+  uint64_t leftover = 0;
+  for (auto it = std::filesystem::directory_iterator(spill_dir);
+       it != std::filesystem::directory_iterator(); ++it) {
+    ++leftover;
+  }
+  std::filesystem::remove_all(spill_dir);
+  if (leftover != 0) {
+    std::fprintf(stderr, "leaked spill files: %llu\n",
+                 (unsigned long long)leftover);
+    return 1;
+  }
+
+  const char* json_path = std::getenv("ROWSORT_BENCH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    auto emit_class = [&](const char* name, ClassStats& c, bool last) {
+      std::fprintf(
+          f,
+          "    \"%s\": {\"ok\": %llu, \"shed\": %llu, \"killed\": %llu, "
+          "\"io_error\": %llu, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+          "\"max_ms\": %.3f}%s\n",
+          name, (unsigned long long)c.ok, (unsigned long long)c.shed,
+          (unsigned long long)c.killed, (unsigned long long)c.io_error,
+          c.latency_ns.QuantileUpperNs(0.5) * 1e-6,
+          c.latency_ns.QuantileUpperNs(0.99) * 1e-6,
+          c.latency_ns.max_ns() * 1e-6, last ? "" : ",");
+    };
+    std::fprintf(f, "{\n  \"classes\": {\n");
+    emit_class("small", small_stats, false);
+    emit_class("giant", giant_stats, true);
+    std::fprintf(
+        f,
+        "  },\n"
+        "  \"service\": {\"requests\": %llu, \"admitted\": %llu, "
+        "\"completed\": %llu, \"failed\": %llu, \"cancelled\": %llu, "
+        "\"shed_queue_full\": %llu, \"shed_wait_budget\": %llu, "
+        "\"shed_queued_cancel\": %llu, \"victim_spills\": %llu, "
+        "\"victim_bytes_freed\": %llu, \"max_queue_depth\": %llu, "
+        "\"max_running\": %llu, \"queue_wait_p99_ms\": %.3f, "
+        "\"throughput_per_s\": %.1f, \"wall_seconds\": %.3f},\n",
+        (unsigned long long)stats.requests,
+        (unsigned long long)stats.admitted,
+        (unsigned long long)stats.completed,
+        (unsigned long long)stats.failed,
+        (unsigned long long)stats.cancelled,
+        (unsigned long long)stats.shed_queue_full,
+        (unsigned long long)stats.shed_wait_budget,
+        (unsigned long long)stats.shed_queued_cancel,
+        (unsigned long long)stats.victim_spills,
+        (unsigned long long)stats.victim_bytes_freed,
+        (unsigned long long)stats.max_queue_depth,
+        (unsigned long long)stats.max_running,
+        stats.queue_wait_ns.QuantileUpperNs(0.99) * 1e-6, throughput,
+        wall_seconds);
+    std::fprintf(
+        f,
+        "  \"pool\": {\"tasks_executed\": %llu, \"tasks_skipped\": %llu, "
+        "\"max_queue_depth\": %llu, \"tasks_high\": %llu, "
+        "\"tasks_normal\": %llu, \"tasks_low\": %llu}\n}\n",
+        (unsigned long long)pool.tasks_executed,
+        (unsigned long long)pool.tasks_skipped,
+        (unsigned long long)pool.max_queue_depth,
+        (unsigned long long)pool.tasks_per_priority[0],
+        (unsigned long long)pool.tasks_per_priority[1],
+        (unsigned long long)pool.tasks_per_priority[2]);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
+  return 0;
+}

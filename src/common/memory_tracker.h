@@ -19,15 +19,27 @@ namespace rowsort {
 /// The tracker never fails a reservation itself — enforcement is the
 /// caller's job (spill, then reserve). This keeps accounting exact even for
 /// allocations that cannot be avoided (e.g. the final merged result).
+///
+/// Trackers nest: a tracker constructed with a \p parent forwards every
+/// Reserve/Release to it, so a per-query budget can live under a service's
+/// global budget. WouldExceed()/OverLimit() consult the whole chain — a
+/// reservation that fits the query budget but would breach the global one
+/// still reports exceeded, which is what lets the engine's spill-then-
+/// reserve policy respond to *global* pressure, not just its own limit.
+/// The parent must outlive the child.
 class MemoryTracker {
  public:
-  explicit MemoryTracker(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+  explicit MemoryTracker(uint64_t limit_bytes = 0,
+                         MemoryTracker* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
   ROWSORT_DISALLOW_COPY_AND_MOVE(MemoryTracker);
 
   void set_limit(uint64_t limit_bytes) { limit_ = limit_bytes; }
   uint64_t limit() const { return limit_; }
+  MemoryTracker* parent() const { return parent_; }
 
-  /// Accounts \p bytes of resident memory (unconditional).
+  /// Accounts \p bytes of resident memory (unconditional; propagates to the
+  /// parent chain).
   void Reserve(uint64_t bytes) {
     if (bytes == 0) return;
     uint64_t now = reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
@@ -36,24 +48,42 @@ class MemoryTracker {
     while (now > peak &&
            !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
     }
+    if (parent_ != nullptr) parent_->Reserve(bytes);
   }
 
-  /// Releases \p bytes previously reserved.
+  /// Releases \p bytes previously reserved (propagates to the parent chain).
   void Release(uint64_t bytes) {
     if (bytes == 0) return;
     ROWSORT_DASSERT(reserved_.load(std::memory_order_relaxed) >= bytes);
     reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->Release(bytes);
   }
 
-  /// True when a limit is set and adding \p extra bytes would exceed it.
+  /// True when adding \p extra bytes would exceed this tracker's limit or
+  /// any ancestor's (a limit of 0 never constrains).
   bool WouldExceed(uint64_t extra) const {
-    return limit_ != 0 &&
-           reserved_.load(std::memory_order_relaxed) + extra > limit_;
+    if (limit_ != 0 &&
+        reserved_.load(std::memory_order_relaxed) + extra > limit_) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->WouldExceed(extra);
   }
 
-  /// True when a limit is set and the current reservation already exceeds it.
+  /// True when this tracker or any ancestor enforces a limit — i.e. the
+  /// chain can constrain growth at all. Lets the engine pick adaptive
+  /// spilling over spill-everything when only a *parent* budget exists
+  /// (per-query limit 0 under a service's global limit).
+  bool ChainLimited() const {
+    return limit_ != 0 || (parent_ != nullptr && parent_->ChainLimited());
+  }
+
+  /// True when the current reservation already exceeds this tracker's limit
+  /// or any ancestor's.
   bool OverLimit() const {
-    return limit_ != 0 && reserved_.load(std::memory_order_relaxed) > limit_;
+    if (limit_ != 0 && reserved_.load(std::memory_order_relaxed) > limit_) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->OverLimit();
   }
 
   uint64_t reserved() const {
@@ -65,6 +95,7 @@ class MemoryTracker {
   std::atomic<uint64_t> reserved_{0};
   std::atomic<uint64_t> peak_{0};
   uint64_t limit_;
+  MemoryTracker* parent_;
 };
 
 /// \brief RAII handle for bytes reserved against a MemoryTracker.

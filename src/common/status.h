@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// \brief Result of a fallible operation.
@@ -58,6 +59,13 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The service-layer shed signal: the system is at capacity and chose not
+  /// to run this request (admission queue full, wait budget spent). Unlike
+  /// kOutOfMemory it says nothing was wrong with the request — retrying
+  /// later is expected to succeed.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

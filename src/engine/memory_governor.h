@@ -1,0 +1,33 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstdint>
+
+namespace rowsort {
+
+class RelationalSort;
+
+/// \brief Cross-query memory arbitration hook (docs/service.md).
+///
+/// A sort configured with SortEngineConfig::governor consults it right
+/// before growing its tracked working set past a limit — its own or an
+/// ancestor's in the MemoryTracker chain. The implementation (typically a
+/// SortService) may free global memory by forcing *other* queries to write
+/// their resident runs to disk (RelationalSort::SpillResidentBytes), so
+/// that fleet-wide pressure lands on the cheapest victim instead of on
+/// whoever happened to allocate last.
+///
+/// The call is best-effort: the engine re-checks its tracker afterwards and
+/// falls back to spilling its own runs for whatever pressure remains.
+class MemoryGovernor {
+ public:
+  virtual ~MemoryGovernor() = default;
+
+  /// Invoked by \p requester from its sink path, holding no engine lock,
+  /// when reserving \p bytes more would exceed a limit. Implementations may
+  /// call back into other RelationalSort instances (victim spilling) but
+  /// must not call back into \p requester.
+  virtual void EnsureCapacity(uint64_t bytes, RelationalSort* requester) = 0;
+};
+
+}  // namespace rowsort

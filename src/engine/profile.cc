@@ -307,6 +307,12 @@ void SortProfile::FoldPool(const ThreadPoolStatsSnapshot& pool) {
   node->SetCounter("tasks_skipped", pool.tasks_skipped);
   node->SetCounter("batches", pool.batches);
   node->SetCounter("max_queue_depth", pool.max_queue_depth);
+  for (uint64_t p = 0; p < kTaskPriorityCount; ++p) {
+    node->SetCounter(
+        StringFormat("tasks_%s",
+                     TaskPriorityName(static_cast<TaskPriority>(p))),
+        pool.tasks_per_priority[p]);
+  }
   ProfileNode* wait = node->Child("queue_wait");
   wait->invocations = pool.queue_wait_ns.count();
   wait->seconds = pool.queue_wait_ns.total_seconds();

@@ -26,6 +26,12 @@ namespace {
 /// checks — far finer than the kCancelCheckRows row loops need).
 constexpr uint64_t kCancelCheckCompares = 8192;
 
+/// Process-unique id per engine instance; see spill_instance_.
+uint64_t NextSpillInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 RelationalSort::RelationalSort(SortSpec spec,
@@ -34,7 +40,7 @@ RelationalSort::RelationalSort(SortSpec spec,
     : spec_(std::move(spec)), input_types_(std::move(input_types)),
       config_(config), encoder_(spec_), payload_layout_(input_types_),
       comparator_(spec_, payload_layout_),
-      tracker_(config.memory_limit_bytes) {
+      tracker_(config.memory_limit_bytes, config.parent_tracker) {
   ROWSORT_ASSERT(!spec_.columns().empty());
   for (const auto& col : spec_.columns()) {
     ROWSORT_ASSERT(col.column_index < input_types_.size());
@@ -45,6 +51,7 @@ RelationalSort::RelationalSort(SortSpec spec,
                  "radix sort cannot resolve VARCHAR prefix ties");
   row_id_offset_ = bit_util::AlignValue(encoder_.key_width());
   key_row_width_ = row_id_offset_ + sizeof(uint64_t);
+  spill_instance_ = NextSpillInstanceId();
   cancel_.Reset(config_.cancellation);
 }
 
@@ -117,6 +124,9 @@ void RelationalSort::FoldRuntimeIntoProfile() {
                            snapshot.merge_seconds);
   profile_.SetRootCounter("runs_generated", snapshot.runs_generated);
   profile_.SetRootCounter("runs_spilled", snapshot.runs_spilled);
+  if (snapshot.forced_spills > 0) {
+    profile_.SetRootCounter("forced_spills", snapshot.forced_spills);
+  }
   profile_.SetRootCounter("peak_memory_bytes", tracker_.peak());
   profile_.SetRootCounter("io_retries", io_retry_stats_.count());
   profile_.SetRootCounter("cancel_checks", cancel_.checks());
@@ -183,6 +193,11 @@ Status RelationalSort::SinkImpl(LocalState& local, const DataChunk& chunk) {
   const uint64_t incoming =
       count * (key_row_width_ + payload_layout_.row_width());
   if (tracker_.WouldExceed(incoming)) {
+    // Global pressure first: a governor may free memory held by *other*
+    // queries (docs/service.md); local spilling covers what remains.
+    if (config_.governor != nullptr) {
+      config_.governor->EnsureCapacity(incoming, this);
+    }
     ROWSORT_RETURN_NOT_OK(SpillToFit(incoming));
   }
 
@@ -277,6 +292,9 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
   if (use_radix) extra += count * krw;
   if (UseOvc()) extra += count * sizeof(uint64_t);
   if (tracker_.WouldExceed(extra)) {
+    if (config_.governor != nullptr) {
+      config_.governor->EnsureCapacity(extra, this);
+    }
     ROWSORT_RETURN_NOT_OK(SpillToFit(extra));
   }
 
@@ -410,9 +428,11 @@ Status RelationalSort::SortLocalRun(LocalState& local) {
     metrics_.runs_generated += 1;
     metrics_.rows += count;
     entries_.push_back(RunEntry{std::move(run), std::string(), count, false});
-    if (!config_.spill_directory.empty() && tracker_.limit() == 0) {
-      // Pre-adaptive behavior (spill_directory without a memory limit):
-      // offload every run in the unified row format and release its memory.
+    if (!config_.spill_directory.empty() && !tracker_.ChainLimited()) {
+      // Pre-adaptive behavior (spill_directory without any memory limit in
+      // the tracker chain): offload every run in the unified row format and
+      // release its memory. Under a limit — own or a service's global
+      // parent budget — runs stay resident until pressure demands spilling.
       ROWSORT_RETURN_NOT_OK(SpillEntryLocked(entries_.back()));
     } else if (tracker_.OverLimit()) {
       ROWSORT_RETURN_NOT_OK(SpillToFitLocked(0));
@@ -446,8 +466,53 @@ Status RelationalSort::SpillToFitLocked(uint64_t incoming_bytes) {
   return Status::OK();
 }
 
+uint64_t RelationalSort::MinSpillWorkingSetBytes() const {
+  const uint64_t block_rows =
+      std::min<uint64_t>(kDefaultSpillBlockRows,
+                         std::max<uint64_t>(config_.run_size_rows, 1));
+  return block_rows * (key_row_width_ + payload_layout_.row_width());
+}
+
+uint64_t RelationalSort::SpillResidentBytes(uint64_t target_bytes) {
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  if (merge_active_) return 0;
+  uint64_t freed = 0;
+  while (freed < target_bytes) {
+    RunEntry* largest = nullptr;
+    for (auto& entry : entries_) {
+      if (entry.spilled) continue;
+      if (largest == nullptr ||
+          entry.run.MemoryBytes() > largest->run.MemoryBytes()) {
+        largest = &entry;
+      }
+    }
+    if (largest == nullptr) break;
+    const uint64_t bytes = largest->run.MemoryBytes();
+    // A failed spill leaves the entry resident and intact (the writer works
+    // through a temp file) — stop evicting and report what was freed. The
+    // error is not recorded against this sort: the victim did nothing
+    // wrong, and its own pipeline may well complete without ever spilling.
+    if (!SpillEntryLocked(*largest).ok()) break;
+    freed += bytes;
+    metrics_.forced_spills += 1;
+  }
+  return freed;
+}
+
 Status RelationalSort::SpillEntryLocked(RunEntry& entry) {
   ROWSORT_DASSERT(!entry.spilled);
+  // Fail fast under a hopeless budget: spilling moves data one block at a
+  // time, so a nonzero limit smaller than a single block can only thrash.
+  // Naming the floor lets the caller fix the configuration instead of
+  // guessing.
+  if (tracker_.limit() != 0 && tracker_.limit() < MinSpillWorkingSetBytes()) {
+    return Status::OutOfMemory(StringFormat(
+        "memory_limit_bytes=%llu is below the minimum workable limit for "
+        "this sort (%llu bytes = one spill block); raise the limit or use 0 "
+        "for unlimited",
+        (unsigned long long)tracker_.limit(),
+        (unsigned long long)MinSpillWorkingSetBytes()));
+  }
   ROWSORT_RETURN_NOT_OK(EnsureSpillDirLocked());
   std::string path = NextSpillPathLocked();
   TraceSpan span(config_.trace, "spill.run", "spill");
@@ -487,7 +552,8 @@ Status RelationalSort::EnsureSpillDirLocked() {
 }
 
 std::string RelationalSort::NextSpillPathLocked() {
-  return StringFormat("%s/run_%llu.rsrun", resolved_spill_dir_.c_str(),
+  return StringFormat("%s/run_%llu_%llu.rsrun", resolved_spill_dir_.c_str(),
+                      (unsigned long long)spill_instance_,
                       (unsigned long long)spill_counter_++);
 }
 
@@ -1476,6 +1542,12 @@ Status RelationalSort::Finalize(ThreadPool* pool) {
 
 Status RelationalSort::FinalizeImpl(ThreadPool* pool) {
   ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
+  {
+    // The merge phase reads entries_ without the lock from here on; the
+    // latch makes SpillResidentBytes decline instead of racing it.
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    merge_active_ = true;
+  }
   profile_.EnterPhase(SortPhase::kMerge);
   TraceSpan merge_span(config_.trace, "merge.phase", "merge");
   Timer timer;

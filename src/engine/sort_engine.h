@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "engine/external_run.h"
+#include "engine/memory_governor.h"
 #include "engine/profile.h"
 #include "engine/sorted_run.h"
 #include "engine/tuple_comparator.h"
@@ -62,6 +63,17 @@ struct SortEngineConfig {
   /// them whole. The materialized result handed back to the caller is not
   /// counted against the limit (see docs/robustness.md).
   uint64_t memory_limit_bytes = 0;
+  /// Service integration (docs/service.md): nests this sort's tracker under
+  /// \p parent_tracker, so reservations propagate to a global budget and
+  /// WouldExceed() responds to fleet-wide pressure, not just this sort's
+  /// own limit. Null = standalone. Must outlive the sort.
+  MemoryTracker* parent_tracker = nullptr;
+  /// Cross-query victim spilling: consulted (holding no engine lock) before
+  /// the working set grows past a limit, giving a service the chance to
+  /// free global memory held by *other* queries first. Best-effort — the
+  /// engine still spills its own runs for whatever pressure remains. Null
+  /// (default) = no governor. Must outlive the sort.
+  MemoryGovernor* governor = nullptr;
   /// Merge strategy ablation: false = DuckDB's 2-way cascaded merge with
   /// Merge Path parallelism (the paper's design); true = a single k-way
   /// merge over all runs at once, the strategy §VII attributes to
@@ -126,6 +138,10 @@ struct SortMetrics {
   /// Spill events: runs written to disk (adaptive or all-or-nothing),
   /// including intermediate external-merge outputs.
   uint64_t runs_spilled = 0;
+  /// Runs this sort spilled on *another query's* behalf — a governor picked
+  /// it as the victim and called SpillResidentBytes (docs/service.md).
+  /// Subset of runs_spilled.
+  uint64_t forced_spills = 0;
   /// High-water mark of the MemoryTracker over the sort's lifetime.
   uint64_t peak_memory_bytes = 0;
   /// Transient spill-I/O failures recovered by retry (short reads/writes,
@@ -278,6 +294,25 @@ class RelationalSort {
   const MemoryTracker& memory_tracker() const { return tracker_; }
   uint64_t key_row_width() const { return key_row_width_; }
 
+  /// Cross-query victim spilling (docs/service.md): writes this sort's
+  /// largest resident runs to disk until at least \p target_bytes of
+  /// tracked memory has been freed (or nothing evictable remains); returns
+  /// the bytes actually freed. Thread-safe — a governor may call it while
+  /// the owner is sinking on other threads. Declines (returns 0) once the
+  /// merge phase has begun: Finalize owns the run memory from then on. A
+  /// spill failure stops the eviction with the victim entry intact and does
+  /// NOT poison this sort's sticky error — being a poor victim is not a
+  /// failure of this query.
+  uint64_t SpillResidentBytes(uint64_t target_bytes);
+
+  /// Smallest memory_limit_bytes under which spilling can make forward
+  /// progress: one spill block — min(run_size_rows, kDefaultSpillBlockRows)
+  /// rows at this sort's row widths, the unit the writer encodes and the
+  /// merge reader decodes. A spill attempt under a smaller nonzero limit
+  /// fails fast with Status::OutOfMemory naming this value instead of
+  /// thrashing.
+  uint64_t MinSpillWorkingSetBytes() const;
+
   /// Convenience single-call API: sorts \p input with \p config.threads
   /// workers (morsel-driven: chunks are distributed across local states) and
   /// returns the sorted table. \p metrics_out and \p profile_out are
@@ -394,8 +429,16 @@ class RelationalSort {
   std::vector<RunEntry> entries_;
   std::string resolved_spill_dir_;
   bool created_spill_dir_ = false;
+  /// Process-unique engine id baked into spill file names: many engines may
+  /// share one spill_directory (the SortService does), so a per-engine
+  /// counter alone would collide across concurrent queries.
+  uint64_t spill_instance_ = 0;
   uint64_t spill_counter_ = 0;
   Status first_error_;  ///< sticky pipeline error (guarded by runs_mutex_)
+  /// Latched by FinalizeImpl (guarded by runs_mutex_): the merge phase
+  /// reads entries_ without the lock, so SpillResidentBytes must decline
+  /// from then on.
+  bool merge_active_ = false;
   SortedRun result_;
   SortMetrics metrics_;
   /// Shared by all pipeline threads; counts checks and stamps the first

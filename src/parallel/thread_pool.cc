@@ -5,11 +5,23 @@
 
 namespace rowsort {
 
+const char* TaskPriorityName(TaskPriority priority) {
+  switch (priority) {
+    case TaskPriority::kHigh:
+      return "high";
+    case TaskPriority::kNormal:
+      return "normal";
+    case TaskPriority::kLow:
+      return "low";
+  }
+  return "unknown";
+}
+
 ThreadPool::ThreadPool(uint64_t thread_count) {
   if (thread_count == 0) {
     thread_count = std::max(1u, std::thread::hardware_concurrency());
   }
-  // One busy slot per worker plus one for the submitting thread (RunBatch
+  // One busy slot per worker plus one shared by submitting threads (RunBatch
   // helps drain the queue).
   busy_ns_ = std::vector<std::atomic<uint64_t>>(thread_count + 1);
   workers_.reserve(thread_count);
@@ -32,6 +44,10 @@ ThreadPoolStatsSnapshot ThreadPool::StatsSnapshot() const {
   out.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   out.tasks_skipped = tasks_skipped_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
+  for (uint64_t p = 0; p < kTaskPriorityCount; ++p) {
+    out.tasks_per_priority[p] =
+        tasks_per_priority_[p].load(std::memory_order_relaxed);
+  }
   out.queue_wait_ns = queue_wait_ns_.Snapshot();
   out.run_ns = run_ns_.Snapshot();
   out.thread_busy_seconds.reserve(busy_ns_.size());
@@ -46,30 +62,43 @@ ThreadPoolStatsSnapshot ThreadPool::StatsSnapshot() const {
   return out;
 }
 
-void ThreadPool::ExecuteTask(std::function<void()>& task) {
+void ThreadPool::ExecuteTask(Task& task) {
   // A throwing task must not unwind a worker thread (std::terminate) or
-  // poison the queue: capture the first exception for the submitting thread
-  // and keep the barrier intact. Queued siblings are skipped from here on
-  // (see ShouldSkipLocked) — their output dies with the batch anyway.
+  // poison the queue: capture the first exception for the batch's submitting
+  // thread and keep the barrier intact. Queued siblings of the same batch
+  // are skipped from here on (see ShouldSkipLocked) — their output dies with
+  // the batch anyway. Other batches are untouched.
   try {
-    task();
+    task.fn();
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!batch_error_) batch_error_ = std::current_exception();
+    if (!task.batch->error) task.batch->error = std::current_exception();
   }
 }
 
-bool ThreadPool::ShouldSkipLocked() {
-  if (batch_error_) return true;
-  if (batch_cancelled_) return true;
+bool ThreadPool::ShouldSkipLocked(BatchState& batch) {
+  if (batch.error) return true;
+  if (batch.cancelled) return true;
   // The token check leaves the mutex-held path as one relaxed load plus (at
   // most) a steady_clock read; once it fires, latch so later pops don't
   // even pay that.
-  if (batch_cancel_.CanBeCancelled() && batch_cancel_.IsCancelled()) {
-    batch_cancelled_ = true;
+  if (batch.cancel.CanBeCancelled() && batch.cancel.IsCancelled()) {
+    batch.cancelled = true;
     return true;
   }
   return false;
+}
+
+ThreadPool::Task ThreadPool::PopTaskLocked() {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    Task task = std::move(queue.front());
+    queue.pop();
+    --queued_;
+    return task;
+  }
+  ROWSORT_DASSERT(false && "PopTaskLocked called with no task queued");
+  return Task{};
 }
 
 void ThreadPool::FinishTask(Task& task, bool skip, uint64_t executor_index) {
@@ -83,23 +112,25 @@ void ThreadPool::FinishTask(Task& task, bool skip, uint64_t executor_index) {
       }
       {
         TraceSpan span(tracer_, "pool.task", "parallel");
-        ExecuteTask(task.fn);
+        ExecuteTask(task);
       }
       if (stats) {
         uint64_t run = static_cast<uint64_t>(Tracer::NowNanos() - start_ns);
         run_ns_.Record(run);
         busy_ns_[executor_index].fetch_add(run, std::memory_order_relaxed);
         tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+        tasks_per_priority_[static_cast<uint64_t>(task.priority)].fetch_add(
+            1, std::memory_order_relaxed);
       }
     } else {
-      ExecuteTask(task.fn);
+      ExecuteTask(task);
     }
   } else if (stats_enabled_.load(std::memory_order_relaxed)) {
     tasks_skipped_.fetch_add(1, std::memory_order_relaxed);
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (--outstanding_ == 0) batch_done_.notify_all();
+    if (--task.batch->outstanding == 0) batch_done_.notify_all();
   }
 }
 
@@ -109,11 +140,10 @@ void ThreadPool::WorkerLoop(uint64_t worker_index) {
     bool skip = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_workers_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
-      skip = ShouldSkipLocked();
+      wake_workers_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+      if (shutdown_ && queued_ == 0) return;
+      task = PopTaskLocked();
+      skip = ShouldSkipLocked(*task.batch);
     }
     FinishTask(task, skip, worker_index);
   }
@@ -124,29 +154,35 @@ bool ThreadPool::RunOneTask() {
   bool skip = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop();
-    skip = ShouldSkipLocked();
+    if (queued_ == 0) return false;
+    task = PopTaskLocked();
+    skip = ShouldSkipLocked(*task.batch);
   }
   FinishTask(task, skip, workers_.size());
   return true;
 }
 
 void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks,
-                          CancellationToken cancellation) {
+                          CancellationToken cancellation,
+                          TaskPriority priority) {
   if (tasks.empty()) return;
   const bool stats = stats_enabled_.load(std::memory_order_relaxed);
   const int64_t enqueue_ns = stats ? Tracer::NowNanos() : 0;
   if (stats) batches_.fetch_add(1, std::memory_order_relaxed);
+  // Lives on this frame until the barrier below releases — every task of
+  // the batch has retired by then, so no queued Task can outlive it.
+  BatchState batch;
+  batch.cancel = std::move(cancellation);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    batch_cancel_ = std::move(cancellation);
-    batch_cancelled_ = false;
-    outstanding_ += tasks.size();
-    for (auto& task : tasks) queue_.push(Task{std::move(task), enqueue_ns});
-    if (stats && queue_.size() > max_queue_depth_) {
-      max_queue_depth_ = queue_.size();
+    batch.outstanding = tasks.size();
+    auto& queue = queues_[static_cast<uint64_t>(priority)];
+    for (auto& task : tasks) {
+      queue.push(Task{std::move(task), &batch, priority, enqueue_ns});
+    }
+    queued_ += tasks.size();
+    if (stats && queued_ > max_queue_depth_) {
+      max_queue_depth_ = queued_;
     }
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
@@ -154,25 +190,25 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks,
                            static_cast<int64_t>(tasks.size()));
   }
   wake_workers_.notify_all();
-  // Help drain the queue, then wait for stragglers.
+  // Help drain the queue (any batch's tasks — work conservation keeps every
+  // concurrent submitter making progress), then wait for stragglers.
   while (RunOneTask()) {
   }
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    batch_done_.wait(lock, [this] { return outstanding_ == 0; });
-    error = batch_error_;
-    batch_error_ = nullptr;
-    batch_cancel_ = CancellationToken();
-    batch_cancelled_ = false;
+    batch_done_.wait(lock, [&batch] { return batch.outstanding == 0; });
+    error = batch.error;
   }
-  // First error wins; rethrown on the submitting thread after the barrier.
+  // First error of this batch wins; rethrown on the submitting thread after
+  // the barrier.
   if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::ParallelFor(uint64_t count,
                              const std::function<void(uint64_t)>& fn,
-                             uint64_t grain, CancellationToken cancellation) {
+                             uint64_t grain, CancellationToken cancellation,
+                             TaskPriority priority) {
   if (count == 0) return;
   if (grain == 0) {
     // A few blocks per worker balances uneven per-index work without
@@ -190,7 +226,7 @@ void ThreadPool::ParallelFor(uint64_t count,
       for (uint64_t i = begin; i < end; ++i) fn(i);
     });
   }
-  RunBatch(std::move(tasks), std::move(cancellation));
+  RunBatch(std::move(tasks), std::move(cancellation), priority);
 }
 
 }  // namespace rowsort

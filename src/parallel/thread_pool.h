@@ -1,6 +1,7 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -17,6 +18,15 @@
 
 namespace rowsort {
 
+/// Scheduling class of a batch (service layer, docs/service.md): interactive
+/// queries submit kHigh, the default pipeline kNormal, background giants
+/// kLow. Workers always drain the highest non-empty class first; within a
+/// class, FIFO.
+enum class TaskPriority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+constexpr uint64_t kTaskPriorityCount = 3;
+
+const char* TaskPriorityName(TaskPriority priority);
+
 /// Snapshot of a ThreadPool's activity since construction, folded into a
 /// SortProfile's "parallel" node (docs/observability.md). Produced by
 /// ThreadPool::StatsSnapshot(); empty unless EnableStats(true) was called.
@@ -24,18 +34,28 @@ struct ThreadPoolStatsSnapshot {
   uint64_t tasks_executed = 0;
   uint64_t tasks_skipped = 0;  ///< drained unrun: batch error or cancel
   uint64_t batches = 0;
+  /// High-water mark of the shared queue depth across *all* concurrent
+  /// batches — the scheduler-saturation signal the service reports.
   uint64_t max_queue_depth = 0;
+  /// Executed tasks per scheduling class (kHigh / kNormal / kLow).
+  std::array<uint64_t, kTaskPriorityCount> tasks_per_priority{};
   DurationHistogram queue_wait_ns;  ///< enqueue -> start, per task
   DurationHistogram run_ns;         ///< start -> finish, per task
-  std::vector<double> thread_busy_seconds;  ///< per worker (+1 submitter)
+  std::vector<double> thread_busy_seconds;  ///< per worker (+1 submitter slot)
 };
 
 /// \brief Fixed-size worker pool used by the parallel sorting pipeline
-/// (paper §VII: morsel-driven run generation and the parallel merge phase).
+/// (paper §VII: morsel-driven run generation and the parallel merge phase)
+/// and shared by every query of a SortService (docs/service.md).
 ///
 /// Tasks are void() callables; RunBatch submits a group and blocks until all
 /// of its tasks finish, which is exactly the barrier structure of the
-/// pipeline (all runs generated -> merge level by level).
+/// pipeline (all runs generated -> merge level by level). Batches may be
+/// submitted concurrently from any number of threads: each RunBatch tracks
+/// its own barrier, error, and cancellation state, and the submitting thread
+/// helps drain the shared queue — so even a fully saturated pool makes
+/// progress on every batch (no submitter can deadlock waiting for workers
+/// that are busy with other batches).
 class ThreadPool {
  public:
   /// Starts \p thread_count workers (0 = hardware concurrency).
@@ -46,9 +66,9 @@ class ThreadPool {
   uint64_t thread_count() const { return workers_.size(); }
 
   /// Turns on per-task accounting (queue wait, run time, per-thread busy
-  /// time, max queue depth). Off by default: the accounting is two clock
-  /// reads per task, negligible for the pipeline's coarse tasks but not
-  /// free. Call before submitting work.
+  /// time, max queue depth, per-priority counts). Off by default: the
+  /// accounting is two clock reads per task, negligible for the pipeline's
+  /// coarse tasks but not free. Call before submitting work.
   void EnableStats(bool on) {
     stats_enabled_.store(on, std::memory_order_relaxed);
   }
@@ -60,8 +80,8 @@ class ThreadPool {
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
   /// Accumulated stats (all zeros unless EnableStats(true) preceded the
-  /// work). Call between batches — per-task histograms are updated as tasks
-  /// retire.
+  /// work). Per-task histograms are updated as tasks retire, so a snapshot
+  /// taken while batches are in flight may lag the in-flight tasks.
   ThreadPoolStatsSnapshot StatsSnapshot() const;
 
   /// Runs all \p tasks on the pool and waits for completion. The calling
@@ -69,24 +89,30 @@ class ThreadPool {
   /// without deadlock.
   ///
   /// Error propagation: an exception thrown by a task is captured (first
-  /// one wins) and rethrown here on the submitting thread after the batch
-  /// barrier — a worker-task failure never std::terminate()s the process.
-  /// Once a task has failed, queued tasks of the batch that have not yet
-  /// started are *skipped* (drained without executing): their results would
-  /// be thrown away with the batch, so running them only delays the error.
-  /// Tasks already executing on other workers run to completion — the
-  /// barrier always holds.
+  /// one wins *within the batch*) and rethrown here on the submitting thread
+  /// after the batch barrier — a worker-task failure never
+  /// std::terminate()s the process. Once a task of a batch has failed,
+  /// queued tasks of that batch that have not yet started are *skipped*
+  /// (drained without executing): their results would be thrown away with
+  /// the batch, so running them only delays the error. Tasks already
+  /// executing run to completion — the barrier always holds. Other batches
+  /// are unaffected.
   ///
   /// Cancellation: when \p cancellation can fire, it is checked before each
-  /// task starts; once cancelled, not-yet-started tasks are skipped the same
-  /// way. RunBatch itself returns normally in that case (skipping is not an
-  /// error) — callers observe the token through their own checks. Tasks
-  /// that poll the token and throw CancelledError surface through the
-  /// exception path like any other failure.
+  /// of the batch's tasks starts; once cancelled, not-yet-started tasks are
+  /// skipped the same way. RunBatch itself returns normally in that case
+  /// (skipping is not an error) — callers observe the token through their
+  /// own checks. Tasks that poll the token and throw CancelledError surface
+  /// through the exception path like any other failure.
   ///
-  /// Batches must be submitted by one thread at a time.
+  /// \p priority picks the scheduling class: workers drain kHigh before
+  /// kNormal before kLow, so a service can keep thousands of small
+  /// interactive merges ahead of a background giant's.
+  ///
+  /// Safe to call concurrently from multiple threads.
   void RunBatch(std::vector<std::function<void()>> tasks,
-                CancellationToken cancellation = {});
+                CancellationToken cancellation = {},
+                TaskPriority priority = TaskPriority::kNormal);
 
   /// Convenience: RunBatch over indices [0, count) of \p fn(index). Indices
   /// are grouped into contiguous blocks so that large index spaces schedule
@@ -95,37 +121,54 @@ class ThreadPool {
   /// a few blocks per worker for load balance). \p cancellation as in
   /// RunBatch: whole not-yet-started blocks are skipped once it fires.
   void ParallelFor(uint64_t count, const std::function<void(uint64_t)>& fn,
-                   uint64_t grain = 0, CancellationToken cancellation = {});
+                   uint64_t grain = 0, CancellationToken cancellation = {},
+                   TaskPriority priority = TaskPriority::kNormal);
 
  private:
-  /// Queue element: the callable plus its submission stamp (0 when stats
-  /// are off — no clock read on the untimed path).
+  /// Per-RunBatch state: barrier count, first error, cancellation latch.
+  /// Stack-allocated in RunBatch — every task holds a pointer, and RunBatch
+  /// does not return until all of its tasks retired, so the pointer cannot
+  /// dangle. All fields are guarded by mutex_.
+  struct BatchState {
+    uint64_t outstanding = 0;
+    std::exception_ptr error;
+    CancellationToken cancel;
+    bool cancelled = false;  ///< latched result of the token check
+  };
+
+  /// Queue element: the callable, its batch, its scheduling class, and its
+  /// submission stamp (0 when stats are off — no clock read on the untimed
+  /// path).
   struct Task {
     std::function<void()> fn;
+    BatchState* batch = nullptr;
+    TaskPriority priority = TaskPriority::kNormal;
     int64_t enqueue_ns = 0;
   };
 
   void WorkerLoop(uint64_t worker_index);
   bool RunOneTask();
-  void ExecuteTask(std::function<void()>& task);
-  /// True when the current batch should stop launching queued tasks (a task
-  /// failed, or the batch's token fired). Called with mutex_ held.
-  bool ShouldSkipLocked();
-  /// Executes (or skips) an already-popped task and retires it against the
-  /// batch barrier. \p executor_index identifies the running thread's busy
-  /// slot: [0, thread_count) = workers, thread_count = the submitter.
+  void ExecuteTask(Task& task);
+  /// True when \p batch should stop launching queued tasks (a task of it
+  /// failed, or its token fired). Called with mutex_ held.
+  bool ShouldSkipLocked(BatchState& batch);
+  /// Pops the front task of the highest non-empty priority class. Called
+  /// with mutex_ held and at least one task queued.
+  Task PopTaskLocked();
+  /// Executes (or skips) an already-popped task and retires it against its
+  /// batch's barrier. \p executor_index identifies the running thread's busy
+  /// slot: [0, thread_count) = workers, thread_count = submitters.
   void FinishTask(Task& task, bool skip, uint64_t executor_index);
 
   std::vector<std::thread> workers_;
   mutable std::mutex mutex_;  ///< mutable: StatsSnapshot() is const
   std::condition_variable wake_workers_;
+  /// Shared completion signal: each waiter re-checks its own batch's
+  /// outstanding count. One cv for all batches keeps FinishTask cheap.
   std::condition_variable batch_done_;
-  std::queue<Task> queue_;
-  uint64_t outstanding_ = 0;
+  std::array<std::queue<Task>, kTaskPriorityCount> queues_;
+  uint64_t queued_ = 0;  ///< total tasks across queues_ (guarded by mutex_)
   bool shutdown_ = false;
-  std::exception_ptr batch_error_;  ///< first task exception of the batch
-  CancellationToken batch_cancel_;  ///< current batch's token (may be empty)
-  bool batch_cancelled_ = false;    ///< latched result of the token check
 
   /// -- observability (inert until EnableStats / SetTracer) -------------
   std::atomic<bool> stats_enabled_{false};
@@ -133,11 +176,12 @@ class ThreadPool {
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> tasks_skipped_{0};
   std::atomic<uint64_t> batches_{0};
+  std::array<std::atomic<uint64_t>, kTaskPriorityCount> tasks_per_priority_{};
   uint64_t max_queue_depth_ = 0;  ///< guarded by mutex_
   AtomicDurationHistogram queue_wait_ns_;
   AtomicDurationHistogram run_ns_;
   /// Busy (task-running) nanoseconds per executor; the extra tail slot is
-  /// the submitting thread helping drain in RunBatch.
+  /// shared by all submitting threads helping drain in RunBatch.
   std::vector<std::atomic<uint64_t>> busy_ns_;
 };
 

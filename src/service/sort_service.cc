@@ -1,0 +1,328 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "service/sort_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace rowsort {
+
+namespace {
+
+/// Queued waiters poll their shed conditions (deadline, external cancel) at
+/// this granularity — their cv is only notified on admission.
+constexpr int64_t kQueuePollMillis = 20;
+
+const std::string& EffectiveTenant(const SortRequest& request) {
+  static const std::string kDefault = "default";
+  return request.tenant.empty() ? kDefault : request.tenant;
+}
+
+}  // namespace
+
+SortService::SortService(SortServiceConfig config)
+    : config_(std::move(config)),
+      global_tracker_(config_.memory_limit_bytes),
+      pool_(config_.threads) {
+  if (config_.pool_stats) pool_.EnableStats(true);
+}
+
+SortService::~SortService() = default;
+
+SortServiceStats SortService::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SortServiceStats out = stats_;
+  out.queue_wait_ns = queue_wait_ns_.Snapshot();
+  return out;
+}
+
+uint64_t SortService::current_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+uint64_t SortService::current_running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void SortService::PumpAdmissionLocked() {
+  while (running_ < config_.max_running && !queue_.empty()) {
+    // Highest priority class first, arrival order within it; waiters whose
+    // tenant is at its cap are passed over (a later arrival of another
+    // tenant may run ahead of them — that *is* the fairness policy).
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      Waiter* w = *it;
+      if (config_.tenant_max_running != 0) {
+        auto t = tenant_running_.find(*w->tenant);
+        if (t != tenant_running_.end() &&
+            t->second >= config_.tenant_max_running) {
+          continue;
+        }
+      }
+      if (best == queue_.end() || w->priority < (*best)->priority ||
+          (w->priority == (*best)->priority && w->seq < (*best)->seq)) {
+        best = it;
+      }
+    }
+    if (best == queue_.end()) break;
+    Waiter* w = *best;
+    queue_.erase(best);
+    w->admitted = true;
+    ++running_;
+    ++tenant_running_[*w->tenant];
+    stats_.admitted += 1;
+    stats_.max_running = std::max(stats_.max_running, running_);
+    w->cv.notify_one();
+  }
+}
+
+Status SortService::Admit(const SortRequest& request,
+                          const std::string& tenant,
+                          const CancellationToken& queue_cancel,
+                          uint64_t* waited_ns) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  stats_.requests += 1;
+  Waiter waiter;
+  waiter.priority = request.priority;
+  waiter.seq = next_seq_++;
+  waiter.tenant = &tenant;
+  queue_.push_back(&waiter);
+  PumpAdmissionLocked();
+  // Shed-fast policy: a request that cannot run immediately and would be
+  // waiter number max_queued+1 is refused outright — a full queue means the
+  // wait would be long, and a fast ResourceExhausted beats a slow one.
+  if (!waiter.admitted && queue_.size() > config_.max_queued) {
+    queue_.pop_back();
+    stats_.shed_queue_full += 1;
+    return Status::ResourceExhausted(StringFormat(
+        "admission queue full (%llu queued, %llu running); retry later",
+        (unsigned long long)queue_.size(), (unsigned long long)running_));
+  }
+  stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth,
+                                              queue_.size());
+
+  const bool bounded = config_.queue_wait_limit_ms > 0;
+  const Clock::time_point wait_deadline =
+      start + std::chrono::milliseconds(config_.queue_wait_limit_ms);
+  auto remove_self = [&] {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), &waiter));
+  };
+  while (!waiter.admitted) {
+    if (request.deadline.Expired()) {
+      remove_self();
+      stats_.shed_queued_cancel += 1;
+      return Status::DeadlineExceeded(
+          "request deadline expired in the admission queue");
+    }
+    if (queue_cancel.CanBeCancelled() && queue_cancel.IsCancelled()) {
+      remove_self();
+      stats_.shed_queued_cancel += 1;
+      return CancellationToken::StatusForCause(queue_cancel.cause());
+    }
+    if (bounded && Clock::now() >= wait_deadline) {
+      remove_self();
+      stats_.shed_wait_budget += 1;
+      return Status::ResourceExhausted(StringFormat(
+          "admission wait budget spent (%llu ms); the service is saturated, "
+          "retry later",
+          (unsigned long long)config_.queue_wait_limit_ms));
+    }
+    Clock::time_point until =
+        Clock::now() + std::chrono::milliseconds(kQueuePollMillis);
+    if (bounded) until = std::min(until, wait_deadline);
+    if (!request.deadline.IsInfinite()) {
+      until = std::min(until, request.deadline.when());
+    }
+    waiter.cv.wait_until(lock, until);
+  }
+  *waited_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  return Status::OK();
+}
+
+void SortService::ReleaseSlot(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ROWSORT_DASSERT(running_ > 0);
+  --running_;
+  auto it = tenant_running_.find(tenant);
+  ROWSORT_DASSERT(it != tenant_running_.end() && it->second > 0);
+  if (--it->second == 0) tenant_running_.erase(it);
+  PumpAdmissionLocked();
+}
+
+void SortService::EnsureCapacity(uint64_t bytes, RelationalSort* requester) {
+  if (global_tracker_.limit() == 0) return;
+  // Victims that freed nothing (all runs already spilled, or mid-merge) are
+  // not asked again this round — the pressure they cannot relieve falls
+  // through to the requester's own spilling.
+  std::vector<const RelationalSort*> unhelpful;
+  for (;;) {
+    const uint64_t reserved = global_tracker_.reserved();
+    if (reserved + bytes <= global_tracker_.limit()) return;
+    const uint64_t need = reserved + bytes - global_tracker_.limit();
+    ActiveQuery* victim = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (ActiveQuery* q : active_) {
+        if (q->sort == requester) continue;
+        if (std::find(unhelpful.begin(), unhelpful.end(), q->sort) !=
+            unhelpful.end()) {
+          continue;
+        }
+        if (q->sort->memory_tracker().reserved() == 0) continue;
+        // Policy (docs/service.md): lowest priority class first; within a
+        // class, the largest resident footprint (fewest victims for the
+        // most relief).
+        if (victim == nullptr || q->priority > victim->priority ||
+            (q->priority == victim->priority &&
+             q->sort->memory_tracker().reserved() >
+                 victim->sort->memory_tracker().reserved())) {
+          victim = q;
+        }
+      }
+      if (victim != nullptr) ++victim->pins;
+    }
+    if (victim == nullptr) return;  // requester spills its own runs instead
+    // Outside the service lock: the victim's spill takes its runs_mutex_
+    // and does real I/O. The pin keeps its ActiveQuery (and the sort it
+    // points to) alive until we drop it.
+    const uint64_t freed = victim->sort->SpillResidentBytes(need);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--victim->pins == 0) unpinned_.notify_all();
+      if (freed > 0) {
+        stats_.victim_spills += 1;
+        stats_.victim_bytes_freed += freed;
+      }
+    }
+    if (freed == 0) unhelpful.push_back(victim->sort);
+  }
+}
+
+StatusOr<Table> SortService::Sort(const Table& input, const SortSpec& spec,
+                                  const SortRequest& request,
+                                  SortMetrics* metrics_out) {
+  if (metrics_out != nullptr) metrics_out->Reset();
+  const std::string& tenant = EffectiveTenant(request);
+
+  // One engine-facing token carries both interruption channels: the source
+  // trips on the request deadline by itself, and the sink tasks bridge the
+  // external token into it at chunk granularity (first cause wins).
+  CancellationSource source(request.deadline);
+  const CancellationToken token = source.token();
+  const CancellationToken& external = request.cancellation;
+
+  uint64_t waited_ns = 0;
+  ROWSORT_RETURN_NOT_OK(Admit(request, tenant, external, &waited_ns));
+  queue_wait_ns_.Record(waited_ns);
+  struct SlotGuard {
+    SortService* service;
+    const std::string* tenant;
+    ~SlotGuard() { service->ReleaseSlot(*tenant); }
+  } slot_guard{this, &tenant};
+
+  SortEngineConfig config = request.engine;
+  config.parent_tracker = &global_tracker_;
+  config.governor = this;
+  config.cancellation = token;
+  RelationalSort sort(spec, input.types(), config);
+
+  // Visible to victim selection while (and only while) the sink phase can
+  // run; the guard waits out any in-flight victim spill before `sort` dies.
+  ActiveQuery query;
+  query.sort = &sort;
+  query.priority = request.priority;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.push_back(&query);
+  }
+  struct ActiveGuard {
+    SortService* service;
+    ActiveQuery* query;
+    ~ActiveGuard() {
+      std::unique_lock<std::mutex> lock(service->mutex_);
+      service->unpinned_.wait(lock, [this] { return query->pins == 0; });
+      auto& active = service->active_;
+      active.erase(std::find(active.begin(), active.end(), query));
+    }
+  } active_guard{this, &query};
+
+  // Morsel-driven sinks over the shared pool, at the request's priority.
+  const uint64_t sink_tasks = std::max<uint64_t>(config_.threads_per_query, 1);
+  std::atomic<uint64_t> next_chunk{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(sink_tasks);
+  for (uint64_t t = 0; t < sink_tasks; ++t) {
+    tasks.push_back([&sort, &input, &next_chunk, &source, &external] {
+      auto local = sort.MakeLocalState();
+      while (true) {
+        uint64_t c = next_chunk.fetch_add(1);
+        if (c >= input.ChunkCount()) break;
+        if (external.CanBeCancelled() && external.IsCancelled()) {
+          source.RequestCancel(external.cause());
+        }
+        if (!sort.Sink(*local, input.chunk(c)).ok()) break;
+      }
+      (void)sort.CombineLocal(*local);  // status is recorded in the sort
+    });
+  }
+  Status st;
+  try {
+    pool_.RunBatch(std::move(tasks), token, request.priority);
+  } catch (const CancelledError& e) {
+    st = e.ToStatus();
+  } catch (const std::bad_alloc&) {
+    st = Status::OutOfMemory("service sort sink: allocation failed");
+  }
+  if (st.ok()) st = sort.status();
+  if (st.ok()) {
+    if (external.CanBeCancelled() && external.IsCancelled()) {
+      source.RequestCancel(external.cause());
+    }
+    st = sort.Finalize(&pool_);
+  }
+  auto classify = [this](const Status& s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (s.ok()) {
+      stats_.completed += 1;
+    } else if (s.IsCancellation()) {
+      stats_.cancelled += 1;
+    } else {
+      stats_.failed += 1;
+    }
+  };
+  if (!st.ok()) {
+    if (metrics_out != nullptr) *metrics_out = sort.metrics();
+    classify(st);
+    return st;
+  }
+
+  try {
+    Table output(input.types(), input.names());
+    uint64_t offset = 0;
+    while (offset < sort.row_count()) {
+      DataChunk chunk = output.NewChunk();
+      offset += sort.ScanChunk(offset, &chunk);
+      output.Append(std::move(chunk));
+    }
+    if (metrics_out != nullptr) *metrics_out = sort.metrics();
+    classify(Status::OK());
+    return output;
+  } catch (const std::bad_alloc&) {
+    Status oom = Status::OutOfMemory("service sort output: allocation failed");
+    if (metrics_out != nullptr) *metrics_out = sort.metrics();
+    classify(oom);
+    return oom;
+  }
+}
+
+}  // namespace rowsort

@@ -1,0 +1,178 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/histogram.h"
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "engine/sort_engine.h"
+#include "parallel/thread_pool.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+
+/// Service-wide knobs (docs/service.md).
+struct SortServiceConfig {
+  /// Workers of the one shared ThreadPool (0 = hardware concurrency).
+  uint64_t threads = 0;
+  /// Global memory budget every query's tracker nests under (0 = unlimited).
+  /// Queries whose growth would breach it trigger victim spilling.
+  uint64_t memory_limit_bytes = 0;
+  /// Queries running concurrently; the rest wait in the admission queue.
+  uint64_t max_running = 8;
+  /// Admission queue capacity. A request arriving with the queue full is
+  /// shed immediately with Status::ResourceExhausted.
+  uint64_t max_queued = 64;
+  /// Per-tenant cap on concurrently running queries (0 = no cap): one noisy
+  /// tenant cannot occupy every slot while others queue.
+  uint64_t tenant_max_running = 4;
+  /// Longest a request may wait for admission before being shed with
+  /// Status::ResourceExhausted (0 = wait forever).
+  uint64_t queue_wait_limit_ms = 0;
+  /// Sink tasks submitted per admitted query (morsel-driven over the shared
+  /// pool); the final merge adds its own tasks.
+  uint64_t threads_per_query = 2;
+  /// Per-task accounting on the shared pool (ThreadPool::EnableStats).
+  bool pool_stats = false;
+};
+
+/// Per-request routing: who is asking, how urgent, how long it may take.
+struct SortRequest {
+  /// Tenant key for the per-tenant running cap ("" = the default tenant).
+  std::string tenant;
+  /// Scheduling class: admission order *and* the shared pool's queue class
+  /// for the query's sink tasks.
+  TaskPriority priority = TaskPriority::kNormal;
+  /// Expires the whole request — while queued (Status::DeadlineExceeded
+  /// without running) and while executing (engine-side cooperative cancel).
+  Deadline deadline;
+  /// External cancel. Polled while queued and bridged into the query's
+  /// pipeline at chunk granularity once running, so it composes with
+  /// \p deadline (first cause wins).
+  CancellationToken cancellation;
+  /// Base engine configuration (per-query memory_limit_bytes, algorithm,
+  /// spill_directory, ...). The service overrides parent_tracker, governor,
+  /// cancellation, and threads — those belong to the fleet, not the query.
+  SortEngineConfig engine;
+};
+
+/// Counters a SortService accumulates over its lifetime; a consistent copy
+/// via StatsSnapshot().
+struct SortServiceStats {
+  uint64_t requests = 0;   ///< Sort() calls
+  uint64_t admitted = 0;   ///< granted a running slot
+  uint64_t completed = 0;  ///< returned OK
+  uint64_t failed = 0;     ///< non-OK after admission (excl. cancellation)
+  uint64_t cancelled = 0;  ///< Cancelled/DeadlineExceeded after admission
+  uint64_t shed_queue_full = 0;   ///< ResourceExhausted: queue at capacity
+  uint64_t shed_wait_budget = 0;  ///< ResourceExhausted: wait budget spent
+  uint64_t shed_queued_cancel = 0;  ///< deadline/cancel fired while queued
+  /// EnsureCapacity rounds that forced some other query to spill.
+  uint64_t victim_spills = 0;
+  uint64_t victim_bytes_freed = 0;
+  uint64_t max_queue_depth = 0;  ///< admission queue high-water
+  uint64_t max_running = 0;      ///< concurrently-running high-water
+  DurationHistogram queue_wait_ns;  ///< admission wait of admitted queries
+};
+
+/// \brief Multi-tenant sorting service: many concurrent queries over one
+/// shared ThreadPool and one global memory budget (docs/service.md).
+///
+/// Three mechanisms keep an overloaded service useful instead of livelocked:
+///
+/// 1. *Admission control* — at most max_running queries execute; waiters
+///    queue ordered by (priority, arrival) under per-tenant caps, and
+///    requests the service cannot take (queue full, wait budget spent) are
+///    shed fast with Status::ResourceExhausted rather than timing out slow.
+/// 2. *Cross-query victim spilling* — when any query's growth would breach
+///    the global budget, the service (as the engines' MemoryGovernor) picks
+///    the victim with the lowest priority and the largest resident
+///    footprint and forces it to spill runs to disk, so memory pressure
+///    lands on the cheapest query instead of whoever allocated last.
+/// 3. *Deadlines and cancellation* — a request's deadline and external
+///    token are honored while queued and bridged into the engine's
+///    cooperative-cancel machinery once running; per-query first-error /
+///    first-cancel semantics are untouched.
+///
+/// Sort() is blocking and thread-safe: call it from one client thread per
+/// in-flight query. The service must outlive every call.
+class SortService : public MemoryGovernor {
+ public:
+  explicit SortService(SortServiceConfig config);
+  ~SortService() override;
+  ROWSORT_DISALLOW_COPY_AND_MOVE(SortService);
+
+  /// Admits, runs, and returns one sort. Shed requests return
+  /// Status::ResourceExhausted without touching the input; a deadline that
+  /// expires while queued returns Status::DeadlineExceeded the same way.
+  /// \p metrics_out (optional) receives the engine metrics even on error.
+  StatusOr<Table> Sort(const Table& input, const SortSpec& spec,
+                       const SortRequest& request = {},
+                       SortMetrics* metrics_out = nullptr);
+
+  /// MemoryGovernor: free global headroom for \p bytes by victim-spilling
+  /// other queries (never \p requester). Called by engines mid-sink.
+  void EnsureCapacity(uint64_t bytes, RelationalSort* requester) override;
+
+  SortServiceStats StatsSnapshot() const;
+  ThreadPoolStatsSnapshot PoolStatsSnapshot() const {
+    return pool_.StatsSnapshot();
+  }
+  const MemoryTracker& memory_tracker() const { return global_tracker_; }
+  uint64_t current_queue_depth() const;
+  uint64_t current_running() const;
+
+ private:
+  /// One queued request; lives on its Sort() frame.
+  struct Waiter {
+    std::condition_variable cv;
+    TaskPriority priority = TaskPriority::kNormal;
+    uint64_t seq = 0;
+    const std::string* tenant = nullptr;
+    bool admitted = false;
+  };
+
+  /// One running query, visible to victim selection; lives on its Sort()
+  /// frame. pins > 0 while EnsureCapacity is spilling it outside the lock —
+  /// deregistration waits for pins to drain.
+  struct ActiveQuery {
+    RelationalSort* sort = nullptr;
+    TaskPriority priority = TaskPriority::kNormal;
+    uint64_t pins = 0;
+  };
+
+  /// Blocks until admitted or shed. OK = slot held (release via
+  /// ReleaseSlot). \p waited_ns receives the queue time when admitted.
+  Status Admit(const SortRequest& request, const std::string& tenant,
+               const CancellationToken& queue_cancel, uint64_t* waited_ns);
+  /// Admits queued waiters (priority, then arrival; tenants at their cap
+  /// are passed over) while running slots remain. Call with mutex_ held
+  /// whenever a slot frees or a waiter arrives.
+  void PumpAdmissionLocked();
+  void ReleaseSlot(const std::string& tenant);
+
+  const SortServiceConfig config_;
+  /// Global budget; every query's tracker is a child (docs/service.md).
+  MemoryTracker global_tracker_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::deque<Waiter*> queue_;  ///< admission order; elements live on stacks
+  uint64_t running_ = 0;
+  uint64_t next_seq_ = 0;
+  std::unordered_map<std::string, uint64_t> tenant_running_;
+  std::vector<ActiveQuery*> active_;  ///< victim candidates; stack-owned
+  std::condition_variable unpinned_;  ///< signals pins hitting zero
+  SortServiceStats stats_;            ///< guarded by mutex_
+  AtomicDurationHistogram queue_wait_ns_;
+};
+
+}  // namespace rowsort

@@ -295,6 +295,108 @@ TEST(ThreadPoolStatsTest, SkippedTasksAreCounted) {
   EXPECT_EQ(stats.tasks_executed, static_cast<uint64_t>(ran.load()));
 }
 
+TEST(ThreadPoolConcurrencyTest, ManySubmittersShareOnePool) {
+  // The service layer submits batches from many client threads at once;
+  // every batch must see exactly its own tasks complete, even with far more
+  // submitters than workers (submitters help drain, so nobody starves).
+  ThreadPool pool(2);
+  constexpr int kSubmitters = 8;
+  constexpr int kRounds = 10;
+  constexpr int kTasksPerBatch = 32;
+  std::vector<std::atomic<int>> counts(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counts, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < kTasksPerBatch; ++i) {
+          tasks.push_back([&counts, s] { counts[s].fetch_add(1); });
+        }
+        pool.RunBatch(std::move(tasks));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(counts[s].load(), kRounds * kTasksPerBatch) << "submitter " << s;
+  }
+}
+
+TEST(ThreadPoolConcurrencyTest, ErrorInOneBatchDoesNotPoisonAnother) {
+  ThreadPool pool(2);
+  std::atomic<int> good_ran{0};
+  std::thread bad([&pool] {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw std::runtime_error("bad batch");
+      });
+    }
+    EXPECT_THROW(pool.RunBatch(std::move(tasks)), std::runtime_error);
+  });
+  std::thread good([&pool, &good_ran] {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([&good_ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        good_ran.fetch_add(1);
+      });
+    }
+    pool.RunBatch(std::move(tasks));  // must not see the other batch's error
+  });
+  bad.join();
+  good.join();
+  EXPECT_EQ(good_ran.load(), 16);
+}
+
+TEST(ThreadPoolConcurrencyTest, CancellingOneBatchLeavesOthersRunning) {
+  ThreadPool pool(2);
+  CancellationSource source;
+  source.RequestCancel();
+  std::atomic<int> cancelled_ran{0};
+  std::atomic<int> live_ran{0};
+  std::thread cancelled([&] {
+    std::vector<std::function<void()>> tasks(
+        32, std::function<void()>([&cancelled_ran] { cancelled_ran.fetch_add(1); }));
+    pool.RunBatch(std::move(tasks), source.token());
+  });
+  std::thread live([&] {
+    std::vector<std::function<void()>> tasks(
+        32, std::function<void()>([&live_ran] { live_ran.fetch_add(1); }));
+    pool.RunBatch(std::move(tasks));
+  });
+  cancelled.join();
+  live.join();
+  EXPECT_EQ(cancelled_ran.load(), 0);
+  EXPECT_EQ(live_ran.load(), 32);
+}
+
+TEST(ThreadPoolStatsTest, PerPriorityTaskCounts) {
+  ThreadPool pool(2);
+  pool.EnableStats(true);
+  auto batch_of = [](int n, std::atomic<int>* counter) {
+    return std::vector<std::function<void()>>(
+        n, std::function<void()>([counter] { counter->fetch_add(1); }));
+  };
+  std::atomic<int> ran{0};
+  pool.RunBatch(batch_of(5, &ran), {}, TaskPriority::kHigh);
+  pool.RunBatch(batch_of(7, &ran), {}, TaskPriority::kNormal);
+  pool.RunBatch(batch_of(9, &ran), {}, TaskPriority::kLow);
+  pool.RunBatch(batch_of(3, &ran));  // default class is kNormal
+  EXPECT_EQ(ran.load(), 24);
+
+  ThreadPoolStatsSnapshot stats = pool.StatsSnapshot();
+  EXPECT_EQ(stats.tasks_per_priority[size_t(TaskPriority::kHigh)], 5u);
+  EXPECT_EQ(stats.tasks_per_priority[size_t(TaskPriority::kNormal)], 10u);
+  EXPECT_EQ(stats.tasks_per_priority[size_t(TaskPriority::kLow)], 9u);
+  EXPECT_EQ(stats.tasks_executed, 24u);
+  EXPECT_GE(stats.max_queue_depth, 1u);
+  EXPECT_STREQ(TaskPriorityName(TaskPriority::kHigh), "high");
+  EXPECT_STREQ(TaskPriorityName(TaskPriority::kNormal), "normal");
+  EXPECT_STREQ(TaskPriorityName(TaskPriority::kLow), "low");
+}
+
 TEST(ThreadPoolStatsTest, TracerRecordsPoolTaskSpans) {
   Tracer tracer;
   ThreadPool pool(2);

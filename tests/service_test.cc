@@ -1,0 +1,448 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// SortService behavior (docs/service.md): admission control and shed-fast
+// paths, per-tenant fairness, priority ordering, cross-query victim
+// spilling, tight-limit fail-fast, and an overload stress mix shared with
+// the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "engine/sort_engine.h"
+#include "service/sort_service.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+namespace {
+
+Table MakeRandomTable(uint64_t rows, uint64_t seed) {
+  Random rng(seed);
+  std::vector<LogicalType> types = {LogicalType(TypeId::kInt32),
+                                    LogicalType(TypeId::kInt64)};
+  Table table(types);
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r,
+                     Value::Int32(static_cast<int32_t>(rng.Uniform(100000))));
+      chunk.SetValue(1, r, Value::Int64(static_cast<int64_t>(rng.Next64())));
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+/// Sorts on both columns: rows are totally ordered, so any two correct
+/// sorts of the same input agree byte for byte — which is what lets the
+/// tests below compare fingerprints across thread counts and memory limits
+/// (equal-key tie order would otherwise depend on run registration order).
+SortSpec IntSpec() {
+  SortColumn key;
+  key.column_index = 0;
+  key.type = LogicalType(TypeId::kInt32);
+  SortColumn tiebreak;
+  tiebreak.column_index = 1;
+  tiebreak.type = LogicalType(TypeId::kInt64);
+  return SortSpec({key, tiebreak});
+}
+
+/// Order-sensitive digest of a whole table; equal fingerprints mean
+/// byte-identical row sequences at the Value level.
+std::string TableFingerprint(const Table& t) {
+  std::string fp;
+  for (uint64_t ci = 0; ci < t.ChunkCount(); ++ci) {
+    const DataChunk& chunk = t.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      for (uint64_t c = 0; c < t.types().size(); ++c) {
+        fp += chunk.GetValue(c, r).ToString();
+        fp += '\x1f';
+      }
+      fp += '\n';
+    }
+  }
+  return fp;
+}
+
+/// Spins until \p predicate holds or ~20s elapse (test-only sync with a
+/// service running on other threads; generous for the sanitizer builds).
+template <typename Pred>
+bool WaitFor(Pred predicate) {
+  for (int i = 0; i < 20000; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return predicate();
+}
+
+TEST(SortServiceTest, MatchesEngineOutput) {
+  Table input = MakeRandomTable(20000, 1);
+  SortSpec spec = IntSpec();
+  Table expected =
+      RelationalSort::SortTable(input, spec, SortEngineConfig{}).ValueOrDie();
+
+  SortServiceConfig config;
+  config.threads = 4;
+  SortService service(config);
+  auto result = service.Sort(input, spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(TableFingerprint(result.value()), TableFingerprint(expected));
+
+  SortServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+// Holds one running slot with a deliberately large sort while the body
+// runs; joins before returning. The hog table is built once, on the first
+// constructing thread — rebuilding 4M rows per hog dominates sanitizer
+// runs and starves the tests' WaitFor windows.
+class SlotHog {
+ public:
+  static const Table& HogTable(uint64_t rows) {
+    static const Table table = MakeRandomTable(rows, 7);
+    ROWSORT_ASSERT(table.row_count() == rows);
+    return table;
+  }
+
+  SlotHog(SortService* service, uint64_t rows, TaskPriority priority)
+      : service_(service) {
+    const Table& giant = HogTable(rows);
+    thread_ = std::thread([this, &giant, priority] {
+      SortRequest request;
+      request.priority = priority;
+      result_ = service_->Sort(giant, IntSpec(), request).ok();
+    });
+  }
+  ~SlotHog() { thread_.join(); }
+  bool ok() const { return result_; }
+
+ private:
+  SortService* service_;
+  std::thread thread_;
+  bool result_ = false;
+};
+
+TEST(SortServiceTest, QueueFullShedsImmediately) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.max_running = 1;
+  config.max_queued = 0;  // run immediately or shed, never wait
+  SortService service(config);
+  {
+    SlotHog hog(&service, 4 << 20, TaskPriority::kNormal);
+    ASSERT_TRUE(WaitFor([&] { return service.current_running() == 1; }));
+    Table small = MakeRandomTable(1000, 2);
+    auto result = service.Sort(small, IntSpec());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << result.status().ToString();
+    EXPECT_EQ(service.StatsSnapshot().shed_queue_full, 1u);
+  }
+  EXPECT_EQ(service.StatsSnapshot().completed, 1u);
+}
+
+TEST(SortServiceTest, WaitBudgetShedsQueuedRequest) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.max_running = 1;
+  config.queue_wait_limit_ms = 30;
+  SortService service(config);
+  {
+    SlotHog hog(&service, 4 << 20, TaskPriority::kNormal);
+    ASSERT_TRUE(WaitFor([&] { return service.current_running() == 1; }));
+    Table small = MakeRandomTable(1000, 2);
+    auto result = service.Sort(small, IntSpec());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << result.status().ToString();
+    EXPECT_EQ(service.StatsSnapshot().shed_wait_budget, 1u);
+  }
+}
+
+TEST(SortServiceTest, DeadlineExpiresWhileQueued) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.max_running = 1;
+  SortService service(config);
+  {
+    SlotHog hog(&service, 4 << 20, TaskPriority::kNormal);
+    ASSERT_TRUE(WaitFor([&] { return service.current_running() == 1; }));
+    SortRequest request;
+    request.deadline = Deadline::AfterMillis(25);
+    Table small = MakeRandomTable(1000, 2);
+    auto result = service.Sort(small, IntSpec(), request);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << result.status().ToString();
+    EXPECT_EQ(service.StatsSnapshot().shed_queued_cancel, 1u);
+  }
+}
+
+TEST(SortServiceTest, HighPriorityAdmittedFirst) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.max_running = 1;
+  SortService service(config);
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  {
+    SlotHog hog(&service, 4 << 20, TaskPriority::kNormal);
+    ASSERT_TRUE(WaitFor([&] { return service.current_running() == 1; }));
+    auto submit = [&](const char* name, TaskPriority priority) {
+      return std::thread([&, name, priority] {
+        SortRequest request;
+        request.priority = priority;
+        Table small = MakeRandomTable(1000, 3);
+        ASSERT_TRUE(service.Sort(small, IntSpec(), request).ok());
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(name);
+      });
+    };
+    // Low joins the queue first, high second; admission must pick high.
+    std::thread low = submit("low", TaskPriority::kLow);
+    ASSERT_TRUE(WaitFor([&] { return service.current_queue_depth() == 1; }));
+    std::thread high = submit("high", TaskPriority::kHigh);
+    ASSERT_TRUE(WaitFor([&] { return service.current_queue_depth() == 2; }));
+    low.join();
+    high.join();
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "low");
+}
+
+TEST(SortServiceTest, TenantCapLetsOtherTenantOvertake) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.max_running = 2;
+  config.tenant_max_running = 1;
+  SortService service(config);
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  {
+    // The hog runs as the default tenant and holds its (tenant) slot.
+    SlotHog hog(&service, 4 << 20, TaskPriority::kNormal);
+    ASSERT_TRUE(WaitFor([&] { return service.current_running() == 1; }));
+    auto submit = [&](const char* name, std::string tenant) {
+      return std::thread([&, name, tenant] {
+        SortRequest request;
+        request.tenant = tenant;
+        Table small = MakeRandomTable(1000, 4);
+        ASSERT_TRUE(service.Sort(small, IntSpec(), request).ok());
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(name);
+      });
+    };
+    // Same tenant as the hog: must wait despite the free global slot. The
+    // other tenant arrives later yet runs immediately.
+    std::thread same = submit("same-tenant", "");
+    ASSERT_TRUE(WaitFor([&] { return service.current_queue_depth() == 1; }));
+    std::thread other = submit("other-tenant", "t2");
+    other.join();
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      ASSERT_EQ(order.size(), 1u);
+      EXPECT_EQ(order[0], "other-tenant");
+    }
+    same.join();
+  }
+}
+
+TEST(SortServiceTest, VictimSpillHookFreesResidentRuns) {
+  Table input = MakeRandomTable(3 * 4096, 5);
+  SortSpec spec = IntSpec();
+  SortEngineConfig config;
+  config.run_size_rows = 4096;  // three resident runs after the sinks
+  RelationalSort sort(spec, input.types(), config);
+  auto local = sort.MakeLocalState();
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    ASSERT_TRUE(sort.Sink(*local, input.chunk(c)).ok());
+  }
+  ASSERT_TRUE(sort.CombineLocal(*local).ok());
+  const uint64_t resident = sort.memory_tracker().reserved();
+  ASSERT_GT(resident, 0u);
+
+  // One byte of demand still evicts a whole (largest) run.
+  uint64_t freed = sort.SpillResidentBytes(1);
+  EXPECT_GT(freed, 0u);
+  EXPECT_LT(sort.memory_tracker().reserved(), resident);
+  EXPECT_EQ(sort.metrics().forced_spills, 1u);
+  EXPECT_EQ(sort.metrics().runs_spilled, 1u);
+
+  // Huge demand evicts everything evictable, then reports honestly.
+  uint64_t freed_rest = sort.SpillResidentBytes(UINT64_MAX);
+  EXPECT_GT(freed_rest, 0u);
+  EXPECT_EQ(sort.metrics().forced_spills, 3u);
+  EXPECT_EQ(sort.SpillResidentBytes(UINT64_MAX), 0u);
+
+  // The spilled sort still merges to the right answer.
+  ASSERT_TRUE(sort.Finalize(nullptr).ok());
+  // And once the merge owns the runs, the hook declines.
+  EXPECT_EQ(sort.SpillResidentBytes(UINT64_MAX), 0u);
+  Table expected =
+      RelationalSort::SortTable(input, spec, SortEngineConfig{}).ValueOrDie();
+  Table output(input.types(), input.names());
+  uint64_t offset = 0;
+  while (offset < sort.row_count()) {
+    DataChunk chunk = output.NewChunk();
+    offset += sort.ScanChunk(offset, &chunk);
+    output.Append(std::move(chunk));
+  }
+  EXPECT_EQ(TableFingerprint(output), TableFingerprint(expected));
+}
+
+TEST(SortServiceTest, TightLimitFailsFastNamingMinimum) {
+  Table input = MakeRandomTable(60000, 6);
+  SortSpec spec = IntSpec();
+  RelationalSort probe(spec, input.types(), SortEngineConfig{});
+  const uint64_t minimum = probe.MinSpillWorkingSetBytes();
+  ASSERT_GT(minimum, 0u);
+
+  // One spill block (half the minimum): the first spill attempt must fail
+  // fast with OutOfMemory naming the floor, not thrash.
+  SortEngineConfig tight;
+  tight.memory_limit_bytes = minimum / 2;
+  auto result = RelationalSort::SortTable(input, spec, tight);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("minimum workable limit"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find(std::to_string(minimum)),
+            std::string::npos)
+      << result.status().message();
+
+  // Limit zero = unlimited: always works.
+  SortEngineConfig unlimited;
+  unlimited.memory_limit_bytes = 0;
+  EXPECT_TRUE(RelationalSort::SortTable(input, spec, unlimited).ok());
+
+  // Exactly the minimum: tight, spills hard, but completes correctly.
+  SortEngineConfig at_floor;
+  at_floor.memory_limit_bytes = minimum;
+  auto floor_result = RelationalSort::SortTable(input, spec, at_floor);
+  ASSERT_TRUE(floor_result.ok()) << floor_result.status().ToString();
+  Table expected =
+      RelationalSort::SortTable(input, spec, SortEngineConfig{}).ValueOrDie();
+  EXPECT_EQ(TableFingerprint(floor_result.value()),
+            TableFingerprint(expected));
+}
+
+// The overload mix the TSan CI job runs: racing queries over one small
+// global budget with victim spilling, transient I/O faults, deadline kills,
+// and shed-fast admission. Every query must complete byte-identically to
+// the unlimited baseline or fail cleanly; nothing may leak.
+TEST(SortServiceTest, OverloadStressCompletesOrFailsCleanly) {
+  const uint64_t kQueries = 24;
+  const uint64_t kClients = 6;
+  const uint64_t kInputs = 4;
+
+  std::vector<Table> inputs;
+  std::vector<std::string> baselines;
+  SortSpec spec = IntSpec();
+  uint64_t total_bytes = 0;
+  for (uint64_t i = 0; i < kInputs; ++i) {
+    inputs.push_back(MakeRandomTable(20000 + 10000 * i, 100 + i));
+    baselines.push_back(TableFingerprint(
+        RelationalSort::SortTable(inputs[i], spec, SortEngineConfig{})
+            .ValueOrDie()));
+    total_bytes += inputs[i].row_count() * 24;  // rough working-set share
+  }
+
+  std::filesystem::path spill_dir =
+      std::filesystem::temp_directory_path() / "rowsort_service_stress";
+  std::filesystem::create_directories(spill_dir);
+
+  SortServiceConfig config;
+  config.threads = 4;
+  config.memory_limit_bytes = total_bytes / 8;
+  config.max_running = 4;
+  config.max_queued = 8;
+  config.queue_wait_limit_ms = 2000;
+  config.tenant_max_running = 3;
+  config.pool_stats = true;
+  SortService service(config);
+
+  failpoint::ArmProbabilistic("external_run_read_eintr", 0.02, 11);
+  failpoint::ArmProbabilistic("external_run_write_short", 0.02, 13);
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> wrong{0};
+  std::atomic<uint64_t> bad_failures{0};
+  std::vector<std::thread> clients;
+  for (uint64_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      while (true) {
+        uint64_t q = next.fetch_add(1);
+        if (q >= kQueries) break;
+        SortRequest request;
+        request.tenant = "tenant-" + std::to_string(q % 3);
+        request.priority = static_cast<TaskPriority>(q % 3);
+        request.engine.run_size_rows = 4096;
+        request.engine.spill_directory = spill_dir.string();
+        if (q % 5 == 4) request.deadline = Deadline::AfterMillis(1 + q % 7);
+        const Table& input = inputs[q % kInputs];
+        auto result = service.Sort(input, spec, request);
+        if (result.ok()) {
+          if (TableFingerprint(result.value()) != baselines[q % kInputs]) {
+            wrong.fetch_add(1);
+          }
+        } else {
+          switch (result.status().code()) {
+            case StatusCode::kResourceExhausted:
+            case StatusCode::kDeadlineExceeded:
+            case StatusCode::kCancelled:
+            case StatusCode::kIOError:
+            case StatusCode::kOutOfMemory:
+              break;  // clean failure classes under overload/faults
+            default:
+              bad_failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(bad_failures.load(), 0u);
+
+  // Zero leaked reservations: every query released its memory.
+  EXPECT_EQ(service.memory_tracker().reserved(), 0u);
+  // Zero leaked temp files: engines clean their spill files even on error.
+  uint64_t leftover = 0;
+  for (auto it = std::filesystem::directory_iterator(spill_dir);
+       it != std::filesystem::directory_iterator(); ++it) {
+    ++leftover;
+  }
+  EXPECT_EQ(leftover, 0u);
+  std::filesystem::remove_all(spill_dir);
+
+  SortServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, kQueries);
+  EXPECT_EQ(stats.requests, stats.admitted + stats.shed_queue_full +
+                                stats.shed_wait_budget +
+                                stats.shed_queued_cancel);
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.failed + stats.cancelled);
+  EXPECT_GT(stats.completed, 0u);
+  // The global budget was real: something spilled somewhere (victims or
+  // requesters' own runs), and the tracker saw real pressure.
+  EXPECT_GT(service.memory_tracker().peak(), 0u);
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Exercises the multi-tenant SortService (docs/service.md) two ways:
+#
+#   1. Repeats the SortServiceTest suite — admission shedding, wait budgets,
+#      queued deadlines, victim spilling, and the 24-query overload stress —
+#      with transient spill-I/O failpoints armed from the environment, to
+#      shake out races and leaks a single pass can miss (TSan CI runs this).
+#   2. Runs bench_service (the 1000-small-sorts-vs-spilling-giants mix) and
+#      validates the BENCH_service.json it emits: parses as JSON, carries
+#      the expected top-level sections, and the request ledger balances.
+#
+# Usage: tools/run_service_stress.sh [build-dir] [rounds]
+#   build-dir  cmake build directory with tests + benches built (default:
+#              build)
+#   rounds     repetitions of the test suite (default: 3)
+#
+# Requires a build with -DROWSORT_FAILPOINTS=ON (the default) for the
+# fault-injection slices; without it those paths run fault-free.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROUNDS="${2:-3}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "error: build directory '${BUILD_DIR}' not found" >&2
+  echo "       configure with: cmake -B ${BUILD_DIR} -DROWSORT_FAILPOINTS=ON" >&2
+  exit 2
+fi
+
+# Transient spill-I/O flakes for every sort the suite runs, on top of the
+# probabilistic failpoints the stress test arms itself. Deterministic seeds:
+# a failing round replays verbatim.
+export ROWSORT_FAILPOINTS="external_run_read_eintr=p0.05:21,external_run_write_short=p0.05:23"
+
+echo "service stress: ${ROUNDS} rounds of SortServiceTest"
+echo "ROWSORT_FAILPOINTS=${ROWSORT_FAILPOINTS}"
+for ((round = 1; round <= ROUNDS; ++round)); do
+  echo "--- round ${round}/${ROUNDS}"
+  ctest --test-dir "${BUILD_DIR}" -R 'SortServiceTest' -j "$(nproc)" \
+    --output-on-failure
+done
+echo "service stress: all ${ROUNDS} rounds passed"
+
+BENCH="${BUILD_DIR}/bench/bench_service"
+if [[ ! -x "${BENCH}" ]]; then
+  echo "note: ${BENCH} not built; skipping the bench/JSON-schema leg"
+  exit 0
+fi
+
+echo "--- bench_service production mix"
+JSON="$(mktemp --suffix=.json)"
+trap 'rm -f "${JSON}"' EXIT
+ROWSORT_BENCH_JSON="${JSON}" "${BENCH}"
+
+echo "--- validating BENCH_service.json schema"
+python3 - "${JSON}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+for section in ("classes", "service", "pool"):
+    assert section in doc, f"missing section: {section}"
+for cls in ("small", "giant"):
+    c = doc["classes"][cls]
+    for key in ("ok", "shed", "killed", "io_error", "p50_ms", "p99_ms"):
+        assert key in c, f"classes.{cls} missing {key}"
+svc = doc["service"]
+for key in ("requests", "admitted", "completed", "failed", "cancelled",
+            "shed_queue_full", "shed_wait_budget", "shed_queued_cancel",
+            "victim_spills", "max_queue_depth", "max_running",
+            "queue_wait_p99_ms", "throughput_per_s"):
+    assert key in svc, f"service missing {key}"
+# The request ledger must balance: every request was admitted or shed, and
+# every admitted request completed, failed, or was cancelled.
+sheds = (svc["shed_queue_full"] + svc["shed_wait_budget"]
+         + svc["shed_queued_cancel"])
+assert svc["requests"] == svc["admitted"] + sheds, "admission ledger skew"
+assert svc["admitted"] == (svc["completed"] + svc["failed"]
+                           + svc["cancelled"]), "outcome ledger skew"
+assert svc["completed"] > 0, "nothing completed"
+print(f"BENCH_service.json ok: {svc['requests']} requests, "
+      f"{svc['completed']} completed, {sheds} shed, "
+      f"{svc['victim_spills']} victim spills")
+EOF
+echo "service stress: bench + schema validation passed"
