@@ -36,9 +36,9 @@ int main() {
     double seconds = bench::MedianSeconds([&] {
       TopN top_n(spec, input.types(), limit);
       for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-        top_n.Sink(input.chunk(c));
+        ROWSORT_CHECK_OK(top_n.Sink(input.chunk(c)));
       }
-      Table result = top_n.Finalize();
+      Table result = top_n.Finalize().ValueOrDie();
       rejected = top_n.rows_rejected_early();
     });
     std::printf("%12s %11.4fs %9.1fx %18s\n", FormatCount(limit).c_str(),

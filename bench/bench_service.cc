@@ -1,12 +1,15 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 //
-// Multi-tenant SortService under a production-shaped mix (docs/service.md):
-// a large fleet of small interactive sorts racing a handful of spilling
-// giants over one shared ThreadPool and one global memory budget, with
-// transient spill-I/O faults armed and a slice of requests carrying
-// deadlines tight enough to kill them. Reports per-class p50/p99 latency,
-// service throughput, admission-queue pressure, victim-spill activity, and
-// shed rates — the overload-graceful-degradation story in numbers.
+// Multi-tenant SortService under a production-shaped mixed-operator profile
+// (docs/service.md): an interactive fleet of small sorts and express-lane
+// Top-Ns, a mid-tier of window and merge-join queries, and a handful of
+// spilling sort giants — all racing over one shared ThreadPool and one
+// global memory budget, with 1% transient spill-I/O faults armed and a
+// slice of requests carrying deadlines tight enough to kill them. Reports
+// per-operator-class p50/p99 latency, service throughput, admission-queue
+// and express-lane pressure, victim-spill activity, and shed rates — the
+// overload-graceful-degradation story in numbers. The number to watch:
+// Top-N p99 stays bounded (express lane) no matter what the giants do.
 //
 // Set ROWSORT_BENCH_JSON=<path> to emit BENCH_service.json (see
 // tools/run_service_stress.sh, which tracks and validates it).
@@ -31,7 +34,7 @@ using namespace rowsort;
 
 namespace {
 
-Table MakeWorkload(uint64_t rows, uint64_t seed) {
+Table MakeWorkload(uint64_t rows, uint64_t key_range, uint64_t seed) {
   LogicalType i32(TypeId::kInt32), i64(TypeId::kInt64);
   Table table({i32, i64});
   Random rng(seed);
@@ -41,7 +44,7 @@ Table MakeWorkload(uint64_t rows, uint64_t seed) {
     DataChunk chunk = table.NewChunk();
     for (uint64_t r = 0; r < n; ++r) {
       chunk.SetValue(
-          0, r, Value::Int32(static_cast<int32_t>(rng.Uniform(1u << 30))));
+          0, r, Value::Int32(static_cast<int32_t>(rng.Uniform(key_range))));
       chunk.SetValue(1, r,
                      Value::Int64(static_cast<int64_t>(produced + r)));
     }
@@ -52,7 +55,7 @@ Table MakeWorkload(uint64_t rows, uint64_t seed) {
   return table;
 }
 
-/// Outcome tally for one request class (small / giant).
+/// Outcome tally for one operator class of the mix.
 struct ClassStats {
   std::mutex mutex;
   DurationHistogram latency_ns;  ///< wall time of OK requests
@@ -91,12 +94,16 @@ void PrintClass(const char* name, ClassStats& c) {
 int main() {
   bench::PrintHeader(
       "BENCH_service",
-      "multi-tenant SortService: small-sort fleet vs. spilling giants under "
-      "one global budget, with I/O faults and deadline kills",
+      "multi-tenant SortService, mixed-operator mix: express Top-Ns and "
+      "small sorts vs. window/join mid-tier vs. spilling sort giants under "
+      "one global budget, with 1% I/O faults and deadline kills",
       "every request completes, sheds with ResourceExhausted, or dies on "
-      "its deadline; small-sort p99 stays bounded while giants spill");
+      "its deadline; Top-N p99 stays bounded via the express lane while "
+      "giants spill");
 
-  const uint64_t kSmallSorts =
+  // Interactive fleet size; split 5:3:1:1 into small sorts, express
+  // Top-Ns, windows, and merge joins.
+  const uint64_t kInteractive =
       bench::EnvRows("ROWSORT_SERVICE_SMALL_SORTS", 1000);
   const uint64_t kGiants = bench::EnvRows("ROWSORT_SERVICE_GIANTS", 4);
   const uint64_t kSmallRows = 4000;
@@ -104,21 +111,32 @@ int main() {
       bench::EnvRows("ROWSORT_SERVICE_GIANT_ROWS", 400000);
   const uint64_t kClients = 8;
 
-  Table small_input = MakeWorkload(kSmallRows, 7);
-  Table giant_input = MakeWorkload(kGiantRows, 8);
+  Table small_input = MakeWorkload(kSmallRows, 1u << 30, 7);
+  Table giant_input = MakeWorkload(kGiantRows, 1u << 30, 8);
+  Table topn_input = MakeWorkload(100000, 1u << 30, 9);
+  // Over the express ceiling by design: windows and joins are mid-tier
+  // traffic and take general slots.
+  Table window_input = MakeWorkload(100000, 1u << 10, 10);
+  Table join_left = MakeWorkload(50000, 1u << 16, 11);
+  Table join_right = MakeWorkload(50000, 1u << 16, 12);
+
   SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  WindowSpec wspec;
+  wspec.partition_by = {0};
+  wspec.order_by = {SortColumn(1, TypeId::kInt64)};
 
   std::filesystem::path spill_dir =
       std::filesystem::temp_directory_path() / "rowsort_bench_service";
   std::filesystem::create_directories(spill_dir);
 
   // Budget = one giant's rough footprint: the giants cannot all be resident,
-  // so victim spilling must arbitrate between them while the small sorts
-  // squeeze through underneath.
+  // so victim spilling must arbitrate between them while the interactive
+  // fleet squeezes through underneath.
   SortServiceConfig config;
   config.memory_limit_bytes = kGiantRows * 24;
   // Fewer slots than clients: the admission queue is always in play, so
   // the queue-depth and queue-wait numbers below measure something real.
+  // The express lane (default 2 slots) is where the Top-Ns ride.
   config.max_running = 6;
   config.max_queued = 128;
   config.queue_wait_limit_ms = 30000;
@@ -131,8 +149,8 @@ int main() {
     failpoint::ArmProbabilistic("external_run_write_short", 0.01, 13);
   }
 
-  ClassStats small_stats, giant_stats;
-  std::atomic<uint64_t> next_small{0};
+  ClassStats small_stats, topn_stats, window_stats, join_stats, giant_stats;
+  std::atomic<uint64_t> next_interactive{0};
   std::atomic<uint64_t> next_giant{0};
   using Clock = std::chrono::steady_clock;
   const Clock::time_point bench_start = Clock::now();
@@ -141,18 +159,19 @@ int main() {
   for (uint64_t t = 0; t < kClients; ++t) {
     clients.emplace_back([&, t] {
       while (true) {
-        // Giants drain first so they overlap the small-sort fleet; two
+        // Giants drain first so they overlap the interactive fleet; two
         // client threads carry them, the rest stay on interactive traffic.
-        const uint64_t g =
-            t < 2 ? next_giant.fetch_add(1) : kGiants;
+        const uint64_t g = t < 2 ? next_giant.fetch_add(1) : kGiants;
         if (g < kGiants) {
-          SortRequest request;
+          OperatorRequest request;
+          request.op = OperatorKind::kSort;
+          request.spec = spec;
           request.tenant = "analytics";
           request.priority = TaskPriority::kLow;
           request.engine.run_size_rows = 1 << 15;
           request.engine.spill_directory = spill_dir.string();
           const Clock::time_point start = Clock::now();
-          auto result = service.Sort(giant_input, spec, request);
+          auto result = service.Submit(giant_input, request);
           giant_stats.Record(
               result.ok() ? Status::OK() : result.status(),
               static_cast<uint64_t>(
@@ -161,23 +180,57 @@ int main() {
                       .count()));
           continue;
         }
-        const uint64_t q = next_small.fetch_add(1);
-        if (q >= kSmallSorts) break;
-        SortRequest request;
+        const uint64_t q = next_interactive.fetch_add(1);
+        if (q >= kInteractive) break;
+        OperatorRequest request;
         request.tenant = "tenant-" + std::to_string(q % 4);
         request.priority =
             q % 4 == 0 ? TaskPriority::kHigh : TaskPriority::kNormal;
-        // Every 20th request carries a deadline tight enough to die under
-        // load — the deadline-kill slice of the mix.
-        if (q % 20 == 19) request.deadline = Deadline::AfterMillis(2);
+        request.engine.run_size_rows = 1 << 15;
+        request.engine.spill_directory = spill_dir.string();
+        // A ~6% slice carries a deadline tight enough to die under load —
+        // 17 is coprime with the operator-mix modulus, so the kills land
+        // on every operator class, not just one residue.
+        if (q % 17 == 13) request.deadline = Deadline::AfterMillis(2);
+
+        ClassStats* cls = nullptr;
         const Clock::time_point start = Clock::now();
-        auto result = service.Sort(small_input, spec, request);
-        small_stats.Record(
-            result.ok() ? Status::OK() : result.status(),
-            static_cast<uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    Clock::now() - start)
-                    .count()));
+        StatusOr<Table> result = Status::Internal("not yet submitted");
+        switch (q % 10) {
+          case 5:
+          case 6:
+          case 7:  // express Top-N: bounded working set over a big input
+            request.op = OperatorKind::kTopN;
+            request.spec = spec;
+            request.limit = 100;
+            cls = &topn_stats;
+            result = service.Submit(topn_input, request);
+            break;
+          case 8:  // mid-tier window
+            request.op = OperatorKind::kWindow;
+            request.window = wspec;
+            request.functions = {WindowFunction::kRank};
+            cls = &window_stats;
+            result = service.Submit(window_input, request);
+            break;
+          case 9:  // mid-tier merge join (binary)
+            request.op = OperatorKind::kMergeJoin;
+            request.keys = {{0, 0}};
+            cls = &join_stats;
+            result = service.Submit(join_left, join_right, request);
+            break;
+          default:  // small interactive sort
+            request.op = OperatorKind::kSort;
+            request.spec = spec;
+            cls = &small_stats;
+            result = service.Submit(small_input, request);
+            break;
+        }
+        cls->Record(result.ok() ? Status::OK() : result.status(),
+                    static_cast<uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now() - start)
+                            .count()));
       }
     });
   }
@@ -194,6 +247,9 @@ int main() {
       (stats.completed) / (wall_seconds > 0 ? wall_seconds : 1.0);
 
   PrintClass("small", small_stats);
+  PrintClass("topn", topn_stats);
+  PrintClass("window", window_stats);
+  PrintClass("join", join_stats);
   PrintClass("giant", giant_stats);
   std::printf(
       "service: %llu requests, %llu completed (%.0f/s), %llu shed "
@@ -206,15 +262,29 @@ int main() {
       (unsigned long long)stats.shed_wait_budget,
       (unsigned long long)stats.shed_queued_cancel);
   std::printf(
-      "pressure: queue depth high-water %llu, running high-water %llu, "
-      "queue wait p99 %.3f ms, victim spills %llu (%.1f MiB freed), "
-      "pool queue high-water %llu\n",
+      "pressure: queue depth high-water %llu, running high-water %llu "
+      "(+%llu express, %llu express admissions), queue wait p99 %.3f ms, "
+      "victim spills %llu (%.1f MiB freed), pool queue high-water %llu\n",
       (unsigned long long)stats.max_queue_depth,
       (unsigned long long)stats.max_running,
+      (unsigned long long)stats.max_express_running,
+      (unsigned long long)stats.express_admitted,
       stats.queue_wait_ns.QuantileUpperNs(0.99) * 1e-6,
       (unsigned long long)stats.victim_spills,
       stats.victim_bytes_freed / (1024.0 * 1024.0),
       (unsigned long long)pool.max_queue_depth);
+  for (uint64_t i = 0; i < kOperatorKindCount; ++i) {
+    const OperatorClassStats& oc = stats.op_class[i];
+    if (oc.requests == 0) continue;
+    std::printf("op %-10s %5llu req %5llu adm %4llu shed | %5llu ok "
+                "%4llu failed %4llu cancelled\n",
+                OperatorKindName(static_cast<OperatorKind>(i)),
+                (unsigned long long)oc.requests,
+                (unsigned long long)oc.admitted, (unsigned long long)oc.shed,
+                (unsigned long long)oc.completed,
+                (unsigned long long)oc.failed,
+                (unsigned long long)oc.cancelled);
+  }
 
   if (service.memory_tracker().reserved() != 0) {
     std::fprintf(stderr, "leaked reservations: %llu bytes\n",
@@ -254,7 +324,24 @@ int main() {
     };
     std::fprintf(f, "{\n  \"classes\": {\n");
     emit_class("small", small_stats, false);
+    emit_class("topn", topn_stats, false);
+    emit_class("window", window_stats, false);
+    emit_class("join", join_stats, false);
     emit_class("giant", giant_stats, true);
+    std::fprintf(f, "  },\n  \"operators\": {\n");
+    for (uint64_t i = 0; i < kOperatorKindCount; ++i) {
+      const OperatorClassStats& oc = stats.op_class[i];
+      std::fprintf(
+          f,
+          "    \"%s\": {\"requests\": %llu, \"admitted\": %llu, "
+          "\"shed\": %llu, \"completed\": %llu, \"failed\": %llu, "
+          "\"cancelled\": %llu}%s\n",
+          OperatorKindName(static_cast<OperatorKind>(i)),
+          (unsigned long long)oc.requests, (unsigned long long)oc.admitted,
+          (unsigned long long)oc.shed, (unsigned long long)oc.completed,
+          (unsigned long long)oc.failed, (unsigned long long)oc.cancelled,
+          i + 1 == kOperatorKindCount ? "" : ",");
+    }
     std::fprintf(
         f,
         "  },\n"
@@ -263,7 +350,8 @@ int main() {
         "\"shed_queue_full\": %llu, \"shed_wait_budget\": %llu, "
         "\"shed_queued_cancel\": %llu, \"victim_spills\": %llu, "
         "\"victim_bytes_freed\": %llu, \"max_queue_depth\": %llu, "
-        "\"max_running\": %llu, \"queue_wait_p99_ms\": %.3f, "
+        "\"max_running\": %llu, \"express_admitted\": %llu, "
+        "\"max_express_running\": %llu, \"queue_wait_p99_ms\": %.3f, "
         "\"throughput_per_s\": %.1f, \"wall_seconds\": %.3f},\n",
         (unsigned long long)stats.requests,
         (unsigned long long)stats.admitted,
@@ -277,6 +365,8 @@ int main() {
         (unsigned long long)stats.victim_bytes_freed,
         (unsigned long long)stats.max_queue_depth,
         (unsigned long long)stats.max_running,
+        (unsigned long long)stats.express_admitted,
+        (unsigned long long)stats.max_express_running,
         stats.queue_wait_ns.QuantileUpperNs(0.99) * 1e-6, throughput,
         wall_seconds);
     std::fprintf(

@@ -88,9 +88,16 @@ namespace cancel_detail {
 /// steady clock so observers can report their reaction latency.
 struct SharedState {
   explicit SharedState(Deadline d) : deadline(d) {}
+  SharedState(Deadline d, std::shared_ptr<SharedState> link)
+      : deadline(d), linked(std::move(link)) {}
   std::atomic<uint8_t> cause{static_cast<uint8_t>(CancelCause::kNone)};
   std::atomic<int64_t> requested_ns{0};
   Deadline deadline;
+  /// Optional upstream state (e.g. a caller-supplied token when the service
+  /// wraps a request in its own per-query source). A cancel observed on the
+  /// linked state propagates into this one on the next poll, first cause
+  /// wins. Immutable after construction, so reads need no synchronization.
+  std::shared_ptr<SharedState> linked;
 };
 
 int64_t MonotonicNanos();
@@ -139,6 +146,13 @@ class CancellationToken {
     if (state_->deadline.Expired()) {
       LatchCause(CancelCause::kDeadline);
       return true;
+    }
+    if (state_->linked != nullptr) {
+      CancellationToken upstream(state_->linked);
+      if (upstream.IsCancelled()) {
+        LatchCause(upstream.cause());
+        return true;
+      }
     }
     return false;
   }
@@ -197,6 +211,13 @@ class CancellationSource {
   /// A source whose tokens also trip when \p deadline expires.
   explicit CancellationSource(Deadline deadline)
       : state_(std::make_shared<cancel_detail::SharedState>(deadline)) {}
+  /// A source whose tokens additionally observe \p external: the first of
+  /// {RequestCancel, deadline expiry, external cancel} to fire wins and its
+  /// cause is latched. This is how the service composes a caller-supplied
+  /// token with its own per-request deadline without a bridge thread.
+  CancellationSource(Deadline deadline, const CancellationToken& external)
+      : state_(std::make_shared<cancel_detail::SharedState>(deadline,
+                                                            external.state_)) {}
 
   /// Signals every token. Idempotent; the first cause wins.
   void RequestCancel(CancelCause cause = CancelCause::kUser);

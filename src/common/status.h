@@ -75,6 +75,14 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kCancelled ||
            code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  /// True for the service-layer shed signal (see ResourceExhausted()).
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

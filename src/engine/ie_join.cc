@@ -99,11 +99,26 @@ StatusOr<Table> InequalityJoin(const Table& left, const Table& right,
 
   // For each (non-NULL) left row, the qualifying right rows form a
   // contiguous suffix (for < / <=) or prefix (for > / >=) of the valid
-  // right rows; the boundary is a binary search over normalized keys.
+  // right rows; the boundary is a binary search over normalized keys. The
+  // match lists (potentially O(|L|x|R|)) are charged to the caller's budget
+  // chain at cancel-check granularity (docs/service.md).
+  MemoryTracker scratch_tracker(0, config.parent_tracker);
+  MemoryReservation match_memory;
+  match_memory.Reset(&scratch_tracker, 0);
   std::vector<uint64_t> left_matches, right_matches;
+  auto account_matches = [&]() {
+    uint64_t bytes =
+        (left_matches.capacity() + right_matches.capacity()) * sizeof(uint64_t);
+    if (bytes > match_memory.bytes() && config.governor != nullptr &&
+        scratch_tracker.WouldExceed(bytes - match_memory.bytes())) {
+      config.governor->EnsureCapacity(bytes - match_memory.bytes(), nullptr);
+    }
+    match_memory.Update(bytes);
+  };
   for (uint64_t i = 0; i < l_valid; ++i) {
     if ((i & (kCancelCheckRows - 1)) == 0) {
       ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
+      account_matches();
     }
     const uint8_t* key = lrun.KeyRow(i);
     uint64_t begin = 0, end = 0;
@@ -130,6 +145,7 @@ StatusOr<Table> InequalityJoin(const Table& left, const Table& right,
       right_matches.push_back(j);
     }
   }
+  account_matches();
 
   // Gather output: left columns then right columns.
   std::vector<LogicalType> out_types = left.types();
@@ -282,6 +298,20 @@ StatusOr<Table> IEJoin(const Table& left, const Table& right,
   std::vector<uint8_t> rx = EncodeColumnKeys(right, pred1.right_column, &xw);
   std::vector<uint8_t> ry = EncodeColumnKeys(right, pred2.right_column, &yw);
 
+  // IEJoin materializes both inputs as encoded keys plus rank/order arrays;
+  // make that working set visible to the caller's budget chain and give a
+  // governor the chance to shed pressure before we hold it all.
+  MemoryTracker scratch_tracker(0, config.parent_tracker);
+  MemoryReservation key_memory;
+  {
+    uint64_t key_bytes =
+        lx.capacity() + ly.capacity() + rx.capacity() + ry.capacity();
+    if (config.governor != nullptr && scratch_tracker.WouldExceed(key_bytes)) {
+      config.governor->EnsureCapacity(key_bytes, nullptr);
+    }
+    key_memory.Reset(&scratch_tracker, key_bytes);
+  }
+
   auto is_null = [](const std::vector<uint8_t>& keys, uint64_t width,
                     uint64_t row) { return keys[row * width] == 0xFF; };
 
@@ -328,9 +358,21 @@ StatusOr<Table> IEJoin(const Table& left, const Table& right,
           });
 
   // Sweep: insert right rows into the bitmap while predicate 1 holds for
-  // the current left row, then emit the predicate-2 rank range.
+  // the current left row, then emit the predicate-2 rank range. Match lists
+  // can reach O(|L|x|R|); settle their ledger at cancel-check granularity.
   Bitmap bitmap(m);
+  MemoryReservation match_memory;
+  match_memory.Reset(&scratch_tracker, 0);
   std::vector<uint64_t> left_matches, right_matches;
+  auto account_matches = [&]() {
+    uint64_t bytes =
+        (left_matches.capacity() + right_matches.capacity()) * sizeof(uint64_t);
+    if (bytes > match_memory.bytes() && config.governor != nullptr &&
+        scratch_tracker.WouldExceed(bytes - match_memory.bytes())) {
+      config.governor->EnsureCapacity(bytes - match_memory.bytes(), nullptr);
+    }
+    match_memory.Update(bytes);
+  };
   uint64_t inserted = 0;
   const bool strict = OpIsStrict(pred1.op);
   uint64_t until_check = kCancelCheckRows;
@@ -338,6 +380,7 @@ StatusOr<Table> IEJoin(const Table& left, const Table& right,
     if (--until_check == 0) {
       until_check = kCancelCheckRows;
       ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
+      account_matches();
     }
     const uint8_t* l_x = lx.data() + li * xw;
     while (inserted < m) {
@@ -372,15 +415,19 @@ StatusOr<Table> IEJoin(const Table& left, const Table& right,
       right_matches.push_back(right_by_y[rank]);
     });
   }
+  account_matches();
 
-  // Gather output rows from the original (unsorted) tables.
+  // Gather output rows from the original (unsorted) tables; both gather
+  // collections report their bytes to the same budget chain.
   RowLayout left_layout(left.types());
   RowCollection left_coll(left_layout);
+  left_coll.SetMemoryTracker(&scratch_tracker);
   for (uint64_t c = 0; c < left.ChunkCount(); ++c) {
     left_coll.AppendChunk(left.chunk(c));
   }
   RowLayout right_layout(right.types());
   RowCollection right_coll(right_layout);
+  right_coll.SetMemoryTracker(&scratch_tracker);
   for (uint64_t c = 0; c < right.ChunkCount(); ++c) {
     right_coll.AppendChunk(right.chunk(c));
   }

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "parallel/thread_pool.h"
+
 namespace rowsort {
 
 class RelationalSort;
@@ -26,8 +28,27 @@ class MemoryGovernor {
   /// Invoked by \p requester from its sink path, holding no engine lock,
   /// when reserving \p bytes more would exceed a limit. Implementations may
   /// call back into other RelationalSort instances (victim spilling) but
-  /// must not call back into \p requester.
+  /// must not call back into \p requester. \p requester may be null when the
+  /// caller is an operator without spillable state of its own (Top-N, window
+  /// rank vectors, join match lists) — such callers can never be picked as
+  /// victims but still want pressure shed onto registered sorts.
   virtual void EnsureCapacity(uint64_t bytes, RelationalSort* requester) = 0;
+
+  /// Victim registry. A RelationalSort whose config names a governor calls
+  /// RegisterSort from its constructor and UnregisterSort from the top of
+  /// its destructor, so every engine under governance — including sorts
+  /// nested inside window/join operators — is a candidate victim for
+  /// EnsureCapacity. \p priority is the query's admission priority
+  /// (SortEngineConfig::governor_priority); lower-priority queries are
+  /// preferred victims. UnregisterSort must not return while the governor
+  /// still holds a pinned reference to \p sort (it blocks until any
+  /// in-flight victim spill against it drains). Default no-ops keep
+  /// standalone governors (tests) source-compatible.
+  virtual void RegisterSort(RelationalSort* sort, TaskPriority priority) {
+    (void)sort;
+    (void)priority;
+  }
+  virtual void UnregisterSort(RelationalSort* sort) { (void)sort; }
 };
 
 }  // namespace rowsort

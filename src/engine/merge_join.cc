@@ -146,14 +146,31 @@ StatusOr<Table> SortMergeJoin(const Table& left, const Table& right,
   CrossComparator cmp(left_spec, left_layout, right_spec, right_layout);
 
   // Merge: advance the smaller side; on key equality, find both duplicate
-  // groups and emit their cross product.
+  // groups and emit their cross product. The match lists are the operator's
+  // own working set — a skewed cross product can dwarf both inputs — so
+  // their capacity is charged to the caller's budget chain at cancel-check
+  // granularity, with the governor consulted under chain pressure
+  // (docs/service.md).
+  MemoryTracker scratch_tracker(0, config.parent_tracker);
+  MemoryReservation match_memory;
+  match_memory.Reset(&scratch_tracker, 0);
   std::vector<uint64_t> left_matches, right_matches;
+  auto account_matches = [&]() {
+    uint64_t bytes =
+        (left_matches.capacity() + right_matches.capacity()) * sizeof(uint64_t);
+    if (bytes > match_memory.bytes() && config.governor != nullptr &&
+        scratch_tracker.WouldExceed(bytes - match_memory.bytes())) {
+      config.governor->EnsureCapacity(bytes - match_memory.bytes(), nullptr);
+    }
+    match_memory.Update(bytes);
+  };
   uint64_t i = 0, j = 0;
   uint64_t until_check = kCancelCheckRows;
   while (i < lrun.count && j < rrun.count) {
     if (--until_check == 0) {
       until_check = kCancelCheckRows;
       ROWSORT_RETURN_NOT_OK(config.cancellation.CheckForCancellation());
+      account_matches();
     }
     if (cmp.HasNullKey(lrun.KeyRow(i))) {
       ++i;
@@ -184,10 +201,14 @@ StatusOr<Table> SortMergeJoin(const Table& left, const Table& right,
           right_matches.push_back(rj);
         }
       }
+      // A single skewed duplicate group can grow the lists by |L|x|R| rows;
+      // settle the ledger per group, not just per cancel check.
+      account_matches();
       i = i_end;
       j = j_end;
     }
   }
+  account_matches();
 
   // Gather the matched rows: left columns then right columns.
   std::vector<LogicalType> out_types = left.types();

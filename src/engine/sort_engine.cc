@@ -53,9 +53,16 @@ RelationalSort::RelationalSort(SortSpec spec,
   key_row_width_ = row_id_offset_ + sizeof(uint64_t);
   spill_instance_ = NextSpillInstanceId();
   cancel_.Reset(config_.cancellation);
+  if (config_.governor != nullptr) {
+    config_.governor->RegisterSort(this, config_.governor_priority);
+  }
 }
 
 RelationalSort::~RelationalSort() {
+  // Deregister before tearing anything down: UnregisterSort blocks until any
+  // in-flight victim spill against this sort has drained, so no governor
+  // thread can still be inside SpillResidentBytes past this point.
+  if (config_.governor != nullptr) config_.governor->UnregisterSort(this);
   // Abandoned or failed pipelines must not leak spill files.
   for (const auto& entry : entries_) {
     if (entry.spilled) std::remove(entry.path.c_str());

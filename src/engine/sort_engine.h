@@ -74,6 +74,10 @@ struct SortEngineConfig {
   /// engine still spills its own runs for whatever pressure remains. Null
   /// (default) = no governor. Must outlive the sort.
   MemoryGovernor* governor = nullptr;
+  /// Admission priority this query runs at, forwarded to
+  /// MemoryGovernor::RegisterSort so victim selection can prefer
+  /// lower-priority queries. Ignored without a governor.
+  TaskPriority governor_priority = TaskPriority::kNormal;
   /// Merge strategy ablation: false = DuckDB's 2-way cascaded merge with
   /// Merge Path parallelism (the paper's design); true = a single k-way
   /// merge over all runs at once, the strategy §VII attributes to

@@ -2,20 +2,40 @@
 #include "engine/top_n.h"
 
 #include <cstring>
+#include <new>
 
 #include "common/bit_util.h"
+#include "common/failpoint.h"
+#include "common/string_util.h"
 #include "sortalgo/pdq_sort.h"
 
 namespace rowsort {
 
-TopN::TopN(SortSpec spec, std::vector<LogicalType> input_types, uint64_t limit)
+TopN::TopN(SortSpec spec, std::vector<LogicalType> input_types, uint64_t limit,
+           SortEngineConfig config)
     : spec_(std::move(spec)), input_types_(std::move(input_types)),
-      limit_(limit), encoder_(spec_), payload_layout_(input_types_),
-      comparator_(spec_, payload_layout_) {
+      limit_(limit), config_(config), encoder_(spec_),
+      payload_layout_(input_types_), comparator_(spec_, payload_layout_),
+      tracker_(config.memory_limit_bytes, config.parent_tracker) {
   ROWSORT_ASSERT(limit_ > 0);
   key_width_ = encoder_.key_width();
   payload_ = RowCollection(payload_layout_);
+  payload_.SetMemoryTracker(&tracker_);
+  key_memory_.Reset(&tracker_, 0);
+  heap_memory_.Reset(&tracker_, 0);
+  cancel_.Reset(config_.cancellation);
   heap_.reserve(limit_);
+  UpdateReservations();
+}
+
+Status TopN::RecordError(Status status) {
+  if (!status.ok() && first_error_.ok()) first_error_ = status;
+  return status;
+}
+
+void TopN::UpdateReservations() {
+  key_memory_.Update(key_rows_.capacity());
+  heap_memory_.Update(heap_.capacity() * sizeof(uint64_t));
 }
 
 bool TopN::HeapLess(uint64_t a, uint64_t b) const {
@@ -54,6 +74,7 @@ void TopN::Compact() {
   // operator's memory bounded at O(N) regardless of input size.
   std::vector<uint8_t> new_keys(heap_.size() * key_width_);
   RowCollection new_payload(payload_layout_);
+  new_payload.SetMemoryTracker(&tracker_);
   new_payload.AppendUninitialized(heap_.size());
   const uint64_t width = payload_layout_.row_width();
   for (uint64_t i = 0; i < heap_.size(); ++i) {
@@ -81,12 +102,40 @@ void TopN::Compact() {
   }
   key_rows_ = std::move(new_keys);
   payload_ = std::move(new_payload);
+  UpdateReservations();
 }
 
-void TopN::Sink(const DataChunk& chunk) {
+Status TopN::Sink(const DataChunk& chunk) {
+  if (finalized_) {
+    return Status::InvalidArgument("TopN::Sink called after Finalize");
+  }
+  ROWSORT_RETURN_NOT_OK(first_error_);
+  try {
+    return RecordError(SinkImpl(chunk));
+  } catch (const std::bad_alloc&) {
+    return RecordError(Status::OutOfMemory("top-n sink: allocation failed"));
+  } catch (const CancelledError& e) {
+    return RecordError(e.ToStatus());
+  }
+}
+
+Status TopN::SinkImpl(const DataChunk& chunk) {
   const uint64_t count = chunk.size();
-  if (count == 0) return;
+  if (count == 0) return Status::OK();
+  // Chunk-granularity cooperative cancellation: one relaxed load per ~1-2k
+  // rows, the same cadence the sort sink pays.
+  ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
+  if (ROWSORT_FAILPOINT("top_n_alloc")) throw std::bad_alloc();
   rows_seen_ += count;
+
+  // Worst case this chunk admits every row; under chain pressure (a service
+  // global budget squeezed by other queries) give the governor a chance to
+  // shed the pressure onto spillable victims before we grow.
+  const uint64_t projected =
+      count * (key_width_ + payload_layout_.row_width());
+  if (config_.governor != nullptr && tracker_.WouldExceed(projected)) {
+    config_.governor->EnsureCapacity(projected, nullptr);
+  }
 
   // Encode this chunk's keys into scratch space (vector-at-a-time). Payload
   // is NOT materialized yet: rows that cannot beat the current worst are
@@ -125,14 +174,48 @@ void TopN::Sink(const DataChunk& chunk) {
     heap_[0] = slot;
     HeapSiftDown(0);
   }
+  UpdateReservations();
 
-  // Garbage-collect candidate storage when it outgrows the heap 4x.
-  if (payload_.row_count() > 4 * limit_ + 2 * kVectorSize) {
+  // Garbage-collect candidate storage when it outgrows the heap 4x, or
+  // eagerly when the working set breaches this operator's own limit.
+  bool over_own_limit =
+      tracker_.limit() != 0 && tracker_.reserved() > tracker_.limit();
+  if (over_own_limit ||
+      payload_.row_count() > 4 * limit_ + 2 * kVectorSize) {
     Compact();
+  }
+  // Even fully compacted, O(N) candidates may not fit a hostile limit —
+  // Top-N has nothing to spill, so that is a hard failure, named precisely.
+  if (tracker_.limit() != 0 && tracker_.reserved() > tracker_.limit()) {
+    return Status::OutOfMemory(StringFormat(
+        "top-n working set (%llu bytes for limit=%llu) exceeds "
+        "memory_limit_bytes=%llu even after compaction",
+        (unsigned long long)tracker_.reserved(), (unsigned long long)limit_,
+        (unsigned long long)tracker_.limit()));
+  }
+  return Status::OK();
+}
+
+StatusOr<Table> TopN::Finalize() {
+  if (finalized_) {
+    return Status::InvalidArgument("TopN::Finalize called twice");
+  }
+  finalized_ = true;
+  ROWSORT_RETURN_NOT_OK(first_error_);
+  try {
+    StatusOr<Table> result = FinalizeImpl();
+    if (!result.ok()) return RecordError(result.status());
+    return result;
+  } catch (const std::bad_alloc&) {
+    return RecordError(
+        Status::OutOfMemory("top-n finalize: allocation failed"));
+  } catch (const CancelledError& e) {
+    return RecordError(e.ToStatus());
   }
 }
 
-Table TopN::Finalize() {
+StatusOr<Table> TopN::FinalizeImpl() {
+  ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
   // Sort the surviving slots ascending and gather.
   std::vector<uint64_t> slots = heap_;
   PdqSort(slots.begin(), slots.end(), [this](uint64_t a, uint64_t b) {
@@ -142,6 +225,7 @@ Table TopN::Finalize() {
   Table out(input_types_);
   uint64_t offset = 0;
   while (offset < slots.size()) {
+    ROWSORT_RETURN_NOT_OK(cancel_.CheckStatus());
     uint64_t n = std::min(kVectorSize, slots.size() - offset);
     DataChunk chunk = out.NewChunk();
     payload_.GatherRows(slots.data() + offset, n, &chunk);

@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "engine/sort_engine.h"
 #include "engine/tuple_comparator.h"
 #include "row/row_collection.h"
 #include "sortkey/key_encoder.h"
@@ -21,32 +25,58 @@ namespace rowsort {
 /// top N are rejected with one comparison against the heap root, making the
 /// operator O(n log N) with a working set of O(N) instead of materializing
 /// all input.
+///
+/// Speaks the engine's robustness contract (docs/service.md): candidate
+/// storage (key rows + RowCollection payload) is charged to a MemoryTracker
+/// nested under SortEngineConfig::parent_tracker, Sink polls the config's
+/// cancellation token per chunk, a governor is consulted before growth under
+/// chain pressure, and errors are sticky — after a failed Sink every later
+/// call returns the first error.
 class TopN {
  public:
   /// Keeps the first \p limit rows of the \p spec ordering over rows with
-  /// \p input_types columns.
-  TopN(SortSpec spec, std::vector<LogicalType> input_types, uint64_t limit);
+  /// \p input_types columns. Only the memory/cancellation/governor fields of
+  /// \p config apply; thread and spill knobs are ignored (the working set is
+  /// bounded, nothing ever spills).
+  TopN(SortSpec spec, std::vector<LogicalType> input_types, uint64_t limit,
+       SortEngineConfig config = {});
   ROWSORT_DISALLOW_COPY_AND_MOVE(TopN);
 
-  /// Feeds one chunk of input.
-  void Sink(const DataChunk& chunk);
+  /// Feeds one chunk of input. Fails with Status::Cancelled /
+  /// DeadlineExceeded on cooperative cancellation, OutOfMemory when even the
+  /// compacted O(N) working set cannot fit the memory limit, and
+  /// InvalidArgument once Finalize has run.
+  Status Sink(const DataChunk& chunk);
 
-  /// Returns the top N rows in sorted order (call once, after all Sinks).
-  Table Finalize();
+  /// Returns the top N rows in sorted order. Call once, after all Sinks —
+  /// a second call returns Status::InvalidArgument, as does any later Sink.
+  StatusOr<Table> Finalize();
 
   /// Heap statistics for tests/benches.
   uint64_t rows_seen() const { return rows_seen_; }
   uint64_t rows_rejected_early() const { return rows_rejected_early_; }
 
+  /// Tracker charged with the candidate working set (nested under
+  /// config.parent_tracker when one was given).
+  const MemoryTracker& memory_tracker() const { return tracker_; }
+
+  /// Cooperative-cancellation poll count (tests assert responsiveness).
+  uint64_t cancel_checks() const { return cancel_.checks(); }
+
  private:
+  Status SinkImpl(const DataChunk& chunk);
+  StatusOr<Table> FinalizeImpl();
+  Status RecordError(Status status);
   bool HeapLess(uint64_t a, uint64_t b) const;
   void HeapSiftDown(uint64_t root);
   void HeapSiftUp(uint64_t pos);
   void Compact();
+  void UpdateReservations();
 
   SortSpec spec_;
   std::vector<LogicalType> input_types_;
   uint64_t limit_;
+  SortEngineConfig config_;
   NormalizedKeyEncoder encoder_;
   RowLayout payload_layout_;
   TupleComparator comparator_;
@@ -57,6 +87,13 @@ class TopN {
   std::vector<uint8_t> key_rows_;
   RowCollection payload_;
   std::vector<uint64_t> heap_;  ///< slot ids, max-heap by the sort order
+
+  MemoryTracker tracker_;
+  MemoryReservation key_memory_;   ///< key_rows_ capacity
+  MemoryReservation heap_memory_;  ///< heap_ capacity
+  CancelChecker cancel_;
+  Status first_error_;
+  bool finalized_ = false;
 
   uint64_t rows_seen_ = 0;
   uint64_t rows_rejected_early_ = 0;

@@ -44,6 +44,17 @@ StatusOr<Table> ComputeWindow(const Table& input, const WindowSpec& spec,
   TupleComparator partition_cmp(partition_spec, payload_layout);
   const TupleComparator& full_cmp = sort.comparator();
 
+  // The rank scratch vectors are the operator's own working set (3 words per
+  // row on top of the sorted run). Charge them to the caller's budget chain
+  // and let a governor shed the pressure onto spillable victims first, so a
+  // service sees every byte this operator holds (docs/service.md).
+  MemoryTracker scratch_tracker(0, config.parent_tracker);
+  const uint64_t rank_bytes = 3 * sizeof(int64_t) * run.count;
+  if (config.governor != nullptr && scratch_tracker.WouldExceed(rank_bytes)) {
+    config.governor->EnsureCapacity(rank_bytes, nullptr);
+  }
+  MemoryReservation rank_memory;
+  rank_memory.Reset(&scratch_tracker, rank_bytes);
   std::vector<int64_t> row_number(run.count), rank(run.count),
       dense_rank(run.count);
   int64_t current_row = 0, current_rank = 0, current_dense = 0;

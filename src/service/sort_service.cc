@@ -4,9 +4,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <functional>
 
 #include "common/string_util.h"
+#include "engine/top_n.h"
+#include "row/row_layout.h"
 
 namespace rowsort {
 
@@ -16,12 +17,30 @@ namespace {
 /// this granularity — their cv is only notified on admission.
 constexpr int64_t kQueuePollMillis = 20;
 
-const std::string& EffectiveTenant(const SortRequest& request) {
+const std::string& EffectiveTenant(const std::string& tenant) {
   static const std::string kDefault = "default";
-  return request.tenant.empty() ? kDefault : request.tenant;
+  return tenant.empty() ? kDefault : tenant;
 }
 
+uint64_t OpIndex(OperatorKind op) { return static_cast<uint64_t>(op); }
+
 }  // namespace
+
+const char* OperatorKindName(OperatorKind op) {
+  switch (op) {
+    case OperatorKind::kSort:
+      return "sort";
+    case OperatorKind::kTopN:
+      return "top_n";
+    case OperatorKind::kWindow:
+      return "window";
+    case OperatorKind::kMergeJoin:
+      return "merge_join";
+    case OperatorKind::kIEJoin:
+      return "ie_join";
+  }
+  return "unknown";
+}
 
 SortService::SortService(SortServiceConfig config)
     : config_(std::move(config)),
@@ -49,14 +68,73 @@ uint64_t SortService::current_running() const {
   return running_;
 }
 
+uint64_t SortService::current_express_running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return express_running_;
+}
+
+uint64_t SortService::EstimateWorkingSetBytes(const OperatorRequest& request,
+                                              const Table& left,
+                                              const Table* right) {
+  // Keys carry one extra word per row (the row id the runs sort by).
+  auto keyed_row_bytes = [](const SortSpec& spec, const Table& t) {
+    return RowLayout(t.types()).row_width() + spec.KeyWidth() + 8;
+  };
+  const uint64_t rows = left.row_count();
+  switch (request.op) {
+    case OperatorKind::kSort:
+      // Encoded keys + row payload, doubled for the merge's ping/pong.
+      return 2 * rows * keyed_row_bytes(request.spec, left);
+    case OperatorKind::kTopN: {
+      // Candidate storage is compacted back to O(limit); its high-water is
+      // the compaction threshold (top_n.cc), never the input size.
+      const uint64_t candidates =
+          std::min(rows, 4 * request.limit + 2 * kVectorSize);
+      return 2 * candidates * keyed_row_bytes(request.spec, left);
+    }
+    case OperatorKind::kWindow: {
+      std::vector<SortColumn> columns;
+      for (uint64_t col : request.window.partition_by) {
+        if (col >= left.types().size()) continue;  // rejected at Submit()
+        columns.emplace_back(col, left.types()[col]);
+      }
+      columns.insert(columns.end(), request.window.order_by.begin(),
+                     request.window.order_by.end());
+      SortSpec full_spec(std::move(columns));
+      // Full sort of the input plus the three rank vectors.
+      return 2 * rows * keyed_row_bytes(full_spec, left) +
+             3 * sizeof(int64_t) * rows;
+    }
+    case OperatorKind::kMergeJoin:
+    case OperatorKind::kIEJoin: {
+      // Both inputs sorted (keys are one or two fixed-width columns — call
+      // it 16 bytes with the row id) plus the match/rank lists.
+      const uint64_t rrows = right != nullptr ? right->row_count() : 0;
+      const uint64_t lbytes = rows * (RowLayout(left.types()).row_width() + 16);
+      const uint64_t rbytes =
+          right != nullptr
+              ? rrows * (RowLayout(right->types()).row_width() + 16)
+              : 0;
+      return 2 * (lbytes + rbytes) + 2 * sizeof(uint64_t) * (rows + rrows);
+    }
+  }
+  return 0;
+}
+
 void SortService::PumpAdmissionLocked() {
-  while (running_ < config_.max_running && !queue_.empty()) {
+  while (!queue_.empty()) {
+    const bool general_free = running_ < config_.max_running;
+    const bool express_free = express_running_ < config_.express_slots;
+    if (!general_free && !express_free) break;
     // Highest priority class first, arrival order within it; waiters whose
     // tenant is at its cap are passed over (a later arrival of another
-    // tenant may run ahead of them — that *is* the fairness policy).
+    // tenant may run ahead of them — that *is* the fairness policy), as are
+    // waiters no free lane may seat (only express-eligible requests fit the
+    // express lane).
     auto best = queue_.end();
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       Waiter* w = *it;
+      if (!general_free && !(w->express_eligible && express_free)) continue;
       if (config_.tenant_max_running != 0) {
         auto t = tenant_running_.find(*w->tenant);
         if (t != tenant_running_.end() &&
@@ -73,26 +151,46 @@ void SortService::PumpAdmissionLocked() {
     Waiter* w = *best;
     queue_.erase(best);
     w->admitted = true;
-    ++running_;
+    // Express-eligible work prefers the express lane while it has room,
+    // preserving general slots for the queries that can only run there.
+    w->in_express = w->express_eligible && express_free;
+    if (w->in_express) {
+      ++express_running_;
+      stats_.express_admitted += 1;
+      stats_.max_express_running =
+          std::max(stats_.max_express_running, express_running_);
+    } else {
+      ++running_;
+      stats_.max_running = std::max(stats_.max_running, running_);
+    }
     ++tenant_running_[*w->tenant];
     stats_.admitted += 1;
-    stats_.max_running = std::max(stats_.max_running, running_);
+    stats_.op_class[OpIndex(w->op)].admitted += 1;
     w->cv.notify_one();
   }
 }
 
-Status SortService::Admit(const SortRequest& request,
-                          const std::string& tenant,
+Status SortService::Admit(const OperatorRequest& request,
+                          const std::string& tenant, bool express_eligible,
                           const CancellationToken& queue_cancel,
-                          uint64_t* waited_ns) {
+                          uint64_t* waited_ns, bool* in_express) {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
+  auto waited_ms = [&start] {
+    return static_cast<unsigned long long>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              start)
+            .count());
+  };
   std::unique_lock<std::mutex> lock(mutex_);
   stats_.requests += 1;
+  stats_.op_class[OpIndex(request.op)].requests += 1;
   Waiter waiter;
   waiter.priority = request.priority;
   waiter.seq = next_seq_++;
   waiter.tenant = &tenant;
+  waiter.op = request.op;
+  waiter.express_eligible = express_eligible;
   queue_.push_back(&waiter);
   PumpAdmissionLocked();
   // Shed-fast policy: a request that cannot run immediately and would be
@@ -101,12 +199,17 @@ Status SortService::Admit(const SortRequest& request,
   if (!waiter.admitted && queue_.size() > config_.max_queued) {
     queue_.pop_back();
     stats_.shed_queue_full += 1;
+    stats_.op_class[OpIndex(request.op)].shed += 1;
     return Status::ResourceExhausted(StringFormat(
-        "admission queue full (%llu queued, %llu running); retry later",
-        (unsigned long long)queue_.size(), (unsigned long long)running_));
+        "admission queue full for tenant '%s' (%llu queued > limit %llu; "
+        "%llu running + %llu express; wait budget spent: %llu ms); "
+        "shed fast, retry later",
+        tenant.c_str(), (unsigned long long)queue_.size() + 1,
+        (unsigned long long)config_.max_queued, (unsigned long long)running_,
+        (unsigned long long)express_running_, waited_ms()));
   }
-  stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth,
-                                              queue_.size());
+  stats_.max_queue_depth =
+      std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
 
   const bool bounded = config_.queue_wait_limit_ms > 0;
   const Clock::time_point wait_deadline =
@@ -115,24 +218,31 @@ Status SortService::Admit(const SortRequest& request,
     queue_.erase(std::find(queue_.begin(), queue_.end(), &waiter));
   };
   while (!waiter.admitted) {
-    if (request.deadline.Expired()) {
-      remove_self();
-      stats_.shed_queued_cancel += 1;
-      return Status::DeadlineExceeded(
-          "request deadline expired in the admission queue");
-    }
+    // One combined poll: the caller's linked token trips on the request
+    // deadline, an external cancel, or both — first cause wins and decides
+    // DeadlineExceeded vs Cancelled.
     if (queue_cancel.CanBeCancelled() && queue_cancel.IsCancelled()) {
       remove_self();
       stats_.shed_queued_cancel += 1;
+      stats_.op_class[OpIndex(request.op)].shed += 1;
+      if (queue_cancel.cause() == CancelCause::kDeadline) {
+        return Status::DeadlineExceeded(
+            "request deadline expired in the admission queue");
+      }
       return CancellationToken::StatusForCause(queue_cancel.cause());
     }
     if (bounded && Clock::now() >= wait_deadline) {
       remove_self();
       stats_.shed_wait_budget += 1;
+      stats_.op_class[OpIndex(request.op)].shed += 1;
       return Status::ResourceExhausted(StringFormat(
-          "admission wait budget spent (%llu ms); the service is saturated, "
-          "retry later",
-          (unsigned long long)config_.queue_wait_limit_ms));
+          "admission wait budget spent for tenant '%s' (waited %llu of "
+          "%llu ms; %llu still queued, %llu running + %llu express); the "
+          "service is saturated, retry later",
+          tenant.c_str(), waited_ms(),
+          (unsigned long long)config_.queue_wait_limit_ms,
+          (unsigned long long)queue_.size(), (unsigned long long)running_,
+          (unsigned long long)express_running_));
     }
     Clock::time_point until =
         Clock::now() + std::chrono::milliseconds(kQueuePollMillis);
@@ -146,17 +256,44 @@ Status SortService::Admit(const SortRequest& request,
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count());
+  *in_express = waiter.in_express;
   return Status::OK();
 }
 
-void SortService::ReleaseSlot(const std::string& tenant) {
+void SortService::ReleaseSlot(const std::string& tenant, bool in_express) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ROWSORT_DASSERT(running_ > 0);
-  --running_;
+  if (in_express) {
+    ROWSORT_DASSERT(express_running_ > 0);
+    --express_running_;
+  } else {
+    ROWSORT_DASSERT(running_ > 0);
+    --running_;
+  }
   auto it = tenant_running_.find(tenant);
   ROWSORT_DASSERT(it != tenant_running_.end() && it->second > 0);
   if (--it->second == 0) tenant_running_.erase(it);
   PumpAdmissionLocked();
+}
+
+void SortService::RegisterSort(RelationalSort* sort, TaskPriority priority) {
+  auto* query = new ActiveQuery;
+  query->sort = sort;
+  query->priority = priority;
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.push_back(query);
+}
+
+void SortService::UnregisterSort(RelationalSort* sort) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [sort](ActiveQuery* q) { return q->sort == sort; });
+  if (it == active_.end()) return;
+  ActiveQuery* query = *it;
+  // The sort is about to die: wait out any in-flight victim spill that holds
+  // a pin on it. Re-find after the wait — the vector may have shifted.
+  unpinned_.wait(lock, [query] { return query->pins == 0; });
+  active_.erase(std::find(active_.begin(), active_.end(), query));
+  delete query;
 }
 
 void SortService::EnsureCapacity(uint64_t bytes, RelationalSort* requester) {
@@ -208,121 +345,245 @@ void SortService::EnsureCapacity(uint64_t bytes, RelationalSort* requester) {
   }
 }
 
-StatusOr<Table> SortService::Sort(const Table& input, const SortSpec& spec,
-                                  const SortRequest& request,
-                                  SortMetrics* metrics_out) {
-  if (metrics_out != nullptr) metrics_out->Reset();
-  const std::string& tenant = EffectiveTenant(request);
+StatusOr<Table> SortService::RunGoverned(
+    const OperatorRequest& request, bool express_eligible,
+    const std::function<StatusOr<Table>(const SortEngineConfig&,
+                                        const CancellationToken&)>& body) {
+  const std::string& tenant = EffectiveTenant(request.tenant);
 
-  // One engine-facing token carries both interruption channels: the source
-  // trips on the request deadline by itself, and the sink tasks bridge the
-  // external token into it at chunk granularity (first cause wins).
-  CancellationSource source(request.deadline);
+  // One engine-facing token carries every interruption channel: the linked
+  // source trips on the request deadline by itself and observes the
+  // caller's external token on every poll (first cause wins) — the same
+  // token is polled while queued and handed to the engine once running.
+  CancellationSource source(request.deadline, request.cancellation);
   const CancellationToken token = source.token();
-  const CancellationToken& external = request.cancellation;
 
   uint64_t waited_ns = 0;
-  ROWSORT_RETURN_NOT_OK(Admit(request, tenant, external, &waited_ns));
+  bool in_express = false;
+  ROWSORT_RETURN_NOT_OK(
+      Admit(request, tenant, express_eligible, token, &waited_ns, &in_express));
   queue_wait_ns_.Record(waited_ns);
   struct SlotGuard {
     SortService* service;
     const std::string* tenant;
-    ~SlotGuard() { service->ReleaseSlot(*tenant); }
-  } slot_guard{this, &tenant};
+    bool in_express;
+    ~SlotGuard() { service->ReleaseSlot(*tenant, in_express); }
+  } slot_guard{this, &tenant, in_express};
 
   SortEngineConfig config = request.engine;
   config.parent_tracker = &global_tracker_;
   config.governor = this;
+  config.governor_priority = request.priority;
   config.cancellation = token;
-  RelationalSort sort(spec, input.types(), config);
 
-  // Visible to victim selection while (and only while) the sink phase can
-  // run; the guard waits out any in-flight victim spill before `sort` dies.
-  ActiveQuery query;
-  query.sort = &sort;
-  query.priority = request.priority;
+  StatusOr<Table> result = [&]() -> StatusOr<Table> {
+    try {
+      return body(config, token);
+    } catch (const CancelledError& e) {
+      return e.ToStatus();
+    } catch (const std::bad_alloc&) {
+      return Status::OutOfMemory(StringFormat(
+          "service %s: allocation failed", OperatorKindName(request.op)));
+    }
+  }();
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    active_.push_back(&query);
-  }
-  struct ActiveGuard {
-    SortService* service;
-    ActiveQuery* query;
-    ~ActiveGuard() {
-      std::unique_lock<std::mutex> lock(service->mutex_);
-      service->unpinned_.wait(lock, [this] { return query->pins == 0; });
-      auto& active = service->active_;
-      active.erase(std::find(active.begin(), active.end(), query));
-    }
-  } active_guard{this, &query};
-
-  // Morsel-driven sinks over the shared pool, at the request's priority.
-  const uint64_t sink_tasks = std::max<uint64_t>(config_.threads_per_query, 1);
-  std::atomic<uint64_t> next_chunk{0};
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(sink_tasks);
-  for (uint64_t t = 0; t < sink_tasks; ++t) {
-    tasks.push_back([&sort, &input, &next_chunk, &source, &external] {
-      auto local = sort.MakeLocalState();
-      while (true) {
-        uint64_t c = next_chunk.fetch_add(1);
-        if (c >= input.ChunkCount()) break;
-        if (external.CanBeCancelled() && external.IsCancelled()) {
-          source.RequestCancel(external.cause());
-        }
-        if (!sort.Sink(*local, input.chunk(c)).ok()) break;
-      }
-      (void)sort.CombineLocal(*local);  // status is recorded in the sort
-    });
-  }
-  Status st;
-  try {
-    pool_.RunBatch(std::move(tasks), token, request.priority);
-  } catch (const CancelledError& e) {
-    st = e.ToStatus();
-  } catch (const std::bad_alloc&) {
-    st = Status::OutOfMemory("service sort sink: allocation failed");
-  }
-  if (st.ok()) st = sort.status();
-  if (st.ok()) {
-    if (external.CanBeCancelled() && external.IsCancelled()) {
-      source.RequestCancel(external.cause());
-    }
-    st = sort.Finalize(&pool_);
-  }
-  auto classify = [this](const Status& s) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (s.ok()) {
+    OperatorClassStats& op_stats = stats_.op_class[OpIndex(request.op)];
+    if (result.ok()) {
       stats_.completed += 1;
-    } else if (s.IsCancellation()) {
+      op_stats.completed += 1;
+    } else if (result.status().IsCancellation()) {
       stats_.cancelled += 1;
+      op_stats.cancelled += 1;
     } else {
       stats_.failed += 1;
+      op_stats.failed += 1;
     }
-  };
-  if (!st.ok()) {
-    if (metrics_out != nullptr) *metrics_out = sort.metrics();
-    classify(st);
-    return st;
+  }
+  return result;
+}
+
+StatusOr<Table> SortService::Sort(const Table& input, const SortSpec& spec,
+                                  const SortRequest& request,
+                                  SortMetrics* metrics_out) {
+  OperatorRequest op;
+  op.op = OperatorKind::kSort;
+  op.tenant = request.tenant;
+  op.priority = request.priority;
+  op.deadline = request.deadline;
+  op.cancellation = request.cancellation;
+  op.engine = request.engine;
+  op.spec = spec;
+  return Submit(input, op, metrics_out);
+}
+
+StatusOr<Table> SortService::Submit(const Table& input,
+                                    const OperatorRequest& request,
+                                    SortMetrics* metrics_out) {
+  if (metrics_out != nullptr) metrics_out->Reset();
+  // Validation precedes admission and has no stats impact: a malformed
+  // request is the caller's bug, not load.
+  switch (request.op) {
+    case OperatorKind::kMergeJoin:
+    case OperatorKind::kIEJoin:
+      return Status::InvalidArgument(StringFormat(
+          "%s takes two inputs; use the binary Submit overload",
+          OperatorKindName(request.op)));
+    case OperatorKind::kSort:
+      if (request.spec.columns().empty()) {
+        return Status::InvalidArgument("sort request has an empty SortSpec");
+      }
+      break;
+    case OperatorKind::kTopN:
+      if (request.spec.columns().empty()) {
+        return Status::InvalidArgument("top-n request has an empty SortSpec");
+      }
+      if (request.limit == 0) {
+        return Status::InvalidArgument("top-n request has limit == 0");
+      }
+      break;
+    case OperatorKind::kWindow:
+      if (request.functions.empty()) {
+        return Status::InvalidArgument("window request has no functions");
+      }
+      if (request.window.partition_by.empty() &&
+          request.window.order_by.empty()) {
+        return Status::InvalidArgument(
+            "window request has neither PARTITION BY nor ORDER BY");
+      }
+      for (uint64_t col : request.window.partition_by) {
+        if (col >= input.types().size()) {
+          return Status::InvalidArgument(
+              "window partition column out of range");
+        }
+      }
+      break;
+  }
+  const bool express_eligible =
+      config_.express_slots > 0 &&
+      EstimateWorkingSetBytes(request, input, nullptr) <=
+          config_.express_max_bytes;
+
+  if (request.op == OperatorKind::kSort) {
+    // Full sorts are the one operator whose sink is morsel-parallel over the
+    // shared pool (at the request's priority class); everything else runs on
+    // the calling thread — express work must not queue behind giant tasks.
+    auto body = [&](const SortEngineConfig& config,
+                    const CancellationToken& token) -> StatusOr<Table> {
+      RelationalSort sort(request.spec, input.types(), config);
+      const uint64_t sink_tasks =
+          std::max<uint64_t>(config_.threads_per_query, 1);
+      std::atomic<uint64_t> next_chunk{0};
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(sink_tasks);
+      for (uint64_t t = 0; t < sink_tasks; ++t) {
+        tasks.push_back([&sort, &input, &next_chunk] {
+          auto local = sort.MakeLocalState();
+          while (true) {
+            uint64_t c = next_chunk.fetch_add(1);
+            if (c >= input.ChunkCount()) break;
+            if (!sort.Sink(*local, input.chunk(c)).ok()) break;
+          }
+          (void)sort.CombineLocal(*local);  // status is recorded in the sort
+        });
+      }
+      Status st;
+      try {
+        pool_.RunBatch(std::move(tasks), token, request.priority);
+      } catch (const CancelledError& e) {
+        st = e.ToStatus();
+      } catch (const std::bad_alloc&) {
+        st = Status::OutOfMemory("service sort sink: allocation failed");
+      }
+      if (st.ok()) st = sort.status();
+      if (st.ok()) st = sort.Finalize(&pool_);
+      if (!st.ok()) {
+        if (metrics_out != nullptr) *metrics_out = sort.metrics();
+        return st;
+      }
+      try {
+        Table output(input.types(), input.names());
+        uint64_t offset = 0;
+        while (offset < sort.row_count()) {
+          DataChunk chunk = output.NewChunk();
+          offset += sort.ScanChunk(offset, &chunk);
+          output.Append(std::move(chunk));
+        }
+        if (metrics_out != nullptr) *metrics_out = sort.metrics();
+        return output;
+      } catch (const std::bad_alloc&) {
+        if (metrics_out != nullptr) *metrics_out = sort.metrics();
+        return Status::OutOfMemory("service sort output: allocation failed");
+      }
+    };
+    return RunGoverned(request, express_eligible, body);
   }
 
-  try {
-    Table output(input.types(), input.names());
-    uint64_t offset = 0;
-    while (offset < sort.row_count()) {
-      DataChunk chunk = output.NewChunk();
-      offset += sort.ScanChunk(offset, &chunk);
-      output.Append(std::move(chunk));
+  auto body = [&](const SortEngineConfig& config,
+                  const CancellationToken&) -> StatusOr<Table> {
+    switch (request.op) {
+      case OperatorKind::kTopN: {
+        TopN top_n(request.spec, input.types(), request.limit, config);
+        for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+          ROWSORT_RETURN_NOT_OK(top_n.Sink(input.chunk(c)));
+        }
+        return top_n.Finalize();
+      }
+      case OperatorKind::kWindow:
+        return ComputeWindow(input, request.window, request.functions,
+                             config);
+      default:
+        return Status::InvalidArgument("unreachable operator kind");
     }
-    if (metrics_out != nullptr) *metrics_out = sort.metrics();
-    classify(Status::OK());
-    return output;
-  } catch (const std::bad_alloc&) {
-    Status oom = Status::OutOfMemory("service sort output: allocation failed");
-    if (metrics_out != nullptr) *metrics_out = sort.metrics();
-    classify(oom);
-    return oom;
+  };
+  return RunGoverned(request, express_eligible, body);
+}
+
+StatusOr<Table> SortService::Submit(const Table& left, const Table& right,
+                                    const OperatorRequest& request,
+                                    SortMetrics* metrics_out) {
+  if (metrics_out != nullptr) metrics_out->Reset();
+  switch (request.op) {
+    case OperatorKind::kSort:
+    case OperatorKind::kTopN:
+    case OperatorKind::kWindow:
+      return Status::InvalidArgument(StringFormat(
+          "%s takes one input; use the unary Submit overload",
+          OperatorKindName(request.op)));
+    case OperatorKind::kMergeJoin:
+      if (request.keys.empty()) {
+        return Status::InvalidArgument("merge-join request has no join keys");
+      }
+      for (const JoinKey& key : request.keys) {
+        if (key.left_column >= left.types().size() ||
+            key.right_column >= right.types().size()) {
+          return Status::InvalidArgument("merge-join key column out of range");
+        }
+      }
+      break;
+    case OperatorKind::kIEJoin:
+      if (request.pred1.left_column >= left.types().size() ||
+          request.pred2.left_column >= left.types().size() ||
+          request.pred1.right_column >= right.types().size() ||
+          request.pred2.right_column >= right.types().size()) {
+        return Status::InvalidArgument("ie-join column out of range");
+      }
+      break;
   }
+  const bool express_eligible =
+      config_.express_slots > 0 &&
+      EstimateWorkingSetBytes(request, left, &right) <=
+          config_.express_max_bytes;
+
+  auto body = [&](const SortEngineConfig& config,
+                  const CancellationToken&) -> StatusOr<Table> {
+    if (request.op == OperatorKind::kMergeJoin) {
+      return SortMergeJoin(left, right, request.keys, config);
+    }
+    return IEJoin(left, right, request.pred1, request.pred2, config);
+  };
+  return RunGoverned(request, express_eligible, body);
 }
 
 }  // namespace rowsort

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -11,9 +12,13 @@
 
 #include "common/cancellation.h"
 #include "common/histogram.h"
+#include "common/macros.h"
 #include "common/memory_tracker.h"
 #include "common/status.h"
+#include "engine/ie_join.h"
+#include "engine/merge_join.h"
 #include "engine/sort_engine.h"
+#include "engine/window.h"
 #include "parallel/thread_pool.h"
 #include "workload/tables.h"
 
@@ -42,7 +47,27 @@ struct SortServiceConfig {
   uint64_t threads_per_query = 2;
   /// Per-task accounting on the shared pool (ThreadPool::EnableStats).
   bool pool_stats = false;
+  /// Express lane: dedicated running slots, *in addition to* max_running,
+  /// reserved for requests whose estimated working set is at most
+  /// express_max_bytes — a Top-10 never queues behind a spilling giant
+  /// (docs/service.md). 0 disables the lane. Express-eligible requests may
+  /// still take a general slot when one is free.
+  uint64_t express_slots = 2;
+  /// Estimated-working-set ceiling for express eligibility.
+  uint64_t express_max_bytes = 8ull << 20;
 };
+
+/// The operator a request routes to (ROADMAP item 1: every sort-family
+/// operator goes through the same admission/budget/cancel machinery).
+enum class OperatorKind : uint8_t {
+  kSort = 0,   ///< full ORDER BY via RelationalSort
+  kTopN,       ///< ORDER BY ... LIMIT n via the bounded-heap TopN
+  kWindow,     ///< ranking window functions via ComputeWindow
+  kMergeJoin,  ///< sort-merge equi-join (binary)
+  kIEJoin,     ///< two-predicate inequality join (binary)
+};
+constexpr uint64_t kOperatorKindCount = 5;
+const char* OperatorKindName(OperatorKind op);
 
 /// Per-request routing: who is asking, how urgent, how long it may take.
 struct SortRequest {
@@ -54,9 +79,9 @@ struct SortRequest {
   /// Expires the whole request — while queued (Status::DeadlineExceeded
   /// without running) and while executing (engine-side cooperative cancel).
   Deadline deadline;
-  /// External cancel. Polled while queued and bridged into the query's
-  /// pipeline at chunk granularity once running, so it composes with
-  /// \p deadline (first cause wins).
+  /// External cancel. Observed while queued and linked into the query's
+  /// engine-facing token once running, so it composes with \p deadline
+  /// (first cause wins) at chunk granularity.
   CancellationToken cancellation;
   /// Base engine configuration (per-query memory_limit_bytes, algorithm,
   /// spill_directory, ...). The service overrides parent_tracker, governor,
@@ -64,10 +89,50 @@ struct SortRequest {
   SortEngineConfig engine;
 };
 
+/// \brief One governed request against the unified Submit() surface: the
+/// routing fields every operator shares plus the operator-specific payload
+/// (only the fields for \p op are read).
+struct OperatorRequest {
+  OperatorKind op = OperatorKind::kSort;
+
+  // Routing (same semantics as SortRequest).
+  std::string tenant;
+  TaskPriority priority = TaskPriority::kNormal;
+  Deadline deadline;
+  CancellationToken cancellation;
+  SortEngineConfig engine;
+
+  // kSort / kTopN: the ordering. kTopN additionally needs limit > 0.
+  SortSpec spec;
+  uint64_t limit = 0;
+
+  // kWindow.
+  WindowSpec window;
+  std::vector<WindowFunction> functions;
+
+  // kMergeJoin.
+  std::vector<JoinKey> keys;
+
+  // kIEJoin.
+  InequalityPredicate pred1;
+  InequalityPredicate pred2;
+};
+
+/// Admission/outcome counters for one operator class.
+struct OperatorClassStats {
+  uint64_t requests = 0;   ///< Submit() calls for this class
+  uint64_t admitted = 0;   ///< granted a running slot (either lane)
+  uint64_t shed = 0;       ///< refused before running (full queue, wait
+                           ///< budget, queued deadline/cancel)
+  uint64_t completed = 0;  ///< returned OK
+  uint64_t failed = 0;     ///< non-OK after admission (excl. cancellation)
+  uint64_t cancelled = 0;  ///< Cancelled/DeadlineExceeded after admission
+};
+
 /// Counters a SortService accumulates over its lifetime; a consistent copy
 /// via StatsSnapshot().
 struct SortServiceStats {
-  uint64_t requests = 0;   ///< Sort() calls
+  uint64_t requests = 0;   ///< Sort()/Submit() calls
   uint64_t admitted = 0;   ///< granted a running slot
   uint64_t completed = 0;  ///< returned OK
   uint64_t failed = 0;     ///< non-OK after admission (excl. cancellation)
@@ -79,31 +144,46 @@ struct SortServiceStats {
   uint64_t victim_spills = 0;
   uint64_t victim_bytes_freed = 0;
   uint64_t max_queue_depth = 0;  ///< admission queue high-water
-  uint64_t max_running = 0;      ///< concurrently-running high-water
+  uint64_t max_running = 0;      ///< concurrently-running high-water (general)
+  /// Express lane: admissions into the dedicated small-query slots, and
+  /// their concurrent high-water.
+  uint64_t express_admitted = 0;
+  uint64_t max_express_running = 0;
+  /// Per-operator-class breakdown, indexed by OperatorKind.
+  OperatorClassStats op_class[kOperatorKindCount];
   DurationHistogram queue_wait_ns;  ///< admission wait of admitted queries
 };
 
 /// \brief Multi-tenant sorting service: many concurrent queries over one
 /// shared ThreadPool and one global memory budget (docs/service.md).
 ///
-/// Three mechanisms keep an overloaded service useful instead of livelocked:
+/// Every sort-family operator — full sorts, Top-N, window functions, and
+/// the two join kinds — routes through one Submit() surface and gets the
+/// same treatment. Three mechanisms keep an overloaded service useful
+/// instead of livelocked:
 ///
 /// 1. *Admission control* — at most max_running queries execute; waiters
 ///    queue ordered by (priority, arrival) under per-tenant caps, and
 ///    requests the service cannot take (queue full, wait budget spent) are
 ///    shed fast with Status::ResourceExhausted rather than timing out slow.
+///    Requests with a small estimated working set (a cost class computed
+///    from the operator and its inputs) are eligible for the *express lane*:
+///    dedicated running slots that keep a bounded-memory Top-N from queueing
+///    behind spilling giants.
 /// 2. *Cross-query victim spilling* — when any query's growth would breach
 ///    the global budget, the service (as the engines' MemoryGovernor) picks
 ///    the victim with the lowest priority and the largest resident
 ///    footprint and forces it to spill runs to disk, so memory pressure
-///    lands on the cheapest query instead of whoever allocated last.
+///    lands on the cheapest query instead of whoever allocated last. Every
+///    governed engine registers itself (MemoryGovernor::RegisterSort) —
+///    including sorts nested inside window/join operators.
 /// 3. *Deadlines and cancellation* — a request's deadline and external
-///    token are honored while queued and bridged into the engine's
+///    token are honored while queued and linked into the engine's
 ///    cooperative-cancel machinery once running; per-query first-error /
 ///    first-cancel semantics are untouched.
 ///
-/// Sort() is blocking and thread-safe: call it from one client thread per
-/// in-flight query. The service must outlive every call.
+/// Sort()/Submit() are blocking and thread-safe: call them from one client
+/// thread per in-flight query. The service must outlive every call.
 class SortService : public MemoryGovernor {
  public:
   explicit SortService(SortServiceConfig config);
@@ -114,13 +194,44 @@ class SortService : public MemoryGovernor {
   /// Status::ResourceExhausted without touching the input; a deadline that
   /// expires while queued returns Status::DeadlineExceeded the same way.
   /// \p metrics_out (optional) receives the engine metrics even on error.
+  /// Equivalent to Submit() with op = kSort.
   StatusOr<Table> Sort(const Table& input, const SortSpec& spec,
                        const SortRequest& request = {},
                        SortMetrics* metrics_out = nullptr);
 
+  /// Unified surface for the unary operators (kSort, kTopN, kWindow): the
+  /// request is admitted under the same queue/caps/budget as every other
+  /// operator and executed with the service's tracker chain, governor, and
+  /// linked cancellation. Output is byte-identical to invoking the operator
+  /// directly with the same engine config. Join kinds return
+  /// Status::InvalidArgument here (they need two inputs).
+  StatusOr<Table> Submit(const Table& input, const OperatorRequest& request,
+                         SortMetrics* metrics_out = nullptr);
+
+  /// Binary-operator Submit (kMergeJoin, kIEJoin); unary kinds return
+  /// Status::InvalidArgument here.
+  StatusOr<Table> Submit(const Table& left, const Table& right,
+                         const OperatorRequest& request,
+                         SortMetrics* metrics_out = nullptr);
+
+  /// The cost class fed into admission: a request's estimated peak working
+  /// set in bytes (keys + payload for sorts and window, bounded candidate
+  /// storage for Top-N, both inputs plus match lists for joins). Requests
+  /// at or under SortServiceConfig::express_max_bytes are express-eligible.
+  /// \p right is ignored for unary operators. Exposed for tests/benches.
+  static uint64_t EstimateWorkingSetBytes(const OperatorRequest& request,
+                                          const Table& left,
+                                          const Table* right);
+
   /// MemoryGovernor: free global headroom for \p bytes by victim-spilling
   /// other queries (never \p requester). Called by engines mid-sink.
   void EnsureCapacity(uint64_t bytes, RelationalSort* requester) override;
+  /// MemoryGovernor registry: every governed engine announces itself here
+  /// (RelationalSort's constructor/destructor do this automatically), which
+  /// is what makes sorts nested inside window/join operators visible to
+  /// victim selection.
+  void RegisterSort(RelationalSort* sort, TaskPriority priority) override;
+  void UnregisterSort(RelationalSort* sort) override;
 
   SortServiceStats StatsSnapshot() const;
   ThreadPoolStatsSnapshot PoolStatsSnapshot() const {
@@ -129,20 +240,25 @@ class SortService : public MemoryGovernor {
   const MemoryTracker& memory_tracker() const { return global_tracker_; }
   uint64_t current_queue_depth() const;
   uint64_t current_running() const;
+  uint64_t current_express_running() const;
 
  private:
-  /// One queued request; lives on its Sort() frame.
+  /// One queued request; lives on its Submit() frame.
   struct Waiter {
     std::condition_variable cv;
     TaskPriority priority = TaskPriority::kNormal;
     uint64_t seq = 0;
     const std::string* tenant = nullptr;
+    OperatorKind op = OperatorKind::kSort;
+    bool express_eligible = false;
     bool admitted = false;
+    bool in_express = false;  ///< seated in the express lane (vs general)
   };
 
-  /// One running query, visible to victim selection; lives on its Sort()
-  /// frame. pins > 0 while EnsureCapacity is spilling it outside the lock —
-  /// deregistration waits for pins to drain.
+  /// One registered engine, visible to victim selection; owned by the
+  /// registry (RegisterSort / UnregisterSort). pins > 0 while EnsureCapacity
+  /// is spilling it outside the lock — deregistration waits for pins to
+  /// drain before the engine may die.
   struct ActiveQuery {
     RelationalSort* sort = nullptr;
     TaskPriority priority = TaskPriority::kNormal;
@@ -150,14 +266,23 @@ class SortService : public MemoryGovernor {
   };
 
   /// Blocks until admitted or shed. OK = slot held (release via
-  /// ReleaseSlot). \p waited_ns receives the queue time when admitted.
-  Status Admit(const SortRequest& request, const std::string& tenant,
-               const CancellationToken& queue_cancel, uint64_t* waited_ns);
+  /// ReleaseSlot). \p waited_ns receives the queue time and \p in_express
+  /// the lane when admitted.
+  Status Admit(const OperatorRequest& request, const std::string& tenant,
+               bool express_eligible, const CancellationToken& queue_cancel,
+               uint64_t* waited_ns, bool* in_express);
   /// Admits queued waiters (priority, then arrival; tenants at their cap
-  /// are passed over) while running slots remain. Call with mutex_ held
-  /// whenever a slot frees or a waiter arrives.
+  /// are passed over; express-eligible waiters may take either lane) while
+  /// slots remain. Call with mutex_ held whenever a slot frees or a waiter
+  /// arrives.
   void PumpAdmissionLocked();
-  void ReleaseSlot(const std::string& tenant);
+  void ReleaseSlot(const std::string& tenant, bool in_express);
+  /// Everything between admission and outcome classification, shared by all
+  /// operator kinds: builds the governed engine config and runs \p body.
+  StatusOr<Table> RunGoverned(
+      const OperatorRequest& request, bool express_eligible,
+      const std::function<StatusOr<Table>(const SortEngineConfig&,
+                                          const CancellationToken&)>& body);
 
   const SortServiceConfig config_;
   /// Global budget; every query's tracker is a child (docs/service.md).
@@ -166,10 +291,11 @@ class SortService : public MemoryGovernor {
 
   mutable std::mutex mutex_;
   std::deque<Waiter*> queue_;  ///< admission order; elements live on stacks
-  uint64_t running_ = 0;
+  uint64_t running_ = 0;          ///< general-lane occupancy
+  uint64_t express_running_ = 0;  ///< express-lane occupancy
   uint64_t next_seq_ = 0;
   std::unordered_map<std::string, uint64_t> tenant_running_;
-  std::vector<ActiveQuery*> active_;  ///< victim candidates; stack-owned
+  std::vector<ActiveQuery*> active_;  ///< victim registry; heap-owned
   std::condition_variable unpinned_;  ///< signals pins hitting zero
   SortServiceStats stats_;            ///< guarded by mutex_
   AtomicDurationHistogram queue_wait_ns_;

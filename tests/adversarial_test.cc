@@ -173,9 +173,9 @@ TEST(AdversarialTest, TopNFuzzAgainstFullSort) {
 
     TopN top_n(spec, input.types(), limit);
     for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-      top_n.Sink(input.chunk(c));
+      ASSERT_TRUE(top_n.Sink(input.chunk(c)).ok());
     }
-    Table result = top_n.Finalize();
+    Table result = top_n.Finalize().ValueOrDie();
     Table full = RelationalSort::SortTable(input, spec).ValueOrDie();
 
     uint64_t expect = std::min(limit, rows);

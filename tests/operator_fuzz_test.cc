@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "engine/aggregate.h"
 #include "engine/merge_join.h"
+#include "engine/top_n.h"
 #include "engine/window.h"
 
 namespace rowsort {
@@ -201,6 +204,93 @@ TEST_P(OperatorFuzzTest, AggregateMatchesMapOracle) {
       oracle.erase(it);
     }
   }
+}
+
+// Hostile-environment sweep over the hardened operators: every round runs
+// Top-N, window, or merge join under a deadline that fires at a random point
+// mid-operation, random explicit cancels between Top-N chunks, and (on odd
+// rounds) probabilistic spill-I/O and allocation failpoints with a memory
+// limit tight enough to force spilling. Whatever the outcome, the budget
+// chain must balance back to zero and no temp file may survive.
+TEST_P(OperatorFuzzTest, CancelAndFaultsLeaveNoResidue) {
+  Random rng(GetParam() * 401 + 17);
+  Table input = RandomTwoIntTable(2000 + rng.Uniform(3000),
+                                  1 + rng.Uniform(10), 50,
+                                  rng.NextDouble() * 0.2, rng);
+  Table right = RandomTwoIntTable(500 + rng.Uniform(1000),
+                                  1 + rng.Uniform(10), 50,
+                                  rng.NextDouble() * 0.2, rng);
+
+  std::filesystem::path spill_dir =
+      std::filesystem::temp_directory_path() /
+      ("rowsort_opfuzz_" + std::to_string(GetParam()));
+  std::filesystem::create_directories(spill_dir);
+
+  // Column 2 is a unique row id, so both specs are total orders.
+  SortSpec spec({SortColumn(1, TypeId::kInt32), SortColumn(2, TypeId::kInt64)});
+  WindowSpec wspec;
+  wspec.partition_by = {0};
+  wspec.order_by = {SortColumn(1, TypeId::kInt32),
+                    SortColumn(2, TypeId::kInt64)};
+
+  for (int round = 0; round < 6; ++round) {
+    const bool with_faults = round % 2 == 1;
+    if (with_faults) {
+      failpoint::ArmProbabilistic("external_run_write_short", 0.05,
+                                  GetParam() * 13 + round);
+      failpoint::ArmProbabilistic("external_run_read_eintr", 0.05,
+                                  GetParam() * 29 + round);
+      failpoint::Arm("top_n_alloc", rng.Uniform(40), 1);
+    }
+    CancellationSource source(
+        Deadline::AfterMicros(static_cast<int64_t>(rng.Uniform(3000))));
+    MemoryTracker parent(0);
+    SortEngineConfig config;
+    config.parent_tracker = &parent;
+    config.cancellation = source.token();
+    config.run_size_rows = 1024;
+    // Tight on fault rounds so runs actually spill and the I/O failpoints
+    // have something to hit.
+    config.memory_limit_bytes = with_faults ? 96ull << 10 : 0;
+    config.spill_directory = spill_dir.string();
+
+    Status st;
+    switch (rng.Uniform(3)) {
+      case 0: {
+        TopN top_n(spec, input.types(), 1 + rng.Uniform(200), config);
+        for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+          if (rng.Bernoulli(0.05)) source.RequestCancel();
+          if (!top_n.Sink(input.chunk(c)).ok()) break;
+        }
+        st = top_n.Finalize().status();
+        break;
+      }
+      case 1:
+        st = ComputeWindow(input, wspec, {WindowFunction::kRank}, config)
+                 .status();
+        break;
+      default:
+        st = SortMergeJoin(input, right, {{0, 0}}, config).status();
+        break;
+    }
+    if (!st.ok()) {
+      EXPECT_TRUE(st.IsCancellation() || st.IsOutOfMemory() ||
+                  st.code() == StatusCode::kIOError ||
+                  st.IsResourceExhausted())
+          << st.ToString();
+    }
+    failpoint::DisarmAll();
+    // The budget chain balances to zero once the operator is gone...
+    EXPECT_EQ(parent.reserved(), 0u) << "round " << round;
+    // ...and failed or cancelled runs left no temp files behind.
+    uint64_t leftover = 0;
+    for (auto it = std::filesystem::directory_iterator(spill_dir);
+         it != std::filesystem::directory_iterator(); ++it) {
+      ++leftover;
+    }
+    EXPECT_EQ(leftover, 0u) << "round " << round;
+  }
+  std::filesystem::remove_all(spill_dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OperatorFuzzTest,

@@ -6,6 +6,7 @@
 // the TSan CI job.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <string>
@@ -15,6 +16,7 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "engine/sort_engine.h"
+#include "engine/top_n.h"
 #include "service/sort_service.h"
 #include "workload/tables.h"
 
@@ -136,6 +138,7 @@ class SlotHog {
 TEST(SortServiceTest, QueueFullShedsImmediately) {
   SortServiceConfig config;
   config.threads = 2;
+  config.express_slots = 0;  // this test counts general-lane slots exactly
   config.max_running = 1;
   config.max_queued = 0;  // run immediately or shed, never wait
   SortService service(config);
@@ -155,6 +158,7 @@ TEST(SortServiceTest, QueueFullShedsImmediately) {
 TEST(SortServiceTest, WaitBudgetShedsQueuedRequest) {
   SortServiceConfig config;
   config.threads = 2;
+  config.express_slots = 0;  // this test counts general-lane slots exactly
   config.max_running = 1;
   config.queue_wait_limit_ms = 30;
   SortService service(config);
@@ -173,6 +177,7 @@ TEST(SortServiceTest, WaitBudgetShedsQueuedRequest) {
 TEST(SortServiceTest, DeadlineExpiresWhileQueued) {
   SortServiceConfig config;
   config.threads = 2;
+  config.express_slots = 0;  // this test counts general-lane slots exactly
   config.max_running = 1;
   SortService service(config);
   {
@@ -192,6 +197,7 @@ TEST(SortServiceTest, DeadlineExpiresWhileQueued) {
 TEST(SortServiceTest, HighPriorityAdmittedFirst) {
   SortServiceConfig config;
   config.threads = 2;
+  config.express_slots = 0;  // this test counts general-lane slots exactly
   config.max_running = 1;
   SortService service(config);
   std::mutex order_mutex;
@@ -225,6 +231,7 @@ TEST(SortServiceTest, HighPriorityAdmittedFirst) {
 TEST(SortServiceTest, TenantCapLetsOtherTenantOvertake) {
   SortServiceConfig config;
   config.threads = 2;
+  config.express_slots = 0;  // this test counts general-lane slots exactly
   config.max_running = 2;
   config.tenant_max_running = 1;
   SortService service(config);
@@ -441,6 +448,440 @@ TEST(SortServiceTest, OverloadStressCompletesOrFailsCleanly) {
   EXPECT_GT(stats.completed, 0u);
   // The global budget was real: something spilled somewhere (victims or
   // requesters' own runs), and the tracker saw real pressure.
+  EXPECT_GT(service.memory_tracker().peak(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The unified Submit() surface: operator routing, express lane, per-class
+// stats, shed diagnostics, and the mixed-operator overload mix.
+// ---------------------------------------------------------------------------
+
+WindowSpec IntWindowSpec() {
+  WindowSpec spec;
+  spec.partition_by = {0};
+  // Ordering by the random INT64 column makes the full window key a total
+  // order, so direct and service-routed runs agree byte for byte.
+  spec.order_by = {SortColumn(1, LogicalType(TypeId::kInt64))};
+  return spec;
+}
+
+/// Order-insensitive digest: joins emit duplicate-key groups in run order,
+/// which a total ordering of the *output* rows normalizes away.
+std::string SortedFingerprint(const Table& t) {
+  std::vector<std::string> lines;
+  std::string fp = TableFingerprint(t);
+  uint64_t start = 0;
+  for (uint64_t i = 0; i < fp.size(); ++i) {
+    if (fp[i] == '\n') {
+      lines.push_back(fp.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(SortServiceTest, SubmitTopNMatchesDirectInvocation) {
+  Table input = MakeRandomTable(20000, 21);
+  SortSpec spec = IntSpec();
+  TopN direct(spec, input.types(), 100, SortEngineConfig{});
+  for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+    ASSERT_TRUE(direct.Sink(input.chunk(c)).ok());
+  }
+  Table expected = direct.Finalize().ValueOrDie();
+
+  SortServiceConfig config;
+  config.threads = 2;
+  SortService service(config);
+  OperatorRequest request;
+  request.op = OperatorKind::kTopN;
+  request.spec = spec;
+  request.limit = 100;
+  auto result = service.Submit(input, request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(TableFingerprint(result.value()), TableFingerprint(expected));
+
+  SortServiceStats stats = service.StatsSnapshot();
+  const auto& oc =
+      stats.op_class[static_cast<uint64_t>(OperatorKind::kTopN)];
+  EXPECT_EQ(oc.requests, 1u);
+  EXPECT_EQ(oc.admitted, 1u);
+  EXPECT_EQ(oc.completed, 1u);
+  // A Top-100 over narrow rows is comfortably under the express ceiling.
+  EXPECT_EQ(stats.express_admitted, 1u);
+  EXPECT_EQ(service.memory_tracker().reserved(), 0u);
+}
+
+TEST(SortServiceTest, SubmitWindowMatchesDirectInvocation) {
+  Table input = MakeRandomTable(12000, 22);
+  WindowSpec wspec = IntWindowSpec();
+  std::vector<WindowFunction> functions = {WindowFunction::kRowNumber,
+                                           WindowFunction::kRank};
+  Table expected =
+      ComputeWindow(input, wspec, functions, SortEngineConfig{}).ValueOrDie();
+
+  SortServiceConfig config;
+  config.threads = 2;
+  SortService service(config);
+  OperatorRequest request;
+  request.op = OperatorKind::kWindow;
+  request.window = wspec;
+  request.functions = functions;
+  auto result = service.Submit(input, request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(TableFingerprint(result.value()), TableFingerprint(expected));
+  const auto stats = service.StatsSnapshot();
+  EXPECT_EQ(
+      stats.op_class[static_cast<uint64_t>(OperatorKind::kWindow)].completed,
+      1u);
+  EXPECT_EQ(service.memory_tracker().reserved(), 0u);
+}
+
+TEST(SortServiceTest, SubmitJoinsMatchDirectInvocation) {
+  Table left = MakeRandomTable(4000, 23);
+  Table right = MakeRandomTable(4000, 24);
+  SortServiceConfig config;
+  config.threads = 2;
+  SortService service(config);
+
+  {
+    std::vector<JoinKey> keys = {{0, 0}};
+    Table expected =
+        SortMergeJoin(left, right, keys, SortEngineConfig{}).ValueOrDie();
+    OperatorRequest request;
+    request.op = OperatorKind::kMergeJoin;
+    request.keys = keys;
+    auto result = service.Submit(left, right, request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(SortedFingerprint(result.value()), SortedFingerprint(expected));
+  }
+  {
+    Table small_left = MakeRandomTable(400, 25);
+    Table small_right = MakeRandomTable(400, 26);
+    InequalityPredicate p1{0, 0, InequalityOp::kLess};
+    InequalityPredicate p2{1, 1, InequalityOp::kGreater};
+    Table expected =
+        IEJoin(small_left, small_right, p1, p2, SortEngineConfig{})
+            .ValueOrDie();
+    OperatorRequest request;
+    request.op = OperatorKind::kIEJoin;
+    request.pred1 = p1;
+    request.pred2 = p2;
+    auto result = service.Submit(small_left, small_right, request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(SortedFingerprint(result.value()), SortedFingerprint(expected));
+  }
+  const auto stats = service.StatsSnapshot();
+  EXPECT_EQ(
+      stats.op_class[static_cast<uint64_t>(OperatorKind::kMergeJoin)]
+          .completed,
+      1u);
+  EXPECT_EQ(
+      stats.op_class[static_cast<uint64_t>(OperatorKind::kIEJoin)].completed,
+      1u);
+  EXPECT_EQ(service.memory_tracker().reserved(), 0u);
+}
+
+TEST(SortServiceTest, SubmitValidatesOperatorShape) {
+  Table input = MakeRandomTable(100, 27);
+  SortServiceConfig config;
+  config.threads = 1;
+  SortService service(config);
+
+  // Joins need two inputs; unary kinds refuse the binary overload.
+  OperatorRequest join;
+  join.op = OperatorKind::kMergeJoin;
+  join.keys = {{0, 0}};
+  EXPECT_TRUE(service.Submit(input, join).status().IsInvalidArgument());
+  OperatorRequest unary;
+  unary.op = OperatorKind::kSort;
+  unary.spec = IntSpec();
+  EXPECT_TRUE(
+      service.Submit(input, input, unary).status().IsInvalidArgument());
+
+  // Malformed payloads: empty specs, limit zero, no window functions.
+  OperatorRequest top_n;
+  top_n.op = OperatorKind::kTopN;
+  top_n.spec = IntSpec();
+  top_n.limit = 0;
+  EXPECT_TRUE(service.Submit(input, top_n).status().IsInvalidArgument());
+  OperatorRequest empty_sort;
+  empty_sort.op = OperatorKind::kSort;
+  EXPECT_TRUE(service.Submit(input, empty_sort).status().IsInvalidArgument());
+  OperatorRequest window;
+  window.op = OperatorKind::kWindow;
+  EXPECT_TRUE(service.Submit(input, window).status().IsInvalidArgument());
+
+  // Validation is the caller's bug, not load: nothing was counted or shed.
+  SortServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.admitted, 0u);
+}
+
+TEST(SortServiceTest, ExpressLaneAdmitsSmallRequestsPastGiants) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.max_running = 1;
+  config.max_queued = 0;  // run immediately or shed — no waiting
+  config.express_slots = 1;
+  SortService service(config);
+  {
+    SlotHog hog(&service, 4 << 20, TaskPriority::kNormal);
+    ASSERT_TRUE(WaitFor([&] { return service.current_running() == 1; }));
+
+    // The giant holds the only general slot and the queue takes nobody;
+    // without the express lane this Top-N would be shed on arrival.
+    Table small = MakeRandomTable(1000, 28);
+    OperatorRequest request;
+    request.op = OperatorKind::kTopN;
+    request.spec = IntSpec();
+    request.limit = 10;
+    auto result = service.Submit(small, request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // The giant is still in its general slot: the Top-N truly overtook it.
+    EXPECT_EQ(service.current_running(), 1u);
+
+    // A second giant is not express-eligible and sheds fast as before.
+    auto shed = service.Sort(SlotHog::HogTable(4 << 20), IntSpec());
+    ASSERT_FALSE(shed.ok());
+    EXPECT_TRUE(shed.status().IsResourceExhausted())
+        << shed.status().ToString();
+  }
+  SortServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.express_admitted, 1u);
+  EXPECT_EQ(stats.max_express_running, 1u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+  EXPECT_EQ(
+      stats.op_class[static_cast<uint64_t>(OperatorKind::kTopN)].completed,
+      1u);
+}
+
+TEST(SortServiceTest, ShedMessagesNameTenantDepthAndWaitBudget) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.max_running = 1;
+  config.max_queued = 0;
+  config.express_slots = 0;
+  SortService service(config);
+  {
+    SlotHog hog(&service, 4 << 20, TaskPriority::kNormal);
+    ASSERT_TRUE(WaitFor([&] { return service.current_running() == 1; }));
+    Table small = MakeRandomTable(1000, 29);
+    SortRequest request;
+    request.tenant = "acme";
+    auto full = service.Sort(small, IntSpec(), request);
+    ASSERT_TRUE(full.status().IsResourceExhausted());
+    EXPECT_NE(full.status().message().find("tenant 'acme'"),
+              std::string::npos)
+        << full.status().message();
+    EXPECT_NE(full.status().message().find("queued"), std::string::npos);
+    EXPECT_NE(full.status().message().find("wait budget"), std::string::npos);
+  }
+
+  SortServiceConfig waitful = config;
+  waitful.max_queued = 4;
+  waitful.queue_wait_limit_ms = 30;
+  SortService wait_service(waitful);
+  {
+    SlotHog hog(&wait_service, 4 << 20, TaskPriority::kNormal);
+    ASSERT_TRUE(WaitFor([&] { return wait_service.current_running() == 1; }));
+    Table small = MakeRandomTable(1000, 30);
+    SortRequest request;
+    request.tenant = "acme";
+    auto spent = wait_service.Sort(small, IntSpec(), request);
+    ASSERT_TRUE(spent.status().IsResourceExhausted());
+    EXPECT_NE(spent.status().message().find("tenant 'acme'"),
+              std::string::npos)
+        << spent.status().message();
+    EXPECT_NE(spent.status().message().find("wait budget spent"),
+              std::string::npos);
+    EXPECT_NE(spent.status().message().find("30 ms"), std::string::npos)
+        << spent.status().message();
+    EXPECT_NE(spent.status().message().find("queued"), std::string::npos);
+  }
+}
+
+// The production-shaped mix the TSan CI job also runs: express Top-Ns,
+// mid-tier windows and joins, and spilling sort giants racing over one
+// small budget with 1% I/O faults and deadline kills. Success must be
+// byte-identical to direct invocation; failure must be a clean class; the
+// ledger must balance globally and per operator class; nothing may leak.
+TEST(SortServiceTest, MixedOperatorOverloadStress) {
+  const uint64_t kQueries = 32;
+  const uint64_t kClients = 8;
+
+  SortSpec spec = IntSpec();
+  WindowSpec wspec = IntWindowSpec();
+  std::vector<WindowFunction> functions = {WindowFunction::kRowNumber,
+                                           WindowFunction::kDenseRank};
+  std::vector<JoinKey> keys = {{0, 0}};
+
+  std::vector<Table> sort_inputs;
+  std::vector<std::string> sort_baselines;
+  uint64_t total_bytes = 0;
+  for (uint64_t i = 0; i < 3; ++i) {
+    sort_inputs.push_back(MakeRandomTable(20000 + 10000 * i, 500 + i));
+    sort_baselines.push_back(TableFingerprint(
+        RelationalSort::SortTable(sort_inputs[i], spec, SortEngineConfig{})
+            .ValueOrDie()));
+    total_bytes += sort_inputs[i].row_count() * 24;
+  }
+  Table window_input = MakeRandomTable(12000, 510);
+  std::string window_baseline = TableFingerprint(
+      ComputeWindow(window_input, wspec, functions, SortEngineConfig{})
+          .ValueOrDie());
+  Table join_left = MakeRandomTable(4000, 520);
+  Table join_right = MakeRandomTable(4000, 521);
+  std::string join_baseline = SortedFingerprint(
+      SortMergeJoin(join_left, join_right, keys, SortEngineConfig{})
+          .ValueOrDie());
+  Table topn_input = MakeRandomTable(20000, 530);
+  std::string topn_baseline;
+  {
+    TopN direct(spec, topn_input.types(), 50, SortEngineConfig{});
+    for (uint64_t c = 0; c < topn_input.ChunkCount(); ++c) {
+      ASSERT_TRUE(direct.Sink(topn_input.chunk(c)).ok());
+    }
+    topn_baseline = TableFingerprint(direct.Finalize().ValueOrDie());
+  }
+
+  std::filesystem::path spill_dir =
+      std::filesystem::temp_directory_path() / "rowsort_service_mixed";
+  std::filesystem::create_directories(spill_dir);
+
+  SortServiceConfig config;
+  config.threads = 4;
+  config.memory_limit_bytes = total_bytes / 8;
+  config.max_running = 3;
+  config.max_queued = 8;
+  config.queue_wait_limit_ms = 2000;
+  config.tenant_max_running = 3;
+  config.express_slots = 2;
+  SortService service(config);
+
+  failpoint::ArmProbabilistic("external_run_read_eintr", 0.01, 41);
+  failpoint::ArmProbabilistic("external_run_write_short", 0.01, 43);
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> wrong{0};
+  std::atomic<uint64_t> bad_failures{0};
+  std::vector<std::thread> clients;
+  for (uint64_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      while (true) {
+        uint64_t q = next.fetch_add(1);
+        if (q >= kQueries) break;
+        OperatorRequest request;
+        request.tenant = "tenant-" + std::to_string(q % 3);
+        request.priority = static_cast<TaskPriority>(q % 3);
+        request.engine.run_size_rows = 4096;
+        request.engine.spill_directory = spill_dir.string();
+        if (q % 7 == 6) request.deadline = Deadline::AfterMillis(1 + q % 5);
+
+        StatusOr<Table> result = Status::Internal("not yet submitted");
+        std::string baseline;
+        bool sorted_compare = false;
+        switch (q % 4) {
+          case 0: {  // spilling sort giant
+            request.op = OperatorKind::kSort;
+            request.spec = spec;
+            const Table& input = sort_inputs[q % sort_inputs.size()];
+            baseline = sort_baselines[q % sort_inputs.size()];
+            result = service.Submit(input, request);
+            break;
+          }
+          case 1: {  // mid-tier window
+            request.op = OperatorKind::kWindow;
+            request.window = wspec;
+            request.functions = functions;
+            baseline = window_baseline;
+            result = service.Submit(window_input, request);
+            break;
+          }
+          case 2: {  // mid-tier merge join (binary)
+            request.op = OperatorKind::kMergeJoin;
+            request.keys = keys;
+            baseline = join_baseline;
+            sorted_compare = true;
+            result = service.Submit(join_left, join_right, request);
+            break;
+          }
+          default: {  // express Top-N
+            request.op = OperatorKind::kTopN;
+            request.spec = spec;
+            request.limit = 50;
+            baseline = topn_baseline;
+            result = service.Submit(topn_input, request);
+            break;
+          }
+        }
+        if (result.ok()) {
+          std::string fp = sorted_compare ? SortedFingerprint(result.value())
+                                          : TableFingerprint(result.value());
+          if (fp != baseline) wrong.fetch_add(1);
+        } else {
+          switch (result.status().code()) {
+            case StatusCode::kResourceExhausted:
+            case StatusCode::kDeadlineExceeded:
+            case StatusCode::kCancelled:
+            case StatusCode::kIOError:
+            case StatusCode::kOutOfMemory:
+              break;  // clean failure classes under overload/faults
+            default:
+              bad_failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(bad_failures.load(), 0u);
+
+  // Zero leaked reservations and zero leaked temp files, same bar as the
+  // sort-only stress.
+  EXPECT_EQ(service.memory_tracker().reserved(), 0u);
+  uint64_t leftover = 0;
+  for (auto it = std::filesystem::directory_iterator(spill_dir);
+       it != std::filesystem::directory_iterator(); ++it) {
+    ++leftover;
+  }
+  EXPECT_EQ(leftover, 0u);
+  std::filesystem::remove_all(spill_dir);
+
+  SortServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, kQueries);
+  EXPECT_EQ(stats.requests, stats.admitted + stats.shed_queue_full +
+                                stats.shed_wait_budget +
+                                stats.shed_queued_cancel);
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.failed + stats.cancelled);
+  EXPECT_GT(stats.completed, 0u);
+  // The per-operator ledgers balance individually and sum to the global one.
+  uint64_t req_sum = 0, adm_sum = 0, shed_sum = 0;
+  for (uint64_t i = 0; i < kOperatorKindCount; ++i) {
+    const OperatorClassStats& oc = stats.op_class[i];
+    EXPECT_EQ(oc.requests, oc.admitted + oc.shed) << OperatorKindName(
+        static_cast<OperatorKind>(i));
+    EXPECT_EQ(oc.admitted, oc.completed + oc.failed + oc.cancelled)
+        << OperatorKindName(static_cast<OperatorKind>(i));
+    req_sum += oc.requests;
+    adm_sum += oc.admitted;
+    shed_sum += oc.shed;
+  }
+  EXPECT_EQ(req_sum, stats.requests);
+  EXPECT_EQ(adm_sum, stats.admitted);
+  EXPECT_EQ(shed_sum, stats.shed_queue_full + stats.shed_wait_budget +
+                          stats.shed_queued_cancel);
+  // Narrow Top-Ns rode the express lane at least once.
+  EXPECT_GT(stats.express_admitted, 0u);
   EXPECT_GT(service.memory_tracker().peak(), 0u);
 }
 

@@ -4,6 +4,7 @@
 // the full sort order with bounded memory.
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "engine/sort_engine.h"
 #include "engine/top_n.h"
@@ -56,9 +57,9 @@ TEST_P(TopNTest, MatchesFullSortPrefix) {
 
   TopN top_n(spec, input.types(), limit);
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-    top_n.Sink(input.chunk(c));
+    ASSERT_TRUE(top_n.Sink(input.chunk(c)).ok());
   }
-  Table result = top_n.Finalize();
+  Table result = top_n.Finalize().ValueOrDie();
 
   Table full = RelationalSort::SortTable(input, spec).ValueOrDie();
   uint64_t expect_rows = std::min<uint64_t>(limit, input.row_count());
@@ -79,9 +80,9 @@ TEST(TopNTest, DescendingWithNullsFirst) {
                             NullOrder::kNullsFirst)});
   TopN top_n(spec, input.types(), 50);
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-    top_n.Sink(input.chunk(c));
+    ASSERT_TRUE(top_n.Sink(input.chunk(c)).ok());
   }
-  Table result = top_n.Finalize();
+  Table result = top_n.Finalize().ValueOrDie();
   Table full = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_EQ(KeyPrefix(result, 0, 50), KeyPrefix(full, 0, 50));
   // NULLS FIRST + 20% nulls: the entire top 50 should be NULL.
@@ -102,8 +103,8 @@ TEST(TopNTest, StringsWithTieResolution) {
 
   SortSpec spec({SortColumn(0, TypeId::kVarchar)});
   TopN top_n(spec, input.types(), 3);
-  top_n.Sink(input.chunk(0));
-  Table result = top_n.Finalize();
+  ASSERT_TRUE(top_n.Sink(input.chunk(0)).ok());
+  Table result = top_n.Finalize().ValueOrDie();
   ASSERT_EQ(result.row_count(), 3u);
   EXPECT_EQ(result.chunk(0).GetValue(0, 0), Value::Varchar("aa"));
   EXPECT_EQ(result.chunk(0).GetValue(0, 1),
@@ -131,9 +132,9 @@ TEST(TopNTest, EarlyRejectionKicksIn) {
   SortSpec spec({SortColumn(0, TypeId::kInt32)});
   TopN top_n(spec, input.types(), 10);
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-    top_n.Sink(input.chunk(c));
+    ASSERT_TRUE(top_n.Sink(input.chunk(c)).ok());
   }
-  Table result = top_n.Finalize();
+  Table result = top_n.Finalize().ValueOrDie();
   EXPECT_EQ(result.row_count(), 10u);
   EXPECT_EQ(top_n.rows_rejected_early(), rows - 10);
   EXPECT_EQ(result.chunk(0).GetValue(0, 9), Value::Int32(9));
@@ -160,11 +161,122 @@ TEST(TopNTest, CompactionPreservesStrings) {
   SortSpec spec({SortColumn(0, TypeId::kVarchar)});
   TopN top_n(spec, input.types(), 25);
   for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-    top_n.Sink(input.chunk(c));
+    ASSERT_TRUE(top_n.Sink(input.chunk(c)).ok());
   }
-  Table result = top_n.Finalize();
+  Table result = top_n.Finalize().ValueOrDie();
   Table full = RelationalSort::SortTable(input, spec).ValueOrDie();
   EXPECT_EQ(KeyPrefix(result, 0, 25), KeyPrefix(full, 0, 25));
+}
+
+TEST(TopNTest, FinalizeTwiceIsInvalidArgument) {
+  Table input = RandomInts(100, 0.0, 3);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  TopN top_n(spec, input.types(), 5);
+  ASSERT_TRUE(top_n.Sink(input.chunk(0)).ok());
+  ASSERT_TRUE(top_n.Finalize().ok());
+  StatusOr<Table> again = top_n.Finalize();
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsInvalidArgument())
+      << again.status().ToString();
+}
+
+TEST(TopNTest, SinkAfterFinalizeIsInvalidArgument) {
+  Table input = RandomInts(100, 0.0, 4);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  TopN top_n(spec, input.types(), 5);
+  ASSERT_TRUE(top_n.Sink(input.chunk(0)).ok());
+  ASSERT_TRUE(top_n.Finalize().ok());
+  Status late = top_n.Sink(input.chunk(0));
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.IsInvalidArgument()) << late.ToString();
+}
+
+TEST(TopNTest, CancellationSurfacesAndSticks) {
+  Table input = RandomInts(5000, 0.0, 5);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  CancellationSource source;
+  SortEngineConfig config;
+  config.cancellation = source.token();
+  TopN top_n(spec, input.types(), 10, config);
+  ASSERT_TRUE(top_n.Sink(input.chunk(0)).ok());
+  source.RequestCancel();
+  Status st = top_n.Sink(input.chunk(1));
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCancellation()) << st.ToString();
+  EXPECT_GT(top_n.cancel_checks(), 0u);
+  // Sticky: Finalize reports the same terminal cause.
+  StatusOr<Table> result = top_n.Finalize();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancellation());
+}
+
+TEST(TopNTest, TrackedMemoryBalancesToZero) {
+  MemoryTracker parent;
+  Table input = RandomInts(20000, 0.0, 6);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  {
+    SortEngineConfig config;
+    config.parent_tracker = &parent;
+    TopN top_n(spec, input.types(), 100, config);
+    for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
+      ASSERT_TRUE(top_n.Sink(input.chunk(c)).ok());
+    }
+    // Candidate storage (keys + heap + payload) is visible to the parent.
+    EXPECT_GT(parent.reserved(), 0u);
+    EXPECT_EQ(parent.reserved(), top_n.memory_tracker().reserved());
+    Table result = top_n.Finalize().ValueOrDie();
+    EXPECT_EQ(result.row_count(), 100u);
+  }
+  // Every reservation is released on destruction: ledger balances to zero.
+  EXPECT_EQ(parent.reserved(), 0u);
+  EXPECT_GT(parent.peak(), 0u);
+}
+
+TEST(TopNTest, HostileLimitReturnsOutOfMemory) {
+  // A limit far below the O(N) candidate working set: compaction cannot
+  // save it, and Top-N has nothing to spill — a named hard failure.
+  MemoryTracker parent;
+  Table input = RandomInts(20000, 0.0, 8);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  SortEngineConfig config;
+  config.parent_tracker = &parent;
+  config.memory_limit_bytes = 512;
+  {
+    TopN top_n(spec, input.types(), 10000, config);
+    Status st;
+    for (uint64_t c = 0; st.ok() && c < input.ChunkCount(); ++c) {
+      st = top_n.Sink(input.chunk(c));
+    }
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsOutOfMemory()) << st.ToString();
+    EXPECT_NE(st.ToString().find("memory_limit_bytes"), std::string::npos)
+        << st.ToString();
+  }
+  EXPECT_EQ(parent.reserved(), 0u);
+}
+
+TEST(TopNTest, AllocFailpointSurfacesAsOutOfMemoryAndSticks) {
+  failpoint::DisarmAll();
+  failpoint::Arm("top_n_alloc", /*skip=*/2);
+  Table input = RandomInts(20000, 0.0, 9);
+  SortSpec spec({SortColumn(0, TypeId::kInt32)});
+  MemoryTracker parent;
+  SortEngineConfig config;
+  config.parent_tracker = &parent;
+  {
+    TopN top_n(spec, input.types(), 50, config);
+    Status st;
+    for (uint64_t c = 0; st.ok() && c < input.ChunkCount(); ++c) {
+      st = top_n.Sink(input.chunk(c));
+    }
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsOutOfMemory()) << st.ToString();
+    // Sticky across both remaining Sinks and Finalize.
+    EXPECT_TRUE(top_n.Sink(input.chunk(0)).IsOutOfMemory());
+    EXPECT_TRUE(top_n.Finalize().status().IsOutOfMemory());
+  }
+  EXPECT_EQ(parent.reserved(), 0u);
+  failpoint::DisarmAll();
 }
 
 }  // namespace

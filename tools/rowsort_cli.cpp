@@ -259,11 +259,24 @@ int main(int argc, char** argv) {
   Timer sort_timer;
   Table result;
   if (opt.topn > 0) {
-    TopN top_n(spec, input.types(), opt.topn);
-    for (uint64_t c = 0; c < input.ChunkCount(); ++c) {
-      top_n.Sink(input.chunk(c));
+    TopN top_n(spec, input.types(), opt.topn, config);
+    Status topn_status;
+    for (uint64_t c = 0; topn_status.ok() && c < input.ChunkCount(); ++c) {
+      topn_status = top_n.Sink(input.chunk(c));
     }
-    result = top_n.Finalize();
+    if (topn_status.ok()) {
+      StatusOr<Table> top = top_n.Finalize();
+      if (top.ok()) {
+        result = std::move(top).ValueOrDie();
+      } else {
+        topn_status = top.status();
+      }
+    }
+    if (!topn_status.ok()) {
+      std::fprintf(stderr, "top-n failed: %s\n",
+                   topn_status.ToString().c_str());
+      return 1;
+    }
     std::printf("top-%s computed in %s\n", FormatCount(opt.topn).c_str(),
                 FormatDuration(sort_timer.ElapsedSeconds()).c_str());
   } else {

@@ -2,12 +2,15 @@
 # Exercises the multi-tenant SortService (docs/service.md) two ways:
 #
 #   1. Repeats the SortServiceTest suite — admission shedding, wait budgets,
-#      queued deadlines, victim spilling, and the 24-query overload stress —
-#      with transient spill-I/O failpoints armed from the environment, to
-#      shake out races and leaks a single pass can miss (TSan CI runs this).
-#   2. Runs bench_service (the 1000-small-sorts-vs-spilling-giants mix) and
-#      validates the BENCH_service.json it emits: parses as JSON, carries
-#      the expected top-level sections, and the request ledger balances.
+#      queued deadlines, victim spilling, and the mixed-operator overload
+#      stress — with transient spill-I/O failpoints armed from the
+#      environment, to shake out races and leaks a single pass can miss
+#      (TSan CI runs this).
+#   2. Runs bench_service (express Top-Ns + small sorts + window/join
+#      mid-tier vs. spilling sort giants) and validates the
+#      BENCH_service.json it emits: parses as JSON, carries the expected
+#      sections incl. per-operator-class latencies and the per-operator
+#      admission ledger, and every ledger balances.
 #
 # Usage: tools/run_service_stress.sh [build-dir] [rounds]
 #   build-dir  cmake build directory with tests + benches built (default:
@@ -60,16 +63,18 @@ import sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 
-for section in ("classes", "service", "pool"):
+for section in ("classes", "operators", "service", "pool"):
     assert section in doc, f"missing section: {section}"
-for cls in ("small", "giant"):
+for cls in ("small", "topn", "window", "join", "giant"):
     c = doc["classes"][cls]
     for key in ("ok", "shed", "killed", "io_error", "p50_ms", "p99_ms"):
         assert key in c, f"classes.{cls} missing {key}"
+    assert c["ok"] > 0 or cls == "giant", f"classes.{cls} never completed"
 svc = doc["service"]
 for key in ("requests", "admitted", "completed", "failed", "cancelled",
             "shed_queue_full", "shed_wait_budget", "shed_queued_cancel",
             "victim_spills", "max_queue_depth", "max_running",
+            "express_admitted", "max_express_running",
             "queue_wait_p99_ms", "throughput_per_s"):
     assert key in svc, f"service missing {key}"
 # The request ledger must balance: every request was admitted or shed, and
@@ -80,8 +85,26 @@ assert svc["requests"] == svc["admitted"] + sheds, "admission ledger skew"
 assert svc["admitted"] == (svc["completed"] + svc["failed"]
                            + svc["cancelled"]), "outcome ledger skew"
 assert svc["completed"] > 0, "nothing completed"
+# Per-operator ledgers balance individually and sum to the global ledger.
+ops = doc["operators"]
+for field, total in (("requests", svc["requests"]),
+                     ("shed", sheds),
+                     ("completed", svc["completed"]),
+                     ("failed", svc["failed"]),
+                     ("cancelled", svc["cancelled"])):
+    s = sum(op[field] for op in ops.values())
+    assert s == total, f"operator {field} sum {s} != service {total}"
+for name, op in ops.items():
+    assert op["requests"] == op["admitted"] + op["shed"], \
+        f"operators.{name} admission ledger skew"
+    assert op["admitted"] == (op["completed"] + op["failed"]
+                              + op["cancelled"]), \
+        f"operators.{name} outcome ledger skew"
+assert ops["top_n"]["completed"] > 0, "no Top-N completed"
+assert svc["express_admitted"] > 0, "express lane never admitted anything"
 print(f"BENCH_service.json ok: {svc['requests']} requests, "
       f"{svc['completed']} completed, {sheds} shed, "
+      f"{svc['express_admitted']} express admissions, "
       f"{svc['victim_spills']} victim spills")
 EOF
 echo "service stress: bench + schema validation passed"
