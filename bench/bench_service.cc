@@ -142,6 +142,16 @@ int main() {
   config.queue_wait_limit_ms = 30000;
   config.tenant_max_running = 6;
   config.pool_stats = true;
+  // ROWSORT_SERVICE_TELEMETRY=0 turns the registry/collector/flight
+  // recorder off — tools/run_service_stress.sh runs both modes and compares
+  // p50s to hold the disabled-telemetry overhead under its budget.
+  const bool telemetry_on =
+      bench::EnvRows("ROWSORT_SERVICE_TELEMETRY", 1) != 0;
+  config.telemetry = telemetry_on;
+  config.telemetry_sample_interval_ms = 50;
+  // Sized so the storm below cannot wrap the ring: the flight-vs-ledger
+  // cross-check wants every decision retained.
+  config.flight_recorder_capacity = 1 << 16;
   SortService service(config);
 
   if (failpoint::Enabled()) {
@@ -154,6 +164,36 @@ int main() {
   std::atomic<uint64_t> next_giant{0};
   using Clock = std::chrono::steady_clock;
   const Clock::time_point bench_start = Clock::now();
+
+  // A concurrent scraper at well over 10 Hz: the contention-free
+  // StatsSnapshot must show monotone counters and balanced ledgers in every
+  // mid-storm sample, and the Prometheus exposition must stay serviceable.
+  std::atomic<bool> storm_done{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<uint64_t> scrape_violations{0};
+  std::thread scraper([&] {
+    SortServiceStats last;
+    while (!storm_done.load()) {
+      const SortServiceStats now = service.StatsSnapshot();
+      const uint64_t shed = now.shed_queue_full + now.shed_wait_budget +
+                            now.shed_queued_cancel;
+      if (now.requests < now.admitted + shed) scrape_violations.fetch_add(1);
+      if (now.admitted < now.completed + now.failed + now.cancelled) {
+        scrape_violations.fetch_add(1);
+      }
+      if (now.requests < last.requests || now.admitted < last.admitted ||
+          now.completed < last.completed) {
+        scrape_violations.fetch_add(1);
+      }
+      last = now;
+      if (telemetry_on && scrapes.load() % 8 == 0 &&
+          service.ExportMetricsText().empty()) {
+        scrape_violations.fetch_add(1);
+      }
+      scrapes.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
 
   std::vector<std::thread> clients;
   for (uint64_t t = 0; t < kClients; ++t) {
@@ -235,6 +275,8 @@ int main() {
     });
   }
   for (auto& c : clients) c.join();
+  storm_done.store(true);
+  scraper.join();
   failpoint::DisarmAll();
   const double wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
@@ -284,6 +326,74 @@ int main() {
                 (unsigned long long)oc.completed,
                 (unsigned long long)oc.failed,
                 (unsigned long long)oc.cancelled);
+  }
+
+  // Flight-recorder reconstruction cross-check (telemetry on): every shed,
+  // victim-spill, and admission decision the ledger counted must exist as a
+  // structured event — the ring was sized not to wrap during the storm.
+  uint64_t flight_recorded = 0, flight_dropped = 0;
+  uint64_t flight_sheds = 0, flight_victims = 0, flight_admits = 0;
+  uint64_t collector_samples = 0;
+  bool flight_consistent = true;
+  const uint64_t shed_total = stats.shed_queue_full + stats.shed_wait_budget +
+                              stats.shed_queued_cancel;
+  if (telemetry_on) {
+    FlightRecorder* flight = service.flight_recorder();
+    flight_recorded = flight->recorded();
+    flight_dropped = flight->dropped();
+    for (const FlightEventView& event : flight->Snapshot()) {
+      switch (event.kind) {
+        case FlightEventKind::kShed:
+          ++flight_sheds;
+          break;
+        case FlightEventKind::kVictimSpill:
+          ++flight_victims;
+          break;
+        case FlightEventKind::kAdmit:
+          ++flight_admits;
+          break;
+        default:
+          break;
+      }
+    }
+    collector_samples = service.metrics_registry()->samples_taken();
+    flight_consistent = flight_dropped == 0 && flight_sheds == shed_total &&
+                        flight_victims == stats.victim_spills &&
+                        flight_admits == stats.admitted;
+    std::printf(
+        "telemetry: %llu scrapes (%llu violations), %llu collector samples, "
+        "flight %llu events (%llu dropped); shed/victim/admit "
+        "reconstruction %s\n",
+        (unsigned long long)scrapes.load(),
+        (unsigned long long)scrape_violations.load(),
+        (unsigned long long)collector_samples,
+        (unsigned long long)flight_recorded,
+        (unsigned long long)flight_dropped,
+        flight_consistent ? "consistent" : "INCONSISTENT");
+  } else {
+    std::printf(
+        "telemetry: disabled (ROWSORT_SERVICE_TELEMETRY=0); %llu scrapes "
+        "(%llu violations)\n",
+        (unsigned long long)scrapes.load(),
+        (unsigned long long)scrape_violations.load());
+  }
+  if (scrape_violations.load() != 0 || !flight_consistent) {
+    std::fprintf(stderr, "telemetry consistency check failed\n");
+    return 1;
+  }
+  // ROWSORT_METRICS_TEXT=<path>: dump the final Prometheus exposition for
+  // tools/check_prometheus.py (the stress script lints it).
+  const char* metrics_path = std::getenv("ROWSORT_METRICS_TEXT");
+  if (telemetry_on && metrics_path != nullptr && metrics_path[0] != '\0') {
+    std::FILE* mf = std::fopen(metrics_path, "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path);
+      return 1;
+    }
+    const std::string text = service.ExportMetricsText();
+    std::fwrite(text.data(), 1, text.size(), mf);
+    std::fclose(mf);
+    std::printf("wrote %s\n", metrics_path);
   }
 
   if (service.memory_tracker().reserved() != 0) {
@@ -369,6 +479,21 @@ int main() {
         (unsigned long long)stats.max_express_running,
         stats.queue_wait_ns.QuantileUpperNs(0.99) * 1e-6, throughput,
         wall_seconds);
+    std::fprintf(
+        f,
+        "  \"telemetry\": {\"enabled\": %s, \"scrapes\": %llu, "
+        "\"scrape_violations\": %llu, \"collector_samples\": %llu, "
+        "\"flight_recorded\": %llu, \"flight_dropped\": %llu, "
+        "\"flight_sheds\": %llu, \"flight_victim_spills\": %llu, "
+        "\"flight_admits\": %llu, \"flight_consistent\": %s},\n",
+        telemetry_on ? "true" : "false", (unsigned long long)scrapes.load(),
+        (unsigned long long)scrape_violations.load(),
+        (unsigned long long)collector_samples,
+        (unsigned long long)flight_recorded,
+        (unsigned long long)flight_dropped, (unsigned long long)flight_sheds,
+        (unsigned long long)flight_victims,
+        (unsigned long long)flight_admits,
+        flight_consistent ? "true" : "false");
     std::fprintf(
         f,
         "  \"pool\": {\"tasks_executed\": %llu, \"tasks_skipped\": %llu, "

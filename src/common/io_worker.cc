@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "common/trace.h"
+
 namespace rowsort {
 
 namespace {
@@ -55,6 +57,7 @@ IoTicket IoWorker::Submit(std::function<Status()> job) {
   entry.state = std::make_shared<io_detail::JobState>();
   const bool stats = stats_enabled_.load(std::memory_order_relaxed);
   entry.enqueue_ns = stats ? NowNs() : 0;
+  entry.trace_scope = Tracer::CurrentScope();
   IoTicket ticket(entry.state);
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -102,7 +105,12 @@ void IoWorker::WorkerLoop() {
 
     const bool stats = stats_enabled_.load(std::memory_order_relaxed);
     const int64_t start_ns = stats ? NowNs() : 0;
-    Status status = job.fn();
+    Status status;
+    {
+      // Adopt the submitter's trace scope for the job's spill spans.
+      TraceScopeGuard scope(job.trace_scope);
+      status = job.fn();
+    }
     const int64_t end_ns = stats ? NowNs() : 0;
 
     if (stats) {

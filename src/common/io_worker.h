@@ -114,6 +114,9 @@ class IoWorker {
     std::function<Status()> fn;
     std::shared_ptr<io_detail::JobState> state;
     int64_t enqueue_ns = 0;
+    /// Submitter's trace scope: spill spans recorded on the worker thread
+    /// stay in the submitting query's track group (common/trace.h).
+    uint64_t trace_scope = 0;
   };
 
   void WorkerLoop();

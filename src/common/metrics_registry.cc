@@ -1,0 +1,375 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace rowsort {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void AppendPromEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+/// JSON string escaping (quotes, backslashes, control bytes).
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      *out += StringFormat("\\u%04x", c);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+}
+
+/// Renders `{key="value",...}` from sorted labels ("" when empty). Doubles
+/// as the series dedupe signature: label values are escaped, so distinct
+/// label sets can never render identically.
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (uint64_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].key;
+    out += "=\"";
+    AppendPromEscaped(&out, labels[i].value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* KindName(uint8_t kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+    case 2:
+      return "gauge";
+    case 3:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(uint64_t ring_capacity)
+    : ring_capacity_(std::max<uint64_t>(ring_capacity, 2)) {}
+
+MetricsRegistry::~MetricsRegistry() { StopCollector(); }
+
+MetricsRegistry::Series* MetricsRegistry::GetOrCreateSeries(
+    const std::string& name, const std::string& help, MetricLabels labels,
+    Kind kind) {
+  std::sort(labels.begin(), labels.end(),
+            [](const MetricLabel& a, const MetricLabel& b) {
+              return a.key < b.key;
+            });
+  std::string signature = RenderLabels(labels);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = nullptr;
+  for (const auto& candidate : families_) {
+    if (candidate->name == name) {
+      family = candidate.get();
+      break;
+    }
+  }
+  if (family == nullptr) {
+    families_.push_back(std::make_unique<Family>());
+    family = families_.back().get();
+    family->name = name;
+    family->help = help;
+    family->kind = kind;
+  }
+  // Callback gauges share the "gauge" family kind in the exposition.
+  const bool kinds_compatible =
+      family->kind == kind ||
+      (family->kind == Kind::kGauge && kind == Kind::kCallbackGauge) ||
+      (family->kind == Kind::kCallbackGauge && kind == Kind::kGauge);
+  ROWSORT_DASSERT(kinds_compatible &&
+                  "metric family re-registered with a different kind");
+  (void)kinds_compatible;
+
+  for (const auto& series : family->series) {
+    if (series->label_signature == signature) return series.get();
+  }
+  family->series.push_back(std::make_unique<Series>());
+  Series* series = family->series.back().get();
+  series->labels = std::move(labels);
+  series->label_signature = std::move(signature);
+  series->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      series->counter.reset(new Counter());
+      break;
+    case Kind::kGauge:
+      series->gauge.reset(new Gauge());
+      break;
+    case Kind::kCallbackGauge:
+      break;  // callback installed by the caller
+    case Kind::kHistogram:
+      series->histogram.reset(new HistogramMetric());
+      break;
+  }
+  series->ring.resize(ring_capacity_);
+  return series;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     MetricLabels labels) {
+  return GetOrCreateSeries(name, help, std::move(labels), Kind::kCounter)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 MetricLabels labels) {
+  return GetOrCreateSeries(name, help, std::move(labels), Kind::kGauge)
+      ->gauge.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            const std::string& help,
+                                            MetricLabels labels,
+                                            std::function<int64_t()> fn) {
+  Series* series =
+      GetOrCreateSeries(name, help, std::move(labels), Kind::kCallbackGauge);
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  series->callback = std::move(fn);
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const std::string& help,
+                                               MetricLabels labels) {
+  return GetOrCreateSeries(name, help, std::move(labels), Kind::kHistogram)
+      ->histogram.get();
+}
+
+int64_t MetricsRegistry::ScalarValue(const Series& series) const {
+  switch (series.kind) {
+    case Kind::kCounter:
+      return static_cast<int64_t>(series.counter->value());
+    case Kind::kGauge:
+      return series.gauge->value();
+    case Kind::kCallbackGauge:
+      return series.callback ? series.callback() : 0;
+    case Kind::kHistogram:
+      return static_cast<int64_t>(series.histogram->count());
+  }
+  return 0;
+}
+
+void MetricsRegistry::SampleNow() {
+  const int64_t now_ns = NowNs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  for (const auto& family : families_) {
+    for (const auto& series : family->series) {
+      MetricSample& slot = series->ring[series->ring_head % ring_capacity_];
+      slot.t_ns = now_ns;
+      slot.value = ScalarValue(*series);
+      series->ring_head += 1;
+    }
+  }
+  samples_taken_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::StartCollector(uint64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(collector_mutex_);
+  if (collector_.joinable()) return;
+  collector_stop_ = false;
+  collector_running_.store(true, std::memory_order_relaxed);
+  const uint64_t interval = std::max<uint64_t>(interval_ms, 1);
+  collector_ = std::thread([this, interval] { CollectorLoop(interval); });
+}
+
+void MetricsRegistry::StopCollector() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(collector_mutex_);
+    if (!collector_.joinable()) return;
+    collector_stop_ = true;
+    worker = std::move(collector_);
+  }
+  collector_cv_.notify_all();
+  worker.join();
+  collector_running_.store(false, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::collector_running() const {
+  return collector_running_.load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::CollectorLoop(uint64_t interval_ms) {
+  std::unique_lock<std::mutex> lock(collector_mutex_);
+  while (!collector_stop_) {
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+    collector_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return collector_stop_; });
+  }
+}
+
+std::string MetricsRegistry::ExportPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& family : families_) {
+    out += "# HELP " + family->name + " ";
+    // HELP text escaping: backslash and newline only (exposition format).
+    for (char c : family->help) {
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out += "\n# TYPE " + family->name + " ";
+    out += KindName(static_cast<uint8_t>(family->kind));
+    out += "\n";
+    for (const auto& series : family->series) {
+      if (series->kind == Kind::kHistogram) {
+        // Cumulative le buckets in seconds over the log2-ns bucket bounds;
+        // +Inf equals _count by construction.
+        const DurationHistogram snap = series->histogram->Snapshot();
+        uint64_t cumulative = 0;
+        for (uint64_t i = 0; i < kDurationHistogramBuckets; ++i) {
+          cumulative += snap.bucket(i);
+          const double upper_s = static_cast<double>(
+                                     DurationBucketLowerNs(i + 1)) *
+                                 1e-9;
+          out += family->name + "_bucket";
+          std::string labels = series->label_signature;
+          if (labels.empty()) {
+            out += StringFormat("{le=\"%.9g\"}", upper_s);
+          } else {
+            labels.pop_back();  // drop '}'
+            out += labels + StringFormat(",le=\"%.9g\"}", upper_s);
+          }
+          out += StringFormat(" %llu\n", (unsigned long long)cumulative);
+        }
+        out += family->name + "_bucket";
+        if (series->label_signature.empty()) {
+          out += "{le=\"+Inf\"}";
+        } else {
+          std::string labels = series->label_signature;
+          labels.pop_back();
+          out += labels + ",le=\"+Inf\"}";
+        }
+        out += StringFormat(" %llu\n", (unsigned long long)snap.count());
+        out += family->name + "_sum" + series->label_signature +
+               StringFormat(" %.9f\n",
+                            static_cast<double>(snap.total_ns()) * 1e-9);
+        out += family->name + "_count" + series->label_signature +
+               StringFormat(" %llu\n", (unsigned long long)snap.count());
+      } else {
+        out += family->name + series->label_signature +
+               StringFormat(" %lld\n", (long long)ScalarValue(*series));
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  std::string out;
+  out.reserve(4096);
+  out += StringFormat(
+      "{\"collector\":{\"running\":%s,\"samples\":%llu,"
+      "\"ring_capacity\":%llu},\"metrics\":[",
+      collector_running() ? "true" : "false",
+      (unsigned long long)samples_taken_.load(std::memory_order_relaxed),
+      (unsigned long long)ring_capacity_);
+  bool first = true;
+  for (const auto& family : families_) {
+    for (const auto& series : family->series) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"";
+      AppendJsonEscaped(&out, family->name);
+      out += "\",\"kind\":\"";
+      out += KindName(static_cast<uint8_t>(series->kind));
+      out += "\",\"labels\":{";
+      for (uint64_t i = 0; i < series->labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"";
+        AppendJsonEscaped(&out, series->labels[i].key);
+        out += "\":\"";
+        AppendJsonEscaped(&out, series->labels[i].value);
+        out += "\"";
+      }
+      out += "}";
+      if (series->kind == Kind::kHistogram) {
+        const DurationHistogram snap = series->histogram->Snapshot();
+        out += StringFormat(
+            ",\"count\":%llu,\"total_ns\":%llu,\"max_ns\":%llu,"
+            "\"p50_ns\":%llu,\"p99_ns\":%llu",
+            (unsigned long long)snap.count(),
+            (unsigned long long)snap.total_ns(),
+            (unsigned long long)snap.max_ns(),
+            (unsigned long long)snap.QuantileUpperNs(0.50),
+            (unsigned long long)snap.QuantileUpperNs(0.99));
+      } else {
+        out += StringFormat(",\"value\":%lld",
+                            (long long)ScalarValue(*series));
+      }
+      // The retained ring, oldest first, as [ms offset from first retained
+      // sample, value] pairs.
+      const uint64_t kept = std::min(series->ring_head, ring_capacity_);
+      out += ",\"series\":[";
+      if (kept > 0) {
+        const uint64_t begin = series->ring_head - kept;
+        const int64_t base_ns =
+            series->ring[begin % ring_capacity_].t_ns;
+        for (uint64_t i = begin; i < series->ring_head; ++i) {
+          const MetricSample& sample = series->ring[i % ring_capacity_];
+          if (i != begin) out += ",";
+          out += StringFormat("[%lld,%lld]",
+                              (long long)((sample.t_ns - base_ns) / 1000000),
+                              (long long)sample.value);
+        }
+      }
+      out += "]}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,219 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \file metrics_registry.h
+/// Wait-free service metrics with Prometheus and JSON export
+/// (docs/observability.md, "Service telemetry").
+///
+/// Design constraints, in order:
+///  1. Recording must be wait-free. Handles (Counter / Gauge / HistogramMetric)
+///     are relaxed atomics owned by the registry; the hot paths of the
+///     admission loop and the engine touch nothing else — no locks, no
+///     allocation, no string handling.
+///  2. Registration is rare and may lock. GetCounter()/GetGauge()/
+///     GetHistogram() dedupe on (name, sorted labels) under a mutex and hand
+///     back a stable pointer that lives as long as the registry; callers
+///     cache it (the service keeps one handle per (tenant, op_class)).
+///  3. History is sampled, not recorded. A background collector thread (or an
+///     explicit SampleNow()) copies every scalar series into a fixed-size
+///     time-series ring at a low rate, so dashboards get recent history
+///     without the hot path paying for it.
+///
+/// Export formats:
+///  - ExportPrometheusText(): the Prometheus exposition format ("# HELP" /
+///    "# TYPE" / samples with escaped labels; histograms as cumulative
+///    seconds-based le buckets + _sum/_count), scrapeable or dumpable.
+///  - ExportJson(): current values plus the sampled time-series rings.
+
+/// One metric label, e.g. {"tenant", "acme"}. Values are copied at
+/// registration; the hot path never sees them.
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
+using MetricLabels = std::vector<MetricLabel>;
+
+/// Monotone counter handle. Wait-free; share freely across threads.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  ROWSORT_DISALLOW_COPY_AND_MOVE(Counter);
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Up/down gauge handle (queue depths, resident bytes). Wait-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  ROWSORT_DISALLOW_COPY_AND_MOVE(Gauge);
+  std::atomic<int64_t> value_{0};
+};
+
+/// Duration histogram handle: log2 nanosecond buckets (histogram.h),
+/// exported to Prometheus as cumulative seconds-based le buckets.
+class HistogramMetric {
+ public:
+  void RecordNs(uint64_t ns) { hist_.Record(ns); }
+  DurationHistogram Snapshot() const { return hist_.Snapshot(); }
+  uint64_t count() const { return hist_.count(); }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramMetric() = default;
+  ROWSORT_DISALLOW_COPY_AND_MOVE(HistogramMetric);
+  AtomicDurationHistogram hist_;
+};
+
+/// One sampled point of a scalar series' time-series ring.
+struct MetricSample {
+  int64_t t_ns = 0;   ///< steady-clock stamp (Tracer::NowNanos() base)
+  int64_t value = 0;  ///< counter/gauge value, histogram count
+};
+
+/// \brief Registry of named metrics with label sets, a sampling collector,
+/// and Prometheus / JSON export. See the file comment for the contract.
+///
+/// A metric *family* is every series sharing one name (same kind, same help
+/// text); a *series* is one (name, labels) pair. Export order is
+/// deterministic: families in first-registration order, series within a
+/// family in registration order — golden tests depend on this.
+class MetricsRegistry {
+ public:
+  /// \p ring_capacity is the number of retained samples per series (the
+  /// time-series window is ring_capacity * collector interval).
+  explicit MetricsRegistry(uint64_t ring_capacity = 128);
+  /// Stops the collector thread, if running.
+  ~MetricsRegistry();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(MetricsRegistry);
+
+  /// Returns the counter for (\p name, \p labels), creating it on first use.
+  /// \p help is the family help text (first registration wins). The handle
+  /// stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      MetricLabels labels = {});
+
+  /// Same contract for an up/down gauge.
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  MetricLabels labels = {});
+
+  /// Registers a callback gauge: \p fn is evaluated on the collector thread
+  /// at each sample and by the exporters — never on a hot path. Use for
+  /// values that already live elsewhere (memory-tracker occupancy, pool
+  /// queue depth). \p fn must stay callable for the registry's lifetime.
+  /// Re-registering the same (name, labels) replaces the callback.
+  void RegisterCallbackGauge(const std::string& name, const std::string& help,
+                             MetricLabels labels,
+                             std::function<int64_t()> fn);
+
+  /// Same contract for a duration histogram (recorded in nanoseconds,
+  /// exported in seconds).
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const std::string& help,
+                                MetricLabels labels = {});
+
+  /// Starts the background collector sampling every \p interval_ms
+  /// milliseconds (clamped to >= 1). No-op when already running.
+  void StartCollector(uint64_t interval_ms);
+  /// Stops and joins the collector thread. No-op when not running.
+  void StopCollector();
+  bool collector_running() const;
+
+  /// One synchronous sampling pass: every scalar series (counters, gauges,
+  /// callback gauges, histogram counts) appends its current value to its
+  /// time-series ring. The collector thread calls this; tests and one-shot
+  /// dumps may call it directly.
+  void SampleNow();
+
+  /// Prometheus text exposition (version 0.0.4): HELP/TYPE per family,
+  /// escaped label values, histograms as cumulative le buckets in seconds
+  /// plus _sum / _count. Safe to call concurrently with recording.
+  std::string ExportPrometheusText() const;
+
+  /// JSON: {"collector":{...},"metrics":[{name,labels,kind,value...,
+  /// "series":[[t_ms,value],...]}]} with timestamps in milliseconds
+  /// relative to the first retained sample of each series.
+  std::string ExportJson() const;
+
+  /// Number of sampling passes performed (collector + explicit).
+  uint64_t samples_taken() const {
+    return samples_taken_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kCallbackGauge, kHistogram };
+
+  struct Series {
+    MetricLabels labels;          ///< sorted by key
+    std::string label_signature;  ///< rendered sorted labels (dedupe key)
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+    std::function<int64_t()> callback;  ///< kCallbackGauge only
+    /// Fixed-capacity sample ring; slot = head % capacity. Guarded by
+    /// rings_mutex_ — only the collector writes, exporters read.
+    std::vector<MetricSample> ring;
+    uint64_t ring_head = 0;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  /// Finds or creates the series for (name, labels) with \p kind; fails a
+  /// debug assert on a kind mismatch with an existing family.
+  Series* GetOrCreateSeries(const std::string& name, const std::string& help,
+                            MetricLabels labels, Kind kind);
+  /// Current scalar value of \p series (counter/gauge load, callback
+  /// evaluation, histogram count).
+  int64_t ScalarValue(const Series& series) const;
+  void CollectorLoop(uint64_t interval_ms);
+
+  const uint64_t ring_capacity_;
+  mutable std::mutex mutex_;  ///< guards families_ registration + iteration
+  std::vector<std::unique_ptr<Family>> families_;
+
+  mutable std::mutex rings_mutex_;  ///< guards every Series::ring
+  std::atomic<uint64_t> samples_taken_{0};
+
+  std::mutex collector_mutex_;  ///< guards collector lifecycle
+  std::condition_variable collector_cv_;
+  std::thread collector_;
+  bool collector_stop_ = false;
+  std::atomic<bool> collector_running_{false};
+};
+
+}  // namespace rowsort

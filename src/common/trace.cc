@@ -15,6 +15,13 @@ namespace {
 /// a new tracer allocated at a dead tracer's address.
 std::atomic<uint64_t> g_next_tracer_id{1};
 
+/// Process-unique scope (query) ids; 0 is reserved for "unscoped".
+std::atomic<uint64_t> g_next_scope_id{1};
+
+/// The calling thread's active scope; inherited by pool tasks and I/O jobs
+/// through capture-at-submit (thread_pool.cc, io_worker.cc).
+thread_local uint64_t t_current_scope = 0;
+
 uint64_t RoundUpPow2(uint64_t v) {
   uint64_t p = 1;
   while (p < v) p <<= 1;
@@ -46,6 +53,18 @@ Tracer::Tracer(uint64_t events_per_thread)
 
 Tracer::~Tracer() = default;
 
+uint64_t Tracer::NextScopeId() {
+  return g_next_scope_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::CurrentScope() { return t_current_scope; }
+
+TraceScopeGuard::TraceScopeGuard(uint64_t scope) : previous_(t_current_scope) {
+  if (scope != 0) t_current_scope = scope;
+}
+
+TraceScopeGuard::~TraceScopeGuard() { t_current_scope = previous_; }
+
 Tracer::ThreadBuffer* Tracer::Buffer() {
   // One-entry cache: the common case is a thread recording into the same
   // tracer again and again; only the first record (or a tracer switch) pays
@@ -76,7 +95,8 @@ Tracer::ThreadBuffer* Tracer::Buffer() {
   return buf;
 }
 
-void Tracer::Push(ThreadBuffer* buf, const TraceEvent& event) {
+void Tracer::Push(ThreadBuffer* buf, TraceEvent event) {
+  event.scope = t_current_scope;
   uint64_t head = buf->head.load(std::memory_order_relaxed);
   buf->ring[head & buf->mask] = event;
   // Release-publish so an exporter that acquires `head` sees the slot.
@@ -160,18 +180,41 @@ std::string Tracer::ToChromeTraceJson() const {
   // Normalize timestamps so the trace starts near t=0 (nicer in viewers).
   const int64_t base_ns = events.empty() ? 0 : events.front().start_ns;
 
+  // Scopes become Perfetto processes: every (scope, thread) pair that
+  // recorded gets its own named track, so concurrent queries sharing the
+  // pool's worker threads land in separate process groups instead of
+  // interleaving on one timeline row (docs/observability.md).
+  std::vector<std::pair<uint64_t, uint32_t>> tracks;
+  for (const TraceEvent& event : events) {
+    tracks.emplace_back(event.scope, event.thread_ordinal);
+  }
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+
   std::string json;
-  json.reserve(events.size() * 96 + 256);
+  json.reserve(events.size() * 112 + 256);
   json += "{\"traceEvents\":[";
   bool first = true;
-  const uint64_t threads = thread_count();
-  for (uint64_t t = 0; t < threads; ++t) {
-    if (!first) json += ",";
-    first = false;
+  uint64_t named_scope = ~uint64_t{0};
+  for (const auto& [scope, ordinal] : tracks) {
+    if (scope != named_scope) {
+      named_scope = scope;
+      if (!first) json += ",";
+      first = false;
+      if (scope == 0) {
+        json += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                "\"args\":{\"name\":\"engine\"}}";
+      } else {
+        json += StringFormat(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%llu,"
+            "\"args\":{\"name\":\"query-%llu\"}}",
+            (unsigned long long)scope, (unsigned long long)scope);
+      }
+    }
     json += StringFormat(
-        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%llu,"
-        "\"args\":{\"name\":\"sort-thread-%llu\"}}",
-        (unsigned long long)t, (unsigned long long)t);
+        ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%llu,\"tid\":%u,"
+        "\"args\":{\"name\":\"sort-thread-%u\"}}",
+        (unsigned long long)scope, ordinal, ordinal);
   }
   for (const TraceEvent& event : events) {
     if (!first) json += ",";
@@ -182,22 +225,23 @@ std::string Tracer::ToChromeTraceJson() const {
     json += "\",\"cat\":\"";
     AppendJsonEscaped(&json, event.category);
     json += "\"";
+    const unsigned long long pid = (unsigned long long)event.scope;
     switch (event.kind) {
       case TraceEvent::Kind::kSpan:
         json += StringFormat(
-            ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u",
-            ts_us, event.duration_ns / 1e3, event.thread_ordinal);
+            ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%llu,\"tid\":%u",
+            ts_us, event.duration_ns / 1e3, pid, event.thread_ordinal);
         break;
       case TraceEvent::Kind::kInstant:
         json += StringFormat(
-            ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%u",
-            ts_us, event.thread_ordinal);
+            ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%llu,\"tid\":%u",
+            ts_us, pid, event.thread_ordinal);
         break;
       case TraceEvent::Kind::kCounter:
         json += StringFormat(
-            ",\"ph\":\"C\",\"ts\":%.3f,\"pid\":0,\"tid\":%u,"
+            ",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%llu,\"tid\":%u,"
             "\"args\":{\"value\":%lld}",
-            ts_us, event.thread_ordinal, (long long)event.value);
+            ts_us, pid, event.thread_ordinal, (long long)event.value);
         break;
     }
     json += "}";

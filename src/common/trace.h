@@ -55,6 +55,11 @@ struct TraceEvent {
   int64_t start_ns = 0;            ///< steady-clock stamp
   int64_t duration_ns = 0;         ///< kSpan only
   int64_t value = 0;               ///< kCounter only
+  /// Query/engine scope the event belongs to (Tracer::CurrentScope() at
+  /// record time; 0 = unscoped). Distinct scopes export as distinct Perfetto
+  /// processes, so concurrent queries sharing one tracer (and one thread
+  /// pool) never interleave on a track.
+  uint64_t scope = 0;
   uint32_t thread_ordinal = 0;     ///< filled by Snapshot()
   uint32_t depth = 0;              ///< span nesting depth at record time
   Kind kind = Kind::kSpan;
@@ -86,6 +91,16 @@ class Tracer {
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   }
+
+  /// Process-unique, nonzero scope id. The service stamps one per query; a
+  /// standalone engine takes one per sort (docs/observability.md, "Stitched
+  /// cross-query traces").
+  static uint64_t NextScopeId();
+
+  /// The calling thread's active scope (0 = unscoped). Every recorded event
+  /// is stamped with it; TraceScopeGuard sets it, ThreadPool tasks and
+  /// IoWorker jobs inherit their submitter's value.
+  static uint64_t CurrentScope();
 
   /// Records a completed span [start_ns, end_ns) on the calling thread.
   void RecordSpan(const char* name, const char* category, int64_t start_ns,
@@ -133,7 +148,8 @@ class Tracer {
 
   /// The calling thread's buffer (registered on first use).
   ThreadBuffer* Buffer();
-  void Push(ThreadBuffer* buf, const TraceEvent& event);
+  /// Stamps the thread's current scope on \p event and publishes it.
+  void Push(ThreadBuffer* buf, TraceEvent event);
 
   const uint64_t capacity_;   ///< power of two
   const uint64_t tracer_id_;  ///< process-unique, for the TLS cache
@@ -189,6 +205,22 @@ class TraceSpan {
   const char* name_;
   const char* category_;
   int64_t start_ns_ = 0;
+};
+
+/// \brief RAII scope marker: events recorded on this thread while the guard
+/// lives are stamped with \p scope (a query id from Tracer::NextScopeId()),
+/// restoring the previous scope on destruction. A scope of 0 keeps the
+/// current value — "inherit" composes for nested operators: the service sets
+/// the query scope, inner sorts pass 0 and stay inside it. Two thread-local
+/// stores; safe (and nearly free) to use with no tracer attached at all.
+class TraceScopeGuard {
+ public:
+  explicit TraceScopeGuard(uint64_t scope);
+  ~TraceScopeGuard();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(TraceScopeGuard);
+
+ private:
+  uint64_t previous_;
 };
 
 }  // namespace rowsort

@@ -52,6 +52,14 @@ RelationalSort::RelationalSort(SortSpec spec,
   row_id_offset_ = bit_util::AlignValue(encoder_.key_width());
   key_row_width_ = row_id_offset_ + sizeof(uint64_t);
   spill_instance_ = NextSpillInstanceId();
+  // Resolve the trace scope once: explicit config wins, then the
+  // constructing thread's active scope (nested operator sorts stay inside
+  // their query), then a fresh scope when a tracer wants spans at all.
+  trace_scope_ = config_.trace_scope;
+  if (trace_scope_ == 0) trace_scope_ = Tracer::CurrentScope();
+  if (trace_scope_ == 0 && config_.trace != nullptr) {
+    trace_scope_ = Tracer::NextScopeId();
+  }
   cancel_.Reset(config_.cancellation);
   if (config_.governor != nullptr) {
     config_.governor->RegisterSort(this, config_.governor_priority);
@@ -170,6 +178,7 @@ IoWorker* RelationalSort::EnsureIoWorker() {
 }
 
 Status RelationalSort::Sink(LocalState& local, const DataChunk& chunk) {
+  TraceScopeGuard scope(trace_scope_);
   ROWSORT_RETURN_NOT_OK(status());
   Status st;
   try {
@@ -236,6 +245,7 @@ Status RelationalSort::SinkImpl(LocalState& local, const DataChunk& chunk) {
 }
 
 Status RelationalSort::CombineLocal(LocalState& local) {
+  TraceScopeGuard scope(trace_scope_);
   Status st = status();
   if (st.ok()) {
     try {
@@ -481,6 +491,9 @@ uint64_t RelationalSort::MinSpillWorkingSetBytes() const {
 }
 
 uint64_t RelationalSort::SpillResidentBytes(uint64_t target_bytes) {
+  // Victim spills run on the *governor's* thread; scope the spill spans to
+  // the victim query, where the freed memory actually lives.
+  TraceScopeGuard scope(trace_scope_);
   std::lock_guard<std::mutex> lock(runs_mutex_);
   if (merge_active_) return 0;
   uint64_t freed = 0;
@@ -1527,6 +1540,7 @@ Status RelationalSort::MergeEntryRange(uint64_t begin, uint64_t count,
 }
 
 Status RelationalSort::Finalize(ThreadPool* pool) {
+  TraceScopeGuard scope(trace_scope_);
   ROWSORT_RETURN_NOT_OK(status());
   Status st;
   try {

@@ -124,6 +124,15 @@ struct SortEngineConfig {
   /// attached-but-disabled tracer costs one relaxed load per site. The
   /// tracer must outlive the sort.
   Tracer* trace = nullptr;
+  /// Trace scope (query id) this sort's spans belong to, for the merged
+  /// multi-query Chrome/Perfetto export (docs/observability.md): every
+  /// entry point installs the scope on its calling thread, and pool tasks /
+  /// spill I/O jobs inherit it at submit time. 0 (default) = inherit the
+  /// caller's current scope, or — when no scope is active and a tracer is
+  /// attached — take a fresh process-unique scope so standalone sorts still
+  /// export as their own "query-N" process group. A service passes the
+  /// query's scope here so nested operator sorts stitch under one query.
+  uint64_t trace_scope = 0;
 };
 
 /// Measurements the pipeline records per sort (bench/§II support).
@@ -423,6 +432,9 @@ class RelationalSort {
   TupleComparator comparator_;
   uint64_t key_row_width_ = 0;   ///< aligned key + 8-byte row id
   uint64_t row_id_offset_ = 0;
+  /// Resolved trace scope (see SortEngineConfig::trace_scope): fixed at
+  /// construction, installed by every pipeline entry point.
+  uint64_t trace_scope_ = 0;
 
   /// Tracks the pipeline's resident working set; limit from
   /// config_.memory_limit_bytes (0 = account only). Mutable because const

@@ -94,7 +94,7 @@ ThreadPool::Task ThreadPool::PopTaskLocked() {
     if (queue.empty()) continue;
     Task task = std::move(queue.front());
     queue.pop();
-    --queued_;
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     return task;
   }
   ROWSORT_DASSERT(false && "PopTaskLocked called with no task queued");
@@ -103,6 +103,10 @@ ThreadPool::Task ThreadPool::PopTaskLocked() {
 
 void ThreadPool::FinishTask(Task& task, bool skip, uint64_t executor_index) {
   if (!skip) {
+    // The task runs in its submitter's trace scope: spans it records (and
+    // spans of anything it submits in turn) belong to that query's track
+    // group, not to whichever worker happened to execute it.
+    TraceScopeGuard scope(task.trace_scope);
     const bool stats = stats_enabled_.load(std::memory_order_relaxed);
     if (stats || tracer_ != nullptr) {
       int64_t start_ns = Tracer::NowNanos();
@@ -173,16 +177,20 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks,
   // the batch has retired by then, so no queued Task can outlive it.
   BatchState batch;
   batch.cancel = std::move(cancellation);
+  const uint64_t trace_scope = Tracer::CurrentScope();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch.outstanding = tasks.size();
     auto& queue = queues_[static_cast<uint64_t>(priority)];
     for (auto& task : tasks) {
-      queue.push(Task{std::move(task), &batch, priority, enqueue_ns});
+      queue.push(Task{std::move(task), &batch, priority, enqueue_ns,
+                      trace_scope});
     }
-    queued_ += tasks.size();
-    if (stats && queued_ > max_queue_depth_) {
-      max_queue_depth_ = queued_;
+    const uint64_t queued =
+        queued_.fetch_add(tasks.size(), std::memory_order_relaxed) +
+        tasks.size();
+    if (stats && queued > max_queue_depth_) {
+      max_queue_depth_ = queued;
     }
   }
   if (tracer_ != nullptr && tracer_->enabled()) {

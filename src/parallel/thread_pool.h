@@ -65,6 +65,13 @@ class ThreadPool {
 
   uint64_t thread_count() const { return workers_.size(); }
 
+  /// Tasks currently queued (all priority classes, not yet started). One
+  /// relaxed load — cheap enough for a metrics collector sampling at 10 Hz+
+  /// without touching the pool mutex (docs/observability.md).
+  uint64_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
   /// Turns on per-task accounting (queue wait, run time, per-thread busy
   /// time, max queue depth, per-priority counts). Off by default: the
   /// accounting is two clock reads per task, negligible for the pipeline's
@@ -136,14 +143,16 @@ class ThreadPool {
     bool cancelled = false;  ///< latched result of the token check
   };
 
-  /// Queue element: the callable, its batch, its scheduling class, and its
+  /// Queue element: the callable, its batch, its scheduling class, its
   /// submission stamp (0 when stats are off — no clock read on the untimed
-  /// path).
+  /// path), and the submitter's trace scope (query id), which the executing
+  /// thread adopts so a task's spans land in its query's process group.
   struct Task {
     std::function<void()> fn;
     BatchState* batch = nullptr;
     TaskPriority priority = TaskPriority::kNormal;
     int64_t enqueue_ns = 0;
+    uint64_t trace_scope = 0;
   };
 
   void WorkerLoop(uint64_t worker_index);
@@ -167,7 +176,9 @@ class ThreadPool {
   /// outstanding count. One cv for all batches keeps FinishTask cheap.
   std::condition_variable batch_done_;
   std::array<std::queue<Task>, kTaskPriorityCount> queues_;
-  uint64_t queued_ = 0;  ///< total tasks across queues_ (guarded by mutex_)
+  /// Total tasks across queues_. Written under mutex_; atomic so
+  /// queue_depth() can sample it lock-free.
+  std::atomic<uint64_t> queued_{0};
   bool shutdown_ = false;
 
   /// -- observability (inert until EnableStats / SetTracer) -------------

@@ -1,0 +1,162 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "service/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace rowsort {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      *out += StringFormat("\\u%04x", c);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kEnqueue:
+      return "enqueue";
+    case FlightEventKind::kAdmit:
+      return "admit";
+    case FlightEventKind::kShed:
+      return "shed";
+    case FlightEventKind::kVictimSpill:
+      return "victim_spill";
+    case FlightEventKind::kDeadline:
+      return "deadline";
+    case FlightEventKind::kCancel:
+      return "cancel";
+    case FlightEventKind::kComplete:
+      return "complete";
+    case FlightEventKind::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(uint64_t capacity)
+    : capacity_(RoundUpPow2(std::max<uint64_t>(capacity, 2))),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+const char* FlightRecorder::InternTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  for (const auto& entry : interned_) {
+    if (*entry == tenant) return entry->c_str();
+  }
+  interned_.push_back(std::make_unique<std::string>(tenant));
+  return interned_.back()->c_str();
+}
+
+void FlightRecorder::Record(FlightEventKind kind, uint64_t query_id,
+                            const char* tenant, const char* op_class,
+                            const char* priority, const char* cause,
+                            uint64_t bytes) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[ticket & mask_];
+  // Invalidate first so a concurrent reader cannot accept a half-updated
+  // slot under the *old* published seq.
+  slot.seq.store(0, std::memory_order_release);
+  slot.t_ns.store(NowNs(), std::memory_order_relaxed);
+  slot.query_id.store(query_id, std::memory_order_relaxed);
+  slot.bytes.store(bytes, std::memory_order_relaxed);
+  slot.tenant.store(tenant, std::memory_order_relaxed);
+  slot.op_class.store(op_class, std::memory_order_relaxed);
+  slot.priority.store(priority, std::memory_order_relaxed);
+  slot.cause.store(cause, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  // Publish: a reader that sees ticket + 1 (acquire) sees every store above.
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<FlightEventView> FlightRecorder::Snapshot(int64_t last_ns) const {
+  const int64_t cutoff_ns = last_ns > 0 ? NowNs() - last_ns : INT64_MIN;
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t kept = std::min(head, capacity_);
+  std::vector<FlightEventView> out;
+  out.reserve(kept);
+  for (uint64_t ticket = head - kept; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket & mask_];
+    // Seq-validated copy: accept only slots that carried this ticket's
+    // publication before *and* after the field reads — a slot a concurrent
+    // writer laps mid-copy fails one of the checks and is skipped (counted
+    // by dropped() once the writer's ticket advances head past capacity).
+    if (slot.seq.load(std::memory_order_acquire) != ticket + 1) continue;
+    FlightEventView view;
+    view.t_ns = slot.t_ns.load(std::memory_order_relaxed);
+    view.query_id = slot.query_id.load(std::memory_order_relaxed);
+    view.bytes = slot.bytes.load(std::memory_order_relaxed);
+    view.tenant = slot.tenant.load(std::memory_order_relaxed);
+    view.op_class = slot.op_class.load(std::memory_order_relaxed);
+    view.priority = slot.priority.load(std::memory_order_relaxed);
+    view.cause = slot.cause.load(std::memory_order_relaxed);
+    view.kind = static_cast<FlightEventKind>(
+        slot.kind.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != ticket + 1) continue;
+    if (view.t_ns < cutoff_ns) continue;
+    out.push_back(view);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpJson(int64_t last_ns) const {
+  const std::vector<FlightEventView> events = Snapshot(last_ns);
+  std::string out;
+  out.reserve(events.size() * 120 + 128);
+  out += StringFormat("{\"capacity\":%llu,\"recorded\":%llu,\"dropped\":%llu,",
+                      (unsigned long long)capacity_,
+                      (unsigned long long)recorded(),
+                      (unsigned long long)dropped());
+  out += "\"events\":[";
+  const int64_t base_ns = events.empty() ? 0 : events.front().t_ns;
+  for (uint64_t i = 0; i < events.size(); ++i) {
+    const FlightEventView& event = events[i];
+    if (i > 0) out += ",";
+    out += StringFormat("{\"t_ms\":%.3f,\"kind\":\"%s\",\"query\":%llu",
+                        (event.t_ns - base_ns) / 1e6,
+                        FlightEventKindName(event.kind),
+                        (unsigned long long)event.query_id);
+    out += ",\"tenant\":\"";
+    AppendJsonEscaped(&out, event.tenant);
+    out += "\",\"op_class\":\"";
+    AppendJsonEscaped(&out, event.op_class);
+    out += "\",\"priority\":\"";
+    AppendJsonEscaped(&out, event.priority);
+    out += "\",\"cause\":\"";
+    AppendJsonEscaped(&out, event.cause);
+    out += StringFormat("\",\"bytes\":%llu}", (unsigned long long)event.bytes);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rowsort

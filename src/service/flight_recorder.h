@@ -1,0 +1,136 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace rowsort {
+
+/// \file flight_recorder.h
+/// Lock-free ring of structured service decisions (docs/observability.md,
+/// "Tenant flight recorder").
+///
+/// Aggregate counters say *how many* requests were shed; they cannot say
+/// *which* tenant lost *which* query to *which* cause two seconds before the
+/// page. The flight recorder keeps the last N admission-control decisions —
+/// enqueue, admit, shed (with cause), victim spill (with freed bytes),
+/// deadline, cancel, complete, fail — as fixed-size slots in a lock-free
+/// MPMC ring, so the history survives exactly the overload storms it exists
+/// to explain:
+///  - Record() is a fetch_add ticket plus relaxed field stores and one
+///    release publish — no locks, no allocation, wait-free for writers.
+///  - When the ring wraps, the oldest events are overwritten (and counted
+///    as dropped), never blocking an admission decision.
+///  - Readers validate each slot's sequence number before and after copying
+///    it; a slot caught mid-overwrite is skipped, not torn.
+///
+/// All strings stored in events are either static literals (kind, cause,
+/// op_class, priority names) or interned via InternTenant(), so slots stay
+/// trivially copyable and writers never touch std::string.
+
+/// What happened. Order is meaningless; names via FlightEventKindName().
+enum class FlightEventKind : uint8_t {
+  kEnqueue = 0,      ///< request entered the admission queue
+  kAdmit,            ///< request got a running slot (bytes = working set)
+  kShed,             ///< request rejected (cause = queue_full / wait_budget /
+                     ///< queued_cancel / queued_deadline)
+  kVictimSpill,      ///< governor freed bytes from a victim query
+  kDeadline,         ///< running query hit its deadline
+  kCancel,           ///< running query observed a cancel request
+  kComplete,         ///< query finished OK (bytes = working set estimate)
+  kFail,             ///< query failed with a non-cancel error
+};
+constexpr uint64_t kFlightEventKindCount = 8;
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+/// One decoded event, as returned by Snapshot(). String fields point at
+/// static literals / interned tenants owned by the recorder — valid for the
+/// recorder's lifetime.
+struct FlightEventView {
+  int64_t t_ns = 0;      ///< steady-clock stamp (same base as Tracer)
+  uint64_t query_id = 0; ///< service-assigned, process-unique (0 = n/a)
+  FlightEventKind kind = FlightEventKind::kEnqueue;
+  const char* tenant = "";    ///< interned
+  const char* op_class = "";  ///< OperatorKindName() literal
+  const char* priority = "";  ///< TaskPriorityName() literal
+  const char* cause = "";     ///< shed/fail cause literal ("" = none)
+  uint64_t bytes = 0;         ///< working set / freed bytes (kind-specific)
+};
+
+/// \brief Fixed-capacity lock-free MPMC event ring with JSON dump.
+class FlightRecorder {
+ public:
+  /// \p capacity is rounded up to a power of two. 16Ki slots at 72 bytes a
+  /// slot is ~1.2 MiB — minutes of history at realistic shed rates.
+  explicit FlightRecorder(uint64_t capacity = 1 << 14);
+  ~FlightRecorder();
+  ROWSORT_DISALLOW_COPY_AND_MOVE(FlightRecorder);
+
+  /// Returns a stable char pointer for \p tenant, creating the interned
+  /// copy on first use (under a mutex — callers cache the result per
+  /// tenant, so the hot path never lands here).
+  const char* InternTenant(const std::string& tenant);
+
+  /// Appends one event. Wait-free; safe from any thread. All pointer
+  /// arguments must be static literals or InternTenant() results.
+  void Record(FlightEventKind kind, uint64_t query_id, const char* tenant,
+              const char* op_class, const char* priority, const char* cause,
+              uint64_t bytes);
+
+  /// The retained events, oldest first. \p last_ns > 0 keeps only events
+  /// newer than (now - last_ns). Slots caught mid-overwrite are skipped.
+  std::vector<FlightEventView> Snapshot(int64_t last_ns = 0) const;
+
+  /// JSON dump: {"capacity":N,"recorded":N,"dropped":N,"events":[
+  ///   {"t_ms":...,"kind":"shed","query":7,"tenant":"acme","op_class":...,
+  ///    "priority":...,"cause":"queue_full","bytes":N},...]}
+  /// with t_ms relative to the oldest dumped event. \p last_ns as above.
+  std::string DumpJson(int64_t last_ns = 0) const;
+
+  /// Events recorded since construction (including overwritten ones).
+  uint64_t recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const {
+    const uint64_t head = recorded();
+    return head > capacity_ ? head - capacity_ : 0;
+  }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  /// All-atomic slot: relaxed stores/loads keep the seq-validated copy
+  /// data-race-free (TSan-clean) without ordering cost on the hot path.
+  struct Slot {
+    /// 0 = never written; ticket + 1 = published. A reader seeing the same
+    /// published value before and after its copy got a consistent slot.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> t_ns{0};
+    std::atomic<uint64_t> query_id{0};
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<const char*> tenant{""};
+    std::atomic<const char*> op_class{""};
+    std::atomic<const char*> priority{""};
+    std::atomic<const char*> cause{""};
+    std::atomic<uint8_t> kind{0};
+  };
+
+  const uint64_t capacity_;  ///< power of two
+  const uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};  ///< next ticket
+
+  mutable std::mutex intern_mutex_;
+  /// Interned tenant names; unique_ptr<std::string> keeps c_str() stable
+  /// across vector growth.
+  std::vector<std::unique_ptr<std::string>> interned_;
+};
+
+}  // namespace rowsort

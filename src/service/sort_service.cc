@@ -24,6 +24,19 @@ const std::string& EffectiveTenant(const std::string& tenant) {
 
 uint64_t OpIndex(OperatorKind op) { return static_cast<uint64_t>(op); }
 
+/// Identity of the service request executing on this thread, installed by
+/// RunGoverned around the operator body. RegisterSort reads it to attribute
+/// governed engines (including sorts nested inside window/join operators) to
+/// their query — which is what lets a victim-spill flight event name the
+/// victim's tenant and query id.
+struct RequestContext {
+  uint64_t query_id = 0;
+  const char* tenant = "";
+  const char* op_class = "";
+  const char* priority = "";
+};
+thread_local const RequestContext* t_request_context = nullptr;
+
 }  // namespace
 
 const char* OperatorKindName(OperatorKind op) {
@@ -47,30 +60,233 @@ SortService::SortService(SortServiceConfig config)
       global_tracker_(config_.memory_limit_bytes),
       pool_(config_.threads) {
   if (config_.pool_stats) pool_.EnableStats(true);
+  if (config_.trace != nullptr) pool_.SetTracer(config_.trace);
+  InitTelemetry();
 }
 
-SortService::~SortService() = default;
+SortService::~SortService() {
+  // The collector samples callback gauges that read this service's members;
+  // stop it before any of them dies.
+  if (metrics_ != nullptr) metrics_->StopCollector();
+}
+
+void SortService::InitTelemetry() {
+  if (!config_.telemetry) return;
+  metrics_ = std::make_unique<MetricsRegistry>();
+  flight_ = std::make_unique<FlightRecorder>(config_.flight_recorder_capacity);
+  // Every callback below is a relaxed atomic load — the collector thread can
+  // never contend with admission, and the gauges are honest even mid-storm.
+  metrics_->RegisterCallbackGauge(
+      "rowsort_service_queue_depth", "Requests waiting for admission", {},
+      [this] { return static_cast<int64_t>(current_queue_depth()); });
+  metrics_->RegisterCallbackGauge(
+      "rowsort_service_running", "Queries holding a general running slot", {},
+      [this] { return static_cast<int64_t>(current_running()); });
+  metrics_->RegisterCallbackGauge(
+      "rowsort_service_express_running",
+      "Queries holding an express-lane slot", {},
+      [this] { return static_cast<int64_t>(current_express_running()); });
+  metrics_->RegisterCallbackGauge(
+      "rowsort_service_active_queries",
+      "Governed engines registered for victim selection", {}, [this] {
+        return static_cast<int64_t>(
+            active_count_.load(std::memory_order_relaxed));
+      });
+  metrics_->RegisterCallbackGauge(
+      "rowsort_pool_queue_depth", "Tasks queued on the shared thread pool",
+      {}, [this] { return static_cast<int64_t>(pool_.queue_depth()); });
+  metrics_->RegisterCallbackGauge(
+      "rowsort_memory_reserved_bytes",
+      "Bytes reserved against the global memory budget", {},
+      [this] { return static_cast<int64_t>(global_tracker_.reserved()); });
+  metrics_->RegisterCallbackGauge(
+      "rowsort_memory_peak_bytes",
+      "High-water mark of the global memory budget", {},
+      [this] { return static_cast<int64_t>(global_tracker_.peak()); });
+  metrics_->RegisterCallbackGauge(
+      "rowsort_memory_limit_bytes",
+      "Global memory budget (0 = unlimited)", {},
+      [this] { return static_cast<int64_t>(global_tracker_.limit()); });
+  if (config_.telemetry_sample_interval_ms > 0) {
+    metrics_->StartCollector(config_.telemetry_sample_interval_ms);
+  }
+}
+
+const SortService::TelemetryHandles* SortService::ResolveTelemetry(
+    const std::string& tenant, OperatorKind op, TaskPriority priority) {
+  if (metrics_ == nullptr) return nullptr;
+  const char* op_name = OperatorKindName(op);
+  const char* pri_name = TaskPriorityName(priority);
+  std::string key = tenant;
+  key += '|';
+  key += op_name;
+  key += '|';
+  key += pri_name;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    auto it = handles_.find(key);
+    if (it != handles_.end()) return it->second.get();
+  }
+  // First request of this combination: resolve every handle outside
+  // telemetry_mutex_ (the registry has its own lock), then publish. A racing
+  // resolver gets the same registry handles, so whichever insert wins is
+  // equivalent.
+  auto handles = std::make_unique<TelemetryHandles>();
+  const MetricLabels labels = {
+      {"tenant", tenant}, {"op_class", op_name}, {"priority", pri_name}};
+  auto shed_labels = [&](const char* cause) {
+    MetricLabels with_cause = labels;
+    with_cause.push_back({"cause", cause});
+    return with_cause;
+  };
+  handles->requests = metrics_->GetCounter(
+      "rowsort_service_requests_total", "Service requests received", labels);
+  handles->admitted = metrics_->GetCounter(
+      "rowsort_service_admitted_total",
+      "Requests granted a running slot (either lane)", labels);
+  handles->express_admitted = metrics_->GetCounter(
+      "rowsort_service_express_admitted_total",
+      "Requests seated in the express lane", labels);
+  handles->completed = metrics_->GetCounter(
+      "rowsort_service_completed_total", "Requests that returned OK", labels);
+  handles->failed = metrics_->GetCounter(
+      "rowsort_service_failed_total",
+      "Requests that failed after admission (excluding cancellation)",
+      labels);
+  handles->cancelled = metrics_->GetCounter(
+      "rowsort_service_cancelled_total",
+      "Requests cancelled or deadline-expired after admission", labels);
+  const char* shed_help = "Requests refused before running, by cause";
+  handles->shed_queue_full = metrics_->GetCounter(
+      "rowsort_service_shed_total", shed_help, shed_labels("queue_full"));
+  handles->shed_wait_budget = metrics_->GetCounter(
+      "rowsort_service_shed_total", shed_help, shed_labels("wait_budget"));
+  handles->shed_queued_cancel = metrics_->GetCounter(
+      "rowsort_service_shed_total", shed_help, shed_labels("queued_cancel"));
+  handles->queue_wait = metrics_->GetHistogram(
+      "rowsort_service_queue_wait_seconds",
+      "Admission-queue wait of admitted requests", labels);
+  handles->run_time = metrics_->GetHistogram(
+      "rowsort_service_run_seconds",
+      "Operator execution time of admitted requests", labels);
+  handles->end_to_end = metrics_->GetHistogram(
+      "rowsort_service_end_to_end_seconds",
+      "Enqueue-to-outcome latency of admitted requests", labels);
+  handles->tenant = flight_->InternTenant(tenant);
+  handles->op_class = op_name;
+  handles->priority = pri_name;
+
+  std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  auto inserted = handles_.emplace(std::move(key), std::move(handles));
+  return inserted.first->second.get();
+}
 
 SortServiceStats SortService::StatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SortServiceStats out = stats_;
+  SortServiceStats out;
+  // Downstream-first read order against the release increments: outcomes,
+  // then shed + admitted, then requests — per class and globally. Any
+  // admission in `admitted` was preceded (happens-before, through the
+  // acquire load that observed it) by its own `requests` increment, and any
+  // outcome by its `admitted` increment, so a snapshot taken mid-storm still
+  // satisfies requests >= admitted + shed >= outcomes + shed.
+  for (uint64_t i = 0; i < kOperatorKindCount; ++i) {
+    OperatorClassStats& cls = out.op_class[i];
+    cls.cancelled = op_class_[i].cancelled.load(std::memory_order_acquire);
+    cls.failed = op_class_[i].failed.load(std::memory_order_acquire);
+    cls.completed = op_class_[i].completed.load(std::memory_order_acquire);
+    cls.shed = op_class_[i].shed.load(std::memory_order_acquire);
+    cls.admitted = op_class_[i].admitted.load(std::memory_order_acquire);
+    cls.requests = op_class_[i].requests.load(std::memory_order_acquire);
+  }
+  out.cancelled = cancelled_.load(std::memory_order_acquire);
+  out.failed = failed_.load(std::memory_order_acquire);
+  out.completed = completed_.load(std::memory_order_acquire);
+  out.shed_queue_full = shed_queue_full_.load(std::memory_order_acquire);
+  out.shed_wait_budget = shed_wait_budget_.load(std::memory_order_acquire);
+  out.shed_queued_cancel = shed_queued_cancel_.load(std::memory_order_acquire);
+  out.admitted = admitted_.load(std::memory_order_acquire);
+  out.requests = requests_.load(std::memory_order_acquire);
+  out.victim_spills = victim_spills_.load(std::memory_order_relaxed);
+  out.victim_bytes_freed = victim_bytes_freed_.load(std::memory_order_relaxed);
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  out.max_running = max_running_.load(std::memory_order_relaxed);
+  out.express_admitted = express_admitted_.load(std::memory_order_relaxed);
+  out.max_express_running =
+      max_express_running_.load(std::memory_order_relaxed);
   out.queue_wait_ns = queue_wait_ns_.Snapshot();
   return out;
 }
 
-uint64_t SortService::current_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+std::string SortService::ExportMetricsText() const {
+  return metrics_ != nullptr ? metrics_->ExportPrometheusText()
+                             : std::string();
 }
 
-uint64_t SortService::current_running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return running_;
+std::string SortService::DumpFlightRecorder(int64_t last_ns) const {
+  return flight_ != nullptr ? flight_->DumpJson(last_ns) : std::string("{}");
 }
 
-uint64_t SortService::current_express_running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return express_running_;
+std::string SortService::ExportTelemetryJson() const {
+  const SortServiceStats stats = StatsSnapshot();
+  std::string out = "{\"service\":{";
+  out += StringFormat(
+      "\"requests\":%llu,\"admitted\":%llu,\"completed\":%llu,"
+      "\"failed\":%llu,\"cancelled\":%llu,\"shed_queue_full\":%llu,"
+      "\"shed_wait_budget\":%llu,\"shed_queued_cancel\":%llu,"
+      "\"victim_spills\":%llu,\"victim_bytes_freed\":%llu,"
+      "\"express_admitted\":%llu,\"max_queue_depth\":%llu,"
+      "\"max_running\":%llu,\"max_express_running\":%llu",
+      (unsigned long long)stats.requests, (unsigned long long)stats.admitted,
+      (unsigned long long)stats.completed, (unsigned long long)stats.failed,
+      (unsigned long long)stats.cancelled,
+      (unsigned long long)stats.shed_queue_full,
+      (unsigned long long)stats.shed_wait_budget,
+      (unsigned long long)stats.shed_queued_cancel,
+      (unsigned long long)stats.victim_spills,
+      (unsigned long long)stats.victim_bytes_freed,
+      (unsigned long long)stats.express_admitted,
+      (unsigned long long)stats.max_queue_depth,
+      (unsigned long long)stats.max_running,
+      (unsigned long long)stats.max_express_running);
+  out += ",\"op_class\":{";
+  for (uint64_t i = 0; i < kOperatorKindCount; ++i) {
+    const OperatorClassStats& cls = stats.op_class[i];
+    if (i > 0) out += ",";
+    out += StringFormat(
+        "\"%s\":{\"requests\":%llu,\"admitted\":%llu,\"shed\":%llu,"
+        "\"completed\":%llu,\"failed\":%llu,\"cancelled\":%llu}",
+        OperatorKindName(static_cast<OperatorKind>(i)),
+        (unsigned long long)cls.requests, (unsigned long long)cls.admitted,
+        (unsigned long long)cls.shed, (unsigned long long)cls.completed,
+        (unsigned long long)cls.failed, (unsigned long long)cls.cancelled);
+  }
+  out += "},\"queue_wait_ns\":" + stats.queue_wait_ns.ToJson();
+  out += StringFormat(
+      ",\"queue_depth\":%llu,\"running\":%llu,\"express_running\":%llu,"
+      "\"active_queries\":%llu",
+      (unsigned long long)current_queue_depth(),
+      (unsigned long long)current_running(),
+      (unsigned long long)current_express_running(),
+      (unsigned long long)active_count_.load(std::memory_order_relaxed));
+  out += StringFormat(
+      ",\"memory\":{\"reserved_bytes\":%llu,\"peak_bytes\":%llu,"
+      "\"limit_bytes\":%llu}}",
+      (unsigned long long)global_tracker_.reserved(),
+      (unsigned long long)global_tracker_.peak(),
+      (unsigned long long)global_tracker_.limit());
+  if (metrics_ != nullptr) {
+    out += ",\"metrics\":" + metrics_->ExportJson();
+  }
+  if (flight_ != nullptr) {
+    out += StringFormat(
+        ",\"flight_recorder\":{\"recorded\":%llu,\"dropped\":%llu,"
+        "\"capacity\":%llu}",
+        (unsigned long long)flight_->recorded(),
+        (unsigned long long)flight_->dropped(),
+        (unsigned long long)flight_->capacity());
+  }
+  out += "}";
+  return out;
 }
 
 uint64_t SortService::EstimateWorkingSetBytes(const OperatorRequest& request,
@@ -123,8 +339,11 @@ uint64_t SortService::EstimateWorkingSetBytes(const OperatorRequest& request,
 
 void SortService::PumpAdmissionLocked() {
   while (!queue_.empty()) {
-    const bool general_free = running_ < config_.max_running;
-    const bool express_free = express_running_ < config_.express_slots;
+    const bool general_free =
+        running_.load(std::memory_order_relaxed) < config_.max_running;
+    const bool express_free =
+        express_running_.load(std::memory_order_relaxed) <
+        config_.express_slots;
     if (!general_free && !express_free) break;
     // Highest priority class first, arrival order within it; waiters whose
     // tenant is at its cap are passed over (a later arrival of another
@@ -150,22 +369,31 @@ void SortService::PumpAdmissionLocked() {
     if (best == queue_.end()) break;
     Waiter* w = *best;
     queue_.erase(best);
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
     w->admitted = true;
     // Express-eligible work prefers the express lane while it has room,
     // preserving general slots for the queries that can only run there.
     w->in_express = w->express_eligible && express_free;
     if (w->in_express) {
-      ++express_running_;
-      stats_.express_admitted += 1;
-      stats_.max_express_running =
-          std::max(stats_.max_express_running, express_running_);
+      const uint64_t now_express =
+          express_running_.fetch_add(1, std::memory_order_relaxed) + 1;
+      express_admitted_.fetch_add(1, std::memory_order_relaxed);
+      if (now_express > max_express_running_.load(std::memory_order_relaxed)) {
+        max_express_running_.store(now_express, std::memory_order_relaxed);
+      }
+      if (w->telemetry != nullptr) w->telemetry->express_admitted->Increment();
     } else {
-      ++running_;
-      stats_.max_running = std::max(stats_.max_running, running_);
+      const uint64_t now_running =
+          running_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (now_running > max_running_.load(std::memory_order_relaxed)) {
+        max_running_.store(now_running, std::memory_order_relaxed);
+      }
     }
     ++tenant_running_[*w->tenant];
-    stats_.admitted += 1;
-    stats_.op_class[OpIndex(w->op)].admitted += 1;
+    admitted_.fetch_add(1, std::memory_order_release);
+    op_class_[OpIndex(w->op)].admitted.fetch_add(1,
+                                                 std::memory_order_release);
+    if (w->telemetry != nullptr) w->telemetry->admitted->Increment();
     w->cv.notify_one();
   }
 }
@@ -173,7 +401,9 @@ void SortService::PumpAdmissionLocked() {
 Status SortService::Admit(const OperatorRequest& request,
                           const std::string& tenant, bool express_eligible,
                           const CancellationToken& queue_cancel,
-                          uint64_t* waited_ns, bool* in_express) {
+                          const TelemetryHandles* telemetry,
+                          uint64_t query_id, uint64_t* waited_ns,
+                          bool* in_express) {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
   auto waited_ms = [&start] {
@@ -182,40 +412,60 @@ Status SortService::Admit(const OperatorRequest& request,
                                                               start)
             .count());
   };
+  // Wait-free telemetry; shed paths below add their own cause events.
+  auto record_flight = [&](FlightEventKind kind, const char* cause) {
+    if (telemetry == nullptr) return;
+    flight_->Record(kind, query_id, telemetry->tenant, telemetry->op_class,
+                    telemetry->priority, cause, 0);
+  };
   std::unique_lock<std::mutex> lock(mutex_);
-  stats_.requests += 1;
-  stats_.op_class[OpIndex(request.op)].requests += 1;
+  requests_.fetch_add(1, std::memory_order_release);
+  op_class_[OpIndex(request.op)].requests.fetch_add(
+      1, std::memory_order_release);
+  if (telemetry != nullptr) telemetry->requests->Increment();
+  record_flight(FlightEventKind::kEnqueue, "");
   Waiter waiter;
   waiter.priority = request.priority;
   waiter.seq = next_seq_++;
   waiter.tenant = &tenant;
   waiter.op = request.op;
+  waiter.telemetry = telemetry;
+  waiter.query_id = query_id;
   waiter.express_eligible = express_eligible;
   queue_.push_back(&waiter);
+  queue_depth_.store(queue_.size(), std::memory_order_relaxed);
   PumpAdmissionLocked();
   // Shed-fast policy: a request that cannot run immediately and would be
   // waiter number max_queued+1 is refused outright — a full queue means the
   // wait would be long, and a fast ResourceExhausted beats a slow one.
   if (!waiter.admitted && queue_.size() > config_.max_queued) {
     queue_.pop_back();
-    stats_.shed_queue_full += 1;
-    stats_.op_class[OpIndex(request.op)].shed += 1;
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+    shed_queue_full_.fetch_add(1, std::memory_order_release);
+    op_class_[OpIndex(request.op)].shed.fetch_add(1,
+                                                  std::memory_order_release);
+    if (telemetry != nullptr) telemetry->shed_queue_full->Increment();
+    record_flight(FlightEventKind::kShed, "queue_full");
     return Status::ResourceExhausted(StringFormat(
         "admission queue full for tenant '%s' (%llu queued > limit %llu; "
         "%llu running + %llu express; wait budget spent: %llu ms); "
         "shed fast, retry later",
         tenant.c_str(), (unsigned long long)queue_.size() + 1,
-        (unsigned long long)config_.max_queued, (unsigned long long)running_,
-        (unsigned long long)express_running_, waited_ms()));
+        (unsigned long long)config_.max_queued,
+        (unsigned long long)running_.load(std::memory_order_relaxed),
+        (unsigned long long)express_running_.load(std::memory_order_relaxed),
+        waited_ms()));
   }
-  stats_.max_queue_depth =
-      std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+  if (queue_.size() > max_queue_depth_.load(std::memory_order_relaxed)) {
+    max_queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+  }
 
   const bool bounded = config_.queue_wait_limit_ms > 0;
   const Clock::time_point wait_deadline =
       start + std::chrono::milliseconds(config_.queue_wait_limit_ms);
   auto remove_self = [&] {
     queue_.erase(std::find(queue_.begin(), queue_.end(), &waiter));
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
   };
   while (!waiter.admitted) {
     // One combined poll: the caller's linked token trips on the request
@@ -223,26 +473,35 @@ Status SortService::Admit(const OperatorRequest& request,
     // DeadlineExceeded vs Cancelled.
     if (queue_cancel.CanBeCancelled() && queue_cancel.IsCancelled()) {
       remove_self();
-      stats_.shed_queued_cancel += 1;
-      stats_.op_class[OpIndex(request.op)].shed += 1;
+      shed_queued_cancel_.fetch_add(1, std::memory_order_release);
+      op_class_[OpIndex(request.op)].shed.fetch_add(
+          1, std::memory_order_release);
+      if (telemetry != nullptr) telemetry->shed_queued_cancel->Increment();
       if (queue_cancel.cause() == CancelCause::kDeadline) {
+        record_flight(FlightEventKind::kShed, "queued_deadline");
         return Status::DeadlineExceeded(
             "request deadline expired in the admission queue");
       }
+      record_flight(FlightEventKind::kShed, "queued_cancel");
       return CancellationToken::StatusForCause(queue_cancel.cause());
     }
     if (bounded && Clock::now() >= wait_deadline) {
       remove_self();
-      stats_.shed_wait_budget += 1;
-      stats_.op_class[OpIndex(request.op)].shed += 1;
+      shed_wait_budget_.fetch_add(1, std::memory_order_release);
+      op_class_[OpIndex(request.op)].shed.fetch_add(
+          1, std::memory_order_release);
+      if (telemetry != nullptr) telemetry->shed_wait_budget->Increment();
+      record_flight(FlightEventKind::kShed, "wait_budget");
       return Status::ResourceExhausted(StringFormat(
           "admission wait budget spent for tenant '%s' (waited %llu of "
           "%llu ms; %llu still queued, %llu running + %llu express); the "
           "service is saturated, retry later",
           tenant.c_str(), waited_ms(),
           (unsigned long long)config_.queue_wait_limit_ms,
-          (unsigned long long)queue_.size(), (unsigned long long)running_,
-          (unsigned long long)express_running_));
+          (unsigned long long)queue_.size(),
+          (unsigned long long)running_.load(std::memory_order_relaxed),
+          (unsigned long long)express_running_.load(
+              std::memory_order_relaxed)));
     }
     Clock::time_point until =
         Clock::now() + std::chrono::milliseconds(kQueuePollMillis);
@@ -263,11 +522,11 @@ Status SortService::Admit(const OperatorRequest& request,
 void SortService::ReleaseSlot(const std::string& tenant, bool in_express) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (in_express) {
-    ROWSORT_DASSERT(express_running_ > 0);
-    --express_running_;
+    ROWSORT_DASSERT(express_running_.load(std::memory_order_relaxed) > 0);
+    express_running_.fetch_sub(1, std::memory_order_relaxed);
   } else {
-    ROWSORT_DASSERT(running_ > 0);
-    --running_;
+    ROWSORT_DASSERT(running_.load(std::memory_order_relaxed) > 0);
+    running_.fetch_sub(1, std::memory_order_relaxed);
   }
   auto it = tenant_running_.find(tenant);
   ROWSORT_DASSERT(it != tenant_running_.end() && it->second > 0);
@@ -279,8 +538,18 @@ void SortService::RegisterSort(RelationalSort* sort, TaskPriority priority) {
   auto* query = new ActiveQuery;
   query->sort = sort;
   query->priority = priority;
+  // Attribute the engine to the service request executing on this thread
+  // (engines are constructed on the client thread inside the operator body,
+  // including sorts nested in window/join operators).
+  if (t_request_context != nullptr) {
+    query->query_id = t_request_context->query_id;
+    query->tenant = t_request_context->tenant;
+    query->op_class = t_request_context->op_class;
+    query->priority_name = t_request_context->priority;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   active_.push_back(query);
+  active_count_.store(active_.size(), std::memory_order_relaxed);
 }
 
 void SortService::UnregisterSort(RelationalSort* sort) {
@@ -293,6 +562,7 @@ void SortService::UnregisterSort(RelationalSort* sort) {
   // a pin on it. Re-find after the wait — the vector may have shifted.
   unpinned_.wait(lock, [query] { return query->pins == 0; });
   active_.erase(std::find(active_.begin(), active_.end(), query));
+  active_count_.store(active_.size(), std::memory_order_relaxed);
   delete query;
 }
 
@@ -333,23 +603,62 @@ void SortService::EnsureCapacity(uint64_t bytes, RelationalSort* requester) {
     // and does real I/O. The pin keeps its ActiveQuery (and the sort it
     // points to) alive until we drop it.
     const uint64_t freed = victim->sort->SpillResidentBytes(need);
+    // Identity must be captured before the pin drops — UnregisterSort may
+    // delete the ActiveQuery the moment pins reaches zero.
+    const uint64_t victim_query_id = victim->query_id;
+    const char* victim_tenant = victim->tenant;
+    const char* victim_op = victim->op_class;
+    const char* victim_priority = victim->priority_name;
+    const RelationalSort* victim_sort = victim->sort;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--victim->pins == 0) unpinned_.notify_all();
-      if (freed > 0) {
-        stats_.victim_spills += 1;
-        stats_.victim_bytes_freed += freed;
-      }
     }
-    if (freed == 0) unhelpful.push_back(victim->sort);
+    if (freed > 0) {
+      victim_spills_.fetch_add(1, std::memory_order_relaxed);
+      victim_bytes_freed_.fetch_add(freed, std::memory_order_relaxed);
+      if (metrics_ != nullptr) {
+        // Victim spills are rare (each one is real I/O), so resolving the
+        // victim-tenant counters through the registry lock is fine here.
+        const MetricLabels labels = {{"tenant", victim_tenant}};
+        metrics_
+            ->GetCounter("rowsort_service_victim_spills_total",
+                         "Victim-spill rounds that freed memory, by victim "
+                         "tenant",
+                         labels)
+            ->Increment();
+        metrics_
+            ->GetCounter("rowsort_service_victim_bytes_freed_total",
+                         "Bytes freed from victims, by victim tenant",
+                         labels)
+            ->Increment(freed);
+      }
+      if (flight_ != nullptr) {
+        flight_->Record(FlightEventKind::kVictimSpill, victim_query_id,
+                        victim_tenant, victim_op, victim_priority,
+                        "memory_pressure", freed);
+      }
+    } else {
+      unhelpful.push_back(victim_sort);
+    }
   }
 }
 
 StatusOr<Table> SortService::RunGoverned(
     const OperatorRequest& request, bool express_eligible,
+    uint64_t estimated_bytes,
     const std::function<StatusOr<Table>(const SortEngineConfig&,
                                         const CancellationToken&)>& body) {
   const std::string& tenant = EffectiveTenant(request.tenant);
+  const TelemetryHandles* telemetry =
+      ResolveTelemetry(tenant, request.op, request.priority);
+  // One process-unique id serves as flight-recorder query id *and* trace
+  // scope: every span this request records — service phases here, engine
+  // spans in the body, pool tasks and spill I/O via scope inheritance —
+  // lands in the same "query-<id>" process group of the merged export.
+  const uint64_t query_id = Tracer::NextScopeId();
+  TraceScopeGuard scope(query_id);
+  Tracer* tracer = config_.trace;
 
   // One engine-facing token carries every interruption channel: the linked
   // source trips on the request deadline by itself and observes the
@@ -358,11 +667,22 @@ StatusOr<Table> SortService::RunGoverned(
   CancellationSource source(request.deadline, request.cancellation);
   const CancellationToken token = source.token();
 
+  const int64_t enqueue_ns = Tracer::NowNanos();
   uint64_t waited_ns = 0;
   bool in_express = false;
-  ROWSORT_RETURN_NOT_OK(
-      Admit(request, tenant, express_eligible, token, &waited_ns, &in_express));
+  {
+    TraceSpan queued_span(tracer, "service.queued", "service");
+    ROWSORT_RETURN_NOT_OK(Admit(request, tenant, express_eligible, token,
+                                telemetry, query_id, &waited_ns,
+                                &in_express));
+  }
   queue_wait_ns_.Record(waited_ns);
+  if (telemetry != nullptr) {
+    telemetry->queue_wait->RecordNs(waited_ns);
+    flight_->Record(FlightEventKind::kAdmit, query_id, telemetry->tenant,
+                    telemetry->op_class, telemetry->priority,
+                    in_express ? "express" : "general", estimated_bytes);
+  }
   struct SlotGuard {
     SortService* service;
     const std::string* tenant;
@@ -375,8 +695,22 @@ StatusOr<Table> SortService::RunGoverned(
   config.governor = this;
   config.governor_priority = request.priority;
   config.cancellation = token;
+  config.trace_scope = query_id;
+  if (tracer != nullptr) config.trace = tracer;
 
+  // Engines constructed inside the body (on this thread) attribute
+  // themselves to this request via the thread-local context.
+  RequestContext context;
+  context.query_id = query_id;
+  context.tenant = telemetry != nullptr ? telemetry->tenant : "";
+  context.op_class = OperatorKindName(request.op);
+  context.priority = TaskPriorityName(request.priority);
+  const RequestContext* previous_context = t_request_context;
+  t_request_context = &context;
+
+  const int64_t run_start_ns = Tracer::NowNanos();
   StatusOr<Table> result = [&]() -> StatusOr<Table> {
+    TraceSpan run_span(tracer, "service.run", "service");
     try {
       return body(config, token);
     } catch (const CancelledError& e) {
@@ -386,19 +720,40 @@ StatusOr<Table> SortService::RunGoverned(
           "service %s: allocation failed", OperatorKindName(request.op)));
     }
   }();
+  t_request_context = previous_context;
+  const int64_t end_ns = Tracer::NowNanos();
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    OperatorClassStats& op_stats = stats_.op_class[OpIndex(request.op)];
+    TraceSpan finalize_span(tracer, "service.finalize", "service");
+    AtomicOpClassStats& op_stats = op_class_[OpIndex(request.op)];
+    FlightEventKind outcome = FlightEventKind::kComplete;
+    const char* cause = "";
     if (result.ok()) {
-      stats_.completed += 1;
-      op_stats.completed += 1;
+      completed_.fetch_add(1, std::memory_order_release);
+      op_stats.completed.fetch_add(1, std::memory_order_release);
+      if (telemetry != nullptr) telemetry->completed->Increment();
     } else if (result.status().IsCancellation()) {
-      stats_.cancelled += 1;
-      op_stats.cancelled += 1;
+      cancelled_.fetch_add(1, std::memory_order_release);
+      op_stats.cancelled.fetch_add(1, std::memory_order_release);
+      if (telemetry != nullptr) telemetry->cancelled->Increment();
+      outcome = result.status().code() == StatusCode::kDeadlineExceeded
+                    ? FlightEventKind::kDeadline
+                    : FlightEventKind::kCancel;
     } else {
-      stats_.failed += 1;
-      op_stats.failed += 1;
+      failed_.fetch_add(1, std::memory_order_release);
+      op_stats.failed.fetch_add(1, std::memory_order_release);
+      if (telemetry != nullptr) telemetry->failed->Increment();
+      outcome = FlightEventKind::kFail;
+      cause = "error";
+    }
+    if (telemetry != nullptr) {
+      telemetry->run_time->RecordNs(
+          static_cast<uint64_t>(end_ns - run_start_ns));
+      telemetry->end_to_end->RecordNs(
+          static_cast<uint64_t>(end_ns - enqueue_ns));
+      flight_->Record(outcome, query_id, telemetry->tenant,
+                      telemetry->op_class, telemetry->priority, cause,
+                      estimated_bytes);
     }
   }
   return result;
@@ -460,10 +815,10 @@ StatusOr<Table> SortService::Submit(const Table& input,
       }
       break;
   }
-  const bool express_eligible =
-      config_.express_slots > 0 &&
-      EstimateWorkingSetBytes(request, input, nullptr) <=
-          config_.express_max_bytes;
+  const uint64_t estimated_bytes =
+      EstimateWorkingSetBytes(request, input, nullptr);
+  const bool express_eligible = config_.express_slots > 0 &&
+                                estimated_bytes <= config_.express_max_bytes;
 
   if (request.op == OperatorKind::kSort) {
     // Full sorts are the one operator whose sink is morsel-parallel over the
@@ -517,7 +872,7 @@ StatusOr<Table> SortService::Submit(const Table& input,
         return Status::OutOfMemory("service sort output: allocation failed");
       }
     };
-    return RunGoverned(request, express_eligible, body);
+    return RunGoverned(request, express_eligible, estimated_bytes, body);
   }
 
   auto body = [&](const SortEngineConfig& config,
@@ -537,7 +892,7 @@ StatusOr<Table> SortService::Submit(const Table& input,
         return Status::InvalidArgument("unreachable operator kind");
     }
   };
-  return RunGoverned(request, express_eligible, body);
+  return RunGoverned(request, express_eligible, estimated_bytes, body);
 }
 
 StatusOr<Table> SortService::Submit(const Table& left, const Table& right,
@@ -549,7 +904,7 @@ StatusOr<Table> SortService::Submit(const Table& left, const Table& right,
     case OperatorKind::kTopN:
     case OperatorKind::kWindow:
       return Status::InvalidArgument(StringFormat(
-          "%s takes one input; use the unary Submit overload",
+          "%s takes one input; use the binary Submit overload",
           OperatorKindName(request.op)));
     case OperatorKind::kMergeJoin:
       if (request.keys.empty()) {
@@ -571,10 +926,10 @@ StatusOr<Table> SortService::Submit(const Table& left, const Table& right,
       }
       break;
   }
-  const bool express_eligible =
-      config_.express_slots > 0 &&
-      EstimateWorkingSetBytes(request, left, &right) <=
-          config_.express_max_bytes;
+  const uint64_t estimated_bytes =
+      EstimateWorkingSetBytes(request, left, &right);
+  const bool express_eligible = config_.express_slots > 0 &&
+                                estimated_bytes <= config_.express_max_bytes;
 
   auto body = [&](const SortEngineConfig& config,
                   const CancellationToken&) -> StatusOr<Table> {
@@ -583,7 +938,7 @@ StatusOr<Table> SortService::Submit(const Table& left, const Table& right,
     }
     return IEJoin(left, right, request.pred1, request.pred2, config);
   };
-  return RunGoverned(request, express_eligible, body);
+  return RunGoverned(request, express_eligible, estimated_bytes, body);
 }
 
 }  // namespace rowsort

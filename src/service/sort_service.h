@@ -1,10 +1,12 @@
 // Copyright 2026 the rowsort authors. Licensed under the MIT license.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -14,12 +16,15 @@
 #include "common/histogram.h"
 #include "common/macros.h"
 #include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/ie_join.h"
 #include "engine/merge_join.h"
 #include "engine/sort_engine.h"
 #include "engine/window.h"
 #include "parallel/thread_pool.h"
+#include "service/flight_recorder.h"
 #include "workload/tables.h"
 
 namespace rowsort {
@@ -55,6 +60,23 @@ struct SortServiceConfig {
   uint64_t express_slots = 2;
   /// Estimated-working-set ceiling for express eligibility.
   uint64_t express_max_bytes = 8ull << 20;
+  /// Service telemetry (docs/observability.md, "Service telemetry"): the
+  /// metrics registry, its sampling collector, and the flight recorder.
+  /// Off = none of them exist; admission pays only the atomic service
+  /// counters (the <2% overhead budget the bench checks).
+  bool telemetry = true;
+  /// Collector sampling period for the registry's time-series rings
+  /// (0 = no collector thread; SampleNow() still works).
+  uint64_t telemetry_sample_interval_ms = 100;
+  /// Flight-recorder ring capacity (events; rounded up to a power of two).
+  uint64_t flight_recorder_capacity = 1 << 14;
+  /// Service-level tracer: request spans (service.queued / service.run /
+  /// service.finalize) plus every admitted query's engine spans land here,
+  /// each query under its own process-unique scope, so one export shows all
+  /// concurrent queries stitched ("Stitched cross-query traces"). Overrides
+  /// any per-request engine tracer. Null = no service tracing. Must outlive
+  /// the service.
+  Tracer* trace = nullptr;
 };
 
 /// The operator a request routes to (ROADMAP item 1: every sort-family
@@ -233,16 +255,75 @@ class SortService : public MemoryGovernor {
   void RegisterSort(RelationalSort* sort, TaskPriority priority) override;
   void UnregisterSort(RelationalSort* sort) override;
 
+  /// Consistent counter copy, *contention-free*: reads only atomics (no
+  /// service mutex), so a 10 Hz scraper never delays admission. The ledger
+  /// invariants hold in any snapshot, even mid-storm:
+  ///   requests >= admitted + shed,  admitted >= completed+failed+cancelled
+  /// (release increments + acquire loads in downstream-first order).
   SortServiceStats StatsSnapshot() const;
   ThreadPoolStatsSnapshot PoolStatsSnapshot() const {
     return pool_.StatsSnapshot();
   }
   const MemoryTracker& memory_tracker() const { return global_tracker_; }
-  uint64_t current_queue_depth() const;
-  uint64_t current_running() const;
-  uint64_t current_express_running() const;
+  uint64_t current_queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  uint64_t current_running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  uint64_t current_express_running() const {
+    return express_running_.load(std::memory_order_relaxed);
+  }
+
+  /// The registry / recorder behind the exports; null when
+  /// SortServiceConfig::telemetry is off. Valid for the service's lifetime.
+  MetricsRegistry* metrics_registry() const { return metrics_.get(); }
+  FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  /// Prometheus text exposition of every service metric ("" with telemetry
+  /// off). Safe to call from a scraper thread at any rate.
+  std::string ExportMetricsText() const;
+  /// One JSON document: service counters + ledger, registry metrics with
+  /// their sampled time-series, and the flight-recorder summary. Works with
+  /// telemetry off (counters only).
+  std::string ExportTelemetryJson() const;
+  /// Flight-recorder JSON dump ("{}" with telemetry off); \p last_ns > 0
+  /// keeps only events newer than that.
+  std::string DumpFlightRecorder(int64_t last_ns = 0) const;
 
  private:
+  /// Cached registry handles for one (tenant, op_class, priority) series
+  /// set: resolved once per combination under telemetry_mutex_, then every
+  /// request of that combination records wait-free. Null handles when
+  /// telemetry is off.
+  struct TelemetryHandles {
+    Counter* requests = nullptr;
+    Counter* admitted = nullptr;
+    Counter* express_admitted = nullptr;
+    Counter* completed = nullptr;
+    Counter* failed = nullptr;
+    Counter* cancelled = nullptr;
+    Counter* shed_queue_full = nullptr;
+    Counter* shed_wait_budget = nullptr;
+    Counter* shed_queued_cancel = nullptr;
+    HistogramMetric* queue_wait = nullptr;  ///< enqueue -> admitted
+    HistogramMetric* run_time = nullptr;    ///< admitted -> body returned
+    HistogramMetric* end_to_end = nullptr;  ///< enqueue -> outcome recorded
+    const char* tenant = "";    ///< interned in the flight recorder
+    const char* op_class = "";  ///< OperatorKindName literal
+    const char* priority = "";  ///< TaskPriorityName literal
+  };
+
+  /// Atomic mirror of OperatorClassStats (see StatsSnapshot's contract).
+  struct AtomicOpClassStats {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> cancelled{0};
+  };
+
   /// One queued request; lives on its Submit() frame.
   struct Waiter {
     std::condition_variable cv;
@@ -250,6 +331,8 @@ class SortService : public MemoryGovernor {
     uint64_t seq = 0;
     const std::string* tenant = nullptr;
     OperatorKind op = OperatorKind::kSort;
+    const TelemetryHandles* telemetry = nullptr;  ///< null when off
+    uint64_t query_id = 0;
     bool express_eligible = false;
     bool admitted = false;
     bool in_express = false;  ///< seated in the express lane (vs general)
@@ -258,18 +341,34 @@ class SortService : public MemoryGovernor {
   /// One registered engine, visible to victim selection; owned by the
   /// registry (RegisterSort / UnregisterSort). pins > 0 while EnsureCapacity
   /// is spilling it outside the lock — deregistration waits for pins to
-  /// drain before the engine may die.
+  /// drain before the engine may die. query_id/tenant identify the service
+  /// request the engine belongs to (from the thread-local request context;
+  /// zero/empty for engines registered outside a service request).
   struct ActiveQuery {
     RelationalSort* sort = nullptr;
     TaskPriority priority = TaskPriority::kNormal;
     uint64_t pins = 0;
+    uint64_t query_id = 0;
+    const char* tenant = "";
+    const char* op_class = "";
+    const char* priority_name = "";
   };
+
+  /// The cached handle set for (tenant, op, priority); null with telemetry
+  /// off. Takes telemetry_mutex_ on a combination's first request only.
+  const TelemetryHandles* ResolveTelemetry(const std::string& tenant,
+                                           OperatorKind op,
+                                           TaskPriority priority);
+  /// Registers the callback gauges + starts the collector (constructor).
+  void InitTelemetry();
 
   /// Blocks until admitted or shed. OK = slot held (release via
   /// ReleaseSlot). \p waited_ns receives the queue time and \p in_express
-  /// the lane when admitted.
+  /// the lane when admitted. \p telemetry/\p query_id ride on the waiter so
+  /// the admission pump can attribute its decisions.
   Status Admit(const OperatorRequest& request, const std::string& tenant,
                bool express_eligible, const CancellationToken& queue_cancel,
+               const TelemetryHandles* telemetry, uint64_t query_id,
                uint64_t* waited_ns, bool* in_express);
   /// Admits queued waiters (priority, then arrival; tenants at their cap
   /// are passed over; express-eligible waiters may take either lane) while
@@ -279,8 +378,11 @@ class SortService : public MemoryGovernor {
   void ReleaseSlot(const std::string& tenant, bool in_express);
   /// Everything between admission and outcome classification, shared by all
   /// operator kinds: builds the governed engine config and runs \p body.
+  /// \p estimated_bytes is the admission cost class (flight-recorder
+  /// attribution).
   StatusOr<Table> RunGoverned(
       const OperatorRequest& request, bool express_eligible,
+      uint64_t estimated_bytes,
       const std::function<StatusOr<Table>(const SortEngineConfig&,
                                           const CancellationToken&)>& body);
 
@@ -291,14 +393,44 @@ class SortService : public MemoryGovernor {
 
   mutable std::mutex mutex_;
   std::deque<Waiter*> queue_;  ///< admission order; elements live on stacks
-  uint64_t running_ = 0;          ///< general-lane occupancy
-  uint64_t express_running_ = 0;  ///< express-lane occupancy
+  /// Lane occupancy + queue depth: written under mutex_, atomic so gauges
+  /// and the metrics collector sample them lock-free.
+  std::atomic<uint64_t> running_{0};          ///< general-lane occupancy
+  std::atomic<uint64_t> express_running_{0};  ///< express-lane occupancy
+  std::atomic<uint64_t> queue_depth_{0};      ///< mirrors queue_.size()
   uint64_t next_seq_ = 0;
   std::unordered_map<std::string, uint64_t> tenant_running_;
   std::vector<ActiveQuery*> active_;  ///< victim registry; heap-owned
+  std::atomic<uint64_t> active_count_{0};  ///< mirrors active_.size()
   std::condition_variable unpinned_;  ///< signals pins hitting zero
-  SortServiceStats stats_;            ///< guarded by mutex_
+
+  /// Service counters, all atomic — StatsSnapshot() never takes mutex_.
+  /// Outcome/admission/request increments use release ordering; see
+  /// StatsSnapshot() for the matching read protocol. The high-water marks
+  /// are only written under mutex_ (plain max), read relaxed.
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_wait_budget_{0};
+  std::atomic<uint64_t> shed_queued_cancel_{0};
+  std::atomic<uint64_t> victim_spills_{0};
+  std::atomic<uint64_t> victim_bytes_freed_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> max_running_{0};
+  std::atomic<uint64_t> express_admitted_{0};
+  std::atomic<uint64_t> max_express_running_{0};
+  AtomicOpClassStats op_class_[kOperatorKindCount];
   AtomicDurationHistogram queue_wait_ns_;
+
+  /// -- telemetry (null / empty when config_.telemetry is off) ----------
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<FlightRecorder> flight_;
+  mutable std::mutex telemetry_mutex_;  ///< guards handles_ resolution
+  /// Key "tenant|op_class|priority" -> heap-stable handle set.
+  std::unordered_map<std::string, std::unique_ptr<TelemetryHandles>> handles_;
 };
 
 }  // namespace rowsort

@@ -1,0 +1,619 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Service telemetry (docs/observability.md, "Service telemetry"): the
+// metrics registry's Prometheus/JSON exposition (golden escaping and
+// cumulative-bucket checks), the lock-free flight recorder (wraparound,
+// concurrent writers, time filtering), the contention-free StatsSnapshot
+// ledger under a concurrent scraper, flight-recorder reconstruction of
+// every shed/victim-spill decision, and stitched cross-query traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/random.h"
+#include "common/trace.h"
+#include "engine/sort_engine.h"
+#include "service/flight_recorder.h"
+#include "service/sort_service.h"
+#include "workload/tables.h"
+
+namespace rowsort {
+namespace {
+
+Table MakeRandomTable(uint64_t rows, uint64_t seed) {
+  Random rng(seed);
+  std::vector<LogicalType> types = {LogicalType(TypeId::kInt32),
+                                    LogicalType(TypeId::kInt64)};
+  Table table(types);
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r,
+                     Value::Int32(static_cast<int32_t>(rng.Uniform(100000))));
+      chunk.SetValue(1, r, Value::Int64(static_cast<int64_t>(rng.Next64())));
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+SortSpec IntSpec() {
+  SortColumn key;
+  key.column_index = 0;
+  key.type = LogicalType(TypeId::kInt32);
+  SortColumn tiebreak;
+  tiebreak.column_index = 1;
+  tiebreak.type = LogicalType(TypeId::kInt64);
+  return SortSpec({key, tiebreak});
+}
+
+/// All exposition lines of \p metric (samples only, not HELP/TYPE).
+std::vector<std::string> SampleLines(const std::string& text,
+                                     const std::string& metric) {
+  std::vector<std::string> out;
+  uint64_t pos = 0;
+  while (pos < text.size()) {
+    uint64_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    if (line.rfind(metric, 0) == 0 && line.rfind("# ", 0) != 0) {
+      out.push_back(line);
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// The numeric value at the end of one exposition line.
+double LineValue(const std::string& line) {
+  const uint64_t space = line.rfind(' ');
+  return std::stod(line.substr(space + 1));
+}
+
+uint64_t CountOccurrences(const std::string& haystack,
+                          const std::string& needle) {
+  uint64_t count = 0;
+  for (uint64_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry: handles, dedupe, exposition goldens, sampling rings.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAndDeduped) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("t_total", "help", {{"k", "v"}});
+  // Same (name, labels) -> same handle; label order must not matter (the
+  // registry sorts by key before building the dedupe signature).
+  Counter* b = registry.GetCounter(
+      "t_total", "ignored second help",
+      {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  Counter* two_labels = registry.GetCounter(
+      "t_total", "help", {{"z", "1"}, {"a", "2"}});
+  Counter* two_labels_swapped = registry.GetCounter(
+      "t_total", "help", {{"a", "2"}, {"z", "1"}});
+  EXPECT_EQ(two_labels, two_labels_swapped);
+  EXPECT_NE(a, two_labels);
+
+  a->Increment();
+  a->Increment(4);
+  EXPECT_EQ(a->value(), 5u);
+
+  Gauge* g = registry.GetGauge("depth", "help");
+  g->Set(7);
+  g->Add(-9);
+  EXPECT_EQ(g->value(), -2);
+
+  HistogramMetric* h = registry.GetHistogram("lat_seconds", "help");
+  h->RecordNs(1000);
+  h->RecordNs(2000);
+  EXPECT_EQ(h->count(), 2u);
+}
+
+TEST(MetricsRegistryTest, PrometheusGoldenWithEscapedLabels) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("rowsort_t_total", "Counts \\ things\nover lines",
+                  {{"tenant", "a\"b\\c\nd"}})
+      ->Increment(3);
+  registry.GetGauge("rowsort_depth", "A depth")->Set(-2);
+  // Golden: family order = registration order, HELP escapes backslash and
+  // newline, label values additionally escape double quotes.
+  EXPECT_EQ(registry.ExportPrometheusText(),
+            "# HELP rowsort_t_total Counts \\\\ things\\nover lines\n"
+            "# TYPE rowsort_t_total counter\n"
+            "rowsort_t_total{tenant=\"a\\\"b\\\\c\\nd\"} 3\n"
+            "# HELP rowsort_depth A depth\n"
+            "# TYPE rowsort_depth gauge\n"
+            "rowsort_depth -2\n");
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  HistogramMetric* h =
+      registry.GetHistogram("rowsort_lat_seconds", "Latency", {{"t", "x"}});
+  // Spread across several log2 buckets, plus repeats in one bucket.
+  for (uint64_t ns : {100, 100, 3000, 3000000, 50000000, 50000001}) {
+    h->RecordNs(ns);
+  }
+  const std::string text = registry.ExportPrometheusText();
+
+  const std::vector<std::string> buckets =
+      SampleLines(text, "rowsort_lat_seconds_bucket");
+  ASSERT_EQ(buckets.size(), kDurationHistogramBuckets + 1);  // + le="+Inf"
+  double previous = 0;
+  for (const std::string& line : buckets) {
+    const double value = LineValue(line);
+    EXPECT_GE(value, previous) << line;  // cumulative: never decreases
+    previous = value;
+  }
+  // +Inf bucket == _count == the number of observations.
+  EXPECT_NE(buckets.back().find("le=\"+Inf\""), std::string::npos);
+  EXPECT_EQ(LineValue(buckets.back()), 6);
+  const std::vector<std::string> count =
+      SampleLines(text, "rowsort_lat_seconds_count");
+  ASSERT_EQ(count.size(), 1u);
+  EXPECT_EQ(LineValue(count[0]), 6);
+  // _sum is in seconds.
+  const std::vector<std::string> sum =
+      SampleLines(text, "rowsort_lat_seconds_sum");
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_NEAR(LineValue(sum[0]), (100 + 100 + 3000 + 3000000 + 50000000 +
+                                  50000001) * 1e-9, 1e-9);
+  // Every bucket line carries the series labels plus its le.
+  EXPECT_NE(buckets[0].find("{t=\"x\",le=\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeEvaluatesAtExport) {
+  MetricsRegistry registry;
+  std::atomic<int64_t> live{11};
+  registry.RegisterCallbackGauge("rowsort_live", "Live value", {},
+                                 [&live] { return live.load(); });
+  EXPECT_NE(registry.ExportPrometheusText().find("rowsort_live 11"),
+            std::string::npos);
+  live.store(42);
+  EXPECT_NE(registry.ExportPrometheusText().find("rowsort_live 42"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SampleRingsRetainBoundedHistory) {
+  MetricsRegistry registry(/*ring_capacity=*/4);
+  Counter* c = registry.GetCounter("rowsort_c_total", "help");
+  for (uint64_t i = 0; i < 10; ++i) {
+    c->Increment();
+    registry.SampleNow();
+  }
+  EXPECT_EQ(registry.samples_taken(), 10u);
+  const std::string json = registry.ExportJson();
+  // Ring capacity 4: only the last four samples (values 7..10) survive.
+  EXPECT_NE(json.find("\"value\":10"), std::string::npos);
+  EXPECT_NE(json.find(",7],"), std::string::npos);
+  EXPECT_EQ(json.find(",6],"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CollectorSamplesInBackground) {
+  MetricsRegistry registry;
+  registry.GetCounter("rowsort_c_total", "help")->Increment();
+  EXPECT_FALSE(registry.collector_running());
+  registry.StartCollector(1);
+  EXPECT_TRUE(registry.collector_running());
+  for (int i = 0; i < 20000 && registry.samples_taken() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(registry.samples_taken(), 3u);
+  registry.StopCollector();
+  EXPECT_FALSE(registry.collector_running());
+  const uint64_t frozen = registry.samples_taken();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(registry.samples_taken(), frozen);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder: ring semantics, wraparound, concurrent writers.
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsStructuredEvents) {
+  FlightRecorder recorder(16);
+  const char* tenant = recorder.InternTenant("acme");
+  recorder.Record(FlightEventKind::kShed, 7, tenant, "sort", "normal",
+                  "queue_full", 123);
+  const std::vector<FlightEventView> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kShed);
+  EXPECT_EQ(events[0].query_id, 7u);
+  EXPECT_STREQ(events[0].tenant, "acme");
+  EXPECT_STREQ(events[0].cause, "queue_full");
+  EXPECT_EQ(events[0].bytes, 123u);
+  EXPECT_EQ(recorder.recorded(), 1u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const std::string json = recorder.DumpJson();
+  EXPECT_NE(json.find("\"kind\":\"shed\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"cause\":\"queue_full\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":123"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestEvents) {
+  FlightRecorder recorder(8);
+  EXPECT_EQ(recorder.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    recorder.Record(FlightEventKind::kEnqueue, /*query_id=*/i, "", "sort",
+                    "normal", "", 0);
+  }
+  EXPECT_EQ(recorder.recorded(), 20u);
+  EXPECT_EQ(recorder.dropped(), 12u);
+  const std::vector<FlightEventView> events = recorder.Snapshot();
+  // Single-threaded: exactly the newest `capacity` events, oldest first.
+  ASSERT_EQ(events.size(), 8u);
+  for (uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].query_id, 12 + i);
+  }
+}
+
+TEST(FlightRecorderTest, LastNsFilterKeepsRecentOnly) {
+  FlightRecorder recorder(16);
+  recorder.Record(FlightEventKind::kEnqueue, 1, "", "sort", "normal", "", 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  recorder.Record(FlightEventKind::kAdmit, 2, "", "sort", "normal", "", 0);
+  const std::vector<FlightEventView> recent =
+      recorder.Snapshot(/*last_ns=*/50 * 1000 * 1000);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].query_id, 2u);
+  EXPECT_EQ(recorder.Snapshot().size(), 2u);  // unfiltered keeps both
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearSlots) {
+  FlightRecorder recorder(1 << 10);
+  const char* tenants[2] = {recorder.InternTenant("a"),
+                            recorder.InternTenant("b")};
+  constexpr uint64_t kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  // A reader hammers Snapshot() while writers race: every returned view
+  // must be internally consistent (the seq-validated copy skips torn
+  // slots rather than returning garbage pointers).
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const FlightEventView& event : recorder.Snapshot()) {
+        ASSERT_TRUE(event.tenant == tenants[0] || event.tenant == tenants[1]);
+        ASSERT_TRUE(event.kind == FlightEventKind::kEnqueue ||
+                    event.kind == FlightEventKind::kComplete);
+        ASSERT_EQ(event.bytes, event.query_id * 2);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (uint64_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        recorder.Record(i % 2 == 0 ? FlightEventKind::kEnqueue
+                                   : FlightEventKind::kComplete,
+                        i, tenants[w % 2], "sort", "normal", "", i * 2);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(recorder.recorded(), kWriters * kPerWriter);
+  EXPECT_EQ(recorder.Snapshot().size(), recorder.capacity());
+}
+
+// ---------------------------------------------------------------------------
+// SortService integration: exports, ledger under a concurrent scraper,
+// flight-recorder reconstruction, stitched traces, telemetry-off.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryServiceTest, ExportsCoverServiceCounters) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.telemetry_sample_interval_ms = 0;  // no collector in this test
+  SortService service(config);
+
+  Table input = MakeRandomTable(5000, 3);
+  SortRequest request;
+  request.tenant = "acme";
+  ASSERT_TRUE(service.Sort(input, IntSpec(), request).ok());
+
+  const std::string text = service.ExportMetricsText();
+  // Labels render sorted by key: op_class, priority, tenant.
+  EXPECT_NE(
+      text.find("rowsort_service_requests_total{op_class=\"sort\","
+                "priority=\"normal\",tenant=\"acme\"} 1"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("rowsort_service_completed_total{op_class=\"sort\","
+                "priority=\"normal\",tenant=\"acme\"} 1"),
+      std::string::npos);
+  // The end-to-end histogram recorded exactly this query.
+  EXPECT_NE(
+      text.find("rowsort_service_end_to_end_seconds_count{op_class=\"sort\","
+                "priority=\"normal\",tenant=\"acme\"} 1"),
+      std::string::npos);
+  // Callback gauges are present and quiescent after the query finished.
+  EXPECT_NE(text.find("rowsort_service_queue_depth 0"), std::string::npos);
+  EXPECT_NE(text.find("rowsort_service_running 0"), std::string::npos);
+
+  // The JSON telemetry document embeds service counters, registry metrics,
+  // and the flight-recorder summary.
+  const std::string json = service.ExportTelemetryJson();
+  EXPECT_NE(json.find("\"requests\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"flight_recorder\":"), std::string::npos);
+
+  // The flight recorder saw the whole request lifecycle.
+  const std::vector<FlightEventView> events =
+      service.flight_recorder()->Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kEnqueue);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kAdmit);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kComplete);
+  EXPECT_STREQ(events[0].tenant, "acme");
+  EXPECT_EQ(events[0].query_id, events[2].query_id);
+  EXPECT_NE(events[0].query_id, 0u);
+}
+
+TEST(TelemetryServiceTest, TelemetryOffCostsNothingAndCountersSurvive) {
+  SortServiceConfig config;
+  config.threads = 2;
+  config.telemetry = false;
+  SortService service(config);
+  EXPECT_EQ(service.metrics_registry(), nullptr);
+  EXPECT_EQ(service.flight_recorder(), nullptr);
+
+  Table input = MakeRandomTable(5000, 4);
+  ASSERT_TRUE(service.Sort(input, IntSpec()).ok());
+
+  EXPECT_EQ(service.ExportMetricsText(), "");
+  EXPECT_EQ(service.DumpFlightRecorder(), "{}");
+  // The atomic service counters still work (they are not telemetry).
+  SortServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  // The JSON document degrades to counters only.
+  const std::string json = service.ExportTelemetryJson();
+  EXPECT_NE(json.find("\"requests\":1"), std::string::npos);
+  EXPECT_EQ(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"flight_recorder\":"), std::string::npos);
+}
+
+// The acceptance gate for the contention-free snapshot: a 10 Hz (in fact
+// much faster) scraper runs during an overload storm. Every snapshot must
+// show monotone counters and balanced ledgers; the Prometheus export must
+// stay serviceable throughout. Afterwards, the flight recorder must
+// reconstruct every admission decision, one event per counted outcome.
+TEST(TelemetryServiceTest, ScraperUnderOverloadSeesConsistentLedgers) {
+  const uint64_t kQueries = 48;
+  const uint64_t kClients = 8;
+  Table input = MakeRandomTable(30000, 5);
+  SortSpec spec = IntSpec();
+
+  SortServiceConfig config;
+  config.threads = 4;
+  config.max_running = 2;
+  config.max_queued = 3;
+  config.queue_wait_limit_ms = 50;
+  config.express_slots = 1;
+  config.telemetry_sample_interval_ms = 5;  // a fast collector, too
+  config.flight_recorder_capacity = 1 << 12;
+  SortService service(config);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<uint64_t> violations{0};
+  std::thread scraper([&] {
+    SortServiceStats last;
+    // Keep scraping past storm end until a minimum sample count — a fast
+    // machine can drain the storm in a handful of scrape intervals, and the
+    // invariants hold on a quiesced service too.
+    while (!done.load() || scrapes.load() <= 16) {
+      SortServiceStats now = service.StatsSnapshot();
+      const uint64_t shed = now.shed_queue_full + now.shed_wait_budget +
+                            now.shed_queued_cancel;
+      const uint64_t outcomes = now.completed + now.failed + now.cancelled;
+      // Ledger invariants, valid in ANY concurrent snapshot.
+      if (now.requests < now.admitted + shed) violations.fetch_add(1);
+      if (now.admitted < outcomes) violations.fetch_add(1);
+      // Monotonicity against the previous scrape.
+      if (now.requests < last.requests || now.admitted < last.admitted ||
+          now.completed < last.completed) {
+        violations.fetch_add(1);
+      }
+      last = now;
+      // The text exposition stays serviceable mid-storm.
+      if (scrapes.load() % 16 == 0) {
+        if (service.ExportMetricsText().empty()) violations.fetch_add(1);
+        if (service.ExportTelemetryJson().empty()) violations.fetch_add(1);
+      }
+      scrapes.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::atomic<uint64_t> next{0};
+  std::vector<std::thread> clients;
+  for (uint64_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      while (true) {
+        uint64_t q = next.fetch_add(1);
+        if (q >= kQueries) break;
+        SortRequest request;
+        request.tenant = "tenant-" + std::to_string(q % 3);
+        request.priority = static_cast<TaskPriority>(q % 3);
+        if (q % 7 == 6) request.deadline = Deadline::AfterMillis(1);
+        (void)service.Sort(input, spec, request);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  done.store(true);
+  scraper.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(scrapes.load(), 10u);
+
+  // Final ledger balances exactly once the storm has drained.
+  SortServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, kQueries);
+  const uint64_t shed = stats.shed_queue_full + stats.shed_wait_budget +
+                        stats.shed_queued_cancel;
+  EXPECT_EQ(stats.requests, stats.admitted + shed);
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.failed + stats.cancelled);
+
+  // Flight-recorder reconstruction: one enqueue per request, one admit per
+  // admission, one shed event per shed, one terminal event per outcome —
+  // the ring was sized to drop nothing.
+  ASSERT_EQ(service.flight_recorder()->dropped(), 0u);
+  uint64_t enqueues = 0, admits = 0, sheds = 0, completes = 0, fails = 0,
+           cancels = 0, deadlines = 0;
+  std::set<uint64_t> query_ids;
+  for (const FlightEventView& event : service.flight_recorder()->Snapshot()) {
+    query_ids.insert(event.query_id);
+    switch (event.kind) {
+      case FlightEventKind::kEnqueue: ++enqueues; break;
+      case FlightEventKind::kAdmit: ++admits; break;
+      case FlightEventKind::kShed: ++sheds; break;
+      case FlightEventKind::kComplete: ++completes; break;
+      case FlightEventKind::kFail: ++fails; break;
+      case FlightEventKind::kCancel: ++cancels; break;
+      case FlightEventKind::kDeadline: ++deadlines; break;
+      case FlightEventKind::kVictimSpill: break;
+    }
+  }
+  EXPECT_EQ(enqueues, stats.requests);
+  EXPECT_EQ(admits, stats.admitted);
+  EXPECT_EQ(sheds, shed);
+  EXPECT_EQ(completes, stats.completed);
+  EXPECT_EQ(fails, stats.failed);
+  EXPECT_EQ(cancels + deadlines, stats.cancelled);
+  // Every request had a process-unique query id.
+  EXPECT_EQ(query_ids.size(), kQueries);
+}
+
+// Victim spills appear in the flight recorder with the victim's identity
+// and freed bytes, cross-checked against the aggregate counters.
+TEST(TelemetryServiceTest, VictimSpillEventsMatchStats) {
+  std::filesystem::path spill_dir =
+      std::filesystem::temp_directory_path() / "rowsort_telemetry_victim";
+  std::filesystem::create_directories(spill_dir);
+
+  Table input = MakeRandomTable(60000, 6);
+  SortSpec spec = IntSpec();
+  SortServiceConfig config;
+  config.threads = 4;
+  config.max_running = 4;
+  config.express_slots = 0;
+  // A budget well under two concurrent working sets forces the governor to
+  // pick victims.
+  config.memory_limit_bytes = input.row_count() * 24 / 2;
+  SortService service(config);
+
+  std::vector<std::thread> clients;
+  for (uint64_t t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      SortRequest request;
+      request.tenant = "tenant-" + std::to_string(t);
+      request.engine.run_size_rows = 4096;
+      request.engine.spill_directory = spill_dir.string();
+      (void)service.Sort(input, spec, request);
+    });
+  }
+  for (auto& c : clients) c.join();
+  std::filesystem::remove_all(spill_dir);
+
+  SortServiceStats stats = service.StatsSnapshot();
+  uint64_t victim_events = 0;
+  uint64_t victim_bytes = 0;
+  for (const FlightEventView& event : service.flight_recorder()->Snapshot()) {
+    if (event.kind != FlightEventKind::kVictimSpill) continue;
+    ++victim_events;
+    victim_bytes += event.bytes;
+    EXPECT_GT(event.bytes, 0u);
+    EXPECT_STREQ(event.cause, "memory_pressure");
+    // The victim was attributed to a real service request.
+    EXPECT_NE(event.query_id, 0u);
+    EXPECT_NE(std::string(event.tenant), "");
+  }
+  EXPECT_EQ(victim_events, stats.victim_spills);
+  EXPECT_EQ(victim_bytes, stats.victim_bytes_freed);
+  // The victim counters also surfaced per-tenant in the registry.
+  if (stats.victim_spills > 0) {
+    EXPECT_NE(service.ExportMetricsText().find(
+                  "rowsort_service_victim_spills_total{tenant="),
+              std::string::npos);
+  }
+}
+
+// Stitched cross-query tracing: one tracer attached to the service, several
+// concurrent queries — the merged Chrome export must show each query as its
+// own process ("query-<id>") with the service phase spans, instead of
+// interleaving everything on shared thread tracks.
+TEST(TelemetryServiceTest, StitchedTraceSeparatesConcurrentQueries) {
+  Tracer tracer;
+  SortServiceConfig config;
+  config.threads = 4;
+  config.trace = &tracer;
+  SortService service(config);
+
+  Table input = MakeRandomTable(20000, 8);
+  SortSpec spec = IntSpec();
+  constexpr uint64_t kConcurrent = 3;
+  std::vector<std::thread> clients;
+  for (uint64_t t = 0; t < kConcurrent; ++t) {
+    clients.emplace_back([&] { ASSERT_TRUE(service.Sort(input, spec).ok()); });
+  }
+  for (auto& c : clients) c.join();
+
+  const std::string json = tracer.ToChromeTraceJson();
+  // One process per query, named "query-<scope>".
+  EXPECT_EQ(CountOccurrences(json, "\"args\":{\"name\":\"query-"),
+            kConcurrent);
+  // The service phases bracket each query's engine spans.
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"service.queued\""),
+            kConcurrent);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"service.run\""), kConcurrent);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"service.finalize\""),
+            kConcurrent);
+  // Engine spans inherited the query scopes: no governed span may land in
+  // the shared scope-0 "engine" process.
+  EXPECT_EQ(CountOccurrences(json, "\"args\":{\"name\":\"engine\"}"), 0u);
+}
+
+// Process-unique query ids: back-to-back and concurrent queries never share
+// a scope, so spans of different queries cannot collide on one track.
+TEST(TelemetryServiceTest, QueryIdsAreProcessUnique) {
+  SortServiceConfig config;
+  config.threads = 2;
+  SortService service(config);
+  Table input = MakeRandomTable(2000, 9);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.Sort(input, IntSpec()).ok());
+  }
+  std::set<uint64_t> ids;
+  for (const FlightEventView& event : service.flight_recorder()->Snapshot()) {
+    ids.insert(event.query_id);
+  }
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rowsort

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Lints a Prometheus text-exposition dump (format 0.0.4).
+
+Used by tools/run_service_stress.sh against the exposition bench_service
+dumps via ROWSORT_METRICS_TEXT, and handy against any ExportMetricsText()
+output:
+
+    python3 tools/check_prometheus.py metrics.txt
+    some_producer | python3 tools/check_prometheus.py -
+
+Checks:
+  - every sample line parses: name, optional {labels}, numeric value
+  - metric and label names are legal ([a-zA-Z_:][a-zA-Z0-9_:]*)
+  - label values use only the legal escapes (\\\\, \\", \\n)
+  - every sampled family carries # HELP and # TYPE lines (declared before
+    its first sample) with a known type
+  - no duplicate (name, labelset) series
+  - counter family names end in _total
+  - histograms: each series has its _bucket/_sum/_count triple, le bounds
+    strictly increase, bucket counts are cumulative (non-decreasing), the
+    +Inf bucket exists and equals _count
+
+Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# A quoted label value with only the legal escapes.
+LABEL_VALUE = re.compile(r'^(?:[^"\\\n]|\\\\|\\"|\\n)*$')
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(raw, errors, lineno):
+    """Returns [(key, value), ...] from '{k="v",...}' or records errors."""
+    body = raw[1:-1]
+    labels = []
+    pos = 0
+    while pos < len(body):
+        eq = body.find("=", pos)
+        if eq < 0 or len(body) <= eq + 1 or body[eq + 1] != '"':
+            errors.append(f"line {lineno}: malformed label set {raw!r}")
+            return labels
+        key = body[pos:eq]
+        if not LABEL_NAME.match(key):
+            errors.append(f"line {lineno}: bad label name {key!r}")
+        end = eq + 2
+        while end < len(body):
+            if body[end] == "\\":
+                end += 2
+            elif body[end] == '"':
+                break
+            else:
+                end += 1
+        if end >= len(body):
+            errors.append(f"line {lineno}: unterminated label value in {raw!r}")
+            return labels
+        value = body[eq + 2:end]
+        if not LABEL_VALUE.match(value):
+            errors.append(f"line {lineno}: illegal escape in value {value!r}")
+        labels.append((key, value))
+        pos = end + 1
+        if pos < len(body):
+            if body[pos] != ",":
+                errors.append(f"line {lineno}: expected ',' in {raw!r}")
+                return labels
+            pos += 1
+    return labels
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "-Inf", "Inf", "NaN"):
+        return float("nan") if raw == "NaN" else float(raw.replace("Inf", "inf"))
+    return float(raw)
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        text = (sys.stdin.read() if sys.argv[1] == "-"
+                else open(sys.argv[1]).read())
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    errors = []
+    helps = {}
+    types = {}
+    seen_series = set()
+    samples = []  # (name, labels tuple, value, lineno)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "HELP":
+                helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[2] in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+                if parts[3] not in KNOWN_TYPES:
+                    errors.append(
+                        f"line {lineno}: unknown type {parts[3]!r} for {parts[2]}")
+                types[parts[2]] = parts[3]
+            continue
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, raw_labels, raw_value = m.groups()
+        if not METRIC_NAME.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+        labels = parse_labels(raw_labels, errors, lineno) if raw_labels else []
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {raw_value!r}")
+            continue
+        series_key = (name, tuple(sorted(labels)))
+        if series_key in seen_series:
+            errors.append(f"line {lineno}: duplicate series {line!r}")
+        seen_series.add(series_key)
+        family = base_family(name)
+        if family not in types and name not in types:
+            errors.append(f"line {lineno}: sample for {name} precedes its TYPE")
+        if family not in helps and name not in helps:
+            errors.append(f"line {lineno}: sample for {name} has no HELP")
+        samples.append((name, labels, value, lineno))
+
+    # Naming convention: counters end in _total.
+    for family, kind in types.items():
+        if kind == "counter" and not family.endswith("_total"):
+            errors.append(f"counter family {family} does not end in _total")
+
+    # Histogram structure: group _bucket samples per (family, labels-sans-le).
+    buckets = {}
+    scalars = {}
+    for name, labels, value, lineno in samples:
+        family = base_family(name)
+        if types.get(family) != "histogram":
+            continue
+        key_labels = tuple(sorted(l for l in labels if l[0] != "le"))
+        if name.endswith("_bucket"):
+            le = [v for k, v in labels if k == "le"]
+            if len(le) != 1:
+                errors.append(f"line {lineno}: bucket without exactly one le")
+                continue
+            buckets.setdefault((family, key_labels), []).append(
+                (parse_value(le[0]), value, lineno))
+        else:
+            scalars[(name, key_labels)] = value
+    for (family, key_labels), rows in buckets.items():
+        series = f"{family}{dict(key_labels)}"
+        les = [r[0] for r in rows]
+        if les != sorted(les) or len(set(les)) != len(les):
+            errors.append(f"{series}: le bounds not strictly increasing")
+        counts = [r[1] for r in rows]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            errors.append(f"{series}: bucket counts not cumulative")
+        if not les or les[-1] != float("inf"):
+            errors.append(f"{series}: missing le=\"+Inf\" bucket")
+        count = scalars.get((family + "_count", key_labels))
+        if count is None:
+            errors.append(f"{series}: missing _count")
+        elif les and les[-1] == float("inf") and counts[-1] != count:
+            errors.append(f"{series}: +Inf bucket {counts[-1]} != _count {count}")
+        if (family + "_sum", key_labels) not in scalars:
+            errors.append(f"{series}: missing _sum")
+
+    if errors:
+        for e in errors:
+            print(f"check_prometheus: {e}", file=sys.stderr)
+        print(f"check_prometheus: {len(errors)} violation(s) in "
+              f"{len(samples)} samples", file=sys.stderr)
+        return 1
+    print(f"check_prometheus: ok ({len(samples)} samples, "
+          f"{len(types)} families, {len(buckets)} histogram series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@
 #include "engine/profile.h"
 #include "engine/sort_engine.h"
 #include "engine/top_n.h"
+#include "service/sort_service.h"
 #include "workload/tables.h"
 #include "workload/tpcds.h"
 
@@ -46,6 +47,7 @@ struct Options {
   std::string profile_path;  ///< write SortProfile JSON here
   std::string trace_path;    ///< write Chrome/Perfetto trace JSON here
   bool show_metrics = false;
+  bool service_stats = false;  ///< route through SortService, dump telemetry
 };
 
 void PrintUsage() {
@@ -66,7 +68,11 @@ void PrintUsage() {
       "  --quiet               do not print sample rows\n"
       "  --profile=FILE        write the hierarchical sort profile as JSON\n"
       "  --trace=FILE          write a Chrome/Perfetto trace of the sort\n"
-      "  --metrics             print the profile tree and counters\n");
+      "  --metrics             print the profile tree and counters\n"
+      "  --service-stats       route through the multi-tenant SortService\n"
+      "                        and dump its telemetry: Prometheus metrics\n"
+      "                        and the flight recorder (docs/observability"
+      ".md)\n");
 }
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -118,6 +124,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->trace_path = value;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       opt->show_metrics = true;
+    } else if (std::strcmp(argv[i], "--service-stats") == 0) {
+      opt->service_stats = true;
     } else if (std::strcmp(argv[i], "--desc") == 0) {
       opt->descending = true;
     } else if (std::strcmp(argv[i], "--string-keys") == 0) {
@@ -258,7 +266,56 @@ int main(int argc, char** argv) {
 
   Timer sort_timer;
   Table result;
-  if (opt.topn > 0) {
+  if (opt.service_stats) {
+    // Route the request through the multi-tenant service so its governance
+    // and telemetry (docs/observability.md, "Service telemetry") surface:
+    // Prometheus exposition, the flight recorder, and — with --trace — the
+    // stitched per-query trace scopes.
+    SortServiceConfig service_config;
+    service_config.threads = config.threads;
+    service_config.memory_limit_bytes = opt.memory_limit;
+    if (!opt.trace_path.empty()) service_config.trace = &tracer;
+    SortService service(service_config);
+
+    OperatorRequest request;
+    request.op = opt.topn > 0 ? OperatorKind::kTopN : OperatorKind::kSort;
+    request.spec = spec;
+    request.limit = opt.topn;
+    request.engine = config;
+    if (opt.timeout_ms > 0) {
+      request.deadline = Deadline::AfterMillis(opt.timeout_ms);
+    }
+
+    SortMetrics metrics;
+    StatusOr<Table> sorted = service.Submit(input, request, &metrics);
+    const bool ok = sorted.ok();
+    if (ok) {
+      result = std::move(sorted).ValueOrDie();
+      std::printf("service %s completed in %s\n",
+                  opt.topn > 0 ? "top-n" : "sort",
+                  FormatDuration(sort_timer.ElapsedSeconds()).c_str());
+    } else {
+      std::fprintf(stderr, "service request failed: %s\n",
+                   sorted.status().ToString().c_str());
+    }
+    // The telemetry is the point of this mode: dump it even on failure —
+    // the flight recorder explains *why* a request died.
+    std::printf("\n--- service metrics (Prometheus exposition) ---\n%s",
+                service.ExportMetricsText().c_str());
+    std::printf("\n--- flight recorder ---\n%s\n",
+                service.DumpFlightRecorder().c_str());
+    if (!opt.trace_path.empty()) {
+      Status st = tracer.WriteChromeTrace(opt.trace_path);
+      if (st.ok()) {
+        std::printf("stitched trace written to %s — open in ui.perfetto.dev\n",
+                    opt.trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    if (!ok) return 1;
+  } else if (opt.topn > 0) {
     TopN top_n(spec, input.types(), opt.topn, config);
     Status topn_status;
     for (uint64_t c = 0; topn_status.ok() && c < input.ChunkCount(); ++c) {
