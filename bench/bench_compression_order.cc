@@ -1,0 +1,222 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Sort-for-compression workload (§II: sorting "improv[es] run-length
+// encoding compression"): sorts the TPC-DS-like catalog_sales table under
+// three column orderings and reports the post-sort per-column RLE and
+// frame-of-reference compressed sizes:
+//
+//  * baseline      — the table as generated (unsorted);
+//  * given-order   — ORDER BY the paper's Fig. 13 key columns in their
+//                    given order (cs_warehouse_sk, cs_ship_mode_sk,
+//                    cs_promo_sk, cs_quantity);
+//  * low-card-first — the same key columns, reordered by ascending distinct
+//                    count. Leading with the lowest-cardinality column
+//                    maximizes run lengths across the whole key prefix, the
+//                    classic column-ordering heuristic (Lemire & Kaser).
+//
+// With ROWSORT_BENCH_JSON=<path> the results are written as
+// BENCH_compression.json: one record per ordering with per-column distinct
+// counts, run counts, and RLE/FOR byte sizes (see
+// tools/run_compression_bench.sh for the gates).
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/sort_engine.h"
+#include "workload/rle.h"
+#include "workload/tpcds.h"
+
+using namespace rowsort;
+
+namespace {
+
+constexpr const char* kColumnNames[] = {"cs_warehouse_sk", "cs_ship_mode_sk",
+                                        "cs_promo_sk", "cs_quantity",
+                                        "cs_item_sk"};
+constexpr uint64_t kColumns = 5;
+constexpr uint64_t kKeyColumns = 4;  // cs_item_sk stays payload-only
+
+/// Distinct values in an INT32 column, counting NULL as one extra value.
+uint64_t DistinctCount(const Table& table, uint64_t col) {
+  std::unordered_set<int64_t> values;
+  bool saw_null = false;
+  for (uint64_t ci = 0; ci < table.ChunkCount(); ++ci) {
+    const DataChunk& chunk = table.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      Value v = chunk.GetValue(col, r);
+      if (v.is_null()) {
+        saw_null = true;
+      } else {
+        values.insert(v.int32_value());
+      }
+    }
+  }
+  return values.size() + (saw_null ? 1 : 0);
+}
+
+struct ColumnStats {
+  uint64_t distinct = 0;
+  uint64_t runs = 0;
+  uint64_t rle_bytes = 0;
+  uint64_t for_bytes = 0;
+};
+
+struct OrderingResult {
+  std::string ordering;
+  std::vector<uint64_t> key_order;  // empty for the unsorted baseline
+  double sort_seconds = 0;
+  std::vector<ColumnStats> columns;
+  uint64_t rle_total = 0;
+  uint64_t for_total = 0;
+};
+
+OrderingResult Measure(const std::string& ordering, const Table& table,
+                       const std::vector<uint64_t>& key_order,
+                       double sort_seconds,
+                       const std::vector<uint64_t>& distinct) {
+  OrderingResult res;
+  res.ordering = ordering;
+  res.key_order = key_order;
+  res.sort_seconds = sort_seconds;
+  for (uint64_t c = 0; c < kColumns; ++c) {
+    ColumnStats stats;
+    stats.distinct = distinct[c];
+    stats.runs = CountRuns(table, c);
+    stats.rle_bytes = RleBytes(table, c);
+    stats.for_bytes = ForBytes(table, c);
+    res.rle_total += stats.rle_bytes;
+    res.for_total += stats.for_bytes;
+    res.columns.push_back(stats);
+  }
+  return res;
+}
+
+void PrintResult(const OrderingResult& res, uint64_t raw_bytes) {
+  std::printf("\n--- %s", res.ordering.c_str());
+  if (!res.key_order.empty()) {
+    std::printf(" (ORDER BY");
+    for (uint64_t c : res.key_order) std::printf(" %s", kColumnNames[c]);
+    std::printf(", sort %.3fs)", res.sort_seconds);
+  }
+  std::printf(" ---\n");
+  std::printf("%-18s %10s %12s %12s %12s\n", "column", "distinct", "runs",
+              "rle bytes", "for bytes");
+  for (uint64_t c = 0; c < kColumns; ++c) {
+    const ColumnStats& s = res.columns[c];
+    std::printf("%-18s %10llu %12llu %12llu %12llu\n", kColumnNames[c],
+                (unsigned long long)s.distinct, (unsigned long long)s.runs,
+                (unsigned long long)s.rle_bytes,
+                (unsigned long long)s.for_bytes);
+  }
+  std::printf("%-18s %10s %12s %12llu %12llu  (raw %llu: rle %.2fx, "
+              "for %.2fx)\n",
+              "total", "", "", (unsigned long long)res.rle_total,
+              (unsigned long long)res.for_total,
+              (unsigned long long)raw_bytes,
+              double(raw_bytes) / double(res.rle_total),
+              double(raw_bytes) / double(res.for_total));
+}
+
+void EmitJson(const std::vector<OrderingResult>& results, uint64_t rows,
+              uint64_t raw_bytes, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "[\n");
+  for (uint64_t i = 0; i < results.size(); ++i) {
+    const OrderingResult& r = results[i];
+    std::fprintf(f,
+                 "  {\"ordering\": \"%s\", \"rows\": %llu, \"raw_bytes\": "
+                 "%llu,\n   \"sort_seconds\": %.6f, \"key_order\": [",
+                 r.ordering.c_str(), (unsigned long long)rows,
+                 (unsigned long long)raw_bytes, r.sort_seconds);
+    for (uint64_t k = 0; k < r.key_order.size(); ++k) {
+      std::fprintf(f, "%s\"%s\"", k > 0 ? ", " : "",
+                   kColumnNames[r.key_order[k]]);
+    }
+    std::fprintf(f, "],\n   \"columns\": [\n");
+    for (uint64_t c = 0; c < kColumns; ++c) {
+      const ColumnStats& s = r.columns[c];
+      std::fprintf(f,
+                   "     {\"name\": \"%s\", \"distinct\": %llu, \"runs\": "
+                   "%llu, \"rle_bytes\": %llu, \"for_bytes\": %llu}%s\n",
+                   kColumnNames[c], (unsigned long long)s.distinct,
+                   (unsigned long long)s.runs,
+                   (unsigned long long)s.rle_bytes,
+                   (unsigned long long)s.for_bytes,
+                   c + 1 < kColumns ? "," : "");
+    }
+    std::fprintf(f,
+                 "   ],\n   \"rle_bytes_total\": %llu, \"for_bytes_total\": "
+                 "%llu}%s\n",
+                 (unsigned long long)r.rle_total,
+                 (unsigned long long)r.for_total,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Sort-for-compression workload",
+      "catalog_sales RLE/FOR sizes under different sort column orderings",
+      "any sort beats the unsorted baseline; leading with the "
+      "lowest-cardinality key column compresses best overall");
+
+  TpcdsScale scale;
+  scale.scale_factor = 10;
+  scale.scale_divisor = bench::EnvRows("ROWSORT_COMPRESSION_DIVISOR", 20);
+  Table table = MakeCatalogSales(scale);
+  const uint64_t rows = table.row_count();
+  const uint64_t raw_bytes = rows * kColumns * sizeof(int32_t);
+  std::printf("rows = %s (scale factor %d, divisor %llu)\n",
+              FormatCount(rows).c_str(), scale.scale_factor,
+              (unsigned long long)scale.scale_divisor);
+
+  std::vector<uint64_t> distinct(kColumns);
+  for (uint64_t c = 0; c < kColumns; ++c) distinct[c] = DistinctCount(table, c);
+
+  // The paper's given key order, and the same keys cheapest-first.
+  std::vector<uint64_t> given_order = {0, 1, 2, 3};
+  std::vector<uint64_t> low_card_first = given_order;
+  std::sort(low_card_first.begin(), low_card_first.end(),
+            [&](uint64_t a, uint64_t b) {
+              if (distinct[a] != distinct[b]) return distinct[a] < distinct[b];
+              return a < b;
+            });
+
+  std::vector<OrderingResult> results;
+  results.push_back(Measure("baseline", table, {}, 0, distinct));
+
+  auto sort_by = [&](const std::vector<uint64_t>& key_order) {
+    std::vector<SortColumn> cols;
+    for (uint64_t c : key_order) cols.emplace_back(c, TypeId::kInt32);
+    SortSpec spec(cols);
+    Table sorted;
+    double seconds = bench::MedianSeconds(
+        [&] { sorted = RelationalSort::SortTable(table, spec).ValueOrDie(); });
+    return std::pair<Table, double>(std::move(sorted), seconds);
+  };
+
+  auto [given_sorted, given_seconds] = sort_by(given_order);
+  results.push_back(Measure("given-order", given_sorted, given_order,
+                            given_seconds, distinct));
+  auto [low_sorted, low_seconds] = sort_by(low_card_first);
+  results.push_back(Measure("low-card-first", low_sorted, low_card_first,
+                            low_seconds, distinct));
+
+  for (const OrderingResult& r : results) PrintResult(r, raw_bytes);
+
+  if (const char* json_path = std::getenv("ROWSORT_BENCH_JSON")) {
+    EmitJson(results, rows, raw_bytes, json_path);
+  }
+  return 0;
+}

@@ -12,7 +12,13 @@
 // pass whenever the memory budget allows (merge_fan_in == runs spilled),
 // instead of a pairwise cascade that rewrites rows O(log n) times.
 //
-// Set ROWSORT_BENCH_JSON=<path> to emit the records as JSON (see
+// The compression section measures spill format v3 (per-section compressed
+// blocks, docs/external_sort.md#format-v3): a duplicate-heavy workload where
+// the codecs should cut spill bytes >= 2x, and a random workload where the
+// adaptive raw fallback must keep the wall-time tax within noise.
+//
+// Set ROWSORT_BENCH_JSON=<path> to emit the records as JSON (an object with
+// "overlap" and "compression" record arrays; see
 // tools/run_external_bench.sh, which tracks BENCH_external.json).
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +63,91 @@ struct Record {
   SortMetrics metrics;  // from the median-defining final repetition
 };
 
+/// Duplicate-heavy workload for the compression section: a handful of
+/// distinct key values and a skewed low-cardinality payload, the shape the
+/// v3 codecs (RLE / shared-prefix / LZ) are built for.
+Table MakeDupWorkload(uint64_t rows, uint64_t seed) {
+  LogicalType i32(TypeId::kInt32), i64(TypeId::kInt64);
+  Table table({i32, i64});
+  Random rng(seed);
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r,
+                     Value::Int32(static_cast<int32_t>(rng.Uniform(16))));
+      chunk.SetValue(1, r,
+                     Value::Int64(static_cast<int64_t>(rng.Uniform(4))));
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+/// Fully random workload for the compression section's worst case: random
+/// keys AND random payload bytes, so every codec fails and the adaptive
+/// raw fallback must keep the wall-time tax within noise. (The overlap
+/// section's workload has a sequential payload, which LZ happily — and
+/// misleadingly — compresses.)
+Table MakeIncompressibleWorkload(uint64_t rows, uint64_t seed) {
+  LogicalType i32(TypeId::kInt32), i64(TypeId::kInt64);
+  Table table({i32, i64});
+  Random rng(seed);
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t n = std::min(kVectorSize, rows - produced);
+    DataChunk chunk = table.NewChunk();
+    for (uint64_t r = 0; r < n; ++r) {
+      chunk.SetValue(0, r,
+                     Value::Int32(static_cast<int32_t>(rng.Next32())));
+      chunk.SetValue(1, r,
+                     Value::Int64(static_cast<int64_t>(rng.Next64())));
+    }
+    chunk.SetSize(n);
+    table.Append(std::move(chunk));
+    produced += n;
+  }
+  return table;
+}
+
+struct CompressionRecord {
+  std::string workload;  // "dup-heavy" | "random"
+  bool compression;
+  uint64_t limit_bytes;
+  uint64_t rows;
+  double seconds;
+  SortMetrics metrics;
+};
+
+CompressionRecord RunCompressionCell(const Table& input, const SortSpec& spec,
+                                     const std::string& workload,
+                                     bool compression, uint64_t limit,
+                                     uint64_t rows) {
+  SortEngineConfig config;
+  config.run_size_rows = 1 << 16;
+  config.memory_limit_bytes = limit;
+  config.spill_compression = compression;
+  CompressionRecord rec;
+  rec.workload = workload;
+  rec.compression = compression;
+  rec.limit_bytes = limit;
+  rec.rows = rows;
+  rec.seconds = bench::MedianSeconds([&] {
+    SortMetrics metrics;
+    auto sorted = RelationalSort::SortTable(input, spec, config, &metrics);
+    if (!sorted.ok() || sorted.value().row_count() != rows) {
+      std::fprintf(stderr, "sort failed: %s\n",
+                   sorted.status().ToString().c_str());
+      std::exit(1);
+    }
+    rec.metrics = metrics;
+  });
+  return rec;
+}
+
 Record RunSort(const Table& input, const SortSpec& spec,
                const std::string& variant, uint64_t limit, bool overlap,
                uint64_t rows) {
@@ -81,18 +172,20 @@ Record RunSort(const Table& input, const SortSpec& spec,
   return rec;
 }
 
-void EmitJson(const std::vector<Record>& records, const char* path) {
+void EmitJson(const std::vector<Record>& records,
+              const std::vector<CompressionRecord>& compression,
+              const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n  \"overlap\": [\n");
   for (uint64_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(
         f,
-        "  {\"variant\": \"%s\", \"limit_bytes\": %llu, \"rows\": %llu, "
+        "    {\"variant\": \"%s\", \"limit_bytes\": %llu, \"rows\": %llu, "
         "\"seconds\": %.6f, \"io_wait_us\": %llu, \"blocks_prefetched\": "
         "%llu, \"write_behind_stalls\": %llu, \"runs_spilled\": %llu, "
         "\"merge_fan_in\": %llu, \"peak_memory_bytes\": %llu}%s\n",
@@ -106,7 +199,31 @@ void EmitJson(const std::vector<Record>& records, const char* path) {
         (unsigned long long)r.metrics.peak_memory_bytes,
         i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ],\n  \"compression\": [\n");
+  for (uint64_t i = 0; i < compression.size(); ++i) {
+    const CompressionRecord& r = compression[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"compression\": %s, \"limit_bytes\": "
+        "%llu, \"rows\": %llu, \"seconds\": %.6f, \"runs_spilled\": %llu, "
+        "\"spill_bytes_raw\": %llu, \"spill_bytes_compressed\": %llu, "
+        "\"sections_raw\": %llu, \"sections_prefix\": %llu, "
+        "\"sections_rle\": %llu, \"sections_lz\": %llu, "
+        "\"compress_us\": %llu, \"decompress_us\": %llu}%s\n",
+        r.workload.c_str(), r.compression ? "true" : "false",
+        (unsigned long long)r.limit_bytes, (unsigned long long)r.rows,
+        r.seconds, (unsigned long long)r.metrics.runs_spilled,
+        (unsigned long long)r.metrics.spill_bytes_raw,
+        (unsigned long long)r.metrics.spill_bytes_compressed,
+        (unsigned long long)r.metrics.spill_sections_raw,
+        (unsigned long long)r.metrics.spill_sections_prefix,
+        (unsigned long long)r.metrics.spill_sections_rle,
+        (unsigned long long)r.metrics.spill_sections_lz,
+        (unsigned long long)r.metrics.compress_us,
+        (unsigned long long)r.metrics.decompress_us,
+        i + 1 < compression.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }
@@ -165,9 +282,57 @@ int main() {
                 sync.seconds / overlapped.seconds);
   }
 
+  // --- Spill compression (format v3) ---------------------------------------
+  std::printf("\n%-10s %-12s %10s %14s %14s %8s\n", "workload", "compression",
+              "seconds", "raw bytes", "stored bytes", "ratio");
+  std::vector<CompressionRecord> compression;
+  auto run_pair = [&](const std::string& workload, const Table& table,
+                      const SortSpec& cspec) {
+    SortEngineConfig probe;
+    probe.run_size_rows = 1 << 16;
+    SortMetrics probe_metrics;
+    RelationalSort::SortTable(table, cspec, probe, &probe_metrics)
+        .ValueOrDie();
+    const uint64_t limit = probe_metrics.peak_memory_bytes / 4;
+    CompressionRecord off = RunCompressionCell(
+        table, cspec, workload, /*compression=*/false, limit,
+        table.row_count());
+    CompressionRecord on = RunCompressionCell(
+        table, cspec, workload, /*compression=*/true, limit,
+        table.row_count());
+    compression.push_back(off);
+    compression.push_back(on);
+    std::printf("%-10s %-12s %10.4f %14s %14s %8s\n", workload.c_str(), "off",
+                off.seconds, "-", "-", "-");
+    const double ratio =
+        on.metrics.spill_bytes_compressed > 0
+            ? static_cast<double>(on.metrics.spill_bytes_raw) /
+                  static_cast<double>(on.metrics.spill_bytes_compressed)
+            : 0.0;
+    std::printf("%-10s %-12s %10.4f %14llu %14llu %7.2fx\n", workload.c_str(),
+                "on", on.seconds,
+                (unsigned long long)on.metrics.spill_bytes_raw,
+                (unsigned long long)on.metrics.spill_bytes_compressed, ratio);
+    std::printf("  -> wall %.2fx, sections raw/prefix/rle/lz "
+                "%llu/%llu/%llu/%llu\n",
+                on.seconds / off.seconds,
+                (unsigned long long)on.metrics.spill_sections_raw,
+                (unsigned long long)on.metrics.spill_sections_prefix,
+                (unsigned long long)on.metrics.spill_sections_rle,
+                (unsigned long long)on.metrics.spill_sections_lz);
+  };
+  {
+    Table dup = MakeDupWorkload(rows, 4343);
+    Table random = MakeIncompressibleWorkload(rows, 4545);
+    SortSpec two_col_spec(
+        {SortColumn(0, TypeId::kInt32), SortColumn(1, TypeId::kInt64)});
+    run_pair("dup-heavy", dup, two_col_spec);
+    run_pair("random", random, two_col_spec);
+  }
+
   const char* json_path = std::getenv("ROWSORT_BENCH_JSON");
   if (json_path != nullptr && json_path[0] != '\0') {
-    EmitJson(records, json_path);
+    EmitJson(records, compression, json_path);
   }
   return 0;
 }

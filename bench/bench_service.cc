@@ -333,6 +333,7 @@ int main() {
   // structured event — the ring was sized not to wrap during the storm.
   uint64_t flight_recorded = 0, flight_dropped = 0;
   uint64_t flight_sheds = 0, flight_victims = 0, flight_admits = 0;
+  uint64_t flight_victim_bytes = 0;
   uint64_t collector_samples = 0;
   bool flight_consistent = true;
   const uint64_t shed_total = stats.shed_queue_full + stats.shed_wait_budget +
@@ -348,6 +349,11 @@ int main() {
           break;
         case FlightEventKind::kVictimSpill:
           ++flight_victims;
+          // Victim events carry the bytes the governor freed; the sum must
+          // reconcile with the ledger's victim_bytes_freed even when the
+          // spilled runs themselves were compressed (freed bytes are
+          // accounted at the MemoryTracker, not at the file).
+          flight_victim_bytes += event.bytes;
           break;
         case FlightEventKind::kAdmit:
           ++flight_admits;
@@ -359,6 +365,7 @@ int main() {
     collector_samples = service.metrics_registry()->samples_taken();
     flight_consistent = flight_dropped == 0 && flight_sheds == shed_total &&
                         flight_victims == stats.victim_spills &&
+                        flight_victim_bytes == stats.victim_bytes_freed &&
                         flight_admits == stats.admitted;
     std::printf(
         "telemetry: %llu scrapes (%llu violations), %llu collector samples, "
@@ -485,6 +492,7 @@ int main() {
         "\"scrape_violations\": %llu, \"collector_samples\": %llu, "
         "\"flight_recorded\": %llu, \"flight_dropped\": %llu, "
         "\"flight_sheds\": %llu, \"flight_victim_spills\": %llu, "
+        "\"flight_victim_bytes\": %llu, "
         "\"flight_admits\": %llu, \"flight_consistent\": %s},\n",
         telemetry_on ? "true" : "false", (unsigned long long)scrapes.load(),
         (unsigned long long)scrape_violations.load(),
@@ -492,6 +500,7 @@ int main() {
         (unsigned long long)flight_recorded,
         (unsigned long long)flight_dropped, (unsigned long long)flight_sheds,
         (unsigned long long)flight_victims,
+        (unsigned long long)flight_victim_bytes,
         (unsigned long long)flight_admits,
         flight_consistent ? "true" : "false");
     std::fprintf(

@@ -1,0 +1,222 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#include "common/compress.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace rowsort {
+namespace {
+
+// LZ framing constants (LZ4-style): a token byte packs the literal length in
+// the high nibble and the match length minus kMinMatch in the low nibble;
+// nibble value 15 is extended with 255-continuation bytes. Matches reference
+// a 2-byte little-endian backward offset within a 64 KiB window.
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr uint32_t kHashBits = 13;
+
+uint32_t LzHash(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLength(size_t len, std::vector<uint8_t>* out) {
+  while (len >= 255) {
+    out->push_back(255);
+    len -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(len));
+}
+
+bool ReadLength(const uint8_t* data, size_t size, size_t* pos, size_t* len) {
+  while (true) {
+    if (*pos >= size) return false;
+    uint8_t b = data[(*pos)++];
+    *len += b;
+    if (b != 255) return true;
+  }
+}
+
+}  // namespace
+
+const char* SpillCodecName(SpillCodec codec) {
+  switch (codec) {
+    case SpillCodec::kRaw:
+      return "raw";
+    case SpillCodec::kPrefix:
+      return "prefix";
+    case SpillCodec::kRle:
+      return "rle";
+    case SpillCodec::kLz:
+      return "lz";
+  }
+  return "unknown";
+}
+
+void EncodeVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+bool DecodeVarint(const uint8_t* data, size_t size, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift < 64; shift += 7) {
+    if (*pos >= size) return false;
+    uint8_t b = data[(*pos)++];
+    result |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrefixCompress(const uint8_t* data, uint64_t rows, uint64_t width,
+                    std::vector<uint8_t>* out) {
+  if (rows == 0 || width == 0) return;
+  out->insert(out->end(), data, data + width);
+  for (uint64_t r = 1; r < rows; ++r) {
+    const uint8_t* prev = data + (r - 1) * width;
+    const uint8_t* cur = data + r * width;
+    uint64_t prefix = 0;
+    while (prefix < width && prev[prefix] == cur[prefix]) ++prefix;
+    EncodeVarint(prefix, out);
+    out->insert(out->end(), cur + prefix, cur + width);
+  }
+}
+
+bool PrefixDecompress(const uint8_t* data, size_t size, uint64_t rows, uint64_t width,
+                      uint8_t* out) {
+  if (rows == 0 || width == 0) return size == 0;
+  if (size < width) return false;
+  std::memcpy(out, data, width);
+  size_t pos = width;
+  for (uint64_t r = 1; r < rows; ++r) {
+    uint64_t prefix = 0;
+    if (!DecodeVarint(data, size, &pos, &prefix)) return false;
+    if (prefix > width) return false;
+    uint64_t suffix = width - prefix;
+    if (size - pos < suffix) return false;
+    uint8_t* cur = out + r * width;
+    std::memcpy(cur, cur - width, prefix);
+    std::memcpy(cur + prefix, data + pos, suffix);
+    pos += suffix;
+  }
+  return pos == size;
+}
+
+void RleCompress(const uint8_t* data, uint64_t rows, uint64_t width,
+                 std::vector<uint8_t>* out) {
+  if (rows == 0 || width == 0) return;
+  uint64_t run_start = 0;
+  for (uint64_t r = 1; r <= rows; ++r) {
+    if (r == rows ||
+        std::memcmp(data + r * width, data + run_start * width, width) != 0) {
+      EncodeVarint(r - run_start, out);
+      out->insert(out->end(), data + run_start * width, data + (run_start + 1) * width);
+      run_start = r;
+    }
+  }
+}
+
+bool RleDecompress(const uint8_t* data, size_t size, uint64_t rows, uint64_t width,
+                   uint8_t* out) {
+  if (rows == 0 || width == 0) return size == 0;
+  size_t pos = 0;
+  uint64_t produced = 0;
+  while (produced < rows) {
+    uint64_t run = 0;
+    if (!DecodeVarint(data, size, &pos, &run)) return false;
+    if (run == 0 || run > rows - produced) return false;
+    if (size - pos < width) return false;
+    const uint8_t* row = data + pos;
+    pos += width;
+    for (uint64_t i = 0; i < run; ++i) {
+      std::memcpy(out + (produced + i) * width, row, width);
+    }
+    produced += run;
+  }
+  return pos == size;
+}
+
+void LzCompress(const uint8_t* data, size_t size, std::vector<uint8_t>* out) {
+  uint32_t table[1u << kHashBits];
+  std::memset(table, 0xff, sizeof(table));
+  size_t literal_start = 0;
+  size_t pos = 0;
+  // Stop matching kMinMatch+1 bytes from the end so the hash read and the
+  // final literal run are always in bounds.
+  size_t match_limit = size > kMinMatch + 1 ? size - kMinMatch - 1 : 0;
+  while (pos < match_limit) {
+    uint32_t h = LzHash(data + pos);
+    uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (cand != 0xffffffffu && pos - cand <= kMaxOffset &&
+        std::memcmp(data + cand, data + pos, kMinMatch) == 0) {
+      size_t match_len = kMinMatch;
+      while (pos + match_len < size && data[cand + match_len] == data[pos + match_len]) {
+        ++match_len;
+      }
+      size_t literals = pos - literal_start;
+      uint8_t token = static_cast<uint8_t>(
+          (literals >= 15 ? 15u : literals) << 4 |
+          (match_len - kMinMatch >= 15 ? 15u : match_len - kMinMatch));
+      out->push_back(token);
+      if (literals >= 15) EmitLength(literals - 15, out);
+      out->insert(out->end(), data + literal_start, data + pos);
+      uint16_t offset = static_cast<uint16_t>(pos - cand);
+      out->push_back(static_cast<uint8_t>(offset & 0xff));
+      out->push_back(static_cast<uint8_t>(offset >> 8));
+      if (match_len - kMinMatch >= 15) EmitLength(match_len - kMinMatch - 15, out);
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Final sequence: literals only, token match nibble 0 with no offset.
+  size_t literals = size - literal_start;
+  uint8_t token = static_cast<uint8_t>((literals >= 15 ? 15u : literals) << 4);
+  out->push_back(token);
+  if (literals >= 15) EmitLength(literals - 15, out);
+  out->insert(out->end(), data + literal_start, data + size);
+}
+
+bool LzDecompress(const uint8_t* data, size_t size, uint8_t* out, size_t out_size) {
+  size_t pos = 0;
+  size_t produced = 0;
+  while (pos < size) {
+    uint8_t token = data[pos++];
+    size_t literals = token >> 4;
+    if (literals == 15 && !ReadLength(data, size, &pos, &literals)) return false;
+    if (literals > size - pos || literals > out_size - produced) return false;
+    std::memcpy(out + produced, data + pos, literals);
+    pos += literals;
+    produced += literals;
+    if (pos == size) {
+      // Final literal-only sequence: the match nibble must be empty.
+      return (token & 0x0f) == 0 && produced == out_size;
+    }
+    if (size - pos < 2) return false;
+    size_t offset = static_cast<size_t>(data[pos]) | static_cast<size_t>(data[pos + 1]) << 8;
+    pos += 2;
+    if (offset == 0 || offset > produced) return false;
+    size_t match_len = (token & 0x0f);
+    if (match_len == 15 && !ReadLength(data, size, &pos, &match_len)) return false;
+    match_len += kMinMatch;
+    if (match_len > out_size - produced) return false;
+    // Byte-wise copy: overlapping matches (offset < match_len) replicate.
+    const uint8_t* src = out + produced - offset;
+    for (size_t i = 0; i < match_len; ++i) out[produced + i] = src[i];
+    produced += match_len;
+  }
+  return produced == out_size;
+}
+
+}  // namespace rowsort

@@ -1,0 +1,59 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rowsort {
+
+/// Per-section codec tags for the v3 external-run format. The tag is stored
+/// as a single byte in the section header, so the values are part of the
+/// on-disk format and must never be renumbered.
+enum class SpillCodec : uint8_t {
+  kRaw = 0,     ///< stored bytes == raw bytes, no transform
+  kPrefix = 1,  ///< shared-prefix delta over sorted fixed-width rows
+  kRle = 2,     ///< run-length over identical fixed-width rows
+  kLz = 3,      ///< byte-oriented LZ with 64 KiB window
+};
+
+const char* SpillCodecName(SpillCodec codec);
+
+/// LEB128 varint helpers shared by the codecs. EncodeVarint appends to
+/// \p out; DecodeVarint advances \p pos and returns false on truncation or
+/// on encodings longer than 10 bytes.
+void EncodeVarint(uint64_t value, std::vector<uint8_t>* out);
+bool DecodeVarint(const uint8_t* data, size_t size, size_t* pos, uint64_t* value);
+
+/// Shared-prefix delta ("frame of reference" over the lexicographic order)
+/// for a section of \p rows fixed-width rows of \p width bytes each. Row 0
+/// is stored verbatim; every later row stores the varint length of the
+/// prefix it shares with its predecessor followed by the remaining suffix
+/// bytes. Effective exactly when rows are sorted by memcmp, which spill
+/// blocks are by construction.
+void PrefixCompress(const uint8_t* data, uint64_t rows, uint64_t width,
+                    std::vector<uint8_t>* out);
+
+/// Run-length encoding over identical adjacent fixed-width rows: a varint
+/// run length followed by one copy of the row, repeated until \p rows are
+/// covered. Wins on duplicate-heavy payloads where entire rows repeat.
+void RleCompress(const uint8_t* data, uint64_t rows, uint64_t width,
+                 std::vector<uint8_t>* out);
+
+/// Greedy byte-oriented LZ (hash-chain of 4-byte sequences, 64 KiB offset
+/// window, LZ4-style token framing). General-purpose fallback for payload
+/// and string sections that repeat at byte granularity rather than row
+/// granularity. \p out is appended to, never shrunk.
+void LzCompress(const uint8_t* data, size_t size, std::vector<uint8_t>* out);
+
+/// Decompressors fill exactly [out, out + out_size) and return false unless
+/// the input decodes to precisely out_size bytes while consuming precisely
+/// \p size input bytes. Every read is bounds-checked so corrupt or
+/// truncated sections fail cleanly instead of over-reading.
+bool PrefixDecompress(const uint8_t* data, size_t size, uint64_t rows, uint64_t width,
+                      uint8_t* out);
+bool RleDecompress(const uint8_t* data, size_t size, uint64_t rows, uint64_t width,
+                   uint8_t* out);
+bool LzDecompress(const uint8_t* data, size_t size, uint8_t* out, size_t out_size);
+
+}  // namespace rowsort

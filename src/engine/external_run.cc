@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/bit_util.h"
+#include "common/compress.h"
 #include "common/crc32.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
@@ -17,13 +18,50 @@ namespace rowsort {
 
 namespace {
 
-constexpr uint64_t kRunFileMagic = 0x524F57534F525432ull;  // "ROWSORT2"
+constexpr uint64_t kRunFileMagic = 0x524F57534F525432ull;    // "ROWSORT2"
+constexpr uint64_t kRunFileMagicV3 = 0x524F57534F525433ull;  // "ROWSORT3"
 constexpr uint32_t kRunFileVersion = 2;
-constexpr uint32_t kBlockMagic = 0x424C4B32u;  // "BLK2"
+constexpr uint32_t kRunFileVersionV3 = 3;
+constexpr uint32_t kBlockMagic = 0x424C4B32u;    // "BLK2"
+constexpr uint32_t kBlockMagicV3 = 0x424C4B33u;  // "BLK3"
 constexpr uint64_t kHeaderSize = 8 + 4 + 4 + 8 + 8 + 8 + 4;
+/// v3 block framing: [magic u32][rows u64][body size u64].
+constexpr uint64_t kBlockFramingV3 = 4 + 8 + 8;
+/// v3 section header: [codec u8][raw size u64][stored size u64].
+constexpr uint64_t kSectionHeaderSize = 1 + 8 + 8;
 /// Upper bound on a single string payload; a larger length can only come
 /// from corruption and must not drive an allocation.
 constexpr uint32_t kMaxStringLength = 1u << 30;
+/// Upper bound on one decompressed v3 section; real sections are a few MB
+/// (kDefaultSpillBlockRows rows), so anything near this is corruption.
+constexpr uint64_t kMaxSectionRawBytes = 1ull << 31;
+/// A corrupt v3 body size must not drive one huge allocation: the body is
+/// fetched in bounded chunks, so a lying length dies on a truncation error
+/// after at most one chunk past the real end of file.
+constexpr uint64_t kFetchChunkBytes = 16ull << 20;
+/// After this many consecutive sections where a codec attempt lost to raw,
+/// retry only every kCodecRetryPeriod-th block (incompressible payloads pay
+/// almost no compression tax).
+constexpr uint32_t kCodecGiveUpAfter = 4;
+constexpr uint32_t kCodecRetryPeriod = 16;
+
+/// A codec is only chosen over raw when it saves at least 1/8th of the
+/// section. Marginal wins (row padding and validity bytes on otherwise
+/// random data shave a few percent) are not worth the decompress cost on
+/// every future read of the block — and accepting them would keep the
+/// expensive LZ probe engaged forever instead of letting the raw-streak
+/// give-up kick in.
+bool CodecPays(uint64_t stored, uint64_t raw) {
+  return stored <= raw - raw / 8;
+}
+
+/// Prefix for corruption/truncation statuses: every spill I/O error names
+/// the run file and its format version, so a bad run in a many-run merge is
+/// attributable from the message alone.
+std::string RunContext(const std::string& path, uint32_t version) {
+  return StringFormat("%s (run format v%u)", path.c_str(),
+                      static_cast<unsigned>(version));
+}
 
 /// Backoff budget for one stuck spill operation: 5 zero-progress attempts,
 /// 100us..20ms exponential — a few tens of milliseconds before a hiccup is
@@ -136,12 +174,14 @@ std::vector<uint64_t> VarcharColumns(const RowLayout& layout) {
   return cols;
 }
 
-/// Builds the 44-byte file header (count patched in by Finish()).
-ScalarBuffer BuildHeader(uint64_t count, uint64_t key_row_width,
-                         uint64_t payload_row_width) {
+/// Builds the 44-byte file header (count patched in by Finish()). v2 and v3
+/// share the layout; only magic and version differ.
+ScalarBuffer BuildHeader(uint32_t version, uint64_t count,
+                         uint64_t key_row_width, uint64_t payload_row_width) {
   ScalarBuffer buf;
-  buf.Add<uint64_t>(kRunFileMagic);
-  buf.Add<uint32_t>(kRunFileVersion);
+  buf.Add<uint64_t>(version == kRunFileVersionV3 ? kRunFileMagicV3
+                                                 : kRunFileMagic);
+  buf.Add<uint32_t>(version);
   buf.Add<uint32_t>(0);  // flags
   buf.Add<uint64_t>(count);
   buf.Add<uint64_t>(key_row_width);
@@ -210,6 +250,193 @@ void EncodeSlice(const RowLayout& layout, const SortedRun& run, uint64_t begin,
   AppendBytes(out, &crc, sizeof(crc));
 }
 
+/// Serializes the non-inlined strings of rows [begin, end) into \p out in
+/// the v2 string-section layout ([nstrings u64][(row,col,len,bytes)*]) —
+/// that layout is the *raw* form of the v3 string section, so the v2 decode
+/// logic applies verbatim after decompression.
+void BuildStringSectionRaw(const RowLayout& layout, const SortedRun& run,
+                           uint64_t begin, uint64_t end,
+                           std::vector<uint8_t>* out) {
+  out->clear();
+  out->resize(sizeof(uint64_t), 0);  // nstrings, patched below
+  uint64_t nstrings = 0;
+  for (uint64_t col : VarcharColumns(layout)) {
+    uint64_t offset = layout.ColumnOffset(col);
+    for (uint64_t row = begin; row < end; ++row) {
+      const uint8_t* row_ptr = run.payload.GetRow(row);
+      if (!RowLayout::IsValid(row_ptr, col)) continue;
+      string_t value = bit_util::LoadUnaligned<string_t>(row_ptr + offset);
+      if (value.IsInlined()) continue;
+      ScalarBuffer entry;
+      entry.Add<uint32_t>(static_cast<uint32_t>(row - begin));
+      entry.Add<uint32_t>(static_cast<uint32_t>(col));
+      entry.Add<uint32_t>(value.size());
+      AppendBytes(out, entry.bytes, entry.size);
+      AppendBytes(out, value.data(), value.size());
+      ++nstrings;
+    }
+  }
+  std::memcpy(out->data(), &nstrings, sizeof(nstrings));
+}
+
+/// Appends one v3 section ([codec u8][raw u64][stored u64][bytes]) and
+/// records it into \p stats.
+void AppendV3Section(SpillCodec codec, const uint8_t* stored,
+                     uint64_t stored_size, uint64_t raw_size,
+                     SpillCompressionStats* stats, std::vector<uint8_t>* out) {
+  ScalarBuffer header;
+  header.Add<uint8_t>(static_cast<uint8_t>(codec));
+  header.Add<uint64_t>(raw_size);
+  header.Add<uint64_t>(stored_size);
+  AppendBytes(out, header.bytes, header.size);
+  AppendBytes(out, stored, stored_size);
+  if (stats != nullptr) stats->RecordSection(codec, raw_size, stored_size);
+}
+
+/// True when an LZ attempt on an incompressible stream is due: always while
+/// the streak is short, then only periodically (the streak keeps counting
+/// through skipped blocks, so every kCodecRetryPeriod-th block re-probes).
+bool LzAttemptDue(uint32_t raw_streak) {
+  return raw_streak < kCodecGiveUpAfter ||
+         raw_streak % kCodecRetryPeriod == 0;
+}
+
+/// Attempts LZ on a section, cheaply: a prefix sample is compressed first,
+/// and only if the sample pays is the full section compressed. On
+/// incompressible data the probe — not a full-section compress — is the
+/// only cost, which keeps the wall-time tax of `spill_compression=on` in
+/// the noise for random workloads. Returns true (with \p buf holding the
+/// full encoding) when LZ should be chosen over raw.
+bool LzWorthIt(const uint8_t* data, uint64_t size, std::vector<uint8_t>* buf) {
+  constexpr uint64_t kLzProbeBytes = 16 << 10;
+  if (size > 2 * kLzProbeBytes) {
+    buf->clear();
+    LzCompress(data, kLzProbeBytes, buf);
+    if (!CodecPays(buf->size(), kLzProbeBytes)) return false;
+  }
+  buf->clear();
+  LzCompress(data, size, buf);
+  return CodecPays(buf->size(), size);
+}
+
+/// Sampled probe for the row-structured codecs (prefix, RLE), same idea as
+/// LzWorthIt: encode the first few hundred rows, and only encode the full
+/// section when the sample pays. Sorted blocks are statistically uniform,
+/// so the head predicts the whole section well; the final decision is still
+/// made on the full encoding.
+template <typename CompressFn>
+bool RowCodecWorthIt(CompressFn compress, const uint8_t* data, uint64_t rows,
+                     uint64_t width, std::vector<uint8_t>* buf) {
+  constexpr uint64_t kProbeRows = 512;
+  if (rows > 2 * kProbeRows) {
+    buf->clear();
+    compress(data, kProbeRows, width, buf);
+    if (!CodecPays(buf->size(), kProbeRows * width)) return false;
+  }
+  buf->clear();
+  compress(data, rows, width, buf);
+  return CodecPays(buf->size(), rows * width);
+}
+
+/// Serializes rows [begin, end) of \p run as one v3 compressed block: BLK3
+/// framing, three independently compressed sections (keys, payload,
+/// strings), trailing CRC32 over the compressed bytes. Codec choice is
+/// empirical — each candidate is encoded and kept only if it is actually
+/// smaller than raw, so every section independently degrades to
+/// passthrough. Runs on the sort thread; with write-behind enabled the
+/// fwrite of the previous block proceeds underneath it.
+void EncodeSliceV3(const RowLayout& layout, const SortedRun& run,
+                   uint64_t begin, uint64_t end,
+                   std::vector<std::vector<uint8_t>>* scratch,
+                   uint32_t* payload_raw_streak, uint32_t* string_raw_streak,
+                   SpillCompressionStats* stats, std::vector<uint8_t>* out) {
+  Timer timer;
+  out->clear();
+  scratch->resize(4);
+  std::vector<uint8_t>& strings_raw = (*scratch)[0];
+  std::vector<uint8_t>& enc_a = (*scratch)[1];
+  std::vector<uint8_t>& enc_b = (*scratch)[2];
+  std::vector<uint8_t>& strings_enc = (*scratch)[3];
+  const uint64_t rows = end - begin;
+  const uint64_t krw = run.key_row_width;
+  const uint64_t prw = layout.row_width();
+  const uint8_t* keys = run.key_rows.data() + begin * krw;
+  const uint8_t* payload = run.payload.GetRow(begin);
+  BuildStringSectionRaw(layout, run, begin, end, &strings_raw);
+
+  // Keys: normalized sort keys are memcmp-sorted within the block, so
+  // adjacent rows share long prefixes; frame-of-reference/delta against the
+  // previous row exploits exactly that. Keys embed a unique row id, so RLE
+  // can never apply to them.
+  enc_a.clear();
+  SpillCodec key_codec = SpillCodec::kRaw;
+  if (rows > 1 && krw > 0 &&
+      RowCodecWorthIt(PrefixCompress, keys, rows, krw, &enc_a)) {
+    key_codec = SpillCodec::kPrefix;
+  }
+
+  // Payload: RLE for duplicate-heavy row streams (one memcmp pass, always
+  // attempted), LZ as the general-purpose fallback with give-up adaptivity
+  // so random payloads stop paying for doomed attempts.
+  enc_b.clear();
+  SpillCodec payload_codec = SpillCodec::kRaw;
+  if (rows > 1 && prw > 0) {
+    if (RowCodecWorthIt(RleCompress, payload, rows, prw, &enc_b)) {
+      payload_codec = SpillCodec::kRle;
+    } else if (LzAttemptDue(*payload_raw_streak) &&
+               LzWorthIt(payload, rows * prw, &enc_b)) {
+      payload_codec = SpillCodec::kLz;
+    }
+    *payload_raw_streak =
+        payload_codec == SpillCodec::kRaw ? *payload_raw_streak + 1 : 0;
+  }
+
+  // Strings: byte-oriented LZ or nothing; the section is dominated by the
+  // string bytes themselves, which have no row structure to exploit.
+  strings_enc.clear();
+  SpillCodec string_codec = SpillCodec::kRaw;
+  if (strings_raw.size() > 64 && LzAttemptDue(*string_raw_streak) &&
+      LzWorthIt(strings_raw.data(), strings_raw.size(), &strings_enc)) {
+    string_codec = SpillCodec::kLz;
+  }
+  if (strings_raw.size() > 64) {
+    *string_raw_streak =
+        string_codec == SpillCodec::kRaw ? *string_raw_streak + 1 : 0;
+  }
+
+  const uint64_t key_stored =
+      key_codec == SpillCodec::kRaw ? rows * krw : enc_a.size();
+  const uint64_t payload_stored =
+      payload_codec == SpillCodec::kRaw ? rows * prw : enc_b.size();
+  const uint64_t string_stored = string_codec == SpillCodec::kRaw
+                                     ? strings_raw.size()
+                                     : strings_enc.size();
+  const uint64_t body =
+      3 * kSectionHeaderSize + key_stored + payload_stored + string_stored;
+
+  out->reserve(kBlockFramingV3 + body + sizeof(uint32_t));
+  ScalarBuffer framing;
+  framing.Add<uint32_t>(kBlockMagicV3);
+  framing.Add<uint64_t>(rows);
+  framing.Add<uint64_t>(body);
+  AppendBytes(out, framing.bytes, framing.size);
+  AppendV3Section(key_codec,
+                  key_codec == SpillCodec::kRaw ? keys : enc_a.data(),
+                  key_stored, rows * krw, stats, out);
+  AppendV3Section(payload_codec,
+                  payload_codec == SpillCodec::kRaw ? payload : enc_b.data(),
+                  payload_stored, rows * prw, stats, out);
+  AppendV3Section(string_codec,
+                  string_codec == SpillCodec::kRaw ? strings_raw.data()
+                                                   : strings_enc.data(),
+                  string_stored, strings_raw.size(), stats, out);
+  // CRC over the compressed bytes: corruption is caught on read before any
+  // decompressor sees the data.
+  uint32_t crc = Crc32(0, out->data(), out->size());
+  AppendBytes(out, &crc, sizeof(crc));
+  if (stats != nullptr) stats->compress_ns.Record(timer.ElapsedNanos());
+}
+
 /// Reads the raw bytes of the next block (framing included, trailing CRC
 /// included) from \p f into \p raw. Framing fields are validated as they
 /// are read — a corrupt length must not drive a huge allocation — but the
@@ -227,6 +454,7 @@ Status FetchRawBlock(std::FILE* f, const std::string& path,
   }
   TraceSpan span(io.trace, "spill.read_block", "spill");
   Timer timer;
+  const std::string ctx = RunContext(path, kRunFileVersion);
   uint64_t pos = 0;
   auto read_into = [&](uint64_t n) -> Status {
     raw->resize(pos + n);
@@ -238,16 +466,16 @@ Status FetchRawBlock(std::FILE* f, const std::string& path,
   raw->resize(sizeof(uint32_t));
   if (std::fread(raw->data(), 1, sizeof(uint32_t), f) != sizeof(uint32_t)) {
     std::clearerr(f);
-    return Status::IOError(path + ": truncated (missing block)");
+    return Status::IOError(ctx + ": truncated (missing block)");
   }
   pos = sizeof(uint32_t);
   if (bit_util::LoadUnaligned<uint32_t>(raw->data()) != kBlockMagic) {
-    return Status::IOError(path + ": corrupt block header");
+    return Status::IOError(ctx + ": corrupt block header");
   }
   ROWSORT_RETURN_NOT_OK(read_into(sizeof(uint64_t)));
   const uint64_t rows = bit_util::LoadUnaligned<uint64_t>(raw->data() + 4);
   if (rows == 0 || rows > remaining_rows) {
-    return Status::IOError(path + ": corrupt block row count");
+    return Status::IOError(ctx + ": corrupt block row count");
   }
   ROWSORT_RETURN_NOT_OK(
       read_into(rows * (key_row_width + layout.row_width())));
@@ -255,16 +483,80 @@ Status FetchRawBlock(std::FILE* f, const std::string& path,
   const uint64_t nstrings =
       bit_util::LoadUnaligned<uint64_t>(raw->data() + pos - sizeof(uint64_t));
   if (nstrings > rows * layout.ColumnCount()) {
-    return Status::IOError(path + ": corrupt string section length");
+    return Status::IOError(ctx + ": corrupt string section length");
   }
   for (uint64_t i = 0; i < nstrings; ++i) {
     ROWSORT_RETURN_NOT_OK(read_into(3 * sizeof(uint32_t)));
     const uint32_t len =
         bit_util::LoadUnaligned<uint32_t>(raw->data() + pos - sizeof(uint32_t));
     if (len > kMaxStringLength) {
-      return Status::IOError(path + ": corrupt string section");
+      return Status::IOError(ctx + ": corrupt string section");
     }
     ROWSORT_RETURN_NOT_OK(read_into(len));
+  }
+  ROWSORT_RETURN_NOT_OK(read_into(sizeof(uint32_t)));  // stored block CRC
+  *rows_out = rows;
+  if (io.io_profile != nullptr) {
+    io.io_profile->RecordRead(timer.ElapsedNanos(), pos, rows);
+  }
+  return Status::OK();
+}
+
+/// v3 counterpart of FetchRawBlock: the framing carries an explicit body
+/// size, so the fetch is two reads (framing, then body + CRC) instead of a
+/// walk over the string entries. The body is pulled in bounded chunks so a
+/// corrupt length dies on a truncation error, never a huge allocation. The
+/// CRC and all section validation happen later in DecodeRawBlockV3.
+Status FetchRawBlockV3(std::FILE* f, const std::string& path,
+                       uint64_t remaining_rows, std::vector<uint8_t>* raw,
+                       uint64_t* rows_out, const SpillIoOptions& io) {
+  raw->clear();
+  *rows_out = 0;
+  if (io.cancellation.IsCancelled()) {
+    return CancellationToken::StatusForCause(io.cancellation.cause());
+  }
+  TraceSpan span(io.trace, "spill.read_block", "spill");
+  Timer timer;
+  const std::string ctx = RunContext(path, kRunFileVersionV3);
+  uint64_t pos = 0;
+  auto read_into = [&](uint64_t n) -> Status {
+    raw->resize(pos + n);
+    Status s = ReadAll(f, raw->data() + pos, n, io);
+    if (s.ok()) {
+      pos += n;
+      return s;
+    }
+    // Name the file and format in truncation/corruption reports; retry
+    // exhaustion and cancellation keep their own shapes.
+    if (s.code() == StatusCode::kIOError) {
+      return Status::IOError(ctx + ": " + s.message());
+    }
+    return s;
+  };
+
+  raw->resize(sizeof(uint32_t));
+  if (std::fread(raw->data(), 1, sizeof(uint32_t), f) != sizeof(uint32_t)) {
+    std::clearerr(f);
+    return Status::IOError(ctx + ": truncated (missing block)");
+  }
+  pos = sizeof(uint32_t);
+  if (bit_util::LoadUnaligned<uint32_t>(raw->data()) != kBlockMagicV3) {
+    return Status::IOError(ctx + ": corrupt block header");
+  }
+  ROWSORT_RETURN_NOT_OK(read_into(2 * sizeof(uint64_t)));
+  const uint64_t rows = bit_util::LoadUnaligned<uint64_t>(raw->data() + 4);
+  const uint64_t body = bit_util::LoadUnaligned<uint64_t>(raw->data() + 12);
+  if (rows == 0 || rows > remaining_rows) {
+    return Status::IOError(ctx + ": corrupt block row count");
+  }
+  if (body < 3 * kSectionHeaderSize) {
+    return Status::IOError(ctx + ": corrupt block length");
+  }
+  uint64_t left = body;
+  while (left > 0) {
+    const uint64_t chunk = std::min(left, kFetchChunkBytes);
+    ROWSORT_RETURN_NOT_OK(read_into(chunk));
+    left -= chunk;
   }
   ROWSORT_RETURN_NOT_OK(read_into(sizeof(uint32_t)));  // stored block CRC
   *rows_out = rows;
@@ -303,14 +595,15 @@ Status DecodeRawBlock(const RowLayout& layout, const std::string& path,
                       const std::vector<uint8_t>& raw, uint64_t key_row_width,
                       SortedRun* block, Tracer* trace) {
   TraceSpan span(trace, "spill.decode_block", "spill");
+  const std::string ctx = RunContext(path, kRunFileVersion);
   if (raw.size() < sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint64_t) +
                        sizeof(uint32_t)) {
-    return Status::IOError(path + ": truncated block");
+    return Status::IOError(ctx + ": truncated block");
   }
   const uint32_t stored_crc =
       bit_util::LoadUnaligned<uint32_t>(raw.data() + raw.size() - 4);
   if (Crc32(0, raw.data(), raw.size() - 4) != stored_crc) {
-    return Status::IOError(path + ": block checksum mismatch");
+    return Status::IOError(ctx + ": block checksum mismatch");
   }
 
   RawCursor cur{raw.data(), raw.size() - 4};
@@ -318,14 +611,14 @@ Status DecodeRawBlock(const RowLayout& layout, const std::string& path,
   uint64_t rows = 0;
   if (!cur.TakeScalar(&magic) || !cur.TakeScalar(&rows) ||
       magic != kBlockMagic || rows == 0) {
-    return Status::IOError(path + ": corrupt block header");
+    return Status::IOError(ctx + ": corrupt block header");
   }
   const uint64_t krw = key_row_width;
   const uint64_t prw = layout.row_width();
   const uint8_t* keys = cur.Take(rows * krw);
   const uint8_t* payload = cur.Take(rows * prw);
   if (keys == nullptr || payload == nullptr) {
-    return Status::IOError(path + ": truncated block");
+    return Status::IOError(ctx + ": truncated block");
   }
   block->key_rows.resize(rows * krw);
   std::memcpy(block->key_rows.data(), keys, rows * krw);
@@ -335,22 +628,22 @@ Status DecodeRawBlock(const RowLayout& layout, const std::string& path,
   uint64_t nstrings = 0;
   if (!cur.TakeScalar(&nstrings) ||
       nstrings > rows * layout.ColumnCount()) {
-    return Status::IOError(path + ": corrupt string section length");
+    return Status::IOError(ctx + ": corrupt string section length");
   }
   for (uint64_t i = 0; i < nstrings; ++i) {
     uint32_t row = 0, col = 0, len = 0;
     if (!cur.TakeScalar(&row) || !cur.TakeScalar(&col) ||
         !cur.TakeScalar(&len)) {
-      return Status::IOError(path + ": truncated block");
+      return Status::IOError(ctx + ": truncated block");
     }
     if (row >= rows || col >= layout.ColumnCount() ||
         layout.types()[col].id() != TypeId::kVarchar ||
         len > kMaxStringLength) {
-      return Status::IOError(path + ": corrupt string section");
+      return Status::IOError(ctx + ": corrupt string section");
     }
     const uint8_t* bytes = cur.Take(len);
     if (bytes == nullptr) {
-      return Status::IOError(path + ": truncated block");
+      return Status::IOError(ctx + ": truncated block");
     }
     char* dest = block->payload.string_heap().Allocate(len);
     std::memcpy(dest, bytes, len);
@@ -359,10 +652,179 @@ Status DecodeRawBlock(const RowLayout& layout, const std::string& path,
         block->payload.GetRow(row) + layout.ColumnOffset(col), value);
   }
   if (cur.pos != cur.size) {
-    return Status::IOError(path + ": corrupt block length");
+    return Status::IOError(ctx + ": corrupt block length");
   }
   block->count = rows;
   block->key_row_width = key_row_width;
+  return Status::OK();
+}
+
+/// Reads one v3 section header off \p cur and decompresses the stored bytes
+/// into [out, out + raw_size). \p expect_raw pins the section's raw size to
+/// what the block geometry implies (rows x width); 0 means variable (the
+/// string section). Every mismatch — unknown codec, stored bytes that do
+/// not decode to exactly the declared raw size, a raw section whose stored
+/// size lies — is a permanent IOError naming the section.
+Status DecodeV3Section(RawCursor* cur, const std::string& ctx,
+                       const char* name, uint64_t expect_raw, uint64_t rows,
+                       uint64_t width, uint64_t raw_size_limit,
+                       std::vector<uint8_t>* var_out, uint8_t* out,
+                       uint64_t* raw_size_out) {
+  uint8_t codec_byte = 0;
+  uint64_t raw_size = 0, stored = 0;
+  if (!cur->TakeScalar(&codec_byte) || !cur->TakeScalar(&raw_size) ||
+      !cur->TakeScalar(&stored)) {
+    return Status::IOError(StringFormat("%s: truncated %s section header",
+                                        ctx.c_str(), name));
+  }
+  if (out != nullptr && raw_size != expect_raw) {
+    return Status::IOError(StringFormat(
+        "%s: %s section declares %llu raw bytes, block geometry implies %llu",
+        ctx.c_str(), name, static_cast<unsigned long long>(raw_size),
+        static_cast<unsigned long long>(expect_raw)));
+  }
+  if (raw_size > raw_size_limit) {
+    return Status::IOError(StringFormat("%s: corrupt %s section length",
+                                        ctx.c_str(), name));
+  }
+  const uint8_t* bytes = cur->Take(stored);
+  if (bytes == nullptr) {
+    return Status::IOError(StringFormat("%s: truncated %s section",
+                                        ctx.c_str(), name));
+  }
+  if (out == nullptr) {
+    var_out->resize(raw_size);
+    out = var_out->data();
+    // Variable-size section: the row-structured codecs must fill exactly
+    // raw_size bytes, so treat it as raw_size one-byte rows (a corrupt tag
+    // must not leave part of the buffer unwritten).
+    rows = raw_size;
+    width = 1;
+  }
+  if (raw_size_out != nullptr) *raw_size_out = raw_size;
+  bool decoded = false;
+  switch (static_cast<SpillCodec>(codec_byte)) {
+    case SpillCodec::kRaw:
+      if (stored != raw_size) {
+        return Status::IOError(StringFormat(
+            "%s: raw %s section stores %llu bytes for %llu declared",
+            ctx.c_str(), name, static_cast<unsigned long long>(stored),
+            static_cast<unsigned long long>(raw_size)));
+      }
+      std::memcpy(out, bytes, stored);
+      decoded = true;
+      break;
+    case SpillCodec::kPrefix:
+      decoded = PrefixDecompress(bytes, stored, rows, width, out);
+      break;
+    case SpillCodec::kRle:
+      decoded = RleDecompress(bytes, stored, rows, width, out);
+      break;
+    case SpillCodec::kLz:
+      decoded = LzDecompress(bytes, stored, out, raw_size);
+      break;
+    default:
+      return Status::IOError(StringFormat("%s: unknown codec tag %u in %s section",
+                                          ctx.c_str(),
+                                          static_cast<unsigned>(codec_byte),
+                                          name));
+  }
+  if (!decoded) {
+    return Status::IOError(StringFormat(
+        "%s: %s section does not decode to its declared size", ctx.c_str(),
+        name));
+  }
+  return Status::OK();
+}
+
+/// v3 counterpart of DecodeRawBlock: verifies the trailing CRC over the
+/// *compressed* bytes, then decompresses the three sections (keys straight
+/// into the block's key rows, payload into its row collection, strings into
+/// a scratch buffer that is parsed with the v2 string-section logic). Pure
+/// CPU — overlaps the next block's background read, and its cost lands in
+/// SpillCompressionStats::decompress_ns.
+Status DecodeRawBlockV3(const RowLayout& layout, const std::string& path,
+                        const std::vector<uint8_t>& raw,
+                        uint64_t key_row_width, SortedRun* block,
+                        Tracer* trace, SpillCompressionStats* stats) {
+  TraceSpan span(trace, "spill.decode_block", "spill");
+  Timer timer;
+  const std::string ctx = RunContext(path, kRunFileVersionV3);
+  if (raw.size() <
+      kBlockFramingV3 + 3 * kSectionHeaderSize + sizeof(uint32_t)) {
+    return Status::IOError(ctx + ": truncated block");
+  }
+  const uint32_t stored_crc =
+      bit_util::LoadUnaligned<uint32_t>(raw.data() + raw.size() - 4);
+  if (Crc32(0, raw.data(), raw.size() - 4) != stored_crc) {
+    return Status::IOError(ctx + ": block checksum mismatch");
+  }
+
+  RawCursor cur{raw.data(), raw.size() - 4};
+  uint32_t magic = 0;
+  uint64_t rows = 0, body = 0;
+  if (!cur.TakeScalar(&magic) || !cur.TakeScalar(&rows) ||
+      !cur.TakeScalar(&body) || magic != kBlockMagicV3 || rows == 0) {
+    return Status::IOError(ctx + ": corrupt block header");
+  }
+  if (body != cur.size - cur.pos) {
+    return Status::IOError(ctx + ": corrupt block length");
+  }
+  const uint64_t krw = key_row_width;
+  const uint64_t prw = layout.row_width();
+
+  block->key_rows.resize(rows * krw);
+  ROWSORT_RETURN_NOT_OK(DecodeV3Section(
+      &cur, ctx, "key", rows * krw, rows, krw, kMaxSectionRawBytes,
+      /*var_out=*/nullptr, block->key_rows.data(), /*raw_size_out=*/nullptr));
+  block->payload.AppendUninitialized(rows);
+  ROWSORT_RETURN_NOT_OK(DecodeV3Section(
+      &cur, ctx, "payload", rows * prw, rows, prw, kMaxSectionRawBytes,
+      /*var_out=*/nullptr, block->payload.data(), /*raw_size_out=*/nullptr));
+  std::vector<uint8_t> strings_raw;
+  uint64_t strings_size = 0;
+  ROWSORT_RETURN_NOT_OK(DecodeV3Section(
+      &cur, ctx, "string", /*expect_raw=*/0, rows, /*width=*/1,
+      kMaxSectionRawBytes, &strings_raw, /*out=*/nullptr, &strings_size));
+  if (cur.pos != cur.size) {
+    return Status::IOError(ctx + ": corrupt block length");
+  }
+
+  // The decompressed string section is the v2 layout; parse it with the
+  // same validation rules.
+  RawCursor scur{strings_raw.data(), strings_size};
+  uint64_t nstrings = 0;
+  if (!scur.TakeScalar(&nstrings) ||
+      nstrings > rows * layout.ColumnCount()) {
+    return Status::IOError(ctx + ": corrupt string section length");
+  }
+  for (uint64_t i = 0; i < nstrings; ++i) {
+    uint32_t row = 0, col = 0, len = 0;
+    if (!scur.TakeScalar(&row) || !scur.TakeScalar(&col) ||
+        !scur.TakeScalar(&len)) {
+      return Status::IOError(ctx + ": truncated string section");
+    }
+    if (row >= rows || col >= layout.ColumnCount() ||
+        layout.types()[col].id() != TypeId::kVarchar ||
+        len > kMaxStringLength) {
+      return Status::IOError(ctx + ": corrupt string section");
+    }
+    const uint8_t* bytes = scur.Take(len);
+    if (bytes == nullptr) {
+      return Status::IOError(ctx + ": truncated string section");
+    }
+    char* dest = block->payload.string_heap().Allocate(len);
+    std::memcpy(dest, bytes, len);
+    string_t value(dest, len);
+    bit_util::StoreUnaligned(
+        block->payload.GetRow(row) + layout.ColumnOffset(col), value);
+  }
+  if (scur.pos != scur.size) {
+    return Status::IOError(ctx + ": corrupt string section length");
+  }
+  block->count = rows;
+  block->key_row_width = key_row_width;
+  if (stats != nullptr) stats->decompress_ns.Record(timer.ElapsedNanos());
   return Status::OK();
 }
 
@@ -399,11 +861,13 @@ Status ExternalRunWriter::Open(uint64_t key_row_width) {
     return Status::IOError("cannot open " + temp_path_ + " for writing");
   }
   key_row_width_ = key_row_width;
+  version_ = io_.compression ? kRunFileVersionV3 : kRunFileVersion;
   if (io_.worker != nullptr && io_.buffer_tracker != nullptr) {
     buffer_memory_.Reset(io_.buffer_tracker, 0);
   }
   // Placeholder header; Finish() seeks back and patches the row count.
-  ScalarBuffer header = BuildHeader(0, key_row_width_, layout_.row_width());
+  ScalarBuffer header =
+      BuildHeader(version_, 0, key_row_width_, layout_.row_width());
   return WriteAll(file_, header.bytes, header.size, io_);
 }
 
@@ -437,19 +901,35 @@ Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
     return CancellationToken::StatusForCause(io_.cancellation.cause());
   }
   const uint64_t rows = end - begin;
+  // v3 compresses on the sort thread (here), v2 serializes verbatim; with
+  // write-behind enabled either way overlaps the previous block's fwrite.
+  auto encode = [&](std::vector<uint8_t>* out) {
+    if (version_ == kRunFileVersionV3) {
+      EncodeSliceV3(layout_, run, begin, end, &v3_scratch_,
+                    &payload_raw_streak_, &string_raw_streak_,
+                    io_.compression_stats, out);
+    } else {
+      EncodeSlice(layout_, run, begin, end, out);
+    }
+  };
   if (io_.worker != nullptr) {
     // Write-behind: encode into the free half of the double buffer, wait
     // for the previous block's background write (normally already done),
     // then hand the new block to the worker and return to sorting.
     TraceSpan span(io_.trace, "spill.write_submit", "spill");
-    EncodeSlice(layout_, run, begin, end, &encode_buf_);
+    encode(&encode_buf_);
     Status s = WaitForInflight(/*count_stall=*/true);
     if (!s.ok()) {
       error_ = s;
       return error_;
     }
     std::swap(encode_buf_, inflight_buf_);
-    buffer_memory_.Update(encode_buf_.capacity() + inflight_buf_.capacity());
+    uint64_t scratch_bytes = 0;
+    for (const std::vector<uint8_t>& buf : v3_scratch_) {
+      scratch_bytes += buf.capacity();
+    }
+    buffer_memory_.Update(encode_buf_.capacity() + inflight_buf_.capacity() +
+                          scratch_bytes);
     std::FILE* f = file_;
     const std::vector<uint8_t>* buf = &inflight_buf_;
     SpillIoOptions io = io_;
@@ -464,7 +944,7 @@ Status ExternalRunWriter::WriteSlice(const SortedRun& run, uint64_t begin,
     });
   } else {
     TraceSpan span(io_.trace, "spill.write_block", "spill");
-    EncodeSlice(layout_, run, begin, end, &encode_buf_);
+    encode(&encode_buf_);
     Timer timer;
     Status s = WriteAll(file_, encode_buf_.data(), encode_buf_.size(), io_);
     const uint64_t ns = timer.ElapsedNanos();
@@ -500,8 +980,8 @@ Status ExternalRunWriter::Finish() {
   if (std::fseek(file_, 0, SEEK_SET) != 0) {
     return Status::IOError("seek failed on " + temp_path_);
   }
-  ScalarBuffer header =
-      BuildHeader(rows_written_, key_row_width_, layout_.row_width());
+  ScalarBuffer header = BuildHeader(version_, rows_written_, key_row_width_,
+                                    layout_.row_width());
   ROWSORT_RETURN_NOT_OK(WriteAll(file_, header.bytes, header.size, io_));
   // A failed flush or close after buffered writes means the data may not be
   // on disk; surface it instead of reporting success.
@@ -547,30 +1027,37 @@ Status ExternalRunReader::Open() {
     return Status::IOError(path_ + ": short header");
   }
   uint64_t magic = bit_util::LoadUnaligned<uint64_t>(header);
-  if (magic != kRunFileMagic) {
+  if (magic != kRunFileMagic && magic != kRunFileMagicV3) {
     return Status::InvalidArgument(path_ + " is not a rowsort run file");
   }
+  const uint32_t magic_version =
+      magic == kRunFileMagicV3 ? kRunFileVersionV3 : kRunFileVersion;
   constexpr uint64_t kRest = kHeaderSize - sizeof(uint64_t);
   if (std::fread(header + sizeof(uint64_t), 1, kRest, file_) != kRest) {
-    return Status::IOError(path_ + ": short header");
+    return Status::IOError(RunContext(path_, magic_version) +
+                           ": short header");
   }
   uint32_t version = bit_util::LoadUnaligned<uint32_t>(header + 8);
-  if (version != kRunFileVersion) {
-    return Status::InvalidArgument(
-        StringFormat("%s: unsupported run file version %u", path_.c_str(),
-                     static_cast<unsigned>(version)));
+  if (version != magic_version) {
+    return Status::InvalidArgument(StringFormat(
+        "%s: unsupported run file version %u (magic says v%u)", path_.c_str(),
+        static_cast<unsigned>(version),
+        static_cast<unsigned>(magic_version)));
   }
+  version_ = version;
   uint32_t stored_crc =
       bit_util::LoadUnaligned<uint32_t>(header + kHeaderSize - 4);
   if (Crc32(0, header, kHeaderSize - 4) != stored_crc) {
-    return Status::IOError(path_ + ": header checksum mismatch");
+    return Status::IOError(RunContext(path_, version_) +
+                           ": header checksum mismatch");
   }
   count_ = bit_util::LoadUnaligned<uint64_t>(header + 16);
   key_row_width_ = bit_util::LoadUnaligned<uint64_t>(header + 24);
   uint64_t payload_width = bit_util::LoadUnaligned<uint64_t>(header + 32);
   if (payload_width != layout_.row_width()) {
     return Status::InvalidArgument(StringFormat(
-        "payload width mismatch: file has %llu, layout has %llu",
+        "%s: payload width mismatch: file has %llu, layout has %llu",
+        RunContext(path_, version_).c_str(),
         static_cast<unsigned long long>(payload_width),
         static_cast<unsigned long long>(layout_.row_width())));
   }
@@ -593,9 +1080,13 @@ void ExternalRunReader::StartPrefetch() {
   const RowLayout* layout = &layout_;
   const std::string* path = &path_;
   const uint64_t krw = key_row_width_;
+  const uint32_t version = version_;
   SpillIoOptions io = io_;
   prefetch_ = io_.worker->Submit(
-      [f, raw, rows_out, layout, path, krw, remaining, io]() {
+      [f, raw, rows_out, layout, path, krw, remaining, version, io]() {
+        if (version == kRunFileVersionV3) {
+          return FetchRawBlockV3(f, *path, remaining, raw, rows_out, io);
+        }
         return FetchRawBlock(f, *path, *layout, krw, remaining, raw, rows_out,
                              io);
       });
@@ -642,8 +1133,12 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
     StartPrefetch();
   } else {
     Timer timer;
-    Status s = FetchRawBlock(file_, path_, layout_, key_row_width_,
-                             count_ - rows_fetched_, &raw_, &raw_rows_, io_);
+    Status s = version_ == kRunFileVersionV3
+                   ? FetchRawBlockV3(file_, path_, count_ - rows_fetched_,
+                                     &raw_, &raw_rows_, io_)
+                   : FetchRawBlock(file_, path_, layout_, key_row_width_,
+                                   count_ - rows_fetched_, &raw_, &raw_rows_,
+                                   io_);
     if (io_.overlap_stats != nullptr) {
       io_.overlap_stats->io_wait_us.fetch_add(timer.ElapsedNanos() / 1000,
                                               std::memory_order_relaxed);
@@ -651,8 +1146,14 @@ Status ExternalRunReader::ReadBlock(SortedRun* block) {
     ROWSORT_RETURN_NOT_OK(s);
     rows_fetched_ += raw_rows_;
   }
-  ROWSORT_RETURN_NOT_OK(
-      DecodeRawBlock(layout_, path_, raw_, key_row_width_, block, io_.trace));
+  if (version_ == kRunFileVersionV3) {
+    ROWSORT_RETURN_NOT_OK(DecodeRawBlockV3(layout_, path_, raw_,
+                                           key_row_width_, block, io_.trace,
+                                           io_.compression_stats));
+  } else {
+    ROWSORT_RETURN_NOT_OK(DecodeRawBlock(layout_, path_, raw_,
+                                         key_row_width_, block, io_.trace));
+  }
   rows_read_ += block->count;
   return Status::OK();
 }

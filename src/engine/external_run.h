@@ -31,6 +31,18 @@ namespace rowsort {
 ///            [nstrings u64][(row u32, col u32, len u32, bytes)*]
 ///            [block crc32 u32]
 ///
+/// Format v3 (SpillIoOptions::compression; docs/external_sort.md#format-v3):
+/// same header with magic "ROWSORT3" / version 3; each block carries three
+/// independently compressed column sections (keys, payload, strings):
+///   blocks*: [block magic u32 "BLK3"][rows u64][body size u64]
+///            3 x ([codec u8][raw size u64][stored size u64][stored bytes])
+///            [block crc32 u32]
+/// The CRC covers the *compressed* bytes (framing + section headers +
+/// stored bytes), so corruption is caught before any decompressor runs.
+/// Codecs are chosen per section at encode time and independently degrade
+/// to raw passthrough when they do not pay (common/compress.h). Readers
+/// auto-detect the version from the magic; v2 files stay readable forever.
+///
 /// Robustness properties (docs/robustness.md):
 ///  - Every section carries a CRC32; bit flips and swapped sectors surface
 ///    as Status::IOError on load, never as garbage rows or a crash.
@@ -81,6 +93,13 @@ struct SpillIoOptions {
   /// readahead block). Optional; unowned.
   MemoryTracker* buffer_tracker = nullptr;
   SpillOverlapStats* overlap_stats = nullptr;  ///< unowned; shared
+  /// Write runs in the compressed v3 format (readers always auto-detect the
+  /// version from the file magic, so this only affects writers). Off keeps
+  /// the byte-identical v2 path.
+  bool compression = false;
+  /// Raw-vs-stored bytes, per-codec section counts and encode/decode
+  /// latencies for the v3 path. Optional; unowned; shared by threads.
+  SpillCompressionStats* compression_stats = nullptr;
 };
 
 /// \brief Streaming writer for a spill file; append blocks, then Finish().
@@ -127,6 +146,9 @@ class ExternalRunWriter {
 
   uint64_t rows_written() const { return rows_written_; }
   const std::string& path() const { return path_; }
+  /// On-disk format chosen at Open(): 3 when SpillIoOptions::compression is
+  /// set, 2 otherwise.
+  uint32_t format_version() const { return version_; }
 
  private:
   /// Waits for the in-flight background block, folding the wait into the
@@ -139,6 +161,7 @@ class ExternalRunWriter {
   std::FILE* file_ = nullptr;
   uint64_t key_row_width_ = 0;
   uint64_t rows_written_ = 0;
+  uint32_t version_ = 2;
   bool finished_ = false;
   SpillIoOptions io_;
   Status error_;  ///< sticky first failure (incl. background writes)
@@ -146,6 +169,15 @@ class ExternalRunWriter {
   std::vector<uint8_t> inflight_buf_;  ///< block owned by the worker job
   IoTicket inflight_;
   MemoryReservation buffer_memory_;
+  /// v3 per-section encode scratch (string gather + one buffer per codec
+  /// attempt), reused across blocks so steady-state encoding allocates
+  /// nothing. Counted into buffer_memory_ alongside the double buffer.
+  std::vector<std::vector<uint8_t>> v3_scratch_;
+  /// Consecutive blocks whose payload / string section compressed worse
+  /// than raw; after a few misses the LZ attempt is only retried
+  /// periodically so incompressible data pays (almost) no compression tax.
+  uint32_t payload_raw_streak_ = 0;
+  uint32_t string_raw_streak_ = 0;
 };
 
 /// \brief Streaming reader over a spill file written by ExternalRunWriter.
@@ -177,6 +209,8 @@ class ExternalRunReader {
   uint64_t key_row_width() const { return key_row_width_; }
   uint64_t rows_read() const { return rows_read_; }
   const std::string& path() const { return path_; }
+  /// On-disk format detected from the file magic by Open(): 2 or 3.
+  uint32_t format_version() const { return version_; }
 
  private:
   /// Submits the background fetch of the next raw block (no-op when
@@ -191,6 +225,7 @@ class ExternalRunReader {
   std::FILE* file_ = nullptr;
   uint64_t count_ = 0;
   uint64_t key_row_width_ = 0;
+  uint32_t version_ = 0;       ///< detected by Open() from the magic
   uint64_t rows_read_ = 0;     ///< rows handed out via ReadBlock
   uint64_t rows_fetched_ = 0;  ///< rows pulled off the file (>= rows_read_)
   SpillIoOptions io_;

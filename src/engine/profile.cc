@@ -289,6 +289,39 @@ void SortProfile::FoldSpillOverlap(const SpillOverlapStats& overlap,
   }
 }
 
+void SortProfile::FoldSpillCompression(const SpillCompressionStats& compression) {
+  const uint64_t bytes_raw =
+      compression.bytes_raw.load(std::memory_order_relaxed);
+  const uint64_t bytes_compressed =
+      compression.bytes_compressed.load(std::memory_order_relaxed);
+  if (bytes_raw == 0 && bytes_compressed == 0) return;
+  DurationHistogram compress = compression.compress_ns.Snapshot();
+  DurationHistogram decompress = compression.decompress_ns.Snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileNode* node = root_.Child("spill")->Child("compression");
+  node->invocations = compress.count() + decompress.count();
+  node->seconds = compress.total_seconds() + decompress.total_seconds();
+  node->SetCounter("bytes_raw", bytes_raw);
+  node->SetCounter("bytes_compressed", bytes_compressed);
+  node->SetCounter(
+      "sections_raw", compression.sections_raw.load(std::memory_order_relaxed));
+  node->SetCounter(
+      "sections_prefix",
+      compression.sections_prefix.load(std::memory_order_relaxed));
+  node->SetCounter(
+      "sections_rle", compression.sections_rle.load(std::memory_order_relaxed));
+  node->SetCounter(
+      "sections_lz", compression.sections_lz.load(std::memory_order_relaxed));
+  ProfileNode* enc = node->Child("compress");
+  enc->invocations = compress.count();
+  enc->seconds = compress.total_seconds();
+  enc->latencies = compress;
+  ProfileNode* dec = node->Child("decompress");
+  dec->invocations = decompress.count();
+  dec->seconds = decompress.total_seconds();
+  dec->latencies = decompress;
+}
+
 void SortProfile::FoldMergeSlices() {
   DurationHistogram slices = merge_slice_ns_.Snapshot();
   if (slices.count() == 0) return;

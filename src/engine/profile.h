@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/compress.h"
 #include "common/histogram.h"
 #include "common/io_worker.h"
 #include "common/macros.h"
@@ -165,6 +166,47 @@ struct SpillOverlapStats {
   std::atomic<uint64_t> write_behind_stalls{0};
 };
 
+/// \brief Counters for the v3 compressed spill path (SpillIoOptions::
+/// compression_stats), shared by every writer/reader of one sort and folded
+/// into SortMetrics and the profile's spill/compression node. Relaxed
+/// atomics — one update per block section.
+struct SpillCompressionStats {
+  /// Section bytes before / after encoding. The ratio bytes_compressed /
+  /// bytes_raw is the headline spill-bandwidth saving.
+  std::atomic<uint64_t> bytes_raw{0};
+  std::atomic<uint64_t> bytes_compressed{0};
+  /// Sections written with each codec (3 sections per block: keys, payload,
+  /// strings), indexed by SpillCodec value.
+  std::atomic<uint64_t> sections_raw{0};
+  std::atomic<uint64_t> sections_prefix{0};
+  std::atomic<uint64_t> sections_rle{0};
+  std::atomic<uint64_t> sections_lz{0};
+  /// Per-block encode / decode latency (sort-thread side in both cases:
+  /// compression runs before the write-behind submit, decompression after
+  /// the prefetch completes).
+  AtomicDurationHistogram compress_ns;
+  AtomicDurationHistogram decompress_ns;
+
+  void RecordSection(SpillCodec codec, uint64_t raw, uint64_t stored) {
+    bytes_raw.fetch_add(raw, std::memory_order_relaxed);
+    bytes_compressed.fetch_add(stored, std::memory_order_relaxed);
+    switch (codec) {
+      case SpillCodec::kRaw:
+        sections_raw.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SpillCodec::kPrefix:
+        sections_prefix.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SpillCodec::kRle:
+        sections_rle.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SpillCodec::kLz:
+        sections_lz.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+};
+
 /// \brief The hierarchical profile of one sort. Owned by RelationalSort;
 /// retrievable (complete or partial) after success, error, or cancellation.
 ///
@@ -219,6 +261,10 @@ class SortProfile {
   /// the background worker's snapshot. No-op when nothing was recorded.
   void FoldSpillOverlap(const SpillOverlapStats& overlap,
                         const IoWorkerStatsSnapshot& worker);
+  /// Rebuilds the spill/compression node (raw vs. stored bytes, per-codec
+  /// section counts, encode/decode latency histograms). No-op when no
+  /// section was ever recorded (compression off or nothing spilled).
+  void FoldSpillCompression(const SpillCompressionStats& compression);
   /// Rebuilds the merge/slices node from the atomic slice histogram.
   void FoldMergeSlices();
   /// Rebuilds the parallel node from a pool snapshot.

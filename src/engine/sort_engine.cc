@@ -132,6 +132,23 @@ void RelationalSort::FoldRuntimeIntoProfile() {
         overlap_stats_.blocks_prefetched.load(std::memory_order_relaxed);
     metrics_.write_behind_stalls =
         overlap_stats_.write_behind_stalls.load(std::memory_order_relaxed);
+    // Compression counters move with every spill block written or decoded.
+    metrics_.spill_bytes_raw =
+        compression_stats_.bytes_raw.load(std::memory_order_relaxed);
+    metrics_.spill_bytes_compressed =
+        compression_stats_.bytes_compressed.load(std::memory_order_relaxed);
+    metrics_.spill_sections_raw =
+        compression_stats_.sections_raw.load(std::memory_order_relaxed);
+    metrics_.spill_sections_prefix =
+        compression_stats_.sections_prefix.load(std::memory_order_relaxed);
+    metrics_.spill_sections_rle =
+        compression_stats_.sections_rle.load(std::memory_order_relaxed);
+    metrics_.spill_sections_lz =
+        compression_stats_.sections_lz.load(std::memory_order_relaxed);
+    metrics_.compress_us = static_cast<uint64_t>(
+        compression_stats_.compress_ns.Snapshot().total_ns() / 1000);
+    metrics_.decompress_us = static_cast<uint64_t>(
+        compression_stats_.decompress_ns.Snapshot().total_ns() / 1000);
     snapshot = metrics_;
   }
   profile_.SetRows(snapshot.rows);
@@ -153,6 +170,11 @@ void RelationalSort::FoldRuntimeIntoProfile() {
   if (snapshot.merge_fan_in > 0) {
     profile_.SetRootCounter("merge_fan_in", snapshot.merge_fan_in);
   }
+  if (snapshot.spill_bytes_raw > 0) {
+    profile_.SetRootCounter("spill_bytes_raw", snapshot.spill_bytes_raw);
+    profile_.SetRootCounter("spill_bytes_compressed",
+                            snapshot.spill_bytes_compressed);
+  }
   if (UseOvc()) {
     profile_.SetRootCounter("ovc_decided",
                             ovc_decided_.load(std::memory_order_relaxed));
@@ -166,6 +188,7 @@ void RelationalSort::FoldRuntimeIntoProfile() {
   profile_.FoldSpillOverlap(overlap_stats_, io_worker_ != nullptr
                                                 ? io_worker_->StatsSnapshot()
                                                 : IoWorkerStatsSnapshot());
+  profile_.FoldSpillCompression(compression_stats_);
 }
 
 IoWorker* RelationalSort::EnsureIoWorker() {
@@ -1218,6 +1241,11 @@ Status RelationalSort::MergeEntryRange(uint64_t begin, uint64_t count,
   // output holds three (output block + double write buffer). When that
   // cannot fit the limit, run this merge's streams inline instead — the
   // readahead budget is charged to the tracker, so it must also respect it.
+  // block_bytes is the *decompressed* block size (rows x row widths): the
+  // decoded buffer is always that large regardless of on-disk format, and a
+  // v3 raw buffer holds the compressed bytes, which (modulo ~70 bytes of
+  // framing) never exceed raw — so this gate stays a safe bound with spill
+  // compression on, and errs conservative when blocks compress well.
   const uint64_t block_bytes = block_rows * (krw + prw);
   if (io.worker != nullptr && tracker_.limit() != 0 &&
       (spilled_inputs * 3 + 3) * block_bytes > tracker_.limit()) {

@@ -110,6 +110,14 @@ struct SortEngineConfig {
   /// and the sorted output are byte-identical either way; only where the
   /// blocking happens changes (SortMetrics::io_wait_us shows the residual).
   bool overlap_spill_io = true;
+  /// Compressed spill blocks (docs/external_sort.md#format-v3): true
+  /// (default) = runs are written in the v3 format with per-section
+  /// lightweight compression (prefix-delta keys, RLE/LZ payloads, raw when
+  /// nothing pays), halving-or-better spill bandwidth on compressible data;
+  /// false = the byte-identical v2 format of PR 6. The sorted *output* is
+  /// identical either way — only the bytes on disk differ. Readers always
+  /// auto-detect the format from the file magic.
+  bool spill_compression = true;
   /// Cooperative cancellation / deadline for the whole pipeline. Every
   /// long-running loop (sink scatter, run sorts, merge inner loops, spill
   /// streaming) polls this token at block granularity (kCancelCheckRows) and
@@ -190,6 +198,21 @@ struct SortMetrics {
   /// closing k-way merge). Equal to runs_generated when the planner fit
   /// every run into a single pass; 0 until Finalize.
   uint64_t merge_fan_in = 0;
+  /// Spill section bytes before / after v3 compression. Equal when every
+  /// section degraded to raw; both 0 with spill_compression off or nothing
+  /// spilled. The ratio is the spill-bandwidth saving.
+  uint64_t spill_bytes_raw = 0;
+  uint64_t spill_bytes_compressed = 0;
+  /// v3 block sections written per codec (3 sections per block: keys,
+  /// payload, strings; common/compress.h).
+  uint64_t spill_sections_raw = 0;
+  uint64_t spill_sections_prefix = 0;
+  uint64_t spill_sections_rle = 0;
+  uint64_t spill_sections_lz = 0;
+  /// Microseconds spent compressing / decompressing spill sections (sort
+  /// thread; overlapped with the background fwrite / fread).
+  uint64_t compress_us = 0;
+  uint64_t decompress_us = 0;
   double sink_seconds = 0;      ///< DSM->NSM conversion + key normalization
   double run_sort_seconds = 0;  ///< thread-local sorts + payload reorder
   double merge_seconds = 0;     ///< cascaded merge
@@ -397,6 +420,10 @@ class RelationalSort {
     // Always wired: with overlap off (or gated off), the inline fread/fwrite
     // time lands in io_wait_us, making sync vs. overlapped stalls comparable.
     io.overlap_stats = &overlap_stats_;
+    // Compression stats likewise stay wired even with compression off: the
+    // reader side may still decode pre-existing v3 runs.
+    io.compression = config_.spill_compression;
+    io.compression_stats = &compression_stats_;
     if (config_.overlap_spill_io) {
       io.worker = EnsureIoWorker();
       io.buffer_tracker = &tracker_;
@@ -479,6 +506,10 @@ class RelationalSort {
   /// (io_wait_us / blocks_prefetched / write_behind_stalls) and the
   /// profile's spill node.
   SpillOverlapStats overlap_stats_;
+  /// v3 compression counters shared by all spill streams; folded into
+  /// SortMetrics (spill_bytes_raw / spill_bytes_compressed / per-codec
+  /// section counts) and the profile's spill/compression node.
+  SpillCompressionStats compression_stats_;
   /// Hands each LocalState a stable thread slot in the profile tree.
   mutable std::atomic<uint64_t> next_local_ordinal_{0};
   /// Fast-path scatter/gather counters from the row-kernel layer. Mutable:

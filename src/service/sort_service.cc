@@ -644,6 +644,22 @@ void SortService::EnsureCapacity(uint64_t bytes, RelationalSort* requester) {
   }
 }
 
+void SortService::RecordSpillCompression(const std::string& tenant,
+                                         const SortMetrics& metrics) {
+  if (metrics_ == nullptr || metrics.spill_bytes_raw == 0) return;
+  const MetricLabels labels = {{"tenant", tenant}};
+  metrics_
+      ->GetCounter("rowsort_spill_bytes_raw_total",
+                   "Spill section bytes before compression, by tenant",
+                   labels)
+      ->Increment(metrics.spill_bytes_raw);
+  metrics_
+      ->GetCounter("rowsort_spill_bytes_compressed_total",
+                   "Spill section bytes written after compression, by tenant",
+                   labels)
+      ->Increment(metrics.spill_bytes_compressed);
+}
+
 StatusOr<Table> SortService::RunGoverned(
     const OperatorRequest& request, bool express_eligible,
     uint64_t estimated_bytes,
@@ -853,8 +869,15 @@ StatusOr<Table> SortService::Submit(const Table& input,
       }
       if (st.ok()) st = sort.status();
       if (st.ok()) st = sort.Finalize(&pool_);
-      if (!st.ok()) {
+      // Spill byte counters go to the registry on every exit: a failed or
+      // cancelled sort may still have spilled (and compressed) runs.
+      auto export_metrics = [&] {
         if (metrics_out != nullptr) *metrics_out = sort.metrics();
+        RecordSpillCompression(EffectiveTenant(request.tenant),
+                               sort.metrics());
+      };
+      if (!st.ok()) {
+        export_metrics();
         return st;
       }
       try {
@@ -865,10 +888,10 @@ StatusOr<Table> SortService::Submit(const Table& input,
           offset += sort.ScanChunk(offset, &chunk);
           output.Append(std::move(chunk));
         }
-        if (metrics_out != nullptr) *metrics_out = sort.metrics();
+        export_metrics();
         return output;
       } catch (const std::bad_alloc&) {
-        if (metrics_out != nullptr) *metrics_out = sort.metrics();
+        export_metrics();
         return Status::OutOfMemory("service sort output: allocation failed");
       }
     };

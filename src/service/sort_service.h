@@ -361,6 +361,12 @@ class SortService : public MemoryGovernor {
                                            TaskPriority priority);
   /// Registers the callback gauges + starts the collector (constructor).
   void InitTelemetry();
+  /// Publishes a finished sort's spill-compression byte counters
+  /// (SortMetrics::spill_bytes_raw / spill_bytes_compressed) to the
+  /// registry, labeled by tenant. No-op when nothing spilled or telemetry
+  /// is off; spills are rare enough that the registry lock is fine here.
+  void RecordSpillCompression(const std::string& tenant,
+                              const SortMetrics& metrics);
 
   /// Blocks until admitted or shed. OK = slot held (release via
   /// ReleaseSlot). \p waited_ns receives the queue time and \p in_express

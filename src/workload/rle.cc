@@ -29,4 +29,78 @@ uint64_t RleBytes(const Table& table, uint64_t col) {
   return CountRuns(table, col) * (value_width + sizeof(uint32_t));
 }
 
+namespace {
+
+/// Signed view of any integer-typed Value; Date is int32 days underneath.
+bool IntegerValue(const Value& v, int64_t* out) {
+  switch (v.type().id()) {
+    case TypeId::kInt8: *out = v.int8_value(); return true;
+    case TypeId::kInt16: *out = v.int16_value(); return true;
+    case TypeId::kInt32:
+    case TypeId::kDate: *out = v.int32_value(); return true;
+    case TypeId::kInt64: *out = v.int64_value(); return true;
+    case TypeId::kUint32: *out = v.uint32_value(); return true;
+    case TypeId::kUint64:
+      *out = static_cast<int64_t>(v.uint64_value());
+      return true;
+    default: return false;
+  }
+}
+
+/// Bits needed to represent values in [0, range].
+uint64_t BitsForRange(uint64_t range) {
+  uint64_t bits = 0;
+  while (range > 0) {
+    ++bits;
+    range >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+uint64_t ForBytes(const Table& table, uint64_t col, uint64_t block_rows) {
+  ROWSORT_ASSERT(col < table.types().size());
+  ROWSORT_ASSERT(block_rows > 0);
+  const uint64_t width = table.types()[col].FixedSize();
+  uint64_t bytes = 0;
+  uint64_t in_block = 0;
+  bool integer = true;
+  int64_t min = 0, max = 0;
+  bool have_value = false;
+  auto flush = [&]() {
+    if (in_block == 0) return;
+    // Per block: 8-byte reference + 1-byte bit width + packed values +
+    // one validity bit per row.
+    const uint64_t range =
+        have_value ? static_cast<uint64_t>(max) - static_cast<uint64_t>(min)
+                   : 0;
+    const uint64_t bits = BitsForRange(range);
+    bytes += 8 + 1 + (in_block * bits + 7) / 8 + (in_block + 7) / 8;
+    in_block = 0;
+    have_value = false;
+  };
+  for (uint64_t ci = 0; ci < table.ChunkCount() && integer; ++ci) {
+    const DataChunk& chunk = table.chunk(ci);
+    for (uint64_t r = 0; r < chunk.size(); ++r) {
+      Value cur = chunk.GetValue(col, r);
+      int64_t v = 0;
+      if (cur.is_null()) {
+        // NULLs cost only their validity bit.
+      } else if (IntegerValue(cur, &v)) {
+        if (!have_value || v < min) min = v;
+        if (!have_value || v > max) max = v;
+        have_value = true;
+      } else {
+        integer = false;
+        break;
+      }
+      if (++in_block == block_rows) flush();
+    }
+  }
+  if (!integer) return width * table.row_count();
+  flush();
+  return bytes;
+}
+
 }  // namespace rowsort

@@ -20,4 +20,15 @@ uint64_t CountRuns(const Table& table, uint64_t col);
 /// Hypothetical RLE size in bytes of column \p col: runs * (value width + 4).
 uint64_t RleBytes(const Table& table, uint64_t col);
 
+/// Hypothetical frame-of-reference (FOR) size in bytes of an integer-typed
+/// column \p col: values are split into blocks of \p block_rows; each block
+/// stores a 8-byte reference (its minimum), a 1-byte bit width, and the
+/// values bit-packed as (value - min) in just enough bits for the block's
+/// range. NULLs cost one validity bit per row. Sorting shrinks the per-block
+/// range (often to zero bits), which is exactly the effect the compression
+/// workload measures. Non-integer columns fall back to their raw size
+/// (width x rows) — FOR does not apply.
+uint64_t ForBytes(const Table& table, uint64_t col,
+                  uint64_t block_rows = 1024);
+
 }  // namespace rowsort

@@ -1,0 +1,355 @@
+// Copyright 2026 the rowsort authors. Licensed under the MIT license.
+//
+// Unit tests for the spill-block codecs behind external-run format v3
+// (common/compress.h): varint framing, shared-prefix delta, row RLE, and the
+// byte-oriented LZ fallback. Every decompressor must fill exactly the
+// declared output while consuming exactly the declared input, so the tests
+// exercise both clean round-trips and malformed streams.
+
+#include "common/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace rowsort {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------------------
+// Varint
+// ---------------------------------------------------------------------------
+
+TEST(VarintTest, RoundTripBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             UINT64_MAX - 1,
+                             UINT64_MAX};
+  for (uint64_t v : values) {
+    std::vector<uint8_t> buf;
+    EncodeVarint(v, &buf);
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(DecodeVarint(buf.data(), buf.size(), &pos, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(pos, buf.size()) << "varint must consume exactly its bytes";
+  }
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::vector<uint8_t> buf;
+  EncodeVarint(127, &buf);
+  EXPECT_EQ(buf.size(), 1u);
+  EncodeVarint(128, &buf);
+  EXPECT_EQ(buf.size(), 3u);  // 127 took one byte, 128 takes two.
+}
+
+TEST(VarintTest, RejectsTruncation) {
+  std::vector<uint8_t> buf;
+  EncodeVarint(UINT64_MAX, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    EXPECT_FALSE(DecodeVarint(buf.data(), cut, &pos, &decoded)) << cut;
+  }
+}
+
+TEST(VarintTest, RejectsOverlongEncoding) {
+  // Eleven continuation bytes: longer than any valid uint64 encoding.
+  std::vector<uint8_t> buf(11, 0x80);
+  size_t pos = 0;
+  uint64_t decoded = 0;
+  EXPECT_FALSE(DecodeVarint(buf.data(), buf.size(), &pos, &decoded));
+}
+
+// ---------------------------------------------------------------------------
+// Prefix (shared-prefix delta over sorted rows)
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> MakeSortedRows(uint64_t rows, uint64_t width,
+                                    uint32_t seed) {
+  // Rows that share long prefixes: a big-endian counter padded with a
+  // constant, the exact shape of normalized sort keys in a sorted block.
+  std::vector<uint8_t> data(rows * width, 0xAB);
+  std::mt19937 rng(seed);
+  uint64_t counter = rng();
+  for (uint64_t r = 0; r < rows; ++r) {
+    counter += 1 + (rng() % 3);
+    for (uint64_t b = 0; b < 8 && b < width; ++b) {
+      data[r * width + b] =
+          static_cast<uint8_t>(counter >> (8 * (7 - b)));
+    }
+  }
+  return data;
+}
+
+TEST(PrefixCodecTest, RoundTripSortedRows) {
+  for (uint64_t width : {1u, 8u, 16u, 40u}) {
+    const uint64_t rows = 257;
+    std::vector<uint8_t> data = MakeSortedRows(rows, width, 7);
+    std::vector<uint8_t> enc;
+    PrefixCompress(data.data(), rows, width, &enc);
+    // Width-1 rows have no prefix to share beyond the whole byte, so only
+    // require shrinkage where a multi-byte prefix exists.
+    if (width > 1) {
+      EXPECT_LT(enc.size(), data.size()) << "width " << width;
+    }
+    std::vector<uint8_t> dec(data.size(), 0);
+    ASSERT_TRUE(
+        PrefixDecompress(enc.data(), enc.size(), rows, width, dec.data()));
+    EXPECT_EQ(dec, data) << "width " << width;
+  }
+}
+
+TEST(PrefixCodecTest, RoundTripSingleRowAndIdenticalRows) {
+  const uint64_t width = 12;
+  std::vector<uint8_t> one(width, 0x5C);
+  std::vector<uint8_t> enc;
+  PrefixCompress(one.data(), 1, width, &enc);
+  std::vector<uint8_t> dec(width, 0);
+  ASSERT_TRUE(PrefixDecompress(enc.data(), enc.size(), 1, width, dec.data()));
+  EXPECT_EQ(dec, one);
+
+  // 100 identical rows: each delta row is a one-byte varint (prefix = width).
+  std::vector<uint8_t> dup;
+  for (int i = 0; i < 100; ++i) dup.insert(dup.end(), one.begin(), one.end());
+  enc.clear();
+  PrefixCompress(dup.data(), 100, width, &enc);
+  EXPECT_EQ(enc.size(), width + 99u);
+  dec.assign(dup.size(), 0);
+  ASSERT_TRUE(PrefixDecompress(enc.data(), enc.size(), 100, width, dec.data()));
+  EXPECT_EQ(dec, dup);
+}
+
+TEST(PrefixCodecTest, RejectsMalformedStreams) {
+  const uint64_t rows = 16, width = 8;
+  std::vector<uint8_t> data = MakeSortedRows(rows, width, 11);
+  std::vector<uint8_t> enc;
+  PrefixCompress(data.data(), rows, width, &enc);
+  std::vector<uint8_t> dec(data.size());
+
+  // Truncation at every point must fail (never a short success).
+  for (size_t cut = 0; cut < enc.size(); ++cut) {
+    EXPECT_FALSE(
+        PrefixDecompress(enc.data(), cut, rows, width, dec.data()))
+        << cut;
+  }
+  // Trailing garbage: input not fully consumed.
+  std::vector<uint8_t> padded = enc;
+  padded.push_back(0x00);
+  EXPECT_FALSE(
+      PrefixDecompress(padded.data(), padded.size(), rows, width, dec.data()));
+  // A prefix length larger than the row width.
+  std::vector<uint8_t> bad(width, 0x22);
+  EncodeVarint(width + 1, &bad);  // second row claims prefix > width
+  EXPECT_FALSE(PrefixDecompress(bad.data(), bad.size(), 2, width, dec.data()));
+}
+
+// ---------------------------------------------------------------------------
+// RLE
+// ---------------------------------------------------------------------------
+
+TEST(RleCodecTest, RoundTripDuplicateHeavyRows) {
+  const uint64_t width = 10;
+  std::vector<uint8_t> data;
+  std::mt19937 rng(23);
+  uint64_t rows = 0;
+  for (int run = 0; run < 20; ++run) {
+    std::vector<uint8_t> row(width);
+    for (auto& b : row) b = static_cast<uint8_t>(rng());
+    uint64_t len = 1 + rng() % 300;
+    for (uint64_t i = 0; i < len; ++i)
+      data.insert(data.end(), row.begin(), row.end());
+    rows += len;
+  }
+  std::vector<uint8_t> enc;
+  RleCompress(data.data(), rows, width, &enc);
+  EXPECT_LT(enc.size(), data.size() / 10);
+  std::vector<uint8_t> dec(data.size(), 0);
+  ASSERT_TRUE(RleDecompress(enc.data(), enc.size(), rows, width, dec.data()));
+  EXPECT_EQ(dec, data);
+}
+
+TEST(RleCodecTest, RoundTripAllDistinctRows) {
+  // Worst case: every row its own run — still must round-trip.
+  const uint64_t rows = 64, width = 4;
+  std::vector<uint8_t> data(rows * width);
+  for (size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<uint8_t>(i * 37);
+  std::vector<uint8_t> enc;
+  RleCompress(data.data(), rows, width, &enc);
+  std::vector<uint8_t> dec(data.size(), 0);
+  ASSERT_TRUE(RleDecompress(enc.data(), enc.size(), rows, width, dec.data()));
+  EXPECT_EQ(dec, data);
+}
+
+TEST(RleCodecTest, RejectsMalformedStreams) {
+  const uint64_t rows = 50, width = 6;
+  std::vector<uint8_t> data(rows * width, 0x3D);
+  std::vector<uint8_t> enc;
+  RleCompress(data.data(), rows, width, &enc);
+  std::vector<uint8_t> dec(data.size());
+
+  for (size_t cut = 0; cut < enc.size(); ++cut) {
+    EXPECT_FALSE(RleDecompress(enc.data(), cut, rows, width, dec.data()))
+        << cut;
+  }
+  // A zero-length run can never be valid.
+  std::vector<uint8_t> zero;
+  EncodeVarint(0, &zero);
+  zero.insert(zero.end(), width, 0x11);
+  EXPECT_FALSE(RleDecompress(zero.data(), zero.size(), rows, width, dec.data()));
+  // A run longer than the remaining rows must be rejected, not clamped.
+  std::vector<uint8_t> over;
+  EncodeVarint(rows + 1, &over);
+  over.insert(over.end(), width, 0x11);
+  EXPECT_FALSE(RleDecompress(over.data(), over.size(), rows, width, dec.data()));
+  // Trailing bytes after all rows are produced.
+  std::vector<uint8_t> padded = enc;
+  padded.push_back(0x7F);
+  EXPECT_FALSE(
+      RleDecompress(padded.data(), padded.size(), rows, width, dec.data()));
+}
+
+// ---------------------------------------------------------------------------
+// LZ
+// ---------------------------------------------------------------------------
+
+void ExpectLzRoundTrip(const std::vector<uint8_t>& data) {
+  std::vector<uint8_t> enc;
+  LzCompress(data.data(), data.size(), &enc);
+  // One spare byte keeps dec.data() non-null for empty inputs.
+  std::vector<uint8_t> dec(data.size() + 1, 0xEE);
+  ASSERT_TRUE(LzDecompress(enc.data(), enc.size(), dec.data(), data.size()));
+  dec.pop_back();
+  EXPECT_EQ(dec, data);
+}
+
+TEST(LzCodecTest, RoundTripEmptyAndTinyInputs) {
+  ExpectLzRoundTrip({});
+  ExpectLzRoundTrip(Bytes("a"));
+  ExpectLzRoundTrip(Bytes("abcd"));
+  ExpectLzRoundTrip(Bytes("aaaaa"));  // shortest possible match territory
+}
+
+TEST(LzCodecTest, CompressesRepetitiveInput) {
+  std::string s;
+  for (int i = 0; i < 500; ++i) s += "the quick brown fox|";
+  std::vector<uint8_t> data = Bytes(s);
+  std::vector<uint8_t> enc;
+  LzCompress(data.data(), data.size(), &enc);
+  EXPECT_LT(enc.size(), data.size() / 4);
+  std::vector<uint8_t> dec(data.size(), 0);
+  ASSERT_TRUE(LzDecompress(enc.data(), enc.size(), dec.data(), dec.size()));
+  EXPECT_EQ(dec, data);
+}
+
+TEST(LzCodecTest, RoundTripOverlappingMatches) {
+  // Runs of a single byte force matches whose source overlaps the output
+  // cursor (offset 1) — the classic LZ copy-forward case.
+  std::vector<uint8_t> data(10000, 'x');
+  ExpectLzRoundTrip(data);
+  // And an offset-3 repeat.
+  std::vector<uint8_t> tri;
+  for (int i = 0; i < 5000; ++i) tri.push_back(static_cast<uint8_t>(i % 3));
+  ExpectLzRoundTrip(tri);
+}
+
+TEST(LzCodecTest, RoundTripRandomIncompressibleInput) {
+  std::mt19937 rng(99);
+  std::vector<uint8_t> data(1 << 16);
+  for (auto& b : data) b = static_cast<uint8_t>(rng());
+  ExpectLzRoundTrip(data);
+}
+
+TEST(LzCodecTest, RoundTripLongRangeMatches) {
+  // Repeats separated by more than the 64 KiB window compress poorly but
+  // must still round-trip; repeats inside the window must match.
+  std::mt19937 rng(5);
+  std::vector<uint8_t> block(50000);
+  for (auto& b : block) b = static_cast<uint8_t>(rng());
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 4; ++i)
+    data.insert(data.end(), block.begin(), block.end());
+  std::vector<uint8_t> enc;
+  LzCompress(data.data(), data.size(), &enc);
+  EXPECT_LT(enc.size(), data.size());
+  std::vector<uint8_t> dec(data.size(), 0);
+  ASSERT_TRUE(LzDecompress(enc.data(), enc.size(), dec.data(), dec.size()));
+  EXPECT_EQ(dec, data);
+}
+
+TEST(LzCodecTest, RejectsMalformedStreams) {
+  std::string s;
+  for (int i = 0; i < 100; ++i) s += "rowsort rowsort ";
+  std::vector<uint8_t> data = Bytes(s);
+  std::vector<uint8_t> enc;
+  LzCompress(data.data(), data.size(), &enc);
+  std::vector<uint8_t> dec(data.size());
+
+  // Truncation: a cut stream must either be rejected or (when the cut drops
+  // only the redundant final zero-literal token) still decode to exactly the
+  // original bytes. A short or garbled success is never acceptable.
+  for (size_t cut = 0; cut < enc.size(); ++cut) {
+    std::fill(dec.begin(), dec.end(), 0);
+    if (LzDecompress(enc.data(), cut, dec.data(), dec.size())) {
+      EXPECT_EQ(dec, data) << cut;
+    }
+  }
+  // Wrong declared output sizes.
+  EXPECT_FALSE(LzDecompress(enc.data(), enc.size(), dec.data(), dec.size() - 1));
+  std::vector<uint8_t> big(data.size() + 1);
+  EXPECT_FALSE(LzDecompress(enc.data(), enc.size(), big.data(), big.size()));
+  // A match with offset zero (self-referential before any output). Token
+  // 0x40 = four literals then a minimum-length match.
+  const uint8_t zero_offset[] = {0x40, 'a', 'b', 'c', 'd', 0x00, 0x00};
+  std::vector<uint8_t> out(8);
+  EXPECT_FALSE(LzDecompress(zero_offset, sizeof(zero_offset), out.data(), 8));
+  // A match whose offset reaches before the start of the output.
+  const uint8_t far_offset[] = {0x40, 'a', 'b', 'c', 'd', 0xFF, 0x00};
+  EXPECT_FALSE(LzDecompress(far_offset, sizeof(far_offset), out.data(), 8));
+  // A final sequence that claims a match but provides no offset bytes.
+  const uint8_t dangling_match[] = {0x41, 'a', 'b', 'c', 'd'};
+  EXPECT_FALSE(LzDecompress(dangling_match, sizeof(dangling_match), out.data(), 4));
+}
+
+TEST(LzCodecTest, BitFlipSweepNeverOverreads) {
+  // Flipping any single bit must either fail cleanly or produce different
+  // bytes of the right size — never crash or hang (ASan/UBSan guard this).
+  std::string s;
+  for (int i = 0; i < 64; ++i) s += "abcabcabd";
+  std::vector<uint8_t> data = Bytes(s);
+  std::vector<uint8_t> enc;
+  LzCompress(data.data(), data.size(), &enc);
+  std::vector<uint8_t> dec(data.size());
+  for (size_t byte = 0; byte < enc.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mut = enc;
+      mut[byte] ^= static_cast<uint8_t>(1 << bit);
+      LzDecompress(mut.data(), mut.size(), dec.data(), dec.size());
+    }
+  }
+}
+
+TEST(SpillCodecTest, NamesAreStable) {
+  EXPECT_STREQ(SpillCodecName(SpillCodec::kRaw), "raw");
+  EXPECT_STREQ(SpillCodecName(SpillCodec::kPrefix), "prefix");
+  EXPECT_STREQ(SpillCodecName(SpillCodec::kRle), "rle");
+  EXPECT_STREQ(SpillCodecName(SpillCodec::kLz), "lz");
+}
+
+}  // namespace
+}  // namespace rowsort

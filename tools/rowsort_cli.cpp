@@ -40,6 +40,7 @@ struct Options {
   bool string_keys = false;
   uint64_t topn = 0;
   std::string spill;
+  bool spill_compression = true;
   uint64_t memory_limit = 0;
   uint64_t timeout_ms = 0;
   uint64_t seed = 42;
@@ -62,6 +63,9 @@ void PrintUsage() {
       "  --desc                sort descending\n"
       "  --topn=N              use the Top-N operator instead of a full sort\n"
       "  --spill=DIR           spill sorted runs to DIR (out-of-core merge)\n"
+      "  --spill-compression=on|off\n"
+      "                        compress spill blocks (run format v3, default\n"
+      "                        on; off = byte-identical v2 spill files)\n"
       "  --memory-limit=N[kmg] bound the working set; runs spill adaptively\n"
       "  --timeout-ms=N        abort with DeadlineExceeded after N ms\n"
       "  --seed=N              workload seed (default 42)\n"
@@ -101,6 +105,16 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->topn = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(argv[i], "--spill", &value)) {
       opt->spill = value;
+    } else if (ParseArg(argv[i], "--spill-compression", &value)) {
+      if (value == "on") {
+        opt->spill_compression = true;
+      } else if (value == "off") {
+        opt->spill_compression = false;
+      } else {
+        std::fprintf(stderr, "bad --spill-compression value: %s\n",
+                     value.c_str());
+        return false;
+      }
     } else if (ParseArg(argv[i], "--memory-limit", &value)) {
       char* end = nullptr;
       opt->memory_limit = std::strtoull(value.c_str(), &end, 10);
@@ -203,6 +217,7 @@ int main(int argc, char** argv) {
   SortEngineConfig config;
   config.threads = std::max<uint64_t>(opt.threads, 1);
   config.spill_directory = opt.spill;
+  config.spill_compression = opt.spill_compression;
   config.memory_limit_bytes = opt.memory_limit;
   if (opt.algorithm == "radix") {
     config.algorithm = RunSortAlgorithm::kRadix;
@@ -367,6 +382,21 @@ int main(int argc, char** argv) {
       std::printf("spilled %llu runs; peak tracked memory %.1f MiB\n",
                   (unsigned long long)metrics.runs_spilled,
                   metrics.peak_memory_bytes / (1024.0 * 1024.0));
+    }
+    if (metrics.spill_bytes_raw > 0) {
+      std::printf(
+          "spill bytes: %llu raw -> %llu compressed (%.2fx; sections "
+          "raw/prefix/rle/lz %llu/%llu/%llu/%llu)\n",
+          (unsigned long long)metrics.spill_bytes_raw,
+          (unsigned long long)metrics.spill_bytes_compressed,
+          metrics.spill_bytes_compressed > 0
+              ? (double)metrics.spill_bytes_raw /
+                    (double)metrics.spill_bytes_compressed
+              : 0.0,
+          (unsigned long long)metrics.spill_sections_raw,
+          (unsigned long long)metrics.spill_sections_prefix,
+          (unsigned long long)metrics.spill_sections_rle,
+          (unsigned long long)metrics.spill_sections_lz);
     }
     if (metrics.io_retries > 0) {
       std::printf("transient spill-I/O errors retried: %llu\n",

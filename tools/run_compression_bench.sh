@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Runs the sort-for-compression workload bench (bench_compression_order) and
+# records the results as BENCH_compression.json: post-sort RLE and
+# frame-of-reference sizes of the TPC-DS-like catalog_sales columns under
+# three orderings (unsorted baseline, the paper's given key order, and
+# low-cardinality-first).
+#
+# The emitted JSON is validated: it must parse, contain exactly the three
+# orderings with per-column stats, and show the §II claim quantitatively —
+# every sorted ordering must beat the unsorted baseline on total RLE bytes
+# (>= 1.5x smaller) and on total FOR bytes, and low-cardinality-first must
+# not lose to the given order on total RLE bytes (the whole point of the
+# column-ordering heuristic).
+#
+# Usage: tools/run_compression_bench.sh [build-dir] [output-json]
+#   build-dir    defaults to ./build (configured+built if missing)
+#   output-json  defaults to ./BENCH_compression.json
+#
+# Knobs (environment):
+#   ROWSORT_COMPRESSION_DIVISOR  divide SF-10 row counts by this (default 20)
+#   ROWSORT_BENCH_REPS           repetitions per sort, median kept (default 3)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_compression.json}"
+bench="${build_dir}/bench/bench_compression_order"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "== ${bench} not found; configuring and building =="
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+  cmake --build "${build_dir}" -j --target bench_compression_order
+fi
+
+echo "== sort-for-compression workload (JSON -> ${out_json}) =="
+ROWSORT_BENCH_JSON="${out_json}" "${bench}"
+
+echo
+echo "== validating ${out_json} =="
+python3 -m json.tool "${out_json}" >/dev/null
+python3 - "${out_json}" <<'EOF'
+import json, sys
+records = json.load(open(sys.argv[1]))
+by_ordering = {r["ordering"]: r for r in records}
+assert set(by_ordering) == {"baseline", "given-order", "low-card-first"}, \
+    f"unexpected orderings {sorted(by_ordering)}"
+for r in records:
+    assert r["rows"] > 0 and r["raw_bytes"] > 0, r
+    assert len(r["columns"]) == 5, r["ordering"]
+    assert r["rle_bytes_total"] == sum(c["rle_bytes"] for c in r["columns"])
+    assert r["for_bytes_total"] == sum(c["for_bytes"] for c in r["columns"])
+    for c in r["columns"]:
+        assert 0 < c["runs"] <= r["rows"], c
+        assert c["distinct"] <= c["runs"], c  # sorted or not, runs >= distinct
+    if r["ordering"] == "baseline":
+        assert r["key_order"] == [] and r["sort_seconds"] == 0, r["ordering"]
+    else:
+        assert len(r["key_order"]) == 4 and r["sort_seconds"] > 0, r["ordering"]
+
+base = by_ordering["baseline"]
+for name in ("given-order", "low-card-first"):
+    r = by_ordering[name]
+    rle = base["rle_bytes_total"] / r["rle_bytes_total"]
+    fr = base["for_bytes_total"] / r["for_bytes_total"]
+    print(f"{name}: rle {base['rle_bytes_total']} -> {r['rle_bytes_total']} "
+          f"({rle:.2f}x smaller), for {fr:.2f}x smaller, "
+          f"sort {r['sort_seconds']:.3f}s")
+    assert rle >= 1.5, f"{name}: sorting only cut RLE bytes {rle:.2f}x"
+    assert fr > 1.0, f"{name}: sorting did not help FOR ({fr:.2f}x)"
+
+low = by_ordering["low-card-first"]
+given = by_ordering["given-order"]
+assert low["rle_bytes_total"] <= given["rle_bytes_total"], \
+    "low-cardinality-first lost to the given order on RLE bytes"
+print(f"low-card-first vs given-order: "
+      f"{given['rle_bytes_total'] / low['rle_bytes_total']:.2f}x better RLE")
+EOF
+echo "== done: ${out_json} =="

@@ -119,7 +119,8 @@ assert svc["express_admitted"] > 0, "express lane never admitted anything"
 tel = doc["telemetry"]
 for key in ("enabled", "scrapes", "scrape_violations", "collector_samples",
             "flight_recorded", "flight_dropped", "flight_sheds",
-            "flight_victim_spills", "flight_admits", "flight_consistent"):
+            "flight_victim_spills", "flight_victim_bytes", "flight_admits",
+            "flight_consistent"):
     assert key in tel, f"telemetry missing {key}"
 assert tel["enabled"], "telemetry was disabled in the primary run"
 assert tel["scrapes"] > 0, "scraper thread never ran"
@@ -132,12 +133,21 @@ assert tel["flight_consistent"], \
 assert tel["flight_sheds"] == sheds, "flight shed count != ledger sheds"
 assert tel["flight_victim_spills"] == svc["victim_spills"], \
     "flight victim-spill count != ledger victim spills"
+# Victim events carry the freed byte count; their sum must reconcile with
+# the admission ledger even though the giants spill compressed (format v3)
+# runs — freed bytes are tracked at the MemoryTracker, not the spill file.
+assert tel["flight_victim_bytes"] == svc["victim_bytes_freed"], \
+    (f"flight victim bytes {tel['flight_victim_bytes']} != ledger "
+     f"victim_bytes_freed {svc['victim_bytes_freed']}")
+if svc["victim_spills"] > 0:
+    assert svc["victim_bytes_freed"] > 0, "victim spills freed no bytes"
 assert tel["flight_admits"] == svc["admitted"], \
     "flight admit count != ledger admissions"
 print(f"BENCH_service.json ok: {svc['requests']} requests, "
       f"{svc['completed']} completed, {sheds} shed, "
       f"{svc['express_admitted']} express admissions, "
-      f"{svc['victim_spills']} victim spills; telemetry "
+      f"{svc['victim_spills']} victim spills "
+      f"({svc['victim_bytes_freed']} bytes freed, reconciled); telemetry "
       f"{tel['scrapes']} scrapes / {tel['flight_recorded']} flight events, "
       f"all consistent")
 EOF
